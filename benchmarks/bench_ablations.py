@@ -1,0 +1,125 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three deliberate choices in Algorithm 1 and the default configuration are
+each toggled off to measure their effect on the maximum load:
+
+1. **capacity tie-break** (step 3 of Algorithm 1) vs uniform / inverse
+   tie-breaking — the paper argues moving ties toward bigger bins helps;
+2. **capacity-proportional selection** vs uniform 1/n selection — the
+   introduction's motivating comparison;
+3. **number of choices d** — the lnln(n)/ln(d) dependence.
+
+Each bench prints a small table of mean max loads.
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, bench_reps
+
+from repro.bins import two_class_bins
+from repro.core import simulate
+
+
+def _mean_max(bins, reps, **kwargs):
+    return float(
+        np.mean(
+            [
+                simulate(bins, seed=(BENCH_SEED, s), **kwargs).max_load
+                for s in range(reps)
+            ]
+        )
+    )
+
+
+def test_ablation_tie_break_policy(benchmark):
+    """Paper's max-capacity tie-break vs uniform vs inverse."""
+    bins = two_class_bins(500, 500, 1, 2)
+    reps = bench_reps(80)
+
+    def run():
+        return {
+            policy: _mean_max(bins, reps, tie_break=policy)
+            for policy in ("max_capacity", "uniform", "min_capacity")
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("=== ablation: tie-break policy (caps 1 and 2, n=1000, m=C) ===")
+    for policy, load in out.items():
+        print(f"    {policy:>14s}: mean max load = {load:.4f}")
+    # The paper's rule is at least as good as either alternative (the
+    # effect is small on this array, so allow sampling noise at bench reps).
+    assert out["max_capacity"] <= out["uniform"] + 0.06
+    assert out["max_capacity"] <= out["min_capacity"] + 0.06
+
+
+def test_ablation_selection_probability(benchmark):
+    """Capacity-proportional selection vs uniform 1/n on a skewed array."""
+    bins = two_class_bins(900, 100, 1, 20)
+    reps = bench_reps(25)
+
+    def run():
+        return {
+            "proportional": _mean_max(bins, reps, probabilities="proportional"),
+            "uniform": _mean_max(bins, reps, probabilities="uniform"),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("=== ablation: selection probability (caps 1 and 20, 10% large) ===")
+    for name, load in out.items():
+        print(f"    {name:>14s}: mean max load = {load:.4f}")
+    assert out["proportional"] <= out["uniform"] + 0.02
+
+
+def test_ablation_incremental_vs_scratch_migration(benchmark):
+    """Section 4.3's remark: reorganisation with minimum overhead vs the
+    from-scratch re-allocation the figures use.  Measures balls moved when
+    a batch of big disks joins a running system."""
+    from repro.bins import uniform_bins
+    from repro.core import expected_displaced_from_scratch, rebalance_waterfill
+
+    old_bins = uniform_bins(200, 2)
+    reps = bench_reps(10)
+
+    def run():
+        moved_incremental = []
+        moved_scratch = []
+        for s in range(reps):
+            res = simulate(old_bins, seed=(BENCH_SEED, 77, s))
+            new_bins = old_bins.with_appended([20] * 20)
+            old_counts = np.concatenate([res.counts, np.zeros(20, dtype=np.int64)])
+            plan = rebalance_waterfill(old_counts, new_bins)
+            fresh = simulate(new_bins, m=int(old_counts.sum()), seed=(BENCH_SEED, 78, s))
+            moved_incremental.append(plan.balls_moved)
+            moved_scratch.append(expected_displaced_from_scratch(old_counts, fresh.counts))
+        return float(np.mean(moved_incremental)), float(np.mean(moved_scratch))
+
+    inc, scratch = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = 400
+    print()
+    print("=== ablation: migration volume on growth (200x2 disks + 20x20 disks) ===")
+    print(f"    minimum-migration rebalance:        {inc:.1f} of {total} balls moved")
+    print(f"    from-scratch re-allocation (E[..]): {scratch:.1f} of {total} balls displaced")
+    # incremental must beat the redraw by a wide margin (the new batch holds
+    # half the capacity here, so waterfill moves ~half while a redraw
+    # displaces nearly everything)
+    assert inc < scratch
+
+
+def test_ablation_choices_d(benchmark):
+    """lnln(n)/ln(d): more choices, lower max load, diminishing returns."""
+    bins = two_class_bins(1000, 1000, 1, 8)
+    reps = bench_reps(10)
+
+    def run():
+        return {d: _mean_max(bins, reps, d=d) for d in (1, 2, 3, 4)}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("=== ablation: number of choices d (caps 1 and 8, n=2000, m=C) ===")
+    for d, load in out.items():
+        print(f"    d={d}: mean max load = {load:.4f}")
+    assert out[2] < out[1]
+    assert out[4] <= out[2]
+    # diminishing returns: the d=1 -> 2 win dwarfs the d=2 -> 4 win
+    assert (out[1] - out[2]) > (out[2] - out[4])

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+Not a paper figure — these track the throughput of the substrate the
+reproduction stands on (balls/second through the sequential core, draws/
+second through the samplers) so performance regressions are visible.
+"""
+
+import numpy as np
+from conftest import BENCH_SEED
+
+from repro.bins import two_class_bins, uniform_bins
+from repro.core import simulate
+from repro.sampling import AliasSampler, CdfSampler
+
+
+def test_engine_throughput_d2_uniform(benchmark):
+    """Greedy d=2 on 10,000 unit bins, m = n balls per round."""
+    bins = uniform_bins(10_000, 1)
+
+    def run():
+        return simulate(bins, seed=BENCH_SEED).counts.sum()
+
+    total = benchmark(run)
+    assert total == 10_000
+
+
+def test_engine_throughput_d2_two_class(benchmark):
+    """Greedy d=2 on the Figure 6 array (1,000 bins, caps 1 and 10)."""
+    bins = two_class_bins(500, 500, 1, 10)
+
+    def run():
+        return simulate(bins, seed=BENCH_SEED).counts.sum()
+
+    total = benchmark(run)
+    assert total == bins.total_capacity
+
+
+def test_engine_throughput_d4(benchmark):
+    """General-d loop cost relative to the d=2 fast path."""
+    bins = uniform_bins(5_000, 2)
+
+    def run():
+        return simulate(bins, d=4, seed=BENCH_SEED).counts.sum()
+
+    total = benchmark(run)
+    assert total == bins.total_capacity
+
+
+def test_alias_sampler_bulk_draws(benchmark):
+    """1M weighted draws through the alias sampler."""
+    weights = np.random.default_rng(0).integers(1, 100, size=10_000)
+    sampler = AliasSampler(weights)
+    rng = np.random.default_rng(BENCH_SEED)
+
+    out = benchmark(lambda: sampler.sample(1_000_000, rng))
+    assert out.size == 1_000_000
+
+
+def test_cdf_sampler_bulk_draws(benchmark):
+    """1M weighted draws through the CDF sampler (alias's O(log n) rival)."""
+    weights = np.random.default_rng(0).integers(1, 100, size=10_000)
+    sampler = CdfSampler(weights)
+    rng = np.random.default_rng(BENCH_SEED)
+
+    out = benchmark(lambda: sampler.sample(1_000_000, rng))
+    assert out.size == 1_000_000

@@ -1,0 +1,27 @@
+"""Figure 1 bench: uniform bins, sorted load profiles per capacity.
+
+Paper series: mean sorted normalised load over n=10,000 bins for capacities
+1, 2, 3, 4, 8 (m = C, d = 2).  Expected shape: the c=1 profile peaks near
+lnln(n)/ln 2 + O(1) ~ 3; every c >= 2 profile flattens towards 1 with peak
+~ 1 + lnln(n)/c.
+"""
+
+from conftest import BENCH_SEED, bench_reps
+
+from repro.experiments import run_experiment
+
+
+def test_fig01_uniform_profiles(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig01", seed=BENCH_SEED, repetitions=bench_reps(8), n=10_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    # Shape assertions: peak ordering by capacity, averages at 1.
+    peaks = {name: ys[0] for name, ys in result.series.items()}
+    assert peaks["1-bins"] > peaks["2-bins"] > peaks["8-bins"]
+    assert 2.0 < peaks["1-bins"] < 4.5
+    assert peaks["8-bins"] < 1.6

@@ -1,0 +1,31 @@
+"""Figures 2-5 bench: 32 uniform bins under growing ball counts.
+
+Paper series: sorted load profiles for capacities 1-4 at m = C, 10C, 100C,
+1000C.  Expected shape: the deviation of the top of each profile from the
+average load m/C is invariant in the multiplier (heavily-loaded case).
+"""
+
+import pytest
+from conftest import BENCH_SEED, bench_reps
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.parametrize(
+    "fig_id,multiplier",
+    [("fig02", 1), ("fig03", 10), ("fig04", 100), ("fig05", 1000)],
+)
+def test_fig02_05_small_heavy(benchmark, report_series, fig_id, multiplier):
+    result = benchmark.pedantic(
+        lambda: run_experiment(fig_id, seed=BENCH_SEED, repetitions=bench_reps(150)),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    gaps = result.extra["gap_above_average"]
+    # Invariance: every per-capacity gap stays within a band independent of
+    # the multiplier (the paper's Figures 3-5 "look identical").
+    for c in (1, 2, 3, 4):
+        assert 0.0 < gaps[f"c={c}"] < 2.5, (multiplier, c, gaps)
+    # Larger capacity -> smaller gap at fixed multiplier.
+    assert gaps["c=4"] < gaps["c=1"]

@@ -1,0 +1,45 @@
+"""Figures 6-7 bench: two-class sweep of the large-bin fraction.
+
+Paper series (n = 1,000 bins of capacities 1 and 10, m = C):
+Figure 6 — mean max load vs % large bins: ~3 at 0%, plateau ~2 between
+10-30%, down to ~1.2 at 100%.
+Figure 7 — % of runs with the maximum in a small bin: ~100% early,
+crossing 50% near 45%, ~0% beyond ~90%.
+"""
+
+from conftest import BENCH_SEED, bench_reps
+
+from repro.experiments import run_experiment
+
+
+def test_fig06_max_load_sweep(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig06", seed=BENCH_SEED, repetitions=bench_reps(30), step_pct=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    curve = result.series["max_load"]
+    assert 2.7 <= curve[0] <= 3.4  # standard-game endpoint
+    assert curve[-1] <= 1.4  # all-large endpoint
+    assert curve[-1] < curve[0]
+
+
+def test_fig07_max_location_sweep(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig07", seed=BENCH_SEED, repetitions=bench_reps(30), step_pct=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    curve = result.series["pct_small_has_max"]
+    x = result.x_values
+    assert curve[0] == 100.0
+    assert curve[-1] == 0.0
+    # the 50% crossing falls in the paper's mid-range (roughly 30-70%)
+    crossing = x[(curve < 50).argmax()]
+    assert 25 <= crossing <= 75

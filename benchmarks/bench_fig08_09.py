@@ -1,0 +1,51 @@
+"""Figures 8-9 bench: randomised bin sizes, capacity sweep.
+
+Paper series: Figure 8 — mean max load vs total capacity (n = 10,000,
+capacities 1 + Bin(7, (c-1)/7)): falls from ~3.1 to ~1.3.  Figure 9 —
+% of runs whose maximum sits in a size-x bin (x = 1, 2, 4, 6): the maximum
+migrates from size-1 to larger classes as capacity grows.
+"""
+
+from conftest import BENCH_SEED, bench_reps
+
+from repro.experiments import run_experiment
+
+
+def test_fig08_max_load_vs_capacity(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig08",
+            seed=BENCH_SEED,
+            repetitions=bench_reps(6),
+            n=10_000,
+            mean_cap_grid=(1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    curve = result.series["max_load"]
+    assert 2.7 <= curve[0] <= 3.5  # ~3.1 in the paper
+    assert curve[-1] <= 1.6  # ~1.3 in the paper
+    assert curve[-1] < curve[0]
+
+
+def test_fig09_max_location_by_class(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig09",
+            seed=BENCH_SEED,
+            repetitions=bench_reps(40),
+            n=1_000,
+            mean_cap_grid=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    s1 = result.series["max_in_size_1"]
+    s2 = result.series["max_in_size_2"]
+    assert s1[0] == 100.0  # only size-1 bins exist at c = 1
+    assert s1[-1] < 40.0  # migrated away by c = 8
+    # size-2 bins must have held the maximum somewhere in the middle
+    assert s2.max() > 20.0

@@ -1,0 +1,56 @@
+"""Figures 10-13 bench: mixed-array load profiles.
+
+Paper series: sorted load profiles for 32 bins (caps 1/2) and 10,000 bins
+(caps 1/8) at fixed class ratios, plus the per-class restrictions.
+Expected shape: more large bins -> flatter profiles; large-bin loads stay
+below a small constant while small bins carry the maxima.
+"""
+
+import numpy as np
+import pytest
+from conftest import BENCH_SEED, bench_reps
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_small_mixed_profiles(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10", seed=BENCH_SEED, repetitions=bench_reps(200)),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    assert result.series["32x2-bins"][0] < result.series["0x2-bins"][0]
+
+
+def test_fig11_large_mixed_profiles(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig11", seed=BENCH_SEED, repetitions=bench_reps(5)),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    peaks = {name: ys[0] for name, ys in result.series.items()}
+    # monotone flattening in the number of 8-bins
+    assert (
+        peaks["10000x8-bins"]
+        < peaks["5000x8-bins"]
+        < peaks["0x8-bins"]
+    )
+
+
+@pytest.mark.parametrize("fig_id", ["fig12", "fig13"])
+def test_fig12_13_class_restricted_profiles(benchmark, report_series, fig_id):
+    result = benchmark.pedantic(
+        lambda: run_experiment(fig_id, seed=BENCH_SEED, repetitions=bench_reps(5)),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    for name, ys in result.series.items():
+        finite = ys[np.isfinite(ys)]
+        if fig_id == "fig12":
+            # Observation 1: the capacity-8 bins stay below a small constant
+            assert finite[0] < 2.2, name
+        else:
+            assert finite[0] < 4.0, name

@@ -1,0 +1,62 @@
+"""Figures 14-15 bench: dynamically growing storage systems.
+
+Paper series: mean max load vs number of disks (2 -> 1,000 in batches of
+20) for linear growth offsets a = 1, 2, 4, 6 and exponential factors
+b = 1.05, 1.1, 1.2, 1.4, each against the flat all-capacity-2 baseline.
+Expected shape: every growth curve decreases with system size while the
+baseline stays near 1.8-2; exponential eventually beats linear.
+
+The bench sweeps to 502 bins (25 generations) so the exponential runs stay
+within the ball budget on one core; raise ``max_bins``/``REPRO_BENCH_SCALE``
+to paper scale.
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, bench_reps
+
+from repro.experiments import run_experiment
+
+MAX_BINS = 502
+
+
+def test_fig14_linear_growth(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig14", seed=BENCH_SEED, repetitions=bench_reps(5), max_bins=MAX_BINS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    base = result.series["base (all capacities = 2)"]
+    for a in (1, 2, 4, 6):
+        curve = result.series[f"lin a={a}"]
+        assert curve[-1] < base[-1], f"lin a={a} should beat the baseline"
+        assert curve[-1] < curve[1], f"lin a={a} should decrease"
+    # stronger growth -> lower final load
+    assert result.series["lin a=6"][-1] <= result.series["lin a=1"][-1]
+
+
+def test_fig15_exponential_growth(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig15",
+            seed=BENCH_SEED,
+            repetitions=bench_reps(5),
+            max_bins=MAX_BINS,
+            ball_budget=500_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    base = result.series["base (all capacities = 2)"]
+    for b in (1.05, 1.1, 1.2, 1.4):
+        curve = result.series[f"exp b={b}"]
+        finite = np.isfinite(curve)
+        assert curve[finite][-1] < base[finite][-1], f"exp b={b} should beat the baseline"
+    # the aggressive factor ends lowest among the states it reaches
+    strong = result.series["exp b=1.4"]
+    weak = result.series["exp b=1.05"]
+    finite = np.isfinite(strong) & np.isfinite(weak)
+    assert strong[finite][-1] <= weak[finite][-1] + 0.05

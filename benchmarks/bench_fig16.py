@@ -1,0 +1,36 @@
+"""Figure 16 bench: heavily loaded case with random capacities.
+
+Paper series: deviation of the current max load from the current average
+after i*CAP balls (i = 1..100) for CAP = 1n, 2n, 5n, 10n at n = 10,000.
+Expected shape: a bundle of parallel, essentially flat lines, ordered so
+larger CAP sits closer to zero.
+
+Bench scale: n = 2,000 and 40 rounds keeps the largest run at 800k balls.
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, bench_reps
+
+from repro.experiments import run_experiment
+
+
+def test_fig16_heavy_load_invariance(benchmark, report_series):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig16",
+            seed=BENCH_SEED,
+            repetitions=bench_reps(3),
+            n=2_000,
+            rounds=40,
+            cap_multipliers=(1, 2, 5, 10),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_series(result)
+    # Flatness: fitted slope of every line is ~0 per CAP unit.
+    for name, slope in result.extra["per_series_slope"].items():
+        assert abs(slope) < 0.02, (name, slope)
+    # Ordering: larger CAP -> smaller deviation.
+    means = {name: float(np.mean(ys)) for name, ys in result.series.items()}
+    assert means["CAP = 10*n"] < means["CAP = 2*n"] < means["CAP = 1*n"]

@@ -1,0 +1,70 @@
+"""Storage-scenario benches (application layer over the paper's protocol).
+
+Not paper figures — these track the placement-strategy comparison and the
+expansion/migration trade-off at cluster scale, the downstream use case the
+paper's Section 4.3 motivates.
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, bench_reps
+
+from repro.storage import (
+    Cluster,
+    GreedyTwoChoice,
+    LeastLoaded,
+    SingleChoice,
+    compare_strategies,
+    expansion_study,
+    unit_objects,
+)
+
+
+def test_storage_strategy_comparison(benchmark):
+    """Fill/read imbalance of the placement policies on a 3-generation
+    cluster; the paper's greedy-2-choice should land between single-choice
+    and the omniscient baseline."""
+    cluster = Cluster.homogeneous(200, 1).expand(100, 4).expand(50, 16)
+    objects = unit_objects(cluster.total_capacity, zipf_s=1.1, rng=BENCH_SEED)
+    reps = bench_reps(5)
+
+    def run():
+        return compare_strategies(
+            [GreedyTwoChoice(), SingleChoice(), LeastLoaded()],
+            objects, cluster, repetitions=reps, seed=BENCH_SEED,
+        )
+
+    cmp_ = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("=== storage: placement strategies (200x1 + 100x4 + 50x16 disks) ===")
+    for name, fill, imb, read in cmp_.table_rows():
+        print(f"    {name:>16s}: max_fill={fill:.3f} fill_imb={imb:.3f} read_imb={read:.3f}")
+    r = cmp_.reports
+    assert r["greedy-2-choice"]["max_fill"] <= r["single-choice"]["max_fill"]
+    assert r["least-loaded"]["max_fill"] <= r["greedy-2-choice"]["max_fill"] + 1e-9
+
+
+def test_storage_expansion_migration(benchmark):
+    """Growth event: rebalance volume vs from-scratch displacement."""
+    cluster = Cluster.homogeneous(300, 2)
+    objects = unit_objects(cluster.total_capacity, rng=BENCH_SEED)
+    reps = bench_reps(5)
+
+    def run():
+        savings, inc, scr = [], [], []
+        for s in range(reps):
+            study = expansion_study(
+                cluster, objects, new_disks=30, new_capacity=20,
+                seed=(BENCH_SEED, s),
+            )
+            savings.append(study.migration_savings)
+            inc.append(study.balls_moved_incremental)
+            scr.append(study.balls_displaced_scratch)
+        return float(np.mean(savings)), float(np.mean(inc)), float(np.mean(scr))
+
+    saving, inc, scr = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("=== storage: expansion 300x2 + 30x20 disks ===")
+    print(f"    incremental rebalance moves {inc:.0f} balls")
+    print(f"    from-scratch displaces      {scr:.0f} balls")
+    print(f"    saving: {100 * saving:.0f}%")
+    assert saving > 0.2

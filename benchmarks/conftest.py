@@ -1,0 +1,61 @@
+"""Benchmark harness support.
+
+Each ``bench_figNN`` module regenerates one of the paper's figures at a
+reduced scale inside ``pytest-benchmark`` and prints the series rows the
+paper plots, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+figure-regeneration harness.  Scales are tuned for minutes-level total
+runtime on one core; raise ``REPRO_BENCH_SCALE`` to approach paper scale.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+import pytest
+
+#: Global multiplier on the per-bench repetition counts (env override).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Master seed for all benchmark runs.
+BENCH_SEED = 20260612
+
+
+def bench_reps(base: int) -> int:
+    """Repetitions for a bench given its tuned base count."""
+    return max(2, int(round(base * BENCH_SCALE)))
+
+
+@pytest.fixture
+def report_series():
+    """Printer for figure series: the rows the paper's plot encodes."""
+
+    def _print(result, max_rows: int = 12):
+        print()
+        print(f"=== {result.experiment_id}: {result.title} ===")
+        for key, value in result.parameters.items():
+            print(f"    {key} = {value}")
+        n = result.x_values.size
+        idx = (
+            list(range(n))
+            if n <= max_rows
+            else sorted(set(list(range(0, n, max(1, n // max_rows))) + [n - 1]))
+        )
+        header = [result.x_name] + list(result.series)
+        print("    " + " | ".join(f"{h:>22s}" for h in header))
+        for i in idx:
+            row = [f"{float(result.x_values[i]):>22.6g}"]
+            for name in result.series:
+                v = float(result.series[name][i])
+                row.append(f"{v:>22.6g}" if np.isfinite(v) else f"{'nan':>22s}")
+            print("    " + " | ".join(row))
+        for key, value in result.extra.items():
+            if key != "wall_seconds":
+                print(f"    extra.{key} = {value}")
+
+    return _print

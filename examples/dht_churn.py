@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""A replicated DHT under churn — the live version of the paper's motivation.
+
+Builds a key-value DHT over a consistent-hashing ring, loads it with keys
+two ways (plain successor placement vs the Byers et al. d-point scheme the
+related work analyses), then subjects the better one to membership churn
+and measures how little data each join/leave moves.
+
+Run:  python examples/dht_churn.py
+"""
+
+import numpy as np
+
+from repro.p2p import DHT, run_churn
+
+PEERS = 60
+KEYS = 3000
+SEED = 17
+
+
+def main() -> None:
+    # --- placement skew: 1 point vs d points ---------------------------
+    plain = DHT([f"peer-{i}" for i in range(PEERS)], replication=2)
+    balanced = DHT([f"peer-{i}" for i in range(PEERS)], replication=2)
+    for k in range(KEYS):
+        plain.store(f"key-{k}")
+        balanced.store_d_choice(f"key-{k}", d=2)
+
+    avg = KEYS / PEERS
+    print(f"{KEYS} keys over {PEERS} peers (avg {avg:.0f} primaries/peer):")
+    print(f"  successor placement:  max/avg primary skew = {plain.skew():.2f}x")
+    print(f"  2-point placement:    max/avg primary skew = {balanced.skew():.2f}x")
+    print("  (the d-point scheme flattens the log(n) arc skew, exactly the "
+          "related-work result the paper builds on)\n")
+
+    # --- churn ----------------------------------------------------------
+    trace = run_churn(balanced, events=40, join_probability=0.5, seed=SEED)
+    moved = trace.moved_series()
+    print(f"40 membership events (joins and leaves) on the 2-point DHT:")
+    print(f"  copies moved per event: mean {moved.mean():.1f}, "
+          f"median {np.median(moved):.0f}, max {moved.max()}")
+    print(f"  total copies stored: {2 * KEYS} "
+          f"-> one event touches {100 * moved.mean() / (2 * KEYS):.1f}% of the data")
+    print(f"  worst primary skew seen during churn: {trace.max_skew:.2f}x")
+    print("\n  a mod-N hash table would remap ~100% of keys per membership "
+          "change; consistent hashing pays ~1/n — this is why the paper's "
+          "non-uniform-bins model matters in practice")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Every analytical result of Section 3, checked against live simulation.
+
+For each theorem/observation the script builds a system satisfying the
+hypotheses, runs the real simulator, and prints predicted bound vs measured
+maximum load.  This is the fastest way to see the paper's analysis at work
+(and the template for checking your own bin arrays with the library).
+
+Run:  python examples/theory_vs_simulation.py
+"""
+
+import numpy as np
+
+from repro.bins import big_small_split, two_class_bins, uniform_bins
+from repro.core import coupled_domination_run, simulate
+from repro.io import ascii_table
+from repro.sampling import ThresholdProbability
+from repro.theory import (
+    observation1_bound,
+    observation2_bound,
+    theorem1_bound,
+    theorem2_bound,
+    theorem3_bound,
+    theorem5_bound,
+)
+
+SEED = 31
+
+
+def mean_max(bins, reps=5, **kwargs):
+    return float(np.mean([simulate(bins, seed=(SEED, r), **kwargs).max_load for r in range(reps)]))
+
+
+def main() -> None:
+    rows = []
+
+    # Observation 1: big bins stay below load 4.
+    bins = two_class_bins(900, 100, 1, 64)
+    res = simulate(bins, seed=SEED)
+    rows.append((
+        "Observation 1 (big-bin load)",
+        observation1_bound(),
+        res.max_load_of_class(64),
+    ))
+
+    # Theorem 1 via clause (2): C_s small relative to (n ln n)^(2/3).
+    bins = two_class_bins(100, 900, 1, 50)
+    rows.append(("Theorem 1 (kappa=1)", theorem1_bound(1.0), mean_max(bins)))
+
+    # Theorem 2: C_s below C^((d-1)/d) (log C)^(1/d).
+    bins = two_class_bins(50, 950, 1, 40)
+    rows.append(("Theorem 2 (kappa=1)", theorem2_bound(1.0), mean_max(bins)))
+
+    # Theorem 3: the general lnln(n)/ln(d) + O(1) bound.
+    bins = two_class_bins(2000, 2000, 1, 10)
+    rows.append((
+        "Theorem 3 (const=2)",
+        theorem3_bound(bins.n, 2, constant=2.0),
+        mean_max(bins),
+    ))
+
+    # Observation 2: uniform capacity c = 8.
+    n, c = 4000, 8
+    rows.append((
+        "Observation 2 (c=8)",
+        observation2_bound(c * n, n, c),
+        mean_max(uniform_bins(n, c)),
+    ))
+
+    # Theorem 5: threshold distribution over the q-capacity half.
+    n, q = 1000, 8
+    bins = two_class_bins(n // 2, n // 2, 1, q)
+    rows.append((
+        "Theorem 5 (k=1, alpha=1/2)",
+        theorem5_bound(1.0, 0.5, q, n),
+        mean_max(bins, probabilities=ThresholdProbability(q)),
+    ))
+
+    print(ascii_table(
+        ["result", "predicted bound", "measured max load"],
+        rows,
+        float_format="{:.3f}",
+    ))
+
+    # Lemma 1: the coupled unit-bin process dominates.
+    bins = two_class_bins(200, 200, 1, 6)
+    dominated = all(
+        coupled_domination_run(bins, seed=s).q_dominates_max for s in range(10)
+    )
+    print(f"\nLemma 1 coupling (10 runs): unit-bin process dominated the "
+          f"non-uniform one in {'all' if dominated else 'NOT all'} runs")
+
+    split = big_small_split(bins)
+    print(f"(system split at threshold {split.threshold:.2f}: "
+          f"{split.n_big} big bins carrying C_b={split.big_capacity}, "
+          f"{split.n_small} small bins carrying C_s={split.small_capacity})")
+
+
+if __name__ == "__main__":
+    main()

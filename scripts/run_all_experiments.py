@@ -1,0 +1,40 @@
+"""Run all registered experiments at moderate scale; save CSV/JSON + summary."""
+import json, sys, time
+from repro.experiments import list_experiments, run_experiment
+
+overrides = {
+    "fig01": dict(repetitions=30),
+    "fig02": dict(repetitions=400),
+    "fig03": dict(repetitions=400),
+    "fig04": dict(repetitions=400),
+    "fig05": dict(repetitions=200),
+    "fig06": dict(repetitions=60, step_pct=2),
+    "fig07": dict(repetitions=60, step_pct=2),
+    "fig08": dict(repetitions=8),
+    "fig09": dict(repetitions=60),
+    "fig10": dict(repetitions=400),
+    "fig11": dict(repetitions=8),
+    "fig12": dict(repetitions=8),
+    "fig13": dict(repetitions=8),
+    "fig14": dict(repetitions=8, max_bins=1000),
+    "fig15": dict(repetitions=8, max_bins=1000, ball_budget=1_500_000),
+    "fig16": dict(repetitions=4, n=4000, rounds=100),
+    "fig17": dict(repetitions=500, t_grid=tuple(round(1.0+0.1*i,3) for i in range(21))),
+    "fig18": dict(repetitions=500),
+}
+summaries = {}
+for spec in list_experiments():
+    fid = spec.experiment_id
+    t0 = time.time()
+    res = run_experiment(fid, seed=20260612, out_dir="results", **overrides.get(fid, {}))
+    dt = time.time() - t0
+    summaries[fid] = {
+        "wall_seconds": round(dt, 1),
+        "extra": {k: v for k, v in res.extra.items()},
+        "series_summary": {name: dict(zip(("min","max","first","last"), vals))
+                            for name, *vals in [(r[0], *r[1:]) for r in res.summary_rows()]},
+        "parameters": res.parameters,
+    }
+    print(f"{fid} done in {dt:.1f}s", flush=True)
+json.dump(summaries, open("results/summaries.json","w"), indent=1, default=str)
+print("ALL DONE")

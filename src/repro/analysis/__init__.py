@@ -1,0 +1,56 @@
+"""Statistics over runs and aggregation across repetitions."""
+
+from .aggregate import (
+    MeanProfile,
+    ScalarAggregate,
+    aggregate_scalar,
+    fraction_true,
+    mean_profile_by_position,
+    mean_sorted_profile,
+)
+from .distribution import (
+    LoadHistogram,
+    class_load_matrix,
+    class_profiles,
+    load_histogram,
+)
+from .convergence import AdaptiveEstimate, run_until_ci
+from .optimize import ExponentSearchResult, exponent_sweep, optimal_exponent
+from .plateau import Plateau, find_plateaus, longest_plateau
+from .stats import (
+    LoadStats,
+    argmax_bins,
+    load_gap,
+    load_stats,
+    max_load,
+    max_load_location_by_class,
+    per_class_max_loads,
+)
+
+__all__ = [
+    "LoadStats",
+    "load_stats",
+    "max_load",
+    "load_gap",
+    "argmax_bins",
+    "max_load_location_by_class",
+    "per_class_max_loads",
+    "MeanProfile",
+    "mean_sorted_profile",
+    "mean_profile_by_position",
+    "ScalarAggregate",
+    "aggregate_scalar",
+    "fraction_true",
+    "Plateau",
+    "find_plateaus",
+    "longest_plateau",
+    "ExponentSearchResult",
+    "exponent_sweep",
+    "optimal_exponent",
+    "AdaptiveEstimate",
+    "run_until_ci",
+    "LoadHistogram",
+    "load_histogram",
+    "class_profiles",
+    "class_load_matrix",
+]

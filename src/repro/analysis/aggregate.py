@@ -1,0 +1,112 @@
+"""Aggregation across repetitions.
+
+The paper's figures plot averages over many independent runs — e.g.
+Figure 1's "load distribution" is, for each *rank* position, the mean over
+10,000 runs of the load of the bin at that position of the sorted load
+vector; Figures 6/8/14–16 average scalar statistics.  This module provides
+both patterns, plus simple normal-approximation confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MeanProfile",
+    "mean_sorted_profile",
+    "mean_profile_by_position",
+    "ScalarAggregate",
+    "aggregate_scalar",
+    "fraction_true",
+]
+
+
+@dataclass(frozen=True)
+class MeanProfile:
+    """Mean (and spread) of sorted per-bin load profiles over repetitions."""
+
+    mean: np.ndarray
+    std: np.ndarray
+    repetitions: int
+
+    def __len__(self) -> int:
+        return int(self.mean.size)
+
+
+def mean_sorted_profile(load_matrix) -> MeanProfile:
+    """Average sorted (descending) load profile over repetitions.
+
+    ``load_matrix`` has shape ``(repetitions, n)``; each row is sorted in
+    non-increasing order before averaging, matching how the paper plots
+    "load vs (sorted) bin index".
+    """
+    arr = np.asarray(load_matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"load_matrix must be 2-D (reps, n), got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("need at least one repetition")
+    sorted_rows = -np.sort(-arr, axis=1)
+    return MeanProfile(
+        mean=sorted_rows.mean(axis=0),
+        std=sorted_rows.std(axis=0),
+        repetitions=int(arr.shape[0]),
+    )
+
+
+def mean_profile_by_position(load_matrix) -> MeanProfile:
+    """Average load per *original bin index* (no sorting) over repetitions.
+
+    Used when bin identity matters, e.g. per-class sub-profiles where the
+    class layout is fixed across runs (Figures 12–13).
+    """
+    arr = np.asarray(load_matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"load_matrix must be 2-D (reps, n), got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("need at least one repetition")
+    return MeanProfile(mean=arr.mean(axis=0), std=arr.std(axis=0), repetitions=int(arr.shape[0]))
+
+
+@dataclass(frozen=True)
+class ScalarAggregate:
+    """Mean/CI of a scalar statistic over repetitions."""
+
+    mean: float
+    std: float
+    repetitions: int
+    minimum: float
+    maximum: float
+
+    def ci_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the normal-approximation confidence interval."""
+        if self.repetitions <= 1:
+            return float("inf")
+        return z * self.std / np.sqrt(self.repetitions)
+
+
+def aggregate_scalar(values) -> ScalarAggregate:
+    """Aggregate one scalar statistic's repetition samples."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    return ScalarAggregate(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        repetitions=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def fraction_true(flags) -> float:
+    """Fraction of repetitions in which a Boolean event occurred.
+
+    Figure 7's y-axis ("percentage of cases where a small bin has max
+    load") is ``100 * fraction_true(...)``.
+    """
+    arr = np.asarray(flags, dtype=bool)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("flags must be a non-empty 1-D sequence")
+    return float(arr.mean())

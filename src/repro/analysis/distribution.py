@@ -1,0 +1,82 @@
+"""Load-distribution views: histograms and per-class splits.
+
+Figures 12 and 13 plot sorted load profiles restricted to one capacity
+class; :func:`class_profiles` produces exactly those sub-profiles.
+:func:`load_histogram` supports distribution-level comparisons between
+strategies in the examples and ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadHistogram", "load_histogram", "class_profiles", "class_load_matrix"]
+
+
+@dataclass(frozen=True)
+class LoadHistogram:
+    """Histogram over load values."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def total(self) -> int:
+        """Total number of bins histogrammed."""
+        return int(self.counts.sum())
+
+    def densities(self) -> np.ndarray:
+        """Counts normalised to sum to one."""
+        t = self.total
+        return self.counts / t if t else self.counts.astype(np.float64)
+
+
+def load_histogram(loads, *, bin_width: float = 0.25) -> LoadHistogram:
+    """Histogram the load values on a fixed-width grid starting at 0."""
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("loads must be a non-empty 1-D sequence")
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    top = max(float(arr.max()), bin_width)
+    nbins = int(np.ceil(top / bin_width)) + 1
+    edges = np.arange(nbins + 1) * bin_width
+    counts, _ = np.histogram(arr, bins=edges)
+    return LoadHistogram(edges=edges, counts=counts)
+
+
+def class_profiles(counts, capacities) -> dict[int, np.ndarray]:
+    """Sorted (descending) load profile restricted to each capacity class.
+
+    Returns ``{capacity: sorted loads of the bins of that capacity}`` — one
+    run's version of Figures 12/13.
+    """
+    cnt = np.asarray(counts, dtype=np.int64)
+    cap = np.asarray(capacities, dtype=np.int64)
+    if cnt.shape != cap.shape or cnt.ndim != 1:
+        raise ValueError("counts and capacities must be equal-length 1-D vectors")
+    loads = cnt / cap
+    return {
+        int(c): np.sort(loads[cap == c])[::-1]
+        for c in np.unique(cap)
+    }
+
+
+def class_load_matrix(load_matrix, capacities, capacity: int) -> np.ndarray:
+    """Restrict a ``(reps, n)`` load matrix to the columns of one class.
+
+    The result feeds :func:`repro.analysis.aggregate.mean_sorted_profile` to
+    build the averaged per-class curves of Figures 12–13.
+    """
+    arr = np.asarray(load_matrix, dtype=np.float64)
+    cap = np.asarray(capacities, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != cap.size:
+        raise ValueError(
+            f"load_matrix {arr.shape} must be (reps, n) with n == len(capacities) == {cap.size}"
+        )
+    cols = cap == capacity
+    if not cols.any():
+        raise ValueError(f"no bins of capacity {capacity}")
+    return arr[:, cols]

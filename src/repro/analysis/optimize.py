@@ -1,0 +1,143 @@
+"""Searching for the best probability distribution (paper's future work).
+
+The conclusions single out "the problem of choosing the best probability
+distribution for a given heterogeneous bin array" as future work; Section
+4.5 solves it empirically for two-class arrays inside the power family
+``p ~ c^t``.  This module generalises that search to *any* bin array:
+
+* :func:`exponent_sweep` — mean max load over a grid of exponents;
+* :func:`optimal_exponent` — golden-section refinement of the best ``t``
+  (the objective is noisy, so the search averages repeated simulations and
+  the result carries its grid/valley context for honesty about precision).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+from ..core.simulation import simulate
+from ..sampling.distributions import PowerProbability
+from ..sampling.rngutils import spawn_seed_sequences
+
+__all__ = ["ExponentSearchResult", "exponent_sweep", "optimal_exponent"]
+
+_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def _mean_max_load(bins: BinArray, t: float, repetitions: int, seed, d: int) -> float:
+    seeds = spawn_seed_sequences(seed, repetitions)
+    model = PowerProbability(t)
+    return float(
+        np.mean([simulate(bins, d=d, probabilities=model, seed=s).max_load for s in seeds])
+    )
+
+
+def exponent_sweep(
+    bins: BinArray,
+    t_grid,
+    *,
+    repetitions: int = 100,
+    d: int = 2,
+    seed=None,
+) -> dict[float, float]:
+    """Mean max load for each exponent in *t_grid* (shared seed tree)."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    grid = [float(t) for t in t_grid]
+    if not grid:
+        raise ValueError("t_grid must be non-empty")
+    seeds = spawn_seed_sequences(seed, len(grid))
+    return {
+        t: _mean_max_load(bins, t, repetitions, s, d)
+        for t, s in zip(grid, seeds)
+    }
+
+
+@dataclass(frozen=True)
+class ExponentSearchResult:
+    """Outcome of :func:`optimal_exponent`."""
+
+    best_t: float
+    best_load: float
+    coarse_curve: dict[float, float]
+    refinement_interval: tuple[float, float]
+
+    def improvement_over_proportional(self) -> float:
+        """Mean-max-load gain of ``t*`` over ``t = 1`` on the coarse grid.
+
+        Positive when the optimum beats proportional selection.  Uses the
+        grid point closest to 1.
+        """
+        ts = np.asarray(list(self.coarse_curve))
+        t1 = float(ts[np.argmin(np.abs(ts - 1.0))])
+        return self.coarse_curve[t1] - self.best_load
+
+
+def optimal_exponent(
+    bins: BinArray,
+    *,
+    t_min: float = 0.0,
+    t_max: float = 4.0,
+    coarse_points: int = 9,
+    refine_iterations: int = 10,
+    repetitions: int = 100,
+    d: int = 2,
+    seed=None,
+) -> ExponentSearchResult:
+    """Find the exponent minimising the mean maximum load.
+
+    Two phases: a coarse grid locates the valley, then golden-section
+    search refines inside the bracketing interval.  The objective is a
+    Monte-Carlo estimate, so precision is limited by ``repetitions``; the
+    returned interval communicates the residual bracket width.
+    """
+    if t_max <= t_min:
+        raise ValueError(f"need t_min < t_max, got [{t_min}, {t_max}]")
+    if coarse_points < 3:
+        raise ValueError(f"coarse_points must be >= 3, got {coarse_points}")
+    if refine_iterations < 0:
+        raise ValueError("refine_iterations must be non-negative")
+
+    parent = spawn_seed_sequences(seed, 2)
+    grid = np.linspace(t_min, t_max, coarse_points)
+    curve = exponent_sweep(bins, grid, repetitions=repetitions, d=d, seed=parent[0])
+
+    ts = np.asarray(list(curve))
+    ys = np.asarray([curve[t] for t in ts])
+    k = int(np.argmin(ys))
+    lo = float(ts[max(0, k - 1)])
+    hi = float(ts[min(len(ts) - 1, k + 1)])
+
+    # Golden-section refinement with fresh evaluation seeds per probe.
+    eval_seeds = iter(spawn_seed_sequences(parent[1], max(refine_iterations, 1) * 2 + 2))
+    a, b = lo, hi
+    x1 = b - _GOLDEN * (b - a)
+    x2 = a + _GOLDEN * (b - a)
+    f1 = _mean_max_load(bins, x1, repetitions, next(eval_seeds), d)
+    f2 = _mean_max_load(bins, x2, repetitions, next(eval_seeds), d)
+    for _ in range(refine_iterations):
+        if f1 <= f2:
+            b, x2, f2 = x2, x1, f1
+            x1 = b - _GOLDEN * (b - a)
+            f1 = _mean_max_load(bins, x1, repetitions, next(eval_seeds), d)
+        else:
+            a, x1, f1 = x1, x2, f2
+            x2 = a + _GOLDEN * (b - a)
+            f2 = _mean_max_load(bins, x2, repetitions, next(eval_seeds), d)
+    if f1 <= f2:
+        best_t, best_load = x1, f1
+    else:
+        best_t, best_load = x2, f2
+    # The coarse minimum may still beat the refined probe under noise.
+    if ys[k] < best_load:
+        best_t, best_load = float(ts[k]), float(ys[k])
+    return ExponentSearchResult(
+        best_t=float(best_t),
+        best_load=float(best_load),
+        coarse_curve={float(t): float(curve[t]) for t in ts},
+        refinement_interval=(float(a), float(b)),
+    )

@@ -1,0 +1,80 @@
+"""Plateau detection in max-load curves.
+
+Section 4.2 discusses the plateau phenomenon in Figure 6: as the fraction of
+large bins grows, the (averaged) maximum load stays nearly flat over a range
+before dropping — the paper links it to the "horizontally growing plateau"
+effect of uniform games.  These helpers locate such flat stretches so tests
+and EXPERIMENTS.md can report them quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Plateau", "find_plateaus", "longest_plateau"]
+
+
+@dataclass(frozen=True)
+class Plateau:
+    """A maximal index range over which a curve is (nearly) constant."""
+
+    start: int
+    stop: int  # inclusive
+    level: float
+
+    @property
+    def length(self) -> int:
+        """Number of consecutive points on the plateau."""
+        return self.stop - self.start + 1
+
+
+def find_plateaus(values, *, tolerance: float = 0.05, min_length: int = 3) -> list[Plateau]:
+    """Maximal runs where consecutive values stay within *tolerance* of the
+    run's running mean.
+
+    Parameters
+    ----------
+    values:
+        The curve (e.g. mean max load per sweep point).
+    tolerance:
+        Maximum absolute deviation from the plateau's mean for a point to
+        join it.
+    min_length:
+        Minimum number of points for a run to count as a plateau.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {arr.shape}")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    if min_length < 2:
+        raise ValueError(f"min_length must be >= 2, got {min_length}")
+    plateaus: list[Plateau] = []
+    i = 0
+    n = arr.size
+    while i < n:
+        j = i
+        total = arr[i]
+        count = 1
+        while j + 1 < n:
+            mean = total / count
+            if abs(arr[j + 1] - mean) <= tolerance:
+                j += 1
+                total += arr[j]
+                count += 1
+            else:
+                break
+        if count >= min_length:
+            plateaus.append(Plateau(start=i, stop=j, level=float(total / count)))
+        i = j + 1
+    return plateaus
+
+
+def longest_plateau(values, *, tolerance: float = 0.05, min_length: int = 3) -> Plateau | None:
+    """The longest plateau of the curve, or ``None`` if none qualifies."""
+    plateaus = find_plateaus(values, tolerance=tolerance, min_length=min_length)
+    if not plateaus:
+        return None
+    return max(plateaus, key=lambda p: (p.length, -p.start))

@@ -1,0 +1,104 @@
+"""Per-run load statistics (Section 4's measured quantities).
+
+Small, pure functions over ``(counts, capacities)`` pairs; everything the
+figure experiments report is assembled from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LoadStats",
+    "load_stats",
+    "max_load",
+    "load_gap",
+    "argmax_bins",
+    "max_load_location_by_class",
+    "per_class_max_loads",
+]
+
+
+def _loads(counts, capacities) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    cnt = np.asarray(counts, dtype=np.int64)
+    cap = np.asarray(capacities, dtype=np.int64)
+    if cnt.shape != cap.shape or cnt.ndim != 1:
+        raise ValueError(
+            f"counts {cnt.shape} and capacities {cap.shape} must be equal-length 1-D vectors"
+        )
+    return cnt / cap, cnt, cap
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """One run's headline numbers."""
+
+    max_load: float
+    average_load: float
+    min_load: float
+    std_load: float
+
+    @property
+    def gap(self) -> float:
+        """``ℓ_max − m/C``, the Figure 16 quantity."""
+        return self.max_load - self.average_load
+
+
+def load_stats(counts, capacities) -> LoadStats:
+    """Compute :class:`LoadStats` for one allocation."""
+    loads, cnt, cap = _loads(counts, capacities)
+    return LoadStats(
+        max_load=float(loads.max()),
+        average_load=float(cnt.sum() / cap.sum()),
+        min_load=float(loads.min()),
+        std_load=float(loads.std()),
+    )
+
+
+def max_load(counts, capacities) -> float:
+    """``ℓ_max = max_i m_i / c_i``."""
+    loads, _, _ = _loads(counts, capacities)
+    return float(loads.max())
+
+
+def load_gap(counts, capacities) -> float:
+    """Deviation of the maximum load from the average ``m / C``."""
+    loads, cnt, cap = _loads(counts, capacities)
+    return float(loads.max() - cnt.sum() / cap.sum())
+
+
+def argmax_bins(counts, capacities, *, rtol: float = 0.0) -> np.ndarray:
+    """Indices of all maximally loaded bins.
+
+    With the default ``rtol=0`` only exact maxima are returned; loads are
+    ratios of int64s, so bins of equal load compare exactly equal whenever
+    the ratio is representable, and ties across equal-capacity bins (the
+    common case in the figures) are always detected.  A small ``rtol``
+    widens the set to near-maximal bins.
+    """
+    loads, _, _ = _loads(counts, capacities)
+    top = loads.max()
+    return np.flatnonzero(loads >= top * (1.0 - rtol) if top > 0 else loads >= top)
+
+
+def max_load_location_by_class(counts, capacities) -> dict[int, bool]:
+    """For each capacity class: does it contain a maximally loaded bin?
+
+    This is Figure 7/9's per-run measurement ("was a small bin among the
+    maximally loaded?"), generalised to every size class.
+    """
+    loads, _, cap = _loads(counts, capacities)
+    winners = argmax_bins(counts, capacities)
+    winner_caps = set(int(c) for c in cap[winners])
+    return {int(c): (int(c) in winner_caps) for c in np.unique(cap)}
+
+
+def per_class_max_loads(counts, capacities) -> dict[int, float]:
+    """Maximum load inside each capacity class."""
+    loads, _, cap = _loads(counts, capacities)
+    return {
+        int(c): float(loads[cap == c].max())
+        for c in np.unique(cap)
+    }

@@ -1,0 +1,39 @@
+"""Bin-array substrate: value types, generators, classification, growth."""
+
+from .arrays import BinArray
+from .classify import BigSmallSplit, big_small_split, bigness_threshold
+from .generators import (
+    binomial_random_bins,
+    geometric_bins,
+    multi_class_bins,
+    two_class_bins,
+    uniform_bins,
+    zipf_bins,
+)
+from .growth import (
+    BaselineGrowthModel,
+    ExponentialGrowthModel,
+    GrowthModel,
+    LinearGrowthModel,
+)
+from .spec import BinSpecError, format_bin_spec, parse_bin_spec
+
+__all__ = [
+    "BinArray",
+    "BigSmallSplit",
+    "big_small_split",
+    "bigness_threshold",
+    "uniform_bins",
+    "two_class_bins",
+    "multi_class_bins",
+    "binomial_random_bins",
+    "geometric_bins",
+    "zipf_bins",
+    "GrowthModel",
+    "LinearGrowthModel",
+    "ExponentialGrowthModel",
+    "BaselineGrowthModel",
+    "parse_bin_spec",
+    "format_bin_spec",
+    "BinSpecError",
+]

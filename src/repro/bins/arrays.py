@@ -1,0 +1,154 @@
+"""The :class:`BinArray` value type.
+
+A bin array is the static description of a system: the (positive integer)
+capacity of every bin, plus derived bookkeeping that nearly every consumer
+needs — total capacity ``C``, the distinct size classes, and index lookup by
+class.  Instances are immutable; the simulation engine keeps its mutable ball
+counts separately.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+__all__ = ["BinArray"]
+
+
+class BinArray:
+    """Immutable description of ``n`` bins with positive integer capacities.
+
+    Parameters
+    ----------
+    capacities:
+        Sequence of positive integers (floats with integral values are
+        accepted and converted).  Order is meaningful: bin ``i`` keeps index
+        ``i`` throughout a simulation.
+    labels:
+        Optional per-bin labels (e.g. the growth batch a disk belongs to).
+        Stored as-is; not interpreted by the library.
+
+    Notes
+    -----
+    The paper requires integer capacities ("bins are not uniform, but ...
+    come with an integer capacity").  We enforce that here; the *loads*
+    derived from them are of course fractional.
+    """
+
+    __slots__ = ("_capacities", "_total", "_labels")
+
+    def __init__(self, capacities, labels=None):
+        caps = np.asarray(capacities)
+        if caps.ndim != 1:
+            raise ValueError(f"capacities must be one-dimensional, got shape {caps.shape}")
+        if caps.size == 0:
+            raise ValueError("a BinArray needs at least one bin")
+        as_int = np.asarray(caps, dtype=np.int64)
+        if not np.allclose(caps, as_int, rtol=0, atol=0):
+            raise ValueError("capacities must be integers (the paper's model)")
+        if np.any(as_int <= 0):
+            raise ValueError("capacities must be positive")
+        as_int.flags.writeable = False
+        self._capacities = as_int
+        self._total = int(as_int.sum())
+        if labels is not None:
+            labels = tuple(labels)
+            if len(labels) != as_int.size:
+                raise ValueError(
+                    f"labels has length {len(labels)} but there are {as_int.size} bins"
+                )
+        self._labels = labels
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Per-bin capacities as a read-only ``int64`` array."""
+        return self._capacities
+
+    @property
+    def n(self) -> int:
+        """Number of bins."""
+        return int(self._capacities.size)
+
+    @property
+    def total_capacity(self) -> int:
+        """``C``, the sum of all capacities (= default ball count ``m``)."""
+        return self._total
+
+    @property
+    def labels(self):
+        """Optional per-bin labels, or ``None``."""
+        return self._labels
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, i: int) -> int:
+        return int(self._capacities[i])
+
+    def __iter__(self):
+        return iter(int(c) for c in self._capacities)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BinArray):
+            return NotImplemented
+        return (
+            np.array_equal(self._capacities, other._capacities)
+            and self._labels == other._labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._capacities.tobytes(), self._labels))
+
+    def __repr__(self) -> str:
+        classes = self.size_class_counts()
+        summary = ", ".join(f"{cnt}x{cap}" for cap, cnt in sorted(classes.items()))
+        return f"BinArray(n={self.n}, C={self._total}, classes=[{summary}])"
+
+    # -- derived structure ---------------------------------------------------
+
+    def size_classes(self) -> np.ndarray:
+        """Sorted distinct capacities present in the array."""
+        return np.unique(self._capacities)
+
+    def size_class_counts(self) -> Mapping[int, int]:
+        """Mapping ``capacity -> number of bins of that capacity``."""
+        values, counts = np.unique(self._capacities, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def indices_of_capacity(self, capacity: int) -> np.ndarray:
+        """Indices of all bins of exactly *capacity*."""
+        return np.flatnonzero(self._capacities == capacity)
+
+    def is_uniform(self) -> bool:
+        """True when all bins share the same capacity."""
+        return bool(self._capacities.min() == self._capacities.max())
+
+    def average_capacity(self) -> float:
+        """Mean capacity ``C / n``."""
+        return self._total / self.n
+
+    # -- construction helpers -----------------------------------------------
+
+    def with_appended(self, capacities, labels=None) -> "BinArray":
+        """Return a new array with extra bins appended (used by growth models)."""
+        extra = np.asarray(capacities, dtype=np.int64)
+        new_caps = np.concatenate([self._capacities, np.atleast_1d(extra)])
+        if self._labels is None and labels is None:
+            new_labels = None
+        else:
+            old = self._labels if self._labels is not None else (None,) * self.n
+            added = tuple(labels) if labels is not None else (None,) * int(np.atleast_1d(extra).size)
+            new_labels = tuple(old) + added
+        return BinArray(new_caps, labels=new_labels)
+
+    def slot_owner(self) -> np.ndarray:
+        """Map each of the ``C`` slots to its owning bin index.
+
+        Implements the paper's slot view (Section 2): bin ``i`` of capacity
+        ``c_i`` owns ``c_i`` consecutive unit slots.  Used by the slot-vector
+        analysis and by Lemma 1's coupling experiments.
+        """
+        return np.repeat(np.arange(self.n, dtype=np.int64), self._capacities)

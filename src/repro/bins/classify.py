@@ -1,0 +1,97 @@
+"""Big/small bin classification (Section 3 definitions).
+
+The analysis splits bins at capacity ``r * ln(n)``: a bin is *big* when its
+capacity is at least that threshold and *small* otherwise.  Derived
+quantities — ``C_b``, ``C_s``, the index sets — appear in Observation 1,
+Lemma 2 and Theorems 1–2, and the theorem applicability checkers in
+:mod:`repro.theory.conditions` are built on this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arrays import BinArray
+
+__all__ = ["BigSmallSplit", "big_small_split", "bigness_threshold"]
+
+#: Paper's constant ``r`` in the bigness threshold ``r * ln(n)``.  The proofs
+#: only need r to be a sufficiently large constant; 1.0 is the conventional
+#: reference value and callers can override it.
+DEFAULT_R = 1.0
+
+
+def bigness_threshold(n: int, r: float = DEFAULT_R) -> float:
+    """The capacity threshold ``r * ln(n)`` separating big from small bins."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if r <= 0:
+        raise ValueError(f"r must be positive, got {r}")
+    return r * math.log(n) if n > 1 else 0.0
+
+
+@dataclass(frozen=True)
+class BigSmallSplit:
+    """Result of classifying a bin array into big and small bins.
+
+    Attributes
+    ----------
+    threshold:
+        The capacity cut-off ``r * ln(n)`` used.
+    big_indices / small_indices:
+        Index arrays into the original bin array.
+    big_capacity / small_capacity:
+        ``C_b`` and ``C_s``, the total capacities of each group.
+    """
+
+    threshold: float
+    big_indices: np.ndarray
+    small_indices: np.ndarray
+    big_capacity: int
+    small_capacity: int
+
+    @property
+    def n_big(self) -> int:
+        """Number of big bins."""
+        return int(self.big_indices.size)
+
+    @property
+    def n_small(self) -> int:
+        """Number of small bins."""
+        return int(self.small_indices.size)
+
+    @property
+    def total_capacity(self) -> int:
+        """``C = C_b + C_s``."""
+        return self.big_capacity + self.small_capacity
+
+    def small_ball_probability(self, d: int) -> float:
+        """``(C_s / C)^d`` — probability a ball draws *only* small bins.
+
+        This is the quantity Lemma 2 bounds; a ball with all ``d`` choices
+        among small bins belongs to the set ``B_s``.
+        """
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if self.total_capacity == 0:
+            raise ValueError("empty split")
+        return (self.small_capacity / self.total_capacity) ** d
+
+
+def big_small_split(bins: BinArray, r: float = DEFAULT_R) -> BigSmallSplit:
+    """Classify *bins* into big (capacity >= ``r ln n``) and small bins."""
+    thr = bigness_threshold(bins.n, r)
+    caps = bins.capacities
+    big_mask = caps >= thr
+    big_idx = np.flatnonzero(big_mask)
+    small_idx = np.flatnonzero(~big_mask)
+    return BigSmallSplit(
+        threshold=thr,
+        big_indices=big_idx,
+        small_indices=small_idx,
+        big_capacity=int(caps[big_mask].sum()),
+        small_capacity=int(caps[~big_mask].sum()),
+    )

@@ -1,0 +1,153 @@
+"""Constructors for the bin arrays used throughout the paper's evaluation.
+
+Each generator returns a :class:`~repro.bins.arrays.BinArray` and corresponds
+to a concrete Section-4 setting:
+
+* :func:`uniform_bins` — Figures 1–5 (uniform capacity arrays).
+* :func:`two_class_bins` — Figures 6–7 and 10–13 (mixes of two sizes).
+* :func:`multi_class_bins` — arbitrary mixes given as ``{capacity: count}``.
+* :func:`binomial_random_bins` — Figures 8–9 and 16: capacity
+  ``1 + X`` with ``X ~ Bin(7, (c-1)/7)`` so the expected mean capacity is
+  ``c`` and the expected total is ``c * n``.
+* :func:`geometric_bins`, :func:`zipf_bins` — additional heterogeneity
+  profiles for examples and robustness tests (not in the paper's figures but
+  natural stress cases for the same code paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sampling.rngutils import make_rng
+from .arrays import BinArray
+
+__all__ = [
+    "uniform_bins",
+    "two_class_bins",
+    "multi_class_bins",
+    "binomial_random_bins",
+    "geometric_bins",
+    "zipf_bins",
+]
+
+
+def uniform_bins(n: int, capacity: int = 1) -> BinArray:
+    """``n`` bins, all of the same *capacity* (Figures 1–5)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    return BinArray(np.full(n, capacity, dtype=np.int64))
+
+
+def two_class_bins(
+    n_small: int,
+    n_large: int,
+    small_capacity: int = 1,
+    large_capacity: int = 10,
+    *,
+    interleave: bool = False,
+    rng=None,
+) -> BinArray:
+    """A mix of ``n_small`` small and ``n_large`` large bins (Figures 6–13).
+
+    By default the small bins occupy the leading indices (which matches how
+    the paper plots per-class profiles side by side); with
+    ``interleave=True`` the positions are randomly permuted, which is the
+    statistically equivalent arrangement — the protocol is position-blind.
+    """
+    if n_small < 0 or n_large < 0:
+        raise ValueError("bin counts must be non-negative")
+    if n_small + n_large == 0:
+        raise ValueError("need at least one bin")
+    if small_capacity <= 0 or large_capacity <= 0:
+        raise ValueError("capacities must be positive")
+    if small_capacity >= large_capacity:
+        raise ValueError(
+            f"small_capacity ({small_capacity}) must be smaller than "
+            f"large_capacity ({large_capacity})"
+        )
+    caps = np.concatenate(
+        [
+            np.full(n_small, small_capacity, dtype=np.int64),
+            np.full(n_large, large_capacity, dtype=np.int64),
+        ]
+    )
+    if interleave:
+        caps = make_rng(rng).permutation(caps)
+    return BinArray(caps)
+
+
+def multi_class_bins(class_counts: dict, *, interleave: bool = False, rng=None) -> BinArray:
+    """Bins from a ``{capacity: count}`` mapping, capacities ascending."""
+    if not class_counts:
+        raise ValueError("class_counts must be non-empty")
+    parts = []
+    for capacity in sorted(class_counts):
+        count = class_counts[capacity]
+        if count < 0:
+            raise ValueError(f"count for capacity {capacity} is negative")
+        if count:
+            if capacity <= 0:
+                raise ValueError(f"capacity must be positive, got {capacity}")
+            parts.append(np.full(count, capacity, dtype=np.int64))
+    if not parts:
+        raise ValueError("all class counts are zero")
+    caps = np.concatenate(parts)
+    if interleave:
+        caps = make_rng(rng).permutation(caps)
+    return BinArray(caps)
+
+
+def binomial_random_bins(n: int, mean_capacity: float, rng=None) -> BinArray:
+    """Random capacities ``1 + Bin(7, (c-1)/7)`` (Figures 8–9 and 16).
+
+    *mean_capacity* is the paper's ``c`` in ``[1, 8]``; the expected total
+    capacity is ``c * n`` ("it will be very close to it with high
+    probability").
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 1.0 <= mean_capacity <= 8.0:
+        raise ValueError(
+            f"mean_capacity must be in [1, 8] (the paper's construction), got {mean_capacity}"
+        )
+    gen = make_rng(rng)
+    p = (mean_capacity - 1.0) / 7.0
+    caps = 1 + gen.binomial(7, p, size=n)
+    return BinArray(caps.astype(np.int64))
+
+
+def geometric_bins(n: int, ratio: float = 2.0, levels: int = 4, rng=None) -> BinArray:
+    """Capacities drawn uniformly from ``{ratio^0, .., ratio^(levels-1)}``.
+
+    Models hardware generations that double (or *ratio*-fold) in size; useful
+    for examples and stress tests of very skewed arrays.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if ratio < 1.0:
+        raise ValueError(f"ratio must be >= 1, got {ratio}")
+    if levels <= 0:
+        raise ValueError(f"levels must be positive, got {levels}")
+    gen = make_rng(rng)
+    exponents = gen.integers(0, levels, size=n)
+    caps = np.maximum(1, np.round(ratio**exponents)).astype(np.int64)
+    return BinArray(caps)
+
+
+def zipf_bins(n: int, alpha: float = 1.2, max_capacity: int = 64, rng=None) -> BinArray:
+    """Heavy-tailed capacities: Zipf(alpha) truncated at *max_capacity*.
+
+    Gives a few very large bins among many unit bins — the adversarial regime
+    for proportional probabilities that Section 4.5 motivates.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must be > 1 for a proper Zipf law, got {alpha}")
+    if max_capacity < 1:
+        raise ValueError(f"max_capacity must be >= 1, got {max_capacity}")
+    gen = make_rng(rng)
+    caps = np.minimum(gen.zipf(alpha, size=n), max_capacity).astype(np.int64)
+    return BinArray(caps)

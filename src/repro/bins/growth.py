@@ -1,0 +1,149 @@
+"""Disk-batch growth models (Section 4.3).
+
+The paper's cloud/HPC scenario: a storage system starts small and grows in
+batches of disks; each generation of disks is larger than the previous one,
+and old disks stay in the system.  Two models are simulated:
+
+* **linear** — batch ``i`` has per-disk capacity ``start + i * a``
+  (offsets ``a`` of 1, 2, 4, 6 in Figure 14);
+* **exponential** — batch ``i`` has per-disk capacity
+  ``round(start * b**i)`` (factors ``b`` of 1.005/1.05, 1.1, 1.2, 1.4 in
+  Figure 15);
+* **baseline** — every batch has the same capacity (the "no growth" curve in
+  both figures).
+
+A model yields the sequence of :class:`~repro.bins.arrays.BinArray` system
+states as batches are added; the paper re-allocates all data from scratch at
+every state (so does our Figure 14/15 experiment).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+import numpy as np
+
+from .arrays import BinArray
+
+__all__ = [
+    "GrowthModel",
+    "LinearGrowthModel",
+    "ExponentialGrowthModel",
+    "BaselineGrowthModel",
+]
+
+
+class GrowthModel(ABC):
+    """Abstract disk-batch growth schedule.
+
+    Parameters
+    ----------
+    initial_bins:
+        Number of disks the system starts with (the paper starts at 2).
+    batch_size:
+        Disks added per batch (the paper adds 20 at a time).
+    start_capacity:
+        Per-disk capacity of the first generation (paper: 2).
+    """
+
+    def __init__(self, initial_bins: int = 2, batch_size: int = 20, start_capacity: int = 2):
+        if initial_bins <= 0:
+            raise ValueError(f"initial_bins must be positive, got {initial_bins}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if start_capacity <= 0:
+            raise ValueError(f"start_capacity must be positive, got {start_capacity}")
+        self.initial_bins = initial_bins
+        self.batch_size = batch_size
+        self.start_capacity = start_capacity
+
+    @abstractmethod
+    def batch_capacity(self, batch_index: int) -> int:
+        """Per-disk capacity of generation *batch_index* (0 = initial)."""
+
+    def states(self, max_bins: int) -> Iterator[BinArray]:
+        """Yield system states from ``initial_bins`` up to *max_bins* disks.
+
+        The first state holds ``initial_bins`` disks of generation 0; each
+        subsequent state appends ``batch_size`` disks of the next generation.
+        Generation indices are recorded as bin labels.
+        """
+        if max_bins < self.initial_bins:
+            raise ValueError(
+                f"max_bins ({max_bins}) must be at least initial_bins ({self.initial_bins})"
+            )
+        caps = [self.batch_capacity(0)] * self.initial_bins
+        labels = [0] * self.initial_bins
+        state = BinArray(np.asarray(caps, dtype=np.int64), labels=tuple(labels))
+        yield state
+        batch = 1
+        while state.n + self.batch_size <= max_bins:
+            cap = self.batch_capacity(batch)
+            state = state.with_appended(
+                np.full(self.batch_size, cap, dtype=np.int64),
+                labels=(batch,) * self.batch_size,
+            )
+            yield state
+            batch += 1
+
+    def final_state(self, max_bins: int) -> BinArray:
+        """The last state produced by :meth:`states`."""
+        last = None
+        for last in self.states(max_bins):
+            pass
+        assert last is not None
+        return last
+
+
+class LinearGrowthModel(GrowthModel):
+    """Generation ``i`` has capacity ``start_capacity + i * offset`` (Fig 14)."""
+
+    def __init__(self, offset: int, **kwargs):
+        super().__init__(**kwargs)
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        self.offset = offset
+
+    def batch_capacity(self, batch_index: int) -> int:
+        if batch_index < 0:
+            raise ValueError(f"batch_index must be non-negative, got {batch_index}")
+        return self.start_capacity + batch_index * self.offset
+
+    def __repr__(self) -> str:
+        return f"LinearGrowthModel(offset={self.offset}, start={self.start_capacity})"
+
+
+class ExponentialGrowthModel(GrowthModel):
+    """Generation ``i`` has capacity ``round(start_capacity * factor**i)`` (Fig 15).
+
+    Capacities are rounded to the nearest integer and floored at 1 because
+    the model requires integral capacities; with the paper's factors and
+    ``start_capacity=2`` the floor never binds.
+    """
+
+    def __init__(self, factor: float, **kwargs):
+        super().__init__(**kwargs)
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.factor = factor
+
+    def batch_capacity(self, batch_index: int) -> int:
+        if batch_index < 0:
+            raise ValueError(f"batch_index must be non-negative, got {batch_index}")
+        return max(1, round(self.start_capacity * self.factor**batch_index))
+
+    def __repr__(self) -> str:
+        return f"ExponentialGrowthModel(factor={self.factor}, start={self.start_capacity})"
+
+
+class BaselineGrowthModel(GrowthModel):
+    """Every generation has the same capacity — the figures' "base" curve."""
+
+    def batch_capacity(self, batch_index: int) -> int:
+        if batch_index < 0:
+            raise ValueError(f"batch_index must be non-negative, got {batch_index}")
+        return self.start_capacity
+
+    def __repr__(self) -> str:
+        return f"BaselineGrowthModel(capacity={self.start_capacity})"

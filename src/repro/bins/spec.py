@@ -1,0 +1,155 @@
+"""Textual bin-array specifications.
+
+One compact string describes a system — used by the CLI, convenient in
+configs and experiment provenance records.  Grammar (comma-separated
+items, whitespace ignored):
+
+* ``<capacity>x<count>`` — explicit class, e.g. ``1x500,10x500``;
+* ``uniform:n=<n>,c=<c>`` — n identical bins;
+* ``binom:n=<n>,c=<mean>[,seed=<s>]`` — the Section-4.2 random construction;
+* ``zipf:n=<n>,alpha=<a>[,max=<cap>][,seed=<s>]`` — heavy-tailed capacities;
+* ``geom:n=<n>,ratio=<r>[,levels=<k>][,seed=<s>]`` — geometric generations.
+
+Items concatenate: ``"1x100,binom:n=50,c=4"`` builds 100 unit bins followed
+by 50 random ones.  :func:`format_bin_spec` round-trips explicit classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .arrays import BinArray
+from .generators import binomial_random_bins, geometric_bins, uniform_bins, zipf_bins
+
+__all__ = ["parse_bin_spec", "format_bin_spec", "BinSpecError"]
+
+
+class BinSpecError(ValueError):
+    """Raised for malformed bin specifications."""
+
+
+def _parse_params(body: str, item: str) -> dict[str, float]:
+    params: dict[str, float] = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise BinSpecError(f"bad parameter {part!r} in {item!r}; expected key=value")
+        key, _, value = part.partition("=")
+        try:
+            params[key.strip()] = float(value)
+        except ValueError:
+            raise BinSpecError(f"non-numeric value in {part!r} of {item!r}") from None
+    return params
+
+
+def _require(params: dict, keys: tuple[str, ...], item: str) -> None:
+    missing = [k for k in keys if k not in params]
+    if missing:
+        raise BinSpecError(f"{item!r} is missing required parameter(s): {missing}")
+
+
+def _int_param(params: dict, key: str, item: str) -> int:
+    value = params[key]
+    if value != int(value):
+        raise BinSpecError(f"{key}={value} in {item!r} must be an integer")
+    return int(value)
+
+
+_CLASS_RE = __import__("re").compile(r"^\d+\s*x\s*\d+$")
+
+
+def _split_items(spec: str) -> list[str]:
+    """Split on the commas that separate items.
+
+    Generator items carry comma-separated ``key=value`` parameters, so a
+    chunk containing ``=`` (and no ``:``) continues the previous generator
+    item rather than starting a new one.
+    """
+    items: list[str] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        starts_generator = ":" in chunk
+        starts_class = bool(_CLASS_RE.match(chunk))
+        if starts_generator or starts_class or not items:
+            items.append(chunk)
+        elif "=" in chunk:
+            items[-1] = items[-1] + "," + chunk
+        else:
+            items.append(chunk)  # malformed; reported by the item parser
+    return items
+
+
+def parse_bin_spec(spec: str, *, default_seed: int = 0) -> BinArray:
+    """Parse *spec* into a :class:`BinArray` (see module docstring)."""
+    if not isinstance(spec, str):
+        raise BinSpecError(f"spec must be a string, got {type(spec).__name__}")
+    items = _split_items(spec)
+    if not items:
+        raise BinSpecError("empty bin spec")
+
+    parts: list[np.ndarray] = []
+    for item in items:
+        if ":" in item:
+            kind, _, body = item.partition(":")
+            kind = kind.strip().lower()
+            params = _parse_params(body, item)
+            seed = int(params.get("seed", default_seed))
+            if kind == "uniform":
+                _require(params, ("n", "c"), item)
+                arr = uniform_bins(_int_param(params, "n", item), _int_param(params, "c", item))
+            elif kind == "binom":
+                _require(params, ("n", "c"), item)
+                arr = binomial_random_bins(
+                    _int_param(params, "n", item), params["c"], rng=seed
+                )
+            elif kind == "zipf":
+                _require(params, ("n", "alpha"), item)
+                arr = zipf_bins(
+                    _int_param(params, "n", item),
+                    alpha=params["alpha"],
+                    max_capacity=int(params.get("max", 64)),
+                    rng=seed,
+                )
+            elif kind == "geom":
+                _require(params, ("n", "ratio"), item)
+                arr = geometric_bins(
+                    _int_param(params, "n", item),
+                    ratio=params["ratio"],
+                    levels=int(params.get("levels", 4)),
+                    rng=seed,
+                )
+            else:
+                raise BinSpecError(
+                    f"unknown generator {kind!r}; expected uniform/binom/zipf/geom"
+                )
+            parts.append(arr.capacities)
+            continue
+        # explicit class: <capacity>x<count>
+        pieces = item.split("x")
+        if len(pieces) != 2:
+            raise BinSpecError(
+                f"bad item {item!r}; expected '<capacity>x<count>' or a generator"
+            )
+        try:
+            cap, count = int(pieces[0]), int(pieces[1])
+        except ValueError:
+            raise BinSpecError(f"non-integer capacity/count in {item!r}") from None
+        if cap <= 0 or count <= 0:
+            raise BinSpecError(f"capacity and count must be positive in {item!r}")
+        parts.append(np.full(count, cap, dtype=np.int64))
+
+    return BinArray(np.concatenate(parts))
+
+
+def format_bin_spec(bins: BinArray) -> str:
+    """Render *bins* as an explicit-class spec (sorted by capacity).
+
+    The result parses back to an array with the same multiset of
+    capacities (ordering within the spec is by capacity, ascending).
+    """
+    counts = bins.size_class_counts()
+    return ",".join(f"{cap}x{counts[cap]}" for cap in sorted(counts))

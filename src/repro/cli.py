@@ -1,0 +1,243 @@
+"""Command-line interface.
+
+Commands
+--------
+``repro list``
+    Show every registered figure experiment.
+``repro run <id> [--scale S] [--seed N] [--workers W] [--out DIR] [--no-plot]``
+    Run an experiment; print the ASCII rendition and save CSV/JSON.
+``repro describe <spec>``
+    Parse a bin-array spec (``"1x500,10x500"`` = 500 bins of capacity 1 and
+    500 of capacity 10), report its structure and which theorems apply.
+``repro simulate <spec> [--balls M] [--d D] [--seed N]``
+    One allocation run on the given array; print load statistics.
+``repro tune <spec> [--reps R] [--seed N]``
+    Search the power family ``p ~ c^t`` for the exponent minimising the
+    mean maximum load on the given array (Section 4.5 / future work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.stats import load_stats, per_class_max_loads
+from .core.simulation import simulate
+from .experiments.base import list_experiments
+from .experiments.runner import run_experiment
+from .runtime.progress import ProgressReporter
+from .theory.conditions import applicable_theorems
+
+__all__ = ["main", "parse_bin_spec"]
+
+
+def parse_bin_spec(spec: str):
+    """Parse a bin spec string (full grammar in :mod:`repro.bins.spec`).
+
+    Supports explicit classes (``"1x500,10x500"``) and generators
+    (``"binom:n=1000,c=4"``); errors surface as ``SystemExit`` with a
+    user-facing message.
+    """
+    from .bins.spec import BinSpecError
+    from .bins.spec import parse_bin_spec as _parse
+
+    try:
+        return _parse(spec)
+    except BinSpecError as exc:
+        raise SystemExit(f"bad bin spec: {exc}") from None
+
+
+def _cmd_list(_args) -> int:
+    for spec in list_experiments():
+        print(f"{spec.experiment_id:8s} {spec.figure:10s} {spec.title}")
+        print(f"{'':8s} {'':10s} {spec.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    progress = ProgressReporter() if args.progress else None
+    result = run_experiment(
+        args.experiment,
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        progress=progress,
+        out_dir=args.out,
+    )
+    if not args.no_plot:
+        print(result.render())
+    else:
+        print(f"{result.experiment_id}: {result.title}")
+        for name, lo, hi, first, last in result.summary_rows():
+            print(f"  {name}: min={lo:.4f} max={hi:.4f} first={first:.4f} last={last:.4f}")
+    if args.out:
+        print(f"\nsaved {result.experiment_id}.csv / .json under {args.out}")
+    if "wall_seconds" in result.extra:
+        print(f"wall time: {result.extra['wall_seconds']}s")
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    bins = parse_bin_spec(args.spec)
+    print(bins)
+    print(f"total capacity C = {bins.total_capacity}, average = {bins.average_capacity():.3f}")
+    for report in applicable_theorems(bins, d=args.d):
+        print()
+        print(report.explain())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .experiments.runner import run_all
+    from .io.markdown import results_to_report
+
+    progress = ProgressReporter() if args.progress else None
+    results = run_all(
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        progress=progress,
+        out_dir=args.out,
+        only=args.only.split(",") if args.only else None,
+    )
+    report = results_to_report(results, title=args.title)
+    path = Path(args.out or ".") / "REPORT.md"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report)
+    print(f"wrote {path} covering {len(results)} experiment(s)")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .io.asciiplot import ascii_table
+    from .theory.selfcheck import verify_all
+
+    outcomes = verify_all(n=args.n, seed=args.seed if args.seed is not None else 20260612)
+    print(ascii_table(
+        ["claim", "predicted", "measured", "status"],
+        [o.row() for o in outcomes],
+        float_format="{:.3f}",
+    ))
+    failed = [o for o in outcomes if not o.passed]
+    if failed:
+        print(f"\n{len(failed)} check(s) FAILED")
+        return 1
+    print(f"\nall {len(outcomes)} checks passed")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .analysis.optimize import optimal_exponent
+
+    bins = parse_bin_spec(args.spec)
+    print(bins)
+    result = optimal_exponent(
+        bins,
+        t_min=args.t_min,
+        t_max=args.t_max,
+        repetitions=args.reps,
+        seed=args.seed,
+        d=args.d,
+    )
+    print("\ncoarse sweep (mean max load per exponent):")
+    for t, load in sorted(result.coarse_curve.items()):
+        marker = "  <- proportional" if abs(t - 1.0) < 1e-9 else ""
+        print(f"  t = {t:5.2f}: {load:.4f}{marker}")
+    print(f"\nbest exponent t* = {result.best_t:.3f} "
+          f"(mean max load {result.best_load:.4f})")
+    gain = result.improvement_over_proportional()
+    print(f"improvement over proportional selection: {gain:+.4f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    bins = parse_bin_spec(args.spec)
+    m = args.balls if args.balls is not None else bins.total_capacity
+    result = simulate(bins, m=m, d=args.d, seed=args.seed)
+    stats = load_stats(result.counts, bins.capacities)
+    print(bins)
+    print(f"m = {m} balls, d = {args.d}")
+    print(f"max load      = {stats.max_load:.4f}")
+    print(f"average load  = {stats.average_load:.4f}")
+    print(f"gap           = {stats.gap:.4f}")
+    print(f"min load      = {stats.min_load:.4f}")
+    print("per-class max loads:")
+    for cap, ml in sorted(per_class_max_loads(result.counts, bins.capacities).items()):
+        print(f"  capacity {cap}: {ml:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Balls into Non-uniform Bins' — experiments and tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered figure experiments")
+
+    p_run = sub.add_parser("run", help="run one figure experiment")
+    p_run.add_argument("experiment", help="experiment id, e.g. fig06")
+    p_run.add_argument("--scale", type=float, default=None,
+                       help="repetition scale (1.0 = paper scale)")
+    p_run.add_argument("--seed", type=int, default=None, help="master seed")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes (default 1)")
+    p_run.add_argument("--out", default=None, help="directory for CSV/JSON results")
+    p_run.add_argument("--no-plot", action="store_true", help="skip the ASCII plot")
+    p_run.add_argument("--progress", action="store_true", help="print progress to stderr")
+
+    p_desc = sub.add_parser("describe", help="analyse a bin-array spec against the theorems")
+    p_desc.add_argument("spec", help="bin spec like '1x500,10x500'")
+    p_desc.add_argument("--d", type=int, default=2, help="choices per ball")
+
+    p_sim = sub.add_parser("simulate", help="run one allocation and print statistics")
+    p_sim.add_argument("spec", help="bin spec like '1x500,10x500'")
+    p_sim.add_argument("--balls", type=int, default=None, help="number of balls (default C)")
+    p_sim.add_argument("--d", type=int, default=2, help="choices per ball")
+    p_sim.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+    p_report = sub.add_parser("report", help="run experiments and write a markdown report")
+    p_report.add_argument("--scale", type=float, default=None, help="repetition scale")
+    p_report.add_argument("--seed", type=int, default=None, help="master seed")
+    p_report.add_argument("--workers", type=int, default=1, help="worker processes")
+    p_report.add_argument("--out", default="results", help="output directory")
+    p_report.add_argument("--only", default=None, help="comma-separated experiment ids")
+    p_report.add_argument("--title", default="Balls into non-uniform bins — experiment report")
+    p_report.add_argument("--progress", action="store_true", help="print progress")
+
+    p_verify = sub.add_parser("verify", help="check every analytical claim against simulation")
+    p_verify.add_argument("--n", type=int, default=1000, help="problem size for the checks")
+    p_verify.add_argument("--seed", type=int, default=None, help="master seed")
+
+    p_tune = sub.add_parser("tune", help="search for the optimal probability exponent")
+    p_tune.add_argument("spec", help="bin spec like '1x50,3x50'")
+    p_tune.add_argument("--reps", type=int, default=100, help="simulations per grid point")
+    p_tune.add_argument("--t-min", type=float, default=0.0, help="lower end of the sweep")
+    p_tune.add_argument("--t-max", type=float, default=4.0, help="upper end of the sweep")
+    p_tune.add_argument("--d", type=int, default=2, help="choices per ball")
+    p_tune.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "describe": _cmd_describe,
+        "simulate": _cmd_simulate,
+        "tune": _cmd_tune,
+        "verify": _cmd_verify,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Core: the paper's greedy d-choice protocol and its analysis machinery."""
+
+from .baselines import (
+    greedy_uniform_probabilities,
+    least_loaded_of_all,
+    one_choice,
+    standard_greedy,
+)
+from .dynamics import DynamicsResult, simulate_insert_delete
+from .heights import HeightSummary, split_heights_by_big_contact, summarize_heights
+from .loadvectors import (
+    loads_from_counts,
+    normalized_load_vector,
+    normalized_slot_load_vector,
+    slot_load_vector,
+    slot_owners_by_position,
+)
+from .majorization import (
+    CoupledRunResult,
+    coupled_domination_run,
+    empirical_max_load_domination,
+    majorizes,
+)
+from .migration import (
+    MigrationPlan,
+    expected_displaced_from_scratch,
+    migration_cost_from_scratch,
+    rebalance_waterfill,
+)
+from .protocol import TIE_BREAKS, allocate_ball, select_bin
+from .rounds import simulate_batched
+from .simulation import SimulationResult, Snapshot, simulate
+from .weighted import WeightedResult, simulate_weighted
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "Snapshot",
+    "select_bin",
+    "allocate_ball",
+    "TIE_BREAKS",
+    "one_choice",
+    "greedy_uniform_probabilities",
+    "standard_greedy",
+    "least_loaded_of_all",
+    "loads_from_counts",
+    "normalized_load_vector",
+    "slot_load_vector",
+    "normalized_slot_load_vector",
+    "slot_owners_by_position",
+    "majorizes",
+    "coupled_domination_run",
+    "CoupledRunResult",
+    "empirical_max_load_domination",
+    "HeightSummary",
+    "summarize_heights",
+    "split_heights_by_big_contact",
+    "simulate_weighted",
+    "WeightedResult",
+    "simulate_batched",
+    "DynamicsResult",
+    "simulate_insert_delete",
+    "MigrationPlan",
+    "rebalance_waterfill",
+    "migration_cost_from_scratch",
+    "expected_displaced_from_scratch",
+]

@@ -1,0 +1,143 @@
+"""Baseline allocation strategies the paper compares against.
+
+* :func:`one_choice` — the classical single-choice game (``d = 1``): every
+  ball goes straight to its sampled bin.  No sequential dependency, so it is
+  computed in one vectorised ``bincount``.
+* :func:`greedy_uniform_probabilities` — the greedy ``d``-choice game with
+  *uniform* selection probabilities over heterogeneous bins (the "natural
+  1/n" alternative discussed in the introduction).
+* :func:`standard_greedy` — Azar et al.'s Greedy[d] on unit bins: the
+  standard game that Theorem 3 reduces to via Lemma 1.
+* :func:`least_loaded_of_all` — the omniscient lower-bound strategy that
+  inspects *every* bin for each ball (``d = n``); useful as an empirical
+  floor in examples and ablations.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+from ..bins.generators import uniform_bins
+from ..sampling.distributions import probability_model
+from ..sampling.rngutils import make_rng
+from .simulation import SimulationResult, simulate
+
+__all__ = [
+    "one_choice",
+    "greedy_uniform_probabilities",
+    "standard_greedy",
+    "least_loaded_of_all",
+]
+
+
+def one_choice(
+    bins: BinArray,
+    m: int | None = None,
+    *,
+    probabilities="proportional",
+    seed=None,
+) -> SimulationResult:
+    """Single-choice allocation: each ball lands on its one sampled bin.
+
+    Because no decision depends on loads, the whole run vectorises into one
+    sampling pass and a ``bincount``; the result is exchangeable with a
+    ``simulate(..., d=1)`` run.
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    if m is None:
+        m = bins.total_capacity
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    model = probability_model(probabilities)
+    sampler = model.sampler(bins.capacities)
+    rng = make_rng(seed)
+    draws = sampler.sample(m, rng)
+    counts = np.bincount(draws, minlength=bins.n).astype(np.int64)
+    return SimulationResult(
+        bins=bins,
+        counts=counts,
+        m=m,
+        d=1,
+        probability=model.name,
+        tie_break="max_capacity",
+    )
+
+
+def greedy_uniform_probabilities(
+    bins: BinArray,
+    m: int | None = None,
+    d: int = 2,
+    *,
+    seed=None,
+    **kwargs,
+) -> SimulationResult:
+    """Greedy d-choice with uniform ``1/n`` selection probabilities.
+
+    The introduction's alternative to capacity-proportional selection; with
+    very skewed capacities it wastes most probes on small bins.
+    """
+    return simulate(bins, m, d, probabilities="uniform", seed=seed, **kwargs)
+
+
+def standard_greedy(
+    n: int,
+    m: int | None = None,
+    d: int = 2,
+    *,
+    seed=None,
+    **kwargs,
+) -> SimulationResult:
+    """Azar et al.'s Greedy[d]: *n* unit bins, uniform choices.
+
+    This is the process ``Q`` of Lemma 1 (with ``n = C``) and the reference
+    point for Theorem 3's ``ln ln n / ln d`` bound.
+    """
+    return simulate(uniform_bins(n, 1), m, d, probabilities="uniform", seed=seed, **kwargs)
+
+
+def least_loaded_of_all(
+    bins: BinArray,
+    m: int | None = None,
+    *,
+    seed=None,
+) -> SimulationResult:
+    """Allocate every ball to a globally least-loaded bin (``d = n``).
+
+    Implements Algorithm 1's selection rule over *all* bins via a heap keyed
+    by the post-allocation load, with the paper's max-capacity tie-break
+    folded into the key (larger capacity first, then bin index, so the run
+    is deterministic given the inputs — no randomness remains once every bin
+    is a candidate).
+
+    Heap keys use float loads; with the integral capacities of
+    :class:`BinArray` and the tie-break fields appended, key collisions
+    resolve deterministically and harmlessly.
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    if m is None:
+        m = bins.total_capacity
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    del seed  # accepted for interface symmetry; the strategy is deterministic
+    caps = bins.capacities
+    counts = np.zeros(bins.n, dtype=np.int64)
+    # (load_after, -capacity, index)
+    heap = [(1.0 / caps[i], -int(caps[i]), i) for i in range(bins.n)]
+    heapq.heapify(heap)
+    for _ in range(m):
+        _, neg_cap, i = heapq.heappop(heap)
+        counts[i] += 1
+        heapq.heappush(heap, ((counts[i] + 1.0) / caps[i], neg_cap, i))
+    return SimulationResult(
+        bins=bins,
+        counts=counts,
+        m=m,
+        d=bins.n,
+        probability="deterministic",
+        tie_break="max_capacity",
+    )

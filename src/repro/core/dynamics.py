@@ -1,0 +1,168 @@
+"""Insertions *and* deletions — the dynamic balls-into-bins game.
+
+Real systems delete data: requests finish, files are removed.  The classic
+dynamic extension of the multiple-choice game interleaves insertions
+(greedy d-choice, as in Algorithm 1) with deletions of random *balls*.
+This module simulates that process on heterogeneous bins so users can check
+that the paper's balance survives churn in the ball population (an
+extension beyond the paper's static analysis, flagged in DESIGN.md).
+
+Deletion model: ``delete`` removes a ball chosen uniformly at random among
+the balls currently in the system (oldest-first and random-ball behave
+identically for the load vector since balls are exchangeable within a bin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+from ..sampling.distributions import probability_model
+from ..sampling.rngutils import make_rng
+
+__all__ = ["DynamicsResult", "simulate_insert_delete"]
+
+
+@dataclass
+class DynamicsResult:
+    """Trajectory of a dynamic insert/delete run."""
+
+    bins: BinArray
+    counts: np.ndarray
+    operations: int
+    inserts: int
+    deletes: int
+    max_load_trajectory: np.ndarray = field(repr=False)
+    balls_trajectory: np.ndarray = field(repr=False)
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Final per-bin loads."""
+        return self.counts / self.bins.capacities
+
+    @property
+    def max_load(self) -> float:
+        """Final maximum load."""
+        return float(self.loads.max())
+
+    @property
+    def peak_max_load(self) -> float:
+        """Highest max load observed anywhere in the trajectory."""
+        return float(self.max_load_trajectory.max()) if self.max_load_trajectory.size else 0.0
+
+
+def simulate_insert_delete(
+    bins: BinArray,
+    operations: int,
+    *,
+    d: int = 2,
+    insert_probability: float = 0.5,
+    warmup_inserts: int = 0,
+    probabilities="proportional",
+    record_every: int = 1,
+    seed=None,
+) -> DynamicsResult:
+    """Run a random insert/delete workload.
+
+    Parameters
+    ----------
+    bins:
+        The bin array.
+    operations:
+        Number of operations after warm-up.  Each is an insert with
+        probability *insert_probability*, else a delete (no-op when the
+        system is empty).
+    warmup_inserts:
+        Pure insertions executed first (to reach a steady population).
+    record_every:
+        Trajectory sampling stride (1 = record after every operation).
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    if operations < 0:
+        raise ValueError(f"operations must be non-negative, got {operations}")
+    if not 0.0 <= insert_probability <= 1.0:
+        raise ValueError(f"insert_probability must be in [0, 1], got {insert_probability}")
+    if warmup_inserts < 0:
+        raise ValueError(f"warmup_inserts must be non-negative, got {warmup_inserts}")
+    if record_every < 1:
+        raise ValueError(f"record_every must be >= 1, got {record_every}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+
+    rng = make_rng(seed)
+    model = probability_model(probabilities)
+    sampler = model.sampler(bins.capacities)
+    caps = bins.capacities.tolist()
+    caps_arr = bins.capacities
+    counts = [0] * bins.n
+    total_balls = 0
+    inserts = deletes = 0
+
+    def insert_one() -> None:
+        nonlocal total_balls, inserts
+        row = sampler.sample(d, rng).tolist()
+        best = [row[0]]
+        best_num = counts[row[0]] + 1
+        best_den = caps[row[0]]
+        for b in row[1:]:
+            num = counts[b] + 1
+            den = caps[b]
+            lhs = num * best_den
+            rhs = best_num * den
+            if lhs < rhs:
+                best = [b]
+                best_num = num
+                best_den = den
+            elif lhs == rhs and b not in best:
+                best.append(b)
+        if len(best) > 1:
+            cmax = max(caps[b] for b in best)
+            best = [b for b in best if caps[b] == cmax]
+        chosen = best[0] if len(best) == 1 else best[int(rng.random() * len(best))]
+        counts[chosen] += 1
+        total_balls += 1
+        inserts += 1
+
+    def delete_one() -> None:
+        nonlocal total_balls, deletes
+        if total_balls == 0:
+            return
+        # pick a uniform ball: bin b with probability counts[b]/total
+        target = int(rng.integers(0, total_balls))
+        acc = 0
+        for b, c in enumerate(counts):
+            acc += c
+            if target < acc:
+                counts[b] -= 1
+                total_balls -= 1
+                deletes += 1
+                return
+
+    for _ in range(warmup_inserts):
+        insert_one()
+
+    traj_max: list[float] = []
+    traj_balls: list[int] = []
+    ops = rng.random(operations) < insert_probability
+    for i, is_insert in enumerate(ops):
+        if is_insert:
+            insert_one()
+        else:
+            delete_one()
+        if (i + 1) % record_every == 0:
+            arr = np.asarray(counts, dtype=np.int64)
+            traj_max.append(float((arr / caps_arr).max()))
+            traj_balls.append(total_balls)
+
+    return DynamicsResult(
+        bins=bins,
+        counts=np.asarray(counts, dtype=np.int64),
+        operations=operations,
+        inserts=inserts,
+        deletes=deletes,
+        max_load_trajectory=np.asarray(traj_max),
+        balls_trajectory=np.asarray(traj_balls, dtype=np.int64),
+    )

@@ -1,0 +1,68 @@
+"""Ball-height bookkeeping (Observation 1's subject).
+
+The *height* of a ball is the load of its bin immediately after the ball is
+placed — for a bin with ``m_i`` balls before the allocation and capacity
+``c_i`` the height is ``(m_i + 1) / c_i``.  (The paper's prose writes
+``(ℓ_i + 1)/c_i`` with ``ℓ_i`` the *prior load*; read literally that double-
+divides by ``c_i``, so — consistently with its use in Observation 1, where
+big-bin heights are compared against the load bound 4 — we interpret
+``ℓ_i`` there as the prior *ball count* and use the post-allocation load.)
+
+Observation 1 splits balls into ``B_b`` (at least one big bin among the
+``d`` choices) and ``B_s`` (all choices small) and bounds the height of
+``B_b`` balls by a constant.  The helpers here compute those per-group
+statistics from a simulation that recorded heights and choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bins.classify import BigSmallSplit
+
+__all__ = ["HeightSummary", "summarize_heights", "split_heights_by_big_contact"]
+
+
+@dataclass(frozen=True)
+class HeightSummary:
+    """Aggregate statistics over a set of ball heights."""
+
+    count: int
+    max_height: float
+    mean_height: float
+
+    @classmethod
+    def of(cls, heights: np.ndarray) -> "HeightSummary":
+        arr = np.asarray(heights, dtype=np.float64)
+        if arr.size == 0:
+            return cls(count=0, max_height=float("nan"), mean_height=float("nan"))
+        return cls(count=int(arr.size), max_height=float(arr.max()), mean_height=float(arr.mean()))
+
+
+def summarize_heights(heights) -> HeightSummary:
+    """Summary of all ball heights of a run."""
+    return HeightSummary.of(np.asarray(heights))
+
+
+def split_heights_by_big_contact(
+    heights,
+    choices,
+    split: BigSmallSplit,
+) -> tuple[HeightSummary, HeightSummary]:
+    """Partition heights into (B_b, B_s) summaries per Observation 1.
+
+    ``choices`` is the ``(m, d)`` matrix of candidate bins; a ball is in
+    ``B_b`` when at least one of its candidates is a big bin of *split*.
+    """
+    h = np.asarray(heights, dtype=np.float64)
+    ch = np.asarray(choices)
+    if ch.ndim != 2 or ch.shape[0] != h.size:
+        raise ValueError(
+            f"choices {ch.shape} must be (m, d) with m == len(heights) == {h.size}"
+        )
+    big_mask = np.zeros(split.n_big + split.n_small, dtype=bool)
+    big_mask[split.big_indices] = True
+    touched_big = big_mask[ch].any(axis=1)
+    return HeightSummary.of(h[touched_big]), HeightSummary.of(h[~touched_big])

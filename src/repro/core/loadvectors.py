@@ -1,0 +1,116 @@
+"""Load vectors and slot load vectors (Section 2 machinery).
+
+The analysis reasons about allocations through three views:
+
+* the **load vector** ``L = (ℓ_1, .., ℓ_n)`` with ``ℓ_i = m_i / c_i``;
+* the **normalised load vector** — ``L`` sorted in non-increasing order;
+* the **slot load vector** ``S`` — every bin of capacity ``c`` is imagined as
+  ``c`` unit slots, filled round-robin: when a bin holds ``ℓ`` balls, its
+  first ``ℓ mod c`` slots hold ``⌈ℓ/c⌉`` balls and the rest ``⌊ℓ/c⌋``;
+* the **normalised slot load vector** — slot values sorted in non-increasing
+  order, with the paper's extra tie rule: among slots of equal value, slots
+  belonging to the bin of *higher load* come first.
+
+The running example from the paper (two bins of capacity 4 with loads 2.5
+and 2.75) is preserved as a doctest on
+:func:`normalized_slot_load_vector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "loads_from_counts",
+    "normalized_load_vector",
+    "slot_load_vector",
+    "normalized_slot_load_vector",
+    "slot_owners_by_position",
+]
+
+
+def _validate(counts, capacities) -> tuple[np.ndarray, np.ndarray]:
+    cnt = np.asarray(counts, dtype=np.int64)
+    cap = np.asarray(capacities, dtype=np.int64)
+    if cnt.shape != cap.shape or cnt.ndim != 1:
+        raise ValueError(
+            f"counts {cnt.shape} and capacities {cap.shape} must be equal-length 1-D vectors"
+        )
+    if np.any(cnt < 0):
+        raise ValueError("counts must be non-negative")
+    if np.any(cap <= 0):
+        raise ValueError("capacities must be positive")
+    return cnt, cap
+
+
+def loads_from_counts(counts, capacities) -> np.ndarray:
+    """Per-bin loads ``m_i / c_i`` as floats."""
+    cnt, cap = _validate(counts, capacities)
+    return cnt / cap
+
+
+def normalized_load_vector(loads) -> np.ndarray:
+    """The load vector sorted in non-increasing order."""
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"loads must be one-dimensional, got shape {arr.shape}")
+    return np.sort(arr)[::-1]
+
+
+def slot_load_vector(counts, capacities) -> np.ndarray:
+    """Per-slot ball counts under round-robin fill, in bin order.
+
+    Bin ``i`` contributes ``c_i`` consecutive entries: the first
+    ``m_i mod c_i`` hold ``⌊m_i/c_i⌋ + 1`` balls, the remainder
+    ``⌊m_i/c_i⌋``.
+    """
+    cnt, cap = _validate(counts, capacities)
+    total = int(cap.sum())
+    out = np.empty(total, dtype=np.int64)
+    pos = 0
+    for m_i, c_i in zip(cnt.tolist(), cap.tolist()):
+        q, r = divmod(m_i, c_i)
+        out[pos : pos + r] = q + 1
+        out[pos + r : pos + c_i] = q
+        pos += c_i
+    return out
+
+
+def slot_owners_by_position(capacities) -> np.ndarray:
+    """Owning bin index of each slot, aligned with :func:`slot_load_vector`."""
+    cap = np.asarray(capacities, dtype=np.int64)
+    if cap.ndim != 1 or np.any(cap <= 0):
+        raise ValueError("capacities must be a 1-D vector of positive integers")
+    return np.repeat(np.arange(cap.size, dtype=np.int64), cap)
+
+
+def normalized_slot_load_vector(counts, capacities, *, return_owners: bool = False):
+    """Slot values sorted by (value desc, owning-bin load desc).
+
+    The secondary key is the paper's addition to the definition: "whenever we
+    have slots with the same (slot) load but whose host bins have different
+    loads, we place the one belonging to the bin with higher (bin) load
+    before the other one".
+
+    Examples
+    --------
+    The paper's example — bins ``a``, ``b`` with 4 slots each and loads 2.5
+    and 2.75 (i.e. 10 and 11 balls):
+
+    >>> vals, owners = normalized_slot_load_vector(
+    ...     [10, 11], [4, 4], return_owners=True)
+    >>> vals.tolist()
+    [3, 3, 3, 3, 3, 2, 2, 2]
+    >>> ['ab'[i] for i in owners]
+    ['b', 'b', 'b', 'a', 'a', 'b', 'a', 'a']
+    """
+    cnt, cap = _validate(counts, capacities)
+    values = slot_load_vector(cnt, cap)
+    owners = slot_owners_by_position(cap)
+    owner_loads = (cnt / cap)[owners]
+    # lexsort: last key is primary.  Ties beyond (value, owner load) keep the
+    # stable original order, which suffices for every use in the analysis.
+    order = np.lexsort((-owner_loads, -values))
+    if return_owners:
+        return values[order], owners[order]
+    return values[order]

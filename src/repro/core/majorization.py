@@ -1,0 +1,133 @@
+"""Majorisation (Definition 1) and empirical domination experiments (Lemma 1).
+
+Lemma 1 states that the non-uniform d-choice process ``P`` on bins of total
+capacity ``C`` is stochastically dominated — as a normalised slot load
+vector, hence also in maximum load — by the standard d-choice process ``Q``
+on ``C`` unit bins.  The proof couples the two processes through uniform
+slot choices.  :func:`coupled_domination_run` realises exactly that coupling
+so tests can observe the domination, and
+:func:`empirical_max_load_domination` checks first-order stochastic
+dominance between two samples of maximum loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+from ..sampling.rngutils import make_rng
+from .fast import run_batch
+from .loadvectors import normalized_slot_load_vector
+
+__all__ = [
+    "majorizes",
+    "coupled_domination_run",
+    "CoupledRunResult",
+    "empirical_max_load_domination",
+]
+
+
+def majorizes(u, v, *, atol: float = 1e-9) -> bool:
+    """True when ``u ⪰ v`` per Definition 1.
+
+    Both vectors are normalised (sorted non-increasingly) internally; ``u``
+    majorises ``v`` iff every prefix sum of the normalised ``u`` is at least
+    the corresponding prefix sum of the normalised ``v``.  Vectors must have
+    equal length (Definition 1 compares equal-length vectors; pad with
+    zeros beforehand if needed).
+    """
+    a = np.sort(np.asarray(u, dtype=np.float64))[::-1]
+    b = np.sort(np.asarray(v, dtype=np.float64))[::-1]
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(
+            f"majorisation compares equal-length 1-D vectors, got {a.shape} and {b.shape}"
+        )
+    return bool(np.all(np.cumsum(a) >= np.cumsum(b) - atol))
+
+
+@dataclass(frozen=True)
+class CoupledRunResult:
+    """Outcome of one coupled run of processes P (non-uniform) and Q (unit).
+
+    ``p_slot_vector`` / ``q_slot_vector`` are normalised slot load vectors
+    (equal length ``C``), ``p_max_load`` / ``q_max_load`` the bin-level
+    maximum loads.
+    """
+
+    p_slot_vector: np.ndarray
+    q_slot_vector: np.ndarray
+    p_max_load: float
+    q_max_load: float
+
+    @property
+    def q_dominates_slots(self) -> bool:
+        """Whether Q's slot vector majorises P's in this run."""
+        return majorizes(self.q_slot_vector, self.p_slot_vector)
+
+    @property
+    def q_dominates_max(self) -> bool:
+        """Whether Q's max load is at least P's in this run."""
+        return self.q_max_load >= self.p_max_load - 1e-12
+
+
+def coupled_domination_run(
+    bins: BinArray,
+    m: int | None = None,
+    d: int = 2,
+    *,
+    seed=None,
+) -> CoupledRunResult:
+    """Run P and Q on the *same* uniform slot choices (Lemma 1's coupling).
+
+    Every ball draws ``d`` slot indices uniformly from ``{0, .., C-1}``.
+    Process Q treats the slots as ``C`` unit bins and runs standard greedy;
+    process P maps each slot to its owning bin (selection probability is then
+    automatically proportional to capacity) and runs Algorithm 1.
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    if m is None:
+        m = bins.total_capacity
+    rng = make_rng(seed)
+    C = bins.total_capacity
+    slot_owner = bins.slot_owner()
+
+    slot_choices = rng.integers(0, C, size=(m, d), dtype=np.int64)
+    tie_u = rng.random(m)
+
+    q_counts: list[int] = [0] * C
+    run_batch(q_counts, [1] * C, slot_choices, tie_u, tie_break="max_capacity")
+
+    p_choices = slot_owner[slot_choices]
+    p_counts: list[int] = [0] * bins.n
+    run_batch(p_counts, bins.capacities.tolist(), p_choices, tie_u, tie_break="max_capacity")
+
+    p_arr = np.asarray(p_counts, dtype=np.int64)
+    q_arr = np.asarray(q_counts, dtype=np.int64)
+    return CoupledRunResult(
+        p_slot_vector=normalized_slot_load_vector(p_arr, bins.capacities),
+        q_slot_vector=np.sort(q_arr)[::-1],
+        p_max_load=float((p_arr / bins.capacities).max()),
+        q_max_load=float(q_arr.max()),
+    )
+
+
+def empirical_max_load_domination(samples_p, samples_q) -> float:
+    """Margin by which ``samples_q`` first-order dominates ``samples_p``.
+
+    Returns ``min_x ( F_P(x) − F_Q(x) )`` over the pooled sample points,
+    where ``F`` are empirical CDFs.  Both CDFs equal 1 at the pooled
+    maximum, so the return value is at most 0: exactly 0 means Q's maximum
+    load is stochastically at least P's everywhere in the sample (the
+    Lemma 1 claim); negative values quantify the worst violation.
+    """
+    p = np.sort(np.asarray(samples_p, dtype=np.float64))
+    q = np.sort(np.asarray(samples_q, dtype=np.float64))
+    if p.size == 0 or q.size == 0:
+        raise ValueError("both samples must be non-empty")
+    grid = np.union1d(p, q)
+    f_p = np.searchsorted(p, grid, side="right") / p.size
+    f_q = np.searchsorted(q, grid, side="right") / q.size
+    return float(np.min(f_p - f_q))

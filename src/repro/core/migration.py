@@ -1,0 +1,154 @@
+"""Incremental reallocation when the system grows (Section 4.3 remark).
+
+The paper's growth experiments restart the allocation from scratch at every
+expansion step, noting that "a number of algorithms have been proposed ...
+which are able to perform a reorganization with minimum overhead" (citing
+SHARE, RUSH and Ceph's CRUSH).  This module supplies the two reference
+points those algorithms are measured against:
+
+* :func:`rebalance_waterfill` — the *minimum-migration* rebalance: move just
+  enough balls from over-target bins to under-target bins so that every bin
+  lands within one ball of its capacity-proportional target.  The number of
+  moved balls is the information-theoretic floor for any reorganisation that
+  reaches the balanced state.
+* :func:`migration_cost_from_scratch` — the volume a from-scratch
+  re-allocation would move (counting a ball as moved if its bin assignment
+  is redrawn, the pessimistic convention).
+
+Comparing the two quantifies what an incremental placement scheme can save;
+``examples/heterogeneous_storage.py`` and the growth benches use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+
+__all__ = [
+    "MigrationPlan",
+    "rebalance_waterfill",
+    "migration_cost_from_scratch",
+    "expected_displaced_from_scratch",
+]
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Result of a minimum-migration rebalance.
+
+    ``moves[(i, j)]`` is the number of balls moved from bin ``i`` to bin
+    ``j``; ``new_counts`` is the post-migration allocation.
+    """
+
+    new_counts: np.ndarray
+    moves: dict[tuple[int, int], int]
+
+    @property
+    def balls_moved(self) -> int:
+        """Total migration volume."""
+        return sum(self.moves.values())
+
+
+def _targets(total_balls: int, bins: BinArray) -> np.ndarray:
+    """Capacity-proportional integer targets summing to *total_balls*.
+
+    Largest-remainder rounding of ``m * c_i / C`` — every bin ends within
+    one ball of its exact proportional share.
+    """
+    caps = bins.capacities
+    exact = total_balls * caps / bins.total_capacity
+    floors = np.floor(exact).astype(np.int64)
+    deficit = total_balls - int(floors.sum())
+    if deficit:
+        remainders = exact - floors
+        # ties broken toward larger capacity, then lower index (stable)
+        order = np.lexsort((np.arange(caps.size), -caps, -remainders))
+        floors[order[:deficit]] += 1
+    return floors
+
+
+def rebalance_waterfill(counts, bins: BinArray) -> MigrationPlan:
+    """Minimum-migration plan moving *counts* to capacity-proportional targets.
+
+    Any plan reaching the target allocation must move at least
+    ``Σ max(0, counts_i − target_i)`` balls; this plan moves exactly that
+    many (greedy pairing of surpluses with deficits).
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    cnt = np.asarray(counts, dtype=np.int64)
+    if cnt.shape != (bins.n,):
+        raise ValueError(
+            f"counts has shape {cnt.shape}, expected ({bins.n},)"
+        )
+    if np.any(cnt < 0):
+        raise ValueError("counts must be non-negative")
+    target = _targets(int(cnt.sum()), bins)
+    surplus = [(i, int(c)) for i, c in enumerate(cnt - target) if c > 0]
+    deficit = [(i, int(-c)) for i, c in enumerate(cnt - target) if c < 0]
+    moves: dict[tuple[int, int], int] = {}
+    si = di = 0
+    while si < len(surplus) and di < len(deficit):
+        s_bin, s_amt = surplus[si]
+        d_bin, d_amt = deficit[di]
+        step = min(s_amt, d_amt)
+        moves[(s_bin, d_bin)] = step
+        s_amt -= step
+        d_amt -= step
+        surplus[si] = (s_bin, s_amt)
+        deficit[di] = (d_bin, d_amt)
+        if s_amt == 0:
+            si += 1
+        if d_amt == 0:
+            di += 1
+    return MigrationPlan(new_counts=target, moves=moves)
+
+
+def migration_cost_from_scratch(old_counts, new_counts) -> int:
+    """Balls moved by a from-scratch re-allocation.
+
+    Counts a conservative lower bound on the redraw cost: the L1 distance
+    between the allocations divided by two (balls that happen to land in
+    their old bin are not charged).  With independent redraws the true cost
+    is higher; this is the fairest comparison *against* incremental schemes.
+    """
+    old = np.asarray(old_counts, dtype=np.int64)
+    new = np.asarray(new_counts, dtype=np.int64)
+    if old.size > new.size:
+        raise ValueError("the new system cannot have fewer bins")
+    padded = np.zeros(new.size, dtype=np.int64)
+    padded[: old.size] = old
+    if padded.sum() != new.sum():
+        raise ValueError(
+            f"ball counts differ: old={padded.sum()}, new={new.sum()}"
+        )
+    return int(np.abs(padded - new).sum() // 2)
+
+
+def expected_displaced_from_scratch(old_counts, new_counts) -> float:
+    """Expected number of balls a from-scratch redraw actually relocates.
+
+    :func:`migration_cost_from_scratch` charges only the *count* imbalance —
+    a weak lower bound, since an independent redraw reassigns ball
+    identities wholesale.  Treating the new allocation as independent of the
+    old one, a ball of old bin ``i`` stays put with probability
+    ``new_i / m``, so the expected displaced volume is
+    ``m − Σ_i old_i · new_i / m``.  This is the number an incremental
+    placement scheme (SHARE / RUSH / CRUSH, cited by the paper) is designed
+    to beat.
+    """
+    old = np.asarray(old_counts, dtype=np.float64)
+    new = np.asarray(new_counts, dtype=np.float64)
+    if old.size > new.size:
+        raise ValueError("the new system cannot have fewer bins")
+    padded = np.zeros(new.size)
+    padded[: old.size] = old
+    m = padded.sum()
+    if m != new.sum():
+        raise ValueError(f"ball counts differ: old={m}, new={new.sum()}")
+    if m == 0:
+        return 0.0
+    return float(m - (padded * new).sum() / m)

@@ -1,0 +1,135 @@
+"""The paper's load-balancing protocol (Algorithm 1) — reference form.
+
+For every ball:
+
+1. independently choose a multiset ``B`` of ``d`` bins at random,
+2. determine ``B_opt``, the bins of ``B`` with the lowest load *after* a
+   hypothetical allocation of the ball (i.e. minimising ``(m_i + 1) / c_i``),
+3. drop from ``B_opt`` every bin whose capacity is below the maximum
+   capacity present in ``B_opt``,
+4. allocate the ball to a bin chosen uniformly at random from what remains.
+
+This module contains the *readable* single-ball implementation used by tests
+and by anything that needs to instrument individual decisions.  Production
+runs go through :mod:`repro.core.fast`, which realises the identical rule in
+a tight loop; the test suite cross-validates the two against each other.
+
+Loads are compared exactly with integer cross-multiplication —
+``(m_a + 1) / c_a < (m_b + 1) / c_b`` iff
+``(m_a + 1) * c_b < (m_b + 1) * c_a`` — so no floating-point tie ambiguity
+can leak into allocation decisions.
+
+Tie-breaking variants
+---------------------
+The paper's step 3 prefers the *largest* capacity among the least-loaded
+candidates ("it is beneficial to move the load into the direction of these
+bigger bins").  For ablation studies two alternatives are provided:
+
+* ``"uniform"`` — skip step 3 and pick uniformly among all of ``B_opt``;
+* ``"min_capacity"`` — the deliberately bad inverse rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..sampling.rngutils import make_rng
+
+__all__ = ["TIE_BREAKS", "select_bin", "allocate_ball"]
+
+#: Recognised tie-break policy names.
+TIE_BREAKS = ("max_capacity", "uniform", "min_capacity")
+
+
+def _validate_tie_break(tie_break: str) -> None:
+    if tie_break not in TIE_BREAKS:
+        raise ValueError(
+            f"unknown tie_break {tie_break!r}; expected one of {TIE_BREAKS}"
+        )
+
+
+def select_bin(
+    counts: Sequence[int],
+    capacities: Sequence[int],
+    candidates: Sequence[int],
+    rng=None,
+    *,
+    tie_break: str = "max_capacity",
+) -> int:
+    """Apply steps 2–4 of Algorithm 1 to *candidates* and return the chosen bin.
+
+    ``counts`` are current ball counts; the function does not mutate them.
+    ``candidates`` is the multiset ``B`` of step 1 (duplicates allowed — a
+    ball may draw the same bin more than once).
+    """
+    _validate_tie_break(tie_break)
+    if len(candidates) == 0:
+        raise ValueError("candidates must be non-empty")
+
+    # Step 2: B_opt = argmin over B of (m_i + 1) / c_i, compared exactly.
+    best: list[int] = []
+    best_num = best_den = None  # load-after of the current minimum, as num/den
+    for b in candidates:
+        num = counts[b] + 1
+        den = capacities[b]
+        if best_num is None:
+            best, best_num, best_den = [b], num, den
+            continue
+        lhs = num * best_den
+        rhs = best_num * den
+        if lhs < rhs:
+            best, best_num, best_den = [b], num, den
+        elif lhs == rhs and b not in best:
+            best.append(b)
+
+    # Steps 3-4: capacity filter, then uniform choice.
+    if tie_break == "max_capacity":
+        cmax = max(capacities[b] for b in best)
+        best = [b for b in best if capacities[b] == cmax]
+    elif tie_break == "min_capacity":
+        cmin = min(capacities[b] for b in best)
+        best = [b for b in best if capacities[b] == cmin]
+    if len(best) == 1:
+        return best[0]
+    gen = make_rng(rng)
+    return best[int(gen.integers(0, len(best)))]
+
+
+def allocate_ball(
+    counts,
+    capacities: Sequence[int],
+    candidates: Sequence[int],
+    rng=None,
+    *,
+    tie_break: str = "max_capacity",
+) -> int:
+    """Run steps 2–4 and *commit* the ball: increments ``counts`` in place.
+
+    Returns the index of the receiving bin.  ``counts`` must be a mutable
+    sequence (list or ``ndarray``).
+    """
+    chosen = select_bin(counts, capacities, candidates, rng, tie_break=tie_break)
+    counts[chosen] += 1
+    return chosen
+
+
+def reference_run(
+    capacities: Sequence[int],
+    choices: np.ndarray,
+    rng=None,
+    *,
+    tie_break: str = "max_capacity",
+) -> np.ndarray:
+    """Allocate every row of *choices* in order; return the final counts.
+
+    This is the slow, obviously correct driver used to validate the fast
+    engine: ``choices`` has shape ``(m, d)`` and row ``j`` is ball ``j``'s
+    candidate multiset.
+    """
+    gen = make_rng(rng)
+    counts = [0] * len(capacities)
+    for row in choices:
+        allocate_ball(counts, capacities, [int(b) for b in row], gen, tie_break=tie_break)
+    return np.asarray(counts, dtype=np.int64)

@@ -1,0 +1,136 @@
+"""Weighted balls — the model's general load semantics.
+
+Section 1 defines the general notion the paper's analysis specialises: "when
+a ball of size s is placed into a bin of capacity c, then the effective load
+that this bin experiences is s/c".  The theorems assume unit balls, but the
+protocol itself is well-defined for arbitrary positive ball sizes; this
+module extends the engine accordingly (an explicit extension beyond the
+paper's analysis, flagged as such in DESIGN.md).
+
+Semantics: a ball of size ``s`` probes ``d`` bins as usual; the candidate
+loads-after are ``(W_i + s) / c_i`` where ``W_i`` is the total ball mass
+already in bin ``i``; ties are broken toward larger capacity.  Loads are
+floats here (exact integer cross-multiplication no longer applies), with a
+relative epsilon guarding the tie comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+from ..sampling.distributions import probability_model
+from ..sampling.rngutils import make_rng
+
+__all__ = ["WeightedResult", "simulate_weighted"]
+
+#: Relative tolerance under which two candidate loads count as tied.
+_TIE_RTOL = 1e-12
+
+
+@dataclass
+class WeightedResult:
+    """Outcome of a weighted-ball run."""
+
+    bins: BinArray
+    masses: np.ndarray
+    counts: np.ndarray
+    total_mass: float
+    d: int
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Per-bin loads ``W_i / c_i``."""
+        return self.masses / self.bins.capacities
+
+    @property
+    def max_load(self) -> float:
+        """Maximum per-bin load."""
+        return float(self.loads.max())
+
+    @property
+    def average_load(self) -> float:
+        """``(Σ s) / C`` — the balanced optimum."""
+        return self.total_mass / self.bins.total_capacity
+
+    @property
+    def gap(self) -> float:
+        """``max − average``."""
+        return self.max_load - self.average_load
+
+
+def simulate_weighted(
+    bins: BinArray,
+    ball_sizes,
+    d: int = 2,
+    *,
+    probabilities="proportional",
+    seed=None,
+) -> WeightedResult:
+    """Allocate balls of the given sizes with the greedy d-choice protocol.
+
+    Parameters
+    ----------
+    bins:
+        Bin array (capacities define loads and default probabilities).
+    ball_sizes:
+        Positive sizes, processed in order (arrival order matters, exactly
+        as for unit balls).
+    d:
+        Choices per ball.
+    probabilities, seed:
+        As in :func:`repro.core.simulation.simulate`.
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    sizes = np.asarray(ball_sizes, dtype=np.float64)
+    if sizes.ndim != 1:
+        raise ValueError(f"ball_sizes must be 1-D, got shape {sizes.shape}")
+    if sizes.size and (not np.all(np.isfinite(sizes)) or np.any(sizes <= 0)):
+        raise ValueError("ball sizes must be positive and finite")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+
+    model = probability_model(probabilities)
+    sampler = model.sampler(bins.capacities)
+    rng = make_rng(seed)
+    m = sizes.size
+
+    choices = sampler.sample((m, d), rng) if m else np.empty((0, d), dtype=np.int64)
+    tie_u = rng.random(m)
+
+    caps = bins.capacities.tolist()
+    masses = [0.0] * bins.n
+    counts = [0] * bins.n
+    size_list = sizes.tolist()
+    rows = choices.tolist()
+
+    for j in range(m):
+        s = size_list[j]
+        row = rows[j]
+        best = [row[0]]
+        best_load = (masses[row[0]] + s) / caps[row[0]]
+        for b in row[1:]:
+            load = (masses[b] + s) / caps[b]
+            if load < best_load * (1.0 - _TIE_RTOL):
+                best = [b]
+                best_load = load
+            elif abs(load - best_load) <= _TIE_RTOL * max(abs(load), abs(best_load), 1.0):
+                if b not in best:
+                    best.append(b)
+        if len(best) > 1:
+            cmax = max(caps[b] for b in best)
+            best = [b for b in best if caps[b] == cmax]
+        chosen = best[0] if len(best) == 1 else best[int(tie_u[j] * len(best))]
+        masses[chosen] += s
+        counts[chosen] += 1
+
+    return WeightedResult(
+        bins=bins,
+        masses=np.asarray(masses),
+        counts=np.asarray(counts, dtype=np.int64),
+        total_mass=float(sizes.sum()),
+        d=d,
+    )

@@ -1,0 +1,22 @@
+"""Per-figure experiments reproducing the paper's evaluation (Section 4)."""
+
+from .base import (
+    ExperimentResult,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    register,
+    scaled_reps,
+)
+from .runner import run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "register",
+    "get_experiment",
+    "list_experiments",
+    "scaled_reps",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,229 @@
+"""Ablation experiments — the design choices DESIGN.md calls out.
+
+Registered alongside the figure experiments (ids ``abl_*``) so the CLI and
+report generator treat them uniformly:
+
+* ``abl_tiebreak`` — Algorithm 1's max-capacity tie-break vs uniform vs the
+  inverse rule, across the large-bin fraction (the step-3 justification:
+  "it is beneficial to move the load into the direction of these bigger
+  bins");
+* ``abl_probability`` — capacity-proportional vs uniform selection across
+  capacity skew (the introduction's "natural 1/n or c_i/C" fork);
+* ``abl_d`` — the lnln(n)/ln(d) dependence on the number of choices;
+* ``abl_staleness`` — batched arrivals: max load vs batch size (stale-view
+  robustness of the protocol; extension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bins.generators import two_class_bins, uniform_bins
+from ..core.rounds import simulate_batched
+from ..core.simulation import simulate
+from ..runtime.executor import run_repetitions
+from ..theory.bounds import loglog_over_logd
+from .base import ExperimentResult, register, scaled_reps
+
+PAPER_REPS = 10_000
+
+
+def _tiebreak_task(seed, *, n, n_large, small_cap, large_cap, tie_break):
+    bins = two_class_bins(n - n_large, n_large, small_cap, large_cap)
+    return simulate(bins, tie_break=tie_break, seed=seed).max_load
+
+
+@register(
+    "abl_tiebreak",
+    "Ablation: tie-break policy across the class mix",
+    "Ablation (step 3 of Algorithm 1)",
+    "caps 1 and 2, n=1000; mean max load per tie-break policy vs % large bins",
+)
+def run_abl_tiebreak(
+    scale: float = 0.01,
+    seed=20260612,
+    workers: int | None = 1,
+    progress=None,
+    *,
+    n: int = 1000,
+    small_cap: int = 1,
+    large_cap: int = 2,
+    fractions=(10, 30, 50, 70, 90),
+    repetitions: int | None = None,
+) -> ExperimentResult:
+    """Mean max load for each tie-break policy over the class-mix sweep."""
+    reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    policies = ("max_capacity", "uniform", "min_capacity")
+    seeds = np.random.SeedSequence(seed).spawn(len(policies))
+    series = {}
+    for policy, s in zip(policies, seeds):
+        pt_seeds = s.spawn(len(fractions))
+        curve = []
+        for pct, ps in zip(fractions, pt_seeds):
+            outs = run_repetitions(
+                _tiebreak_task,
+                reps,
+                seed=ps,
+                workers=workers,
+                kwargs={
+                    "n": n, "n_large": int(round(n * pct / 100)),
+                    "small_cap": small_cap, "large_cap": large_cap,
+                    "tie_break": policy,
+                },
+                progress=progress,
+            )
+            curve.append(float(np.mean(outs)))
+        series[policy] = np.asarray(curve)
+    return ExperimentResult(
+        experiment_id="abl_tiebreak",
+        title="Tie-break policy ablation (caps 1 and 2)",
+        x_name="percentage_large_bins",
+        x_values=np.asarray(fractions, dtype=np.float64),
+        series=series,
+        parameters={"n": n, "small_cap": small_cap, "large_cap": large_cap,
+                    "repetitions": reps, "seed": seed},
+        extra={"expected_shape": "max_capacity at or below the alternatives everywhere"},
+    )
+
+
+def _probability_task(seed, *, n, n_large, large_cap, probabilities):
+    bins = two_class_bins(n - n_large, n_large, 1, large_cap)
+    return simulate(bins, probabilities=probabilities, seed=seed).max_load
+
+
+@register(
+    "abl_probability",
+    "Ablation: proportional vs uniform selection",
+    "Ablation (Section 1's probability fork)",
+    "10% large bins of growing capacity; mean max load per selection model",
+)
+def run_abl_probability(
+    scale: float = 0.01,
+    seed=20260612,
+    workers: int | None = 1,
+    progress=None,
+    *,
+    n: int = 1000,
+    large_caps=(2, 4, 8, 16, 32),
+    large_fraction: float = 0.1,
+    repetitions: int | None = None,
+) -> ExperimentResult:
+    """Mean max load, proportional vs uniform, as the skew grows."""
+    reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    models = ("proportional", "uniform")
+    seeds = np.random.SeedSequence(seed).spawn(len(models))
+    n_large = int(round(n * large_fraction))
+    series = {}
+    for model, s in zip(models, seeds):
+        pt_seeds = s.spawn(len(large_caps))
+        curve = []
+        for cap, ps in zip(large_caps, pt_seeds):
+            outs = run_repetitions(
+                _probability_task,
+                reps,
+                seed=ps,
+                workers=workers,
+                kwargs={"n": n, "n_large": n_large, "large_cap": int(cap),
+                        "probabilities": model},
+                progress=progress,
+            )
+            curve.append(float(np.mean(outs)))
+        series[model] = np.asarray(curve)
+    return ExperimentResult(
+        experiment_id="abl_probability",
+        title="Selection-probability ablation (10% large bins)",
+        x_name="large_bin_capacity",
+        x_values=np.asarray(large_caps, dtype=np.float64),
+        series=series,
+        parameters={"n": n, "large_fraction": large_fraction,
+                    "repetitions": reps, "seed": seed},
+        extra={"expected_shape": "proportional at or below uniform, gap widening with skew"},
+    )
+
+
+def _d_task(seed, *, n, d):
+    bins = two_class_bins(n // 2, n // 2, 1, 8)
+    return simulate(bins, d=d, seed=seed).max_load
+
+
+@register(
+    "abl_d",
+    "Ablation: number of choices d",
+    "Ablation (Theorem 3's ln d)",
+    "caps 1 and 8, n=2000; mean max load vs d, against lnln(n)/ln(d)",
+)
+def run_abl_d(
+    scale: float = 0.01,
+    seed=20260612,
+    workers: int | None = 1,
+    progress=None,
+    *,
+    n: int = 2000,
+    d_values=(1, 2, 3, 4, 6, 8),
+    repetitions: int | None = None,
+) -> ExperimentResult:
+    """Mean max load per d, with the Theorem-3 leading term for reference."""
+    reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    seeds = np.random.SeedSequence(seed).spawn(len(d_values))
+    measured = []
+    for d, s in zip(d_values, seeds):
+        outs = run_repetitions(
+            _d_task, reps, seed=s, workers=workers,
+            kwargs={"n": n, "d": int(d)}, progress=progress,
+        )
+        measured.append(float(np.mean(outs)))
+    theory = [
+        float("nan") if d < 2 else 1.0 + loglog_over_logd(n, int(d))
+        for d in d_values
+    ]
+    return ExperimentResult(
+        experiment_id="abl_d",
+        title="Choices ablation: max load vs d",
+        x_name="d",
+        x_values=np.asarray(d_values, dtype=np.float64),
+        series={"measured": np.asarray(measured), "1 + lnln(n)/ln(d)": np.asarray(theory)},
+        parameters={"n": n, "repetitions": reps, "seed": seed},
+        extra={"expected_shape": "steep d=1->2 drop, then diminishing returns tracking 1/ln d"},
+    )
+
+
+def _staleness_task(seed, *, n, batch_size):
+    bins = uniform_bins(n, 1)
+    return simulate_batched(bins, batch_size=batch_size, seed=seed).max_load
+
+
+@register(
+    "abl_staleness",
+    "Ablation: batched arrivals with stale loads",
+    "Ablation (extension: stale views)",
+    "n=1000 unit bins, m=n; mean max load vs batch size",
+)
+def run_abl_staleness(
+    scale: float = 0.01,
+    seed=20260612,
+    workers: int | None = 1,
+    progress=None,
+    *,
+    n: int = 1000,
+    batch_sizes=(1, 4, 16, 64, 256, 1000),
+    repetitions: int | None = None,
+) -> ExperimentResult:
+    """Mean max load as the freshness of the load view degrades."""
+    reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    seeds = np.random.SeedSequence(seed).spawn(len(batch_sizes))
+    curve = []
+    for b, s in zip(batch_sizes, seeds):
+        outs = run_repetitions(
+            _staleness_task, reps, seed=s, workers=workers,
+            kwargs={"n": n, "batch_size": int(b)}, progress=progress,
+        )
+        curve.append(float(np.mean(outs)))
+    return ExperimentResult(
+        experiment_id="abl_staleness",
+        title="Staleness ablation: max load vs batch size",
+        x_name="batch_size",
+        x_values=np.asarray(batch_sizes, dtype=np.float64),
+        series={"max_load": np.asarray(curve)},
+        parameters={"n": n, "repetitions": reps, "seed": seed},
+        extra={"expected_shape": "non-decreasing in batch size; batch=m stays below one-choice"},
+    )

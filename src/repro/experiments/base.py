@@ -1,0 +1,205 @@
+"""Experiment framework: result records, registry, scaling.
+
+Every figure of the paper's Section 4 is one registered experiment.  An
+experiment is a function ``run(scale, seed, workers, progress, **overrides)``
+returning an :class:`ExperimentResult`: a shared x-grid plus named series —
+exactly the data behind one plot.  The registry lets the CLI, the benchmark
+harness and EXPERIMENTS.md address experiments by figure id (``"fig06"``).
+
+Scaling
+-------
+The paper averages most figures over 10,000 repetitions (Figure 17 over
+1,000,000).  ``scale`` multiplies the repetition counts (floored at a small
+minimum) so that ``scale=1.0`` is paper-scale and the default CLI scale
+produces minutes-level runs; the estimators are unchanged, only their
+variance grows at small scale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..io.asciiplot import ascii_plot, ascii_table
+from ..io.csvio import write_series_csv
+from ..io.jsonio import dump_json
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "register",
+    "get_experiment",
+    "list_experiments",
+    "scaled_reps",
+]
+
+
+def scaled_reps(paper_reps: int, scale: float, minimum: int = 3) -> int:
+    """Repetition count at *scale* (``scale=1`` → the paper's count)."""
+    if paper_reps <= 0:
+        raise ValueError(f"paper_reps must be positive, got {paper_reps}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(paper_reps * scale)))
+
+
+@dataclass
+class ExperimentResult:
+    """The numeric content of one figure.
+
+    ``series`` maps a curve name to y-values over ``x_values``; curves of
+    unequal natural length (e.g. per-class profiles) are NaN-padded to the
+    grid.  ``extra`` carries figure-specific scalars (plateaus, fitted
+    constants, theory predictions) for EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    x_name: str
+    x_values: np.ndarray
+    series: dict[str, np.ndarray]
+    parameters: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.x_values = np.asarray(self.x_values)
+        clean = {}
+        for name, ys in self.series.items():
+            arr = np.asarray(ys, dtype=np.float64)
+            if arr.shape != self.x_values.shape:
+                raise ValueError(
+                    f"series {name!r} has shape {arr.shape}, expected {self.x_values.shape}"
+                )
+            clean[name] = arr
+        self.series = clean
+
+    def save(self, directory) -> tuple[Path, Path]:
+        """Persist as ``<id>.csv`` (series) + ``<id>.json`` (provenance)."""
+        directory = Path(directory)
+        csv_path = write_series_csv(
+            directory / f"{self.experiment_id}.csv", self.x_name, self.x_values, self.series
+        )
+        json_path = dump_json(
+            directory / f"{self.experiment_id}.json",
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "x_name": self.x_name,
+                "parameters": self.parameters,
+                "extra": self.extra,
+                "series_names": list(self.series),
+            },
+        )
+        return csv_path, json_path
+
+    def render(self, *, width: int = 72, height: int = 18, max_rows: int = 12) -> str:
+        """ASCII plot plus a head/tail table of the series rows."""
+        plot = ascii_plot(
+            self.x_values,
+            self.series,
+            width=width,
+            height=height,
+            title=f"{self.experiment_id}: {self.title}",
+            x_label=self.x_name,
+        )
+        headers = [self.x_name, *self.series.keys()]
+        n = self.x_values.size
+        if n <= max_rows:
+            idx = range(n)
+        else:
+            half = max_rows // 2
+            idx = [*range(half), *range(n - half, n)]
+        rows = []
+        prev = -1
+        for i in idx:
+            if prev >= 0 and i != prev + 1:
+                rows.append(["..."] * len(headers))
+            rows.append(
+                [float(self.x_values[i]), *(float(self.series[s][i]) for s in self.series)]
+            )
+            prev = i
+        return plot + "\n\n" + ascii_table(headers, rows)
+
+    def summary_rows(self) -> list[tuple]:
+        """(series, min, max, first, last) rows for quick textual summaries."""
+        out = []
+        for name, ys in self.series.items():
+            finite = ys[np.isfinite(ys)]
+            if finite.size == 0:
+                out.append((name, float("nan"),) * 4)
+                continue
+            out.append(
+                (name, float(finite.min()), float(finite.max()), float(finite[0]), float(finite[-1]))
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry: metadata plus the run callable."""
+
+    experiment_id: str
+    title: str
+    figure: str
+    description: str
+    run: Callable[..., ExperimentResult]
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(experiment_id: str, title: str, figure: str, description: str):
+    """Decorator registering a ``run``-style function under *experiment_id*."""
+
+    def wrap(func: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"experiment id {experiment_id!r} registered twice")
+        _REGISTRY[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            figure=figure,
+            description=description,
+            run=func,
+        )
+        return func
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered experiment (raises ``KeyError`` with guidance)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known experiments: {known}"
+        ) from None
+
+
+def list_experiments() -> list[ExperimentSpec]:
+    """All registered experiments, sorted by id."""
+    _ensure_loaded()
+    return [
+        _REGISTRY[k] for k in sorted(_REGISTRY)
+    ]
+
+
+def _ensure_loaded() -> None:
+    """Import the figure modules so their registrations run."""
+    from . import (  # noqa: F401
+        ablations,
+        fig01_uniform_profiles,
+        fig02_05_small_heavy,
+        fig06_07_two_class,
+        fig08_09_random_caps,
+        fig10_13_mixed_profiles,
+        fig14_15_growth,
+        fig16_heavy,
+        fig17_18_exponent,
+        related_work,
+    )

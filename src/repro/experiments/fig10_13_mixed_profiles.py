@@ -1,0 +1,144 @@
+"""Figures 10–13 — mixed-array load profiles at fixed class ratios (Sec 4.2).
+
+Paper settings, all with ``m = C`` and probabilities proportional to
+capacity, averaged over 10,000 runs:
+
+* **Figure 10** — 32 bins of capacities 1 and 2; ratio of 2-bins
+  0/8/16/24/32; sorted profile over all bins.
+* **Figure 11** — 10,000 bins of capacities 1 and 8; ratio of 8-bins
+  0/2,500/5,000/7,500/10,000; sorted profile over all bins.
+* **Figure 12** — same arrays; profile restricted to the capacity-8 bins.
+* **Figure 13** — same arrays; profile restricted to the capacity-1 bins.
+
+Expected shape: "the more large bins we have, the more even the load
+distribution becomes"; the class-8 curves stay below ≈1.8 (constant — the
+big bins of Observation 1), while the class-1 curves carry the higher
+maxima.  Curves for absent ratios (no bins of that class) are NaN-padded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bins.generators import two_class_bins, uniform_bins
+from ..core.simulation import simulate
+from ..runtime.executor import run_repetitions
+from .base import ExperimentResult, register, scaled_reps
+
+PAPER_REPS = 10_000
+PAPER_D = 2
+
+
+def _one_run(seed, *, n: int, n_large: int, small_cap: int, large_cap: int, d: int):
+    if n_large == 0:
+        bins = uniform_bins(n, small_cap)
+    elif n_large == n:
+        bins = uniform_bins(n, large_cap)
+    else:
+        # Small bins first: restriction masks below rely on this layout.
+        bins = two_class_bins(n - n_large, n_large, small_cap, large_cap)
+    res = simulate(bins, d=d, seed=seed)
+    return res.loads
+
+
+def _profiles(scale, seed, workers, progress, n, small_cap, large_cap, d,
+              large_counts, restrict, repetitions):
+    """Mean sorted profiles per ratio; ``restrict`` in {None, 'small', 'large'}."""
+    reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    seeds = np.random.SeedSequence(seed).spawn(len(large_counts))
+    series: dict[str, np.ndarray] = {}
+    for i, n_large in enumerate(large_counts):
+        outs = run_repetitions(
+            _one_run,
+            reps,
+            seed=seeds[i],
+            workers=workers,
+            kwargs={
+                "n": n, "n_large": int(n_large),
+                "small_cap": small_cap, "large_cap": large_cap, "d": d,
+            },
+            progress=progress,
+        )
+        matrix = np.vstack(outs)
+        if restrict == "large":
+            matrix = matrix[:, n - n_large :] if n_large else matrix[:, :0]
+        elif restrict == "small":
+            matrix = matrix[:, : n - n_large]
+        name = f"{n_large}x{large_cap}-bins"
+        if matrix.shape[1] == 0:
+            series[name] = np.full(n, np.nan)
+            continue
+        sorted_rows = -np.sort(-matrix, axis=1)
+        profile = sorted_rows.mean(axis=0)
+        padded = np.full(n, np.nan)
+        padded[: profile.size] = profile
+        series[name] = padded
+    return series, reps
+
+
+def _make_runner(figure_id, title, n, small_cap, large_cap, large_counts, restrict, shape_note):
+    def run(
+        scale: float = 0.01,
+        seed=20260612,
+        workers: int | None = 1,
+        progress=None,
+        *,
+        d: int = PAPER_D,
+        repetitions: int | None = None,
+    ) -> ExperimentResult:
+        series, reps = _profiles(
+            scale, seed, workers, progress, n, small_cap, large_cap, d,
+            large_counts, restrict, repetitions,
+        )
+        return ExperimentResult(
+            experiment_id=figure_id,
+            title=title,
+            x_name="bin_rank",
+            x_values=np.arange(n),
+            series=series,
+            parameters={
+                "n": n, "d": d, "small_cap": small_cap, "large_cap": large_cap,
+                "large_counts": [int(x) for x in large_counts],
+                "restrict": restrict, "repetitions": reps, "seed": seed,
+            },
+            extra={"expected_shape": shape_note},
+        )
+
+    run.__doc__ = f"{figure_id} runner: {title}."
+    return run
+
+
+run_fig10 = register(
+    "fig10", "32 bins of capacities 1 and 2: profiles per ratio", "Figure 10",
+    "32 bins mixing capacities 1 and 2 at ratios 0/8/16/24/32; mean sorted profiles",
+)(_make_runner(
+    "fig10", "32 bins of capacity 1 and 2", 32, 1, 2, (0, 8, 16, 24, 32), None,
+    "curves flatten towards 1 as the number of 2-bins grows",
+))
+
+run_fig11 = register(
+    "fig11", "10,000 bins of capacities 1 and 8: profiles per ratio", "Figure 11",
+    "10,000 bins mixing capacities 1 and 8 at ratios 0/2500/5000/7500/10000; mean sorted profiles",
+)(_make_runner(
+    "fig11", "10,000 bins of capacity 1 and 8", 10_000, 1, 8,
+    (0, 2_500, 5_000, 7_500, 10_000), None,
+    "curves flatten towards 1 as the number of 8-bins grows",
+))
+
+run_fig12 = register(
+    "fig12", "Capacities 1 and 8: load of the capacity-8 bins", "Figure 12",
+    "Same arrays as fig11; sorted profile restricted to the capacity-8 bins",
+)(_make_runner(
+    "fig12", "Bins of capacities 1 and 8: capacity-8 bins only", 10_000, 1, 8,
+    (2_500, 5_000, 7_500, 10_000), "large",
+    "large-bin loads stay below a small constant (Observation 1)",
+))
+
+run_fig13 = register(
+    "fig13", "Capacities 1 and 8: load of the capacity-1 bins", "Figure 13",
+    "Same arrays as fig11; sorted profile restricted to the capacity-1 bins",
+)(_make_runner(
+    "fig13", "Bins of capacities 1 and 8: capacity-1 bins only", 10_000, 1, 8,
+    (0, 2_500, 5_000, 7_500), "small",
+    "small-bin maxima exceed the large-bin maxima; decrease with more 8-bins",
+))

@@ -1,0 +1,66 @@
+"""Execute registered experiments and persist their results."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from .base import ExperimentResult, get_experiment, list_experiments
+
+__all__ = ["run_experiment", "run_all"]
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    scale: float | None = None,
+    seed=None,
+    workers: int | None = 1,
+    progress=None,
+    out_dir=None,
+    **overrides,
+) -> ExperimentResult:
+    """Run one experiment by id and optionally save CSV/JSON to *out_dir*.
+
+    ``scale``/``seed`` fall back to the experiment's own defaults when
+    ``None``; ``overrides`` are forwarded verbatim (e.g. ``repetitions=50``,
+    ``n=1000``).
+    """
+    spec = get_experiment(experiment_id)
+    kwargs = dict(overrides)
+    if scale is not None:
+        kwargs["scale"] = scale
+    if seed is not None:
+        kwargs["seed"] = seed
+    started = time.perf_counter()
+    result = spec.run(workers=workers, progress=progress, **kwargs)
+    result.extra.setdefault("wall_seconds", round(time.perf_counter() - started, 3))
+    if out_dir is not None:
+        result.save(Path(out_dir))
+    return result
+
+
+def run_all(
+    *,
+    scale: float | None = None,
+    seed=None,
+    workers: int | None = 1,
+    progress=None,
+    out_dir=None,
+    only=None,
+) -> dict[str, ExperimentResult]:
+    """Run every registered experiment (or the ids in *only*)."""
+    wanted = set(only) if only is not None else None
+    results: dict[str, ExperimentResult] = {}
+    for spec in list_experiments():
+        if wanted is not None and spec.experiment_id not in wanted:
+            continue
+        results[spec.experiment_id] = run_experiment(
+            spec.experiment_id,
+            scale=scale,
+            seed=seed,
+            workers=workers,
+            progress=progress,
+            out_dir=out_dir,
+        )
+    return results

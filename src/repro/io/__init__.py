@@ -1,0 +1,18 @@
+"""Result persistence (CSV/JSON) and terminal plotting."""
+
+from .asciiplot import ascii_plot, ascii_table
+from .csvio import read_series_csv, write_series_csv
+from .jsonio import dump_json, load_json, to_jsonable
+from .markdown import result_to_markdown, results_to_report
+
+__all__ = [
+    "write_series_csv",
+    "read_series_csv",
+    "dump_json",
+    "load_json",
+    "to_jsonable",
+    "ascii_plot",
+    "ascii_table",
+    "result_to_markdown",
+    "results_to_report",
+]

@@ -1,0 +1,112 @@
+"""Terminal line plots.
+
+The original figures are gnuplot PNGs; offline we render the same series as
+ASCII so ``repro run figNN`` gives immediate visual feedback.  One canvas,
+multiple series (distinct glyphs), linear axes with printed ranges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_table"]
+
+_GLYPHS = "*+x#o@%&"
+
+
+def ascii_plot(
+    x,
+    series: dict,
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``series`` (name → y-values over shared ``x``) as ASCII art.
+
+    Returns a multi-line string: title, canvas with y-range annotations, an
+    x-range footer, and a glyph legend.
+    """
+    xa = np.asarray(x, dtype=np.float64)
+    if xa.ndim != 1 or xa.size == 0:
+        raise ValueError("x must be a non-empty 1-D sequence")
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small (need width >= 16, height >= 4)")
+
+    arrays = {}
+    for name, ys in series.items():
+        arr = np.asarray(ys, dtype=np.float64)
+        if arr.shape != xa.shape:
+            raise ValueError(f"series {name!r} has shape {arr.shape}, expected {xa.shape}")
+        arrays[name] = arr
+
+    finite = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if finite.size == 0:
+        raise ValueError("all series values are non-finite")
+    y_min = float(finite.min())
+    y_max = float(finite.max())
+    if math.isclose(y_min, y_max):
+        pad = abs(y_min) * 0.1 + 0.5
+        y_min, y_max = y_min - pad, y_max + pad
+    x_min = float(xa.min())
+    x_max = float(xa.max())
+    x_span = x_max - x_min if x_max > x_min else 1.0
+    y_span = y_max - y_min
+
+    canvas = [[" "] * width for _ in range(height)]
+    for glyph, (name, ys) in zip(_GLYPHS * (1 + len(arrays) // len(_GLYPHS)), arrays.items()):
+        for xv, yv in zip(xa, ys):
+            if not (np.isfinite(xv) and np.isfinite(yv)):
+                continue
+            col = int(round((xv - x_min) / x_span * (width - 1)))
+            row = int(round((y_max - yv) / y_span * (height - 1)))
+            canvas[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max(len(f"{y_max:.3g}"), len(f"{y_min:.3g}"))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = f"{y_max:>{label_w}.3g} |"
+        elif i == height - 1:
+            prefix = f"{y_min:>{label_w}.3g} |"
+        else:
+            prefix = " " * label_w + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    footer = f"{' ' * label_w}  {x_min:.4g}{' ' * max(width - 24, 1)}{x_max:.4g}"
+    lines.append(footer)
+    if x_label or y_label:
+        lines.append(f"x: {x_label}    y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{glyph}={name}"
+        for glyph, name in zip(_GLYPHS * (1 + len(arrays) // len(_GLYPHS)), arrays)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_table(headers, rows, *, float_format: str = "{:.4f}") -> str:
+    """Minimal fixed-width table for printing experiment rows."""
+    rendered = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(v) if isinstance(v, float) else str(v)
+                for v in row
+            ]
+        )
+    widths = [max(len(r[j]) for r in rendered) for j in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

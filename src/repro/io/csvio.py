@@ -1,0 +1,73 @@
+"""CSV persistence for experiment series.
+
+Every figure experiment reduces to one or more *series*: named columns over
+a shared x-grid.  :func:`write_series_csv` / :func:`read_series_csv`
+round-trip that structure through plain CSV so results can be inspected,
+re-plotted externally, or diffed between runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_series_csv", "read_series_csv"]
+
+
+def write_series_csv(path, x_name: str, x_values, series: dict) -> Path:
+    """Write columns ``x_name, *series.keys()`` to *path*.
+
+    All series must have the same length as ``x_values``.  Values are
+    written with full float repr (lossless round-trip).
+    """
+    x = np.asarray(x_values)
+    if x.ndim != 1:
+        raise ValueError(f"x_values must be 1-D, got shape {x.shape}")
+    cols = {}
+    for name, values in series.items():
+        arr = np.asarray(values)
+        if arr.shape != x.shape:
+            raise ValueError(
+                f"series {name!r} has shape {arr.shape}, expected {x.shape}"
+            )
+        cols[name] = arr
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_name, *cols.keys()])
+        for i in range(x.size):
+            writer.writerow([repr(_py(x[i])), *(repr(_py(cols[name][i])) for name in cols)])
+    return p
+
+
+def _py(value):
+    """Convert NumPy scalars to plain Python for clean repr round-trips."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def read_series_csv(path) -> tuple[str, np.ndarray, dict[str, np.ndarray]]:
+    """Read a file written by :func:`write_series_csv`.
+
+    Returns ``(x_name, x_values, {series_name: values})``; all values are
+    parsed as floats.
+    """
+    p = Path(path)
+    with p.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if not header:
+            raise ValueError(f"{p}: empty CSV")
+        rows = [[float(cell) for cell in row] for row in reader if row]
+    data = np.asarray(rows, dtype=np.float64) if rows else np.empty((0, len(header)))
+    x_name = header[0]
+    x = data[:, 0] if data.size else np.empty(0)
+    series = {
+        name: (data[:, j + 1] if data.size else np.empty(0))
+        for j, name in enumerate(header[1:])
+    }
+    return x_name, x, series

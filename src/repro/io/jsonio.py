@@ -1,0 +1,53 @@
+"""JSON persistence for experiment results with provenance.
+
+Where CSV carries the numeric series, the JSON record carries everything
+else: experiment id, parameters, seed entropy, library version, and the
+series themselves.  NumPy types are converted transparently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["dump_json", "load_json", "to_jsonable"]
+
+
+def to_jsonable(obj):
+    """Recursively convert *obj* into JSON-serialisable structures.
+
+    Handles NumPy scalars/arrays, dataclass-like objects exposing
+    ``__dict__``, sets, and tuples; raises ``TypeError`` on anything else
+    that ``json`` itself would reject.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "__dict__") and not isinstance(obj, type):
+        return {k: to_jsonable(v) for k, v in vars(obj).items() if not k.startswith("_")}
+    raise TypeError(f"cannot convert {type(obj).__name__} to JSON")
+
+
+def dump_json(path, payload) -> Path:
+    """Write *payload* (via :func:`to_jsonable`) to *path*, pretty-printed."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w") as fh:
+        json.dump(to_jsonable(payload), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return p
+
+
+def load_json(path):
+    """Load a JSON document written by :func:`dump_json`."""
+    with Path(path).open() as fh:
+        return json.load(fh)

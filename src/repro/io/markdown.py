@@ -1,0 +1,72 @@
+"""Markdown rendering of experiment results.
+
+Produces the building blocks of EXPERIMENTS.md-style reports directly from
+:class:`~repro.experiments.base.ExperimentResult` objects, so a full run
+(`repro.experiments.runner.run_all`) can be turned into a reviewable
+document without manual transcription.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["result_to_markdown", "results_to_report"]
+
+
+def _fmt(value: float) -> str:
+    if not np.isfinite(value):
+        return "—"
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def result_to_markdown(result, *, max_rows: int = 10) -> str:
+    """One experiment as a markdown section: parameters + series table."""
+    lines = [f"### {result.experiment_id} — {result.title}", ""]
+    if result.parameters:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(result.parameters.items()))
+        lines += [f"*Parameters:* {params}", ""]
+
+    header = [result.x_name, *result.series.keys()]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    n = result.x_values.size
+    if n <= max_rows:
+        idx = list(range(n))
+    else:
+        half = max_rows // 2
+        idx = list(range(half)) + [-1] + list(range(n - half, n))
+    for i in idx:
+        if i == -1:
+            lines.append("| … |" + " … |" * len(result.series))
+            continue
+        row = [_fmt(float(result.x_values[i]))]
+        row += [_fmt(float(result.series[s][i])) for s in result.series]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+
+    notable = {k: v for k, v in result.extra.items() if k != "wall_seconds"}
+    if notable:
+        lines.append("*Notes:*")
+        for key, value in sorted(notable.items()):
+            lines.append(f"- `{key}`: {value}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def results_to_report(results: dict, *, title: str = "Experiment report") -> str:
+    """A full markdown report over ``{experiment_id: ExperimentResult}``."""
+    lines = [f"# {title}", ""]
+    summary_header = ["experiment", "series", "min", "max", "first", "last"]
+    lines.append("| " + " | ".join(summary_header) + " |")
+    lines.append("|" + "---|" * len(summary_header))
+    for fid in sorted(results):
+        for name, lo, hi, first, last in results[fid].summary_rows():
+            lines.append(
+                f"| {fid} | {name} | {_fmt(lo)} | {_fmt(hi)} | {_fmt(first)} | {_fmt(last)} |"
+            )
+    lines.append("")
+    for fid in sorted(results):
+        lines.append(result_to_markdown(results[fid]))
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""P2P substrate: consistent-hashing rings, Chord overlay, request workloads."""
+
+from .chord import ChordNetwork, ChordNode, LookupResult
+from .churn import ChurnEvent, ChurnTrace, run_churn
+from .dht import DHT
+from .hashing import hash_key, hash_to_unit, point_sequence, splitmix64
+from .ring import ConsistentHashRing, RingPeer
+from .workload import RingAllocationResult, allocate_requests
+
+__all__ = [
+    "splitmix64",
+    "hash_key",
+    "hash_to_unit",
+    "point_sequence",
+    "ConsistentHashRing",
+    "RingPeer",
+    "ChordNetwork",
+    "ChordNode",
+    "LookupResult",
+    "RingAllocationResult",
+    "allocate_requests",
+    "DHT",
+    "ChurnEvent",
+    "ChurnTrace",
+    "run_churn",
+]

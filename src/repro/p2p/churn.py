@@ -1,0 +1,101 @@
+"""Churn driver: membership dynamics over a DHT.
+
+Plays a sequence of join/leave events against a :class:`~repro.p2p.dht.DHT`
+and records, per event, the key copies moved and the resulting primary-copy
+skew — the live-system counterpart of the static arc-imbalance argument in
+the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sampling.rngutils import make_rng
+from .dht import DHT
+
+__all__ = ["ChurnEvent", "ChurnTrace", "run_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change and its cost."""
+
+    kind: str  # "join" or "leave"
+    peer_id: str
+    copies_moved: int
+    n_peers_after: int
+    skew_after: float
+
+
+@dataclass
+class ChurnTrace:
+    """Outcome of a churn run."""
+
+    events: list[ChurnEvent] = field(default_factory=list)
+
+    @property
+    def total_moved(self) -> int:
+        """Total key copies moved across all events."""
+        return sum(e.copies_moved for e in self.events)
+
+    @property
+    def mean_moved_per_event(self) -> float:
+        """Average movement per membership change."""
+        return self.total_moved / len(self.events) if self.events else 0.0
+
+    @property
+    def max_skew(self) -> float:
+        """Worst primary-copy skew seen after any event."""
+        return max((e.skew_after for e in self.events), default=0.0)
+
+    def moved_series(self) -> np.ndarray:
+        """Per-event movement as an array (for plotting)."""
+        return np.asarray([e.copies_moved for e in self.events], dtype=np.int64)
+
+
+def run_churn(
+    dht: DHT,
+    events: int,
+    *,
+    join_probability: float = 0.5,
+    seed=None,
+) -> ChurnTrace:
+    """Apply *events* random membership changes to *dht* (mutating it).
+
+    Each event is a join of a fresh peer with probability
+    *join_probability*, otherwise a leave of a random current peer (skipped
+    when at the replication floor).
+    """
+    if events < 0:
+        raise ValueError(f"events must be non-negative, got {events}")
+    if not 0.0 <= join_probability <= 1.0:
+        raise ValueError(f"join_probability must be in [0, 1], got {join_probability}")
+    rng = make_rng(seed)
+    trace = ChurnTrace()
+    next_id = 0
+    for _ in range(events):
+        do_join = rng.random() < join_probability or dht.n_peers <= dht.replication
+        if do_join:
+            pid = f"churn-{next_id}"
+            next_id += 1
+            while pid in dht.peer_ids:
+                pid = f"churn-{next_id}"
+                next_id += 1
+            moved = dht.join(pid)
+            kind = "join"
+        else:
+            pid = dht.peer_ids[int(rng.integers(0, dht.n_peers))]
+            moved = dht.leave(pid)
+            kind = "leave"
+        trace.events.append(
+            ChurnEvent(
+                kind=kind,
+                peer_id=pid,
+                copies_moved=moved,
+                n_peers_after=dht.n_peers,
+                skew_after=dht.skew(),
+            )
+        )
+    return trace

@@ -1,0 +1,57 @@
+"""Deterministic hashing utilities for the P2P substrate.
+
+The ring and Chord simulators need stable, well-mixed hash values that do not
+depend on ``PYTHONHASHSEED``.  We use the splitmix64 finaliser — a cheap
+bijective mixer with good avalanche behaviour — over explicit 64-bit lanes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["splitmix64", "hash_key", "hash_to_unit", "point_sequence"]
+
+_MASK = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """The splitmix64 finaliser: a 64-bit bijection with strong mixing."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (x ^ (x >> 31)) & _MASK
+
+
+def hash_key(key, salt: int = 0) -> int:
+    """Hash *key* (str, bytes or int) with *salt* into a 64-bit value."""
+    if isinstance(key, int):
+        material = key & _MASK
+    elif isinstance(key, str):
+        material = int.from_bytes(key.encode("utf-8")[:8].ljust(8, b"\0"), "little")
+        # fold longer strings in 8-byte lanes
+        data = key.encode("utf-8")
+        for off in range(8, len(data), 8):
+            lane = int.from_bytes(data[off : off + 8].ljust(8, b"\0"), "little")
+            material = splitmix64(material ^ lane)
+    elif isinstance(key, bytes):
+        material = int.from_bytes(key[:8].ljust(8, b"\0"), "little")
+        for off in range(8, len(key), 8):
+            lane = int.from_bytes(key[off : off + 8].ljust(8, b"\0"), "little")
+            material = splitmix64(material ^ lane)
+    else:
+        raise TypeError(f"key must be int, str or bytes, got {type(key).__name__}")
+    return splitmix64(material ^ splitmix64(salt & _MASK))
+
+
+def hash_to_unit(key, salt: int = 0) -> float:
+    """Map *key* to a point of the unit interval ``[0, 1)``."""
+    return hash_key(key, salt) / float(1 << 64)
+
+
+def point_sequence(key, count: int) -> list[float]:
+    """The first *count* independent ring points of *key* (salted re-hashes).
+
+    Byers et al.'s d-point scheme gives each request ``d`` independent
+    positions; salting with the probe index reproduces that determinism.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [hash_to_unit(key, salt=i + 1) for i in range(count)]

@@ -1,0 +1,118 @@
+"""Request allocation on rings — the Byers et al. d-point scheme.
+
+Each request hashes to ``d`` independent points on the ring; each point maps
+to the peer owning that arc; the request is assigned to a least-loaded of
+the ``d`` peers.  Because a peer is hit with probability equal to its arc
+length, this is the non-uniform-probability balls-into-bins game of the
+related work ([7, 9] in the paper) — the stepping stone to the paper's
+capacity-aware model.
+
+Two peer-load notions are provided:
+
+* ``capacity_aware=False`` (Byers et al.): peers are unit bins, load =
+  number of requests — the related-work baseline;
+* ``capacity_aware=True`` (this paper): peers' capacities are their
+  (quantised) arc lengths and Algorithm 1 is applied, so big-arc peers
+  deliberately absorb proportionally more requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.fast import run_batch
+from ..sampling.rngutils import make_rng
+from .ring import ConsistentHashRing
+
+__all__ = ["RingAllocationResult", "allocate_requests"]
+
+
+@dataclass(frozen=True)
+class RingAllocationResult:
+    """Outcome of allocating *m* requests onto a ring."""
+
+    counts: np.ndarray
+    capacities: np.ndarray
+    m: int
+    d: int
+    capacity_aware: bool
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Per-peer loads: requests over capacity (capacity 1 when unaware)."""
+        return self.counts / self.capacities
+
+    @property
+    def max_load(self) -> float:
+        """Maximum per-peer load."""
+        return float(self.loads.max())
+
+    @property
+    def max_requests(self) -> int:
+        """Maximum raw request count on any peer (Byers et al.'s metric)."""
+        return int(self.counts.max())
+
+
+def allocate_requests(
+    ring: ConsistentHashRing,
+    m: int,
+    d: int = 2,
+    *,
+    capacity_aware: bool = False,
+    resolution: int | None = None,
+    seed=None,
+) -> RingAllocationResult:
+    """Allocate *m* requests, each probing *d* random ring points.
+
+    Parameters
+    ----------
+    ring:
+        The consistent-hashing ring.
+    m:
+        Number of requests.
+    d:
+        Probes per request (``d = 1`` reproduces plain consistent hashing).
+    capacity_aware:
+        When true, peers get integer capacities proportional to their arcs
+        (quantised at *resolution*) and the paper's Algorithm 1 decides
+        among the probed peers; when false every peer is a unit bin
+        (Byers et al.).
+    resolution:
+        Quantisation for capacity-aware mode; defaults to
+        ``max(1000, 10 * n_peers)``.
+    seed:
+        RNG seed for the request points.
+    """
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    rng = make_rng(seed)
+
+    if capacity_aware:
+        res = resolution if resolution is not None else max(1000, 10 * ring.n_peers)
+        caps = ring.as_bin_array(res).capacities
+    else:
+        caps = np.ones(ring.n_peers, dtype=np.int64)
+
+    # Request points are uniform on the circle; map every point to its peer.
+    # Vectorised searchsorted replicates ring.lookup for a whole matrix.
+    points = rng.random((m, d))
+    pos = ring.positions
+    idx = np.searchsorted(pos, points, side="left")
+    idx[idx == pos.size] = 0
+    owners = ring._owners[idx]
+
+    counts: list[int] = [0] * ring.n_peers
+    tie_u = rng.random(m)
+    run_batch(counts, caps.tolist(), owners.astype(np.int64), tie_u, tie_break="max_capacity")
+
+    return RingAllocationResult(
+        counts=np.asarray(counts, dtype=np.int64),
+        capacities=caps,
+        m=m,
+        d=d,
+        capacity_aware=capacity_aware,
+    )

@@ -1,0 +1,14 @@
+"""Experiment runtime: repetition fan-out, seed trees, progress reporting."""
+
+from .executor import run_repetitions, run_tasks
+from .progress import NullReporter, ProgressReporter, make_reporter
+from .seeding import SeedTree
+
+__all__ = [
+    "run_repetitions",
+    "run_tasks",
+    "SeedTree",
+    "NullReporter",
+    "ProgressReporter",
+    "make_reporter",
+]

@@ -1,0 +1,82 @@
+"""Lightweight progress reporting for long experiment runs.
+
+No external dependency: a :class:`ProgressReporter` prints rate-limited
+single-line updates to ``stderr``; a :class:`NullReporter` silences them.
+Experiments accept either through a common ``progress`` argument.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressReporter", "NullReporter", "make_reporter"]
+
+
+class NullReporter:
+    """Reporter that discards everything (the default in library code)."""
+
+    def start(self, total: int, label: str = "") -> None:
+        """Begin a task of *total* steps."""
+
+    def advance(self, steps: int = 1) -> None:
+        """Record completed steps."""
+
+    def finish(self) -> None:
+        """Mark the task done."""
+
+
+class ProgressReporter(NullReporter):
+    """Prints ``label: done/total (pct)`` to stderr, at most every *interval* seconds."""
+
+    def __init__(self, interval: float = 1.0, stream=None):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._done = 0
+        self._label = ""
+        self._last_emit = 0.0
+
+    def start(self, total: int, label: str = "") -> None:
+        self._total = max(int(total), 0)
+        self._done = 0
+        self._label = label
+        self._last_emit = 0.0
+        self._emit(force=True)
+
+    def advance(self, steps: int = 1) -> None:
+        self._done += int(steps)
+        self._emit()
+
+    def finish(self) -> None:
+        self._emit(force=True)
+        print(file=self.stream)
+
+    def _emit(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        if self._total:
+            pct = 100.0 * self._done / self._total
+            msg = f"\r{self._label}: {self._done}/{self._total} ({pct:5.1f}%)"
+        else:
+            msg = f"\r{self._label}: {self._done}"
+        print(msg, end="", file=self.stream, flush=True)
+
+
+def make_reporter(progress) -> NullReporter:
+    """Coerce ``progress`` into a reporter.
+
+    ``True`` → default :class:`ProgressReporter`; ``None``/``False`` →
+    :class:`NullReporter`; a reporter instance is passed through.
+    """
+    if progress is True:
+        return ProgressReporter()
+    if progress in (None, False):
+        return NullReporter()
+    if isinstance(progress, NullReporter):
+        return progress
+    raise TypeError(f"progress must be a bool, None or a reporter, got {type(progress)!r}")

@@ -1,0 +1,58 @@
+"""Seed trees for experiments.
+
+An experiment is addressed by ``(sweep point, repetition)``; this module
+derives one independent seed per cell from a single master seed, in a way
+that is stable under changes to the number of repetitions or sweep points
+executed (cell ``(i, j)`` always receives the same seed for the same master).
+Built on :mod:`repro.sampling.rngutils`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sampling.rngutils import spawn_seed_sequences
+
+__all__ = ["SeedTree"]
+
+
+class SeedTree:
+    """Two-level seed hierarchy: sweep points at level 1, repetitions at level 2.
+
+    Examples
+    --------
+    >>> tree = SeedTree(1234, n_points=3)
+    >>> ss = tree.repetition_seed(point=1, repetition=7)
+    >>> isinstance(ss, np.random.SeedSequence)
+    True
+    """
+
+    def __init__(self, master_seed, n_points: int):
+        if n_points <= 0:
+            raise ValueError(f"n_points must be positive, got {n_points}")
+        self._point_seeds = spawn_seed_sequences(master_seed, n_points)
+        self._rep_cache: dict[int, list[np.random.SeedSequence]] = {}
+        self.n_points = n_points
+
+    def point_seed(self, point: int) -> np.random.SeedSequence:
+        """Seed of sweep point *point*."""
+        return self._point_seeds[point]
+
+    def repetition_seed(self, point: int, repetition: int) -> np.random.SeedSequence:
+        """Seed of repetition *repetition* at sweep point *point*."""
+        if repetition < 0:
+            raise IndexError(f"repetition must be non-negative, got {repetition}")
+        reps = self._rep_cache.setdefault(point, [])
+        if repetition >= len(reps):
+            # SeedSequence.spawn continues from the internal spawn counter,
+            # so extending the cache preserves previously issued seeds.
+            reps.extend(self._point_seeds[point].spawn(repetition + 1 - len(reps)))
+        return reps[repetition]
+
+    def repetition_seeds(self, point: int, count: int) -> list[np.random.SeedSequence]:
+        """First *count* repetition seeds of a sweep point."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count:
+            self.repetition_seed(point, count - 1)
+        return list(self._rep_cache.get(point, []))[:count]

@@ -1,0 +1,37 @@
+"""Weighted sampling substrate: samplers, probability models, RNG streams."""
+
+from .alias import AliasSampler
+from .cdf import CdfSampler
+from .distributions import (
+    CustomProbability,
+    PowerProbability,
+    ProbabilityModel,
+    ProportionalProbability,
+    ThresholdProbability,
+    UniformProbability,
+    probability_model,
+)
+from .rngutils import (
+    RngStreamPool,
+    derive_substream,
+    make_rng,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
+
+__all__ = [
+    "AliasSampler",
+    "CdfSampler",
+    "ProbabilityModel",
+    "ProportionalProbability",
+    "UniformProbability",
+    "PowerProbability",
+    "ThresholdProbability",
+    "CustomProbability",
+    "probability_model",
+    "make_rng",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+    "derive_substream",
+    "RngStreamPool",
+]

@@ -1,0 +1,211 @@
+"""Probability models over bins.
+
+The paper studies several ways to turn a capacity vector ``c_1..c_n`` into a
+selection distribution for the balls' random choices:
+
+* **proportional** — ``p_i = c_i / C`` — the paper's default (Sections 2–4).
+* **uniform** — ``p_i = 1/n`` — the standard-game distribution, used as a
+  baseline and in the discussion of alternatives in Section 1.
+* **power** — ``p_i = c_i^t / sum_j c_j^t`` — Section 4.5's family; ``t = 1``
+  recovers proportional, ``t = 0`` uniform, and larger ``t`` shifts mass to
+  the big bins (Figures 17 and 18 sweep ``t``).
+* **threshold** — probability ``1/(alpha*n)`` for bins of capacity at least
+  ``q`` and 0 otherwise — the distribution constructed in Theorem 5's proof.
+* **custom** — an arbitrary user-supplied weight vector.
+
+Every model produces a normalised weight vector via :meth:`weights`, and a
+ready-to-draw sampler via :meth:`sampler`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .alias import AliasSampler
+from .cdf import CdfSampler
+
+__all__ = [
+    "ProbabilityModel",
+    "ProportionalProbability",
+    "UniformProbability",
+    "PowerProbability",
+    "ThresholdProbability",
+    "CustomProbability",
+    "probability_model",
+]
+
+
+def _as_capacities(capacities) -> np.ndarray:
+    caps = np.asarray(capacities, dtype=np.float64)
+    if caps.ndim != 1:
+        raise ValueError(f"capacities must be one-dimensional, got shape {caps.shape}")
+    if caps.size == 0:
+        raise ValueError("capacities must be non-empty")
+    if np.any(caps <= 0):
+        raise ValueError("capacities must be positive")
+    return caps
+
+
+class ProbabilityModel(ABC):
+    """Maps a capacity vector to a normalised bin-selection distribution."""
+
+    #: Short stable identifier, used in experiment provenance records.
+    name: str = "abstract"
+
+    @abstractmethod
+    def weights(self, capacities) -> np.ndarray:
+        """Return the normalised probability vector for *capacities*."""
+
+    def sampler(self, capacities, *, method: str = "alias"):
+        """Build a sampler realising this model over *capacities*.
+
+        ``method`` selects the backend: ``"alias"`` (O(1) per draw, default)
+        or ``"cdf"`` (O(log n) per draw, cheaper setup).
+        """
+        w = self.weights(capacities)
+        if method == "alias":
+            return AliasSampler(w)
+        if method == "cdf":
+            return CdfSampler(w)
+        raise ValueError(f"unknown sampler method {method!r}; expected 'alias' or 'cdf'")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ProportionalProbability(ProbabilityModel):
+    """``p_i = c_i / C`` — the paper's default model."""
+
+    name = "proportional"
+
+    def weights(self, capacities) -> np.ndarray:
+        caps = _as_capacities(capacities)
+        return caps / caps.sum()
+
+
+class UniformProbability(ProbabilityModel):
+    """``p_i = 1/n`` regardless of capacities (standard-game choices)."""
+
+    name = "uniform"
+
+    def weights(self, capacities) -> np.ndarray:
+        caps = _as_capacities(capacities)
+        return np.full(caps.size, 1.0 / caps.size)
+
+
+class PowerProbability(ProbabilityModel):
+    """``p_i proportional to c_i^t`` — Section 4.5's exponent family.
+
+    ``t`` may be any finite real; ``t=1`` is proportional, ``t=0`` uniform.
+    """
+
+    name = "power"
+
+    def __init__(self, exponent: float):
+        if not np.isfinite(exponent):
+            raise ValueError(f"exponent must be finite, got {exponent}")
+        self.exponent = float(exponent)
+
+    def weights(self, capacities) -> np.ndarray:
+        caps = _as_capacities(capacities)
+        # Work in log space to tolerate large exponents on large capacities.
+        logw = self.exponent * np.log(caps)
+        logw -= logw.max()
+        w = np.exp(logw)
+        return w / w.sum()
+
+    def __repr__(self) -> str:
+        return f"PowerProbability(exponent={self.exponent})"
+
+
+class ThresholdProbability(ProbabilityModel):
+    """Theorem 5's distribution: route only to bins of capacity >= q.
+
+    Bins meeting the threshold share the probability mass equally (the proof
+    assigns each of the ``alpha * n`` qualifying bins probability
+    ``1 / (alpha * n)``); all other bins get probability zero.
+    """
+
+    name = "threshold"
+
+    def __init__(self, min_capacity: float):
+        if not np.isfinite(min_capacity) or min_capacity <= 0:
+            raise ValueError(f"min_capacity must be positive and finite, got {min_capacity}")
+        self.min_capacity = float(min_capacity)
+
+    def weights(self, capacities) -> np.ndarray:
+        caps = _as_capacities(capacities)
+        eligible = caps >= self.min_capacity
+        count = int(eligible.sum())
+        if count == 0:
+            raise ValueError(
+                f"no bin has capacity >= {self.min_capacity}; "
+                "ThresholdProbability requires at least one eligible bin"
+            )
+        w = np.zeros(caps.size)
+        w[eligible] = 1.0 / count
+        return w
+
+    def __repr__(self) -> str:
+        return f"ThresholdProbability(min_capacity={self.min_capacity})"
+
+
+class CustomProbability(ProbabilityModel):
+    """Arbitrary user-supplied weights (normalised on use).
+
+    The weight vector length must match the capacity vector length; the
+    capacities themselves are only used for that validation.
+    """
+
+    name = "custom"
+
+    def __init__(self, weights):
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1:
+            raise ValueError(f"weights must be one-dimensional, got shape {w.shape}")
+        if w.size == 0:
+            raise ValueError("weights must be non-empty")
+        if np.any(w < 0) or not np.all(np.isfinite(w)):
+            raise ValueError("weights must be non-negative and finite")
+        if w.sum() <= 0:
+            raise ValueError("at least one weight must be positive")
+        self._weights = w / w.sum()
+
+    def weights(self, capacities) -> np.ndarray:
+        caps = _as_capacities(capacities)
+        if caps.size != self._weights.size:
+            raise ValueError(
+                f"weight vector has length {self._weights.size} "
+                f"but there are {caps.size} bins"
+            )
+        return self._weights.copy()
+
+    def __repr__(self) -> str:
+        return f"CustomProbability(n={self._weights.size})"
+
+
+def probability_model(spec) -> ProbabilityModel:
+    """Coerce *spec* into a :class:`ProbabilityModel`.
+
+    Accepts a model instance (returned unchanged), one of the string names
+    ``"proportional"`` / ``"uniform"``, a ``("power", t)`` or
+    ``("threshold", q)`` tuple, or a raw weight vector.
+    """
+    if isinstance(spec, ProbabilityModel):
+        return spec
+    if isinstance(spec, str):
+        if spec == "proportional":
+            return ProportionalProbability()
+        if spec == "uniform":
+            return UniformProbability()
+        raise ValueError(f"unknown probability model name {spec!r}")
+    if isinstance(spec, tuple) and len(spec) == 2 and isinstance(spec[0], str):
+        kind, param = spec
+        if kind == "power":
+            return PowerProbability(param)
+        if kind == "threshold":
+            return ThresholdProbability(param)
+        raise ValueError(f"unknown parameterised model {kind!r}")
+    return CustomProbability(spec)

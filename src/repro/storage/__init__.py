@@ -1,0 +1,38 @@
+"""Storage-cluster substrate: disks, objects, placement strategies, metrics."""
+
+from .cluster import Cluster, Disk
+from .metrics import PlacementReport, evaluate_placement
+from .objects import ObjectSet, lognormal_objects, uniform_objects, unit_objects
+from .placement import (
+    GreedyTwoChoice,
+    LeastLoaded,
+    PlacementStrategy,
+    RoundRobinBySlots,
+    SingleChoice,
+)
+from .simulator import (
+    ExpansionStudy,
+    StrategyComparison,
+    compare_strategies,
+    expansion_study,
+)
+
+__all__ = [
+    "Disk",
+    "Cluster",
+    "ObjectSet",
+    "unit_objects",
+    "uniform_objects",
+    "lognormal_objects",
+    "PlacementStrategy",
+    "GreedyTwoChoice",
+    "SingleChoice",
+    "RoundRobinBySlots",
+    "LeastLoaded",
+    "PlacementReport",
+    "evaluate_placement",
+    "StrategyComparison",
+    "compare_strategies",
+    "ExpansionStudy",
+    "expansion_study",
+]

@@ -1,0 +1,123 @@
+"""Disk clusters: the bins of the storage scenario.
+
+A :class:`Disk` carries a storage capacity (the model's bin capacity) and a
+bandwidth (used to normalise read traffic); a :class:`Cluster` is an ordered
+set of disks exposing the :class:`~repro.bins.arrays.BinArray` view the
+allocation protocol operates on.  Clusters can grow by batches exactly as in
+Section 4.3 (delegating to the growth models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+from ..bins.growth import GrowthModel
+
+__all__ = ["Disk", "Cluster"]
+
+
+@dataclass(frozen=True)
+class Disk:
+    """One storage device.
+
+    ``capacity`` is the integer bin capacity of the model; ``bandwidth``
+    scales how much read traffic the disk absorbs per unit time (defaults
+    to the capacity — bigger generations are faster too, the common case
+    the paper's "speed, bandwidth" reading suggests); ``generation`` labels
+    the purchase batch.
+    """
+
+    capacity: int
+    bandwidth: float | None = None
+    generation: int = 0
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth, defaulting to the capacity."""
+        return float(self.bandwidth) if self.bandwidth is not None else float(self.capacity)
+
+
+class Cluster:
+    """An ordered collection of disks."""
+
+    def __init__(self, disks):
+        self.disks: tuple[Disk, ...] = tuple(disks)
+        if not self.disks:
+            raise ValueError("a Cluster needs at least one disk")
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def n_disks(self) -> int:
+        """Number of disks."""
+        return len(self.disks)
+
+    def bin_array(self) -> BinArray:
+        """The capacities as a :class:`BinArray` (generation as label)."""
+        return BinArray(
+            np.asarray([d.capacity for d in self.disks], dtype=np.int64),
+            labels=tuple(d.generation for d in self.disks),
+        )
+
+    def capacities(self) -> np.ndarray:
+        """Capacity vector."""
+        return np.asarray([d.capacity for d in self.disks], dtype=np.int64)
+
+    def bandwidths(self) -> np.ndarray:
+        """Effective bandwidth vector."""
+        return np.asarray([d.effective_bandwidth for d in self.disks])
+
+    @property
+    def total_capacity(self) -> int:
+        """Sum of disk capacities."""
+        return int(self.capacities().sum())
+
+    def __repr__(self) -> str:
+        gens = sorted({d.generation for d in self.disks})
+        return (
+            f"Cluster(n_disks={self.n_disks}, C={self.total_capacity}, "
+            f"generations={gens})"
+        )
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def homogeneous(cls, n: int, capacity: int = 1, bandwidth: float | None = None) -> "Cluster":
+        """*n* identical disks."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        return cls([Disk(capacity, bandwidth) for _ in range(n)])
+
+    @classmethod
+    def from_bin_array(cls, bins: BinArray) -> "Cluster":
+        """Wrap an existing bin array (labels become generations when ints)."""
+        labels = bins.labels or (0,) * bins.n
+        disks = []
+        for cap, lab in zip(bins.capacities, labels):
+            gen = lab if isinstance(lab, int) else 0
+            disks.append(Disk(int(cap), generation=gen))
+        return cls(disks)
+
+    @classmethod
+    def from_growth_model(cls, model: GrowthModel, max_disks: int) -> "Cluster":
+        """The final state of a Section-4.3 growth schedule as a cluster."""
+        return cls.from_bin_array(model.final_state(max_disks))
+
+    def expand(self, count: int, capacity: int, bandwidth: float | None = None) -> "Cluster":
+        """A new cluster with *count* extra disks of the next generation."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        next_gen = max(d.generation for d in self.disks) + 1
+        return Cluster(
+            list(self.disks)
+            + [Disk(capacity, bandwidth, generation=next_gen) for _ in range(count)]
+        )

@@ -1,0 +1,130 @@
+"""Storage objects and workload generators.
+
+The paper motivates heterogeneous balls-into-bins with storage systems:
+requests/data items are balls, disks are bins.  This module provides the
+object populations the cluster simulator places and serves:
+
+* sizes — unit (the paper's model), uniform, or lognormal (realistic file
+  sizes);
+* read popularity — uniform or Zipf (hot objects), used by the read-load
+  experiments to weight per-disk traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sampling.rngutils import make_rng
+
+__all__ = ["ObjectSet", "unit_objects", "uniform_objects", "lognormal_objects"]
+
+
+@dataclass(frozen=True)
+class ObjectSet:
+    """A population of storage objects.
+
+    Attributes
+    ----------
+    sizes:
+        Positive object sizes (storage footprint).
+    popularity:
+        Non-negative read weights, normalised to sum to 1.  ``popularity[k]``
+        is the probability that a read request targets object ``k``.
+    """
+
+    sizes: np.ndarray
+    popularity: np.ndarray
+
+    def __post_init__(self):
+        sizes = np.asarray(self.sizes, dtype=np.float64)
+        pop = np.asarray(self.popularity, dtype=np.float64)
+        if sizes.ndim != 1 or pop.shape != sizes.shape:
+            raise ValueError("sizes and popularity must be equal-length 1-D arrays")
+        if sizes.size == 0:
+            raise ValueError("an ObjectSet needs at least one object")
+        if np.any(sizes <= 0) or not np.all(np.isfinite(sizes)):
+            raise ValueError("sizes must be positive and finite")
+        if np.any(pop < 0) or not np.all(np.isfinite(pop)):
+            raise ValueError("popularity must be non-negative and finite")
+        total = pop.sum()
+        if total <= 0:
+            raise ValueError("total popularity must be positive")
+        object.__setattr__(self, "sizes", sizes)
+        object.__setattr__(self, "popularity", pop / total)
+
+    @property
+    def count(self) -> int:
+        """Number of objects."""
+        return int(self.sizes.size)
+
+    @property
+    def total_size(self) -> float:
+        """Sum of object sizes."""
+        return float(self.sizes.sum())
+
+    def sample_reads(self, requests: int, rng=None) -> np.ndarray:
+        """Draw *requests* object indices according to popularity."""
+        if requests < 0:
+            raise ValueError(f"requests must be non-negative, got {requests}")
+        gen = make_rng(rng)
+        return gen.choice(self.count, size=requests, p=self.popularity)
+
+
+def _zipf_popularity(count: int, zipf_s: float | None, rng) -> np.ndarray:
+    if zipf_s is None:
+        return np.full(count, 1.0 / count)
+    if zipf_s <= 0:
+        raise ValueError(f"zipf_s must be positive, got {zipf_s}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks**-zipf_s
+    # randomise which object gets which rank so popularity is independent
+    # of creation order
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def unit_objects(count: int, *, zipf_s: float | None = None, rng=None) -> ObjectSet:
+    """*count* unit-size objects (the paper's unit balls).
+
+    ``zipf_s`` makes read popularity Zipf-distributed with that exponent;
+    ``None`` gives uniform popularity.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    gen = make_rng(rng)
+    return ObjectSet(
+        sizes=np.ones(count),
+        popularity=_zipf_popularity(count, zipf_s, gen),
+    )
+
+
+def uniform_objects(
+    count: int, low: float = 0.5, high: float = 1.5, *, zipf_s: float | None = None, rng=None
+) -> ObjectSet:
+    """Objects with sizes uniform in ``[low, high]``."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if not 0 < low <= high:
+        raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+    gen = make_rng(rng)
+    return ObjectSet(
+        sizes=gen.uniform(low, high, size=count),
+        popularity=_zipf_popularity(count, zipf_s, gen),
+    )
+
+
+def lognormal_objects(
+    count: int, mean: float = 0.0, sigma: float = 1.0, *, zipf_s: float | None = None, rng=None
+) -> ObjectSet:
+    """Objects with lognormal sizes (realistic file-size distribution)."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    gen = make_rng(rng)
+    return ObjectSet(
+        sizes=gen.lognormal(mean, sigma, size=count),
+        popularity=_zipf_popularity(count, zipf_s, gen),
+    )

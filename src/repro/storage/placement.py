@@ -1,0 +1,203 @@
+"""Placement strategies: where each object goes.
+
+The paper's protocol is one policy among several a storage operator could
+use; this module implements it alongside the standard alternatives so the
+cluster experiments can compare them on equal footing:
+
+* :class:`GreedyTwoChoice` — the paper's Algorithm 1 (configurable ``d``),
+  with per-object sizes supported through the weighted engine;
+* :class:`SingleChoice` — hash-style proportional random placement
+  (the d=1 game; what plain consistent hashing with capacity-aware tokens
+  achieves);
+* :class:`RoundRobinBySlots` — deterministic striping over the slot view
+  (the "ideal but stateful" coordinator policy);
+* :class:`LeastLoaded` — the omniscient baseline probing every disk.
+
+All strategies return an assignment array: object k → disk index.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..sampling.distributions import probability_model
+from ..sampling.rngutils import make_rng
+from .cluster import Cluster
+from .objects import ObjectSet
+
+__all__ = [
+    "PlacementStrategy",
+    "GreedyTwoChoice",
+    "SingleChoice",
+    "RoundRobinBySlots",
+    "LeastLoaded",
+]
+
+
+class PlacementStrategy(ABC):
+    """Maps an :class:`ObjectSet` onto a :class:`Cluster`."""
+
+    #: Stable identifier used in experiment output.
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(self, objects: ObjectSet, cluster: Cluster, seed=None) -> np.ndarray:
+        """Return the assignment array (object index → disk index)."""
+
+
+class GreedyTwoChoice(PlacementStrategy):
+    """The paper's Algorithm 1 as a placement policy.
+
+    Unit-size objects run through the exact integer engine; heterogeneous
+    sizes fall back to the float loop with the same greedy rule.
+    """
+
+    def __init__(self, d: int = 2, probabilities="proportional"):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = d
+        self.probabilities = probabilities
+        self.name = f"greedy-{d}-choice"
+
+    def place(self, objects: ObjectSet, cluster: Cluster, seed=None) -> np.ndarray:
+        rng = make_rng(seed)
+        bins = cluster.bin_array()
+        model = probability_model(self.probabilities)
+        sampler = model.sampler(bins.capacities)
+        m = objects.count
+        choices = sampler.sample((m, self.d), rng)
+        tie_u = rng.random(m)
+        caps = bins.capacities.tolist()
+        sizes = objects.sizes
+
+        if np.all(sizes == 1.0):
+            counts = [0] * bins.n
+            assignment = np.empty(m, dtype=np.int64)
+            # run ball-by-ball to capture each assignment: reuse the batch
+            # engine one row at a time is slow; instead replicate its d-row
+            # logic inline via run_batch on single-row slices would also be
+            # slow.  Track assignments by diffing counts per chunk of 1.
+            # Simpler: use the heights list trick — run the batch while
+            # recording chosen bins through a wrapper loop.
+            assignment = _assign_unit(counts, caps, choices, tie_u)
+            return assignment
+        return _assign_weighted(caps, sizes.tolist(), choices.tolist(), tie_u.tolist())
+
+
+def _assign_unit(counts, caps, choices, tie_u) -> np.ndarray:
+    """Unit-size greedy assignment recording the chosen bin per object."""
+    m, d = choices.shape
+    assignment = np.empty(m, dtype=np.int64)
+    tie = tie_u.tolist()
+    rows = choices.tolist()
+    for j in range(m):
+        row = rows[j]
+        best = [row[0]]
+        best_num = counts[row[0]] + 1
+        best_den = caps[row[0]]
+        for b in row[1:]:
+            num = counts[b] + 1
+            den = caps[b]
+            lhs = num * best_den
+            rhs = best_num * den
+            if lhs < rhs:
+                best = [b]
+                best_num = num
+                best_den = den
+            elif lhs == rhs and b not in best:
+                best.append(b)
+        if len(best) > 1:
+            cmax = max(caps[b] for b in best)
+            best = [b for b in best if caps[b] == cmax]
+        chosen = best[0] if len(best) == 1 else best[int(tie[j] * len(best))]
+        counts[chosen] += 1
+        assignment[j] = chosen
+    return assignment
+
+
+def _assign_weighted(caps, sizes, rows, tie) -> np.ndarray:
+    """Weighted greedy assignment (float loads)."""
+    masses = [0.0] * len(caps)
+    m = len(sizes)
+    assignment = np.empty(m, dtype=np.int64)
+    for j in range(m):
+        s = sizes[j]
+        row = rows[j]
+        best = [row[0]]
+        best_load = (masses[row[0]] + s) / caps[row[0]]
+        for b in row[1:]:
+            load = (masses[b] + s) / caps[b]
+            if load < best_load - 1e-15:
+                best = [b]
+                best_load = load
+            elif abs(load - best_load) <= 1e-12 * max(1.0, abs(best_load)) and b not in best:
+                best.append(b)
+        if len(best) > 1:
+            cmax = max(caps[b] for b in best)
+            best = [b for b in best if caps[b] == cmax]
+        chosen = best[0] if len(best) == 1 else best[int(tie[j] * len(best))]
+        masses[chosen] += s
+        assignment[j] = chosen
+    return assignment
+
+
+class SingleChoice(PlacementStrategy):
+    """Proportional random placement (hash-style, d = 1)."""
+
+    name = "single-choice"
+
+    def __init__(self, probabilities="proportional"):
+        self.probabilities = probabilities
+
+    def place(self, objects: ObjectSet, cluster: Cluster, seed=None) -> np.ndarray:
+        rng = make_rng(seed)
+        bins = cluster.bin_array()
+        sampler = probability_model(self.probabilities).sampler(bins.capacities)
+        return sampler.sample(objects.count, rng)
+
+
+class RoundRobinBySlots(PlacementStrategy):
+    """Deterministic striping across the slot view.
+
+    Object ``k`` goes to the owner of slot ``k mod C`` — a zero-randomness
+    coordinator policy that achieves near-perfect fill for unit objects and
+    serves as the deterministic reference point.
+    """
+
+    name = "round-robin"
+
+    def place(self, objects: ObjectSet, cluster: Cluster, seed=None) -> np.ndarray:
+        del seed  # deterministic
+        owner = cluster.bin_array().slot_owner()
+        idx = np.arange(objects.count) % owner.size
+        return owner[idx]
+
+
+class LeastLoaded(PlacementStrategy):
+    """Omniscient baseline: every object goes to a least-loaded disk.
+
+    For each object the disk minimising the load-after-placement
+    ``(mass + s) / capacity`` is scanned directly (the argmin depends on
+    the object size, so a static heap key would be wrong for non-unit
+    objects); ties go to the largest capacity, then the lowest index —
+    fully deterministic.  Cost is O(m·n), acceptable for baseline use.
+    """
+
+    name = "least-loaded"
+
+    def place(self, objects: ObjectSet, cluster: Cluster, seed=None) -> np.ndarray:
+        del seed  # deterministic given the object order
+        caps = cluster.capacities().astype(np.float64)
+        masses = np.zeros(cluster.n_disks)
+        assignment = np.empty(objects.count, dtype=np.int64)
+        for k, s in enumerate(objects.sizes):
+            loads_after = (masses + s) / caps
+            best = loads_after.min()
+            candidates = np.flatnonzero(loads_after <= best * (1 + 1e-12))
+            cmax = caps[candidates].max()
+            chosen = int(candidates[caps[candidates] == cmax][0])
+            masses[chosen] += s
+            assignment[k] = chosen
+        return assignment

@@ -1,0 +1,149 @@
+"""End-to-end cluster scenarios: placement, reads, expansion.
+
+:func:`compare_strategies` runs several placement policies on the same
+cluster/object population and reports their fill and read imbalance —
+the storage-operator view of the paper's comparison.  :func:`expansion_study`
+plays a Section-4.3 growth event: place objects, add a disk batch, and
+compare the minimum-migration rebalance against re-placing from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.migration import expected_displaced_from_scratch, rebalance_waterfill
+from ..sampling.rngutils import spawn_seed_sequences
+from .cluster import Cluster
+from .metrics import PlacementReport, evaluate_placement
+from .objects import ObjectSet
+from .placement import GreedyTwoChoice, PlacementStrategy
+
+__all__ = ["StrategyComparison", "compare_strategies", "ExpansionStudy", "expansion_study"]
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Mean metrics per strategy over repetitions."""
+
+    reports: dict[str, dict[str, float]]
+    repetitions: int
+
+    def best_by(self, metric: str) -> str:
+        """Name of the strategy minimising *metric*."""
+        return min(self.reports, key=lambda name: self.reports[name][metric])
+
+    def table_rows(self) -> list[tuple]:
+        """Rows (strategy, max_fill, fill_imbalance, read_imbalance)."""
+        return [
+            (
+                name,
+                vals["max_fill"],
+                vals["fill_imbalance"],
+                vals["read_imbalance"],
+            )
+            for name, vals in self.reports.items()
+        ]
+
+
+def compare_strategies(
+    strategies,
+    objects: ObjectSet,
+    cluster: Cluster,
+    *,
+    repetitions: int = 5,
+    seed=None,
+) -> StrategyComparison:
+    """Evaluate each strategy *repetitions* times on fresh seeds."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    strategies = list(strategies)
+    if not strategies:
+        raise ValueError("need at least one strategy")
+    seeds = spawn_seed_sequences(seed, len(strategies))
+    out: dict[str, dict[str, float]] = {}
+    for strategy, strat_seed in zip(strategies, seeds):
+        if not isinstance(strategy, PlacementStrategy):
+            raise TypeError(f"{strategy!r} is not a PlacementStrategy")
+        rep_seeds = strat_seed.spawn(repetitions)
+        metrics = {"max_fill": [], "fill_imbalance": [], "read_imbalance": []}
+        for rs in rep_seeds:
+            assignment = strategy.place(objects, cluster, seed=rs)
+            report = evaluate_placement(assignment, objects, cluster)
+            metrics["max_fill"].append(report.max_fill)
+            metrics["fill_imbalance"].append(report.fill_imbalance)
+            metrics["read_imbalance"].append(report.read_imbalance)
+        out[strategy.name] = {k: float(np.mean(v)) for k, v in metrics.items()}
+    return StrategyComparison(reports=out, repetitions=repetitions)
+
+
+@dataclass(frozen=True)
+class ExpansionStudy:
+    """Outcome of one growth event."""
+
+    before: PlacementReport
+    after_incremental: PlacementReport
+    after_scratch: PlacementReport
+    balls_moved_incremental: int
+    balls_displaced_scratch: float
+
+    @property
+    def migration_savings(self) -> float:
+        """Fraction of the from-scratch displacement the rebalance avoids."""
+        if self.balls_displaced_scratch == 0:
+            return 0.0
+        return 1.0 - self.balls_moved_incremental / self.balls_displaced_scratch
+
+
+def expansion_study(
+    cluster: Cluster,
+    objects: ObjectSet,
+    *,
+    new_disks: int,
+    new_capacity: int,
+    strategy: PlacementStrategy | None = None,
+    seed=None,
+) -> ExpansionStudy:
+    """Place objects, expand the cluster, compare rebalance vs re-place.
+
+    Unit-size objects are assumed for the migration arithmetic (the
+    rebalance planner counts balls); sizes are validated accordingly.
+    """
+    if not np.all(objects.sizes == 1.0):
+        raise ValueError(
+            "expansion_study requires unit-size objects (the migration "
+            "planner counts balls); use unit_objects(...)"
+        )
+    strategy = strategy or GreedyTwoChoice()
+    seeds = spawn_seed_sequences(seed, 2)
+
+    assignment = strategy.place(objects, cluster, seed=seeds[0])
+    before = evaluate_placement(assignment, objects, cluster)
+
+    grown = cluster.expand(new_disks, new_capacity)
+    grown_bins = grown.bin_array()
+    old_counts = np.bincount(assignment, minlength=grown.n_disks)
+
+    plan = rebalance_waterfill(old_counts, grown_bins)
+    incremental = PlacementReport(
+        fill=plan.new_counts / grown.capacities(),
+        read_load=plan.new_counts / grown.bandwidths(),
+        stored_mass=plan.new_counts.astype(np.float64),
+        objects_per_disk=plan.new_counts,
+        total_capacity=float(grown.total_capacity),
+    )
+
+    fresh_assignment = strategy.place(objects, grown, seed=seeds[1])
+    scratch = evaluate_placement(fresh_assignment, objects, grown)
+    displaced = expected_displaced_from_scratch(
+        old_counts, np.bincount(fresh_assignment, minlength=grown.n_disks)
+    )
+
+    return ExpansionStudy(
+        before=before,
+        after_incremental=incremental,
+        after_scratch=scratch,
+        balls_moved_incremental=plan.balls_moved,
+        balls_displaced_scratch=displaced,
+    )

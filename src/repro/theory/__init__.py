@@ -1,0 +1,61 @@
+"""Analytical results of the paper as evaluatable functions and checkers."""
+
+from .bounds import (
+    corollary1_bound,
+    loglog_over_logd,
+    observation1_bound,
+    observation2_bound,
+    theorem1_bound,
+    theorem2_bound,
+    theorem3_bound,
+    theorem4_standard_game,
+    theorem5_bound,
+)
+from .conditions import (
+    ConditionReport,
+    applicable_theorems,
+    corollary1_applies,
+    theorem1_applies,
+    theorem2_applies,
+    theorem3_applies,
+    theorem5_applies,
+)
+from .lowerbounds import (
+    one_choice_gap_heavy,
+    one_choice_max_heavy,
+    one_choice_max_light,
+    two_choice_gap,
+)
+from .tails import (
+    binomial_tail_upper,
+    chernoff_upper,
+    lemma2_collision_tail,
+    lemma2_small_ball_count_tail,
+)
+
+__all__ = [
+    "loglog_over_logd",
+    "observation1_bound",
+    "theorem1_bound",
+    "theorem2_bound",
+    "theorem3_bound",
+    "theorem4_standard_game",
+    "observation2_bound",
+    "corollary1_bound",
+    "theorem5_bound",
+    "ConditionReport",
+    "theorem1_applies",
+    "theorem2_applies",
+    "theorem3_applies",
+    "corollary1_applies",
+    "theorem5_applies",
+    "applicable_theorems",
+    "chernoff_upper",
+    "binomial_tail_upper",
+    "lemma2_small_ball_count_tail",
+    "lemma2_collision_tail",
+    "one_choice_max_light",
+    "one_choice_max_heavy",
+    "one_choice_gap_heavy",
+    "two_choice_gap",
+]

@@ -1,0 +1,170 @@
+"""Applicability checkers: which theorem covers a given system?
+
+Each checker takes a :class:`~repro.bins.arrays.BinArray` (plus the game
+parameters) and decides whether the hypotheses of the corresponding theorem
+hold, returning a :class:`ConditionReport` that records every clause.  The
+CLI's ``describe`` command and the examples use these to annotate systems
+with the bounds the paper guarantees for them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..bins.arrays import BinArray
+from ..bins.classify import DEFAULT_R, big_small_split
+
+__all__ = [
+    "ConditionReport",
+    "theorem1_applies",
+    "theorem2_applies",
+    "theorem3_applies",
+    "corollary1_applies",
+    "theorem5_applies",
+    "applicable_theorems",
+]
+
+
+@dataclass(frozen=True)
+class ConditionReport:
+    """Outcome of checking one theorem's hypotheses against a system."""
+
+    theorem: str
+    applies: bool
+    clauses: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.applies
+
+    def explain(self) -> str:
+        """Human-readable clause-by-clause account."""
+        lines = [f"{self.theorem}: {'applies' if self.applies else 'does not apply'}"]
+        for name, (ok, detail) in self.clauses.items():
+            lines.append(f"  [{'x' if ok else ' '}] {name}: {detail}")
+        return "\n".join(lines)
+
+
+def theorem1_applies(
+    bins: BinArray, m: int | None = None, *, r: float = DEFAULT_R, c: float = 1.0
+) -> ConditionReport:
+    """Theorem 1 needs ``m = C`` and (``m >= n^2`` or ``C_s <= c (n ln n)^{2/3}``)."""
+    if m is None:
+        m = bins.total_capacity
+    split = big_small_split(bins, r)
+    n = bins.n
+    m_eq_c = m == bins.total_capacity
+    cond1 = m >= n * n
+    bound = c * (n * max(math.log(n), 1e-12)) ** (2.0 / 3.0) if n > 1 else 0.0
+    cond2 = split.small_capacity <= bound
+    clauses = {
+        "m = C": (m_eq_c, f"m={m}, C={bins.total_capacity}"),
+        "(1) m >= n^2": (cond1, f"m={m}, n^2={n * n}"),
+        "(2) C_s <= c (n ln n)^(2/3)": (
+            cond2,
+            f"C_s={split.small_capacity}, bound={bound:.1f} (r={r}, c={c})",
+        ),
+    }
+    return ConditionReport("Theorem 1", m_eq_c and (cond1 or cond2), clauses)
+
+
+def theorem2_applies(
+    bins: BinArray, m: int | None = None, d: int = 2, *, r: float = DEFAULT_R
+) -> ConditionReport:
+    """Theorem 2 needs ``m = C``, ``d >= 2`` and
+    ``C_s <= C^{(d-1)/d} (log C)^{1/d}``."""
+    if m is None:
+        m = bins.total_capacity
+    split = big_small_split(bins, r)
+    C = bins.total_capacity
+    m_eq_c = m == C
+    d_ok = d >= 2
+    bound = C ** ((d - 1) / d) * max(math.log(C), 1e-12) ** (1.0 / d) if C > 1 else 0.0
+    cs_ok = split.small_capacity <= bound
+    clauses = {
+        "m = C": (m_eq_c, f"m={m}, C={C}"),
+        "d >= 2": (d_ok, f"d={d}"),
+        "C_s <= C^((d-1)/d) (log C)^(1/d)": (
+            cs_ok,
+            f"C_s={split.small_capacity}, bound={bound:.1f}",
+        ),
+    }
+    return ConditionReport("Theorem 2", m_eq_c and d_ok and cs_ok, clauses)
+
+
+def theorem3_applies(bins: BinArray, m: int | None = None, d: int = 2) -> ConditionReport:
+    """Theorem 3 needs ``m = C`` and ``d >= 2`` (``C = n^k`` holds for any
+    fixed system by choosing ``k = log C / log n``; the clause recorded here
+    is that ``C >= n``, i.e. ``k >= 1``)."""
+    if m is None:
+        m = bins.total_capacity
+    C = bins.total_capacity
+    m_eq_c = m == C
+    d_ok = d >= 2
+    poly = C >= bins.n
+    clauses = {
+        "m = C": (m_eq_c, f"m={m}, C={C}"),
+        "d >= 2": (d_ok, f"d={d}"),
+        "C >= n (k >= 1)": (poly, f"C={C}, n={bins.n}"),
+    }
+    return ConditionReport("Theorem 3", m_eq_c and d_ok and poly, clauses)
+
+
+def corollary1_applies(
+    bins: BinArray, m: int, *, loglog_factor: float = 1.0
+) -> ConditionReport:
+    """Corollary 1 needs uniform capacity ``c = Ω(ln ln n)`` and ``m = k n c``.
+
+    ``loglog_factor`` is the implied constant in ``Ω(ln ln n)``.
+    """
+    uniform = bins.is_uniform()
+    c = int(bins.capacities[0]) if uniform else 0
+    n = bins.n
+    loglog = math.log(max(math.log(max(n, 2)), 1.0 + 1e-12)) if n > 2 else 0.0
+    big_enough = uniform and c >= loglog_factor * max(loglog, 0.0)
+    k_integral = uniform and c > 0 and m % (n * c) == 0
+    clauses = {
+        "uniform capacities": (uniform, f"classes={sorted(bins.size_class_counts())}"),
+        "c >= factor*lnln(n)": (big_enough, f"c={c}, lnln(n)={loglog:.3f}"),
+        "m = k*n*c (k integral)": (k_integral, f"m={m}, n*c={n * c if uniform else 'n/a'}"),
+    }
+    return ConditionReport("Corollary 1", uniform and big_enough and k_integral, clauses)
+
+
+def theorem5_applies(
+    bins: BinArray, q: float, *, alpha_min: float = 0.0, loglog_factor: float = 1.0
+) -> ConditionReport:
+    """Theorem 5 needs an ``alpha``-fraction of bins with capacity ``q(n)``
+    where ``q = Ω(ln ln n)`` and all other bins strictly smaller.
+
+    ``alpha`` is measured from the array (fraction of bins with capacity
+    >= q); ``alpha_min`` lets callers require a minimum fraction.
+    """
+    caps = bins.capacities
+    n = bins.n
+    eligible = int((caps >= q).sum())
+    alpha = eligible / n
+    loglog = math.log(max(math.log(max(n, 2)), 1.0 + 1e-12)) if n > 2 else 0.0
+    q_ok = q >= loglog_factor * max(loglog, 0.0)
+    alpha_ok = alpha > max(alpha_min, 0.0)
+    clauses = {
+        "some bins reach q": (eligible > 0, f"{eligible}/{n} bins with capacity >= {q}"),
+        "alpha > alpha_min": (alpha_ok, f"alpha={alpha:.3f}, alpha_min={alpha_min}"),
+        "q >= factor*lnln(n)": (q_ok, f"q={q}, lnln(n)={loglog:.3f}"),
+    }
+    return ConditionReport("Theorem 5", eligible > 0 and alpha_ok and q_ok, clauses)
+
+
+def applicable_theorems(bins: BinArray, m: int | None = None, d: int = 2) -> list[ConditionReport]:
+    """Evaluate every applicability checker with default constants."""
+    if m is None:
+        m = bins.total_capacity
+    reports = [
+        theorem1_applies(bins, m),
+        theorem2_applies(bins, m, d),
+        theorem3_applies(bins, m, d),
+        corollary1_applies(bins, m),
+    ]
+    caps = bins.capacities
+    reports.append(theorem5_applies(bins, q=float(caps.max())))
+    return reports

@@ -1,0 +1,60 @@
+"""Reference growth rates for the baseline games.
+
+The paper's comparisons implicitly lean on classical facts about the
+*one-choice* game; having them as functions lets benches and examples
+annotate baseline curves with their expected growth:
+
+* ``m = n`` one-choice: max load ``~ ln n / ln ln n`` (balls-in-bins
+  folklore / [Raab–Steger 1998]);
+* ``m >> n ln n`` one-choice: max load ``~ m/n + sqrt(2 (m/n) ln n)``
+  (Gaussian regime of the same paper);
+* the two-choice gap ``ln ln n / ln d`` for contrast (re-exported from
+  :mod:`repro.theory.bounds`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .bounds import loglog_over_logd
+
+__all__ = [
+    "one_choice_max_light",
+    "one_choice_max_heavy",
+    "one_choice_gap_heavy",
+    "two_choice_gap",
+]
+
+
+def one_choice_max_light(n: int) -> float:
+    """Expected max load of the one-choice game with ``m = n`` balls.
+
+    The classical ``ln n / ln ln n`` first-order term (Raab–Steger);
+    returns the leading term without lower-order corrections.
+    """
+    if n < 3:
+        raise ValueError(f"n must be >= 3 for the asymptotic form, got {n}")
+    return math.log(n) / math.log(math.log(n))
+
+
+def one_choice_gap_heavy(m: int, n: int) -> float:
+    """Gap (max − m/n) of the heavy one-choice game: ``sqrt(2 (m/n) ln n)``.
+
+    Valid for ``m >> n ln n``; grows with m — the contrast to the
+    m-invariant two-choice gap (Theorem 4 / Figure 16).
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    return math.sqrt(2.0 * (m / n) * math.log(n))
+
+
+def one_choice_max_heavy(m: int, n: int) -> float:
+    """Expected max of the heavy one-choice game: ``m/n + gap``."""
+    return m / n + one_choice_gap_heavy(m, n)
+
+
+def two_choice_gap(n: int, d: int = 2) -> float:
+    """The d-choice gap ``ln ln n / ln d`` (for side-by-side annotation)."""
+    return loglog_over_logd(n, d)

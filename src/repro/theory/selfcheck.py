@@ -1,0 +1,173 @@
+"""Theorem self-checks: run the simulator against every analytical claim.
+
+:func:`verify_all` builds, for each of the paper's results, a system that
+satisfies its hypotheses, estimates the relevant statistic adaptively, and
+reports predicted-vs-measured.  It powers ``repro verify`` — a one-command
+regression check that the implementation still realises the paper's
+mathematics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.convergence import run_until_ci
+from ..bins.generators import two_class_bins, uniform_bins
+from ..core.majorization import coupled_domination_run
+from ..core.simulation import simulate
+from ..sampling.distributions import ThresholdProbability
+from .bounds import (
+    observation1_bound,
+    observation2_bound,
+    theorem3_bound,
+    theorem5_bound,
+)
+
+__all__ = ["CheckOutcome", "verify_all"]
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One claim's verification result."""
+
+    claim: str
+    predicted: float
+    measured: float
+    passed: bool
+    detail: str = ""
+
+    def row(self) -> tuple:
+        """Table row for CLI rendering."""
+        return (self.claim, self.predicted, self.measured, "ok" if self.passed else "FAIL")
+
+
+def _estimate(task, seed, halfwidth=0.1, max_reps=200) -> float:
+    est = run_until_ci(
+        task, target_halfwidth=halfwidth, max_repetitions=max_reps,
+        min_repetitions=5, batch=5, seed=seed,
+    )
+    return est.mean
+
+
+def verify_all(*, n: int = 1000, seed: int = 20260612) -> list[CheckOutcome]:
+    """Run every theorem check at problem size ~*n*; return the outcomes."""
+    if n < 100:
+        raise ValueError(f"n must be >= 100 for meaningful statistics, got {n}")
+    outcomes: list[CheckOutcome] = []
+    master = np.random.SeedSequence(seed).spawn(6)
+
+    # Observation 1: big bins stay below load 4.
+    bins = two_class_bins(int(0.9 * n), n - int(0.9 * n), 1, 64)
+
+    def obs1(ss):
+        res = simulate(bins, seed=ss)
+        return res.max_load_of_class(64)
+
+    measured = _estimate(obs1, master[0])
+    outcomes.append(
+        CheckOutcome(
+            claim="Observation 1 (big-bin load)",
+            predicted=observation1_bound(),
+            measured=measured,
+            passed=measured <= observation1_bound(),
+            detail=f"caps 1 and 64, n={n}",
+        )
+    )
+
+    # Lemma 1: coupled domination.
+    lemma_bins = two_class_bins(n // 10, n // 10, 1, 6)
+    dominated = all(
+        coupled_domination_run(lemma_bins, seed=s).q_dominates_max
+        for s in master[1].spawn(10)
+    )
+    outcomes.append(
+        CheckOutcome(
+            claim="Lemma 1 (unit-bin domination)",
+            predicted=1.0,
+            measured=1.0 if dominated else 0.0,
+            passed=dominated,
+            detail="10 coupled runs",
+        )
+    )
+
+    # Theorem 3: lnln(n)/ln(d) + O(1).
+    t3_bins = two_class_bins(n // 2, n // 2, 1, 10)
+    bound3 = theorem3_bound(t3_bins.n, 2, constant=2.0)
+
+    def t3(ss):
+        return simulate(t3_bins, seed=ss).max_load
+
+    measured3 = _estimate(t3, master[2])
+    outcomes.append(
+        CheckOutcome(
+            claim="Theorem 3 (lnln/ln d + 2)",
+            predicted=bound3,
+            measured=measured3,
+            passed=measured3 <= bound3,
+            detail=f"caps 1 and 10, n={t3_bins.n}",
+        )
+    )
+
+    # Observation 2: uniform capacity 8.
+    o2_bins = uniform_bins(n, 8)
+    pred2 = observation2_bound(8 * n, n, 8)
+
+    def o2(ss):
+        return simulate(o2_bins, seed=ss).max_load
+
+    measured2 = _estimate(o2, master[3], halfwidth=0.05)
+    outcomes.append(
+        CheckOutcome(
+            claim="Observation 2 (c=8)",
+            predicted=pred2,
+            measured=measured2,
+            passed=abs(measured2 - pred2) <= 0.5,
+            detail="prediction is central, +-0.5 band",
+        )
+    )
+
+    # Theorem 5: threshold distribution gives constant load.
+    q = 8
+    t5_bins = two_class_bins(n // 2, n // 2, 1, q)
+    bound5 = theorem5_bound(1.0, 0.5, q, n) + 1.0
+
+    def t5(ss):
+        return simulate(t5_bins, probabilities=ThresholdProbability(q), seed=ss).max_load
+
+    measured5 = _estimate(t5, master[4])
+    outcomes.append(
+        CheckOutcome(
+            claim="Theorem 5 (threshold routing)",
+            predicted=bound5,
+            measured=measured5,
+            passed=measured5 <= bound5,
+            detail=f"q={q}, alpha=1/2, bound + 1 slack",
+        )
+    )
+
+    # Theorem 4 corollary: the two-choice gap is m-invariant.
+    heavy_bins = uniform_bins(max(n // 20, 32), 2)
+
+    def gap_at(mult):
+        def task(ss):
+            return simulate(
+                heavy_bins, m=mult * heavy_bins.total_capacity, seed=ss
+            ).gap
+
+        return task
+
+    g1 = _estimate(gap_at(1), master[5], halfwidth=0.1)
+    g50 = _estimate(gap_at(50), master[5], halfwidth=0.1)
+    outcomes.append(
+        CheckOutcome(
+            claim="Theorem 4 (m-invariant gap)",
+            predicted=g1,
+            measured=g50,
+            passed=abs(g50 - g1) <= 0.5,
+            detail="gap at m=C vs m=50C",
+        )
+    )
+
+    return outcomes

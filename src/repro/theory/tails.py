@@ -1,0 +1,84 @@
+"""Tail-bound helpers used by the paper's proofs (Chernoff, binomial tails).
+
+These are the *analytical* inequalities — Lemma 2's bounds and the Chernoff
+step inside Observation 1 — exposed as functions so that tests and the
+theorem-condition checkers can evaluate the proved failure probabilities for
+concrete parameter settings and compare them with simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_upper",
+    "binomial_tail_upper",
+    "lemma2_small_ball_count_tail",
+    "lemma2_collision_tail",
+]
+
+
+def chernoff_upper(mean: float, epsilon: float) -> float:
+    """Chernoff bound ``P[X >= (1+eps) mu] <= exp(-eps^2 mu / 3)``.
+
+    The form used in Observation 1's proof (there with ``eps = 1``).  Valid
+    for sums of independent 0/1 variables and ``0 < eps <= 1``.
+    """
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    return math.exp(-(epsilon**2) * mean / 3.0)
+
+
+def binomial_tail_upper(trials: int, p: float, k: float) -> float:
+    """The paper's ``P[B(n, p) >= k] <= (e n p / k)^k`` upper bound.
+
+    Derived from ``C(n, k) <= (e n / k)^k`` — the inequality invoked twice in
+    Lemma 2's proof.  Returns 1.0 when the bound is vacuous (``k <= e n p``
+    makes the base exceed 1, and any probability is <= 1).
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    if k <= 0:
+        return 1.0
+    base = math.e * trials * p / k
+    if base >= 1.0:
+        return 1.0
+    # base^k can underflow for huge k; compute in log space.
+    return math.exp(k * math.log(base))
+
+
+def lemma2_small_ball_count_tail(m: int, c_small: int, c_total: int, k: float, d: int = 2) -> float:
+    """Lemma 2(1): ``P[X_s >= k] <= (e C_s^2 / (k C))^k`` (stated for d=2).
+
+    ``X_s`` counts balls whose ``d`` choices all hit small bins; each ball
+    does so with probability ``(C_s/C)^d <= (C_s/C)^2`` for ``d >= 2``.  For
+    general ``d`` we use the exact per-ball probability, which only tightens
+    the bound.
+    """
+    if m < 0 or c_small < 0 or c_total <= 0:
+        raise ValueError("need m >= 0, c_small >= 0, c_total > 0")
+    if c_small > c_total:
+        raise ValueError(f"C_s ({c_small}) cannot exceed C ({c_total})")
+    if d < 2:
+        raise ValueError(f"Lemma 2 assumes d >= 2, got {d}")
+    p_s = (c_small / c_total) ** d
+    return binomial_tail_upper(m, p_s, k)
+
+
+def lemma2_collision_tail(k: int, c_small: int, lam: float, d: int = 2) -> float:
+    """Lemma 2(2): ``P[Y >= lam | X_s = k] <= (e k^3 / (lam C_s^2))^lam``.
+
+    ``Y`` counts collisions among the ``k`` small-only balls when they are
+    dominated by a process into ``C_s`` unit bins; each collides with
+    probability at most ``(k / C_s)^d <= (k / C_s)^2``.
+    """
+    if k < 0 or c_small <= 0:
+        raise ValueError("need k >= 0 and c_small > 0")
+    if d < 2:
+        raise ValueError(f"Lemma 2 assumes d >= 2, got {d}")
+    p_c = min(1.0, (k / c_small) ** d)
+    return binomial_tail_upper(k, p_c, lam)

@@ -1,0 +1,88 @@
+"""Tests for repetition aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aggregate_scalar,
+    fraction_true,
+    mean_profile_by_position,
+    mean_sorted_profile,
+)
+
+
+class TestMeanSortedProfile:
+    def test_sorts_each_row(self):
+        m = [[1.0, 3.0], [2.0, 0.0]]
+        prof = mean_sorted_profile(m)
+        np.testing.assert_allclose(prof.mean, [2.5, 0.5])
+
+    def test_repetitions_recorded(self):
+        prof = mean_sorted_profile(np.ones((7, 3)))
+        assert prof.repetitions == 7
+        assert len(prof) == 3
+
+    def test_std(self):
+        m = [[0.0, 2.0], [2.0, 0.0]]
+        prof = mean_sorted_profile(m)
+        np.testing.assert_allclose(prof.std, [0.0, 0.0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            mean_sorted_profile([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_sorted_profile(np.empty((0, 4)))
+
+    def test_profile_non_increasing(self):
+        rng = np.random.default_rng(0)
+        prof = mean_sorted_profile(rng.random((20, 15)))
+        assert all(a >= b - 1e-12 for a, b in zip(prof.mean, prof.mean[1:]))
+
+
+class TestMeanProfileByPosition:
+    def test_no_sorting(self):
+        m = [[1.0, 3.0], [3.0, 1.0]]
+        prof = mean_profile_by_position(m)
+        np.testing.assert_allclose(prof.mean, [2.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_profile_by_position(np.empty((0, 2)))
+
+
+class TestAggregateScalar:
+    def test_values(self):
+        agg = aggregate_scalar([1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+        assert agg.repetitions == 3
+
+    def test_single_sample(self):
+        agg = aggregate_scalar([5.0])
+        assert agg.std == 0.0
+        assert agg.ci_halfwidth() == float("inf")
+
+    def test_ci_shrinks_with_reps(self):
+        rng = np.random.default_rng(1)
+        small = aggregate_scalar(rng.normal(size=10))
+        large = aggregate_scalar(rng.normal(size=1000))
+        assert large.ci_halfwidth() < small.ci_halfwidth()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_scalar([])
+
+
+class TestFractionTrue:
+    def test_half(self):
+        assert fraction_true([True, False, True, False]) == 0.5
+
+    def test_all_false(self):
+        assert fraction_true([False, False]) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fraction_true([])

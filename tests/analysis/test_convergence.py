@@ -1,0 +1,95 @@
+"""Tests for adaptive repetition control."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_until_ci
+
+
+def noisy_task(seed, sigma=1.0, mean=5.0):
+    return float(np.random.default_rng(seed).normal(mean, sigma))
+
+
+def constant_task(seed):
+    return 3.0
+
+
+class TestValidation:
+    def test_rejects_bad_halfwidth(self):
+        with pytest.raises(ValueError):
+            run_until_ci(constant_task, target_halfwidth=0)
+
+    def test_rejects_bad_min_reps(self):
+        with pytest.raises(ValueError):
+            run_until_ci(constant_task, target_halfwidth=0.1, min_repetitions=1)
+
+    def test_rejects_inverted_budget(self):
+        with pytest.raises(ValueError):
+            run_until_ci(
+                constant_task, target_halfwidth=0.1,
+                min_repetitions=10, max_repetitions=5,
+            )
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            run_until_ci(constant_task, target_halfwidth=0.1, batch=0)
+
+
+class TestBehaviour:
+    def test_constant_converges_at_min_reps(self):
+        est = run_until_ci(constant_task, target_halfwidth=0.01, seed=0)
+        assert est.converged
+        assert est.repetitions == 10  # the default minimum
+        assert est.mean == 3.0
+        assert est.ci_halfwidth == 0.0
+
+    def test_noisy_converges_near_truth(self):
+        est = run_until_ci(
+            noisy_task, target_halfwidth=0.1, max_repetitions=5000, seed=1,
+            kwargs={"sigma": 1.0, "mean": 5.0},
+        )
+        assert est.converged
+        assert est.mean == pytest.approx(5.0, abs=0.3)
+        assert est.ci_halfwidth <= 0.1
+
+    def test_budget_exhaustion_flagged(self):
+        est = run_until_ci(
+            noisy_task, target_halfwidth=1e-6, max_repetitions=50, seed=2,
+        )
+        assert not est.converged
+        assert est.repetitions == 50
+
+    def test_tighter_target_needs_more_reps(self):
+        loose = run_until_ci(
+            noisy_task, target_halfwidth=0.5, max_repetitions=4000, seed=3
+        )
+        tight = run_until_ci(
+            noisy_task, target_halfwidth=0.1, max_repetitions=4000, seed=3
+        )
+        assert tight.repetitions > loose.repetitions
+
+    def test_prefix_reproducibility(self):
+        """Sample i is identical across runs with the same seed, regardless
+        of where convergence stops."""
+        a = run_until_ci(noisy_task, target_halfwidth=0.3, max_repetitions=500, seed=4)
+        b = run_until_ci(noisy_task, target_halfwidth=0.1, max_repetitions=500, seed=4)
+        k = min(a.repetitions, b.repetitions)
+        np.testing.assert_array_equal(a.samples[:k], b.samples[:k])
+
+    def test_std_property(self):
+        est = run_until_ci(noisy_task, target_halfwidth=0.2, max_repetitions=2000, seed=5)
+        assert est.std == pytest.approx(1.0, abs=0.3)
+
+    def test_with_simulation_task(self):
+        """End-to-end: adaptive estimate of a real max-load mean."""
+        from repro.bins import two_class_bins
+        from repro.core import simulate
+
+        bins = two_class_bins(20, 20, 1, 4)
+
+        def task(ss):
+            return simulate(bins, seed=ss).max_load
+
+        est = run_until_ci(task, target_halfwidth=0.15, max_repetitions=300, seed=6)
+        assert est.converged
+        assert 1.0 <= est.mean <= 3.0

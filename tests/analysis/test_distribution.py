@@ -1,0 +1,66 @@
+"""Tests for load-distribution views."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import class_load_matrix, class_profiles, load_histogram
+
+
+class TestLoadHistogram:
+    def test_counts_sum(self):
+        h = load_histogram([0.1, 0.6, 1.2, 2.9])
+        assert h.total == 4
+
+    def test_bin_width(self):
+        h = load_histogram([0.0, 0.26], bin_width=0.25)
+        assert h.counts[0] == 1
+        assert h.counts[1] == 1
+
+    def test_densities(self):
+        h = load_histogram([0.1, 0.1, 0.6, 0.6])
+        np.testing.assert_allclose(h.densities().sum(), 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            load_histogram([])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            load_histogram([1.0], bin_width=0)
+
+    def test_max_value_included(self):
+        h = load_histogram([1.0], bin_width=0.5)
+        assert h.counts.sum() == 1
+
+
+class TestClassProfiles:
+    def test_split_and_sorted(self):
+        counts = [3, 1, 8, 16]
+        caps = [1, 1, 8, 8]
+        prof = class_profiles(counts, caps)
+        np.testing.assert_allclose(prof[1], [3.0, 1.0])
+        np.testing.assert_allclose(prof[8], [2.0, 1.0])
+
+    def test_single_class(self):
+        prof = class_profiles([1, 2], [1, 1])
+        assert set(prof) == {1}
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            class_profiles([1], [1, 2])
+
+
+class TestClassLoadMatrix:
+    def test_column_selection(self):
+        matrix = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        caps = [1, 8, 1]
+        out = class_load_matrix(matrix, caps, 1)
+        np.testing.assert_allclose(out, [[1.0, 3.0], [4.0, 6.0]])
+
+    def test_rejects_absent_class(self):
+        with pytest.raises(ValueError, match="no bins"):
+            class_load_matrix(np.ones((2, 2)), [1, 1], 8)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            class_load_matrix(np.ones((2, 3)), [1, 1], 1)

@@ -1,0 +1,71 @@
+"""Tests for the optimal-exponent search."""
+
+import pytest
+
+from repro.analysis import exponent_sweep, optimal_exponent
+from repro.bins import two_class_bins, uniform_bins
+
+
+class TestExponentSweep:
+    def test_grid_keys(self):
+        bins = two_class_bins(10, 10, 1, 3)
+        out = exponent_sweep(bins, [0.0, 1.0, 2.0], repetitions=5, seed=0)
+        assert set(out) == {0.0, 1.0, 2.0}
+
+    def test_deterministic_given_seed(self):
+        bins = two_class_bins(10, 10, 1, 3)
+        a = exponent_sweep(bins, [1.0], repetitions=5, seed=7)
+        b = exponent_sweep(bins, [1.0], repetitions=5, seed=7)
+        assert a == b
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            exponent_sweep(uniform_bins(4), [], repetitions=3)
+
+    def test_rejects_bad_reps(self):
+        with pytest.raises(ValueError):
+            exponent_sweep(uniform_bins(4), [1.0], repetitions=0)
+
+    def test_uniform_bins_flat_in_t(self):
+        """On uniform capacities every exponent gives the same game."""
+        bins = uniform_bins(50, 3)
+        out = exponent_sweep(bins, [0.0, 1.0, 2.0], repetitions=30, seed=1)
+        vals = list(out.values())
+        assert max(vals) - min(vals) < 0.2
+
+
+class TestOptimalExponent:
+    def test_finds_t_above_one_for_mixed_array(self):
+        """The paper's finding: t* > 1 at capacities 1 and 3."""
+        bins = two_class_bins(50, 50, 1, 3)
+        result = optimal_exponent(
+            bins, t_min=0.0, t_max=3.5, coarse_points=8,
+            refine_iterations=4, repetitions=120, seed=3,
+        )
+        assert result.best_t > 1.0
+        assert result.improvement_over_proportional() >= -0.05
+
+    def test_interval_brackets_best(self):
+        bins = two_class_bins(20, 20, 1, 4)
+        result = optimal_exponent(
+            bins, coarse_points=5, refine_iterations=3, repetitions=20, seed=4
+        )
+        lo, hi = result.refinement_interval
+        # the best t is either inside the final bracket or a coarse point
+        assert (lo - 1e-9 <= result.best_t <= hi + 1e-9) or result.best_t in result.coarse_curve
+
+    def test_coarse_curve_recorded(self):
+        bins = two_class_bins(10, 10, 1, 2)
+        result = optimal_exponent(
+            bins, coarse_points=4, refine_iterations=1, repetitions=5, seed=5
+        )
+        assert len(result.coarse_curve) == 4
+
+    def test_validation(self):
+        bins = uniform_bins(4)
+        with pytest.raises(ValueError):
+            optimal_exponent(bins, t_min=2.0, t_max=1.0)
+        with pytest.raises(ValueError):
+            optimal_exponent(bins, coarse_points=2)
+        with pytest.raises(ValueError):
+            optimal_exponent(bins, refine_iterations=-1)

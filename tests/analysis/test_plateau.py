@@ -1,0 +1,68 @@
+"""Tests for plateau detection."""
+
+import pytest
+
+from repro.analysis import find_plateaus, longest_plateau
+
+
+class TestFindPlateaus:
+    def test_flat_curve_is_one_plateau(self):
+        p = find_plateaus([2.0] * 6)
+        assert len(p) == 1
+        assert p[0].length == 6
+        assert p[0].level == 2.0
+
+    def test_steps_detected_separately(self):
+        curve = [3.0, 3.0, 3.0, 1.0, 1.0, 1.0]
+        p = find_plateaus(curve, tolerance=0.01)
+        assert len(p) == 2
+        assert p[0].level == pytest.approx(3.0)
+        assert p[1].level == pytest.approx(1.0)
+
+    def test_monotone_decline_no_plateau(self):
+        curve = [5.0, 4.0, 3.0, 2.0, 1.0]
+        assert find_plateaus(curve, tolerance=0.1) == []
+
+    def test_tolerance_merges_noise(self):
+        curve = [2.0, 2.02, 1.98, 2.01, 2.0]
+        p = find_plateaus(curve, tolerance=0.05)
+        assert len(p) == 1
+        assert p[0].length == 5
+
+    def test_min_length_respected(self):
+        curve = [1.0, 1.0, 5.0, 5.0, 5.0, 5.0]
+        p = find_plateaus(curve, min_length=4, tolerance=0.01)
+        assert len(p) == 1
+        assert p[0].start == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            find_plateaus([1.0], tolerance=-1)
+        with pytest.raises(ValueError):
+            find_plateaus([1.0], min_length=1)
+
+    def test_index_bounds(self):
+        curve = [9.0, 1.0, 1.0, 1.0, 9.0]
+        p = find_plateaus(curve, tolerance=0.01)
+        assert p[0].start == 1
+        assert p[0].stop == 3
+
+
+class TestLongestPlateau:
+    def test_picks_longest(self):
+        curve = [1.0] * 3 + [5.0] * 6 + [2.0] * 3
+        lp = longest_plateau(curve, tolerance=0.01)
+        assert lp.level == pytest.approx(5.0)
+        assert lp.length == 6
+
+    def test_none_when_absent(self):
+        assert longest_plateau([1.0, 2.0, 3.0], tolerance=0.01) is None
+
+    def test_figure6_style_plateau(self):
+        """A curve shaped like Figure 6 (drop, plateau, drop) has its
+        longest plateau in the middle."""
+        curve = [3.0, 2.2, 2.0, 2.0, 2.0, 2.0, 1.8, 1.5, 1.3, 1.2]
+        lp = longest_plateau(curve, tolerance=0.05)
+        assert lp is not None
+        assert 2 <= lp.start <= 3
+        assert lp.level == pytest.approx(2.0, abs=0.05)

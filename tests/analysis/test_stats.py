@@ -1,0 +1,87 @@
+"""Tests for per-run load statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    argmax_bins,
+    load_gap,
+    load_stats,
+    max_load,
+    max_load_location_by_class,
+    per_class_max_loads,
+)
+
+
+class TestLoadStats:
+    def test_basic(self):
+        s = load_stats([2, 4], [1, 4])
+        assert s.max_load == 2.0
+        assert s.average_load == pytest.approx(6 / 5)
+        assert s.min_load == 1.0
+
+    def test_gap(self):
+        s = load_stats([3, 1], [1, 1])
+        assert s.gap == pytest.approx(3 - 2)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            load_stats([1], [1, 2])
+
+    def test_std_zero_when_balanced(self):
+        s = load_stats([2, 2, 2], [1, 1, 1])
+        assert s.std_load == 0.0
+
+
+class TestScalarHelpers:
+    def test_max_load(self):
+        assert max_load([5, 2], [1, 2]) == 5.0
+
+    def test_load_gap(self):
+        assert load_gap([2, 0], [1, 1]) == pytest.approx(1.0)
+
+    def test_max_load_capacity_normalised(self):
+        # 8 balls in cap-8 bin is load 1, less than 2 balls in cap-1 bin
+        assert max_load([8, 2], [8, 1]) == 2.0
+
+
+class TestArgmax:
+    def test_single_winner(self):
+        np.testing.assert_array_equal(argmax_bins([3, 1], [1, 1]), [0])
+
+    def test_ties_detected(self):
+        np.testing.assert_array_equal(argmax_bins([2, 2, 1], [1, 1, 1]), [0, 1])
+
+    def test_cross_capacity_tie(self):
+        # 2/1 == 8/4
+        np.testing.assert_array_equal(argmax_bins([2, 8], [1, 4]), [0, 1])
+
+    def test_rtol_widens(self):
+        winners = argmax_bins([100, 99], [1, 1], rtol=0.02)
+        np.testing.assert_array_equal(winners, [0, 1])
+
+    def test_all_zero_loads(self):
+        np.testing.assert_array_equal(argmax_bins([0, 0], [1, 2]), [0, 1])
+
+
+class TestLocationByClass:
+    def test_small_bin_has_max(self):
+        loc = max_load_location_by_class([3, 4], [1, 4])
+        assert loc == {1: True, 4: False}
+
+    def test_shared_max(self):
+        loc = max_load_location_by_class([2, 8], [1, 4])
+        assert loc == {1: True, 4: True}
+
+    def test_uniform_single_class(self):
+        loc = max_load_location_by_class([1, 2], [1, 1])
+        assert loc == {1: True}
+
+
+class TestPerClassMax:
+    def test_values(self):
+        out = per_class_max_loads([1, 3, 8, 4], [1, 1, 4, 4])
+        assert out == {1: 3.0, 4: 2.0}
+
+    def test_single_class(self):
+        assert per_class_max_loads([5], [2]) == {2: 2.5}

@@ -1,0 +1,131 @@
+"""Tests for the BinArray value type."""
+
+import numpy as np
+import pytest
+
+from repro.bins import BinArray
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one bin"):
+            BinArray([])
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            BinArray([1, 0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            BinArray([-3])
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError, match="integer"):
+            BinArray([1.5, 2.0])
+
+    def test_accepts_integral_floats(self):
+        b = BinArray([1.0, 2.0])
+        assert b.total_capacity == 3
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            BinArray(np.ones((2, 2)))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            BinArray([1, 2], labels=["a"])
+
+
+class TestProperties:
+    def test_basic(self, small_mixed_bins):
+        assert small_mixed_bins.n == 4
+        assert small_mixed_bins.total_capacity == 8
+        assert len(small_mixed_bins) == 4
+
+    def test_capacities_read_only(self, small_mixed_bins):
+        with pytest.raises(ValueError):
+            small_mixed_bins.capacities[0] = 99
+
+    def test_getitem(self, small_mixed_bins):
+        assert small_mixed_bins[3] == 4
+
+    def test_iteration(self, small_mixed_bins):
+        assert list(small_mixed_bins) == [1, 1, 2, 4]
+
+    def test_average_capacity(self, small_mixed_bins):
+        assert small_mixed_bins.average_capacity() == 2.0
+
+    def test_is_uniform(self):
+        assert BinArray([3, 3, 3]).is_uniform()
+        assert not BinArray([3, 4]).is_uniform()
+
+    def test_size_classes(self, small_mixed_bins):
+        np.testing.assert_array_equal(small_mixed_bins.size_classes(), [1, 2, 4])
+
+    def test_size_class_counts(self, small_mixed_bins):
+        assert small_mixed_bins.size_class_counts() == {1: 2, 2: 1, 4: 1}
+
+    def test_indices_of_capacity(self, small_mixed_bins):
+        np.testing.assert_array_equal(small_mixed_bins.indices_of_capacity(1), [0, 1])
+        assert small_mixed_bins.indices_of_capacity(7).size == 0
+
+    def test_repr_mentions_classes(self, small_mixed_bins):
+        assert "2x1" in repr(small_mixed_bins)
+
+
+class TestEqualityAndHash:
+    def test_equal(self):
+        assert BinArray([1, 2]) == BinArray([1, 2])
+
+    def test_not_equal_capacities(self):
+        assert BinArray([1, 2]) != BinArray([2, 1])
+
+    def test_not_equal_labels(self):
+        assert BinArray([1], labels=["a"]) != BinArray([1], labels=["b"])
+
+    def test_non_binarray_comparison(self):
+        assert BinArray([1]) != [1]
+
+    def test_hash_consistent(self):
+        assert hash(BinArray([1, 2])) == hash(BinArray([1, 2]))
+
+
+class TestSlotOwner:
+    def test_expansion(self, small_mixed_bins):
+        np.testing.assert_array_equal(
+            small_mixed_bins.slot_owner(), [0, 1, 2, 2, 3, 3, 3, 3]
+        )
+
+    def test_length_is_total_capacity(self):
+        b = BinArray([5, 7])
+        assert b.slot_owner().size == 12
+
+    def test_slot_probabilities_match_capacity(self):
+        """Uniform slot choice implies capacity-proportional bin choice."""
+        b = BinArray([1, 3])
+        owners = b.slot_owner()
+        frac = np.mean(owners == 1)
+        assert frac == 0.75
+
+
+class TestWithAppended:
+    def test_append_capacities(self):
+        b = BinArray([1, 2]).with_appended([3, 4])
+        assert list(b) == [1, 2, 3, 4]
+
+    def test_append_scalar(self):
+        b = BinArray([1]).with_appended(5)
+        assert list(b) == [1, 5]
+
+    def test_labels_preserved(self):
+        b = BinArray([1], labels=("g0",)).with_appended([2], labels=("g1",))
+        assert b.labels == ("g0", "g1")
+
+    def test_labels_padded_when_missing(self):
+        b = BinArray([1]).with_appended([2], labels=("g1",))
+        assert b.labels == (None, "g1")
+
+    def test_original_unchanged(self):
+        a = BinArray([1, 2])
+        a.with_appended([9])
+        assert a.total_capacity == 3

@@ -1,0 +1,88 @@
+"""Tests for big/small bin classification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bins import BinArray, big_small_split, bigness_threshold, uniform_bins
+
+
+class TestThreshold:
+    def test_value(self):
+        assert bigness_threshold(100, r=2.0) == pytest.approx(2.0 * math.log(100))
+
+    def test_n1_is_zero(self):
+        assert bigness_threshold(1) == 0.0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            bigness_threshold(0)
+
+    def test_rejects_bad_r(self):
+        with pytest.raises(ValueError):
+            bigness_threshold(10, r=0)
+
+
+class TestSplit:
+    def test_partition_covers_all(self):
+        b = BinArray([1, 2, 50, 100])
+        s = big_small_split(b, r=1.0)
+        assert s.n_big + s.n_small == b.n
+        assert s.total_capacity == b.total_capacity
+
+    def test_threshold_boundary_inclusive(self):
+        """A bin exactly at r*ln(n) is big."""
+        n = 100
+        thr = math.log(n)  # r = 1
+        cap = int(math.ceil(thr))
+        b = BinArray([1] * (n - 1) + [cap])
+        s = big_small_split(b)
+        assert s.n_big == 1
+        assert cap >= s.threshold
+
+    def test_capacities_sum(self):
+        b = BinArray([1, 1, 20, 30])
+        s = big_small_split(b, r=1.0)
+        assert s.big_capacity == 50
+        assert s.small_capacity == 2
+
+    def test_all_small(self):
+        b = uniform_bins(1000, 1)
+        s = big_small_split(b)
+        assert s.n_big == 0
+        assert s.small_capacity == 1000
+
+    def test_all_big(self):
+        b = uniform_bins(100, 100)
+        s = big_small_split(b)
+        assert s.n_small == 0
+
+    def test_indices_disjoint(self):
+        b = BinArray([1, 10, 1, 10, 100])
+        s = big_small_split(b, r=0.5)
+        assert set(s.big_indices).isdisjoint(set(s.small_indices))
+
+    def test_r_scales_threshold(self):
+        b = BinArray([1, 5, 10, 20])
+        lo = big_small_split(b, r=0.1)
+        hi = big_small_split(b, r=10.0)
+        assert lo.n_big >= hi.n_big
+
+
+class TestSmallBallProbability:
+    def test_formula(self):
+        b = BinArray([1] * 50 + [100] * 50)
+        s = big_small_split(b)
+        expected = (s.small_capacity / s.total_capacity) ** 2
+        assert s.small_ball_probability(2) == pytest.approx(expected)
+
+    def test_d_monotone(self):
+        b = BinArray([1] * 10 + [50] * 10)
+        s = big_small_split(b)
+        assert s.small_ball_probability(3) < s.small_ball_probability(2)
+
+    def test_rejects_bad_d(self):
+        b = BinArray([1, 50])
+        with pytest.raises(ValueError):
+            big_small_split(b).small_ball_probability(0)

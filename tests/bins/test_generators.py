@@ -1,0 +1,156 @@
+"""Tests for bin-array generators."""
+
+import numpy as np
+import pytest
+
+from repro.bins import (
+    binomial_random_bins,
+    geometric_bins,
+    multi_class_bins,
+    two_class_bins,
+    uniform_bins,
+    zipf_bins,
+)
+
+
+class TestUniform:
+    def test_basic(self):
+        b = uniform_bins(10, 3)
+        assert b.n == 10
+        assert b.is_uniform()
+        assert b.total_capacity == 30
+
+    def test_default_capacity(self):
+        assert uniform_bins(5).total_capacity == 5
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            uniform_bins(0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            uniform_bins(5, 0)
+
+
+class TestTwoClass:
+    def test_layout_small_first(self):
+        b = two_class_bins(2, 3, 1, 10)
+        assert list(b) == [1, 1, 10, 10, 10]
+
+    def test_counts(self):
+        b = two_class_bins(7, 3, 2, 5)
+        assert b.size_class_counts() == {2: 7, 5: 3}
+
+    def test_zero_small_allowed(self):
+        assert two_class_bins(0, 4, 1, 2).n == 4
+
+    def test_zero_large_allowed(self):
+        assert two_class_bins(4, 0, 1, 2).n == 4
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="at least one bin"):
+            two_class_bins(0, 0, 1, 2)
+
+    def test_rejects_inverted_sizes(self):
+        with pytest.raises(ValueError, match="must be smaller"):
+            two_class_bins(1, 1, 5, 3)
+
+    def test_rejects_equal_sizes(self):
+        with pytest.raises(ValueError, match="must be smaller"):
+            two_class_bins(1, 1, 4, 4)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            two_class_bins(-1, 1, 1, 2)
+
+    def test_interleave_permutes(self):
+        a = two_class_bins(50, 50, 1, 2)
+        b = two_class_bins(50, 50, 1, 2, interleave=True, rng=1)
+        assert sorted(a) == sorted(b)
+        assert list(a) != list(b)
+
+    def test_figure6_array(self):
+        """Paper's Figure 6 setting: 1000 bins of sizes 1 and 10."""
+        b = two_class_bins(750, 250, 1, 10)
+        assert b.n == 1000
+        assert b.total_capacity == 750 + 2500
+
+
+class TestMultiClass:
+    def test_sorted_by_capacity(self):
+        b = multi_class_bins({4: 1, 1: 2, 2: 1})
+        assert list(b) == [1, 1, 2, 4]
+
+    def test_skips_zero_counts(self):
+        b = multi_class_bins({1: 2, 9: 0})
+        assert list(b) == [1, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            multi_class_bins({})
+
+    def test_rejects_all_zero_counts(self):
+        with pytest.raises(ValueError, match="zero"):
+            multi_class_bins({3: 0})
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="negative"):
+            multi_class_bins({3: -1})
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            multi_class_bins({0: 3})
+
+
+class TestBinomialRandom:
+    def test_range(self):
+        b = binomial_random_bins(1000, 4.0, rng=0)
+        assert b.capacities.min() >= 1
+        assert b.capacities.max() <= 8
+
+    def test_mean_close_to_target(self):
+        """E[capacity] = 1 + 7*(c-1)/7 = c."""
+        b = binomial_random_bins(20_000, 5.0, rng=1)
+        assert b.average_capacity() == pytest.approx(5.0, abs=0.1)
+
+    def test_c1_degenerates_to_unit(self):
+        b = binomial_random_bins(100, 1.0, rng=2)
+        assert b.is_uniform()
+        assert b[0] == 1
+
+    def test_c8_degenerates_to_eight(self):
+        b = binomial_random_bins(100, 8.0, rng=3)
+        assert b.is_uniform()
+        assert b[0] == 8
+
+    def test_rejects_out_of_range_mean(self):
+        with pytest.raises(ValueError, match=r"\[1, 8\]"):
+            binomial_random_bins(10, 9.0)
+
+    def test_reproducible(self):
+        a = binomial_random_bins(50, 3.0, rng=7)
+        b = binomial_random_bins(50, 3.0, rng=7)
+        assert a == b
+
+
+class TestGeometricAndZipf:
+    def test_geometric_levels(self):
+        b = geometric_bins(500, ratio=2.0, levels=3, rng=0)
+        assert set(b.size_classes()).issubset({1, 2, 4})
+
+    def test_geometric_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            geometric_bins(10, ratio=0.5)
+
+    def test_zipf_truncation(self):
+        b = zipf_bins(2000, alpha=1.5, max_capacity=16, rng=1)
+        assert b.capacities.max() <= 16
+        assert b.capacities.min() >= 1
+
+    def test_zipf_heavy_tail_present(self):
+        b = zipf_bins(5000, alpha=1.2, max_capacity=64, rng=2)
+        assert (b.capacities >= 8).sum() > 0
+
+    def test_zipf_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            zipf_bins(10, alpha=1.0)

@@ -1,0 +1,95 @@
+"""Tests for disk-batch growth models (Section 4.3 settings)."""
+
+import pytest
+
+from repro.bins import (
+    BaselineGrowthModel,
+    ExponentialGrowthModel,
+    LinearGrowthModel,
+)
+
+
+class TestLinear:
+    def test_batch_capacities(self):
+        m = LinearGrowthModel(offset=4, start_capacity=2)
+        assert [m.batch_capacity(i) for i in range(4)] == [2, 6, 10, 14]
+
+    def test_zero_offset_is_baseline(self):
+        m = LinearGrowthModel(offset=0)
+        assert m.batch_capacity(10) == m.batch_capacity(0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            LinearGrowthModel(offset=-1)
+
+    def test_rejects_negative_batch_index(self):
+        with pytest.raises(ValueError):
+            LinearGrowthModel(offset=1).batch_capacity(-1)
+
+
+class TestExponential:
+    def test_batch_capacities(self):
+        m = ExponentialGrowthModel(factor=2.0, start_capacity=2)
+        assert [m.batch_capacity(i) for i in range(4)] == [2, 4, 8, 16]
+
+    def test_rounding(self):
+        m = ExponentialGrowthModel(factor=1.4, start_capacity=2)
+        assert m.batch_capacity(1) == 3  # 2.8 -> 3
+
+    def test_floor_at_one(self):
+        m = ExponentialGrowthModel(factor=1.0, start_capacity=1)
+        assert m.batch_capacity(50) == 1
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ValueError):
+            ExponentialGrowthModel(factor=0.9)
+
+
+class TestBaseline:
+    def test_constant(self):
+        m = BaselineGrowthModel(start_capacity=2)
+        assert m.batch_capacity(0) == m.batch_capacity(49) == 2
+
+
+class TestStates:
+    def test_paper_schedule(self):
+        """2 -> 1000 disks in batches of 20 gives 2, 22, 42, ..., 982."""
+        m = BaselineGrowthModel(initial_bins=2, batch_size=20)
+        sizes = [s.n for s in m.states(1000)]
+        assert sizes[0] == 2
+        assert sizes[1] == 22
+        assert sizes[-1] == 982
+        assert all(b - a == 20 for a, b in zip(sizes, sizes[1:]))
+
+    def test_capacities_by_generation(self):
+        m = LinearGrowthModel(offset=1, initial_bins=2, batch_size=3, start_capacity=2)
+        states = list(m.states(8))
+        last = states[-1]
+        assert list(last) == [2, 2, 3, 3, 3, 4, 4, 4]
+
+    def test_labels_record_generation(self):
+        m = LinearGrowthModel(offset=1, initial_bins=1, batch_size=2)
+        final = m.final_state(5)
+        assert final.labels == (0, 1, 1, 2, 2)
+
+    def test_final_state_matches_last_yield(self):
+        m = ExponentialGrowthModel(factor=1.2, initial_bins=2, batch_size=20)
+        assert m.final_state(200) == list(m.states(200))[-1]
+
+    def test_rejects_max_below_initial(self):
+        m = BaselineGrowthModel(initial_bins=10)
+        with pytest.raises(ValueError):
+            list(m.states(5))
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            BaselineGrowthModel(initial_bins=0)
+        with pytest.raises(ValueError):
+            BaselineGrowthModel(batch_size=0)
+        with pytest.raises(ValueError):
+            BaselineGrowthModel(start_capacity=0)
+
+    def test_total_capacity_grows(self):
+        m = ExponentialGrowthModel(factor=1.4, initial_bins=2, batch_size=20)
+        totals = [s.total_capacity for s in m.states(200)]
+        assert all(b > a for a, b in zip(totals, totals[1:]))

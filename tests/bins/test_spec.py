@@ -1,0 +1,114 @@
+"""Tests for the bin-spec mini-language."""
+
+import pytest
+
+from repro.bins import BinSpecError, format_bin_spec, parse_bin_spec
+
+
+class TestExplicitClasses:
+    def test_single(self):
+        bins = parse_bin_spec("3x7")
+        assert bins.size_class_counts() == {3: 7}
+
+    def test_multiple(self):
+        bins = parse_bin_spec("1x500,10x500")
+        assert bins.n == 1000
+        assert bins.total_capacity == 5500
+
+    def test_whitespace(self):
+        assert parse_bin_spec(" 1x2 , 3x1 ").n == 3
+
+    def test_order_preserved(self):
+        bins = parse_bin_spec("5x2,1x2")
+        assert list(bins) == [5, 5, 1, 1]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(BinSpecError):
+            parse_bin_spec("1-10")
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(BinSpecError, match="positive"):
+            parse_bin_spec("3x0")
+
+    def test_rejects_empty(self):
+        with pytest.raises(BinSpecError, match="empty"):
+            parse_bin_spec(" , ")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(BinSpecError):
+            parse_bin_spec(42)
+
+
+class TestGenerators:
+    def test_uniform(self):
+        bins = parse_bin_spec("uniform:n=10,c=3")
+        assert bins.n == 10
+        assert bins.is_uniform()
+        assert bins[0] == 3
+
+    def test_binom(self):
+        bins = parse_bin_spec("binom:n=200,c=4,seed=1")
+        assert bins.n == 200
+        assert 1 <= bins.capacities.min()
+        assert bins.capacities.max() <= 8
+
+    def test_binom_deterministic(self):
+        a = parse_bin_spec("binom:n=50,c=3,seed=9")
+        b = parse_bin_spec("binom:n=50,c=3,seed=9")
+        assert a == b
+
+    def test_zipf(self):
+        bins = parse_bin_spec("zipf:n=100,alpha=1.5,max=32,seed=2")
+        assert bins.n == 100
+        assert bins.capacities.max() <= 32
+
+    def test_geom(self):
+        bins = parse_bin_spec("geom:n=60,ratio=2,levels=3,seed=3")
+        assert set(bins.size_classes()).issubset({1, 2, 4})
+
+    def test_unknown_generator(self):
+        with pytest.raises(BinSpecError, match="unknown generator"):
+            parse_bin_spec("pareto:n=10,alpha=2")
+
+    def test_missing_parameter(self):
+        with pytest.raises(BinSpecError, match="missing"):
+            parse_bin_spec("uniform:n=10")
+
+    def test_non_numeric_parameter(self):
+        with pytest.raises(BinSpecError, match="non-numeric"):
+            parse_bin_spec("uniform:n=ten,c=1")
+
+    def test_fractional_n_rejected(self):
+        with pytest.raises(BinSpecError, match="integer"):
+            parse_bin_spec("uniform:n=2.5,c=1")
+
+    def test_mixed_explicit_and_generator(self):
+        bins = parse_bin_spec("1x100,binom:n=50,c=4,seed=0")
+        assert bins.n == 150
+        assert (bins.capacities[:100] == 1).all()
+
+
+class TestFormat:
+    def test_round_trip_multiset(self):
+        bins = parse_bin_spec("1x3,4x2,9x1")
+        spec = format_bin_spec(bins)
+        again = parse_bin_spec(spec)
+        assert bins.size_class_counts() == again.size_class_counts()
+
+    def test_sorted_output(self):
+        bins = parse_bin_spec("9x1,1x1")
+        assert format_bin_spec(bins) == "1x1,9x1"
+
+
+class TestCliIntegration:
+    def test_cli_generator_spec(self, capsys):
+        from repro.cli import main
+
+        assert main(["describe", "binom:n=200,c=3,seed=4"]) == 0
+        assert "Theorem 3" in capsys.readouterr().out
+
+    def test_cli_bad_spec_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="bad bin spec"):
+            main(["describe", "1-10"])

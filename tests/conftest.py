@@ -1,0 +1,40 @@
+"""Shared test fixtures.
+
+Also makes the suite runnable without an installed package by falling back
+to the in-tree ``src`` layout (useful on machines where ``pip install -e .``
+is unavailable, e.g. fully offline environments without the ``wheel``
+package).
+"""
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that need ad-hoc randomness."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_mixed_bins():
+    """A tiny heterogeneous array used across suites: capacities 1,1,2,4."""
+    from repro.bins import BinArray
+
+    return BinArray([1, 1, 2, 4])
+
+
+@pytest.fixture
+def two_class_1000():
+    """The paper's Figure 6 style array at reduced size: 50x1 + 50x10."""
+    from repro.bins import two_class_bins
+
+    return two_class_bins(50, 50, 1, 10)

@@ -1,0 +1,86 @@
+"""Tests for the insert/delete dynamics extension."""
+
+import numpy as np
+import pytest
+
+from repro.bins import two_class_bins, uniform_bins
+from repro.core.dynamics import simulate_insert_delete
+
+
+class TestValidation:
+    def test_rejects_negative_operations(self):
+        with pytest.raises(ValueError):
+            simulate_insert_delete(uniform_bins(4), -1)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            simulate_insert_delete(uniform_bins(4), 10, insert_probability=1.5)
+
+    def test_rejects_bad_record_every(self):
+        with pytest.raises(ValueError):
+            simulate_insert_delete(uniform_bins(4), 10, record_every=0)
+
+    def test_rejects_bad_warmup(self):
+        with pytest.raises(ValueError):
+            simulate_insert_delete(uniform_bins(4), 10, warmup_inserts=-1)
+
+
+class TestBookkeeping:
+    def test_counts_match_inserts_minus_deletes(self):
+        bins = two_class_bins(5, 5, 1, 4)
+        res = simulate_insert_delete(bins, 500, warmup_inserts=100, seed=0)
+        assert res.counts.sum() == res.inserts - res.deletes
+        assert res.inserts + res.deletes <= 600 + 1  # deletes on empty are no-ops
+
+    def test_counts_non_negative(self):
+        bins = uniform_bins(6, 2)
+        res = simulate_insert_delete(bins, 300, insert_probability=0.3, seed=1)
+        assert (res.counts >= 0).all()
+
+    def test_pure_inserts_match_operations(self):
+        bins = uniform_bins(10, 1)
+        res = simulate_insert_delete(bins, 100, insert_probability=1.0, seed=2)
+        assert res.inserts == 100
+        assert res.deletes == 0
+        assert res.counts.sum() == 100
+
+    def test_delete_on_empty_noop(self):
+        bins = uniform_bins(4, 1)
+        res = simulate_insert_delete(bins, 50, insert_probability=0.0, seed=3)
+        assert res.counts.sum() == 0
+        assert res.deletes == 0
+
+    def test_trajectory_lengths(self):
+        bins = uniform_bins(8, 1)
+        res = simulate_insert_delete(bins, 100, record_every=10, seed=4)
+        assert res.max_load_trajectory.size == 10
+        assert res.balls_trajectory.size == 10
+
+    def test_reproducible(self):
+        bins = two_class_bins(4, 4, 1, 2)
+        a = simulate_insert_delete(bins, 200, warmup_inserts=50, seed=9)
+        b = simulate_insert_delete(bins, 200, warmup_inserts=50, seed=9)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+
+class TestSteadyState:
+    def test_balance_survives_churn(self):
+        """After heavy insert/delete churn around a steady population, the
+        max load stays within the two-choice band (no drift)."""
+        bins = two_class_bins(50, 50, 1, 8)
+        C = bins.total_capacity
+        res = simulate_insert_delete(
+            bins, 10 * C, warmup_inserts=C, insert_probability=0.5,
+            record_every=C, seed=5,
+        )
+        # population hovers near C; final max load stays small
+        assert res.max_load <= 4.0
+        assert res.peak_max_load <= 5.0
+
+    def test_population_hovers_near_warmup(self):
+        bins = uniform_bins(20, 1)
+        res = simulate_insert_delete(
+            bins, 2000, warmup_inserts=100, insert_probability=0.5,
+            record_every=100, seed=6,
+        )
+        assert abs(int(res.balls_trajectory[-1]) - 100) < 150

@@ -1,0 +1,159 @@
+"""Tests for the optimised allocation loops, including cross-validation
+against the readable reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fast import run_batch
+from repro.core.protocol import reference_run
+
+
+def _fast_counts(caps, choices, tie_break="max_capacity", heights=None):
+    counts = [0] * len(caps)
+    tie_u = np.random.default_rng(123).random(len(choices))
+    run_batch(counts, list(caps), np.asarray(choices), tie_u, tie_break=tie_break, heights=heights)
+    return np.asarray(counts)
+
+
+class TestValidation:
+    def test_rejects_unknown_tie_break(self):
+        with pytest.raises(ValueError, match="unknown tie_break"):
+            run_batch([0], [1], np.zeros((1, 2), dtype=int), np.zeros(1), tie_break="nope")
+
+    def test_rejects_1d_choices(self):
+        with pytest.raises(ValueError, match="shape"):
+            run_batch([0], [1], np.zeros(3, dtype=int), np.zeros(3))
+
+    def test_rejects_short_tie_vector(self):
+        with pytest.raises(ValueError, match="tie uniforms"):
+            run_batch([0, 0], [1, 1], np.zeros((5, 2), dtype=int), np.zeros(2))
+
+    def test_empty_batch_noop(self):
+        counts = [3, 4]
+        out = run_batch(counts, [1, 1], np.zeros((0, 2), dtype=int), np.zeros(0))
+        assert out == [3, 4]
+
+
+class TestSemantics:
+    def test_conservation_d2(self):
+        caps = [1, 2, 3, 4]
+        choices = np.random.default_rng(0).integers(0, 4, size=(500, 2))
+        assert _fast_counts(caps, choices).sum() == 500
+
+    def test_conservation_d4(self):
+        caps = [1, 5, 9]
+        choices = np.random.default_rng(1).integers(0, 3, size=(300, 4))
+        assert _fast_counts(caps, choices).sum() == 300
+
+    def test_d1_always_takes_its_choice(self):
+        choices = np.array([[2]] * 10 + [[0]] * 5)
+        counts = _fast_counts([1, 1, 1], choices)
+        np.testing.assert_array_equal(counts, [5, 0, 10])
+
+    def test_same_bin_twice_d2(self):
+        choices = np.array([[1, 1]] * 7)
+        counts = _fast_counts([1, 1], choices)
+        np.testing.assert_array_equal(counts, [0, 7])
+
+    def test_heights_recorded(self):
+        caps = [2, 4]
+        heights: list[float] = []
+        counts = [0, 0]
+        choices = np.array([[0, 1], [0, 1], [0, 1]])
+        run_batch(counts, caps, choices, np.zeros(3), heights=heights)
+        assert len(heights) == 3
+        # balls 1-2 go to the cap-4 bin (loads-after 0.25, 0.5 beat 0.5
+        # with the capacity tie-break at step 2); ball 3 sees 0.5 vs 0.75
+        # and takes the cap-2 bin: heights 0.25, 0.5, 0.5.
+        np.testing.assert_allclose(heights, [0.25, 0.5, 0.5])
+
+    def test_max_capacity_vs_min_capacity_differ(self):
+        # perpetual ties between caps 1 and 2 only happen at specific counts;
+        # engineered: counts equal loads at every step is hard, so instead
+        # check the first ball's tie: counts 1,3 caps 2,4 -> loads-after 1.0,1.0
+        choices = np.array([[0, 1]])
+        counts_max = [1, 3]
+        run_batch(counts_max, [2, 4], choices, np.zeros(1), tie_break="max_capacity")
+        counts_min = [1, 3]
+        run_batch(counts_min, [2, 4], choices, np.zeros(1), tie_break="min_capacity")
+        assert counts_max == [1, 4]
+        assert counts_min == [2, 3]
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("d", [1, 2, 3, 5])
+    @pytest.mark.parametrize("caps", [[1, 1, 1, 1], [1, 2, 4, 8], [3, 3, 7, 7]])
+    def test_no_tie_runs_match_reference(self, d, caps):
+        """With distinct random tie-resolution irrelevant runs (we verify by
+        re-running the reference with different rngs), fast == reference."""
+        rng = np.random.default_rng(42 + d)
+        m = 200
+        choices = rng.integers(0, len(caps), size=(m, d))
+        refs = [reference_run(caps, choices, np.random.default_rng(s)) for s in range(8)]
+        if any(not np.array_equal(refs[0], r) for r in refs[1:]):
+            pytest.skip("tie-dependent instance; covered by distribution test")
+        # Also require the fast loop to be tie-insensitive on this instance.
+        fasts = []
+        for s in (123, 321):
+            counts = [0] * len(caps)
+            tie_u = np.random.default_rng(s).random(m)
+            run_batch(counts, list(caps), np.asarray(choices), tie_u)
+            fasts.append(counts)
+        if fasts[0] != fasts[1]:
+            pytest.skip("tie-dependent instance; covered by distribution test")
+        np.testing.assert_array_equal(fasts[0], refs[0])
+
+    def test_tie_instances_same_support(self):
+        """On tie-heavy instances fast and reference agree in distribution:
+        equal mean counts over many independent tie streams."""
+        caps = [1, 1]
+        choices = np.tile([[0, 1]], (9, 1))
+        fast_runs = []
+        ref_runs = []
+        for s in range(200):
+            counts = [0, 0]
+            run_batch(
+                counts, caps, choices, np.random.default_rng(s).random(9)
+            )
+            fast_runs.append(counts)
+            ref_runs.append(reference_run(caps, choices, np.random.default_rng(1000 + s)))
+        fast_mean = np.mean(fast_runs, axis=0)
+        ref_mean = np.mean(ref_runs, axis=0)
+        np.testing.assert_allclose(fast_mean, ref_mean, atol=0.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    caps=st.lists(st.integers(min_value=1, max_value=16), min_size=2, max_size=8),
+    d=st.integers(min_value=1, max_value=4),
+    m=st.integers(min_value=0, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_fast_reference_equivalence_property(caps, d, m, seed):
+    """Property: with a shared deterministic tie stream the fast loop and a
+    tie-stream-matched reference agree exactly on final counts.
+
+    We bypass RNG mismatch by giving the fast loop an all-zeros tie vector
+    (always pick the first of the tied set) and comparing against a greedy
+    reference with the same convention.
+    """
+    rng = np.random.default_rng(seed)
+    choices = rng.integers(0, len(caps), size=(m, d))
+
+    counts_fast = [0] * len(caps)
+    run_batch(counts_fast, list(caps), choices, np.zeros(m), tie_break="uniform")
+
+    counts_ref = [0] * len(caps)
+    for row in choices:
+        best = None
+        for b in row:
+            num, den = counts_ref[b] + 1, caps[b]
+            if best is None or num * best[1] < best[0] * den:
+                best = (num, den, b)
+        counts_ref[best[2]] += 1
+
+    # "uniform" tie-break with u=0 picks the first-encountered minimum,
+    # exactly matching the reference scan above.
+    assert counts_fast == counts_ref

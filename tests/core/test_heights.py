@@ -1,0 +1,62 @@
+"""Tests for ball-height bookkeeping (Observation 1 instrumentation)."""
+
+import numpy as np
+import pytest
+
+from repro.bins import two_class_bins, big_small_split
+from repro.core import simulate
+from repro.core.heights import (
+    HeightSummary,
+    split_heights_by_big_contact,
+    summarize_heights,
+)
+
+
+class TestHeightSummary:
+    def test_of_values(self):
+        s = HeightSummary.of(np.array([1.0, 2.0, 3.0]))
+        assert s.count == 3
+        assert s.max_height == 3.0
+        assert s.mean_height == 2.0
+
+    def test_empty(self):
+        s = HeightSummary.of(np.array([]))
+        assert s.count == 0
+        assert np.isnan(s.max_height)
+
+    def test_summarize_wrapper(self):
+        assert summarize_heights([2.0]).max_height == 2.0
+
+
+class TestSplitByBigContact:
+    def _setup(self, seed=0):
+        # 40 unit bins + 10 big bins of capacity 32 >> ln(50) ~ 3.9
+        bins = two_class_bins(40, 10, 1, 32)
+        res = simulate(bins, track_heights=True, keep_choices=True, seed=seed)
+        split = big_small_split(bins)
+        return bins, res, split
+
+    def test_partition_counts(self):
+        _, res, split = self._setup()
+        bb, bs = split_heights_by_big_contact(res.heights, res.choices, split)
+        assert bb.count + bs.count == res.m
+
+    def test_big_contact_majority(self):
+        """With C_b/C = 320/360, ~(1 - (40/360)^2) > 98% of balls touch a
+        big bin."""
+        _, res, split = self._setup()
+        bb, _ = split_heights_by_big_contact(res.heights, res.choices, split)
+        assert bb.count / res.m > 0.9
+
+    def test_big_ball_heights_bounded(self):
+        """Observation 1's conclusion at small scale: B_b heights stay
+        below 4."""
+        for seed in range(3):
+            _, res, split = self._setup(seed)
+            bb, _ = split_heights_by_big_contact(res.heights, res.choices, split)
+            assert bb.max_height <= 4.0
+
+    def test_shape_mismatch_rejected(self):
+        _, res, split = self._setup()
+        with pytest.raises(ValueError):
+            split_heights_by_big_contact(res.heights[:-1], res.choices, split)

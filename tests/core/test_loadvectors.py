@@ -1,0 +1,123 @@
+"""Tests for load/slot vector machinery (Section 2 definitions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loadvectors import (
+    loads_from_counts,
+    normalized_load_vector,
+    normalized_slot_load_vector,
+    slot_load_vector,
+    slot_owners_by_position,
+)
+
+
+class TestLoads:
+    def test_basic(self):
+        np.testing.assert_allclose(loads_from_counts([2, 3], [1, 2]), [2.0, 1.5])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            loads_from_counts([1, 2], [1])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            loads_from_counts([-1], [1])
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            loads_from_counts([1], [0])
+
+
+class TestNormalizedLoadVector:
+    def test_sorted_descending(self):
+        out = normalized_load_vector([1.0, 3.0, 2.0])
+        np.testing.assert_allclose(out, [3.0, 2.0, 1.0])
+
+    def test_is_permutation(self):
+        vals = [0.5, 2.5, 2.5, 0.1]
+        out = normalized_load_vector(vals)
+        assert sorted(out) == sorted(vals)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            normalized_load_vector(np.ones((2, 2)))
+
+
+class TestSlotLoadVector:
+    def test_round_robin_fill(self):
+        # 10 balls, 4 slots: q=2, r=2 -> [3,3,2,2]
+        np.testing.assert_array_equal(slot_load_vector([10], [4]), [3, 3, 2, 2])
+
+    def test_exact_multiple(self):
+        np.testing.assert_array_equal(slot_load_vector([8], [4]), [2, 2, 2, 2])
+
+    def test_fewer_balls_than_slots(self):
+        np.testing.assert_array_equal(slot_load_vector([2], [4]), [1, 1, 0, 0])
+
+    def test_multiple_bins_concatenated(self):
+        out = slot_load_vector([3, 1], [2, 2])
+        np.testing.assert_array_equal(out, [2, 1, 1, 0])
+
+    def test_length_is_total_capacity(self):
+        assert slot_load_vector([5, 5], [3, 7]).size == 10
+
+    def test_sum_preserved(self):
+        out = slot_load_vector([13, 6], [4, 5])
+        assert out.sum() == 19
+
+
+class TestSlotOwners:
+    def test_positions(self):
+        np.testing.assert_array_equal(slot_owners_by_position([2, 1]), [0, 0, 1])
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            slot_owners_by_position([0, 1])
+
+
+class TestNormalizedSlotLoadVector:
+    def test_paper_example(self):
+        """Bins a, b with 4 slots each, loads 2.5 and 2.75 — the paper's
+        worked example: vector 3,3,3,3,3,2,2,2 owned by b,b,b,a,a,b,a,a."""
+        vals, owners = normalized_slot_load_vector([10, 11], [4, 4], return_owners=True)
+        np.testing.assert_array_equal(vals, [3, 3, 3, 3, 3, 2, 2, 2])
+        np.testing.assert_array_equal(owners, [1, 1, 1, 0, 0, 1, 0, 0])
+
+    def test_values_only_by_default(self):
+        out = normalized_slot_load_vector([10, 11], [4, 4])
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, [3, 3, 3, 3, 3, 2, 2, 2])
+
+    def test_sorted_non_increasing(self):
+        out = normalized_slot_load_vector([7, 2, 9], [3, 2, 4])
+        assert all(a >= b for a, b in zip(out, out[1:]))
+
+    def test_equal_loads_stable(self):
+        vals, owners = normalized_slot_load_vector([2, 2], [2, 2], return_owners=True)
+        np.testing.assert_array_equal(vals, [1, 1, 1, 1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=12),
+    caps_seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_slot_vector_invariants(counts, caps_seed):
+    """Properties: slot vector sums to total balls, entries differ by at
+    most 1 within a bin, and the normalised vector is a permutation."""
+    rng = np.random.default_rng(caps_seed)
+    caps = rng.integers(1, 9, size=len(counts)).tolist()
+    sv = slot_load_vector(counts, caps)
+    assert sv.sum() == sum(counts)
+    pos = 0
+    for c in caps:
+        bin_slots = sv[pos : pos + c]
+        assert bin_slots.max() - bin_slots.min() <= 1
+        # round-robin: the larger values come first within the bin
+        assert all(a >= b for a, b in zip(bin_slots, bin_slots[1:]))
+        pos += c
+    norm = normalized_slot_load_vector(counts, caps)
+    assert sorted(norm) == sorted(sv)

@@ -1,0 +1,117 @@
+"""Tests for majorisation and the Lemma 1 domination experiments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bins import BinArray, two_class_bins, uniform_bins
+from repro.core.majorization import (
+    coupled_domination_run,
+    empirical_max_load_domination,
+    majorizes,
+)
+
+
+class TestMajorizes:
+    def test_reflexive(self):
+        assert majorizes([3, 2, 1], [3, 2, 1])
+
+    def test_simple_true(self):
+        assert majorizes([4, 0, 0], [2, 1, 1])
+
+    def test_simple_false(self):
+        assert not majorizes([2, 1, 1], [4, 0, 0])
+
+    def test_order_independent(self):
+        assert majorizes([0, 0, 4], [1, 2, 1])
+
+    def test_incomparable_pair(self):
+        # prefix sums 5,8,9 vs 4,8,10 -> neither dominates at every prefix
+        u, v = [5, 3, 1], [4, 4, 2]
+        assert not majorizes(u, v) or not majorizes(v, u)
+        assert not majorizes(v, u)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            majorizes([1, 2], [1, 2, 3])
+
+    def test_tolerance(self):
+        assert majorizes([1.0, 1.0], [1.0 + 1e-12, 1.0 - 1e-12])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    v=st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=10),
+)
+def test_majorization_by_concentration(v):
+    """Property: moving all mass to one coordinate majorises the original."""
+    total = sum(v)
+    concentrated = [total] + [0.0] * (len(v) - 1)
+    assert majorizes(concentrated, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    u=st.lists(st.floats(min_value=0, max_value=5), min_size=2, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_majorization_transitive_with_mean_vector(u, seed):
+    """Property: any vector majorises the constant vector of its mean."""
+    mean = sum(u) / len(u)
+    flat = [mean] * len(u)
+    assert majorizes(u, flat)
+
+
+class TestCoupledDomination:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_q_dominates_max_load(self, seed):
+        """Lemma 1 under the proof's coupling: Q's max >= P's max."""
+        bins = two_class_bins(20, 20, 1, 4)
+        out = coupled_domination_run(bins, seed=seed)
+        assert out.q_dominates_max
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_q_dominates_slot_vectors(self, seed):
+        bins = BinArray([1, 2, 3, 4, 5, 5])
+        out = coupled_domination_run(bins, seed=seed)
+        assert out.q_dominates_slots
+
+    def test_uniform_unit_bins_identical(self):
+        """With all-unit bins P and Q are the same process under the
+        coupling, so the slot vectors coincide."""
+        bins = uniform_bins(30, 1)
+        out = coupled_domination_run(bins, seed=5)
+        np.testing.assert_array_equal(out.p_slot_vector, out.q_slot_vector)
+        assert out.p_max_load == out.q_max_load
+
+    def test_vector_lengths_equal_total_capacity(self):
+        bins = BinArray([2, 3, 5])
+        out = coupled_domination_run(bins, m=10, seed=0)
+        assert out.p_slot_vector.size == 10
+        assert out.q_slot_vector.size == 10
+
+    def test_custom_m(self):
+        bins = BinArray([2, 2])
+        out = coupled_domination_run(bins, m=1, seed=0)
+        assert out.p_slot_vector.sum() == 1
+
+
+class TestEmpiricalDomination:
+    def test_identical_samples_zero_margin(self):
+        margin = empirical_max_load_domination([1, 2, 3], [1, 2, 3])
+        assert margin == pytest.approx(0.0)
+
+    def test_clearly_dominated(self):
+        """Both CDFs reach 1 at the pooled maximum, so perfect dominance
+        yields margin exactly 0 (never positive)."""
+        margin = empirical_max_load_domination([1, 1, 2], [3, 3, 4])
+        assert margin == pytest.approx(0.0)
+
+    def test_violation_detected(self):
+        margin = empirical_max_load_domination([5, 6], [1, 2])
+        assert margin < 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_max_load_domination([], [1])

@@ -1,0 +1,146 @@
+"""Tests for incremental-rebalance planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bins import BinArray, two_class_bins, uniform_bins
+from repro.core import (
+    expected_displaced_from_scratch,
+    migration_cost_from_scratch,
+    rebalance_waterfill,
+    simulate,
+)
+
+
+class TestRebalanceWaterfill:
+    def test_already_balanced_moves_nothing(self):
+        bins = uniform_bins(4, 1)
+        plan = rebalance_waterfill([2, 2, 2, 2], bins)
+        assert plan.balls_moved == 0
+        np.testing.assert_array_equal(plan.new_counts, [2, 2, 2, 2])
+
+    def test_conservation(self):
+        bins = BinArray([1, 2, 3])
+        plan = rebalance_waterfill([10, 0, 2], bins)
+        assert plan.new_counts.sum() == 12
+
+    def test_targets_proportional_to_capacity(self):
+        bins = BinArray([1, 3])
+        plan = rebalance_waterfill([8, 0], bins)
+        np.testing.assert_array_equal(plan.new_counts, [2, 6])
+
+    def test_moves_match_delta(self):
+        bins = BinArray([1, 1])
+        plan = rebalance_waterfill([10, 0], bins)
+        assert plan.balls_moved == 5
+        assert plan.moves == {(0, 1): 5}
+
+    def test_minimality(self):
+        """balls_moved equals the surplus mass — the lower bound."""
+        bins = BinArray([2, 2, 4])
+        counts = [9, 1, 0]
+        plan = rebalance_waterfill(counts, bins)
+        surplus = int(np.maximum(np.asarray(counts) - plan.new_counts, 0).sum())
+        assert plan.balls_moved == surplus
+
+    def test_rounding_within_one_ball(self):
+        bins = BinArray([1, 1, 1])
+        plan = rebalance_waterfill([7, 0, 0], bins)
+        assert plan.new_counts.sum() == 7
+        assert plan.new_counts.max() - plan.new_counts.min() <= 1
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            rebalance_waterfill([1, 2], uniform_bins(3))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            rebalance_waterfill([-1, 1], uniform_bins(2))
+
+
+class TestFromScratchCost:
+    def test_identical_zero(self):
+        assert migration_cost_from_scratch([3, 3], [3, 3]) == 0
+
+    def test_simple_move(self):
+        assert migration_cost_from_scratch([4, 0], [2, 2]) == 2
+
+    def test_growth_pads_old(self):
+        # old system had 2 bins, new has 4
+        assert migration_cost_from_scratch([4, 4], [2, 2, 2, 2]) == 4
+
+    def test_rejects_shrink(self):
+        with pytest.raises(ValueError):
+            migration_cost_from_scratch([1, 1, 1], [3])
+
+    def test_rejects_ball_mismatch(self):
+        with pytest.raises(ValueError, match="differ"):
+            migration_cost_from_scratch([2, 2], [1, 1])
+
+
+class TestExpectedDisplaced:
+    def test_identical_uniform_allocation(self):
+        """Same counts 5,5 over two bins: a redraw keeps a ball with
+        probability new_i/m = 1/2, so E[displaced] = m/2."""
+        assert expected_displaced_from_scratch([5, 5], [5, 5]) == pytest.approx(5.0)
+
+    def test_everything_in_one_bin(self):
+        """All mass stays in the single occupied bin: nothing displaced."""
+        assert expected_displaced_from_scratch([10, 0], [10, 0]) == 0.0
+
+    def test_total_reassignment(self):
+        assert expected_displaced_from_scratch([10, 0], [0, 10]) == 10.0
+
+    def test_zero_balls(self):
+        assert expected_displaced_from_scratch([0, 0], [0, 0]) == 0.0
+
+    def test_dominates_count_lower_bound(self):
+        """The identity-level expectation is never below the count-level
+        lower bound."""
+        old = [7, 3, 0]
+        new = [4, 4, 2]
+        assert expected_displaced_from_scratch(old, new) >= migration_cost_from_scratch(old, new)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_displaced_from_scratch([1], [2])
+
+
+class TestGrowthScenario:
+    def test_incremental_cheaper_than_rescatter(self):
+        """Adding big disks: waterfill moves far fewer balls than a fresh
+        random allocation displaces."""
+        old_bins = uniform_bins(20, 2)
+        res = simulate(old_bins, seed=0)
+        new_bins = old_bins.with_appended([10] * 5)
+        old_counts = np.concatenate([res.counts, np.zeros(5, dtype=np.int64)])
+
+        plan = rebalance_waterfill(old_counts, new_bins)
+        fresh = simulate(new_bins, m=int(old_counts.sum()), seed=1)
+        scratch_cost = migration_cost_from_scratch(old_counts, fresh.counts)
+
+        assert plan.balls_moved <= scratch_cost
+        # the plan actually balances: loads within one ball of proportional
+        loads = plan.new_counts / new_bins.capacities
+        assert loads.max() - loads.min() <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=10),
+    cap_seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_waterfill_invariants(counts, cap_seed):
+    """Properties: conservation, minimality, targets within one ball of the
+    exact proportional share."""
+    rng = np.random.default_rng(cap_seed)
+    bins = BinArray(rng.integers(1, 9, size=len(counts)))
+    plan = rebalance_waterfill(counts, bins)
+    total = sum(counts)
+    assert plan.new_counts.sum() == total
+    exact = total * bins.capacities / bins.total_capacity
+    assert np.all(np.abs(plan.new_counts - exact) <= 1.0 + 1e-9)
+    surplus = int(np.maximum(np.asarray(counts) - plan.new_counts, 0).sum())
+    assert plan.balls_moved == surplus

@@ -1,0 +1,100 @@
+"""Tests for Algorithm 1's reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import TIE_BREAKS, allocate_ball, reference_run, select_bin
+
+
+class TestSelectBin:
+    def test_least_loaded_wins(self):
+        # loads after: bin0 -> 2/1, bin1 -> 1/1
+        assert select_bin([1, 0], [1, 1], [0, 1]) == 1
+
+    def test_capacity_weighting_in_load(self):
+        # counts 3,3; caps 1,4 -> loads after 4.0 vs 1.0
+        assert select_bin([3, 3], [1, 4], [0, 1]) == 1
+
+    def test_exact_fraction_comparison(self):
+        # (counts+1)/caps: 1/3 vs 2/6 are exactly equal -> tie, larger cap wins
+        assert select_bin([0, 1], [3, 6], [0, 1]) == 1
+
+    def test_tie_max_capacity_filter(self):
+        # equal loads after: (0+1)/2 vs (0+1)/2; capacities 2 vs 2... use 1/1 vs 2/2
+        assert select_bin([0, 1], [1, 2], [0, 1]) == 1
+
+    def test_tie_among_equal_capacity_uniform(self):
+        counts = [0, 0]
+        picks = {
+            select_bin(counts, [1, 1], [0, 1], np.random.default_rng(s)) for s in range(40)
+        }
+        assert picks == {0, 1}
+
+    def test_min_capacity_variant(self):
+        assert select_bin([0, 1], [1, 2], [0, 1], tie_break="min_capacity") == 0
+
+    def test_uniform_variant_keeps_both(self):
+        picks = {
+            select_bin([0, 1], [1, 2], [0, 1], np.random.default_rng(s), tie_break="uniform")
+            for s in range(40)
+        }
+        assert picks == {0, 1}
+
+    def test_duplicate_candidates(self):
+        assert select_bin([5, 0], [1, 1], [0, 0]) == 0
+
+    def test_single_candidate(self):
+        assert select_bin([9], [1], [0]) == 0
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            select_bin([0], [1], [])
+
+    def test_rejects_unknown_tie_break(self):
+        with pytest.raises(ValueError, match="unknown tie_break"):
+            select_bin([0], [1], [0], tie_break="biggest")
+
+    def test_three_way_decision(self):
+        # loads after: 3/1, 2/2, 5/4 -> 3.0, 1.0, 1.25 -> bin 1
+        assert select_bin([2, 1, 4], [1, 2, 4], [0, 1, 2]) == 1
+
+    def test_paper_rule_prefers_big_bin_on_tie(self):
+        """Empty bins of caps 1 and 8: loads-after 1.0 vs 0.125 — the big
+        bin simply wins; but with counts making equal loads, capacity
+        decides."""
+        # counts 1,15 caps 2,16: loads after = 1.0, 1.0 -> cap 16 wins
+        assert select_bin([1, 15], [2, 16], [0, 1]) == 1
+
+
+class TestAllocateBall:
+    def test_increments_chosen(self):
+        counts = [0, 0]
+        chosen = allocate_ball(counts, [1, 2], [0, 1])
+        assert chosen == 1
+        assert counts == [0, 1]
+
+    def test_sequence_conserves_balls(self):
+        counts = [0, 0, 0]
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            allocate_ball(counts, [1, 2, 3], [0, 1, 2], rng)
+        assert sum(counts) == 30
+
+
+class TestReferenceRun:
+    def test_conservation(self):
+        rng = np.random.default_rng(1)
+        choices = rng.integers(0, 4, size=(100, 2))
+        counts = reference_run([1, 2, 3, 4], choices, rng)
+        assert counts.sum() == 100
+
+    def test_deterministic_when_no_ties_possible(self):
+        # caps all distinct and candidate pairs always comparable with the
+        # max-capacity rule; same choices -> same counts for any rng
+        choices = np.array([[0, 1], [1, 2], [0, 2], [2, 1]])
+        a = reference_run([1, 2, 4], choices, np.random.default_rng(5))
+        b = reference_run([1, 2, 4], choices, np.random.default_rng(99))
+        np.testing.assert_array_equal(a, b)
+
+    def test_tie_breaks_constant(self):
+        assert TIE_BREAKS == ("max_capacity", "uniform", "min_capacity")

@@ -1,0 +1,71 @@
+"""Tests for batched arrivals with stale loads."""
+
+import numpy as np
+import pytest
+
+from repro.bins import two_class_bins, uniform_bins
+from repro.core import simulate, simulate_batched
+
+
+class TestValidation:
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            simulate_batched(uniform_bins(4), batch_size=0)
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValueError):
+            simulate_batched(uniform_bins(4), d=0)
+
+    def test_rejects_negative_m(self):
+        with pytest.raises(ValueError):
+            simulate_batched(uniform_bins(4), m=-1)
+
+
+class TestSemantics:
+    def test_conservation(self):
+        bins = two_class_bins(5, 5, 1, 4)
+        res = simulate_batched(bins, m=100, batch_size=7, seed=0)
+        assert res.counts.sum() == 100
+
+    def test_default_m_is_capacity(self):
+        bins = uniform_bins(10, 3)
+        assert simulate_batched(bins, seed=0).m == 30
+
+    def test_batch_one_matches_sequential_statistically(self):
+        """batch_size=1 is the sequential protocol; mean max loads agree."""
+        bins = uniform_bins(200, 1)
+        seq = np.mean([simulate(bins, seed=s).max_load for s in range(20)])
+        b1 = np.mean([simulate_batched(bins, batch_size=1, seed=s).max_load for s in range(20)])
+        assert b1 == pytest.approx(seq, abs=0.3)
+
+    def test_staleness_degrades_balance(self):
+        """Larger batches -> staler views -> higher max load (monotone in
+        expectation across the extremes)."""
+        bins = uniform_bins(300, 1)
+        fresh = np.mean(
+            [simulate_batched(bins, batch_size=1, seed=s).max_load for s in range(15)]
+        )
+        stale = np.mean(
+            [simulate_batched(bins, batch_size=300, seed=s).max_load for s in range(15)]
+        )
+        assert stale > fresh
+
+    def test_full_batch_between_one_and_two_choice(self):
+        """Even a fully stale batch retains some benefit over one-choice:
+        duplicate candidate pairs still avoid committed collisions only by
+        chance, so the max load sits at or above the fresh two-choice value
+        and at or below one-choice."""
+        from repro.core import one_choice
+
+        bins = uniform_bins(300, 1)
+        stale = np.mean(
+            [simulate_batched(bins, batch_size=300, seed=s).max_load for s in range(15)]
+        )
+        single = np.mean([one_choice(bins, seed=s).max_load for s in range(15)])
+        assert stale <= single + 0.3
+
+    def test_heterogeneous_batches(self):
+        bins = two_class_bins(50, 50, 1, 8)
+        res = simulate_batched(bins, batch_size=64, seed=3)
+        assert res.counts.sum() == bins.total_capacity
+        assert res.max_load < 6.0

@@ -1,0 +1,198 @@
+"""Tests for the high-level simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.bins import BinArray, two_class_bins, uniform_bins
+from repro.core import simulate
+from repro.sampling import PowerProbability
+
+
+class TestBasics:
+    def test_m_defaults_to_total_capacity(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, seed=0)
+        assert res.m == small_mixed_bins.total_capacity
+        assert res.counts.sum() == res.m
+
+    def test_conservation_large(self):
+        bins = two_class_bins(100, 100, 1, 10)
+        res = simulate(bins, m=5000, seed=1)
+        assert res.counts.sum() == 5000
+
+    def test_zero_balls(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, m=0, seed=0)
+        assert res.counts.sum() == 0
+        assert res.max_load == 0.0
+
+    def test_counts_non_negative(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, seed=2)
+        assert (res.counts >= 0).all()
+
+    def test_accepts_raw_capacities(self):
+        res = simulate([1, 2, 3], seed=3)
+        assert isinstance(res.bins, BinArray)
+        assert res.counts.sum() == 6
+
+    def test_rejects_negative_m(self, small_mixed_bins):
+        with pytest.raises(ValueError):
+            simulate(small_mixed_bins, m=-1)
+
+    def test_rejects_bad_d(self, small_mixed_bins):
+        with pytest.raises(ValueError):
+            simulate(small_mixed_bins, d=0)
+
+    def test_rejects_bad_chunk(self, small_mixed_bins):
+        with pytest.raises(ValueError):
+            simulate(small_mixed_bins, chunk_size=0)
+
+    def test_reproducible(self):
+        bins = two_class_bins(20, 20, 1, 4)
+        a = simulate(bins, seed=77)
+        b = simulate(bins, seed=77)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_different_seeds_differ(self):
+        bins = uniform_bins(100, 1)
+        a = simulate(bins, seed=1)
+        b = simulate(bins, seed=2)
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_chunked_run_covers_all_balls(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, m=1000, chunk_size=7, seed=5)
+        assert res.counts.sum() == 1000
+
+
+class TestResultProperties:
+    def test_loads(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, seed=0)
+        np.testing.assert_allclose(res.loads, res.counts / small_mixed_bins.capacities)
+
+    def test_average_load_m_equals_c(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, seed=0)
+        assert res.average_load == 1.0
+
+    def test_gap(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, seed=0)
+        assert res.gap == pytest.approx(res.max_load - 1.0)
+
+    def test_argmax_consistency(self):
+        bins = two_class_bins(10, 10, 1, 4)
+        res = simulate(bins, seed=9)
+        assert res.loads[res.argmax_bin] == res.max_load
+        assert res.argmax_capacity == bins.capacities[res.argmax_bin]
+
+    def test_max_load_of_class(self):
+        bins = two_class_bins(10, 10, 1, 4)
+        res = simulate(bins, seed=4)
+        small_max = res.max_load_of_class(1)
+        large_max = res.max_load_of_class(4)
+        assert max(small_max, large_max) == pytest.approx(res.max_load)
+
+    def test_max_load_of_absent_class_nan(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, seed=0)
+        assert np.isnan(res.max_load_of_class(99))
+
+    def test_repr(self, small_mixed_bins):
+        assert "max_load" in repr(simulate(small_mixed_bins, seed=0))
+
+
+class TestSnapshots:
+    def test_points_recorded(self):
+        bins = uniform_bins(50, 2)
+        res = simulate(bins, m=100, snapshot_at=[25, 50, 100], seed=0)
+        assert [s.balls_thrown for s in res.snapshots] == [25, 50, 100]
+
+    def test_snapshot_zero(self):
+        bins = uniform_bins(10, 1)
+        res = simulate(bins, m=10, snapshot_at=[0], seed=0)
+        assert res.snapshots[0].max_load == 0.0
+
+    def test_average_load_tracks_balls(self):
+        bins = uniform_bins(10, 1)
+        res = simulate(bins, m=20, snapshot_at=[10, 20], seed=0)
+        assert res.snapshots[0].average_load == 1.0
+        assert res.snapshots[1].average_load == 2.0
+
+    def test_gap_property(self):
+        bins = uniform_bins(10, 1)
+        res = simulate(bins, m=10, snapshot_at=[10], seed=0)
+        snap = res.snapshots[0]
+        assert snap.gap == pytest.approx(snap.max_load - 1.0)
+
+    def test_snapshot_out_of_range_rejected(self):
+        bins = uniform_bins(10, 1)
+        with pytest.raises(ValueError, match="outside"):
+            simulate(bins, m=10, snapshot_at=[11])
+
+    def test_duplicates_deduplicated(self):
+        bins = uniform_bins(10, 1)
+        res = simulate(bins, m=10, snapshot_at=[5, 5, 10], seed=0)
+        assert [s.balls_thrown for s in res.snapshots] == [5, 10]
+
+    def test_snapshots_unaffected_by_chunking(self):
+        bins = uniform_bins(20, 1)
+        res = simulate(bins, m=100, snapshot_at=[33, 66], chunk_size=10, seed=3)
+        assert [s.balls_thrown for s in res.snapshots] == [33, 66]
+
+    def test_max_load_monotone_in_uniform_unit_bins(self):
+        """With unit bins, the running max ball count never decreases."""
+        bins = uniform_bins(30, 1)
+        res = simulate(bins, m=300, snapshot_at=list(range(50, 301, 50)), seed=6)
+        maxima = [s.max_load for s in res.snapshots]
+        assert all(b >= a for a, b in zip(maxima, maxima[1:]))
+
+
+class TestInstrumentation:
+    def test_heights_length(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, m=100, track_heights=True, seed=0)
+        assert res.heights is not None
+        assert res.heights.size == 100
+
+    def test_heights_none_by_default(self, small_mixed_bins):
+        assert simulate(small_mixed_bins, seed=0).heights is None
+
+    def test_heights_positive(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, m=50, track_heights=True, seed=1)
+        assert (res.heights > 0).all()
+
+    def test_max_height_is_max_load_for_unit_bins(self):
+        """On unit bins the maximum height equals the final maximum load."""
+        bins = uniform_bins(20, 1)
+        res = simulate(bins, m=40, track_heights=True, seed=2)
+        assert res.heights.max() == pytest.approx(res.max_load)
+
+    def test_keep_choices_shape(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, m=25, d=3, keep_choices=True, seed=0)
+        assert res.choices.shape == (25, 3)
+
+    def test_choices_within_range(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, m=40, keep_choices=True, seed=0)
+        assert res.choices.min() >= 0
+        assert res.choices.max() < small_mixed_bins.n
+
+
+class TestProbabilityModels:
+    def test_threshold_routes_only_to_big(self):
+        bins = two_class_bins(10, 10, 1, 8)
+        res = simulate(bins, probabilities=("threshold", 8), seed=0)
+        assert res.counts[:10].sum() == 0
+
+    def test_power_exponent_shifts_mass(self):
+        bins = two_class_bins(50, 50, 1, 8)
+        prop = simulate(bins, seed=3)
+        power = simulate(bins, probabilities=PowerProbability(3.0), seed=3)
+        assert power.counts[50:].sum() > prop.counts[50:].sum()
+
+    def test_uniform_probability_name_recorded(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, probabilities="uniform", seed=0)
+        assert res.probability == "uniform"
+
+    def test_cdf_backend(self, small_mixed_bins):
+        res = simulate(small_mixed_bins, sampler_method="cdf", seed=0)
+        assert res.counts.sum() == small_mixed_bins.total_capacity
+
+    def test_d1_matches_one_choice_distribution(self):
+        """d=1 through the engine is the single-choice game."""
+        bins = uniform_bins(50, 1)
+        res = simulate(bins, m=500, d=1, seed=4)
+        assert res.counts.sum() == 500

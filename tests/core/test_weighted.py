@@ -1,0 +1,99 @@
+"""Tests for the weighted-balls extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bins import two_class_bins, uniform_bins
+from repro.core import simulate, simulate_weighted
+
+
+class TestValidation:
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            simulate_weighted(uniform_bins(4), [1.0, -1.0])
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            simulate_weighted(uniform_bins(4), [0.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            simulate_weighted(uniform_bins(4), [np.nan])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            simulate_weighted(uniform_bins(4), np.ones((2, 2)))
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValueError):
+            simulate_weighted(uniform_bins(4), [1.0], d=0)
+
+
+class TestSemantics:
+    def test_mass_conservation(self):
+        bins = two_class_bins(5, 5, 1, 4)
+        sizes = np.random.default_rng(0).uniform(0.5, 2.0, size=100)
+        res = simulate_weighted(bins, sizes, seed=1)
+        assert res.total_mass == pytest.approx(sizes.sum())
+        assert res.masses.sum() == pytest.approx(sizes.sum())
+
+    def test_count_conservation(self):
+        bins = uniform_bins(8, 2)
+        res = simulate_weighted(bins, [1.0] * 50, seed=2)
+        assert res.counts.sum() == 50
+
+    def test_empty_run(self):
+        res = simulate_weighted(uniform_bins(3), [], seed=0)
+        assert res.total_mass == 0.0
+        assert res.masses.sum() == 0.0
+
+    def test_unit_sizes_match_unit_engine_statistically(self):
+        """With all sizes 1 the weighted engine plays the same game as the
+        integer engine: mean max loads agree."""
+        bins = two_class_bins(20, 20, 1, 4)
+        m = bins.total_capacity
+        unit = np.mean([simulate(bins, seed=s).max_load for s in range(25)])
+        weighted = np.mean(
+            [simulate_weighted(bins, [1.0] * m, seed=s).max_load for s in range(25)]
+        )
+        assert weighted == pytest.approx(unit, abs=0.25)
+
+    def test_average_load(self):
+        bins = uniform_bins(10, 2)
+        res = simulate_weighted(bins, [2.0] * 20, seed=3)
+        assert res.average_load == pytest.approx(40.0 / 20.0)
+        assert res.gap == pytest.approx(res.max_load - 2.0)
+
+    def test_two_choice_beats_one_choice_weighted(self):
+        bins = uniform_bins(100, 1)
+        sizes = np.random.default_rng(1).uniform(0.5, 1.5, size=200)
+        d1 = np.mean([simulate_weighted(bins, sizes, d=1, seed=s).max_load for s in range(10)])
+        d2 = np.mean([simulate_weighted(bins, sizes, d=2, seed=s).max_load for s in range(10)])
+        assert d2 < d1
+
+    def test_big_bins_absorb_heavy_balls(self):
+        """One giant ball among small ones ends in the big bin under the
+        capacity tie-break + proportional probabilities (on average)."""
+        bins = two_class_bins(5, 5, 1, 50)
+        hits = 0
+        for s in range(20):
+            res = simulate_weighted(bins, [10.0], seed=s)
+            if res.masses[5:].sum() > 0:
+                hits += 1
+        assert hits >= 15  # the big half holds ~98% of the probability mass
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=0, max_size=60),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_weighted_invariants(sizes, seed):
+    """Property: mass conservation and non-negative loads for any sizes."""
+    bins = two_class_bins(3, 3, 1, 4)
+    res = simulate_weighted(bins, sizes, seed=seed)
+    assert res.masses.sum() == pytest.approx(sum(sizes))
+    assert (res.masses >= 0).all()
+    assert res.counts.sum() == len(sizes)

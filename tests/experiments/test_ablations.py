@@ -1,0 +1,65 @@
+"""Integration tests for the registered ablation experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+SEED = 123321
+
+
+class TestTieBreakAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "abl_tiebreak", seed=SEED, repetitions=25, n=400, fractions=(30, 60)
+        )
+
+    def test_series_present(self, result):
+        assert set(result.series) == {"max_capacity", "uniform", "min_capacity"}
+
+    def test_paper_rule_not_worse(self, result):
+        for i in range(result.x_values.size):
+            assert (
+                result.series["max_capacity"][i]
+                <= result.series["min_capacity"][i] + 0.12
+            )
+
+
+class TestProbabilityAblation:
+    def test_proportional_wins_at_high_skew(self):
+        res = run_experiment(
+            "abl_probability", seed=SEED, repetitions=10, n=400, large_caps=(4, 32)
+        )
+        prop = res.series["proportional"]
+        uni = res.series["uniform"]
+        # at capacity 32 the uniform model wastes probes on tiny bins
+        assert prop[-1] <= uni[-1] + 0.05
+
+
+class TestDAblation:
+    def test_monotone_decrease_with_d(self):
+        res = run_experiment(
+            "abl_d", seed=SEED, repetitions=8, n=600, d_values=(1, 2, 4)
+        )
+        measured = res.series["measured"]
+        assert measured[1] < measured[0]
+        assert measured[2] <= measured[1] + 0.05
+
+    def test_theory_column_nan_at_d1(self):
+        res = run_experiment(
+            "abl_d", seed=SEED, repetitions=3, n=200, d_values=(1, 2)
+        )
+        theory = res.series["1 + lnln(n)/ln(d)"]
+        assert np.isnan(theory[0])
+        assert np.isfinite(theory[1])
+
+
+class TestStalenessAblation:
+    def test_staleness_monotone_extremes(self):
+        res = run_experiment(
+            "abl_staleness", seed=SEED, repetitions=10, n=400,
+            batch_sizes=(1, 400),
+        )
+        curve = res.series["max_load"]
+        assert curve[-1] >= curve[0]

@@ -1,0 +1,123 @@
+"""Tests for the experiment framework."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    scaled_reps,
+)
+
+
+class TestScaledReps:
+    def test_full_scale(self):
+        assert scaled_reps(10_000, 1.0) == 10_000
+
+    def test_reduction(self):
+        assert scaled_reps(10_000, 0.01) == 100
+
+    def test_minimum_floor(self):
+        assert scaled_reps(10_000, 1e-9) == 3
+
+    def test_custom_minimum(self):
+        assert scaled_reps(100, 1e-9, minimum=20) == 20
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_reps(100, 0.0)
+
+    def test_rejects_bad_paper_reps(self):
+        with pytest.raises(ValueError):
+            scaled_reps(0, 1.0)
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="test",
+            title="A test",
+            x_name="x",
+            x_values=np.array([1.0, 2.0, 3.0]),
+            series={"s": np.array([1.0, 4.0, 9.0])},
+            parameters={"n": 3},
+        )
+
+    def test_rejects_misaligned_series(self):
+        with pytest.raises(ValueError, match="shape"):
+            ExperimentResult(
+                experiment_id="bad",
+                title="",
+                x_name="x",
+                x_values=np.array([1.0]),
+                series={"s": np.array([1.0, 2.0])},
+            )
+
+    def test_save_round_trip(self, tmp_path):
+        from repro.io import load_json, read_series_csv
+
+        res = self._result()
+        csv_path, json_path = res.save(tmp_path)
+        _, x, series = read_series_csv(csv_path)
+        np.testing.assert_array_equal(x, res.x_values)
+        np.testing.assert_array_equal(series["s"], res.series["s"])
+        meta = load_json(json_path)
+        assert meta["experiment_id"] == "test"
+        assert meta["parameters"]["n"] == 3
+
+    def test_render_contains_plot_and_table(self):
+        out = self._result().render()
+        assert "test: A test" in out
+        assert "legend" in out
+        assert "x" in out
+
+    def test_render_truncates_rows(self):
+        res = ExperimentResult(
+            experiment_id="long",
+            title="",
+            x_name="x",
+            x_values=np.arange(100, dtype=float),
+            series={"s": np.arange(100, dtype=float)},
+        )
+        out = res.render(max_rows=6)
+        assert "..." in out
+
+    def test_summary_rows(self):
+        rows = self._result().summary_rows()
+        assert rows == [("s", 1.0, 9.0, 1.0, 9.0)]
+
+    def test_summary_handles_nan(self):
+        res = ExperimentResult(
+            experiment_id="nan",
+            title="",
+            x_name="x",
+            x_values=np.array([1.0, 2.0]),
+            series={"s": np.array([np.nan, 5.0])},
+        )
+        (name, lo, hi, first, last) = res.summary_rows()[0]
+        assert (lo, hi, first, last) == (5.0, 5.0, 5.0, 5.0)
+
+
+class TestRegistry:
+    def test_all_eighteen_figures_registered(self):
+        ids = {spec.experiment_id for spec in list_experiments()}
+        assert {f"fig{i:02d}" for i in range(1, 19)} <= ids
+
+    def test_ablations_registered(self):
+        ids = {spec.experiment_id for spec in list_experiments()}
+        assert {"abl_tiebreak", "abl_probability", "abl_d", "abl_staleness"} <= ids
+
+    def test_get_known(self):
+        spec = get_experiment("fig06")
+        assert spec.figure == "Figure 6"
+        assert callable(spec.run)
+
+    def test_get_unknown_mentions_known_ids(self):
+        with pytest.raises(KeyError, match="fig06"):
+            get_experiment("fig99")
+
+    def test_specs_have_descriptions(self):
+        for spec in list_experiments():
+            assert spec.description
+            assert spec.title

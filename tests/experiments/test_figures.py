@@ -1,0 +1,256 @@
+"""Every figure experiment runs end to end at tiny scale, and its output
+reproduces the paper's qualitative shape.
+
+These are integration tests: they execute the real experiment code with
+reduced repetitions / grids and assert structure (grid, series names,
+finiteness) plus the directional claims the paper makes about each figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+SEED = 987654
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig01", seed=SEED, repetitions=3, n=2000, capacities=(1, 2, 8))
+
+    def test_structure(self, result):
+        assert result.x_values.size == 2000
+        assert set(result.series) == {"1-bins", "2-bins", "8-bins"}
+
+    def test_profiles_sorted_descending(self, result):
+        for ys in result.series.values():
+            assert all(a >= b - 1e-9 for a, b in zip(ys, ys[1:]))
+
+    def test_larger_capacity_flatter(self, result):
+        """c=8 curve's max is below c=2's, which is below c=1's."""
+        m1 = result.series["1-bins"][0]
+        m2 = result.series["2-bins"][0]
+        m8 = result.series["8-bins"][0]
+        assert m8 < m2 < m1
+
+    def test_average_load_one(self, result):
+        for ys in result.series.values():
+            assert np.mean(ys) == pytest.approx(1.0, abs=0.02)
+
+    def test_extra_predictions_recorded(self, result):
+        assert "prediction_obs2" in result.extra
+
+
+class TestFig02to05:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            fid: run_experiment(fid, seed=SEED, repetitions=5)
+            for fid in ("fig02", "fig03", "fig04")
+        }
+
+    def test_structure(self, results):
+        for res in results.values():
+            assert res.x_values.size == 32
+            assert set(res.series) == {"1-bins", "2-bins", "3-bins", "4-bins"}
+
+    def test_average_tracks_multiplier(self, results):
+        assert np.mean(results["fig03"].series["2-bins"]) == pytest.approx(10.0, abs=0.2)
+        assert np.mean(results["fig04"].series["2-bins"]) == pytest.approx(100.0, abs=0.5)
+
+    def test_gap_invariant_in_m(self, results):
+        """The paper's heavily-loaded invariance: max-minus-average for the
+        same capacity matches across multipliers (within noise)."""
+        for c in (1, 2, 4):
+            g1 = results["fig02"].extra["gap_above_average"][f"c={c}"]
+            g100 = results["fig04"].extra["gap_above_average"][f"c={c}"]
+            assert g100 == pytest.approx(g1, abs=0.6)
+
+    def test_fig05_runs(self):
+        res = run_experiment("fig05", seed=SEED, repetitions=3)
+        assert np.mean(res.series["4-bins"]) == pytest.approx(1000.0, abs=1.0)
+
+
+class TestFig06and07:
+    @pytest.fixture(scope="class")
+    def fig06(self):
+        return run_experiment("fig06", seed=SEED, repetitions=8, n=400, step_pct=10)
+
+    @pytest.fixture(scope="class")
+    def fig07(self):
+        return run_experiment("fig07", seed=SEED, repetitions=8, n=400, step_pct=10)
+
+    def test_grid(self, fig06):
+        np.testing.assert_array_equal(fig06.x_values, np.arange(0, 101, 10))
+
+    def test_endpoints(self, fig06):
+        """Pure small bins behave like the standard game (~3 at n=400);
+        pure large bins flatten towards 1."""
+        curve = fig06.series["max_load"]
+        assert curve[0] > 2.0
+        assert curve[-1] < 1.6
+
+    def test_overall_decrease(self, fig06):
+        curve = fig06.series["max_load"]
+        assert curve[-1] < curve[0]
+
+    def test_location_starts_small_ends_large(self, fig07):
+        curve = fig07.series["pct_small_has_max"]
+        assert curve[0] == 100.0  # only small bins exist
+        assert curve[-1] == 0.0  # no small bins exist
+
+    def test_location_monotone_trend(self, fig07):
+        """The small-bin share of the maximum decreases overall."""
+        curve = fig07.series["pct_small_has_max"]
+        assert curve[-3] <= curve[1]
+
+
+class TestFig08and09:
+    @pytest.fixture(scope="class")
+    def fig08(self):
+        return run_experiment(
+            "fig08", seed=SEED, repetitions=5, n=1500,
+            mean_cap_grid=(1.0, 2.0, 4.0, 8.0),
+        )
+
+    def test_x_is_total_capacity(self, fig08):
+        assert fig08.x_values[0] == pytest.approx(1500, rel=0.05)
+        assert fig08.x_values[-1] == pytest.approx(12_000, rel=0.05)
+
+    def test_max_load_decreases(self, fig08):
+        curve = fig08.series["max_load"]
+        assert curve[-1] < curve[0]
+        assert curve[-1] < 1.8
+
+    def test_fig09_migration(self):
+        res = run_experiment(
+            "fig09", seed=SEED, repetitions=8, n=500,
+            mean_cap_grid=(1.0, 3.0, 6.0),
+        )
+        s1 = res.series["max_in_size_1"]
+        assert s1[0] == 100.0  # all bins size 1 at c=1
+        assert s1[-1] < 50.0  # size-1 bins rare and unloaded at c=6
+
+
+class TestFig10to13:
+    def test_fig10_flattening(self):
+        res = run_experiment("fig10", seed=SEED, repetitions=6)
+        all_small = res.series["0x2-bins"]
+        all_large = res.series["32x2-bins"]
+        assert all_large[0] < all_small[0]
+
+    def test_fig12_big_bins_bounded(self):
+        res = run_experiment("fig12", seed=SEED, repetitions=3)
+        for name, ys in res.series.items():
+            finite = ys[np.isfinite(ys)]
+            assert finite[0] < 2.5, f"{name} exceeded the big-bin constant"
+
+    def test_fig13_small_above_big(self):
+        res12 = run_experiment("fig12", seed=SEED, repetitions=3)
+        res13 = run_experiment("fig13", seed=SEED, repetitions=3)
+        big = res12.series["2500x8-bins"]
+        small = res13.series["2500x8-bins"]
+        assert small[np.isfinite(small)][0] > big[np.isfinite(big)][0]
+
+    def test_fig11_nan_padding_for_partial_classes(self):
+        res = run_experiment("fig13", seed=SEED, repetitions=3)
+        partial = res.series["2500x8-bins"]  # only 7500 small bins exist
+        assert np.isnan(partial[-1])
+        assert np.isfinite(partial[0])
+
+
+class TestFig14and15:
+    def test_fig14_growth_beats_baseline(self):
+        res = run_experiment("fig14", seed=SEED, repetitions=3, max_bins=302)
+        base = res.series["base (all capacities = 2)"]
+        lin6 = res.series["lin a=6"]
+        assert lin6[-1] < base[-1]
+
+    def test_fig14_decreasing_curves(self):
+        res = run_experiment("fig14", seed=SEED, repetitions=3, max_bins=302)
+        lin = res.series["lin a=4"]
+        assert lin[-1] < lin[0]
+
+    def test_fig15_budget_truncation_recorded(self):
+        res = run_experiment(
+            "fig15", seed=SEED, repetitions=3, max_bins=302, ball_budget=8_000
+        )
+        truncated = res.extra["states_truncated_by_budget"]
+        assert truncated["exp b=1.4"] > 0
+        assert truncated["base (all capacities = 2)"] == 0
+
+    def test_fig15_exponential_improves(self):
+        res = run_experiment("fig15", seed=SEED, repetitions=3, max_bins=302)
+        base = res.series["base (all capacities = 2)"]
+        exp = res.series["exp b=1.4"]
+        finite = np.isfinite(exp)
+        assert exp[finite][-1] < base[finite][-1]
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "fig16", seed=SEED, repetitions=3, n=800,
+            cap_multipliers=(1, 5), rounds=12,
+        )
+
+    def test_structure(self, result):
+        assert result.x_values.size == 12
+        assert set(result.series) == {"CAP = 1*n", "CAP = 5*n"}
+
+    def test_gap_does_not_grow(self, result):
+        """Essentially flat lines: tiny fitted slope per CAP unit."""
+        for name, slope in result.extra["per_series_slope"].items():
+            assert abs(slope) < 0.05, f"{name} slope {slope}"
+
+    def test_larger_cap_closer_to_zero(self, result):
+        g1 = np.nanmean(result.series["CAP = 1*n"])
+        g5 = np.nanmean(result.series["CAP = 5*n"])
+        assert g5 < g1
+
+
+class TestFig17and18:
+    def test_fig18_minimum_above_one(self):
+        res = run_experiment(
+            "fig18", seed=SEED, repetitions=60, capacities=(3,),
+            t_grid=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+        )
+        curve = res.series["capacities 1 and 3"]
+        best_t = res.x_values[int(np.argmin(curve))]
+        assert best_t > 1.0
+
+    def test_fig18_structure(self):
+        res = run_experiment(
+            "fig18", seed=SEED, repetitions=25, capacities=(2, 4), t_grid=(1.0, 2.0)
+        )
+        assert set(res.series) == {"capacities 1 and 2", "capacities 1 and 4"}
+
+    def test_fig17_optimal_exponents_above_one(self):
+        res = run_experiment(
+            "fig17", seed=SEED, repetitions=40, capacities=(3, 6),
+            t_grid=(1.0, 1.5, 2.0, 2.5),
+        )
+        assert (res.series["optimal_exponent"] > 1.0).all()
+
+
+class TestRunnerPlumbing:
+    def test_out_dir_saves_files(self, tmp_path):
+        run_experiment(
+            "fig06", seed=SEED, repetitions=3, n=100, step_pct=50, out_dir=tmp_path
+        )
+        assert (tmp_path / "fig06.csv").exists()
+        assert (tmp_path / "fig06.json").exists()
+
+    def test_wall_seconds_recorded(self):
+        res = run_experiment("fig06", seed=SEED, repetitions=3, n=100, step_pct=50)
+        assert res.extra["wall_seconds"] >= 0
+
+    def test_run_all_filters(self, tmp_path):
+        from repro.experiments import run_all
+
+        results = run_all(
+            only=["fig02"], seed=SEED, out_dir=tmp_path, scale=None,
+        )
+        assert set(results) == {"fig02"}

@@ -1,0 +1,60 @@
+"""Tests for the related-work and weighted-extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+SEED = 2468
+
+
+class TestRingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "rw_ring", seed=SEED, repetitions=6, n_peers=100,
+            requests_per_peer=20, d_values=(1, 2),
+        )
+
+    def test_series_present(self, result):
+        assert len(result.series) == 2
+        assert result.x_values.tolist() == [1.0, 2.0]
+
+    def test_two_points_beat_one(self, result):
+        """Byers et al.'s claim in both accountings."""
+        for name, curve in result.series.items():
+            assert curve[1] < curve[0], name
+
+    def test_plain_d1_reflects_arc_skew(self, result):
+        """At d=1 the normalised max request count mirrors the max/avg arc
+        skew, which is well above 2 at n=100."""
+        plain = result.series["plain peers (max/avg requests)"]
+        assert plain[0] > 2.0
+
+    def test_capacity_aware_near_one_at_d2(self, result):
+        aware = result.series["capacity-aware (max/avg load)"]
+        assert aware[1] < 1.5
+
+
+class TestWeightedAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "abl_weighted", seed=SEED, repetitions=8, n=100,
+            sigmas=(0.0, 1.0),
+        )
+
+    def test_x_axis_is_cv(self, result):
+        assert result.x_values[0] == 0.0
+        assert result.x_values[1] == pytest.approx(np.sqrt(np.e - 1))
+
+    def test_unit_sizes_baseline(self, result):
+        """sigma=0 recovers the unit-ball game: normalised max load in the
+        usual band."""
+        assert 1.0 <= result.series["max_over_avg_load"][0] <= 3.0
+
+    def test_variability_does_not_collapse(self, result):
+        """Heavier size tails raise (or at least do not lower) the
+        normalised maximum."""
+        curve = result.series["max_over_avg_load"]
+        assert curve[1] >= curve[0] - 0.1

@@ -1,0 +1,67 @@
+"""Tests for terminal plotting."""
+
+import numpy as np
+import pytest
+
+from repro.io import ascii_plot, ascii_table
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        out = ascii_plot([1, 2], {"load": [1.0, 2.0]}, title="demo")
+        assert "demo" in out
+        assert "*=load" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_plot([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "*=a" in out and "+=b" in out
+
+    def test_canvas_dimensions(self):
+        out = ascii_plot([0, 1], {"s": [0, 1]}, width=30, height=8, title="t")
+        lines = out.split("\n")
+        canvas_lines = [l for l in lines if "|" in l]
+        assert len(canvas_lines) == 8
+
+    def test_handles_nan(self):
+        out = ascii_plot([1, 2, 3], {"s": [1.0, np.nan, 3.0]})
+        assert "legend" in out
+
+    def test_constant_series(self):
+        out = ascii_plot([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in out
+
+    def test_rejects_empty_series_dict(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"s": [1]})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"s": [1, 2]}, width=5, height=2)
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"s": [np.nan]})
+
+    def test_axis_labels(self):
+        out = ascii_plot([1, 2], {"s": [1, 2]}, x_label="bins", y_label="load")
+        assert "x: bins" in out
+
+
+class TestAsciiTable:
+    def test_alignment_and_separator(self):
+        out = ascii_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.split("\n")
+        assert "-" in lines[1]
+        assert len(lines) == 4  # header, separator, two data rows
+
+    def test_float_format(self):
+        out = ascii_table(["v"], [[1.23456]], float_format="{:.2f}")
+        assert "1.23" in out
+
+    def test_mixed_types(self):
+        out = ascii_table(["name", "x"], [["row", 2.0]])
+        assert "row" in out

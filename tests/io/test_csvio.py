@@ -1,0 +1,58 @@
+"""Tests for CSV series persistence."""
+
+import numpy as np
+import pytest
+
+from repro.io import read_series_csv, write_series_csv
+
+
+class TestRoundTrip:
+    def test_lossless(self, tmp_path):
+        x = np.array([1.0, 2.5, 3.125])
+        series = {"a": np.array([0.1, 0.2, 0.3]), "b": np.array([9.0, 8.0, 7.0])}
+        path = write_series_csv(tmp_path / "out.csv", "x", x, series)
+        name, x2, series2 = read_series_csv(path)
+        assert name == "x"
+        np.testing.assert_array_equal(x, x2)
+        for key in series:
+            np.testing.assert_array_equal(series[key], series2[key])
+
+    def test_nan_round_trip(self, tmp_path):
+        x = np.array([1.0, 2.0])
+        series = {"a": np.array([np.nan, 1.0])}
+        path = write_series_csv(tmp_path / "nan.csv", "x", x, series)
+        _, _, series2 = read_series_csv(path)
+        assert np.isnan(series2["a"][0])
+        assert series2["a"][1] == 1.0
+
+    def test_integer_x(self, tmp_path):
+        path = write_series_csv(tmp_path / "int.csv", "rank", np.arange(3), {"v": [1, 2, 3]})
+        _, x, _ = read_series_csv(path)
+        np.testing.assert_array_equal(x, [0, 1, 2])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_series_csv(tmp_path / "a" / "b" / "c.csv", "x", [1], {"y": [2]})
+        assert path.exists()
+
+    def test_empty_series_rows(self, tmp_path):
+        path = write_series_csv(tmp_path / "empty.csv", "x", np.empty(0), {"y": np.empty(0)})
+        name, x, series = read_series_csv(path)
+        assert name == "x"
+        assert x.size == 0
+        assert series["y"].size == 0
+
+
+class TestValidation:
+    def test_rejects_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="shape"):
+            write_series_csv(tmp_path / "bad.csv", "x", [1, 2], {"y": [1]})
+
+    def test_rejects_2d_x(self, tmp_path):
+        with pytest.raises(ValueError, match="1-D"):
+            write_series_csv(tmp_path / "bad.csv", "x", np.ones((2, 2)), {})
+
+    def test_read_empty_file_raises(self, tmp_path):
+        p = tmp_path / "zero.csv"
+        p.write_text("")
+        with pytest.raises((ValueError, StopIteration)):
+            read_series_csv(p)

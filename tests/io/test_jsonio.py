@@ -1,0 +1,58 @@
+"""Tests for JSON persistence and conversion."""
+
+import numpy as np
+import pytest
+
+from repro.io import dump_json, load_json, to_jsonable
+
+
+class TestToJsonable:
+    def test_scalars_passthrough(self):
+        assert to_jsonable(5) == 5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(7)) == 7
+        assert isinstance(to_jsonable(np.float64(1.5)), float)
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested_dict(self):
+        out = to_jsonable({"a": np.array([1.0]), 5: "v"})
+        assert out == {"a": [1.0], "5": "v"}
+
+    def test_tuple_and_set(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert sorted(to_jsonable({3, 1})) == [1, 3]
+
+    def test_object_with_dict(self):
+        class Obj:
+            def __init__(self):
+                self.x = np.int64(3)
+                self._private = "hidden"
+
+        assert to_jsonable(Obj()) == {"x": 3}
+
+    def test_rejects_unconvertible(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestDumpLoad:
+    def test_round_trip(self, tmp_path):
+        payload = {"series": np.array([1.0, 2.0]), "meta": {"n": np.int64(10)}}
+        path = dump_json(tmp_path / "r.json", payload)
+        loaded = load_json(path)
+        assert loaded == {"series": [1.0, 2.0], "meta": {"n": 10}}
+
+    def test_creates_parents(self, tmp_path):
+        path = dump_json(tmp_path / "x" / "y.json", {"a": 1})
+        assert path.exists()
+
+    def test_sorted_keys_stable_output(self, tmp_path):
+        p1 = dump_json(tmp_path / "a.json", {"b": 1, "a": 2})
+        p2 = dump_json(tmp_path / "b.json", {"a": 2, "b": 1})
+        assert p1.read_text() == p2.read_text()

@@ -1,0 +1,70 @@
+"""Tests for markdown report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.io import result_to_markdown, results_to_report
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="figXX",
+        title="Demo experiment",
+        x_name="x",
+        x_values=np.arange(4, dtype=float),
+        series={"load": np.array([3.0, 2.0, 1.5, np.nan])},
+        parameters={"n": 100, "d": 2},
+        extra={"note": "shape ok", "wall_seconds": 1.0},
+    )
+
+
+class TestResultToMarkdown:
+    def test_contains_heading_and_params(self, result):
+        md = result_to_markdown(result)
+        assert "### figXX — Demo experiment" in md
+        assert "n=100" in md
+
+    def test_table_structure(self, result):
+        md = result_to_markdown(result)
+        assert "| x | load |" in md
+        assert "| 0 | 3 |" in md
+
+    def test_nan_rendered_as_dash(self, result):
+        assert "| 3 | — |" in result_to_markdown(result)
+
+    def test_extra_notes_without_wall_seconds(self, result):
+        md = result_to_markdown(result)
+        assert "`note`: shape ok" in md
+        assert "wall_seconds" not in md
+
+    def test_row_truncation(self):
+        res = ExperimentResult(
+            experiment_id="big",
+            title="",
+            x_name="x",
+            x_values=np.arange(50, dtype=float),
+            series={"s": np.arange(50, dtype=float)},
+        )
+        md = result_to_markdown(res, max_rows=6)
+        assert "…" in md
+
+
+class TestResultsToReport:
+    def test_summary_and_sections(self, result):
+        report = results_to_report({"figXX": result}, title="Run 1")
+        assert report.startswith("# Run 1")
+        assert "| figXX | load |" in report
+        assert "### figXX" in report
+
+    def test_sorted_by_id(self, result):
+        other = ExperimentResult(
+            experiment_id="figAA",
+            title="",
+            x_name="x",
+            x_values=np.array([1.0]),
+            series={"s": np.array([1.0])},
+        )
+        report = results_to_report({"figXX": result, "figAA": other})
+        assert report.index("### figAA") < report.index("### figXX")

@@ -1,0 +1,81 @@
+"""Tests for the Chord overlay."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.p2p import ChordNetwork
+
+
+@pytest.fixture(scope="module")
+def net():
+    return ChordNetwork([f"node-{i}" for i in range(64)], bits=32)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ChordNetwork([])
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            ChordNetwork(["a"], bits=0)
+        with pytest.raises(ValueError):
+            ChordNetwork(["a"], bits=65)
+
+    def test_finger_table_length(self, net):
+        node = next(iter(net.nodes.values()))
+        assert len(node.fingers) == 32
+
+    def test_successor_is_first_finger(self, net):
+        for node in net.nodes.values():
+            assert node.successor == node.fingers[0]
+
+    def test_n_nodes(self, net):
+        assert net.n_nodes == 64
+
+
+class TestLookup:
+    def test_owner_consistent_with_lookup(self, net):
+        for i in range(50):
+            key = f"key-{i}"
+            assert net.lookup(key).owner == net.owner_of(key)
+
+    def test_lookup_from_any_start(self, net):
+        key = "shared-key"
+        owners = {net.lookup(key, start=s).owner for s in list(net.nodes)[:10]}
+        assert len(owners) == 1
+
+    def test_rejects_unknown_start(self, net):
+        with pytest.raises(KeyError):
+            net.lookup("k", start=123456789)
+
+    def test_logarithmic_hops(self, net):
+        """Mean hop count is O(log n): comfortably under 2*log2(n)."""
+        hops = [net.lookup(f"key-{i}").hops for i in range(300)]
+        assert np.mean(hops) <= 2 * math.log2(net.n_nodes)
+
+    def test_path_starts_at_origin(self, net):
+        start = int(net.node_ids[0])
+        res = net.lookup("k", start=start)
+        assert res.path[0] == start
+        assert res.path[-1] == res.owner
+
+    def test_single_node_owns_all(self):
+        net1 = ChordNetwork(["solo"], bits=16)
+        assert net1.lookup("anything").owner == int(net1.node_ids[0])
+
+
+class TestArcSizes:
+    def test_sum_is_modulus(self, net):
+        assert sum(net.arc_sizes().values()) == net.modulus
+
+    def test_single_node(self):
+        net1 = ChordNetwork(["solo"], bits=8)
+        assert list(net1.arc_sizes().values()) == [256]
+
+    def test_skew_exists(self, net):
+        """Random placement gives non-uniform arcs — the paper's premise."""
+        sizes = np.array(list(net.arc_sizes().values()), dtype=float)
+        assert sizes.max() / sizes.mean() > 1.5

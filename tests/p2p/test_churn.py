@@ -1,0 +1,67 @@
+"""Tests for the churn driver."""
+
+import pytest
+
+from repro.p2p import DHT
+from repro.p2p.churn import run_churn
+
+
+def make_dht(peers=20, keys=300, replication=1):
+    d = DHT([f"p{i}" for i in range(peers)], replication=replication)
+    for k in range(keys):
+        d.store(f"key-{k}")
+    return d
+
+
+class TestValidation:
+    def test_rejects_negative_events(self):
+        with pytest.raises(ValueError):
+            run_churn(make_dht(), -1)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            run_churn(make_dht(), 5, join_probability=2.0)
+
+
+class TestTrace:
+    def test_event_count(self):
+        trace = run_churn(make_dht(), 10, seed=0)
+        assert len(trace.events) == 10
+
+    def test_event_kinds(self):
+        trace = run_churn(make_dht(), 20, join_probability=0.5, seed=1)
+        kinds = {e.kind for e in trace.events}
+        assert kinds <= {"join", "leave"}
+        assert len(kinds) == 2  # both occur at p=0.5 over 20 events
+
+    def test_all_joins(self):
+        dht = make_dht()
+        trace = run_churn(dht, 5, join_probability=1.0, seed=2)
+        assert all(e.kind == "join" for e in trace.events)
+        assert dht.n_peers == 25
+
+    def test_keys_preserved(self):
+        dht = make_dht(keys=200)
+        run_churn(dht, 30, seed=3)
+        assert len(dht) == 200
+        assert sum(dht.key_counts().values()) == 200
+
+    def test_replication_floor_respected(self):
+        dht = make_dht(peers=3, keys=50, replication=2)
+        trace = run_churn(dht, 15, join_probability=0.0, seed=4)
+        # leaves are forced into joins at the floor, so peers never drop
+        # below replication
+        assert all(e.n_peers_after >= 2 for e in trace.events)
+
+    def test_statistics(self):
+        trace = run_churn(make_dht(), 12, seed=5)
+        assert trace.total_moved == trace.moved_series().sum()
+        assert trace.mean_moved_per_event == pytest.approx(trace.total_moved / 12)
+        assert trace.max_skew >= 1.0
+
+    def test_movement_is_incremental(self):
+        """Per-event movement stays far below the full key population —
+        the consistent-hashing minimal-disruption property under churn."""
+        dht = make_dht(peers=40, keys=1000)
+        trace = run_churn(dht, 20, seed=6)
+        assert trace.mean_moved_per_event < 0.25 * 1000

@@ -1,0 +1,127 @@
+"""Tests for the DHT with churn."""
+
+import pytest
+
+from repro.p2p import DHT
+
+
+@pytest.fixture
+def dht():
+    d = DHT([f"peer-{i}" for i in range(20)], replication=2)
+    for k in range(200):
+        d.store(f"key-{k}")
+    return d
+
+
+class TestConstruction:
+    def test_rejects_bad_replication(self):
+        with pytest.raises(ValueError):
+            DHT(["a", "b"], replication=0)
+
+    def test_rejects_too_few_peers(self):
+        with pytest.raises(ValueError):
+            DHT(["a"], replication=2)
+
+    def test_rejects_bad_virtual_nodes(self):
+        with pytest.raises(ValueError):
+            DHT(["a"], virtual_nodes=0)
+
+
+class TestStorage:
+    def test_store_and_lookup(self, dht):
+        owners = dht.store("fresh-key")
+        assert dht.lookup("fresh-key") == owners
+        assert "fresh-key" in dht
+
+    def test_replication_distinct_peers(self, dht):
+        for k in range(30):
+            owners = dht.lookup(f"key-{k}")
+            assert len(owners) == 2
+            assert len(set(owners)) == 2
+
+    def test_owners_are_current_peers(self, dht):
+        peers = set(dht.peer_ids)
+        for k in range(30):
+            assert set(dht.lookup(f"key-{k}")) <= peers
+
+    def test_len(self, dht):
+        assert len(dht) == 200
+
+    def test_key_counts_total(self, dht):
+        assert sum(dht.key_counts().values()) == 200
+
+    def test_replica_counts_total(self, dht):
+        assert sum(dht.replica_counts().values()) == 400
+
+    def test_skew_at_least_one(self, dht):
+        assert dht.skew() >= 1.0
+
+    def test_lookup_missing_raises(self, dht):
+        with pytest.raises(KeyError):
+            dht.lookup("nope")
+
+
+class TestDChoice:
+    def test_d_choice_reduces_skew(self):
+        plain = DHT([f"p{i}" for i in range(30)])
+        balanced = DHT([f"p{i}" for i in range(30)])
+        for k in range(600):
+            plain.store(f"key-{k}")
+            balanced.store_d_choice(f"key-{k}", d=2)
+        assert balanced.skew() <= plain.skew()
+
+    def test_d_choice_rejects_bad_d(self, dht):
+        with pytest.raises(ValueError):
+            dht.store_d_choice("k", d=0)
+
+    def test_d1_is_plain_store(self):
+        a = DHT([f"p{i}" for i in range(10)])
+        a.store_d_choice("some-key", d=1)
+        # with d=1 the single candidate point is point_sequence[0], not the
+        # canonical hash, so only membership is guaranteed
+        assert "some-key" in a
+
+
+class TestChurn:
+    def test_join_moves_bounded_fraction(self, dht):
+        moved = dht.join("newcomer")
+        # consistent hashing: expected movement ~ r * stored / n ~ 20 copies;
+        # allow generous slack for arc-size variance
+        assert moved <= 200
+        assert sum(dht.key_counts().values()) == 200
+
+    def test_join_duplicate_rejected(self, dht):
+        with pytest.raises(ValueError):
+            dht.join("peer-0")
+
+    def test_leave_remaps_only_its_keys(self, dht):
+        victim = "peer-3"
+        held = [k for k, owners in dht._keys.items() if victim in owners]
+        moved = dht.leave(victim)
+        assert moved >= 0
+        for k in held:
+            assert victim not in dht.lookup(k)
+
+    def test_leave_unknown_raises(self, dht):
+        with pytest.raises(KeyError):
+            dht.leave("ghost")
+
+    def test_leave_respects_replication_floor(self):
+        d = DHT(["a", "b"], replication=2)
+        with pytest.raises(ValueError):
+            d.leave("a")
+
+    def test_join_then_leave_round_trip(self, dht):
+        before = dict(dht._keys)
+        dht.join("temp")
+        dht.leave("temp")
+        assert dht._keys == before
+
+    def test_churn_cheaper_than_full_remap(self):
+        """The movement on one join is far below total copies — the
+        consistent-hashing guarantee vs mod-N hashing."""
+        d = DHT([f"p{i}" for i in range(50)])
+        for k in range(1000):
+            d.store(f"key-{k}")
+        moved = d.join("newcomer")
+        assert moved < 0.2 * 1000  # mod-N would remap ~98%

@@ -1,0 +1,72 @@
+"""Tests for deterministic hashing."""
+
+import numpy as np
+import pytest
+
+from repro.p2p import hash_key, hash_to_unit, point_sequence, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_bijective_sample(self):
+        outs = {splitmix64(i) for i in range(10_000)}
+        assert len(outs) == 10_000
+
+    def test_64_bit_range(self):
+        assert 0 <= splitmix64(2**64 - 1) < 2**64
+
+
+class TestHashKey:
+    def test_types(self):
+        for key in (42, "peer-1", b"raw"):
+            v = hash_key(key)
+            assert 0 <= v < 2**64
+
+    def test_salt_changes_value(self):
+        assert hash_key("k", salt=0) != hash_key("k", salt=1)
+
+    def test_long_strings_mixed(self):
+        a = hash_key("a" * 100)
+        b = hash_key("a" * 99 + "b")
+        assert a != b
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            hash_key(3.14)
+
+    def test_stable_across_runs(self):
+        """Values must not depend on PYTHONHASHSEED — pin one output."""
+        assert hash_key("chord") == hash_key("chord")
+        assert isinstance(hash_key("chord"), int)
+
+
+class TestHashToUnit:
+    def test_range(self):
+        vals = [hash_to_unit(i) for i in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+
+    def test_approximately_uniform(self):
+        vals = np.array([hash_to_unit(i) for i in range(20_000)])
+        hist, _ = np.histogram(vals, bins=10, range=(0, 1))
+        assert hist.min() > 1500
+
+
+class TestPointSequence:
+    def test_count(self):
+        assert len(point_sequence("req", 4)) == 4
+
+    def test_points_distinct(self):
+        pts = point_sequence("req", 8)
+        assert len(set(pts)) == 8
+
+    def test_deterministic(self):
+        assert point_sequence("req", 3) == point_sequence("req", 3)
+
+    def test_prefix_property(self):
+        assert point_sequence("req", 5)[:3] == point_sequence("req", 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            point_sequence("req", -1)

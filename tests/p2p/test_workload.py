@@ -1,0 +1,71 @@
+"""Tests for ring request allocation (Byers et al. vs capacity-aware)."""
+
+import numpy as np
+import pytest
+
+from repro.p2p import ConsistentHashRing, allocate_requests
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ConsistentHashRing.random(100, seed=42)
+
+
+class TestBasics:
+    def test_conservation(self, ring):
+        res = allocate_requests(ring, 2000, d=2, seed=0)
+        assert res.counts.sum() == 2000
+
+    def test_unit_capacities_by_default(self, ring):
+        res = allocate_requests(ring, 100, seed=1)
+        assert (res.capacities == 1).all()
+        assert not res.capacity_aware
+
+    def test_capacity_aware_capacities(self, ring):
+        res = allocate_requests(ring, 100, capacity_aware=True, seed=2)
+        assert res.capacity_aware
+        assert res.capacities.sum() >= ring.n_peers
+
+    def test_rejects_bad_m(self, ring):
+        with pytest.raises(ValueError):
+            allocate_requests(ring, -1)
+
+    def test_rejects_bad_d(self, ring):
+        with pytest.raises(ValueError):
+            allocate_requests(ring, 10, d=0)
+
+    def test_reproducible(self, ring):
+        a = allocate_requests(ring, 500, seed=7)
+        b = allocate_requests(ring, 500, seed=7)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_loads_and_max(self, ring):
+        res = allocate_requests(ring, 500, seed=8)
+        assert res.max_load == res.loads.max()
+        assert res.max_requests == res.counts.max()
+
+
+class TestPowerOfTwoChoices:
+    def test_d2_beats_d1(self, ring):
+        """Byers et al.'s observation: two probes flatten the arc skew."""
+        m = 5000
+        one = np.mean([allocate_requests(ring, m, d=1, seed=s).max_requests for s in range(5)])
+        two = np.mean([allocate_requests(ring, m, d=2, seed=s).max_requests for s in range(5)])
+        assert two < one
+
+    def test_d1_skew_follows_arcs(self, ring):
+        """Single-probe allocation is proportional to arc lengths."""
+        m = 200_000
+        res = allocate_requests(ring, m, d=1, seed=0)
+        arcs = ring.arc_lengths()
+        corr = np.corrcoef(arcs, res.counts)[0, 1]
+        assert corr > 0.99
+
+    def test_capacity_aware_load_near_one(self, ring):
+        """Capacity-aware allocation with m = total capacity keeps max
+        load within a small constant of the optimum 1."""
+        caps_total = int(ring.as_bin_array(1000).total_capacity)
+        res = allocate_requests(
+            ring, caps_total, d=2, capacity_aware=True, resolution=1000, seed=3
+        )
+        assert res.max_load < 3.0

@@ -1,0 +1,62 @@
+"""Tests for the repetition executor."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_repetitions
+
+
+def draw_task(seed, scale=1.0):
+    """Top-level task so it pickles for the pool path."""
+    return float(np.random.default_rng(seed).random() * scale)
+
+
+def identity_seed_entropy(seed):
+    """Returns a stable fingerprint of the received seed."""
+    return np.random.default_rng(seed).integers(0, 2**32)
+
+
+class TestSerial:
+    def test_count(self):
+        out = run_repetitions(draw_task, 5, seed=0)
+        assert len(out) == 5
+
+    def test_deterministic(self):
+        a = run_repetitions(draw_task, 8, seed=42)
+        b = run_repetitions(draw_task, 8, seed=42)
+        assert a == b
+
+    def test_streams_independent(self):
+        out = run_repetitions(draw_task, 10, seed=1)
+        assert len(set(out)) == 10
+
+    def test_kwargs_forwarded(self):
+        out = run_repetitions(draw_task, 3, seed=0, kwargs={"scale": 0.0})
+        assert out == [0.0, 0.0, 0.0]
+
+    def test_zero_repetitions(self):
+        assert run_repetitions(draw_task, 0, seed=0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            run_repetitions(draw_task, -1)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            run_repetitions(draw_task, 1, workers=0)
+
+
+class TestPool:
+    def test_pool_matches_serial(self):
+        """workers=2 returns identical results in identical order."""
+        serial = run_repetitions(identity_seed_entropy, 6, seed=7, workers=1)
+        pooled = run_repetitions(identity_seed_entropy, 6, seed=7, workers=2)
+        assert serial == pooled
+
+    def test_pool_single_payload_falls_back(self):
+        out = run_repetitions(draw_task, 1, seed=3, workers=4)
+        assert len(out) == 1
+
+    def test_workers_none_uses_all_cpus(self):
+        out = run_repetitions(draw_task, 4, seed=9, workers=None)
+        assert len(out) == 4

@@ -1,0 +1,56 @@
+"""Tests for progress reporting."""
+
+import io
+
+import pytest
+
+from repro.runtime import NullReporter, ProgressReporter, make_reporter
+
+
+class TestNullReporter:
+    def test_noops(self):
+        r = NullReporter()
+        r.start(10, "x")
+        r.advance()
+        r.finish()  # nothing raised
+
+
+class TestProgressReporter:
+    def test_emits_label_and_counts(self):
+        stream = io.StringIO()
+        r = ProgressReporter(interval=0.0001, stream=stream)
+        r.start(4, label="work")
+        r.advance(4)
+        r.finish()
+        text = stream.getvalue()
+        assert "work" in text
+        assert "4/4" in text
+
+    def test_unknown_total(self):
+        stream = io.StringIO()
+        r = ProgressReporter(interval=0.0001, stream=stream)
+        r.start(0, label="open-ended")
+        r.advance(3)
+        r.finish()
+        assert "open-ended: 3" in stream.getvalue()
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(interval=0)
+
+
+class TestMakeReporter:
+    def test_true_gives_progress(self):
+        assert isinstance(make_reporter(True), ProgressReporter)
+
+    def test_none_and_false_give_null(self):
+        assert type(make_reporter(None)) is NullReporter
+        assert type(make_reporter(False)) is NullReporter
+
+    def test_instance_passthrough(self):
+        r = NullReporter()
+        assert make_reporter(r) is r
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            make_reporter("yes")

@@ -1,0 +1,51 @@
+"""Tests for seed trees."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import SeedTree
+
+
+class TestSeedTree:
+    def test_cell_stability(self):
+        a = SeedTree(99, n_points=4).repetition_seed(2, 5)
+        b = SeedTree(99, n_points=4).repetition_seed(2, 5)
+        assert np.random.default_rng(a).random() == np.random.default_rng(b).random()
+
+    def test_request_order_irrelevant(self):
+        t1 = SeedTree(1, n_points=2)
+        t2 = SeedTree(1, n_points=2)
+        late = t1.repetition_seed(0, 9)
+        for i in range(9):
+            t2.repetition_seed(0, i)
+        again = t2.repetition_seed(0, 9)
+        assert np.random.default_rng(late).random() == np.random.default_rng(again).random()
+
+    def test_points_differ(self):
+        t = SeedTree(5, n_points=3)
+        a = np.random.default_rng(t.repetition_seed(0, 0)).random()
+        b = np.random.default_rng(t.repetition_seed(1, 0)).random()
+        assert a != b
+
+    def test_repetitions_differ(self):
+        t = SeedTree(5, n_points=1)
+        a = np.random.default_rng(t.repetition_seed(0, 0)).random()
+        b = np.random.default_rng(t.repetition_seed(0, 1)).random()
+        assert a != b
+
+    def test_repetition_seeds_list(self):
+        t = SeedTree(0, n_points=1)
+        seeds = t.repetition_seeds(0, 5)
+        assert len(seeds) == 5
+
+    def test_rejects_bad_n_points(self):
+        with pytest.raises(ValueError):
+            SeedTree(0, n_points=0)
+
+    def test_rejects_negative_repetition(self):
+        with pytest.raises(IndexError):
+            SeedTree(0, n_points=1).repetition_seed(0, -1)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            SeedTree(0, n_points=1).repetition_seeds(0, -1)

@@ -1,0 +1,70 @@
+"""Tests for the CDF-inversion sampler."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import CdfSampler
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            CdfSampler([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CdfSampler([-1.0, 2.0])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            CdfSampler([0, 0, 0])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            CdfSampler([np.inf, 1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            CdfSampler(np.ones((2, 2)))
+
+    def test_probabilities(self):
+        s = CdfSampler([2, 2])
+        np.testing.assert_allclose(s.probabilities, [0.5, 0.5])
+
+    def test_n(self):
+        assert CdfSampler([1, 2, 3]).n == 3
+
+
+class TestSampling:
+    def test_zero_weight_never_drawn(self):
+        s = CdfSampler([0.0, 1.0, 0.0])
+        draws = s.sample(10_000, np.random.default_rng(0))
+        assert set(np.unique(draws)) == {1}
+
+    def test_leading_zero_weight_never_drawn(self):
+        """Regression guard for the side='right' convention: outcome 0 with
+        weight 0 has a zero-width CDF interval at the origin."""
+        s = CdfSampler([0.0, 1.0])
+        draws = s.sample(50_000, np.random.default_rng(1))
+        assert draws.min() == 1
+
+    def test_shapes(self):
+        s = CdfSampler([1, 1])
+        assert s.sample((3, 4), np.random.default_rng(2)).shape == (3, 4)
+
+    def test_deterministic_given_seed(self):
+        s = CdfSampler([1, 2, 3])
+        a = s.sample(64, np.random.default_rng(9))
+        b = s.sample(64, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_one_range(self):
+        s = CdfSampler([5, 5])
+        assert s.sample_one(np.random.default_rng(3)) in (0, 1)
+
+    def test_empirical_frequencies(self):
+        w = np.array([1.0, 4.0])
+        s = CdfSampler(w)
+        draws = s.sample(100_000, np.random.default_rng(4))
+        frac1 = np.mean(draws == 1)
+        assert frac1 == pytest.approx(0.8, abs=0.01)

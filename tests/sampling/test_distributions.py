@@ -1,0 +1,188 @@
+"""Tests for probability models over bins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    CustomProbability,
+    PowerProbability,
+    ProportionalProbability,
+    ThresholdProbability,
+    UniformProbability,
+    probability_model,
+)
+
+CAPS = np.array([1, 2, 3, 10])
+
+
+class TestProportional:
+    def test_weights(self):
+        w = ProportionalProbability().weights(CAPS)
+        np.testing.assert_allclose(w, CAPS / CAPS.sum())
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProportionalProbability().weights([1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ProportionalProbability().weights([])
+
+    def test_name(self):
+        assert ProportionalProbability().name == "proportional"
+
+    def test_sampler_backends(self):
+        from repro.sampling import AliasSampler, CdfSampler
+
+        model = ProportionalProbability()
+        assert isinstance(model.sampler(CAPS), AliasSampler)
+        assert isinstance(model.sampler(CAPS, method="cdf"), CdfSampler)
+
+    def test_sampler_bad_method(self):
+        with pytest.raises(ValueError, match="unknown sampler method"):
+            ProportionalProbability().sampler(CAPS, method="magic")
+
+
+class TestUniform:
+    def test_weights_ignore_capacities(self):
+        w = UniformProbability().weights(CAPS)
+        np.testing.assert_allclose(w, [0.25] * 4)
+
+
+class TestPower:
+    def test_t1_is_proportional(self):
+        np.testing.assert_allclose(
+            PowerProbability(1.0).weights(CAPS),
+            ProportionalProbability().weights(CAPS),
+        )
+
+    def test_t0_is_uniform(self):
+        np.testing.assert_allclose(
+            PowerProbability(0.0).weights(CAPS),
+            UniformProbability().weights(CAPS),
+        )
+
+    def test_t2(self):
+        w = PowerProbability(2.0).weights([1, 3])
+        np.testing.assert_allclose(w, [0.1, 0.9])
+
+    def test_negative_exponent_favours_small(self):
+        w = PowerProbability(-1.0).weights([1, 10])
+        assert w[0] > w[1]
+
+    def test_large_exponent_numerically_stable(self):
+        w = PowerProbability(200.0).weights([1, 2, 1000])
+        assert np.isfinite(w).all()
+        assert w[2] == pytest.approx(1.0)
+
+    def test_rejects_nan_exponent(self):
+        with pytest.raises(ValueError, match="finite"):
+            PowerProbability(float("nan"))
+
+    def test_repr_mentions_exponent(self):
+        assert "2.5" in repr(PowerProbability(2.5))
+
+
+class TestThreshold:
+    def test_mass_on_eligible_only(self):
+        w = ThresholdProbability(3).weights(CAPS)
+        np.testing.assert_allclose(w, [0.0, 0.0, 0.5, 0.5])
+
+    def test_all_eligible(self):
+        w = ThresholdProbability(1).weights(CAPS)
+        np.testing.assert_allclose(w, [0.25] * 4)
+
+    def test_no_eligible_raises(self):
+        with pytest.raises(ValueError, match="no bin has capacity"):
+            ThresholdProbability(100).weights(CAPS)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="positive"):
+            ThresholdProbability(0)
+
+    def test_theorem5_setting(self):
+        """Half the bins with capacity q get probability 1/(alpha n)."""
+        caps = np.array([1] * 50 + [8] * 50)
+        w = ThresholdProbability(8).weights(caps)
+        assert np.allclose(w[50:], 1.0 / 50)
+        assert np.all(w[:50] == 0)
+
+
+class TestCustom:
+    def test_normalises(self):
+        m = CustomProbability([2, 2])
+        np.testing.assert_allclose(m.weights([5, 7]), [0.5, 0.5])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            CustomProbability([1, 2]).weights([1, 2, 3])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CustomProbability([-1, 2])
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            CustomProbability([0, 0])
+
+    def test_returns_copy(self):
+        m = CustomProbability([1, 1])
+        w = m.weights([1, 1])
+        w[0] = 99
+        np.testing.assert_allclose(m.weights([1, 1]), [0.5, 0.5])
+
+
+class TestCoercion:
+    def test_instance_passthrough(self):
+        m = PowerProbability(2)
+        assert probability_model(m) is m
+
+    def test_string_proportional(self):
+        assert isinstance(probability_model("proportional"), ProportionalProbability)
+
+    def test_string_uniform(self):
+        assert isinstance(probability_model("uniform"), UniformProbability)
+
+    def test_unknown_string(self):
+        with pytest.raises(ValueError, match="unknown probability model"):
+            probability_model("quadratic")
+
+    def test_power_tuple(self):
+        m = probability_model(("power", 1.5))
+        assert isinstance(m, PowerProbability)
+        assert m.exponent == 1.5
+
+    def test_threshold_tuple(self):
+        m = probability_model(("threshold", 4))
+        assert isinstance(m, ThresholdProbability)
+        assert m.min_capacity == 4
+
+    def test_unknown_tuple(self):
+        with pytest.raises(ValueError, match="unknown parameterised"):
+            probability_model(("zipf", 2))
+
+    def test_raw_vector_becomes_custom(self):
+        m = probability_model([1, 2, 3])
+        assert isinstance(m, CustomProbability)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    caps=st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=30),
+    t=st.floats(min_value=-3, max_value=6),
+)
+def test_power_weights_are_distribution_and_monotone(caps, t):
+    """Property: power weights are a distribution and ordered consistently
+    with capacities (increasing for t>0, decreasing for t<0)."""
+    w = PowerProbability(t).weights(caps)
+    assert np.isclose(w.sum(), 1.0)
+    assert np.all(w >= 0)
+    caps_arr = np.asarray(caps, dtype=float)
+    order = np.argsort(caps_arr)
+    sorted_w = w[order]
+    if t > 0:
+        assert np.all(np.diff(sorted_w) >= -1e-12)
+    elif t < 0:
+        assert np.all(np.diff(sorted_w) <= 1e-12)

@@ -1,0 +1,101 @@
+"""Tests for RNG stream management."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    RngStreamPool,
+    derive_substream,
+    make_rng,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
+
+
+class TestMakeRng:
+    def test_from_int(self):
+        a = make_rng(7).random(4)
+        b = make_rng(7).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_from_none(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(5)
+        a = make_rng(ss).random()
+        b = make_rng(np.random.SeedSequence(5)).random()
+        assert a == b
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_seed_sequences(0, 7)) == 7
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_seed_sequences(0, -1)
+
+    def test_streams_differ(self):
+        rngs = spawn_rngs(3, 4)
+        draws = [g.random(8).tolist() for g in rngs]
+        assert len({tuple(d) for d in draws}) == 4
+
+    def test_reproducible(self):
+        a = [g.random() for g in spawn_rngs(11, 3)]
+        b = [g.random() for g in spawn_rngs(11, 3)]
+        assert a == b
+
+
+class TestDeriveSubstream:
+    def test_same_path_same_stream(self):
+        a = derive_substream(1, 3, 2).random(5)
+        b = derive_substream(1, 3, 2).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_paths_differ(self):
+        a = derive_substream(1, 0).random(5)
+        b = derive_substream(1, 1).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_negative_path(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            derive_substream(1, -2)
+
+
+class TestRngStreamPool:
+    def test_same_index_same_child_seed(self):
+        pool = RngStreamPool(9)
+        a = pool.stream(4).random(3)
+        b = pool.stream(4).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_indices_independent_of_request_order(self):
+        p1 = RngStreamPool(9)
+        p2 = RngStreamPool(9)
+        late = p1.stream(5).random()
+        _ = [p2.stream(i) for i in range(5)]
+        early_then = p2.stream(5).random()
+        assert late == early_then
+
+    def test_streams_list(self):
+        pool = RngStreamPool(2)
+        assert len(pool.streams(6)) == 6
+
+    def test_negative_index(self):
+        with pytest.raises(IndexError):
+            RngStreamPool(0).stream(-1)
+
+    def test_entropy_exposed(self):
+        assert RngStreamPool(1234).seed_entropy() == (1234,)
+
+    def test_iteration(self):
+        pool = RngStreamPool(5)
+        it = iter(pool)
+        first = next(it)
+        second = next(it)
+        assert first.random() != second.random()

@@ -1,0 +1,71 @@
+"""Tests for disks and clusters."""
+
+import numpy as np
+import pytest
+
+from repro.bins import BinArray, LinearGrowthModel
+from repro.storage import Cluster, Disk
+
+
+class TestDisk:
+    def test_defaults(self):
+        d = Disk(capacity=4)
+        assert d.effective_bandwidth == 4.0
+        assert d.generation == 0
+
+    def test_explicit_bandwidth(self):
+        assert Disk(capacity=4, bandwidth=100.0).effective_bandwidth == 100.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Disk(capacity=0)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            Disk(capacity=1, bandwidth=0.0)
+
+
+class TestCluster:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_homogeneous(self):
+        c = Cluster.homogeneous(5, 3)
+        assert c.n_disks == 5
+        assert c.total_capacity == 15
+
+    def test_bin_array_view(self):
+        c = Cluster([Disk(1), Disk(2, generation=1)])
+        bins = c.bin_array()
+        assert isinstance(bins, BinArray)
+        assert list(bins) == [1, 2]
+        assert bins.labels == (0, 1)
+
+    def test_bandwidths(self):
+        c = Cluster([Disk(2), Disk(4, bandwidth=10.0)])
+        np.testing.assert_allclose(c.bandwidths(), [2.0, 10.0])
+
+    def test_expand_generations(self):
+        c = Cluster.homogeneous(3, 2).expand(2, 8)
+        gens = [d.generation for d in c.disks]
+        assert gens == [0, 0, 0, 1, 1]
+        assert c.total_capacity == 6 + 16
+
+    def test_expand_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Cluster.homogeneous(2).expand(0, 4)
+
+    def test_from_bin_array_round_trip(self):
+        bins = BinArray([1, 2, 3], labels=(0, 1, 2))
+        c = Cluster.from_bin_array(bins)
+        assert c.bin_array() == bins
+
+    def test_from_growth_model(self):
+        model = LinearGrowthModel(offset=2, initial_bins=2, batch_size=4)
+        c = Cluster.from_growth_model(model, 10)
+        assert c.n_disks == 10
+        assert {d.generation for d in c.disks} == {0, 1, 2}
+
+    def test_repr(self):
+        assert "n_disks=2" in repr(Cluster.homogeneous(2))

@@ -1,0 +1,123 @@
+"""Tests for placement metrics and the scenario simulator."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    Cluster,
+    GreedyTwoChoice,
+    RoundRobinBySlots,
+    SingleChoice,
+    compare_strategies,
+    evaluate_placement,
+    expansion_study,
+    uniform_objects,
+    unit_objects,
+)
+
+
+class TestEvaluatePlacement:
+    def test_fill_computation(self):
+        cluster = Cluster.homogeneous(2, 2)
+        objs = unit_objects(4, rng=0)
+        report = evaluate_placement([0, 0, 0, 1], objs, cluster)
+        np.testing.assert_allclose(report.fill, [1.5, 0.5])
+        assert report.max_fill == 1.5
+        assert report.average_fill == 1.0
+
+    def test_read_load_uses_popularity_and_bandwidth(self):
+        from repro.storage import Disk, ObjectSet
+
+        cluster = Cluster([Disk(1, bandwidth=1.0), Disk(1, bandwidth=4.0)])
+        objs = ObjectSet(sizes=[1.0, 1.0], popularity=[0.5, 0.5])
+        report = evaluate_placement([0, 1], objs, cluster)
+        np.testing.assert_allclose(report.read_load, [0.5, 0.125])
+
+    def test_objects_per_disk(self):
+        cluster = Cluster.homogeneous(3)
+        objs = unit_objects(5, rng=0)
+        report = evaluate_placement([0, 0, 1, 1, 1], objs, cluster)
+        np.testing.assert_array_equal(report.objects_per_disk, [2, 3, 0])
+
+    def test_rejects_bad_assignment_shape(self):
+        cluster = Cluster.homogeneous(2)
+        objs = unit_objects(3, rng=0)
+        with pytest.raises(ValueError):
+            evaluate_placement([0, 1], objs, cluster)
+
+    def test_rejects_out_of_range(self):
+        cluster = Cluster.homogeneous(2)
+        objs = unit_objects(2, rng=0)
+        with pytest.raises(ValueError):
+            evaluate_placement([0, 5], objs, cluster)
+
+    def test_imbalance_one_when_perfect(self):
+        cluster = Cluster.homogeneous(2, 2)
+        objs = unit_objects(4, rng=0)
+        report = evaluate_placement([0, 0, 1, 1], objs, cluster)
+        assert report.fill_imbalance == pytest.approx(1.0)
+
+
+class TestCompareStrategies:
+    def test_reports_all_strategies(self):
+        cluster = Cluster.homogeneous(10, 2)
+        objs = unit_objects(cluster.total_capacity, rng=0)
+        cmp_ = compare_strategies(
+            [GreedyTwoChoice(), SingleChoice(), RoundRobinBySlots()],
+            objs, cluster, repetitions=3, seed=1,
+        )
+        assert set(cmp_.reports) == {"greedy-2-choice", "single-choice", "round-robin"}
+        assert cmp_.repetitions == 3
+
+    def test_greedy_beats_single_choice(self):
+        cluster = Cluster.homogeneous(30, 1).expand(10, 10)
+        objs = unit_objects(cluster.total_capacity, rng=0)
+        cmp_ = compare_strategies(
+            [GreedyTwoChoice(), SingleChoice()], objs, cluster, repetitions=5, seed=2
+        )
+        assert cmp_.best_by("max_fill") == "greedy-2-choice"
+
+    def test_rejects_non_strategy(self):
+        cluster = Cluster.homogeneous(2)
+        objs = unit_objects(2, rng=0)
+        with pytest.raises(TypeError):
+            compare_strategies(["not-a-strategy"], objs, cluster)
+
+    def test_rejects_empty(self):
+        cluster = Cluster.homogeneous(2)
+        objs = unit_objects(2, rng=0)
+        with pytest.raises(ValueError):
+            compare_strategies([], objs, cluster)
+
+    def test_table_rows(self):
+        cluster = Cluster.homogeneous(4)
+        objs = unit_objects(4, rng=0)
+        cmp_ = compare_strategies([RoundRobinBySlots()], objs, cluster, repetitions=2, seed=0)
+        rows = cmp_.table_rows()
+        assert rows[0][0] == "round-robin"
+        assert len(rows[0]) == 4
+
+
+class TestExpansionStudy:
+    def test_basic_outcome(self):
+        cluster = Cluster.homogeneous(20, 2)
+        objs = unit_objects(40, rng=0)
+        study = expansion_study(
+            cluster, objs, new_disks=5, new_capacity=8, seed=1
+        )
+        assert study.balls_moved_incremental >= 0
+        assert study.balls_displaced_scratch >= study.balls_moved_incremental
+        assert 0.0 <= study.migration_savings <= 1.0
+
+    def test_incremental_fill_balanced(self):
+        cluster = Cluster.homogeneous(10, 2)
+        objs = unit_objects(20, rng=0)
+        study = expansion_study(cluster, objs, new_disks=2, new_capacity=10, seed=2)
+        fills = study.after_incremental.fill
+        assert fills.max() - fills.min() <= 1.0
+
+    def test_rejects_non_unit_objects(self):
+        cluster = Cluster.homogeneous(4)
+        objs = uniform_objects(4, rng=0)
+        with pytest.raises(ValueError, match="unit-size"):
+            expansion_study(cluster, objs, new_disks=1, new_capacity=4)

@@ -1,0 +1,96 @@
+"""Tests for storage object populations."""
+
+import numpy as np
+import pytest
+
+from repro.storage import ObjectSet, lognormal_objects, uniform_objects, unit_objects
+
+
+class TestObjectSet:
+    def test_popularity_normalised(self):
+        s = ObjectSet(sizes=[1.0, 1.0], popularity=[2.0, 6.0])
+        np.testing.assert_allclose(s.popularity, [0.25, 0.75])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ObjectSet(sizes=[], popularity=[])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            ObjectSet(sizes=[0.0], popularity=[1.0])
+
+    def test_rejects_negative_popularity(self):
+        with pytest.raises(ValueError):
+            ObjectSet(sizes=[1.0], popularity=[-1.0])
+
+    def test_rejects_zero_total_popularity(self):
+        with pytest.raises(ValueError):
+            ObjectSet(sizes=[1.0], popularity=[0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ObjectSet(sizes=[1.0, 1.0], popularity=[1.0])
+
+    def test_counts_and_total(self):
+        s = ObjectSet(sizes=[1.0, 2.0], popularity=[1, 1])
+        assert s.count == 2
+        assert s.total_size == 3.0
+
+    def test_sample_reads_range(self):
+        s = unit_objects(10, rng=0)
+        reads = s.sample_reads(100, rng=1)
+        assert reads.min() >= 0 and reads.max() < 10
+
+    def test_sample_reads_follow_popularity(self):
+        s = ObjectSet(sizes=[1.0, 1.0], popularity=[0.0, 1.0])
+        reads = s.sample_reads(500, rng=2)
+        assert (reads == 1).all()
+
+    def test_sample_reads_rejects_negative(self):
+        with pytest.raises(ValueError):
+            unit_objects(3, rng=0).sample_reads(-1)
+
+
+class TestGenerators:
+    def test_unit_sizes(self):
+        s = unit_objects(50, rng=0)
+        assert (s.sizes == 1.0).all()
+
+    def test_unit_uniform_popularity(self):
+        s = unit_objects(4, rng=0)
+        np.testing.assert_allclose(s.popularity, [0.25] * 4)
+
+    def test_zipf_popularity_is_skewed(self):
+        s = unit_objects(1000, zipf_s=1.2, rng=1)
+        assert s.popularity.max() > 10 * s.popularity.mean()
+
+    def test_zipf_rejects_bad_s(self):
+        with pytest.raises(ValueError):
+            unit_objects(10, zipf_s=0.0, rng=0)
+
+    def test_uniform_objects_range(self):
+        s = uniform_objects(200, low=0.5, high=2.0, rng=2)
+        assert s.sizes.min() >= 0.5
+        assert s.sizes.max() <= 2.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            uniform_objects(10, low=2.0, high=1.0)
+
+    def test_lognormal_positive(self):
+        s = lognormal_objects(100, rng=3)
+        assert (s.sizes > 0).all()
+
+    def test_lognormal_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            lognormal_objects(10, sigma=0.0)
+
+    def test_generators_reject_zero_count(self):
+        for gen in (unit_objects, uniform_objects, lognormal_objects):
+            with pytest.raises(ValueError):
+                gen(0)
+
+    def test_reproducible(self):
+        a = lognormal_objects(20, rng=7)
+        b = lognormal_objects(20, rng=7)
+        np.testing.assert_array_equal(a.sizes, b.sizes)

@@ -1,0 +1,123 @@
+"""Tests for placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    Cluster,
+    GreedyTwoChoice,
+    LeastLoaded,
+    RoundRobinBySlots,
+    SingleChoice,
+    evaluate_placement,
+    uniform_objects,
+    unit_objects,
+)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(10, 2).expand(5, 8)
+
+
+class TestGreedyTwoChoice:
+    def test_assignment_shape_and_range(self, cluster):
+        objs = unit_objects(cluster.total_capacity, rng=0)
+        a = GreedyTwoChoice().place(objs, cluster, seed=1)
+        assert a.shape == (objs.count,)
+        assert a.min() >= 0 and a.max() < cluster.n_disks
+
+    def test_reproducible(self, cluster):
+        objs = unit_objects(40, rng=0)
+        s = GreedyTwoChoice()
+        np.testing.assert_array_equal(
+            s.place(objs, cluster, seed=5), s.place(objs, cluster, seed=5)
+        )
+
+    def test_name_includes_d(self):
+        assert GreedyTwoChoice(d=3).name == "greedy-3-choice"
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValueError):
+            GreedyTwoChoice(d=0)
+
+    def test_matches_simulate_statistically(self, cluster):
+        """Unit objects through the placement API give the same max-fill
+        distribution as the core engine."""
+        from repro.core import simulate
+
+        bins = cluster.bin_array()
+        objs = unit_objects(bins.total_capacity, rng=0)
+        place_max = np.mean([
+            evaluate_placement(
+                GreedyTwoChoice().place(objs, cluster, seed=s), objs, cluster
+            ).max_fill
+            for s in range(15)
+        ])
+        engine_max = np.mean([simulate(bins, seed=100 + s).max_load for s in range(15)])
+        assert place_max == pytest.approx(engine_max, abs=0.3)
+
+    def test_weighted_objects_path(self, cluster):
+        objs = uniform_objects(60, rng=1)
+        a = GreedyTwoChoice().place(objs, cluster, seed=2)
+        report = evaluate_placement(a, objs, cluster)
+        assert report.stored_mass.sum() == pytest.approx(objs.total_size)
+
+
+class TestSingleChoice:
+    def test_proportional_hits(self, cluster):
+        objs = unit_objects(20_000, rng=0)
+        a = SingleChoice().place(objs, cluster, seed=3)
+        counts = np.bincount(a, minlength=cluster.n_disks)
+        caps = cluster.capacities()
+        big_share = counts[caps == 8].sum() / objs.count
+        expected = caps[caps == 8].sum() / caps.sum()
+        assert big_share == pytest.approx(expected, abs=0.02)
+
+    def test_worse_than_greedy(self, cluster):
+        objs = unit_objects(cluster.total_capacity, rng=0)
+        single = np.mean([
+            evaluate_placement(SingleChoice().place(objs, cluster, seed=s), objs, cluster).max_fill
+            for s in range(10)
+        ])
+        greedy = np.mean([
+            evaluate_placement(GreedyTwoChoice().place(objs, cluster, seed=s), objs, cluster).max_fill
+            for s in range(10)
+        ])
+        assert greedy < single
+
+
+class TestRoundRobin:
+    def test_perfect_fill_for_full_load(self, cluster):
+        objs = unit_objects(cluster.total_capacity, rng=0)
+        a = RoundRobinBySlots().place(objs, cluster)
+        report = evaluate_placement(a, objs, cluster)
+        assert report.max_fill == pytest.approx(1.0)
+
+    def test_deterministic(self, cluster):
+        objs = unit_objects(33, rng=0)
+        s = RoundRobinBySlots()
+        np.testing.assert_array_equal(s.place(objs, cluster), s.place(objs, cluster))
+
+
+class TestLeastLoaded:
+    def test_optimal_unit_fill(self, cluster):
+        objs = unit_objects(cluster.total_capacity, rng=0)
+        a = LeastLoaded().place(objs, cluster)
+        report = evaluate_placement(a, objs, cluster)
+        assert report.max_fill <= 1.0 + 1e-9
+
+    def test_lower_bounds_greedy(self, cluster):
+        objs = unit_objects(cluster.total_capacity, rng=0)
+        omni = evaluate_placement(LeastLoaded().place(objs, cluster), objs, cluster).max_fill
+        greedy = evaluate_placement(
+            GreedyTwoChoice().place(objs, cluster, seed=0), objs, cluster
+        ).max_fill
+        assert omni <= greedy + 1e-9
+
+    def test_weighted_objects(self, cluster):
+        objs = uniform_objects(100, rng=2)
+        a = LeastLoaded().place(objs, cluster)
+        report = evaluate_placement(a, objs, cluster)
+        # near-perfect balance: max fill close to average fill
+        assert report.max_fill <= report.average_fill + 2.0 / cluster.capacities().min()

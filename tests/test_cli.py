@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_bin_spec
+
+
+class TestParseBinSpec:
+    def test_single_class(self):
+        bins = parse_bin_spec("1x10")
+        assert bins.n == 10
+        assert bins.is_uniform()
+
+    def test_two_classes(self):
+        bins = parse_bin_spec("1x500,10x500")
+        assert bins.n == 1000
+        assert bins.total_capacity == 5500
+
+    def test_repeated_class_accumulates(self):
+        bins = parse_bin_spec("2x3,2x4")
+        assert bins.size_class_counts() == {2: 7}
+
+    def test_whitespace_tolerated(self):
+        assert parse_bin_spec(" 1x2 , 3x1 ").n == 3
+
+    def test_bad_item_exits(self):
+        with pytest.raises(SystemExit, match="bad bin spec"):
+            parse_bin_spec("1-10")
+
+    def test_empty_exits(self):
+        with pytest.raises(SystemExit, match="empty"):
+            parse_bin_spec(",")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "fig18" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "1x50,10x50"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3: applies" in out
+        assert "C = 550" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "1x20,4x20", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "max load" in out
+        assert "capacity 4" in out
+
+    def test_simulate_custom_balls(self, capsys):
+        assert main(["simulate", "1x10", "--balls", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "m = 5 balls" in out
+
+    def test_run_with_plot(self, capsys):
+        code = main([
+            "run", "fig02", "--scale", "0.0003", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+
+    def test_run_no_plot_saves(self, tmp_path, capsys):
+        code = main([
+            "run", "fig02", "--scale", "0.0003", "--seed", "5",
+            "--no-plot", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "fig02.csv").exists()
+        out = capsys.readouterr().out
+        assert "saved fig02.csv" in out
+
+    def test_tune(self, capsys):
+        code = main([
+            "tune", "1x20,3x20", "--reps", "10", "--seed", "2",
+            "--t-min", "0.5", "--t-max", "2.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best exponent" in out
+        assert "proportional" in out
+
+    def test_report(self, tmp_path, capsys):
+        code = main([
+            "report", "--only", "fig02", "--scale", "0.0003",
+            "--seed", "4", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        report = (tmp_path / "REPORT.md").read_text()
+        assert "### fig02" in report
+        assert (tmp_path / "fig02.csv").exists()
+
+    def test_verify(self, capsys):
+        code = main(["verify", "--n", "400", "--seed", "9"])
+        out = capsys.readouterr().out
+        assert "claim" in out
+        assert code == 0
+        assert "checks passed" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,124 @@
+"""Cross-module property tests: invariants that must hold across every
+configuration of the public simulation API.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bins import BinArray
+from repro.core import simulate, simulate_batched
+from repro.core.loadvectors import normalized_slot_load_vector, slot_load_vector
+from repro.core.majorization import majorizes
+from repro.sampling import PowerProbability
+
+# Strategy: small random bin arrays.
+bin_arrays = st.lists(
+    st.integers(min_value=1, max_value=12), min_size=1, max_size=10
+).map(BinArray)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bins=bin_arrays,
+    m=st.integers(min_value=0, max_value=80),
+    d=st.integers(min_value=1, max_value=4),
+    tie=st.sampled_from(["max_capacity", "uniform", "min_capacity"]),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_simulate_conservation_all_configs(bins, m, d, tie, seed):
+    """Conservation + non-negativity for every tie-break and d."""
+    res = simulate(bins, m=m, d=d, tie_break=tie, seed=seed)
+    assert res.counts.sum() == m
+    assert (res.counts >= 0).all()
+    assert res.max_load >= res.average_load - 1e-12 or m == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bins=bin_arrays,
+    m=st.integers(min_value=0, max_value=60),
+    t=st.floats(min_value=-2.0, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_simulate_power_model_conservation(bins, m, t, seed):
+    """Power-exponent selection never breaks conservation."""
+    res = simulate(bins, m=m, probabilities=PowerProbability(t), seed=seed)
+    assert res.counts.sum() == m
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bins=bin_arrays,
+    m=st.integers(min_value=0, max_value=60),
+    batch=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_batched_conservation(bins, m, batch, seed):
+    """Batched arrivals conserve balls for any batch size."""
+    res = simulate_batched(bins, m=m, batch_size=batch, seed=seed)
+    assert res.counts.sum() == m
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bins=bin_arrays,
+    m=st.integers(min_value=0, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_slot_vector_consistent_with_counts(bins, m, seed):
+    """The slot expansion of a simulation outcome preserves totals and the
+    normalised slot vector majorises the flat average vector."""
+    res = simulate(bins, m=m, seed=seed)
+    sv = slot_load_vector(res.counts, bins.capacities)
+    assert sv.sum() == m
+    norm = normalized_slot_load_vector(res.counts, bins.capacities)
+    flat = np.full(norm.size, m / norm.size)
+    assert majorizes(norm, flat)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bins=bin_arrays,
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_heights_bounded_by_running_max(bins, seed):
+    """No ball's height can exceed the final maximum load plus one
+    ball's worth of any bin (heights are loads at earlier times)."""
+    res = simulate(bins, track_heights=True, seed=seed)
+    if res.m == 0:
+        return
+    assert res.heights.max() <= res.max_load + 1e-12
+    assert res.heights.min() > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    caps=st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_threshold_model_respects_support(caps, seed):
+    """Threshold routing puts zero balls outside its support."""
+    from repro.sampling import ThresholdProbability
+
+    bins = BinArray(caps)
+    q = int(bins.capacities.max())
+    res = simulate(bins, probabilities=ThresholdProbability(q), seed=seed)
+    outside = bins.capacities < q
+    assert res.counts[outside].sum() == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    bins=bin_arrays,
+    m=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_snapshot_final_matches_result(bins, m, seed):
+    """A snapshot at m equals the final statistics."""
+    res = simulate(bins, m=m, snapshot_at=[m], seed=seed)
+    snap = res.snapshots[-1]
+    assert snap.balls_thrown == m
+    assert snap.max_load == pytest.approx(res.max_load)
+    assert snap.average_load == pytest.approx(res.average_load)

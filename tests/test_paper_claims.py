@@ -1,0 +1,174 @@
+"""Statistical integration tests of the paper's headline claims.
+
+Each test runs the real simulator at laptop scale with fixed seeds and
+checks the corresponding analytical statement.  Sizes are chosen so the
+w.h.p. events have overwhelming probability at the tested n; a failure
+indicates a genuine regression rather than statistical noise.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bins import big_small_split, two_class_bins, uniform_bins
+from repro.core import (
+    coupled_domination_run,
+    empirical_max_load_domination,
+    simulate,
+    standard_greedy,
+)
+from repro.core.heights import split_heights_by_big_contact
+from repro.sampling import PowerProbability, ThresholdProbability
+from repro.theory import observation2_bound, theorem3_bound
+
+
+class TestTheorem3:
+    """Max load <= lnln(n)/ln(d) + O(1) for m = C, proportional probs."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_two_class_system(self, seed):
+        bins = two_class_bins(2500, 2500, 1, 10)
+        res = simulate(bins, seed=seed)
+        assert res.max_load <= theorem3_bound(bins.n, 2, constant=2.0)
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_d_dependence(self, d):
+        """Larger d lowers the bound and the simulated load follows."""
+        bins = two_class_bins(2000, 2000, 1, 4)
+        loads = [simulate(bins, d=d, seed=s).max_load for s in range(3)]
+        assert np.mean(loads) <= theorem3_bound(bins.n, d, constant=2.0)
+
+    def test_max_load_does_not_grow_with_capacity(self):
+        """The paper's core message: heterogeneity does not hurt — the
+        all-big system is at least as balanced as the unit system."""
+        unit = np.mean([simulate(uniform_bins(2000, 1), seed=s).max_load for s in range(5)])
+        big = np.mean([simulate(uniform_bins(2000, 10), seed=s).max_load for s in range(5)])
+        assert big <= unit
+
+
+class TestLemma1:
+    """Non-uniform process dominated by the C-unit-bin process."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_coupled_runs_dominate(self, seed):
+        bins = two_class_bins(100, 100, 1, 6)
+        out = coupled_domination_run(bins, seed=seed)
+        assert out.q_dominates_max
+        assert out.q_dominates_slots
+
+    def test_stochastic_domination_of_max_loads(self):
+        """Independent (uncoupled) samples: P's max-load distribution sits
+        below Q's (empirical first-order dominance up to small noise)."""
+        bins = two_class_bins(200, 200, 1, 5)
+        C = bins.total_capacity
+        p_samples = [simulate(bins, seed=s).max_load for s in range(40)]
+        q_samples = [standard_greedy(C, seed=1000 + s).max_load for s in range(40)]
+        margin = empirical_max_load_domination(p_samples, q_samples)
+        assert margin >= -0.15  # noise allowance on 40-sample CDFs
+
+
+class TestObservation1:
+    """Big bins stay below constant load; B_b balls have bounded height."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_big_bin_loads(self, seed):
+        # capacity 64 >> ln(1000) ~ 6.9: the 64-bins are big
+        bins = two_class_bins(900, 100, 1, 64)
+        res = simulate(bins, seed=seed)
+        big_max = res.max_load_of_class(64)
+        assert big_max <= 4.0
+
+    def test_big_ball_heights(self):
+        bins = two_class_bins(300, 100, 1, 32)
+        res = simulate(bins, track_heights=True, keep_choices=True, seed=11)
+        split = big_small_split(bins)
+        assert split.n_big == 100
+        bb, _ = split_heights_by_big_contact(res.heights, res.choices, split)
+        assert bb.max_height <= 4.0
+
+
+class TestObservation2:
+    """Uniform capacity c: max load ~ (m/n + O(lnln n))/c."""
+
+    @pytest.mark.parametrize("c", [2, 4, 8])
+    def test_prediction_matches(self, c):
+        n = 4000
+        loads = [simulate(uniform_bins(n, c), seed=s).max_load for s in range(4)]
+        measured = float(np.mean(loads))
+        predicted = observation2_bound(c * n, n, c)
+        assert measured == pytest.approx(predicted, abs=0.45)
+
+    def test_heavily_loaded_gap_invariance(self):
+        """Figures 2-5's invariance: the gap (max - m/C) is independent of
+        the ball multiplier."""
+        bins = uniform_bins(32, 2)
+        gaps = {}
+        for mult in (1, 10, 100):
+            runs = [
+                simulate(bins, m=mult * bins.total_capacity, seed=s).gap
+                for s in range(30)
+            ]
+            gaps[mult] = float(np.mean(runs))
+        assert gaps[10] == pytest.approx(gaps[1], abs=0.4)
+        assert gaps[100] == pytest.approx(gaps[1], abs=0.4)
+
+
+class TestTheorem5:
+    """Routing only to the q-capacity bins yields constant max load."""
+
+    def test_threshold_distribution_constant_load(self):
+        n = 1000
+        q = 8  # ~ lnln-scale at this n
+        bins = two_class_bins(n // 2, n // 2, 1, q)
+        res = simulate(bins, probabilities=ThresholdProbability(q), seed=0)
+        # k = 1, alpha = 1/2 -> bound k/alpha + O(1) ~ 2 + small
+        assert res.max_load <= 2.0 + 1.0
+        # the ignored bins receive nothing
+        assert res.counts[: n // 2].sum() == 0
+
+    def test_threshold_beats_proportional_on_extreme_mixes(self):
+        """With many tiny bins and few capable ones, ignoring the tiny bins
+        lowers the maximum load (the Section 4.5 message)."""
+        bins = two_class_bins(500, 500, 1, 8)
+        prop = np.mean([simulate(bins, seed=s).max_load for s in range(6)])
+        thr = np.mean(
+            [
+                simulate(bins, probabilities=ThresholdProbability(8), seed=s).max_load
+                for s in range(6)
+            ]
+        )
+        assert thr <= prop + 0.05
+
+
+class TestSection45:
+    """The optimal exponent exceeds 1 for mixed arrays."""
+
+    def test_exponent_two_beats_exponent_one(self):
+        """At capacities 1 and 3 the paper reports t* ~ 2.1; t=2 should
+        beat t=1 on mean max load."""
+        bins = two_class_bins(50, 50, 1, 3)
+        t1 = np.mean(
+            [simulate(bins, probabilities=PowerProbability(1.0), seed=s).max_load
+             for s in range(300)]
+        )
+        t2 = np.mean(
+            [simulate(bins, probabilities=PowerProbability(2.0), seed=s).max_load
+             for s in range(300)]
+        )
+        assert t2 < t1
+
+
+class TestStandardGameReference:
+    """Sanity anchor: the classical Azar et al. growth rate."""
+
+    def test_loglog_growth(self):
+        """Mean max load at n=m grows like lnln n: the n=8192 mean exceeds
+        the n=64 mean by less than lnln(8192)/ln 2 - lnln(64)/ln 2 + 1."""
+        small = np.mean([standard_greedy(64, seed=s).max_load for s in range(20)])
+        large = np.mean([standard_greedy(8192, seed=s).max_load for s in range(5)])
+        theory_delta = (
+            math.log(math.log(8192)) - math.log(math.log(64))
+        ) / math.log(2)
+        assert large - small <= theory_delta + 1.0
+        assert large >= small  # growth is real

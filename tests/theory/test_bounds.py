@@ -1,0 +1,134 @@
+"""Tests for the analytical bound functions."""
+
+import math
+
+import pytest
+
+from repro.theory import (
+    corollary1_bound,
+    loglog_over_logd,
+    observation1_bound,
+    observation2_bound,
+    theorem1_bound,
+    theorem2_bound,
+    theorem3_bound,
+    theorem4_standard_game,
+    theorem5_bound,
+)
+
+
+class TestLogLog:
+    def test_value(self):
+        assert loglog_over_logd(10_000, 2) == pytest.approx(
+            math.log(math.log(10_000)) / math.log(2)
+        )
+
+    def test_small_n_clamped(self):
+        assert loglog_over_logd(2, 2) == 0.0
+
+    def test_monotone_in_n(self):
+        assert loglog_over_logd(10**6, 2) > loglog_over_logd(10**3, 2)
+
+    def test_decreasing_in_d(self):
+        assert loglog_over_logd(10_000, 4) < loglog_over_logd(10_000, 2)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            loglog_over_logd(0, 2)
+
+    def test_rejects_d1(self):
+        with pytest.raises(ValueError):
+            loglog_over_logd(100, 1)
+
+    def test_paper_number(self):
+        """The paper quotes lnln(10,000) ~ 2.22."""
+        assert math.log(math.log(10_000)) == pytest.approx(2.22, abs=0.01)
+
+
+class TestSimpleBounds:
+    def test_observation1(self):
+        assert observation1_bound() == 4.0
+
+    def test_theorem1(self):
+        assert theorem1_bound(2.0) == 12.0
+
+    def test_theorem1_rejects_bad_kappa(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(0)
+
+    def test_theorem2(self):
+        assert theorem2_bound(1.0) == 10.0
+
+    def test_theorem3_composition(self):
+        assert theorem3_bound(10_000, 2, constant=1.5) == pytest.approx(
+            loglog_over_logd(10_000, 2) + 1.5
+        )
+
+    def test_corollary1(self):
+        assert corollary1_bound(3.0, constant=2.0) == 5.0
+
+    def test_corollary1_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            corollary1_bound(-1)
+
+
+class TestTheorem4:
+    def test_average_plus_gap(self):
+        val = theorem4_standard_game(m=100_000, n=1000, d=2)
+        assert val == pytest.approx(100.0 + loglog_over_logd(1000, 2))
+
+    def test_gap_independent_of_m(self):
+        g1 = theorem4_standard_game(10_000, 100, 2) - 100.0
+        g2 = theorem4_standard_game(1_000_000, 100, 2) - 10_000.0
+        assert g1 == pytest.approx(g2)
+
+    def test_rejects_negative_m(self):
+        with pytest.raises(ValueError):
+            theorem4_standard_game(-1, 10, 2)
+
+
+class TestObservation2:
+    def test_m_equals_nc(self):
+        """m = n*c gives the Section-4.1 form 1 + lnln(n)/c."""
+        n, c = 10_000, 4
+        val = observation2_bound(m=n * c, n=n, capacity=c)
+        assert val == pytest.approx(1 + math.log(math.log(n)) / c)
+
+    def test_decreasing_in_capacity(self):
+        n = 10_000
+        v2 = observation2_bound(2 * n, n, 2)
+        v8 = observation2_bound(8 * n, n, 8)
+        assert v8 < v2
+
+    def test_paper_figure1_predictions(self):
+        """Section 4.1: max load 'very close to 1 + lnln(n)/c' for c>=2."""
+        n = 10_000
+        for c in (2, 3, 4, 8):
+            pred = observation2_bound(c * n, n, c)
+            assert pred == pytest.approx(1 + math.log(math.log(n)) / c, abs=0.35)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            observation2_bound(10, 10, 0)
+
+
+class TestTheorem5:
+    def test_constant_for_growing_q(self):
+        """With q = lnln(n)-scale, the bound is O(1): k/alpha + O(1)."""
+        val = theorem5_bound(k=1.0, alpha=0.5, q=10.0, n=10**6)
+        assert val < 1.0 / 0.5 + 1.0
+
+    def test_k_over_alpha_term(self):
+        lo = theorem5_bound(k=1.0, alpha=1.0, q=100.0, n=1000)
+        hi = theorem5_bound(k=1.0, alpha=0.25, q=100.0, n=1000)
+        assert hi > lo
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            theorem5_bound(1, 0.0, 5, 100)
+        with pytest.raises(ValueError):
+            theorem5_bound(1, 1.5, 5, 100)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            theorem5_bound(1, 0.5, 0, 100)

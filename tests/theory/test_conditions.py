@@ -1,0 +1,116 @@
+"""Tests for theorem applicability checkers."""
+
+import pytest
+
+from repro.bins import BinArray, two_class_bins, uniform_bins
+from repro.theory import (
+    applicable_theorems,
+    corollary1_applies,
+    theorem1_applies,
+    theorem2_applies,
+    theorem3_applies,
+    theorem5_applies,
+)
+
+
+class TestTheorem1:
+    def test_m_at_least_n_squared(self):
+        bins = uniform_bins(10, 100)  # C = 1000 >= n^2 = 100
+        assert theorem1_applies(bins).applies
+
+    def test_small_cs_clause(self):
+        # 990 big bins of cap 100, 10 small of cap 1 -> C_s tiny
+        bins = two_class_bins(10, 990, 1, 100)
+        assert theorem1_applies(bins).applies
+
+    def test_fails_when_cs_large_and_m_small(self):
+        bins = uniform_bins(1000, 1)  # all small, C = n
+        assert not theorem1_applies(bins).applies
+
+    def test_m_must_equal_c(self):
+        bins = uniform_bins(10, 100)
+        assert not theorem1_applies(bins, m=5).applies
+
+    def test_explain_lists_clauses(self):
+        report = theorem1_applies(uniform_bins(10, 100))
+        text = report.explain()
+        assert "m = C" in text and "n^2" in text
+
+    def test_bool_protocol(self):
+        assert bool(theorem1_applies(uniform_bins(10, 100)))
+
+
+class TestTheorem2:
+    def test_all_big_bins(self):
+        bins = uniform_bins(100, 50)  # threshold ln(100)~4.6, all big, C_s=0
+        assert theorem2_applies(bins).applies
+
+    def test_d_clause(self):
+        bins = uniform_bins(100, 50)
+        assert not theorem2_applies(bins, d=1).applies
+
+    def test_cs_bound_clause(self):
+        # mostly unit bins: C_s = 900 > C^(1/2) sqrt-ish bound
+        bins = two_class_bins(900, 10, 1, 100)
+        report = theorem2_applies(bins)
+        assert not report.applies
+
+
+class TestTheorem3:
+    def test_typical_system(self, two_class_1000):
+        assert theorem3_applies(two_class_1000).applies
+
+    def test_requires_m_equals_c(self, two_class_1000):
+        assert not theorem3_applies(two_class_1000, m=3).applies
+
+    def test_requires_d2(self, two_class_1000):
+        assert not theorem3_applies(two_class_1000, d=1).applies
+
+
+class TestCorollary1:
+    def test_uniform_big_capacity(self):
+        bins = uniform_bins(100, 10)
+        assert corollary1_applies(bins, m=3 * 100 * 10).applies
+
+    def test_non_uniform_fails(self):
+        bins = two_class_bins(5, 5, 1, 10)
+        assert not corollary1_applies(bins, m=bins.total_capacity).applies
+
+    def test_non_multiple_m_fails(self):
+        bins = uniform_bins(100, 10)
+        assert not corollary1_applies(bins, m=1001).applies
+
+    def test_tiny_capacity_fails(self):
+        bins = uniform_bins(10**6, 1)  # lnln(1e6) ~ 2.6 > 1
+        assert not corollary1_applies(bins, m=10**6).applies
+
+
+class TestTheorem5:
+    def test_half_big_bins(self):
+        bins = two_class_bins(50, 50, 1, 10)
+        assert theorem5_applies(bins, q=10).applies
+
+    def test_no_bin_reaches_q(self):
+        bins = uniform_bins(100, 2)
+        assert not theorem5_applies(bins, q=50).applies
+
+    def test_q_below_loglog_fails(self):
+        bins = two_class_bins(50, 50, 1, 2)
+        report = theorem5_applies(bins, q=2, loglog_factor=10.0)
+        assert not report.applies
+
+    def test_alpha_min_respected(self):
+        bins = two_class_bins(99, 1, 1, 50)
+        assert not theorem5_applies(bins, q=50, alpha_min=0.5).applies
+
+
+class TestApplicableTheorems:
+    def test_returns_all_five(self, two_class_1000):
+        reports = applicable_theorems(two_class_1000)
+        names = {r.theorem for r in reports}
+        assert names == {"Theorem 1", "Theorem 2", "Theorem 3", "Corollary 1", "Theorem 5"}
+
+    def test_theorem3_usually_applies(self):
+        for bins in (uniform_bins(50, 2), two_class_bins(10, 10, 1, 8), BinArray([1, 2, 3])):
+            reports = {r.theorem: r.applies for r in applicable_theorems(bins)}
+            assert reports["Theorem 3"]

@@ -1,0 +1,72 @@
+"""Tests for the baseline growth-rate formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bins import uniform_bins
+from repro.core import one_choice
+from repro.theory import (
+    one_choice_gap_heavy,
+    one_choice_max_heavy,
+    one_choice_max_light,
+    two_choice_gap,
+)
+
+
+class TestFormulas:
+    def test_light_value(self):
+        n = 10_000
+        assert one_choice_max_light(n) == pytest.approx(
+            math.log(n) / math.log(math.log(n))
+        )
+
+    def test_light_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            one_choice_max_light(2)
+
+    def test_heavy_gap_grows_with_m(self):
+        assert one_choice_gap_heavy(10**6, 100) > one_choice_gap_heavy(10**4, 100)
+
+    def test_heavy_max_composition(self):
+        m, n = 10**5, 100
+        assert one_choice_max_heavy(m, n) == pytest.approx(
+            m / n + one_choice_gap_heavy(m, n)
+        )
+
+    def test_heavy_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            one_choice_gap_heavy(-1, 10)
+        with pytest.raises(ValueError):
+            one_choice_gap_heavy(10, 1)
+
+    def test_two_choice_gap_matches_bounds_module(self):
+        from repro.theory import loglog_over_logd
+
+        assert two_choice_gap(1000, 2) == loglog_over_logd(1000, 2)
+
+    def test_one_choice_gap_dwarfs_two_choice_gap(self):
+        """The exponential separation the whole literature rests on."""
+        n = 10_000
+        m = 100 * n
+        assert one_choice_gap_heavy(m, n) > 10 * two_choice_gap(n, 2)
+
+
+class TestAgainstSimulation:
+    def test_light_prediction_tracks_simulation(self):
+        """One-choice m=n max load is within a factor ~2 of ln n/lnln n."""
+        n = 5000
+        sims = [one_choice(uniform_bins(n, 1), seed=s).max_load for s in range(10)]
+        measured = float(np.mean(sims))
+        predicted = one_choice_max_light(n)
+        assert 0.5 * predicted <= measured <= 2.0 * predicted
+
+    def test_heavy_prediction_tracks_simulation(self):
+        """Heavy one-choice max load near m/n + sqrt(2 (m/n) ln n)."""
+        n, mult = 500, 200
+        m = mult * n
+        sims = [one_choice(uniform_bins(n, 1), m=m, seed=s).max_load for s in range(5)]
+        measured = float(np.mean(sims))
+        predicted = one_choice_max_heavy(m, n)
+        assert measured == pytest.approx(predicted, rel=0.15)

@@ -1,0 +1,38 @@
+"""Tests for the theorem self-check harness."""
+
+import pytest
+
+from repro.theory.selfcheck import verify_all
+
+
+class TestVerifyAll:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return verify_all(n=400, seed=11)
+
+    def test_all_claims_present(self, outcomes):
+        claims = {o.claim for o in outcomes}
+        assert len(claims) == 6
+        assert any("Observation 1" in c for c in claims)
+        assert any("Lemma 1" in c for c in claims)
+        assert any("Theorem 3" in c for c in claims)
+        assert any("Theorem 5" in c for c in claims)
+
+    def test_all_pass_at_default_settings(self, outcomes):
+        failed = [o.claim for o in outcomes if not o.passed]
+        assert not failed, f"failed checks: {failed}"
+
+    def test_rows_render(self, outcomes):
+        for o in outcomes:
+            row = o.row()
+            assert row[0] == o.claim
+            assert row[3] in ("ok", "FAIL")
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            verify_all(n=10)
+
+    def test_deterministic_in_seed(self):
+        a = verify_all(n=400, seed=3)
+        b = verify_all(n=400, seed=3)
+        assert [o.measured for o in a] == [o.measured for o in b]

@@ -1,0 +1,109 @@
+"""Tests for the tail-bound helpers (Lemma 2 and Chernoff)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    binomial_tail_upper,
+    chernoff_upper,
+    lemma2_collision_tail,
+    lemma2_small_ball_count_tail,
+)
+
+
+class TestChernoff:
+    def test_observation1_form(self):
+        """eps=1: P[X >= 2 mu] <= exp(-mu/3) — the step in Observation 1."""
+        mu = 30.0
+        assert chernoff_upper(mu, 1.0) == pytest.approx(math.exp(-mu / 3))
+
+    def test_decreasing_in_mean(self):
+        assert chernoff_upper(100, 0.5) < chernoff_upper(10, 0.5)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            chernoff_upper(10, 0.0)
+        with pytest.raises(ValueError):
+            chernoff_upper(10, 1.5)
+
+    def test_rejects_negative_mean(self):
+        with pytest.raises(ValueError):
+            chernoff_upper(-1, 0.5)
+
+    def test_is_valid_upper_bound_empirically(self):
+        """Bound dominates the empirical tail for Bin(n, p)."""
+        n, p = 200, 0.1
+        mu = n * p
+        rng = np.random.default_rng(0)
+        draws = rng.binomial(n, p, size=50_000)
+        emp = np.mean(draws >= 2 * mu)
+        assert emp <= chernoff_upper(mu, 1.0) + 0.01
+
+
+class TestBinomialTail:
+    def test_vacuous_when_k_small(self):
+        assert binomial_tail_upper(100, 0.5, 10) == 1.0
+
+    def test_zero_k(self):
+        assert binomial_tail_upper(100, 0.5, 0) == 1.0
+
+    def test_decays_in_k(self):
+        vals = [binomial_tail_upper(100, 0.01, k) for k in (10, 20, 40)]
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_no_underflow_large_k(self):
+        assert binomial_tail_upper(10**6, 1e-9, 1000) >= 0.0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            binomial_tail_upper(10, 1.5, 2)
+
+    def test_dominates_empirical_tail(self):
+        n, p, k = 500, 0.002, 8
+        rng = np.random.default_rng(1)
+        draws = rng.binomial(n, p, size=100_000)
+        emp = np.mean(draws >= k)
+        assert emp <= binomial_tail_upper(n, p, k) + 1e-3
+
+
+class TestLemma2:
+    def test_part1_formula(self):
+        """(e C_s^2 / (k C))^k for d=2."""
+        m, cs, c, k = 1000, 30, 1000, 5.0
+        expected = (math.e * m * (cs / c) ** 2 / k) ** k
+        assert lemma2_small_ball_count_tail(m, cs, c, k) == pytest.approx(
+            min(1.0, expected), rel=1e-9
+        )
+
+    def test_part1_d3_tighter(self):
+        v2 = lemma2_small_ball_count_tail(1000, 100, 1000, 10, d=2)
+        v3 = lemma2_small_ball_count_tail(1000, 100, 1000, 10, d=3)
+        assert v3 <= v2
+
+    def test_part1_rejects_cs_above_c(self):
+        with pytest.raises(ValueError):
+            lemma2_small_ball_count_tail(10, 20, 10, 1)
+
+    def test_part1_rejects_d1(self):
+        with pytest.raises(ValueError):
+            lemma2_small_ball_count_tail(10, 1, 10, 1, d=1)
+
+    def test_part2_decays(self):
+        vals = [lemma2_collision_tail(20, 500, lam) for lam in (2, 4, 8)]
+        assert vals[0] >= vals[1] >= vals[2]
+
+    def test_part2_probability_range(self):
+        v = lemma2_collision_tail(5, 100, 3)
+        assert 0.0 <= v <= 1.0
+
+    def test_part1_validates_against_simulation(self):
+        """The analytic tail dominates the simulated frequency of
+        |B_s| >= k for a concrete system."""
+        m, cs, c, k, d = 400, 40, 400, 6, 2
+        rng = np.random.default_rng(2)
+        p_small = (cs / c) ** d
+        sims = rng.binomial(m, p_small, size=50_000)
+        emp = np.mean(sims >= k)
+        assert emp <= lemma2_small_ball_count_tail(m, cs, c, k, d) + 1e-3
