@@ -1,0 +1,54 @@
+"""Scalar loop vs lockstep ensemble on the fig02 configuration.
+
+Not a paper figure — this tracks the tentpole speedup of the lockstep
+ensemble engine (:mod:`repro.core.ensemble`) over the scalar repetition
+loop, across replication widths ``R``, on the exact fig02 setting
+(32 uniform bins, capacities 1–4, m = C, d = 2).  The scalar and ensemble
+rows for each ``R`` land side by side in the benchmark JSON, so the ratio
+is a first-class perf-regression signal; ``test_lockstep_speedup_at_r64``
+additionally pins the acceptance floor of 5x at ``R = 64``.
+
+``REPRO_BENCH_QUICK=1`` trims the ``R`` sweep (see ``conftest.py``).
+"""
+
+import time
+
+import pytest
+from conftest import BENCH_SEED, ENSEMBLE_BENCH_RS
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.parametrize("engine", ["scalar", "ensemble"])
+@pytest.mark.parametrize("R", ENSEMBLE_BENCH_RS)
+def test_fig02_engine_throughput(benchmark, R, engine):
+    """One fig02 run (all four capacity classes) per engine and width."""
+    result = benchmark(
+        lambda: run_experiment("fig02", engine=engine, seed=BENCH_SEED, repetitions=R)
+    )
+    assert result.parameters["engine"] == engine
+    assert result.parameters["repetitions"] == R
+
+
+def test_lockstep_speedup_at_r64():
+    """Acceptance floor: the ensemble engine is >= 5x the scalar loop at
+    R = 64 replications on the fig02 configuration (min-of-rounds timing)."""
+
+    def best(engine, rounds=7):
+        elapsed = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            run_experiment("fig02", engine=engine, seed=BENCH_SEED, repetitions=64)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        return elapsed
+
+    run_experiment("fig02", engine="ensemble", seed=BENCH_SEED, repetitions=64)  # warm up
+    scalar = best("scalar")
+    ensemble = best("ensemble")
+    speedup = scalar / ensemble
+    print(f"\nfig02 R=64: scalar {scalar * 1e3:.2f} ms, "
+          f"ensemble {ensemble * 1e3:.2f} ms, speedup {speedup:.2f}x")
+    assert speedup >= 5.0, (
+        f"lockstep ensemble regressed: {speedup:.2f}x < 5x at R=64 "
+        f"(scalar {scalar * 1e3:.2f} ms vs ensemble {ensemble * 1e3:.2f} ms)"
+    )

@@ -25,6 +25,14 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 #: Master seed for all benchmark runs.
 BENCH_SEED = 20260612
 
+#: Replication widths for the ensemble-vs-scalar engine bench
+#: (``bench_ensemble.py``).  ``REPRO_BENCH_QUICK=1`` trims the sweep to the
+#: regression-sensitive widths so a quick run still lands the scalar/ensemble
+#: pair (and hence the speedup ratio) in the ``BENCH_*.json`` output.
+ENSEMBLE_BENCH_RS = (
+    (8, 64) if os.environ.get("REPRO_BENCH_QUICK") else (1, 8, 64, 256)
+)
+
 
 def bench_reps(base: int) -> int:
     """Repetitions for a bench given its tuned base count."""

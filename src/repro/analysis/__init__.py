@@ -3,6 +3,8 @@
 from .aggregate import (
     MeanProfile,
     ScalarAggregate,
+    StreamingProfile,
+    StreamingScalar,
     aggregate_scalar,
     fraction_true,
     mean_profile_by_position,
@@ -41,6 +43,8 @@ __all__ = [
     "ScalarAggregate",
     "aggregate_scalar",
     "fraction_true",
+    "StreamingProfile",
+    "StreamingScalar",
     "Plateau",
     "find_plateaus",
     "longest_plateau",

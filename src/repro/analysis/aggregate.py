@@ -20,6 +20,8 @@ __all__ = [
     "ScalarAggregate",
     "aggregate_scalar",
     "fraction_true",
+    "StreamingProfile",
+    "StreamingScalar",
 ]
 
 
@@ -98,6 +100,139 @@ def aggregate_scalar(values) -> ScalarAggregate:
         minimum=float(arr.min()),
         maximum=float(arr.max()),
     )
+
+
+class StreamingProfile:
+    """Streaming reducer for ``(R, n)`` load-profile blocks.
+
+    The lockstep ensemble engine produces replications in blocks of ``R``
+    rows; paper-scale experiments run thousands of replications, so the full
+    ``(repetitions, n)`` matrix must never be materialised.  This reducer
+    keeps only first and second moments per position — feed it each block
+    with :meth:`update`, combine worker-side partials with :meth:`merge`
+    (it is small and picklable, so workers can reduce locally and ship the
+    reducer instead of their replication matrices), and read the result with
+    :meth:`profile`.
+
+    With ``sort=True`` (default) each row is sorted in non-increasing order
+    before accumulation, matching :func:`mean_sorted_profile`; ``sort=False``
+    matches :func:`mean_profile_by_position`.  The population-``std``
+    convention of those two functions is preserved exactly.
+    """
+
+    def __init__(self, n: int, *, sort: bool = True):
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = int(n)
+        self.sort = bool(sort)
+        self.repetitions = 0
+        self._sum = np.zeros(self.n, dtype=np.float64)
+        self._sumsq = np.zeros(self.n, dtype=np.float64)
+
+    def update(self, load_matrix) -> "StreamingProfile":
+        """Accumulate one ``(R, n)`` block of per-replication load rows."""
+        arr = np.asarray(load_matrix, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.n:
+            raise ValueError(
+                f"load block must have shape (R, {self.n}), got {arr.shape}"
+            )
+        if self.sort:
+            arr = -np.sort(-arr, axis=1)
+        self._sum += arr.sum(axis=0)
+        self._sumsq += np.square(arr).sum(axis=0)
+        self.repetitions += int(arr.shape[0])
+        return self
+
+    def merge(self, other: "StreamingProfile") -> "StreamingProfile":
+        """Fold another reducer (e.g. from a worker process) into this one."""
+        if not isinstance(other, StreamingProfile):
+            raise TypeError(f"can only merge StreamingProfile, got {type(other)!r}")
+        if other.n != self.n or other.sort != self.sort:
+            raise ValueError(
+                f"incompatible reducers: (n={self.n}, sort={self.sort}) "
+                f"vs (n={other.n}, sort={other.sort})"
+            )
+        self._sum += other._sum
+        self._sumsq += other._sumsq
+        self.repetitions += other.repetitions
+        return self
+
+    def profile(self) -> MeanProfile:
+        """Finalise into a :class:`MeanProfile` (needs >= 1 replication)."""
+        if self.repetitions == 0:
+            raise ValueError("need at least one repetition")
+        mean = self._sum / self.repetitions
+        var = np.maximum(self._sumsq / self.repetitions - mean**2, 0.0)
+        return MeanProfile(mean=mean, std=np.sqrt(var), repetitions=self.repetitions)
+
+
+class StreamingScalar:
+    """Streaming reducer for per-replication scalar statistics.
+
+    Accumulates mean/std/min/max of a scalar (e.g. the gap, or the maximum
+    load) over replication blocks without keeping the samples, mirroring
+    :func:`aggregate_scalar`'s sample-``std`` (``ddof=1``) convention.
+    """
+
+    def __init__(self):
+        self.repetitions = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def update(self, values) -> "StreamingScalar":
+        """Accumulate a batch of per-replication scalar samples."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return self
+        self._sum += float(arr.sum())
+        self._sumsq += float(np.square(arr).sum())
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+        self.repetitions += int(arr.size)
+        return self
+
+    def merge(self, other: "StreamingScalar") -> "StreamingScalar":
+        """Fold another reducer into this one."""
+        if not isinstance(other, StreamingScalar):
+            raise TypeError(f"can only merge StreamingScalar, got {type(other)!r}")
+        self._sum += other._sum
+        self._sumsq += other._sumsq
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self.repetitions += other.repetitions
+        return self
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples seen so far."""
+        if self.repetitions == 0:
+            raise ValueError("need at least one sample")
+        return self._sum / self.repetitions
+
+    def aggregate(self) -> ScalarAggregate:
+        """Finalise into a :class:`ScalarAggregate` (needs >= 1 sample)."""
+        if self.repetitions == 0:
+            raise ValueError("need at least one sample")
+        mean = self._sum / self.repetitions
+        if self.repetitions > 1:
+            # Sample variance from moments, guarded against float cancellation.
+            var = max(
+                (self._sumsq - self.repetitions * mean**2) / (self.repetitions - 1),
+                0.0,
+            )
+        else:
+            var = 0.0
+        return ScalarAggregate(
+            mean=mean,
+            std=float(np.sqrt(var)),
+            repetitions=self.repetitions,
+            minimum=self._min,
+            maximum=self._max,
+        )
 
 
 def fraction_true(flags) -> float:

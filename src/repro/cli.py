@@ -4,8 +4,10 @@ Commands
 --------
 ``repro list``
     Show every registered figure experiment.
-``repro run <id> [--scale S] [--seed N] [--workers W] [--out DIR] [--no-plot]``
+``repro run <id> [--scale S] [--seed N] [--workers W] [--engine E] [--out DIR] [--no-plot]``
     Run an experiment; print the ASCII rendition and save CSV/JSON.
+    ``--engine ensemble`` selects the lockstep replication engine where the
+    experiment supports it.
 ``repro describe <spec>``
     Parse a bin-array spec (``"1x500,10x500"`` = 500 bins of capacity 1 and
     500 of capacity 10), report its structure and which theorems apply.
@@ -55,15 +57,21 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from .experiments.base import EngineNotSupportedError
+
     progress = ProgressReporter() if args.progress else None
-    result = run_experiment(
-        args.experiment,
-        scale=args.scale,
-        seed=args.seed,
-        workers=args.workers,
-        progress=progress,
-        out_dir=args.out,
-    )
+    try:
+        result = run_experiment(
+            args.experiment,
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            progress=progress,
+            out_dir=args.out,
+            engine=args.engine,
+        )
+    except EngineNotSupportedError as exc:
+        raise SystemExit(str(exc)) from None
     if not args.no_plot:
         print(result.render())
     else:
@@ -101,6 +109,7 @@ def _cmd_report(args) -> int:
         progress=progress,
         out_dir=args.out,
         only=args.only.split(",") if args.only else None,
+        engine=args.engine,
     )
     report = results_to_report(results, title=args.title)
     path = Path(args.out or ".") / "REPORT.md"
@@ -186,6 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=None, help="master seed")
     p_run.add_argument("--workers", type=int, default=1,
                        help="parallel worker processes (default 1)")
+    p_run.add_argument("--engine", choices=["scalar", "ensemble"], default=None,
+                       help="repetition engine: scalar loop or lockstep ensemble")
     p_run.add_argument("--out", default=None, help="directory for CSV/JSON results")
     p_run.add_argument("--no-plot", action="store_true", help="skip the ASCII plot")
     p_run.add_argument("--progress", action="store_true", help="print progress to stderr")
@@ -204,6 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--scale", type=float, default=None, help="repetition scale")
     p_report.add_argument("--seed", type=int, default=None, help="master seed")
     p_report.add_argument("--workers", type=int, default=1, help="worker processes")
+    p_report.add_argument("--engine", choices=["scalar", "ensemble"], default=None,
+                          help="repetition engine where supported (see ROADMAP engine matrix)")
     p_report.add_argument("--out", default="results", help="output directory")
     p_report.add_argument("--only", default=None, help="comma-separated experiment ids")
     p_report.add_argument("--title", default="Balls into non-uniform bins — experiment report")

@@ -7,6 +7,12 @@ from .baselines import (
     standard_greedy,
 )
 from .dynamics import DynamicsResult, simulate_insert_delete
+from .ensemble import (
+    EnsembleResult,
+    EnsembleSnapshot,
+    run_batch_ensemble,
+    simulate_ensemble,
+)
 from .heights import HeightSummary, split_heights_by_big_contact, summarize_heights
 from .loadvectors import (
     loads_from_counts,
@@ -36,6 +42,10 @@ __all__ = [
     "simulate",
     "SimulationResult",
     "Snapshot",
+    "simulate_ensemble",
+    "run_batch_ensemble",
+    "EnsembleResult",
+    "EnsembleSnapshot",
     "select_bin",
     "allocate_ball",
     "TIE_BREAKS",

@@ -1,0 +1,510 @@
+"""Lockstep ensemble engine: all Monte-Carlo replications at once.
+
+The greedy protocol is sequential *within* a run — ball ``j`` depends on the
+loads left by balls ``1..j-1`` — which is why :mod:`repro.core.fast` keeps a
+scalar inner loop.  The *other* axis of parallelism is free: the ``R``
+independent replications every experiment averages over share no state, so
+they can advance in lockstep.  Here ``counts`` is an ``(R, n)`` array, each
+ball's candidates are an ``(R, d)`` slice of a pre-drawn ``(R, k, d)`` batch,
+and one vectorised step resolves all ``R`` decisions, turning ``O(R * m)``
+Python iterations into ``O(m)`` NumPy steps over ``R``-wide rows.
+
+Equivalence contract
+--------------------
+Replication ``r`` of :func:`run_batch_ensemble` is *bit-identical* to running
+:func:`repro.core.fast.run_batch` (and therefore
+:func:`repro.core.protocol.reference_run` with the shared per-ball tie-uniform
+convention) on ``counts[r]`` / ``choices[r]`` / ``tie_uniforms[r]``: the same
+exact integer cross-multiplication comparison
+``(m_a + 1) * c_b < (m_b + 1) * c_a``, the same three tie-break modes, and the
+same tie-uniform consumption (ball ``j`` resolves its tie with
+``tie_uniforms[r, j]``, consumed or not).
+
+:func:`simulate_ensemble` extends the contract to whole runs: with
+``seeds=[s_0, .., s_{R-1}]`` (or the default ``SeedSequence.spawn`` of a
+master seed) replication ``r`` reproduces
+``simulate(bins, seed=s_r, chunk_size=...)`` exactly, because each
+replication's generator draws its choices and tie uniforms in the same order
+and chunking as the scalar driver.  ``seed_mode="blocked"`` trades that
+per-replication stream match for a single generator drawing ``(R, chunk, d)``
+batches at once — statistically identical, a little faster, but not
+stream-comparable to scalar runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+from ..sampling.distributions import probability_model
+from ..sampling.rngutils import make_rng, spawn_seed_sequences
+from .fast import _MODES
+from .simulation import DEFAULT_CHUNK_SIZE, _normalise_snapshot_points
+
+__all__ = [
+    "run_batch_ensemble",
+    "EnsembleSnapshot",
+    "EnsembleResult",
+    "simulate_ensemble",
+    "SEED_MODES",
+]
+
+#: Recognised seeding modes for :func:`simulate_ensemble`.
+SEED_MODES = ("spawn", "blocked")
+
+#: Upper bound on ``R * k`` elements handled by one kernel call; the driver
+#: sub-batches larger chunks so the per-ball working set stays cache-sized
+#: without changing RNG consumption (sampling happens per *chunk*, not per
+#: kernel call).
+_KERNEL_TARGET = 1 << 20
+
+
+def _ensemble_d2(flat, idx2, cap_cross, cap_own, tie_pref_b, heights):
+    """d=2 lockstep loop over ``(k, 2, R)``-packed per-ball slices.
+
+    ``idx2[j]`` stacks both candidates' flattened count indices as a
+    ``(2, R)`` block so one ``take``/``multiply`` covers the pair;
+    ``cap_cross[j]`` holds *twice* the other candidate's capacity (the
+    cross-multiplication factor, pre-doubled for the tie bias below) and
+    ``cap_own[j]`` the candidate's own capacity (only needed for heights).
+
+    Tie-breaking is folded into the comparison exactly: with integer loads
+    ``2*l_b - pref_b < 2*l_a``  iff  ``l_b < l_a  or  (l_b == l_a and
+    pref_b)``, where ``pref_b`` (0/1, from ``tie_pref_b``) encodes the
+    tie-break mode's preference for candidate b.  One subtraction and one
+    ``less`` replace the less/equal/and/or cascade.
+    """
+    k = idx2.shape[0]
+    R = idx2.shape[2]
+    # Plain fancy indexing and ufuncs-with-out are the cheapest numpy entry
+    # points at ensemble widths (no python-level np.take/np.choose wrappers);
+    # `pick_b` is intp so the winner can be selected by integer indexing.
+    rbase = np.arange(R)
+    l2 = np.empty((2, R), dtype=np.int64)
+    pick_b = np.empty(R, dtype=np.intp)
+    record = heights is not None
+    for j in range(k):
+        i2 = idx2[j]
+        n2 = flat[i2]
+        n2 += 1
+        np.multiply(n2, cap_cross[j], out=l2)
+        l2[1] -= tie_pref_b[j]
+        np.less(l2[1], l2[0], out=pick_b)
+        chosen = i2[pick_b, rbase]
+        # Within one ball step every replication owns a distinct flat slot,
+        # so the fancy increment is race-free.
+        flat[chosen] += 1
+        if record:
+            heights[:, j] = flat[chosen] / cap_own[j][pick_b, rbase]
+
+
+def _ensemble_d2_uniform(flat, idx2, tie_pref_b, capacity, heights):
+    """d=2 lockstep loop specialised to equal capacities (Figures 1–5).
+
+    With ``c_a == c_b == c`` the exact comparison
+    ``(n_b + 1) * c - pref < (n_a + 1) * c``  collapses to the pure integer
+    count test ``n_b < n_a + pref`` (``pref`` ∈ {0, 1} encodes the tie
+    preference for b), removing the cross-multiplication entirely.
+    """
+    k = idx2.shape[0]
+    R = idx2.shape[2]
+    rbase = np.arange(R)
+    thresh = np.empty(R, dtype=np.int64)
+    pick_b = np.empty(R, dtype=np.intp)
+    record = heights is not None
+    for j in range(k):
+        i2 = idx2[j]
+        n2 = flat[i2]
+        # n_b < n_a + pref  ⇔  pick b (counts compare directly: equal caps).
+        np.add(n2[0], tie_pref_b[j], out=thresh)
+        np.less(n2[1], thresh, out=pick_b)
+        chosen = i2[pick_b, rbase]
+        flat[chosen] += 1
+        if record:
+            heights[:, j] = flat[chosen] / capacity
+
+
+def _ensemble_general(flat, counts_idx, dens, tie_u, mode, heights):
+    """General-d lockstep loop.
+
+    ``counts_idx`` is ``(R, k, d)`` flattened count indices, ``dens`` the
+    matching ``(R, k, d)`` capacities, ``tie_u`` the ``(R, k)`` tie uniforms.
+    """
+    R, k, d = counts_idx.shape
+    rows_r = np.arange(R)
+    record = heights is not None
+    for j in range(k):
+        idx_row = counts_idx[:, j, :]  # (R, d)
+        den = dens[:, j, :]
+        num = flat.take(idx_row) + 1
+        # Tournament reduction to the exact minimum of num/den per row.
+        best_num = num[:, 0].copy()
+        best_den = den[:, 0].copy()
+        for i in range(1, d):
+            better = num[:, i] * best_den < best_num * den[:, i]
+            np.copyto(best_num, num[:, i], where=better)
+            np.copyto(best_den, den[:, i], where=better)
+        # Membership: exactly the candidates achieving the minimum...
+        mask = num * best_den[:, None] == best_num[:, None] * den
+        # ...keeping only each bin's first occurrence (duplicates in the
+        # multiset must not inflate the tie set, matching `b not in best`).
+        for i in range(1, d):
+            dup = idx_row[:, i] == idx_row[:, 0]
+            for i2 in range(1, i):
+                dup |= idx_row[:, i] == idx_row[:, i2]
+            mask[:, i] &= ~dup
+        if mode == 0:
+            cmax = np.where(mask, den, -1).max(axis=1)
+            mask &= den == cmax[:, None]
+        elif mode == 2:
+            cmin = np.where(mask, den, np.iinfo(np.int64).max).min(axis=1)
+            mask &= den == cmin[:, None]
+        tied = mask.sum(axis=1)
+        sel = (tie_u[:, j] * tied).astype(np.int64)
+        hit = (mask.cumsum(axis=1) == (sel + 1)[:, None]) & mask
+        pos = hit.argmax(axis=1)
+        idx = idx_row[rows_r, pos]
+        flat[idx] += 1
+        if record:
+            heights[:, j] = flat.take(idx) / den[rows_r, pos]
+
+
+def run_batch_ensemble(
+    counts: np.ndarray,
+    capacities,
+    choices: np.ndarray,
+    tie_uniforms: np.ndarray,
+    *,
+    tie_break: str = "max_capacity",
+    heights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Allocate one batch of balls across all replications, in lockstep.
+
+    Parameters
+    ----------
+    counts:
+        ``(R, n)`` int64 array of current per-bin counts, mutated in place.
+        Must be C-contiguous (the kernel works on the flattened view).
+    capacities:
+        ``(n,)`` shared capacities, or ``(R, n)`` per-replication capacities.
+    choices:
+        ``(R, k, d)`` integer array; ``choices[r, j]`` is replication ``r``'s
+        candidate multiset for ball ``j``.
+    tie_uniforms:
+        ``(R, k)`` uniforms in ``[0, 1)``; ball ``j`` of replication ``r``
+        resolves a surviving tie with ``tie_uniforms[r, j]`` (position-
+        aligned, so unused entries cost nothing and streams never shift).
+    tie_break:
+        ``"max_capacity"`` (Algorithm 1), ``"uniform"``, ``"min_capacity"``.
+    heights:
+        Optional ``(R, k)`` float64 array; filled with every ball's height
+        (post-allocation load of the receiving bin) when given.
+
+    Returns ``counts``.  Each replication is bit-identical to
+    :func:`repro.core.fast.run_batch` on the matching slices.
+    """
+    try:
+        mode = _MODES[tie_break]
+    except KeyError:
+        raise ValueError(
+            f"unknown tie_break {tie_break!r}; expected one of {tuple(_MODES)}"
+        ) from None
+    counts = np.asarray(counts)
+    if counts.ndim != 2:
+        raise ValueError(f"counts must have shape (R, n), got {counts.shape}")
+    if not counts.flags.c_contiguous:
+        # A silent ascontiguousarray copy would break the in-place mutation
+        # contract for callers that discard the return value.
+        raise ValueError("counts must be C-contiguous (it is mutated in place)")
+    if choices.ndim != 3:
+        raise ValueError(f"choices must have shape (R, k, d), got {choices.shape}")
+    R, n = counts.shape
+    if choices.shape[0] != R:
+        raise ValueError(
+            f"choices first axis {choices.shape[0]} != {R} replications"
+        )
+    _, k, d = choices.shape
+    if d < 1:
+        raise ValueError("choices must have at least one candidate per ball")
+    tie_uniforms = np.asarray(tie_uniforms)
+    if tie_uniforms.shape != (R, k):
+        raise ValueError(
+            f"tie_uniforms must have shape ({R}, {k}), got {tie_uniforms.shape}"
+        )
+    if heights is not None and heights.shape != (R, k):
+        raise ValueError(
+            f"heights must have shape ({R}, {k}), got {heights.shape}"
+        )
+    if k == 0:
+        return counts
+
+    caps = np.asarray(capacities, dtype=np.int64)
+    offsets = (np.arange(R, dtype=np.int64) * n)[:, None]
+    flat = counts.reshape(-1)
+
+    if d == 2:
+        cha = choices[:, :, 0]
+        chb = choices[:, :, 1]
+        uniform = caps.ndim == 1 and bool((caps == caps[0]).all())
+        if uniform:
+            # Equal capacities: every tie-break mode degenerates to the
+            # fair coin, and the comparison needs no capacities at all.
+            idx2 = np.empty((k, 2, R), dtype=np.int64)
+            idx2[:, 0] = (cha + offsets).T
+            idx2[:, 1] = (chb + offsets).T
+            tie_pref_b = np.ascontiguousarray(
+                (tie_uniforms >= 0.5).T.astype(np.int64)
+            )
+            _ensemble_d2_uniform(flat, idx2, tie_pref_b, int(caps[0]), heights)
+            return counts
+        if caps.ndim == 1:
+            cap_a = caps[cha]
+            cap_b = caps[chb]
+        else:
+            caps_flat = caps.reshape(-1)
+            cap_a = caps_flat[cha + offsets]
+            cap_b = caps_flat[chb + offsets]
+        u = tie_uniforms
+        if mode == 0:
+            tie_pref_b = (cap_b > cap_a) | ((cap_b == cap_a) & (u >= 0.5))
+        elif mode == 2:
+            tie_pref_b = (cap_b < cap_a) | ((cap_b == cap_a) & (u >= 0.5))
+        else:
+            tie_pref_b = u >= 0.5
+        # Pack to (k, 2, R) so each per-ball slice is one contiguous block
+        # covering both candidates; double the cross factors so the integer
+        # tie bias (see _ensemble_d2) cannot collide with a genuine strict
+        # inequality.
+        idx2 = np.empty((k, 2, R), dtype=np.int64)
+        idx2[:, 0] = (cha + offsets).T
+        idx2[:, 1] = (chb + offsets).T
+        cap_cross = np.empty((k, 2, R), dtype=np.int64)
+        cap_cross[:, 0] = cap_b.T
+        cap_cross[:, 1] = cap_a.T
+        cap_cross *= 2
+        cap_own = None
+        if heights is not None:
+            cap_own = np.empty((k, 2, R), dtype=np.int64)
+            cap_own[:, 0] = cap_a.T
+            cap_own[:, 1] = cap_b.T
+        _ensemble_d2(
+            flat, idx2, cap_cross, cap_own,
+            np.ascontiguousarray(tie_pref_b.T.astype(np.int64)), heights,
+        )
+        return counts
+
+    counts_idx = choices + offsets[:, None]
+    if caps.ndim == 1:
+        dens = caps[choices]
+    else:
+        dens = caps.reshape(-1)[counts_idx]
+    _ensemble_general(flat, counts_idx, dens, tie_uniforms, mode, heights)
+    return counts
+
+
+@dataclass(frozen=True)
+class EnsembleSnapshot:
+    """Per-replication load statistics after ``balls_thrown`` balls."""
+
+    balls_thrown: int
+    max_loads: np.ndarray
+    average_load: float
+
+    @property
+    def gaps(self) -> np.ndarray:
+        """Per-replication deviation of the maximum from the average load."""
+        return self.max_loads - self.average_load
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of ``R`` lockstep replications of one allocation setting.
+
+    ``counts`` has shape ``(R, n)``; row ``r`` is exactly what the scalar
+    engine would have produced under the matching seed (``seed_mode="spawn"``).
+    """
+
+    bins: BinArray
+    counts: np.ndarray
+    m: int
+    d: int
+    repetitions: int
+    probability: str
+    tie_break: str
+    seed_mode: str
+    snapshots: list[EnsembleSnapshot] = field(default_factory=list)
+    heights: np.ndarray | None = None
+
+    @property
+    def loads(self) -> np.ndarray:
+        """``(R, n)`` per-bin loads ``m_i / c_i``."""
+        return self.counts / self.bins.capacities
+
+    @property
+    def max_loads(self) -> np.ndarray:
+        """``(R,)`` per-replication maximum loads."""
+        return self.loads.max(axis=1)
+
+    @property
+    def average_load(self) -> float:
+        """``m / C`` — shared by every replication."""
+        return self.m / self.bins.total_capacity
+
+    @property
+    def gaps(self) -> np.ndarray:
+        """``(R,)`` per-replication ``ℓ_max − m/C``."""
+        return self.max_loads - self.average_load
+
+    def __repr__(self) -> str:
+        return (
+            f"EnsembleResult(R={self.repetitions}, n={self.bins.n}, "
+            f"m={self.m}, d={self.d})"
+        )
+
+
+def simulate_ensemble(
+    bins: BinArray,
+    repetitions: int | None = None,
+    m: int | None = None,
+    d: int = 2,
+    *,
+    probabilities="proportional",
+    tie_break: str = "max_capacity",
+    seed=None,
+    seeds=None,
+    seed_mode: str = "spawn",
+    snapshot_at=None,
+    track_heights: bool = False,
+    sampler_method: str = "alias",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> EnsembleResult:
+    """Throw *m* balls into *bins*, ``R`` replications in lockstep.
+
+    Parameters mirror :func:`repro.core.simulation.simulate`; the extras:
+
+    repetitions:
+        Number of lockstep replications ``R`` (ignored when *seeds* is given).
+    seeds:
+        Explicit per-replication seeds (ints / ``SeedSequence`` /
+        ``Generator``).  Replication ``r`` then reproduces
+        ``simulate(bins, seed=seeds[r], ...)`` bit-exactly.  When omitted,
+        ``R`` child seeds are spawned from *seed* in ``SeedSequence.spawn``
+        order — the same order :func:`repro.runtime.executor.run_repetitions`
+        hands to scalar repetitions.
+    seed_mode:
+        ``"spawn"`` (default): one generator per replication, stream-matched
+        to the scalar engine.  ``"blocked"``: a single generator draws whole
+        ``(R, chunk, d)`` batches — faster, statistically identical, but not
+        comparable stream-for-stream with scalar runs.
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    if seed_mode not in SEED_MODES:
+        raise ValueError(
+            f"unknown seed_mode {seed_mode!r}; expected one of {SEED_MODES}"
+        )
+    if seeds is not None:
+        seeds = list(seeds)
+        if repetitions is not None and repetitions != len(seeds):
+            raise ValueError(
+                f"repetitions={repetitions} contradicts len(seeds)={len(seeds)}"
+            )
+        if seed_mode == "blocked":
+            raise ValueError(
+                "seeds= implies per-replication streams; it contradicts "
+                "seed_mode='blocked' (pass a single master seed instead)"
+            )
+        repetitions = len(seeds)
+    if repetitions is None or repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if m is None:
+        m = bins.total_capacity
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+
+    R = repetitions
+    model = probability_model(probabilities)
+    sampler = model.sampler(bins.capacities, method=sampler_method)
+    if seed_mode == "spawn":
+        if seeds is None:
+            seeds = spawn_seed_sequences(seed, R)
+        gens = [make_rng(s) for s in seeds]
+        block_rng = None
+    else:
+        gens = None
+        block_rng = make_rng(seed)
+
+    n = bins.n
+    counts = np.zeros((R, n), dtype=np.int64)
+    caps_arr = bins.capacities
+    total_capacity = bins.total_capacity
+    heights = np.empty((R, m), dtype=np.float64) if track_heights else None
+
+    snap_points = _normalise_snapshot_points(snapshot_at, m)
+    snapshots: list[EnsembleSnapshot] = []
+
+    def take_snapshot(balls_thrown: int) -> None:
+        snapshots.append(
+            EnsembleSnapshot(
+                balls_thrown=balls_thrown,
+                max_loads=(counts / caps_arr).max(axis=1),
+                average_load=balls_thrown / total_capacity,
+            )
+        )
+
+    thrown = 0
+    pending = list(snap_points)
+    while pending and pending[0] == 0:
+        take_snapshot(0)
+        pending.pop(0)
+
+    kernel_block = max(1, _KERNEL_TARGET // max(R, 1))
+    while thrown < m:
+        upper = pending[0] if pending else m
+        batch = min(chunk_size, upper - thrown)
+        if gens is not None:
+            choices = np.empty((R, batch, d), dtype=np.int64)
+            tie_u = np.empty((R, batch), dtype=np.float64)
+            for r, g in enumerate(gens):
+                choices[r] = sampler.sample((batch, d), g)
+                tie_u[r] = g.random(batch)
+        else:
+            choices = sampler.sample((R, batch, d), block_rng)
+            tie_u = block_rng.random((R, batch))
+        # Sub-batch the kernel (not the sampling!) so temporaries stay
+        # bounded; RNG consumption is untouched by this split.
+        for lo in range(0, batch, kernel_block):
+            hi = min(batch, lo + kernel_block)
+            run_batch_ensemble(
+                counts,
+                caps_arr,
+                choices[:, lo:hi],
+                tie_u[:, lo:hi],
+                tie_break=tie_break,
+                heights=None
+                if heights is None
+                else heights[:, thrown + lo : thrown + hi],
+            )
+        thrown += batch
+        while pending and pending[0] == thrown:
+            take_snapshot(thrown)
+            pending.pop(0)
+
+    return EnsembleResult(
+        bins=bins,
+        counts=counts,
+        m=m,
+        d=d,
+        repetitions=R,
+        probability=model.name,
+        tie_break=tie_break,
+        seed_mode=seed_mode,
+        snapshots=snapshots,
+        heights=heights,
+    )

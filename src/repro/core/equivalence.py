@@ -1,0 +1,143 @@
+"""Randomised cross-engine equivalence checking.
+
+Three implementations of the paper's protocol coexist —
+:func:`repro.core.protocol.reference_run` (readable),
+:func:`repro.core.fast.run_batch` (optimised scalar) and
+:func:`repro.core.ensemble.run_batch_ensemble` (lockstep ensemble) — under
+one contract: given the same candidate matrix and the same position-aligned
+tie-uniform stream, all three produce the same counts, ball for ball.
+
+This module draws randomised instances (size, profile, tie mode, d, R) and
+verifies the contract bit-for-bit, including the per-ball heights
+instrumentation and the ensemble driver's per-replication stream parity with
+:func:`repro.core.simulation.simulate`.  It backs both the pytest suite
+(``tests/core/test_ensemble.py``) and the larger-budget smoke script
+(``scripts/check_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bins.arrays import BinArray
+from ..sampling.rngutils import spawn_seed_sequences
+from .ensemble import run_batch_ensemble, simulate_ensemble
+from .fast import run_batch
+from .protocol import TIE_BREAKS, reference_run
+from .simulation import simulate
+
+__all__ = ["SweepBudget", "check_kernel_equivalence", "check_driver_parity"]
+
+
+@dataclass(frozen=True)
+class SweepBudget:
+    """How many / how large the randomised draws are."""
+
+    draws: int = 50
+    max_n: int = 10
+    max_m: int = 120
+    max_d: int = 5
+    max_r: int = 6
+
+
+def _random_capacities(rng, n: int) -> np.ndarray:
+    """One of the paper's capacity profiles, at random."""
+    profile = rng.integers(0, 3)
+    if profile == 0:  # uniform (Figures 1-5)
+        return np.full(n, int(rng.integers(1, 9)), dtype=np.int64)
+    if profile == 1:  # two-class (Figures 6-13)
+        caps = np.where(np.arange(n) < n // 2, 1, int(rng.integers(2, 11)))
+        return caps.astype(np.int64)
+    return rng.integers(1, 13, size=n).astype(np.int64)  # random caps (8-9, 16)
+
+
+def check_kernel_equivalence(master_seed: int, budget: SweepBudget = SweepBudget()) -> int:
+    """Three-way bit-exactness sweep over randomised instances.
+
+    For each draw, every replication of the ensemble kernel is compared
+    against the fast scalar loop and the tie-stream-matched reference
+    implementation — counts and heights both.  Returns the number of draws
+    checked; raises ``AssertionError`` on the first mismatch.
+    """
+    rng = np.random.default_rng(master_seed)
+    for trial in range(budget.draws):
+        n = int(rng.integers(2, budget.max_n + 1))
+        m = int(rng.integers(0, budget.max_m + 1))
+        d = int(rng.integers(1, budget.max_d + 1))
+        R = int(rng.integers(1, budget.max_r + 1))
+        caps = _random_capacities(rng, n)
+        tie_break = TIE_BREAKS[trial % len(TIE_BREAKS)]
+        choices = rng.integers(0, n, size=(R, m, d))
+        tie_u = rng.random((R, m))
+
+        counts = np.zeros((R, n), dtype=np.int64)
+        heights = np.empty((R, m), dtype=np.float64)
+        run_batch_ensemble(
+            counts, caps, choices, tie_u, tie_break=tie_break, heights=heights
+        )
+
+        caps_list = caps.tolist()
+        label = f"trial={trial} n={n} m={m} d={d} R={R} tie={tie_break}"
+        for r in range(R):
+            fast_counts = [0] * n
+            fast_heights: list[float] = []
+            run_batch(
+                fast_counts, caps_list, choices[r], tie_u[r],
+                tie_break=tie_break, heights=fast_heights,
+            )
+            ref_heights: list[float] = []
+            ref_counts = reference_run(
+                caps_list, choices[r], tie_break=tie_break,
+                tie_uniforms=tie_u[r], heights=ref_heights,
+            )
+            assert np.array_equal(counts[r], fast_counts), f"{label} rep={r} vs fast"
+            assert np.array_equal(counts[r], ref_counts), f"{label} rep={r} vs reference"
+            np.testing.assert_array_equal(
+                heights[r], np.asarray(fast_heights),
+                err_msg=f"{label} rep={r} heights vs fast",
+            )
+            np.testing.assert_array_equal(
+                heights[r], np.asarray(ref_heights),
+                err_msg=f"{label} rep={r} heights vs reference",
+            )
+    return budget.draws
+
+
+def check_driver_parity(master_seed: int, trials: int = 6, repetitions: int = 4) -> int:
+    """Spawn-mode driver parity sweep against the scalar driver.
+
+    Each trial verifies that replication ``r`` of
+    :func:`~repro.core.ensemble.simulate_ensemble` equals
+    ``simulate(seed=child_r)`` exactly — counts, heights, and every snapshot
+    — under the shared ``SeedSequence.spawn`` order.  Returns the number of
+    trials checked; raises ``AssertionError`` on the first mismatch.
+    """
+    rng = np.random.default_rng(master_seed)
+    for trial in range(trials):
+        n = int(rng.integers(2, 16))
+        m = int(rng.integers(1, 200))
+        d = int(rng.integers(1, 4))
+        bins = BinArray(_random_capacities(rng, n))
+        master = int(rng.integers(0, 2**31))
+        snap = sorted({0, m // 2, m})
+        ens = simulate_ensemble(
+            bins, repetitions=repetitions, m=m, d=d, seed=master,
+            track_heights=True, snapshot_at=snap,
+        )
+        for r, child in enumerate(spawn_seed_sequences(master, repetitions)):
+            sc = simulate(
+                bins, m=m, d=d, seed=child, track_heights=True, snapshot_at=snap
+            )
+            label = f"trial={trial} rep={r} n={n} m={m} d={d}"
+            assert np.array_equal(ens.counts[r], sc.counts), f"{label} counts"
+            np.testing.assert_array_equal(
+                ens.heights[r], sc.heights, err_msg=f"{label} heights"
+            )
+            assert len(ens.snapshots) == len(sc.snapshots), f"{label} snapshot count"
+            for es, ss in zip(ens.snapshots, sc.snapshots):
+                assert es.balls_thrown == ss.balls_thrown, label
+                assert es.max_loads[r] == ss.max_load, f"{label} snapshot max"
+                assert es.average_load == ss.average_load, label
+    return trials

@@ -57,12 +57,20 @@ def select_bin(
     rng=None,
     *,
     tie_break: str = "max_capacity",
+    tie_uniform: float | None = None,
 ) -> int:
     """Apply steps 2–4 of Algorithm 1 to *candidates* and return the chosen bin.
 
     ``counts`` are current ball counts; the function does not mutate them.
     ``candidates`` is the multiset ``B`` of step 1 (duplicates allowed — a
     ball may draw the same bin more than once).
+
+    When *tie_uniform* (a float in ``[0, 1)``) is given, a surviving k-way tie
+    resolves deterministically to the ``int(tie_uniform * k)``-th tied bin in
+    first-encounter order instead of drawing from *rng*.  This is the shared
+    randomness convention of :func:`repro.core.fast.run_batch` and
+    :func:`repro.core.ensemble.run_batch_ensemble`, letting all three engines
+    be compared bit-for-bit under one pre-drawn uniform stream.
     """
     _validate_tie_break(tie_break)
     if len(candidates) == 0:
@@ -93,6 +101,8 @@ def select_bin(
         best = [b for b in best if capacities[b] == cmin]
     if len(best) == 1:
         return best[0]
+    if tie_uniform is not None:
+        return best[int(tie_uniform * len(best))]
     gen = make_rng(rng)
     return best[int(gen.integers(0, len(best)))]
 
@@ -104,13 +114,16 @@ def allocate_ball(
     rng=None,
     *,
     tie_break: str = "max_capacity",
+    tie_uniform: float | None = None,
 ) -> int:
     """Run steps 2–4 and *commit* the ball: increments ``counts`` in place.
 
     Returns the index of the receiving bin.  ``counts`` must be a mutable
     sequence (list or ``ndarray``).
     """
-    chosen = select_bin(counts, capacities, candidates, rng, tie_break=tie_break)
+    chosen = select_bin(
+        counts, capacities, candidates, rng, tie_break=tie_break, tie_uniform=tie_uniform
+    )
     counts[chosen] += 1
     return chosen
 
@@ -121,15 +134,36 @@ def reference_run(
     rng=None,
     *,
     tie_break: str = "max_capacity",
+    tie_uniforms: Sequence[float] | None = None,
+    heights: list | None = None,
 ) -> np.ndarray:
     """Allocate every row of *choices* in order; return the final counts.
 
     This is the slow, obviously correct driver used to validate the fast
-    engine: ``choices`` has shape ``(m, d)`` and row ``j`` is ball ``j``'s
+    engines: ``choices`` has shape ``(m, d)`` and row ``j`` is ball ``j``'s
     candidate multiset.
+
+    With *tie_uniforms* (one float per ball, position-aligned like
+    :func:`repro.core.fast.run_batch`'s) tie resolution is deterministic in
+    the uniform stream, making the output directly comparable — bit for bit —
+    with the fast scalar loop and the lockstep ensemble engine.  *heights*,
+    when given, collects every ball's post-allocation load in arrival order.
     """
-    gen = make_rng(rng)
+    gen = make_rng(rng) if tie_uniforms is None else None
+    if tie_uniforms is not None and len(tie_uniforms) < len(choices):
+        raise ValueError(
+            f"need at least {len(choices)} tie uniforms, got {len(tie_uniforms)}"
+        )
     counts = [0] * len(capacities)
-    for row in choices:
-        allocate_ball(counts, capacities, [int(b) for b in row], gen, tie_break=tie_break)
+    for j, row in enumerate(choices):
+        chosen = allocate_ball(
+            counts,
+            capacities,
+            [int(b) for b in row],
+            gen,
+            tie_break=tie_break,
+            tie_uniform=None if tie_uniforms is None else float(tie_uniforms[j]),
+        )
+        if heights is not None:
+            heights.append(counts[chosen] / capacities[chosen])
     return np.asarray(counts, dtype=np.int64)

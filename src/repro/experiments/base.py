@@ -34,7 +34,27 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "scaled_reps",
+    "ENGINES",
+    "EngineNotSupportedError",
+    "resolve_engine",
 ]
+
+
+class EngineNotSupportedError(ValueError):
+    """An experiment was asked for an engine it has not been migrated to."""
+
+#: Execution engines an experiment can run its repetitions on:
+#: ``"scalar"`` — one sequential run per repetition (the reference path);
+#: ``"ensemble"`` — lockstep replication blocks through
+#: :func:`repro.core.ensemble.simulate_ensemble` (the vectorised fast path).
+ENGINES = ("scalar", "ensemble")
+
+
+def resolve_engine(engine: str) -> str:
+    """Validate an engine name against :data:`ENGINES`."""
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
 
 
 def scaled_reps(paper_reps: int, scale: float, minimum: int = 3) -> int:

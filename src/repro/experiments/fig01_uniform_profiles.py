@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.aggregate import StreamingProfile
 from ..bins.generators import uniform_bins
+from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
+from ..runtime.executor import run_ensemble_reduced, run_repetitions
 from ..theory.bounds import loglog_over_logd, observation2_bound
-from .base import ExperimentResult, register, scaled_reps
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_N = 10_000
 PAPER_CAPACITIES = (1, 2, 3, 4, 8)
@@ -31,6 +33,33 @@ def _one_run(seed, *, n: int, capacity: int, d: int) -> np.ndarray:
     bins = uniform_bins(n, capacity)
     res = simulate(bins, d=d, seed=seed)
     return res.loads
+
+
+def _ensemble_block(seeds, *, n: int, capacity: int, d: int) -> StreamingProfile:
+    """Lockstep block: simulate ``len(seeds)`` replications at once and
+    return the block's sorted-profile reducer (never the raw ``(R, n)``
+    matrix), so workers ship O(n) summaries regardless of block size."""
+    bins = uniform_bins(n, capacity)
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), d=d, seed=seeds[0], seed_mode="blocked"
+    )
+    return StreamingProfile(n).update(res.loads)
+
+
+def _mean_sorted_profile(reps, seed, workers, progress, engine, kwargs):
+    """Mean sorted load profile over *reps* repetitions on either engine."""
+    if engine == "ensemble":
+        reducer = run_ensemble_reduced(
+            _ensemble_block, reps, seed=seed, workers=workers,
+            kwargs=kwargs, progress=progress,
+        )
+        return reducer.profile().mean
+    loads = run_repetitions(
+        _one_run, reps, seed=seed, workers=workers,
+        kwargs=kwargs, progress=progress,
+    )
+    matrix = np.vstack(loads)
+    return (-np.sort(-matrix, axis=1)).mean(axis=0)
 
 
 @register(
@@ -49,25 +78,25 @@ def run(
     capacities=PAPER_CAPACITIES,
     d: int = PAPER_D,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Run the Figure 1 experiment; see module docstring for the setting."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     series: dict[str, np.ndarray] = {}
     extra_max: dict[str, float] = {}
     extra_pred: dict[str, float] = {}
     for j, c in enumerate(capacities):
-        loads = run_repetitions(
-            _one_run,
+        mean_profile = _mean_sorted_profile(
             reps,
-            seed=np.random.SeedSequence(seed).spawn(len(capacities))[j],
-            workers=workers,
-            kwargs={"n": n, "capacity": int(c), "d": d},
-            progress=progress,
+            np.random.SeedSequence(seed).spawn(len(capacities))[j],
+            workers,
+            progress,
+            engine,
+            {"n": n, "capacity": int(c), "d": d},
         )
-        matrix = np.vstack(loads)
-        sorted_rows = -np.sort(-matrix, axis=1)
-        series[f"{c}-bins"] = sorted_rows.mean(axis=0)
-        extra_max[f"c={c}"] = float(sorted_rows[:, 0].mean())
+        series[f"{c}-bins"] = mean_profile
+        extra_max[f"c={c}"] = float(mean_profile[0])
         extra_pred[f"c={c}"] = (
             # c = 1 is the standard game (Theorem 3): lnln(n)/ln(d) + O(1);
             # c >= 2 follows Section 4.1's "close to 1 + lnln(n)/c".
@@ -85,6 +114,7 @@ def run(
             "capacities": list(capacities),
             "repetitions": reps,
             "seed": seed,
+            "engine": engine,
         },
         extra={
             "mean_max_load": extra_max,

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.aggregate import StreamingProfile
 from ..bins.generators import uniform_bins
+from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
-from .base import ExperimentResult, register, scaled_reps
+from ..runtime.executor import run_ensemble_reduced, run_repetitions
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_N = 32
 PAPER_CAPACITIES = (1, 2, 3, 4)
@@ -33,24 +35,48 @@ def _one_run(seed, *, n: int, capacity: int, d: int, multiplier: int) -> np.ndar
     return res.loads
 
 
+def _ensemble_block(
+    seeds, *, n: int, capacity: int, d: int, multiplier: int
+) -> StreamingProfile:
+    """Lockstep block: all of the block's replications advance together
+    through one ``(R, n)`` counts array; only the reduced sorted-profile
+    moments leave the worker."""
+    bins = uniform_bins(n, capacity)
+    res = simulate_ensemble(
+        bins,
+        repetitions=len(seeds),
+        m=multiplier * bins.total_capacity,
+        d=d,
+        seed=seeds[0],
+        seed_mode="blocked",
+    )
+    return StreamingProfile(n).update(res.loads)
+
+
 def _run_figure(figure_id: str, multiplier: int, scale, seed, workers, progress,
-                n, capacities, d, repetitions) -> ExperimentResult:
+                n, capacities, d, repetitions, engine) -> ExperimentResult:
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     series: dict[str, np.ndarray] = {}
     gaps: dict[str, float] = {}
     for j, c in enumerate(capacities):
-        loads = run_repetitions(
-            _one_run,
-            reps,
-            seed=np.random.SeedSequence(seed).spawn(len(capacities))[j],
-            workers=workers,
-            kwargs={"n": n, "capacity": int(c), "d": d, "multiplier": multiplier},
-            progress=progress,
-        )
-        matrix = np.vstack(loads)
-        sorted_rows = -np.sort(-matrix, axis=1)
-        series[f"{c}-bins"] = sorted_rows.mean(axis=0)
-        gaps[f"c={c}"] = float(sorted_rows[:, 0].mean() - multiplier)
+        class_seed = np.random.SeedSequence(seed).spawn(len(capacities))[j]
+        kwargs = {"n": n, "capacity": int(c), "d": d, "multiplier": multiplier}
+        if engine == "ensemble":
+            reducer = run_ensemble_reduced(
+                _ensemble_block, reps, seed=class_seed, workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            mean_profile = reducer.profile().mean
+        else:
+            loads = run_repetitions(
+                _one_run, reps, seed=class_seed, workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            matrix = np.vstack(loads)
+            mean_profile = (-np.sort(-matrix, axis=1)).mean(axis=0)
+        series[f"{c}-bins"] = mean_profile
+        gaps[f"c={c}"] = float(mean_profile[0] - multiplier)
     return ExperimentResult(
         experiment_id=figure_id,
         title=f"32 uniform bins, m = {multiplier}*C: mean sorted load profile",
@@ -64,6 +90,7 @@ def _run_figure(figure_id: str, multiplier: int, scale, seed, workers, progress,
             "ball_multiplier": multiplier,
             "repetitions": reps,
             "seed": seed,
+            "engine": engine,
         },
         extra={
             "average_load": float(multiplier),
@@ -84,9 +111,11 @@ def _make_runner(figure_id: str, multiplier: int):
         capacities=PAPER_CAPACITIES,
         d: int = PAPER_D,
         repetitions: int | None = None,
+        engine: str = "scalar",
     ) -> ExperimentResult:
         return _run_figure(
-            figure_id, multiplier, scale, seed, workers, progress, n, capacities, d, repetitions
+            figure_id, multiplier, scale, seed, workers, progress, n, capacities, d,
+            repetitions, engine,
         )
 
     run.__doc__ = (

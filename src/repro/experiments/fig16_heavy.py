@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.aggregate import StreamingProfile
 from ..bins.generators import binomial_random_bins
+from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
-from .base import ExperimentResult, register, scaled_reps
+from ..runtime.executor import run_ensemble_reduced, run_repetitions
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_N = 10_000
 PAPER_CAP_MULTIPLIERS = (1, 2, 5, 10)
@@ -27,8 +29,8 @@ PAPER_REPS = 100
 PAPER_D = 2
 
 
-def _one_run(seed, *, n: int, cap_multiplier: int, rounds: int, d: int) -> np.ndarray:
-    rng = np.random.default_rng(seed)
+def _draw_bins(rng, n: int, cap_multiplier: int):
+    """Section-4.2 random capacities with expected total ``cap_multiplier*n``."""
     mean_cap = float(cap_multiplier)
     if mean_cap > 8.0:
         # The binomial construction tops out at mean 8; larger targets tile
@@ -40,13 +42,46 @@ def _one_run(seed, *, n: int, cap_multiplier: int, rounds: int, d: int) -> np.nd
         )
         from ..bins.arrays import BinArray
 
-        bins = BinArray(caps.astype(np.int64))
-    else:
-        bins = binomial_random_bins(n, mean_cap, rng)
+        return BinArray(caps.astype(np.int64))
+    return binomial_random_bins(n, mean_cap, rng)
+
+
+def _one_run(seed, *, n: int, cap_multiplier: int, rounds: int, d: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    bins = _draw_bins(rng, n, cap_multiplier)
     cap = bins.total_capacity
     checkpoints = [i * cap for i in range(1, rounds + 1)]
     res = simulate(bins, m=rounds * cap, d=d, seed=rng, snapshot_at=checkpoints)
     return np.asarray([s.gap for s in res.snapshots])
+
+
+def _ensemble_block(seeds, *, n: int, cap_multiplier: int, rounds: int, d: int) -> StreamingProfile:
+    """Lockstep block for the heavily loaded case.
+
+    Lockstep replication requires one shared capacity vector (and thus one
+    shared ball schedule) per block, so the block draws its capacities once
+    from its first child seed and all of its replications rethrow balls into
+    that array.  Capacity randomness is then sampled per *block* instead of
+    per repetition — the estimator stays unbiased (blocks are independent),
+    but averaging over the capacity randomness requires many blocks, which
+    is why the fig16 runner forces a small block size instead of taking the
+    executor's width-optimised default.
+    """
+    rng = np.random.default_rng(seeds[0])
+    bins = _draw_bins(rng, n, cap_multiplier)
+    cap = bins.total_capacity
+    checkpoints = [i * cap for i in range(1, rounds + 1)]
+    res = simulate_ensemble(
+        bins,
+        repetitions=len(seeds),
+        m=rounds * cap,
+        d=d,
+        seed=rng,
+        seed_mode="blocked",
+        snapshot_at=checkpoints,
+    )
+    gaps = np.stack([s.gaps for s in res.snapshots], axis=1)  # (R, rounds)
+    return StreamingProfile(rounds, sort=False).update(gaps)
 
 
 @register(
@@ -66,23 +101,34 @@ def run(
     rounds: int = PAPER_ROUNDS,
     d: int = PAPER_D,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 16: deviation of max from average as balls accumulate."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     seeds = np.random.SeedSequence(seed).spawn(len(cap_multipliers))
     series: dict[str, np.ndarray] = {}
     slopes: dict[str, float] = {}
     x = np.arange(1, rounds + 1)
     for mult, s in zip(cap_multipliers, seeds):
-        outs = run_repetitions(
-            _one_run,
-            reps,
-            seed=s,
-            workers=workers,
-            kwargs={"n": n, "cap_multiplier": int(mult), "rounds": rounds, "d": d},
-            progress=progress,
-        )
-        curve = np.vstack(outs).mean(axis=0)
+        kwargs = {"n": n, "cap_multiplier": int(mult), "rounds": rounds, "d": d}
+        if engine == "ensemble":
+            # Small blocks so the capacity distribution is averaged over at
+            # least ~8 independent draws (each block shares one capacity
+            # vector); the default 128-wide blocks would collapse all of the
+            # capacity randomness into a single realisation at paper reps.
+            reducer = run_ensemble_reduced(
+                _ensemble_block, reps, seed=s, workers=workers,
+                kwargs=kwargs, progress=progress,
+                block_size=max(1, reps // 8),
+            )
+            curve = reducer.profile().mean
+        else:
+            outs = run_repetitions(
+                _one_run, reps, seed=s, workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            curve = np.vstack(outs).mean(axis=0)
         name = f"CAP = {mult}*n"
         series[name] = curve
         # Least-squares slope over rounds: the paper's claim is ~0 slope.
@@ -95,7 +141,7 @@ def run(
         series=series,
         parameters={
             "n": n, "d": d, "cap_multipliers": [int(m) for m in cap_multipliers],
-            "rounds": rounds, "repetitions": reps, "seed": seed,
+            "rounds": rounds, "repetitions": reps, "seed": seed, "engine": engine,
         },
         extra={
             "per_series_slope": slopes,

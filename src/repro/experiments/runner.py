@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import inspect
 import time
 from pathlib import Path
 
-from .base import ExperimentResult, get_experiment, list_experiments
+from .base import (
+    EngineNotSupportedError,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    resolve_engine,
+)
 
 __all__ = ["run_experiment", "run_all"]
 
@@ -18,13 +25,17 @@ def run_experiment(
     workers: int | None = 1,
     progress=None,
     out_dir=None,
+    engine: str | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Run one experiment by id and optionally save CSV/JSON to *out_dir*.
 
     ``scale``/``seed`` fall back to the experiment's own defaults when
     ``None``; ``overrides`` are forwarded verbatim (e.g. ``repetitions=50``,
-    ``n=1000``).
+    ``n=1000``).  ``engine`` selects the repetition engine
+    (:data:`repro.experiments.base.ENGINES`) for experiments that support the
+    knob; asking a scalar-only experiment for the ensemble engine is an error
+    rather than a silent fallback.
     """
     spec = get_experiment(experiment_id)
     kwargs = dict(overrides)
@@ -32,6 +43,15 @@ def run_experiment(
         kwargs["scale"] = scale
     if seed is not None:
         kwargs["seed"] = seed
+    if engine is not None:
+        engine = resolve_engine(engine)
+        if "engine" in inspect.signature(spec.run).parameters:
+            kwargs["engine"] = engine
+        elif engine != "scalar":
+            raise EngineNotSupportedError(
+                f"experiment {experiment_id!r} only supports the scalar engine; "
+                f"engine={engine!r} is not available for it yet"
+            )
     started = time.perf_counter()
     result = spec.run(workers=workers, progress=progress, **kwargs)
     result.extra.setdefault("wall_seconds", round(time.perf_counter() - started, 3))
@@ -48,13 +68,25 @@ def run_all(
     progress=None,
     out_dir=None,
     only=None,
+    engine: str | None = None,
 ) -> dict[str, ExperimentResult]:
-    """Run every registered experiment (or the ids in *only*)."""
+    """Run every registered experiment (or the ids in *only*).
+
+    ``engine`` is applied where supported; experiments without the knob fall
+    back to their scalar path (running the whole suite on a mixed engine
+    matrix is the expected mode while migration is in progress).
+    """
     wanted = set(only) if only is not None else None
     results: dict[str, ExperimentResult] = {}
     for spec in list_experiments():
         if wanted is not None and spec.experiment_id not in wanted:
             continue
+        spec_engine = engine
+        if (
+            engine is not None
+            and "engine" not in inspect.signature(spec.run).parameters
+        ):
+            spec_engine = None
         results[spec.experiment_id] = run_experiment(
             spec.experiment_id,
             scale=scale,
@@ -62,5 +94,6 @@ def run_all(
             workers=workers,
             progress=progress,
             out_dir=out_dir,
+            engine=spec_engine,
         )
     return results

@@ -1,11 +1,18 @@
 """Experiment runtime: repetition fan-out, seed trees, progress reporting."""
 
-from .executor import run_repetitions, run_tasks
+from .executor import (
+    run_ensemble_blocks,
+    run_ensemble_reduced,
+    run_repetitions,
+    run_tasks,
+)
 from .progress import NullReporter, ProgressReporter, make_reporter
 from .seeding import SeedTree
 
 __all__ = [
     "run_repetitions",
+    "run_ensemble_blocks",
+    "run_ensemble_reduced",
     "run_tasks",
     "SeedTree",
     "NullReporter",

@@ -1,4 +1,4 @@
-"""Repetition fan-out: serial and multiprocessing execution.
+"""Repetition fan-out: serial, multiprocessing, and lockstep-ensemble execution.
 
 Monte-Carlo repetitions are embarrassingly parallel; the executor takes a
 picklable task ``task(seed_sequence) -> result`` and runs it once per
@@ -9,6 +9,27 @@ repetition with independent :class:`~numpy.random.SeedSequence` streams.
 For a task with extra parameters, pass a top-level function plus ``kwargs``
 (lambdas and closures do not pickle under the default ``spawn``/``fork``
 start methods on all platforms).
+
+Seed contract
+-------------
+All execution paths consume the **same** ``SeedSequence.spawn`` order: the
+master seed is spawned into ``repetitions`` child sequences exactly once, and
+child ``i`` always belongs to repetition ``i`` —
+
+* the scalar path hands child ``i`` to ``task`` call ``i``;
+* the ensemble path (``ensemble=True`` or :func:`run_ensemble_blocks`)
+  partitions the *same* child list into contiguous blocks, and block ``b``
+  covering repetitions ``[i0, i1)`` receives exactly ``children[i0:i1]``.
+
+An ensemble task that feeds its seed slice to
+:func:`repro.core.ensemble.simulate_ensemble` via ``seeds=`` therefore
+reproduces the scalar repetitions bit-for-bit; a task that instead runs in
+``seed_mode="blocked"`` conventionally uses ``seeds[0]`` of its slice as the
+block master (fast path — statistically equivalent, not stream-matched).
+Neither ``workers`` nor ``block_size`` changes which child seed a repetition
+owns, and block boundaries are derived from ``block_size`` alone — never
+from ``workers`` — so ``workers`` cannot change any result, and blocked-mode
+results are deterministic in ``(seed, block_size)``.
 """
 
 from __future__ import annotations
@@ -21,12 +42,37 @@ import numpy as np
 from ..sampling.rngutils import spawn_seed_sequences
 from .progress import make_reporter
 
-__all__ = ["run_repetitions", "run_tasks"]
+__all__ = [
+    "run_repetitions",
+    "run_ensemble_blocks",
+    "run_ensemble_reduced",
+    "run_tasks",
+]
+
+#: Default replications per lockstep block: wide enough to amortise the
+#: per-ball vectorisation, small enough to bound the ``(R, n)`` working set.
+#: Deliberately *not* derived from ``workers``: block boundaries determine
+#: which child seed a blocked-mode task draws from, so a workers-dependent
+#: default would make ``--workers`` change results at a fixed seed.  Pass an
+#: explicit smaller ``block_size`` when a pool needs more blocks to chew on.
+DEFAULT_BLOCK_SIZE = 128
 
 
 def _invoke(payload):
     task, seed, kwargs = payload
     return task(seed, **kwargs)
+
+
+def _resolve_blocks(repetitions: int, block_size: int | None) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` block bounds covering all repetitions."""
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    return [
+        (start, min(start + block_size, repetitions))
+        for start in range(0, repetitions, block_size)
+    ]
 
 
 def run_repetitions(
@@ -38,21 +84,125 @@ def run_repetitions(
     kwargs: dict | None = None,
     progress=None,
     chunksize: int = 1,
+    ensemble: bool = False,
+    block_size: int | None = None,
 ) -> list:
-    """Run ``task(seed_sequence, **kwargs)`` *repetitions* times.
+    """Run *task* once per repetition; return results in repetition order.
 
-    Returns the list of results in repetition order.  Results are
-    deterministic in ``seed`` regardless of ``workers``: repetition ``i``
-    always receives child seed ``i`` of the master sequence.
+    Scalar path (default): ``task(seed_sequence, **kwargs) -> result``, one
+    call per repetition.
+
+    Ensemble fast path (``ensemble=True``): ``task(seed_sequences, **kwargs)
+    -> sequence of per-repetition results``, one call per contiguous block of
+    repetitions — vectorise inside the task (lockstep across the block),
+    multiprocess across blocks.  The flattened result list is positionally
+    identical to the scalar path's, and the seed contract (module docstring)
+    guarantees a stream-matched task reproduces scalar results exactly.
+
+    Results are deterministic in ``seed`` regardless of ``workers``:
+    repetition ``i`` always owns child seed ``i`` of the master sequence,
+    and block boundaries never depend on the pool size.  (A blocked-mode
+    task's results additionally depend on ``block_size``, since each block
+    draws from one master stream.)
     """
     if repetitions < 0:
         raise ValueError(f"repetitions must be non-negative, got {repetitions}")
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1 or None, got {workers}")
     kwargs = kwargs or {}
-    seeds = spawn_seed_sequences(seed, repetitions)
-    payloads = [(task, s, kwargs) for s in seeds]
-    return run_tasks(payloads, workers=workers, progress=progress, chunksize=chunksize)
+    if not ensemble:
+        seeds = spawn_seed_sequences(seed, repetitions)
+        payloads = [(task, s, kwargs) for s in seeds]
+        return run_tasks(payloads, workers=workers, progress=progress, chunksize=chunksize)
+
+    block_results = run_ensemble_blocks(
+        task,
+        repetitions,
+        seed=seed,
+        workers=workers,
+        block_size=block_size,
+        kwargs=kwargs,
+        progress=progress,
+        chunksize=chunksize,
+    )
+    bounds = _resolve_blocks(repetitions, block_size)
+    results: list = []
+    for (start, stop), block in zip(bounds, block_results):
+        block = list(block)
+        if len(block) != stop - start:
+            raise ValueError(
+                f"ensemble task returned {len(block)} results for the "
+                f"{stop - start}-repetition block [{start}, {stop})"
+            )
+        results.extend(block)
+    return results
+
+
+def run_ensemble_blocks(
+    task: Callable,
+    repetitions: int,
+    *,
+    seed=None,
+    workers: int | None = 1,
+    block_size: int | None = None,
+    kwargs: dict | None = None,
+    progress=None,
+    chunksize: int = 1,
+) -> list:
+    """Run a block-level ensemble task over contiguous repetition blocks.
+
+    ``task(seed_sequences, **kwargs)`` receives the child seeds of one block
+    (a slice of the master spawn, per the module-docstring contract) and may
+    return anything — typically a small *reduced* summary (e.g. a
+    :class:`repro.analysis.aggregate.StreamingProfile`) so that large
+    ``(R, n)`` replication matrices never leave the worker.  Returns the list
+    of block results in block order.
+    """
+    if repetitions < 0:
+        raise ValueError(f"repetitions must be non-negative, got {repetitions}")
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1 or None, got {workers}")
+    kwargs = kwargs or {}
+    children = spawn_seed_sequences(seed, repetitions)
+    bounds = _resolve_blocks(repetitions, block_size)
+    payloads = [(task, children[start:stop], kwargs) for start, stop in bounds]
+    return run_tasks(
+        payloads,
+        workers=workers,
+        progress=progress,
+        chunksize=chunksize,
+        weights=[stop - start for start, stop in bounds],
+        total=repetitions,
+    )
+
+
+def run_ensemble_reduced(
+    task: Callable,
+    repetitions: int,
+    *,
+    seed=None,
+    workers: int | None = 1,
+    block_size: int | None = None,
+    kwargs: dict | None = None,
+    progress=None,
+    chunksize: int = 1,
+):
+    """Run a reducer-returning ensemble task and merge the block reducers.
+
+    ``task`` must return an object with a ``merge(other)`` method (e.g. a
+    :class:`repro.analysis.aggregate.StreamingProfile`); the merged reducer
+    over all blocks is returned.  Requires ``repetitions >= 1``.
+    """
+    if repetitions < 1:
+        raise ValueError(f"need at least one repetition, got {repetitions}")
+    blocks = run_ensemble_blocks(
+        task, repetitions, seed=seed, workers=workers, block_size=block_size,
+        kwargs=kwargs, progress=progress, chunksize=chunksize,
+    )
+    reducer = blocks[0]
+    for other in blocks[1:]:
+        reducer.merge(other)
+    return reducer
 
 
 def run_tasks(
@@ -61,21 +211,35 @@ def run_tasks(
     workers: int | None = 1,
     progress=None,
     chunksize: int = 1,
+    weights: Sequence[int] | None = None,
+    total: int | None = None,
 ) -> list:
-    """Execute ``(task, seed, kwargs)`` payloads, serially or in a pool."""
+    """Execute ``(task, seed, kwargs)`` payloads, serially or in a pool.
+
+    ``weights``/``total`` let a caller whose payloads cover several
+    repetitions each (ensemble blocks) report progress in repetitions
+    rather than payloads.
+    """
+    if weights is not None and len(weights) != len(payloads):
+        raise ValueError(
+            f"weights has {len(weights)} entries for {len(payloads)} payloads"
+        )
     reporter = make_reporter(progress)
-    reporter.start(len(payloads), label="repetitions")
+    reporter.start(total if total is not None else len(payloads), label="repetitions")
+    steps = weights if weights is not None else [1] * len(payloads)
     results: list = []
     if workers == 1 or len(payloads) <= 1:
-        for p in payloads:
+        for p, step in zip(payloads, steps):
             results.append(_invoke(p))
-            reporter.advance()
+            reporter.advance(step)
     else:
         pool_size = workers if workers is not None else multiprocessing.cpu_count()
         pool_size = min(pool_size, max(len(payloads), 1))
         with multiprocessing.Pool(pool_size) as pool:
-            for res in pool.imap(_invoke, payloads, chunksize=max(chunksize, 1)):
+            for res, step in zip(
+                pool.imap(_invoke, payloads, chunksize=max(chunksize, 1)), steps
+            ):
                 results.append(res)
-                reporter.advance()
+                reporter.advance(step)
     reporter.finish()
     return results

@@ -4,11 +4,94 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
+    StreamingProfile,
+    StreamingScalar,
     aggregate_scalar,
     fraction_true,
     mean_profile_by_position,
     mean_sorted_profile,
 )
+
+
+class TestStreamingProfile:
+    def test_matches_batch_sorted_profile(self):
+        """Block-wise accumulation equals the all-at-once reduction."""
+        rng = np.random.default_rng(3)
+        matrix = rng.random((23, 6))
+        sp = StreamingProfile(6)
+        sp.update(matrix[:10]).update(matrix[10:15]).update(matrix[15:])
+        batch = mean_sorted_profile(matrix)
+        stream = sp.profile()
+        np.testing.assert_allclose(stream.mean, batch.mean)
+        np.testing.assert_allclose(stream.std, batch.std, atol=1e-12)
+        assert stream.repetitions == batch.repetitions == 23
+
+    def test_unsorted_matches_by_position(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.random((11, 4))
+        sp = StreamingProfile(4, sort=False)
+        for row in matrix:
+            sp.update(row)
+        batch = mean_profile_by_position(matrix)
+        stream = sp.profile()
+        np.testing.assert_allclose(stream.mean, batch.mean)
+        np.testing.assert_allclose(stream.std, batch.std, atol=1e-12)
+
+    def test_merge_equals_single_reducer(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.random((12, 5))
+        whole = StreamingProfile(5).update(matrix)
+        left = StreamingProfile(5).update(matrix[:7])
+        right = StreamingProfile(5).update(matrix[7:])
+        merged = left.merge(right).profile()
+        np.testing.assert_allclose(merged.mean, whole.profile().mean)
+        assert merged.repetitions == 12
+
+    def test_merge_rejects_incompatible(self):
+        with pytest.raises(ValueError):
+            StreamingProfile(3).merge(StreamingProfile(4))
+        with pytest.raises(ValueError):
+            StreamingProfile(3).merge(StreamingProfile(3, sort=False))
+        with pytest.raises(TypeError):
+            StreamingProfile(3).merge(object())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingProfile(3).profile()
+        with pytest.raises(ValueError):
+            StreamingProfile(0)
+        with pytest.raises(ValueError):
+            StreamingProfile(3).update(np.ones((2, 4)))
+
+
+class TestStreamingScalar:
+    def test_matches_aggregate_scalar(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(size=37)
+        ss = StreamingScalar()
+        ss.update(values[:20]).update(values[20:])
+        batch = aggregate_scalar(values)
+        stream = ss.aggregate()
+        assert stream.mean == pytest.approx(batch.mean)
+        assert stream.std == pytest.approx(batch.std)
+        assert stream.minimum == batch.minimum
+        assert stream.maximum == batch.maximum
+        assert stream.repetitions == 37
+
+    def test_merge(self):
+        a = StreamingScalar().update([1.0, 2.0])
+        b = StreamingScalar().update([3.0])
+        agg = a.merge(b).aggregate()
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.repetitions == 3
+
+    def test_single_sample_and_empty(self):
+        assert StreamingScalar().update([5.0]).aggregate().std == 0.0
+        with pytest.raises(ValueError):
+            StreamingScalar().aggregate()
+        ss = StreamingScalar()
+        ss.update([])
+        assert ss.repetitions == 0
 
 
 class TestMeanSortedProfile:

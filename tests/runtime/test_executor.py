@@ -1,9 +1,18 @@
-"""Tests for the repetition executor."""
+"""Tests for the repetition executor, including the ensemble seed contract.
+
+The seed contract (see the executor's module docstring): the master seed is
+spawned into ``repetitions`` child sequences exactly once, child ``i`` is
+repetition ``i``'s on every path, and ensemble blocks receive contiguous
+slices of that same child list — so a stream-matched ensemble task must
+reproduce scalar results bit-for-bit for any ``workers`` / ``block_size``.
+"""
 
 import numpy as np
 import pytest
 
-from repro.runtime import run_repetitions
+from repro.bins import uniform_bins
+from repro.core import simulate, simulate_ensemble
+from repro.runtime import run_ensemble_blocks, run_ensemble_reduced, run_repetitions
 
 
 def draw_task(seed, scale=1.0):
@@ -14,6 +23,46 @@ def draw_task(seed, scale=1.0):
 def identity_seed_entropy(seed):
     """Returns a stable fingerprint of the received seed."""
     return np.random.default_rng(seed).integers(0, 2**32)
+
+
+def draw_block_task(seeds, scale=1.0):
+    """Ensemble counterpart of draw_task: one draw per child seed."""
+    return [draw_task(s, scale=scale) for s in seeds]
+
+
+def scalar_counts_task(seed, n=6, c=2, m=30):
+    """One scalar simulation; returns the count vector."""
+    return simulate(uniform_bins(n, c), m=m, seed=seed).counts
+
+
+def ensemble_counts_task(seeds, n=6, c=2, m=30):
+    """Stream-matched lockstep block: per-replication count rows."""
+    res = simulate_ensemble(uniform_bins(n, c), m=m, seeds=seeds)
+    return list(res.counts)
+
+
+def bad_length_task(seeds):
+    return [0]  # always the wrong number of per-repetition results
+
+
+def block_fingerprint_task(seeds):
+    """Block-level task recording which child seeds the block received."""
+    return [identity_seed_entropy(s) for s in seeds]
+
+
+class _SumReducer:
+    """Minimal mergeable reducer for run_ensemble_reduced tests."""
+
+    def __init__(self, total=0.0):
+        self.total = total
+
+    def merge(self, other):
+        self.total += other.total
+        return self
+
+
+def sum_block_task(seeds):
+    return _SumReducer(sum(draw_task(s) for s in seeds))
 
 
 class TestSerial:
@@ -44,6 +93,89 @@ class TestSerial:
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError):
             run_repetitions(draw_task, 1, workers=0)
+
+
+class TestEnsembleSeedContract:
+    def test_flat_results_match_scalar_path(self):
+        """ensemble=True with a per-seed task equals the scalar path exactly:
+        same spawn order, same per-repetition results, same positions."""
+        scalar = run_repetitions(draw_task, 9, seed=42)
+        for block_size in (1, 2, 4, 9, 100):
+            ens = run_repetitions(
+                draw_block_task, 9, seed=42, ensemble=True, block_size=block_size
+            )
+            assert ens == scalar, f"block_size={block_size}"
+
+    def test_lockstep_engine_reproduces_scalar_repetitions(self):
+        """A simulate_ensemble(seeds=...) task is bit-identical to scalar
+        simulate() repetitions — the regression guard for the seed handling
+        fix (ensemble blocks consume the same SeedSequence.spawn order)."""
+        scalar = run_repetitions(scalar_counts_task, 7, seed=123)
+        for block_size in (2, 3, 7):
+            ens = run_repetitions(
+                ensemble_counts_task, 7, seed=123, ensemble=True, block_size=block_size
+            )
+            assert len(ens) == 7
+            for a, b in zip(scalar, ens):
+                np.testing.assert_array_equal(a, b)
+
+    def test_pool_matches_serial_ensemble(self):
+        serial = run_repetitions(
+            draw_block_task, 8, seed=7, ensemble=True, block_size=3, workers=1
+        )
+        pooled = run_repetitions(
+            draw_block_task, 8, seed=7, ensemble=True, block_size=3, workers=2
+        )
+        assert serial == pooled
+
+    def test_default_block_bounds_independent_of_workers(self):
+        """Block boundaries come from block_size alone, so changing the pool
+        size can never change a blocked-mode task's streams (regression for
+        the workers-coupled default partitioning)."""
+        serial = run_ensemble_blocks(block_fingerprint_task, 10, seed=5, workers=1)
+        pooled = run_ensemble_blocks(block_fingerprint_task, 10, seed=5, workers=3)
+        assert [list(b) for b in serial] == [list(b) for b in pooled]
+
+    def test_blocks_receive_contiguous_seed_slices(self):
+        """Concatenated block fingerprints equal the scalar per-repetition
+        fingerprints: block b covering [i0, i1) got children[i0:i1]."""
+        scalar = run_repetitions(identity_seed_entropy, 10, seed=99)
+        blocks = run_ensemble_blocks(
+            block_fingerprint_task, 10, seed=99, block_size=4
+        )
+        assert [len(b) for b in blocks] == [4, 4, 2]
+        assert [fp for block in blocks for fp in block] == scalar
+
+    def test_reduced_merges_blocks(self):
+        """run_ensemble_reduced merges block reducers into one; the merged
+        total equals the scalar per-repetition sum for any block_size."""
+        expected = sum(run_repetitions(draw_task, 9, seed=31))
+        for block_size in (2, 9):
+            reducer = run_ensemble_reduced(
+                sum_block_task, 9, seed=31, block_size=block_size
+            )
+            assert reducer.total == pytest.approx(expected)
+        with pytest.raises(ValueError, match="at least one repetition"):
+            run_ensemble_reduced(sum_block_task, 0, seed=31)
+
+    def test_wrong_result_length_rejected(self):
+        with pytest.raises(ValueError, match="ensemble task returned"):
+            run_repetitions(bad_length_task, 5, seed=0, ensemble=True, block_size=5)
+
+    def test_zero_repetitions(self):
+        assert run_repetitions(draw_block_task, 0, seed=0, ensemble=True) == []
+        assert run_ensemble_blocks(draw_block_task, 0, seed=0) == []
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError, match="block_size"):
+            run_ensemble_blocks(draw_block_task, 4, seed=0, block_size=0)
+
+    def test_run_tasks_rejects_mismatched_weights(self):
+        from repro.runtime import run_tasks
+
+        payloads = [(draw_task, s, {}) for s in range(3)]
+        with pytest.raises(ValueError, match="weights"):
+            run_tasks(payloads, weights=[1, 1])
 
 
 class TestPool:

@@ -73,6 +73,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "saved fig02.csv" in out
 
+    def test_run_ensemble_engine(self, capsys):
+        code = main([
+            "run", "fig02", "--scale", "0.0003", "--seed", "5",
+            "--engine", "ensemble", "--no-plot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+
+    def test_run_ensemble_engine_unsupported_experiment(self):
+        with pytest.raises(SystemExit, match="only supports the scalar engine"):
+            main([
+                "run", "fig06", "--scale", "0.0003", "--seed", "5",
+                "--engine", "ensemble", "--no-plot",
+            ])
+
     def test_tune(self, capsys):
         code = main([
             "tune", "1x20,3x20", "--reps", "10", "--seed", "2",

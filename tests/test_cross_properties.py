@@ -8,10 +8,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bins import BinArray
-from repro.core import simulate, simulate_batched
+from repro.core import simulate, simulate_batched, simulate_ensemble
 from repro.core.loadvectors import normalized_slot_load_vector, slot_load_vector
 from repro.core.majorization import majorizes
 from repro.sampling import PowerProbability
+from repro.sampling.rngutils import spawn_seed_sequences
 
 # Strategy: small random bin arrays.
 bin_arrays = st.lists(
@@ -107,6 +108,66 @@ def test_threshold_model_respects_support(caps, seed):
     res = simulate(bins, probabilities=ThresholdProbability(q), seed=seed)
     outside = bins.capacities < q
     assert res.counts[outside].sum() == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bins=bin_arrays,
+    m=st.integers(min_value=0, max_value=80),
+    d=st.integers(min_value=1, max_value=4),
+    tie=st.sampled_from(["max_capacity", "uniform", "min_capacity"]),
+    reps=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_ensemble_conservation_all_configs(bins, m, d, tie, reps, seed):
+    """Every replication of the lockstep engine conserves balls, for every
+    tie-break, d, and seed mode."""
+    for mode in ("spawn", "blocked"):
+        res = simulate_ensemble(
+            bins, repetitions=reps, m=m, d=d, tie_break=tie, seed=seed, seed_mode=mode
+        )
+        assert (res.counts.sum(axis=1) == m).all()
+        assert (res.counts >= 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bins=bin_arrays,
+    m=st.integers(min_value=1, max_value=60),
+    d=st.integers(min_value=1, max_value=3),
+    reps=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_ensemble_max_load_matches_scalar_under_shared_seeds(bins, m, d, reps, seed):
+    """Under shared spawned seeds the ensemble max-load *distribution* is not
+    merely close to the scalar engine's — it is the same numbers."""
+    ens = simulate_ensemble(bins, repetitions=reps, m=m, d=d, seed=seed)
+    scalar = np.array([
+        simulate(bins, m=m, d=d, seed=child).max_load
+        for child in spawn_seed_sequences(seed, reps)
+    ])
+    np.testing.assert_array_equal(ens.max_loads, scalar)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bins=bin_arrays,
+    m=st.integers(min_value=2, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_ensemble_snapshots_agree_with_scalar(bins, m, seed):
+    """Snapshots agree at every recorded ball count, replication by
+    replication, against scalar runs under the shared spawned seeds."""
+    reps = 3
+    points = sorted({0, 1, m // 2, m})
+    ens = simulate_ensemble(bins, repetitions=reps, m=m, seed=seed, snapshot_at=points)
+    children = spawn_seed_sequences(seed, reps)
+    for r in range(reps):
+        sc = simulate(bins, m=m, seed=children[r], snapshot_at=points)
+        assert [s.balls_thrown for s in ens.snapshots] == [s.balls_thrown for s in sc.snapshots]
+        for es, ss in zip(ens.snapshots, sc.snapshots):
+            assert es.max_loads[r] == ss.max_load
+            assert es.average_load == ss.average_load
 
 
 @settings(max_examples=20, deadline=None)
