@@ -1,0 +1,23 @@
+# Convenience entry points; see ROADMAP.md for the engine matrix and
+# scripts/ci.sh for what `check` runs.
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test check bench equivalence
+
+# Tier-1 suite only (ROADMAP's verify command).
+test:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+# Routine pipeline: tier-1 + quick ensemble benchmarks (5x/3x floors) +
+# reduced-budget cross-engine equivalence sweep.
+check:
+	bash scripts/ci.sh
+
+# Full benchmark harness (figure regeneration at reduced scale).
+bench:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ -q
+
+# Full-budget cross-engine equivalence sweep.
+equivalence:
+	PYTHONPATH=$(PYTHONPATH) python scripts/check_equivalence.py

@@ -1,12 +1,17 @@
-"""Scalar loop vs lockstep ensemble on the fig02 configuration.
+"""Scalar loop vs lockstep ensemble on migrated experiment configurations.
 
 Not a paper figure — this tracks the tentpole speedup of the lockstep
 ensemble engine (:mod:`repro.core.ensemble`) over the scalar repetition
-loop, across replication widths ``R``, on the exact fig02 setting
-(32 uniform bins, capacities 1–4, m = C, d = 2).  The scalar and ensemble
-rows for each ``R`` land side by side in the benchmark JSON, so the ratio
-is a first-class perf-regression signal; ``test_lockstep_speedup_at_r64``
-additionally pins the acceptance floor of 5x at ``R = 64``.
+loop, across replication widths ``R``:
+
+* the exact fig02 setting (32 uniform bins, capacities 1–4, m = C, d = 2),
+  the PR-1 flagship configuration, acceptance floor **5x** at ``R = 64``;
+* the fig18 exponent-sweep setting (100 two-class bins, power-``t``
+  selection), representative of the experiments migrated when the engine
+  matrix was completed, acceptance floor **3x** at ``R = 64``.
+
+The scalar and ensemble rows for each ``R`` land side by side in the
+benchmark JSON, so the ratio is a first-class perf-regression signal.
 
 ``REPRO_BENCH_QUICK=1`` trims the ``R`` sweep (see ``conftest.py``).
 """
@@ -17,6 +22,11 @@ import pytest
 from conftest import BENCH_SEED, ENSEMBLE_BENCH_RS
 
 from repro.experiments import run_experiment
+
+#: fig18 at one capacity/exponent pair — a post-matrix-migration workload
+#: (power-probability sampling + two-class array) unlike fig02's uniform
+#: capacity classes.
+FIG18_KWARGS = dict(capacities=(3,), t_grid=(1.0, 2.0))
 
 
 @pytest.mark.parametrize("engine", ["scalar", "ensemble"])
@@ -30,25 +40,53 @@ def test_fig02_engine_throughput(benchmark, R, engine):
     assert result.parameters["repetitions"] == R
 
 
+@pytest.mark.parametrize("engine", ["scalar", "ensemble"])
+@pytest.mark.parametrize("R", ENSEMBLE_BENCH_RS)
+def test_fig18_engine_throughput(benchmark, R, engine):
+    """One fig18 grid point pair per engine and width."""
+    result = benchmark(
+        lambda: run_experiment(
+            "fig18", engine=engine, seed=BENCH_SEED, repetitions=R, **FIG18_KWARGS
+        )
+    )
+    assert result.parameters["engine"] == engine
+    assert result.parameters["repetitions"] == R
+
+
+def _best_of(experiment_id, engine, rounds, **kwargs):
+    elapsed = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run_experiment(
+            experiment_id, engine=engine, seed=BENCH_SEED, repetitions=64, **kwargs
+        )
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return elapsed
+
+
+def _assert_speedup_floor(experiment_id, floor, rounds=7, **kwargs):
+    run_experiment(  # warm up
+        experiment_id, engine="ensemble", seed=BENCH_SEED, repetitions=64, **kwargs
+    )
+    scalar = _best_of(experiment_id, "scalar", rounds, **kwargs)
+    ensemble = _best_of(experiment_id, "ensemble", rounds, **kwargs)
+    speedup = scalar / ensemble
+    print(f"\n{experiment_id} R=64: scalar {scalar * 1e3:.2f} ms, "
+          f"ensemble {ensemble * 1e3:.2f} ms, speedup {speedup:.2f}x")
+    assert speedup >= floor, (
+        f"lockstep ensemble regressed: {speedup:.2f}x < {floor}x at R=64 on "
+        f"{experiment_id} (scalar {scalar * 1e3:.2f} ms vs ensemble "
+        f"{ensemble * 1e3:.2f} ms)"
+    )
+
+
 def test_lockstep_speedup_at_r64():
     """Acceptance floor: the ensemble engine is >= 5x the scalar loop at
     R = 64 replications on the fig02 configuration (min-of-rounds timing)."""
+    _assert_speedup_floor("fig02", 5.0)
 
-    def best(engine, rounds=7):
-        elapsed = float("inf")
-        for _ in range(rounds):
-            start = time.perf_counter()
-            run_experiment("fig02", engine=engine, seed=BENCH_SEED, repetitions=64)
-            elapsed = min(elapsed, time.perf_counter() - start)
-        return elapsed
 
-    run_experiment("fig02", engine="ensemble", seed=BENCH_SEED, repetitions=64)  # warm up
-    scalar = best("scalar")
-    ensemble = best("ensemble")
-    speedup = scalar / ensemble
-    print(f"\nfig02 R=64: scalar {scalar * 1e3:.2f} ms, "
-          f"ensemble {ensemble * 1e3:.2f} ms, speedup {speedup:.2f}x")
-    assert speedup >= 5.0, (
-        f"lockstep ensemble regressed: {speedup:.2f}x < 5x at R=64 "
-        f"(scalar {scalar * 1e3:.2f} ms vs ensemble {ensemble * 1e3:.2f} ms)"
-    )
+def test_lockstep_speedup_fig18_at_r64():
+    """Acceptance floor for the completed engine matrix: >= 3x over the
+    scalar loop at R = 64 on the fig18 configuration (measured ~5x)."""
+    _assert_speedup_floor("fig18", 3.0, **FIG18_KWARGS)

@@ -1,15 +1,24 @@
 #!/usr/bin/env python
 """Cross-engine equivalence smoke check, at a larger budget than the tests.
 
-Runs the randomised three-way kernel sweep (ensemble vs fast vs reference)
-and the spawn-mode driver parity sweep from :mod:`repro.core.equivalence`
-with a configurable draw budget.  Exit code 0 means every replication of
-every draw was bit-identical across engines.
+Runs, from :mod:`repro.core.equivalence`:
+
+* the randomised three-way kernel sweep (ensemble vs fast vs reference);
+* the spawn-mode driver parity sweeps (plain, stale-view batched, weighted
+  balls, ring allocation — each lockstep driver vs its scalar counterpart);
+* the per-experiment cross-engine matrix (every registered experiment on
+  both engines, optionally at a ``--rep-factor`` multiple of the pinned
+  repetition counts).
+
+Exit code 0 means every replication of every draw was bit-identical across
+engines and every experiment's figures agreed within its pinned tolerance.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_equivalence.py            # 400 draws
     PYTHONPATH=src python scripts/check_equivalence.py --draws 2000 --seed 7
+    PYTHONPATH=src python scripts/check_equivalence.py --rep-factor 4
+    PYTHONPATH=src python scripts/check_equivalence.py --skip-experiments
 """
 
 from __future__ import annotations
@@ -25,9 +34,14 @@ except ModuleNotFoundError:
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core.equivalence import (
+    EXPERIMENT_CASES,
     SweepBudget,
+    check_batched_parity,
     check_driver_parity,
+    check_experiment_equivalence,
     check_kernel_equivalence,
+    check_ring_parity,
+    check_weighted_parity,
 )
 
 
@@ -36,12 +50,17 @@ def main(argv=None) -> int:
     parser.add_argument("--draws", type=int, default=400,
                         help="randomised kernel draws (default 400)")
     parser.add_argument("--driver-trials", type=int, default=40,
-                        help="driver parity trials (default 40)")
+                        help="driver parity trials, per driver (default 40)")
     parser.add_argument("--seed", type=int, default=0xE25E, help="master seed")
     parser.add_argument("--max-m", type=int, default=200,
                         help="max balls per draw (default 200)")
     parser.add_argument("--max-r", type=int, default=8,
                         help="max lockstep replications per draw (default 8)")
+    parser.add_argument("--rep-factor", type=int, default=1,
+                        help="multiply the per-experiment repetition counts "
+                             "of the cross-engine matrix (default 1)")
+    parser.add_argument("--skip-experiments", action="store_true",
+                        help="skip the per-experiment cross-engine matrix")
     args = parser.parse_args(argv)
 
     budget = SweepBudget(draws=args.draws, max_m=args.max_m, max_r=args.max_r)
@@ -53,6 +72,23 @@ def main(argv=None) -> int:
         driver = check_driver_parity(args.seed ^ 0xD41E, trials=args.driver_trials)
         print(f"driver parity:      {driver} trials OK "
               f"(simulate_ensemble row r == simulate(seed=child_r))")
+        batched = check_batched_parity(args.seed ^ 0xBA7C, trials=args.driver_trials)
+        print(f"batched parity:     {batched} trials OK "
+              f"(simulate_batched_ensemble vs simulate_batched)")
+        weighted = check_weighted_parity(args.seed ^ 0x3E16, trials=args.driver_trials)
+        print(f"weighted parity:    {weighted} trials OK "
+              f"(simulate_weighted_ensemble vs simulate_weighted)")
+        ring = check_ring_parity(args.seed ^ 0x21F6, trials=args.driver_trials)
+        print(f"ring parity:        {ring} trials OK "
+              f"(allocate_requests_ensemble vs allocate_requests)")
+        if not args.skip_experiments:
+            for experiment_id in sorted(EXPERIMENT_CASES):
+                worst = check_experiment_equivalence(
+                    experiment_id, rep_factor=args.rep_factor
+                )
+                tol = EXPERIMENT_CASES[experiment_id].tol
+                print(f"experiment matrix:  {experiment_id:16s} OK "
+                      f"(worst series deviation {worst:.4f} <= tol {tol})")
     except AssertionError as exc:
         print(f"EQUIVALENCE FAILURE: {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Routine check pipeline (also: `make check`).
+#
+# Runs, in order:
+#   1. the tier-1 test suite (ROADMAP's verify command);
+#   2. the quick-mode benchmarks for the ensemble engine, which include the
+#      5x (fig02) and 3x (fig18) speedup acceptance floors at R = 64;
+#   3. a reduced-budget cross-engine equivalence sweep — kernel three-way
+#      bit-exactness, the four driver parity sweeps, and the full
+#      per-experiment engine matrix.
+#
+# The reduced budgets keep the whole pipeline at ~1 minute so the
+# equivalence sweep is exercised routinely instead of only by hand; run
+# scripts/check_equivalence.py directly (default or larger --draws /
+# --rep-factor) for the full-budget sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== quick benchmarks (ensemble engine floors) =="
+REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_ensemble.py -q
+
+echo "== reduced-budget cross-engine equivalence sweep =="
+python scripts/check_equivalence.py --draws 60 --driver-trials 8
+
+echo "ci.sh: all checks passed"

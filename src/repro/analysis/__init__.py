@@ -2,6 +2,7 @@
 
 from .aggregate import (
     MeanProfile,
+    ReducerBundle,
     ScalarAggregate,
     StreamingProfile,
     StreamingScalar,
@@ -26,6 +27,7 @@ from .stats import (
     load_stats,
     max_load,
     max_load_location_by_class,
+    max_load_location_by_class_matrix,
     per_class_max_loads,
 )
 
@@ -36,6 +38,7 @@ __all__ = [
     "load_gap",
     "argmax_bins",
     "max_load_location_by_class",
+    "max_load_location_by_class_matrix",
     "per_class_max_loads",
     "MeanProfile",
     "mean_sorted_profile",
@@ -45,6 +48,7 @@ __all__ = [
     "fraction_true",
     "StreamingProfile",
     "StreamingScalar",
+    "ReducerBundle",
     "Plateau",
     "find_plateaus",
     "longest_plateau",

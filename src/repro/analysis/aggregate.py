@@ -22,6 +22,7 @@ __all__ = [
     "fraction_true",
     "StreamingProfile",
     "StreamingScalar",
+    "ReducerBundle",
 ]
 
 
@@ -233,6 +234,40 @@ class StreamingScalar:
             minimum=self._min,
             maximum=self._max,
         )
+
+
+class ReducerBundle:
+    """Named bundle of streaming reducers that merges key-by-key.
+
+    Several figures reduce more than one statistic per replication block
+    (e.g. Figure 6/7's mean maximum load *and* where-the-maximum-sits flags,
+    Figure 8/9's per-class flags).  An ensemble block task builds one bundle
+    per block; :func:`repro.runtime.executor.run_ensemble_reduced` then folds
+    the bundles with :meth:`merge` exactly as it does single reducers.  Every
+    member must itself expose ``merge`` (:class:`StreamingProfile`,
+    :class:`StreamingScalar`, or a nested bundle).
+    """
+
+    def __init__(self, **reducers):
+        if not reducers:
+            raise ValueError("a ReducerBundle needs at least one reducer")
+        self.reducers = dict(reducers)
+
+    def __getitem__(self, key):
+        return self.reducers[key]
+
+    def merge(self, other: "ReducerBundle") -> "ReducerBundle":
+        """Fold another bundle into this one, key by key."""
+        if not isinstance(other, ReducerBundle):
+            raise TypeError(f"can only merge ReducerBundle, got {type(other)!r}")
+        if set(other.reducers) != set(self.reducers):
+            raise ValueError(
+                f"incompatible bundles: keys {sorted(self.reducers)} "
+                f"vs {sorted(other.reducers)}"
+            )
+        for key, reducer in self.reducers.items():
+            reducer.merge(other.reducers[key])
+        return self
 
 
 def fraction_true(flags) -> float:

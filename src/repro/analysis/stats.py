@@ -17,6 +17,7 @@ __all__ = [
     "load_gap",
     "argmax_bins",
     "max_load_location_by_class",
+    "max_load_location_by_class_matrix",
     "per_class_max_loads",
 ]
 
@@ -93,6 +94,26 @@ def max_load_location_by_class(counts, capacities) -> dict[int, bool]:
     winners = argmax_bins(counts, capacities)
     winner_caps = set(int(c) for c in cap[winners])
     return {int(c): (int(c) in winner_caps) for c in np.unique(cap)}
+
+
+def max_load_location_by_class_matrix(counts, capacities) -> dict[int, np.ndarray]:
+    """Replication-wise :func:`max_load_location_by_class` over ``(R, n)`` counts.
+
+    For each capacity class ``c``, returns an ``(R,)`` boolean vector whose
+    entry ``r`` says whether replication ``r``'s maximally loaded bins include
+    a bin of capacity ``c`` — replication by replication identical to calling
+    :func:`max_load_location_by_class` on each row (loads are int64 ratios, so
+    exact equality detects exactly the same winner sets).
+    """
+    cnt = np.asarray(counts, dtype=np.int64)
+    cap = np.asarray(capacities, dtype=np.int64)
+    if cnt.ndim != 2 or cap.ndim != 1 or cnt.shape[1] != cap.size:
+        raise ValueError(
+            f"counts must be (R, n) against (n,) capacities, got {cnt.shape} vs {cap.shape}"
+        )
+    loads = cnt / cap
+    is_max = loads == loads.max(axis=1, keepdims=True)
+    return {int(c): is_max[:, cap == c].any(axis=1) for c in np.unique(cap)}
 
 
 def per_class_max_loads(counts, capacities) -> dict[int, float]:

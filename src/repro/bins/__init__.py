@@ -7,6 +7,7 @@ from .generators import (
     geometric_bins,
     multi_class_bins,
     two_class_bins,
+    two_class_mix_bins,
     uniform_bins,
     zipf_bins,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "bigness_threshold",
     "uniform_bins",
     "two_class_bins",
+    "two_class_mix_bins",
     "multi_class_bins",
     "binomial_random_bins",
     "geometric_bins",

@@ -24,6 +24,7 @@ from .arrays import BinArray
 __all__ = [
     "uniform_bins",
     "two_class_bins",
+    "two_class_mix_bins",
     "multi_class_bins",
     "binomial_random_bins",
     "geometric_bins",
@@ -76,6 +77,28 @@ def two_class_bins(
     if interleave:
         caps = make_rng(rng).permutation(caps)
     return BinArray(caps)
+
+
+def two_class_mix_bins(
+    n: int,
+    n_large: int,
+    small_capacity: int = 1,
+    large_capacity: int = 10,
+) -> BinArray:
+    """A two-class array by total size and large count, endpoints included.
+
+    The class-mix sweeps (Figures 6/7 and 10–13) walk ``n_large`` from 0 to
+    ``n``; at the endpoints the array degenerates to a uniform profile of
+    the surviving class.  Small bins occupy the leading indices — the
+    per-class restriction masks of Figures 12/13 rely on this layout.
+    """
+    if not 0 <= n_large <= n:
+        raise ValueError(f"n_large must be in [0, {n}], got {n_large}")
+    if n_large == 0:
+        return uniform_bins(n, small_capacity)
+    if n_large == n:
+        return uniform_bins(n, large_capacity)
+    return two_class_bins(n - n_large, n_large, small_capacity, large_capacity)
 
 
 def multi_class_bins(class_counts: dict, *, interleave: bool = False, rng=None) -> BinArray:

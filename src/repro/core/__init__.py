@@ -34,9 +34,14 @@ from .migration import (
     rebalance_waterfill,
 )
 from .protocol import TIE_BREAKS, allocate_ball, select_bin
-from .rounds import simulate_batched
+from .rounds import simulate_batched, simulate_batched_ensemble
 from .simulation import SimulationResult, Snapshot, simulate
-from .weighted import WeightedResult, simulate_weighted
+from .weighted import (
+    WeightedEnsembleResult,
+    WeightedResult,
+    simulate_weighted,
+    simulate_weighted_ensemble,
+)
 
 __all__ = [
     "simulate",
@@ -67,7 +72,10 @@ __all__ = [
     "split_heights_by_big_contact",
     "simulate_weighted",
     "WeightedResult",
+    "simulate_weighted_ensemble",
+    "WeightedEnsembleResult",
     "simulate_batched",
+    "simulate_batched_ensemble",
     "DynamicsResult",
     "simulate_insert_delete",
     "MigrationPlan",

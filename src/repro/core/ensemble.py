@@ -29,6 +29,42 @@ and chunking as the scalar driver.  ``seed_mode="blocked"`` trades that
 per-replication stream match for a single generator drawing ``(R, chunk, d)``
 batches at once — statistically identical, a little faster, but not
 stream-comparable to scalar runs.
+
+The same engine/contract pair exists for the protocol variants:
+:func:`repro.core.rounds.simulate_batched_ensemble` (stale-view batches),
+:func:`repro.core.weighted.simulate_weighted_ensemble` (weighted balls) and
+:func:`repro.p2p.workload.allocate_requests_ensemble` (ring allocation).
+
+Shared parameters per block
+---------------------------
+Lockstep replication requires every replication of a block to play against
+the *same* instance — one capacity vector, one ball-size multiset, one ring.
+Experiments whose scalar repetitions draw such parameters per repetition
+(fig08/09, fig16, the random-caps ablations, ``rw_ring``, ``abl_weighted``)
+therefore use the **shared-params-per-block** convention when running on
+this engine:
+
+* the executor partitions the replications into contiguous blocks and hands
+  each block its child-seed slice (seed contract in
+  :mod:`repro.runtime.executor`);
+* the block derives one generator via
+  :func:`repro.runtime.executor.block_parameter_rng` (a pure function of the
+  block's **first** child seed), draws the block's shared parameters from
+  it, and passes the same generator on as the ``seed_mode="blocked"``
+  master.
+
+*Why the estimator stays unbiased*: each replication of a block sees
+parameters drawn from exactly the scalar per-repetition distribution, so
+every replication-level summary has the scalar expectation; blocks draw
+independently (disjoint children of one spawn), so the mean over all
+replications is an unbiased estimator of the same quantity the scalar
+engine estimates.  What changes is the *variance decomposition*: parameter
+randomness is averaged over ``ceil(R / block_size)`` draws instead of
+``R``, which is why these experiments force a small ``block_size``
+(typically ``reps // 8``) instead of the executor's width-optimised
+default.  Experiments with deterministic instances (fig01–07, fig10–15,
+fig17/18, the remaining ablations) need none of this and use default-width
+blocks.
 """
 
 from __future__ import annotations
@@ -49,10 +85,43 @@ __all__ = [
     "EnsembleResult",
     "simulate_ensemble",
     "SEED_MODES",
+    "resolve_ensemble_seeds",
 ]
 
 #: Recognised seeding modes for :func:`simulate_ensemble`.
 SEED_MODES = ("spawn", "blocked")
+
+def resolve_ensemble_seeds(repetitions, seeds, seed_mode):
+    """Validate the shared ``(repetitions, seeds, seed_mode)`` driver knobs.
+
+    Every lockstep driver (:func:`simulate_ensemble`,
+    :func:`repro.core.rounds.simulate_batched_ensemble`,
+    :func:`repro.core.weighted.simulate_weighted_ensemble`,
+    :func:`repro.p2p.workload.allocate_requests_ensemble`) accepts the same
+    seeding contract; this is its single implementation.  Returns the
+    normalised ``(repetitions, seeds)`` pair — ``seeds`` as a list when
+    given, else ``None`` (the caller spawns from its master seed).
+    """
+    if seed_mode not in SEED_MODES:
+        raise ValueError(
+            f"unknown seed_mode {seed_mode!r}; expected one of {SEED_MODES}"
+        )
+    if seeds is not None:
+        seeds = list(seeds)
+        if repetitions is not None and repetitions != len(seeds):
+            raise ValueError(
+                f"repetitions={repetitions} contradicts len(seeds)={len(seeds)}"
+            )
+        if seed_mode == "blocked":
+            raise ValueError(
+                "seeds= implies per-replication streams; it contradicts "
+                "seed_mode='blocked' (pass a single master seed instead)"
+            )
+        repetitions = len(seeds)
+    if repetitions is None or repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    return repetitions, seeds
+
 
 #: Upper bound on ``R * k`` elements handled by one kernel call; the driver
 #: sub-batches larger chunks so the per-ball working set stays cache-sized
@@ -401,24 +470,7 @@ def simulate_ensemble(
     """
     if not isinstance(bins, BinArray):
         bins = BinArray(bins)
-    if seed_mode not in SEED_MODES:
-        raise ValueError(
-            f"unknown seed_mode {seed_mode!r}; expected one of {SEED_MODES}"
-        )
-    if seeds is not None:
-        seeds = list(seeds)
-        if repetitions is not None and repetitions != len(seeds):
-            raise ValueError(
-                f"repetitions={repetitions} contradicts len(seeds)={len(seeds)}"
-            )
-        if seed_mode == "blocked":
-            raise ValueError(
-                "seeds= implies per-replication streams; it contradicts "
-                "seed_mode='blocked' (pass a single master seed instead)"
-            )
-        repetitions = len(seeds)
-    if repetitions is None or repetitions < 1:
-        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    repetitions, seeds = resolve_ensemble_seeds(repetitions, seeds, seed_mode)
     if m is None:
         m = bins.total_capacity
     if m < 0:

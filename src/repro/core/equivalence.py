@@ -5,19 +5,31 @@ Three implementations of the paper's protocol coexist —
 :func:`repro.core.fast.run_batch` (optimised scalar) and
 :func:`repro.core.ensemble.run_batch_ensemble` (lockstep ensemble) — under
 one contract: given the same candidate matrix and the same position-aligned
-tie-uniform stream, all three produce the same counts, ball for ball.
+tie-uniform stream, all three produce the same counts, ball for ball.  The
+protocol variants (stale-view batches, weighted balls, ring allocation)
+carry the same contract between their scalar and lockstep drivers.
 
-This module draws randomised instances (size, profile, tie mode, d, R) and
-verifies the contract bit-for-bit, including the per-ball heights
-instrumentation and the ensemble driver's per-replication stream parity with
-:func:`repro.core.simulation.simulate`.  It backs both the pytest suite
-(``tests/core/test_ensemble.py``) and the larger-budget smoke script
-(``scripts/check_equivalence.py``).
+This module has two layers:
+
+* randomised *bit-exactness* sweeps over the kernels and spawn-mode drivers
+  (:func:`check_kernel_equivalence`, :func:`check_driver_parity`,
+  :func:`check_batched_parity`, :func:`check_weighted_parity`,
+  :func:`check_ring_parity`);
+* a *per-experiment* cross-engine matrix (:data:`EXPERIMENT_CASES`,
+  :func:`check_experiment_equivalence`): every registered experiment runs on
+  both engines at a pinned tiny configuration and the resulting figures must
+  agree within a per-case tolerance.  Blocked-mode ensemble runs are
+  statistically identical rather than stream-matched, so the figure-level
+  comparison is a bounded-deviation check — deterministic for fixed seeds —
+  while the bit-level guarantees live in the sweeps above.
+
+It backs both the pytest suite (``tests/core/test_ensemble.py``) and the
+larger-budget smoke script (``scripts/check_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,9 +38,21 @@ from ..sampling.rngutils import spawn_seed_sequences
 from .ensemble import run_batch_ensemble, simulate_ensemble
 from .fast import run_batch
 from .protocol import TIE_BREAKS, reference_run
+from .rounds import simulate_batched, simulate_batched_ensemble
 from .simulation import simulate
+from .weighted import simulate_weighted, simulate_weighted_ensemble
 
-__all__ = ["SweepBudget", "check_kernel_equivalence", "check_driver_parity"]
+__all__ = [
+    "SweepBudget",
+    "check_kernel_equivalence",
+    "check_driver_parity",
+    "check_batched_parity",
+    "check_weighted_parity",
+    "check_ring_parity",
+    "ExperimentCase",
+    "EXPERIMENT_CASES",
+    "check_experiment_equivalence",
+]
 
 
 @dataclass(frozen=True)
@@ -141,3 +165,236 @@ def check_driver_parity(master_seed: int, trials: int = 6, repetitions: int = 4)
                 assert es.max_loads[r] == ss.max_load, f"{label} snapshot max"
                 assert es.average_load == ss.average_load, label
     return trials
+
+
+def check_batched_parity(master_seed: int, trials: int = 6, repetitions: int = 4) -> int:
+    """Stale-view batched game: lockstep vs scalar, spawn-mode bit parity.
+
+    Each trial verifies that replication ``r`` of
+    :func:`~repro.core.rounds.simulate_batched_ensemble` equals
+    ``simulate_batched(seed=child_r)`` exactly for a random batch size.
+    """
+    rng = np.random.default_rng(master_seed)
+    for trial in range(trials):
+        n = int(rng.integers(2, 14))
+        m = int(rng.integers(0, 150))
+        d = int(rng.integers(1, 4))
+        batch = int(rng.integers(1, 50))
+        bins = BinArray(_random_capacities(rng, n))
+        master = int(rng.integers(0, 2**31))
+        ens = simulate_batched_ensemble(
+            bins, repetitions=repetitions, m=m, d=d, batch_size=batch, seed=master
+        )
+        for r, child in enumerate(spawn_seed_sequences(master, repetitions)):
+            sc = simulate_batched(bins, m=m, d=d, batch_size=batch, seed=child)
+            assert np.array_equal(ens.counts[r], sc.counts), (
+                f"trial={trial} rep={r} n={n} m={m} d={d} batch={batch}"
+            )
+    return trials
+
+
+def check_weighted_parity(master_seed: int, trials: int = 6, repetitions: int = 4) -> int:
+    """Weighted balls: lockstep vs scalar, spawn-mode bit parity.
+
+    Each trial draws a random positive size sequence and verifies that
+    replication ``r`` of
+    :func:`~repro.core.weighted.simulate_weighted_ensemble` equals
+    ``simulate_weighted(seed=child_r)`` exactly — counts *and* float masses
+    (the epsilon-guarded tie pipeline is arithmetic-identical).
+    """
+    rng = np.random.default_rng(master_seed)
+    for trial in range(trials):
+        n = int(rng.integers(2, 10))
+        m = int(rng.integers(0, 80))
+        d = int(rng.integers(1, 4))
+        bins = BinArray(_random_capacities(rng, n))
+        sigma = float(rng.uniform(0.0, 1.5))
+        sizes = rng.lognormal(-0.5 * sigma * sigma, sigma, size=m)
+        master = int(rng.integers(0, 2**31))
+        ens = simulate_weighted_ensemble(
+            bins, sizes, repetitions=repetitions, d=d, seed=master
+        )
+        for r, child in enumerate(spawn_seed_sequences(master, repetitions)):
+            sc = simulate_weighted(bins, sizes, d=d, seed=child)
+            label = f"trial={trial} rep={r} n={n} m={m} d={d}"
+            assert np.array_equal(ens.counts[r], sc.counts), f"{label} counts"
+            np.testing.assert_array_equal(
+                ens.masses[r], sc.masses, err_msg=f"{label} masses"
+            )
+    return trials
+
+
+def check_ring_parity(master_seed: int, trials: int = 6, repetitions: int = 4) -> int:
+    """Ring allocation: lockstep vs scalar, spawn-mode bit parity.
+
+    Each trial draws a random consistent-hashing ring and verifies that
+    replication ``r`` of
+    :func:`~repro.p2p.workload.allocate_requests_ensemble` equals
+    ``allocate_requests(seed=child_r)`` exactly, in both the plain and
+    capacity-aware accountings.
+    """
+    from ..p2p.ring import ConsistentHashRing
+    from ..p2p.workload import allocate_requests, allocate_requests_ensemble
+
+    rng = np.random.default_rng(master_seed)
+    for trial in range(trials):
+        n_peers = int(rng.integers(2, 24))
+        ring = ConsistentHashRing.random(n_peers, seed=rng)
+        m = int(rng.integers(0, 200))
+        d = int(rng.integers(1, 4))
+        aware = bool(rng.integers(0, 2))
+        master = int(rng.integers(0, 2**31))
+        ens = allocate_requests_ensemble(
+            ring, m, repetitions=repetitions, d=d, capacity_aware=aware, seed=master
+        )
+        for r, child in enumerate(spawn_seed_sequences(master, repetitions)):
+            sc = allocate_requests(ring, m, d=d, capacity_aware=aware, seed=child)
+            assert np.array_equal(ens.counts[r], sc.counts), (
+                f"trial={trial} rep={r} n_peers={n_peers} m={m} d={d} aware={aware}"
+            )
+    return trials
+
+
+@dataclass(frozen=True)
+class ExperimentCase:
+    """One experiment's pinned cross-engine configuration.
+
+    ``kwargs`` keep the run tiny; ``tol`` bounds the per-series absolute
+    deviation between the engines (blocked-mode ensembles are independent
+    draws, so the deviation is statistical; both runs are deterministic at
+    the pinned seed).  Tolerances are calibrated with margin against the
+    observed deviations at ``rep_factor`` in {1, 2, 4}.  For
+    deterministic-instance experiments the deviation shrinks as
+    ``rep_factor`` grows; for the shared-params-per-block experiments
+    (fig08/09, fig16, rw_ring, abl_weighted) it does **not** — the
+    parameter randomness is averaged over ~``reps // 8`` block draws
+    (capped growth until reps exceed 8x the default block width), so those
+    tolerances must absorb the few-draw parameter variance at every factor.
+    ``x_rtol`` loosens the x-grid comparison for figures whose x axis is
+    itself a random quantity (fig08/09's realised total capacity).
+    """
+
+    kwargs: dict = field(default_factory=dict)
+    tol: float = 0.5
+    x_rtol: float = 0.0
+    seed: int = 20260612
+
+
+#: Pinned tiny configurations for the per-experiment cross-engine matrix.
+#: Every id in the experiment registry must appear here —
+#: ``tests/core/test_ensemble.py`` fails loudly on a registered experiment
+#: that is missing, so a future experiment cannot skip migration silently.
+EXPERIMENT_CASES: dict[str, ExperimentCase] = {
+    "fig01": ExperimentCase({"repetitions": 4, "n": 300, "capacities": (1, 4)}, tol=1.0),
+    "fig02": ExperimentCase({"repetitions": 4}, tol=1.0),
+    "fig03": ExperimentCase({"repetitions": 4}, tol=1.2),
+    "fig04": ExperimentCase({"repetitions": 4}, tol=1.2),
+    "fig05": ExperimentCase({"repetitions": 3}, tol=1.2),
+    "fig06": ExperimentCase({"repetitions": 6, "n": 100, "step_pct": 50}, tol=0.8),
+    "fig07": ExperimentCase({"repetitions": 6, "n": 100, "step_pct": 50}, tol=60.0),
+    "fig08": ExperimentCase(
+        {"repetitions": 8, "n": 200, "mean_cap_grid": (1.0, 4.0)}, tol=0.7, x_rtol=0.2
+    ),
+    "fig09": ExperimentCase(
+        {"repetitions": 8, "n": 200, "mean_cap_grid": (1.0, 6.0)}, tol=60.0, x_rtol=0.2
+    ),
+    "fig10": ExperimentCase({"repetitions": 6}, tol=1.0),
+    "fig11": ExperimentCase({"repetitions": 3}, tol=0.8),
+    "fig12": ExperimentCase({"repetitions": 3}, tol=0.6),
+    "fig13": ExperimentCase({"repetitions": 3}, tol=1.2),
+    "fig14": ExperimentCase({"repetitions": 4, "max_bins": 102}, tol=0.8),
+    "fig15": ExperimentCase({"repetitions": 4, "max_bins": 102}, tol=0.8),
+    "fig16": ExperimentCase(
+        {"repetitions": 6, "n": 200, "cap_multipliers": (1, 5), "rounds": 6}, tol=0.8
+    ),
+    # fig17's series is an argmin over the t grid: the grid spans well past
+    # the optimum (~2.1 at x=3) so a cross-engine flip to the far end of the
+    # grid (deviation >= 1.0) fails while adjacent-gridpoint noise (0.5)
+    # passes.
+    "fig17": ExperimentCase(
+        {"repetitions": 40, "capacities": (3,), "t_grid": (1.0, 1.5, 2.0, 2.5)},
+        tol=0.6,
+    ),
+    "fig18": ExperimentCase(
+        {"repetitions": 20, "capacities": (3,), "t_grid": (1.0, 2.0)}, tol=0.6
+    ),
+    "abl_tiebreak": ExperimentCase(
+        {"repetitions": 6, "n": 100, "fractions": (30, 70)}, tol=0.8
+    ),
+    "abl_probability": ExperimentCase(
+        {"repetitions": 6, "n": 100, "large_caps": (2, 8)}, tol=1.0
+    ),
+    "abl_d": ExperimentCase(
+        {"repetitions": 6, "n": 100, "d_values": (1, 2, 4)}, tol=1.2
+    ),
+    "abl_staleness": ExperimentCase(
+        {"repetitions": 6, "n": 100, "batch_sizes": (1, 16, 100)}, tol=1.0
+    ),
+    "rw_ring": ExperimentCase(
+        {"repetitions": 8, "n_peers": 30, "requests_per_peer": 5, "d_values": (1, 2)},
+        tol=1.5,
+    ),
+    "abl_weighted": ExperimentCase(
+        {"repetitions": 8, "n": 40, "sigmas": (0.0, 0.5)}, tol=1.0
+    ),
+}
+
+
+def check_experiment_equivalence(
+    experiment_id: str, *, rep_factor: int = 1
+) -> float:
+    """Run one experiment on both engines and compare the figures.
+
+    Uses the pinned :data:`EXPERIMENT_CASES` configuration (``rep_factor``
+    multiplies the repetition count for larger-budget sweeps; the tolerance
+    is unchanged since more repetitions only tighten the agreement).
+    Checks structure exactly — x grid (up to ``x_rtol``), series names, NaN
+    pattern — and every series value within the case tolerance.  Returns
+    the largest per-series deviation observed; raises ``AssertionError`` on
+    any mismatch.
+    """
+    from ..experiments import run_experiment
+
+    try:
+        case = EXPERIMENT_CASES[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"experiment {experiment_id!r} has no cross-engine case: add it to "
+            f"EXPERIMENT_CASES (and an ensemble path to the experiment) — "
+            f"every registered experiment must support both engines"
+        ) from None
+    if rep_factor < 1:
+        raise ValueError(f"rep_factor must be >= 1, got {rep_factor}")
+    kwargs = dict(case.kwargs)
+    if rep_factor > 1 and "repetitions" in kwargs:
+        kwargs["repetitions"] = int(kwargs["repetitions"]) * rep_factor
+    scalar = run_experiment(experiment_id, seed=case.seed, engine="scalar", **kwargs)
+    ens = run_experiment(experiment_id, seed=case.seed, engine="ensemble", **kwargs)
+
+    label = f"{experiment_id} cross-engine"
+    assert scalar.parameters.get("engine") == "scalar", label
+    assert ens.parameters.get("engine") == "ensemble", label
+    assert scalar.x_name == ens.x_name, f"{label}: x_name"
+    assert set(scalar.series) == set(ens.series), f"{label}: series names"
+    if case.x_rtol:
+        np.testing.assert_allclose(
+            scalar.x_values, ens.x_values, rtol=case.x_rtol,
+            err_msg=f"{label}: x grid",
+        )
+    else:
+        np.testing.assert_array_equal(
+            scalar.x_values, ens.x_values, err_msg=f"{label}: x grid"
+        )
+    worst = 0.0
+    for name in scalar.series:
+        a, b = scalar.series[name], ens.series[name]
+        assert np.array_equal(np.isnan(a), np.isnan(b)), f"{label}: NaN pattern of {name!r}"
+        finite = np.isfinite(a)
+        if not finite.any():
+            continue
+        diff = float(np.max(np.abs(a[finite] - b[finite])))
+        assert diff <= case.tol, (
+            f"{label}: series {name!r} deviates by {diff:.4f} > tol {case.tol}"
+        )
+        worst = max(worst, diff)
+    return worst

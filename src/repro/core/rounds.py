@@ -21,10 +21,11 @@ import numpy as np
 
 from ..bins.arrays import BinArray
 from ..sampling.distributions import probability_model
-from ..sampling.rngutils import make_rng
+from ..sampling.rngutils import make_rng, spawn_seed_sequences
+from .ensemble import EnsembleResult, resolve_ensemble_seeds
 from .simulation import SimulationResult
 
-__all__ = ["simulate_batched"]
+__all__ = ["simulate_batched", "simulate_batched_ensemble"]
 
 
 def simulate_batched(
@@ -96,4 +97,128 @@ def simulate_batched(
         d=d,
         probability=model.name,
         tie_break="max_capacity",
+    )
+
+
+def _resolve_stale_batch(counts, caps, choices, tie_u):
+    """Resolve one stale-view batch in lockstep; returns ``(R, k)`` winners.
+
+    Every ball of the batch (all replications at once) compares its
+    candidates against the *frozen* ``counts`` with the exact integer
+    cross-multiplication and the scalar loop's tie pipeline — first-occurrence
+    dedup, max-capacity filter, uniform pick via the position-aligned
+    ``tie_u`` — so each replication reproduces
+    :func:`simulate_batched`'s decisions bit for bit.  Because no decision in
+    a batch depends on another, the batch collapses to one vectorised step
+    over ``(R, k, d)`` with no per-ball Python loop at all.
+    """
+    R, k, d = choices.shape
+    rows = np.arange(R)[:, None, None]
+    num = counts[rows, choices] + 1
+    den = caps[choices]
+    best_num = num[..., 0].copy()
+    best_den = den[..., 0].copy()
+    for i in range(1, d):
+        better = num[..., i] * best_den < best_num * den[..., i]
+        np.copyto(best_num, num[..., i], where=better)
+        np.copyto(best_den, den[..., i], where=better)
+    # Tie set: candidates achieving the minimum, first occurrence per bin
+    # only (identical bins share num/den, so position-blind dedup is exact).
+    mask = num * best_den[..., None] == best_num[..., None] * den
+    for i in range(1, d):
+        dup = choices[..., i] == choices[..., 0]
+        for i2 in range(1, i):
+            dup |= choices[..., i] == choices[..., i2]
+        mask[..., i] &= ~dup
+    cmax = np.where(mask, den, -1).max(axis=-1)
+    mask &= den == cmax[..., None]
+    tied = mask.sum(axis=-1)
+    sel = (tie_u * tied).astype(np.int64)
+    hit = (mask.cumsum(axis=-1) == (sel + 1)[..., None]) & mask
+    pos = hit.argmax(axis=-1)
+    return np.take_along_axis(choices, pos[..., None], axis=-1)[..., 0]
+
+
+def simulate_batched_ensemble(
+    bins: BinArray,
+    repetitions: int | None = None,
+    m: int | None = None,
+    d: int = 2,
+    *,
+    batch_size: int = 1,
+    probabilities="proportional",
+    seed=None,
+    seeds=None,
+    seed_mode: str = "spawn",
+) -> EnsembleResult:
+    """Run the stale-view batched game, ``R`` replications in lockstep.
+
+    Parameters mirror :func:`simulate_batched` plus the ensemble seeding
+    knobs of :func:`repro.core.ensemble.simulate_ensemble`: with
+    ``seed_mode="spawn"`` (or explicit ``seeds=``) replication ``r``
+    reproduces ``simulate_batched(bins, seed=child_r, ...)`` bit-exactly —
+    same per-batch draw order, same frozen-view decisions;
+    ``seed_mode="blocked"`` draws whole ``(R, k, d)`` batches from a single
+    generator (faster, statistically identical, not stream-matched).
+
+    Unlike the sequential protocol, decisions inside one batch are mutually
+    independent given the frozen counts, so the kernel vectorises over balls
+    *and* replications at once: large batch sizes get faster, not slower.
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    repetitions, seeds = resolve_ensemble_seeds(repetitions, seeds, seed_mode)
+    if m is None:
+        m = bins.total_capacity
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+    R = repetitions
+    model = probability_model(probabilities)
+    sampler = model.sampler(bins.capacities)
+    if seed_mode == "spawn":
+        if seeds is None:
+            seeds = spawn_seed_sequences(seed, R)
+        gens = [make_rng(s) for s in seeds]
+        block_rng = None
+    else:
+        gens = None
+        block_rng = make_rng(seed)
+
+    n = bins.n
+    caps = bins.capacities
+    counts = np.zeros((R, n), dtype=np.int64)
+    offsets = (np.arange(R, dtype=np.int64) * n)[:, None]
+    flat = counts.reshape(-1)
+    thrown = 0
+    while thrown < m:
+        k = min(batch_size, m - thrown)
+        if gens is not None:
+            choices = np.empty((R, k, d), dtype=np.int64)
+            tie_u = np.empty((R, k), dtype=np.float64)
+            for r, g in enumerate(gens):
+                choices[r] = sampler.sample((k, d), g)
+                tie_u[r] = g.random(k)
+        else:
+            choices = sampler.sample((R, k, d), block_rng)
+            tie_u = block_rng.random((R, k))
+        chosen = _resolve_stale_batch(counts, caps, choices, tie_u)
+        # Several balls of one batch may land in the same (replication, bin)
+        # slot; add.at accumulates duplicates where += would drop them.
+        np.add.at(flat, (chosen + offsets).reshape(-1), 1)
+        thrown += k
+
+    return EnsembleResult(
+        bins=bins,
+        counts=counts,
+        m=m,
+        d=d,
+        repetitions=R,
+        probability=model.name,
+        tie_break="max_capacity",
+        seed_mode=seed_mode,
     )

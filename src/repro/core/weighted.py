@@ -22,9 +22,15 @@ import numpy as np
 
 from ..bins.arrays import BinArray
 from ..sampling.distributions import probability_model
-from ..sampling.rngutils import make_rng
+from ..sampling.rngutils import make_rng, spawn_seed_sequences
+from .ensemble import resolve_ensemble_seeds
 
-__all__ = ["WeightedResult", "simulate_weighted"]
+__all__ = [
+    "WeightedResult",
+    "simulate_weighted",
+    "WeightedEnsembleResult",
+    "simulate_weighted_ensemble",
+]
 
 #: Relative tolerance under which two candidate loads count as tied.
 _TIE_RTOL = 1e-12
@@ -133,4 +139,155 @@ def simulate_weighted(
         counts=np.asarray(counts, dtype=np.int64),
         total_mass=float(sizes.sum()),
         d=d,
+    )
+
+
+@dataclass
+class WeightedEnsembleResult:
+    """Outcome of ``R`` lockstep weighted-ball replications."""
+
+    bins: BinArray
+    masses: np.ndarray
+    counts: np.ndarray
+    total_mass: float
+    d: int
+    repetitions: int
+    seed_mode: str
+
+    @property
+    def loads(self) -> np.ndarray:
+        """``(R, n)`` per-bin loads ``W_i / c_i``."""
+        return self.masses / self.bins.capacities
+
+    @property
+    def max_loads(self) -> np.ndarray:
+        """``(R,)`` per-replication maximum loads."""
+        return self.loads.max(axis=1)
+
+    @property
+    def average_load(self) -> float:
+        """``(Σ s) / C`` — shared by every replication."""
+        return self.total_mass / self.bins.total_capacity
+
+
+def _weighted_lockstep(masses, counts, caps, sizes, choices, tie_u):
+    """Sequential weighted loop, vectorised across the replication axis.
+
+    Reproduces :func:`simulate_weighted`'s float decision pipeline exactly
+    per replication: the epsilon-guarded strict/tie comparison evolves a
+    running best the same way the scalar candidate scan does (``best_load``
+    only moves on a strict improvement), membership is every candidate at or
+    after the last strict reset that ties the final ``best_load``
+    (first-occurrence per bin), then max-capacity filter and the uniform
+    pick via the position-aligned ``tie_u`` column.
+    """
+    R, m, d = choices.shape
+    rbase = np.arange(R)
+    dens = caps[choices]
+    for j in range(m):
+        idx = choices[:, j, :]
+        den = dens[:, j, :]
+        s = sizes[j]
+        loads = (masses[rbase[:, None], idx] + s) / den
+        best_load = loads[:, 0].copy()
+        last_reset = np.zeros(R, dtype=np.int64)
+        for i in range(1, d):
+            better = loads[:, i] < best_load * (1.0 - _TIE_RTOL)
+            np.copyto(best_load, loads[:, i], where=better)
+            np.copyto(last_reset, i, where=better)
+        # Membership: the reset candidate plus every later candidate within
+        # the tie tolerance of the final best (earlier ones were flushed).
+        scale = np.maximum(np.maximum(np.abs(loads), np.abs(best_load)[:, None]), 1.0)
+        tie = np.abs(loads - best_load[:, None]) <= _TIE_RTOL * scale
+        pos_idx = np.arange(d)
+        mask = (pos_idx == last_reset[:, None]) | (
+            (pos_idx > last_reset[:, None]) & tie
+        )
+        for i in range(1, d):
+            dup = idx[:, i] == idx[:, 0]
+            for i2 in range(1, i):
+                dup |= idx[:, i] == idx[:, i2]
+            mask[:, i] &= ~dup
+        cmax = np.where(mask, den, -1).max(axis=1)
+        mask &= den == cmax[:, None]
+        tied = mask.sum(axis=1)
+        sel = (tie_u[:, j] * tied).astype(np.int64)
+        hit = (mask.cumsum(axis=1) == (sel + 1)[:, None]) & mask
+        pos = hit.argmax(axis=1)
+        chosen = idx[rbase, pos]
+        masses[rbase, chosen] += s
+        counts[rbase, chosen] += 1
+
+
+def simulate_weighted_ensemble(
+    bins: BinArray,
+    ball_sizes,
+    repetitions: int | None = None,
+    d: int = 2,
+    *,
+    probabilities="proportional",
+    seed=None,
+    seeds=None,
+    seed_mode: str = "spawn",
+) -> WeightedEnsembleResult:
+    """Allocate one shared ball-size sequence, ``R`` replications in lockstep.
+
+    Parameters mirror :func:`simulate_weighted` plus the ensemble seeding
+    knobs of :func:`repro.core.ensemble.simulate_ensemble`: with
+    ``seed_mode="spawn"`` (or explicit ``seeds=``) replication ``r``
+    reproduces ``simulate_weighted(bins, ball_sizes, seed=child_r, ...)``
+    bit-exactly (same draw order, same epsilon tie handling, same float
+    arithmetic); ``seed_mode="blocked"`` draws all replications' choices and
+    tie uniforms from one generator.  All replications throw the *same*
+    sizes in the same arrival order — per-repetition random sizes use the
+    shared-params-per-block convention
+    (:func:`repro.runtime.executor.block_parameter_rng`).
+    """
+    if not isinstance(bins, BinArray):
+        bins = BinArray(bins)
+    sizes = np.asarray(ball_sizes, dtype=np.float64)
+    if sizes.ndim != 1:
+        raise ValueError(f"ball_sizes must be 1-D, got shape {sizes.shape}")
+    if sizes.size and (not np.all(np.isfinite(sizes)) or np.any(sizes <= 0)):
+        raise ValueError("ball sizes must be positive and finite")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    repetitions, seeds = resolve_ensemble_seeds(repetitions, seeds, seed_mode)
+
+    R = repetitions
+    m = sizes.size
+    model = probability_model(probabilities)
+    sampler = model.sampler(bins.capacities)
+    choices = np.empty((R, m, d), dtype=np.int64)
+    tie_u = np.empty((R, m), dtype=np.float64)
+    if seed_mode == "spawn":
+        if seeds is None:
+            seeds = spawn_seed_sequences(seed, R)
+        for r, s in enumerate(seeds):
+            g = make_rng(s)
+            # Match simulate_weighted's draw order: all choices, then all
+            # tie uniforms, in one call each.
+            choices[r] = (
+                sampler.sample((m, d), g) if m else np.empty((0, d), dtype=np.int64)
+            )
+            tie_u[r] = g.random(m)
+    else:
+        block_rng = make_rng(seed)
+        if m:
+            choices[...] = sampler.sample((R, m, d), block_rng)
+        tie_u[...] = block_rng.random((R, m))
+
+    masses = np.zeros((R, bins.n), dtype=np.float64)
+    counts = np.zeros((R, bins.n), dtype=np.int64)
+    _weighted_lockstep(
+        masses, counts, bins.capacities, sizes.tolist(), choices, tie_u
+    )
+    return WeightedEnsembleResult(
+        bins=bins,
+        masses=masses,
+        counts=counts,
+        total_mass=float(sizes.sum()),
+        d=d,
+        repetitions=R,
+        seed_mode=seed_mode,
     )

@@ -18,19 +18,51 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.aggregate import StreamingScalar
 from ..bins.generators import two_class_bins, uniform_bins
-from ..core.rounds import simulate_batched
+from ..core.ensemble import simulate_ensemble
+from ..core.rounds import simulate_batched, simulate_batched_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
+from ..runtime.executor import run_ensemble_reduced, run_repetitions
 from ..theory.bounds import loglog_over_logd
-from .base import ExperimentResult, register, scaled_reps
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_REPS = 10_000
+
+
+def _mean_over_reps(scalar_task, ensemble_task, reps, seed, workers, progress,
+                    kwargs, engine) -> float:
+    """Mean of a per-repetition scalar on either engine.
+
+    Every ablation point reduces to one mean; the ensemble path runs the
+    matching lockstep block task and reads the merged
+    :class:`~repro.analysis.aggregate.StreamingScalar`.
+    """
+    if engine == "ensemble":
+        reducer = run_ensemble_reduced(
+            ensemble_task, reps, seed=seed, workers=workers,
+            kwargs=kwargs, progress=progress,
+        )
+        return float(reducer.mean)
+    outs = run_repetitions(
+        scalar_task, reps, seed=seed, workers=workers,
+        kwargs=kwargs, progress=progress,
+    )
+    return float(np.mean(outs))
 
 
 def _tiebreak_task(seed, *, n, n_large, small_cap, large_cap, tie_break):
     bins = two_class_bins(n - n_large, n_large, small_cap, large_cap)
     return simulate(bins, tie_break=tie_break, seed=seed).max_load
+
+
+def _tiebreak_block(seeds, *, n, n_large, small_cap, large_cap, tie_break):
+    bins = two_class_bins(n - n_large, n_large, small_cap, large_cap)
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), tie_break=tie_break,
+        seed=seeds[0], seed_mode="blocked",
+    )
+    return StreamingScalar().update(res.max_loads)
 
 
 @register(
@@ -50,8 +82,10 @@ def run_abl_tiebreak(
     large_cap: int = 2,
     fractions=(10, 30, 50, 70, 90),
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Mean max load for each tie-break policy over the class-mix sweep."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     policies = ("max_capacity", "uniform", "min_capacity")
     seeds = np.random.SeedSequence(seed).spawn(len(policies))
@@ -60,19 +94,15 @@ def run_abl_tiebreak(
         pt_seeds = s.spawn(len(fractions))
         curve = []
         for pct, ps in zip(fractions, pt_seeds):
-            outs = run_repetitions(
-                _tiebreak_task,
-                reps,
-                seed=ps,
-                workers=workers,
-                kwargs={
+            curve.append(_mean_over_reps(
+                _tiebreak_task, _tiebreak_block, reps, ps, workers, progress,
+                {
                     "n": n, "n_large": int(round(n * pct / 100)),
                     "small_cap": small_cap, "large_cap": large_cap,
                     "tie_break": policy,
                 },
-                progress=progress,
-            )
-            curve.append(float(np.mean(outs)))
+                engine,
+            ))
         series[policy] = np.asarray(curve)
     return ExperimentResult(
         experiment_id="abl_tiebreak",
@@ -81,7 +111,7 @@ def run_abl_tiebreak(
         x_values=np.asarray(fractions, dtype=np.float64),
         series=series,
         parameters={"n": n, "small_cap": small_cap, "large_cap": large_cap,
-                    "repetitions": reps, "seed": seed},
+                    "repetitions": reps, "seed": seed, "engine": engine},
         extra={"expected_shape": "max_capacity at or below the alternatives everywhere"},
     )
 
@@ -89,6 +119,15 @@ def run_abl_tiebreak(
 def _probability_task(seed, *, n, n_large, large_cap, probabilities):
     bins = two_class_bins(n - n_large, n_large, 1, large_cap)
     return simulate(bins, probabilities=probabilities, seed=seed).max_load
+
+
+def _probability_block(seeds, *, n, n_large, large_cap, probabilities):
+    bins = two_class_bins(n - n_large, n_large, 1, large_cap)
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), probabilities=probabilities,
+        seed=seeds[0], seed_mode="blocked",
+    )
+    return StreamingScalar().update(res.max_loads)
 
 
 @register(
@@ -107,8 +146,10 @@ def run_abl_probability(
     large_caps=(2, 4, 8, 16, 32),
     large_fraction: float = 0.1,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Mean max load, proportional vs uniform, as the skew grows."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     models = ("proportional", "uniform")
     seeds = np.random.SeedSequence(seed).spawn(len(models))
@@ -118,16 +159,13 @@ def run_abl_probability(
         pt_seeds = s.spawn(len(large_caps))
         curve = []
         for cap, ps in zip(large_caps, pt_seeds):
-            outs = run_repetitions(
-                _probability_task,
-                reps,
-                seed=ps,
-                workers=workers,
-                kwargs={"n": n, "n_large": n_large, "large_cap": int(cap),
-                        "probabilities": model},
-                progress=progress,
-            )
-            curve.append(float(np.mean(outs)))
+            curve.append(_mean_over_reps(
+                _probability_task, _probability_block, reps, ps, workers,
+                progress,
+                {"n": n, "n_large": n_large, "large_cap": int(cap),
+                 "probabilities": model},
+                engine,
+            ))
         series[model] = np.asarray(curve)
     return ExperimentResult(
         experiment_id="abl_probability",
@@ -136,7 +174,7 @@ def run_abl_probability(
         x_values=np.asarray(large_caps, dtype=np.float64),
         series=series,
         parameters={"n": n, "large_fraction": large_fraction,
-                    "repetitions": reps, "seed": seed},
+                    "repetitions": reps, "seed": seed, "engine": engine},
         extra={"expected_shape": "proportional at or below uniform, gap widening with skew"},
     )
 
@@ -144,6 +182,14 @@ def run_abl_probability(
 def _d_task(seed, *, n, d):
     bins = two_class_bins(n // 2, n // 2, 1, 8)
     return simulate(bins, d=d, seed=seed).max_load
+
+
+def _d_block(seeds, *, n, d):
+    bins = two_class_bins(n // 2, n // 2, 1, 8)
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), d=d, seed=seeds[0], seed_mode="blocked"
+    )
+    return StreamingScalar().update(res.max_loads)
 
 
 @register(
@@ -161,17 +207,18 @@ def run_abl_d(
     n: int = 2000,
     d_values=(1, 2, 3, 4, 6, 8),
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Mean max load per d, with the Theorem-3 leading term for reference."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     seeds = np.random.SeedSequence(seed).spawn(len(d_values))
     measured = []
     for d, s in zip(d_values, seeds):
-        outs = run_repetitions(
-            _d_task, reps, seed=s, workers=workers,
-            kwargs={"n": n, "d": int(d)}, progress=progress,
-        )
-        measured.append(float(np.mean(outs)))
+        measured.append(_mean_over_reps(
+            _d_task, _d_block, reps, s, workers, progress,
+            {"n": n, "d": int(d)}, engine,
+        ))
     theory = [
         float("nan") if d < 2 else 1.0 + loglog_over_logd(n, int(d))
         for d in d_values
@@ -182,7 +229,7 @@ def run_abl_d(
         x_name="d",
         x_values=np.asarray(d_values, dtype=np.float64),
         series={"measured": np.asarray(measured), "1 + lnln(n)/ln(d)": np.asarray(theory)},
-        parameters={"n": n, "repetitions": reps, "seed": seed},
+        parameters={"n": n, "repetitions": reps, "seed": seed, "engine": engine},
         extra={"expected_shape": "steep d=1->2 drop, then diminishing returns tracking 1/ln d"},
     )
 
@@ -190,6 +237,15 @@ def run_abl_d(
 def _staleness_task(seed, *, n, batch_size):
     bins = uniform_bins(n, 1)
     return simulate_batched(bins, batch_size=batch_size, seed=seed).max_load
+
+
+def _staleness_block(seeds, *, n, batch_size):
+    bins = uniform_bins(n, 1)
+    res = simulate_batched_ensemble(
+        bins, repetitions=len(seeds), batch_size=batch_size,
+        seed=seeds[0], seed_mode="blocked",
+    )
+    return StreamingScalar().update(res.max_loads)
 
 
 @register(
@@ -207,23 +263,24 @@ def run_abl_staleness(
     n: int = 1000,
     batch_sizes=(1, 4, 16, 64, 256, 1000),
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Mean max load as the freshness of the load view degrades."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     seeds = np.random.SeedSequence(seed).spawn(len(batch_sizes))
     curve = []
     for b, s in zip(batch_sizes, seeds):
-        outs = run_repetitions(
-            _staleness_task, reps, seed=s, workers=workers,
-            kwargs={"n": n, "batch_size": int(b)}, progress=progress,
-        )
-        curve.append(float(np.mean(outs)))
+        curve.append(_mean_over_reps(
+            _staleness_task, _staleness_block, reps, s, workers, progress,
+            {"n": n, "batch_size": int(b)}, engine,
+        ))
     return ExperimentResult(
         experiment_id="abl_staleness",
         title="Staleness ablation: max load vs batch size",
         x_name="batch_size",
         x_values=np.asarray(batch_sizes, dtype=np.float64),
         series={"max_load": np.asarray(curve)},
-        parameters={"n": n, "repetitions": reps, "seed": seed},
+        parameters={"n": n, "repetitions": reps, "seed": seed, "engine": engine},
         extra={"expected_shape": "non-decreasing in batch size; batch=m stays below one-choice"},
     )

@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.stats import max_load_location_by_class
-from ..bins.generators import two_class_bins, uniform_bins
+from ..analysis.aggregate import ReducerBundle, StreamingScalar
+from ..analysis.stats import max_load_location_by_class, max_load_location_by_class_matrix
+from ..bins.generators import two_class_mix_bins
+from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
-from .base import ExperimentResult, register, scaled_reps
+from ..runtime.executor import run_ensemble_reduced, run_repetitions
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_N = 1_000
 PAPER_SMALL_CAP = 1
@@ -33,20 +35,32 @@ PAPER_STEP_PCT = 2
 
 
 def _one_run(seed, *, n: int, n_large: int, small_cap: int, large_cap: int, d: int):
-    if n_large == 0:
-        bins = uniform_bins(n, small_cap)
-    elif n_large == n:
-        bins = uniform_bins(n, large_cap)
-    else:
-        bins = two_class_bins(n - n_large, n_large, small_cap, large_cap)
+    bins = two_class_mix_bins(n, n_large, small_cap, large_cap)
     res = simulate(bins, d=d, seed=seed)
     location = max_load_location_by_class(res.counts, bins.capacities)
     small_has_max = location.get(small_cap, False)
     return res.max_load, small_has_max
 
 
+def _ensemble_block(seeds, *, n: int, n_large: int, small_cap: int, large_cap: int, d: int):
+    """Lockstep block: the two-class array is deterministic, so the whole
+    block advances through one ``(R, n)`` counts array and only the reduced
+    max-load / where-the-maximum-sits moments leave the worker."""
+    bins = two_class_mix_bins(n, n_large, small_cap, large_cap)
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), d=d, seed=seeds[0], seed_mode="blocked"
+    )
+    location = max_load_location_by_class_matrix(res.counts, bins.capacities)
+    flags = location.get(small_cap, np.zeros(len(seeds), dtype=bool))
+    return ReducerBundle(
+        max_load=StreamingScalar().update(res.max_loads),
+        small_has_max=StreamingScalar().update(flags.astype(np.float64)),
+    )
+
+
 def _sweep(scale, seed, workers, progress, n, small_cap, large_cap, d,
-           step_pct, repetitions, paper_reps):
+           step_pct, repetitions, paper_reps, engine):
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(paper_reps, scale)
     percentages = np.arange(0, 100 + step_pct, step_pct)
     percentages = percentages[percentages <= 100]
@@ -55,27 +69,33 @@ def _sweep(scale, seed, workers, progress, n, small_cap, large_cap, d,
     frac_small = np.empty(len(percentages))
     for i, pct in enumerate(percentages):
         n_large = int(round(n * pct / 100.0))
-        outs = run_repetitions(
-            _one_run,
-            reps,
-            seed=seeds[i],
-            workers=workers,
-            kwargs={
-                "n": n,
-                "n_large": n_large,
-                "small_cap": small_cap,
-                "large_cap": large_cap,
-                "d": d,
-            },
-            progress=progress,
-        )
-        maxima = np.asarray([o[0] for o in outs])
-        flags = np.asarray([o[1] for o in outs], dtype=bool)
-        mean_max[i] = maxima.mean()
+        kwargs = {
+            "n": n,
+            "n_large": n_large,
+            "small_cap": small_cap,
+            "large_cap": large_cap,
+            "d": d,
+        }
+        if engine == "ensemble":
+            bundle = run_ensemble_reduced(
+                _ensemble_block, reps, seed=seeds[i], workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            mean_max[i] = bundle["max_load"].mean
+            small_mean = bundle["small_has_max"].mean
+        else:
+            outs = run_repetitions(
+                _one_run, reps, seed=seeds[i], workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            maxima = np.asarray([o[0] for o in outs])
+            flags = np.asarray([o[1] for o in outs], dtype=bool)
+            mean_max[i] = maxima.mean()
+            small_mean = flags.mean()
         # With zero large bins the max is trivially in a small bin; with
         # zero small bins the class is absent and the fraction is zero.
-        frac_small[i] = flags.mean() if n_large < n else 0.0
-    return percentages, mean_max, frac_small, reps
+        frac_small[i] = small_mean if n_large < n else 0.0
+    return percentages, mean_max, frac_small, reps, engine
 
 
 @register(
@@ -96,11 +116,12 @@ def run_fig06(
     d: int = PAPER_D,
     step_pct: int = PAPER_STEP_PCT,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 6: mean maximum load over the large-bin-fraction sweep."""
-    pct, mean_max, _, reps = _sweep(
+    pct, mean_max, _, reps, engine = _sweep(
         scale, seed, workers, progress, n, small_cap, large_cap, d,
-        step_pct, repetitions, PAPER_REPS_FIG6,
+        step_pct, repetitions, PAPER_REPS_FIG6, engine,
     )
     return ExperimentResult(
         experiment_id="fig06",
@@ -111,6 +132,7 @@ def run_fig06(
         parameters={
             "n": n, "d": d, "small_cap": small_cap, "large_cap": large_cap,
             "step_pct": step_pct, "repetitions": reps, "seed": seed,
+            "engine": engine,
         },
         extra={
             "start": float(mean_max[0]),
@@ -138,11 +160,12 @@ def run_fig07(
     d: int = PAPER_D,
     step_pct: int = PAPER_STEP_PCT,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 7: fraction of runs whose maximum sits in a small bin."""
-    pct, _, frac_small, reps = _sweep(
+    pct, _, frac_small, reps, engine = _sweep(
         scale, seed, workers, progress, n, small_cap, large_cap, d,
-        step_pct, repetitions, PAPER_REPS_FIG7,
+        step_pct, repetitions, PAPER_REPS_FIG7, engine,
     )
     return ExperimentResult(
         experiment_id="fig07",
@@ -153,6 +176,7 @@ def run_fig07(
         parameters={
             "n": n, "d": d, "small_cap": small_cap, "large_cap": large_cap,
             "step_pct": step_pct, "repetitions": reps, "seed": seed,
+            "engine": engine,
         },
         extra={
             "expected_shape": "stays near 100% for small fractions, crosses 50% near ~45%, ~0% by ~90%",

@@ -17,11 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.stats import max_load_location_by_class
+from ..analysis.aggregate import ReducerBundle, StreamingScalar
+from ..analysis.stats import max_load_location_by_class, max_load_location_by_class_matrix
 from ..bins.generators import binomial_random_bins
+from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
-from .base import ExperimentResult, register, scaled_reps
+from ..runtime.executor import (
+    DEFAULT_BLOCK_SIZE,
+    block_parameter_rng,
+    run_ensemble_reduced,
+    run_repetitions,
+)
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_N_FIG8 = 10_000
 PAPER_N_FIG9 = 1_000
@@ -39,26 +46,68 @@ def _one_run(seed, *, n: int, mean_cap: float, d: int):
     return res.max_load, bins.total_capacity, location
 
 
-def _sweep(scale, seed, workers, progress, n, d, grid, repetitions):
+def _ensemble_block(seeds, *, n: int, mean_cap: float, d: int):
+    """Lockstep block with the shared-caps-per-block treatment (see fig16):
+    the block draws one capacity vector from its parameter generator and all
+    of its replications rethrow ``m = C`` balls into that array.  Blocks are
+    independent, so the estimator over replications stays unbiased; the
+    runner keeps blocks small so the capacity randomness is averaged over
+    several independent draws."""
+    rng = block_parameter_rng(seeds)
+    bins = binomial_random_bins(n, mean_cap, rng)
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), d=d, seed=rng, seed_mode="blocked"
+    )
+    location = max_load_location_by_class_matrix(res.counts, bins.capacities)
+    R = len(seeds)
+    reducers = {
+        "max_load": StreamingScalar().update(res.max_loads),
+        "total_capacity": StreamingScalar().update(
+            np.full(R, float(bins.total_capacity))
+        ),
+    }
+    for x in PAPER_TRACKED_CLASSES:
+        flags = location.get(int(x), np.zeros(R, dtype=bool))
+        reducers[f"class_{x}"] = StreamingScalar().update(flags.astype(np.float64))
+    return ReducerBundle(**reducers)
+
+
+def _sweep(scale, seed, workers, progress, n, d, grid, repetitions, engine):
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     seeds = np.random.SeedSequence(seed).spawn(len(grid))
     mean_max = np.empty(len(grid))
     mean_total = np.empty(len(grid))
     class_fracs = {x: np.zeros(len(grid)) for x in PAPER_TRACKED_CLASSES}
     for i, c in enumerate(grid):
-        outs = run_repetitions(
-            _one_run,
-            reps,
-            seed=seeds[i],
-            workers=workers,
-            kwargs={"n": n, "mean_cap": float(c), "d": d},
-            progress=progress,
-        )
-        mean_max[i] = np.mean([o[0] for o in outs])
-        mean_total[i] = np.mean([o[1] for o in outs])
-        for x in PAPER_TRACKED_CLASSES:
-            class_fracs[x][i] = np.mean([o[2].get(x, False) for o in outs])
-    return mean_total, mean_max, class_fracs, reps
+        kwargs = {"n": n, "mean_cap": float(c), "d": d}
+        if engine == "ensemble":
+            # Small blocks so the capacity distribution is averaged over at
+            # least ~8 independent draws (each block shares one capacity
+            # vector drawn from the block's parameter generator).
+            bundle = run_ensemble_reduced(
+                _ensemble_block, reps, seed=seeds[i], workers=workers,
+                kwargs=kwargs, progress=progress,
+                block_size=min(DEFAULT_BLOCK_SIZE, max(1, reps // 8)),
+            )
+            mean_max[i] = bundle["max_load"].mean
+            mean_total[i] = bundle["total_capacity"].mean
+            for x in PAPER_TRACKED_CLASSES:
+                class_fracs[x][i] = bundle[f"class_{x}"].mean
+        else:
+            outs = run_repetitions(
+                _one_run,
+                reps,
+                seed=seeds[i],
+                workers=workers,
+                kwargs=kwargs,
+                progress=progress,
+            )
+            mean_max[i] = np.mean([o[0] for o in outs])
+            mean_total[i] = np.mean([o[1] for o in outs])
+            for x in PAPER_TRACKED_CLASSES:
+                class_fracs[x][i] = np.mean([o[2].get(x, False) for o in outs])
+    return mean_total, mean_max, class_fracs, reps, engine
 
 
 @register(
@@ -77,10 +126,11 @@ def run_fig08(
     d: int = PAPER_D,
     mean_cap_grid=PAPER_MEAN_CAP_GRID,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 8: mean maximum load as total capacity grows."""
-    totals, mean_max, _, reps = _sweep(
-        scale, seed, workers, progress, n, d, mean_cap_grid, repetitions
+    totals, mean_max, _, reps, engine = _sweep(
+        scale, seed, workers, progress, n, d, mean_cap_grid, repetitions, engine
     )
     return ExperimentResult(
         experiment_id="fig08",
@@ -90,7 +140,7 @@ def run_fig08(
         series={"max_load": mean_max},
         parameters={
             "n": n, "d": d, "mean_cap_grid": [float(c) for c in mean_cap_grid],
-            "repetitions": reps, "seed": seed,
+            "repetitions": reps, "seed": seed, "engine": engine,
         },
         extra={
             "start": float(mean_max[0]),
@@ -116,10 +166,11 @@ def run_fig09(
     d: int = PAPER_D,
     mean_cap_grid=PAPER_MEAN_CAP_GRID,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 9: location of the maximally loaded bin, per size class."""
-    totals, _, class_fracs, reps = _sweep(
-        scale, seed, workers, progress, n, d, mean_cap_grid, repetitions
+    totals, _, class_fracs, reps, engine = _sweep(
+        scale, seed, workers, progress, n, d, mean_cap_grid, repetitions, engine
     )
     series = {
         f"max_in_size_{x}": 100.0 * fr for x, fr in class_fracs.items()
@@ -133,7 +184,7 @@ def run_fig09(
         parameters={
             "n": n, "d": d, "mean_cap_grid": [float(c) for c in mean_cap_grid],
             "tracked_classes": list(PAPER_TRACKED_CLASSES),
-            "repetitions": reps, "seed": seed,
+            "repetitions": reps, "seed": seed, "engine": engine,
         },
         extra={
             "expected_shape": "max migrates from size-1 bins to size-2 around C~2.5n, then to larger classes",

@@ -20,60 +20,79 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..bins.generators import two_class_bins, uniform_bins
+from ..analysis.aggregate import StreamingProfile
+from ..bins.generators import two_class_mix_bins
+from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
-from .base import ExperimentResult, register, scaled_reps
+from ..runtime.executor import run_ensemble_reduced, run_repetitions
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_REPS = 10_000
 PAPER_D = 2
 
 
+def _restrict_columns(matrix: np.ndarray, restrict, n: int, n_large: int) -> np.ndarray:
+    """Slice a ``(R, n)`` load matrix to the requested capacity class."""
+    if restrict == "large":
+        return matrix[:, n - n_large :] if n_large else matrix[:, :0]
+    if restrict == "small":
+        return matrix[:, : n - n_large]
+    return matrix
+
+
 def _one_run(seed, *, n: int, n_large: int, small_cap: int, large_cap: int, d: int):
-    if n_large == 0:
-        bins = uniform_bins(n, small_cap)
-    elif n_large == n:
-        bins = uniform_bins(n, large_cap)
-    else:
-        # Small bins first: restriction masks below rely on this layout.
-        bins = two_class_bins(n - n_large, n_large, small_cap, large_cap)
+    bins = two_class_mix_bins(n, n_large, small_cap, large_cap)
     res = simulate(bins, d=d, seed=seed)
     return res.loads
 
 
+def _ensemble_block(seeds, *, n: int, n_large: int, small_cap: int, large_cap: int,
+                    d: int, restrict):
+    """Lockstep block: one ``(R, n)`` counts array per block; the restricted
+    sorted-profile reducer (never the raw matrix) leaves the worker."""
+    bins = two_class_mix_bins(n, n_large, small_cap, large_cap)
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), d=d, seed=seeds[0], seed_mode="blocked"
+    )
+    restricted = _restrict_columns(res.loads, restrict, n, n_large)
+    return StreamingProfile(restricted.shape[1]).update(restricted)
+
+
 def _profiles(scale, seed, workers, progress, n, small_cap, large_cap, d,
-              large_counts, restrict, repetitions):
+              large_counts, restrict, repetitions, engine):
     """Mean sorted profiles per ratio; ``restrict`` in {None, 'small', 'large'}."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     seeds = np.random.SeedSequence(seed).spawn(len(large_counts))
     series: dict[str, np.ndarray] = {}
     for i, n_large in enumerate(large_counts):
-        outs = run_repetitions(
-            _one_run,
-            reps,
-            seed=seeds[i],
-            workers=workers,
-            kwargs={
-                "n": n, "n_large": int(n_large),
-                "small_cap": small_cap, "large_cap": large_cap, "d": d,
-            },
-            progress=progress,
-        )
-        matrix = np.vstack(outs)
-        if restrict == "large":
-            matrix = matrix[:, n - n_large :] if n_large else matrix[:, :0]
-        elif restrict == "small":
-            matrix = matrix[:, : n - n_large]
+        n_large = int(n_large)
         name = f"{n_large}x{large_cap}-bins"
-        if matrix.shape[1] == 0:
+        width = {"large": n_large, "small": n - n_large}.get(restrict, n)
+        if width == 0:
             series[name] = np.full(n, np.nan)
             continue
-        sorted_rows = -np.sort(-matrix, axis=1)
-        profile = sorted_rows.mean(axis=0)
+        kwargs = {
+            "n": n, "n_large": n_large,
+            "small_cap": small_cap, "large_cap": large_cap, "d": d,
+        }
+        if engine == "ensemble":
+            reducer = run_ensemble_reduced(
+                _ensemble_block, reps, seed=seeds[i], workers=workers,
+                kwargs={**kwargs, "restrict": restrict}, progress=progress,
+            )
+            profile = reducer.profile().mean
+        else:
+            outs = run_repetitions(
+                _one_run, reps, seed=seeds[i], workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            matrix = _restrict_columns(np.vstack(outs), restrict, n, n_large)
+            profile = (-np.sort(-matrix, axis=1)).mean(axis=0)
         padded = np.full(n, np.nan)
         padded[: profile.size] = profile
         series[name] = padded
-    return series, reps
+    return series, reps, engine
 
 
 def _make_runner(figure_id, title, n, small_cap, large_cap, large_counts, restrict, shape_note):
@@ -85,10 +104,11 @@ def _make_runner(figure_id, title, n, small_cap, large_cap, large_counts, restri
         *,
         d: int = PAPER_D,
         repetitions: int | None = None,
+        engine: str = "scalar",
     ) -> ExperimentResult:
-        series, reps = _profiles(
+        series, reps, engine = _profiles(
             scale, seed, workers, progress, n, small_cap, large_cap, d,
-            large_counts, restrict, repetitions,
+            large_counts, restrict, repetitions, engine,
         )
         return ExperimentResult(
             experiment_id=figure_id,
@@ -100,6 +120,7 @@ def _make_runner(figure_id, title, n, small_cap, large_cap, large_counts, restri
                 "n": n, "d": d, "small_cap": small_cap, "large_cap": large_cap,
                 "large_counts": [int(x) for x in large_counts],
                 "restrict": restrict, "repetitions": reps, "seed": seed,
+                "engine": engine,
             },
             extra={"expected_shape": shape_note},
         )

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.aggregate import StreamingScalar
 from ..bins.growth import BaselineGrowthModel, ExponentialGrowthModel, GrowthModel, LinearGrowthModel
+from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
-from .base import ExperimentResult, register, scaled_reps
+from ..runtime.executor import run_ensemble_reduced, run_repetitions
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_MAX_BINS = 1_000
 PAPER_LINEAR_OFFSETS = (1, 2, 4, 6)
@@ -45,7 +47,21 @@ def _one_state_run(seed, *, capacities, d: int) -> float:
     return res.max_load
 
 
-def _sweep_model(model: GrowthModel, max_bins, reps, seed, workers, progress, d, ball_budget):
+def _ensemble_state_block(seeds, *, capacities, d: int) -> StreamingScalar:
+    """Lockstep block for one growth state: the state's capacity vector is
+    deterministic, so the block rethrows ``m = C`` balls into it in lockstep
+    and ships only the max-load moments."""
+    from ..bins.arrays import BinArray
+
+    bins = BinArray(np.asarray(capacities, dtype=np.int64))
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), d=d, seed=seeds[0], seed_mode="blocked"
+    )
+    return StreamingScalar().update(res.max_loads)
+
+
+def _sweep_model(model: GrowthModel, max_bins, reps, seed, workers, progress, d,
+                 ball_budget, engine):
     xs: list[int] = []
     ys: list[float] = []
     states = list(model.states(max_bins))
@@ -56,27 +72,33 @@ def _sweep_model(model: GrowthModel, max_bins, reps, seed, workers, progress, d,
         if ball_budget is not None and state.total_capacity > ball_budget:
             ys.append(np.nan)
             continue
-        outs = run_repetitions(
-            _one_state_run,
-            reps,
-            seed=seeds[i],
-            workers=workers,
-            kwargs={"capacities": state.capacities.tolist(), "d": d},
-            progress=progress,
-        )
-        ys.append(float(np.mean(outs)))
+        kwargs = {"capacities": state.capacities.tolist(), "d": d}
+        if engine == "ensemble":
+            reducer = run_ensemble_reduced(
+                _ensemble_state_block, reps, seed=seeds[i], workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            ys.append(reducer.mean)
+        else:
+            outs = run_repetitions(
+                _one_state_run, reps, seed=seeds[i], workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            ys.append(float(np.mean(outs)))
     return np.asarray(xs), np.asarray(ys)
 
 
 def _run_growth(figure_id, title, models, scale, seed, workers, progress,
-                max_bins, d, repetitions, ball_budget):
+                max_bins, d, repetitions, ball_budget, engine):
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     master = np.random.SeedSequence(seed).spawn(len(models))
     x_ref: np.ndarray | None = None
     series: dict[str, np.ndarray] = {}
     truncated: dict[str, int] = {}
     for (name, model), s in zip(models, master):
-        xs, ys = _sweep_model(model, max_bins, reps, s, workers, progress, d, ball_budget)
+        xs, ys = _sweep_model(model, max_bins, reps, s, workers, progress, d,
+                              ball_budget, engine)
         if x_ref is None:
             x_ref = xs
         elif not np.array_equal(x_ref, xs):
@@ -92,7 +114,7 @@ def _run_growth(figure_id, title, models, scale, seed, workers, progress,
         series=series,
         parameters={
             "max_bins": max_bins, "d": d, "repetitions": reps, "seed": seed,
-            "ball_budget": ball_budget,
+            "ball_budget": ball_budget, "engine": engine,
         },
         extra={
             "states_truncated_by_budget": truncated,
@@ -118,6 +140,7 @@ def run_fig14(
     d: int = PAPER_D,
     repetitions: int | None = None,
     ball_budget: int | None = DEFAULT_BALL_BUDGET,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 14: max load vs system size under linear generation growth."""
     models = [("base (all capacities = 2)", BaselineGrowthModel())]
@@ -125,6 +148,7 @@ def run_fig14(
     return _run_growth(
         "fig14", "Linear growth between generations", models,
         scale, seed, workers, progress, max_bins, d, repetitions, ball_budget,
+        engine,
     )
 
 
@@ -145,6 +169,7 @@ def run_fig15(
     d: int = PAPER_D,
     repetitions: int | None = None,
     ball_budget: int | None = DEFAULT_BALL_BUDGET,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 15: max load vs system size under exponential generation growth."""
     models = [("base (all capacities = 2)", BaselineGrowthModel())]
@@ -152,4 +177,5 @@ def run_fig15(
     return _run_growth(
         "fig15", "Exponential growth between generations", models,
         scale, seed, workers, progress, max_bins, d, repetitions, ball_budget,
+        engine,
     )

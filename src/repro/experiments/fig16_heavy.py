@@ -19,7 +19,12 @@ from ..analysis.aggregate import StreamingProfile
 from ..bins.generators import binomial_random_bins
 from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_ensemble_reduced, run_repetitions
+from ..runtime.executor import (
+    DEFAULT_BLOCK_SIZE,
+    block_parameter_rng,
+    run_ensemble_reduced,
+    run_repetitions,
+)
 from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_N = 10_000
@@ -67,7 +72,7 @@ def _ensemble_block(seeds, *, n: int, cap_multiplier: int, rounds: int, d: int) 
     is why the fig16 runner forces a small block size instead of taking the
     executor's width-optimised default.
     """
-    rng = np.random.default_rng(seeds[0])
+    rng = block_parameter_rng(seeds)
     bins = _draw_bins(rng, n, cap_multiplier)
     cap = bins.total_capacity
     checkpoints = [i * cap for i in range(1, rounds + 1)]
@@ -120,7 +125,7 @@ def run(
             reducer = run_ensemble_reduced(
                 _ensemble_block, reps, seed=s, workers=workers,
                 kwargs=kwargs, progress=progress,
-                block_size=max(1, reps // 8),
+                block_size=min(DEFAULT_BLOCK_SIZE, max(1, reps // 8)),
             )
             curve = reducer.profile().mean
         else:

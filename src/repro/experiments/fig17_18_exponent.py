@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.aggregate import StreamingScalar
 from ..bins.generators import two_class_bins
+from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
-from ..runtime.executor import run_repetitions
+from ..runtime.executor import run_ensemble_reduced, run_repetitions
 from ..sampling.distributions import PowerProbability
-from .base import ExperimentResult, register, scaled_reps
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_N = 100
 PAPER_REPS = 1_000_000
@@ -41,14 +43,29 @@ def _one_run(seed, *, x: int, t: float, n: int, d: int) -> float:
     return res.max_load
 
 
-def _mean_max_load(x, t, reps, seed, workers, progress, n, d) -> float:
+def _ensemble_block(seeds, *, x: int, t: float, n: int, d: int) -> StreamingScalar:
+    """Lockstep block for one ``(x, t)`` grid point: the two-class array and
+    the power-``t`` selection weights are deterministic, so the block runs in
+    lockstep and ships only the max-load moments."""
+    bins = two_class_bins(n // 2, n - n // 2, 1, x)
+    res = simulate_ensemble(
+        bins, repetitions=len(seeds), d=d, probabilities=PowerProbability(t),
+        seed=seeds[0], seed_mode="blocked",
+    )
+    return StreamingScalar().update(res.max_loads)
+
+
+def _mean_max_load(x, t, reps, seed, workers, progress, n, d, engine) -> float:
+    kwargs = {"x": int(x), "t": float(t), "n": n, "d": d}
+    if engine == "ensemble":
+        reducer = run_ensemble_reduced(
+            _ensemble_block, reps, seed=seed, workers=workers,
+            kwargs=kwargs, progress=progress,
+        )
+        return float(reducer.mean)
     outs = run_repetitions(
-        _one_run,
-        reps,
-        seed=seed,
-        workers=workers,
-        kwargs={"x": int(x), "t": float(t), "n": n, "d": d},
-        progress=progress,
+        _one_run, reps, seed=seed, workers=workers,
+        kwargs=kwargs, progress=progress,
     )
     return float(np.mean(outs))
 
@@ -70,8 +87,10 @@ def run_fig18(
     capacities=PAPER_FIG18_CAPS,
     t_grid=DEFAULT_T_GRID_FIG18,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 18: mean max load vs exponent t for each big-bin capacity."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale, minimum=20)
     t_values = np.asarray(t_grid, dtype=np.float64)
     seeds = np.random.SeedSequence(seed).spawn(len(capacities))
@@ -81,7 +100,7 @@ def run_fig18(
         t_seeds = s.spawn(len(t_values))
         curve = np.asarray(
             [
-                _mean_max_load(x, t, reps, ts, workers, progress, n, d)
+                _mean_max_load(x, t, reps, ts, workers, progress, n, d, engine)
                 for t, ts in zip(t_values, t_seeds)
             ]
         )
@@ -97,6 +116,7 @@ def run_fig18(
         parameters={
             "n": n, "d": d, "capacities": [int(x) for x in capacities],
             "t_grid": [float(t) for t in t_values], "repetitions": reps, "seed": seed,
+            "engine": engine,
         },
         extra={
             "argmin_exponent": minima,
@@ -122,8 +142,10 @@ def run_fig17(
     capacities=PAPER_FIG17_CAPS,
     t_grid=DEFAULT_T_GRID_FIG17,
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Figure 17: the argmin-over-t exponent for each big-bin capacity x."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale, minimum=20)
     t_values = np.asarray(t_grid, dtype=np.float64)
     seeds = np.random.SeedSequence(seed).spawn(len(capacities))
@@ -133,7 +155,7 @@ def run_fig17(
         t_seeds = s.spawn(len(t_values))
         curve = np.asarray(
             [
-                _mean_max_load(x, t, reps, ts, workers, progress, n, d)
+                _mean_max_load(x, t, reps, ts, workers, progress, n, d, engine)
                 for t, ts in zip(t_values, t_seeds)
             ]
         )
@@ -148,6 +170,7 @@ def run_fig17(
         parameters={
             "n": n, "d": d, "capacities": [int(x) for x in capacities],
             "t_grid": [float(t) for t in t_values], "repetitions": reps, "seed": seed,
+            "engine": engine,
         },
         extra={
             "curves": curves,

@@ -15,12 +15,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.aggregate import StreamingScalar
 from ..bins.generators import two_class_bins
-from ..core.weighted import simulate_weighted
+from ..core.weighted import simulate_weighted, simulate_weighted_ensemble
 from ..p2p.ring import ConsistentHashRing
-from ..p2p.workload import allocate_requests
-from ..runtime.executor import run_repetitions
-from .base import ExperimentResult, register, scaled_reps
+from ..p2p.workload import allocate_requests, allocate_requests_ensemble
+from ..runtime.executor import (
+    DEFAULT_BLOCK_SIZE,
+    block_parameter_rng,
+    run_ensemble_reduced,
+    run_repetitions,
+)
+from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
 PAPER_REPS = 10_000
 
@@ -34,6 +40,24 @@ def _ring_task(seed, *, n_peers, m, d, capacity_aware):
         # read as "times worse than perfect"
         return res.max_load / (m / res.capacities.sum())
     return res.max_requests / (m / n_peers)  # normalised to the average
+
+
+def _ring_block(seeds, *, n_peers, m, d, capacity_aware):
+    """Lockstep block with a shared-ring-per-block treatment: the block draws
+    one random ring from its parameter generator and every replication sends
+    its own request stream onto that ring (blocks independent, estimator
+    unbiased — the fig16 shared-params argument)."""
+    rng = block_parameter_rng(seeds)
+    ring = ConsistentHashRing.random(n_peers, seed=rng)
+    res = allocate_requests_ensemble(
+        ring, m, repetitions=len(seeds), d=d, capacity_aware=capacity_aware,
+        seed=rng, seed_mode="blocked",
+    )
+    if capacity_aware:
+        values = res.max_loads / (m / res.capacities.sum())
+    else:
+        values = res.max_requests / (m / n_peers)
+    return StreamingScalar().update(values)
 
 
 @register(
@@ -52,8 +76,10 @@ def run_rw_ring(
     requests_per_peer: int = 20,
     d_values=(1, 2, 3),
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Max request concentration on a ring as the probe count grows."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     m = n_peers * requests_per_peer
     seeds = np.random.SeedSequence(seed).spawn(2)
@@ -65,13 +91,23 @@ def run_rw_ring(
         d_seeds = s.spawn(len(d_values))
         curve = []
         for d, ds in zip(d_values, d_seeds):
-            outs = run_repetitions(
-                _ring_task, reps, seed=ds, workers=workers,
-                kwargs={"n_peers": n_peers, "m": m, "d": int(d),
-                        "capacity_aware": aware},
-                progress=progress,
-            )
-            curve.append(float(np.mean(outs)))
+            kwargs = {"n_peers": n_peers, "m": m, "d": int(d),
+                      "capacity_aware": aware}
+            if engine == "ensemble":
+                # Small blocks: each block shares one random ring, so the
+                # ring randomness needs several independent draws.
+                reducer = run_ensemble_reduced(
+                    _ring_block, reps, seed=ds, workers=workers,
+                    kwargs=kwargs, progress=progress,
+                    block_size=min(DEFAULT_BLOCK_SIZE, max(1, reps // 8)),
+                )
+                curve.append(float(reducer.mean))
+            else:
+                outs = run_repetitions(
+                    _ring_task, reps, seed=ds, workers=workers,
+                    kwargs=kwargs, progress=progress,
+                )
+                curve.append(float(np.mean(outs)))
         series[name] = np.asarray(curve)
     return ExperimentResult(
         experiment_id="rw_ring",
@@ -80,7 +116,7 @@ def run_rw_ring(
         x_values=np.asarray(d_values, dtype=np.float64),
         series=series,
         parameters={"n_peers": n_peers, "requests_per_peer": requests_per_peer,
-                    "repetitions": reps, "seed": seed},
+                    "repetitions": reps, "seed": seed, "engine": engine},
         extra={
             "expected_shape": "steep drop from d=1 to d=2 in both accountings "
                               "(the log n arc skew collapses to lnln n)",
@@ -98,6 +134,21 @@ def _weighted_task(seed, *, n, sigma):
     return res.max_load / res.average_load
 
 
+def _weighted_block(seeds, *, n, sigma):
+    """Lockstep block with a shared-sizes-per-block treatment: the block
+    draws one lognormal ball-size multiset from its parameter generator and
+    every replication allocates that same arrival sequence with its own
+    choice stream (blocks independent, estimator unbiased)."""
+    rng = block_parameter_rng(seeds)
+    bins = two_class_bins(n // 2, n - n // 2, 1, 8)
+    C = bins.total_capacity
+    sizes = rng.lognormal(-0.5 * sigma * sigma, sigma, size=C) if sigma > 0 else np.ones(C)
+    res = simulate_weighted_ensemble(
+        bins, sizes, repetitions=len(seeds), seed=rng, seed_mode="blocked"
+    )
+    return StreamingScalar().update(res.max_loads / res.average_load)
+
+
 @register(
     "abl_weighted",
     "Extension: weighted balls, max/avg load vs size variability",
@@ -113,17 +164,30 @@ def run_abl_weighted(
     n: int = 200,
     sigmas=(0.0, 0.25, 0.5, 1.0, 1.5),
     repetitions: int | None = None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Normalised max load as ball-size variability grows."""
+    engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     seeds = np.random.SeedSequence(seed).spawn(len(sigmas))
     curve = []
     for sigma, s in zip(sigmas, seeds):
-        outs = run_repetitions(
-            _weighted_task, reps, seed=s, workers=workers,
-            kwargs={"n": n, "sigma": float(sigma)}, progress=progress,
-        )
-        curve.append(float(np.mean(outs)))
+        kwargs = {"n": n, "sigma": float(sigma)}
+        if engine == "ensemble":
+            # Small blocks: each block shares one ball-size multiset, so the
+            # size randomness needs several independent draws.
+            reducer = run_ensemble_reduced(
+                _weighted_block, reps, seed=s, workers=workers,
+                kwargs=kwargs, progress=progress,
+                block_size=min(DEFAULT_BLOCK_SIZE, max(1, reps // 8)),
+            )
+            curve.append(float(reducer.mean))
+        else:
+            outs = run_repetitions(
+                _weighted_task, reps, seed=s, workers=workers,
+                kwargs=kwargs, progress=progress,
+            )
+            curve.append(float(np.mean(outs)))
     cvs = [float(np.sqrt(np.exp(s * s) - 1.0)) if s > 0 else 0.0 for s in sigmas]
     return ExperimentResult(
         experiment_id="abl_weighted",
@@ -132,7 +196,7 @@ def run_abl_weighted(
         x_values=np.asarray(cvs),
         series={"max_over_avg_load": np.asarray(curve)},
         parameters={"n": n, "sigmas": [float(s) for s in sigmas],
-                    "repetitions": reps, "seed": seed},
+                    "repetitions": reps, "seed": seed, "engine": engine},
         extra={
             "expected_shape": "unit sizes recover the paper's constant; the "
                               "normalised max grows with the size CV and is "

@@ -33,9 +33,12 @@ def run_experiment(
     ``scale``/``seed`` fall back to the experiment's own defaults when
     ``None``; ``overrides`` are forwarded verbatim (e.g. ``repetitions=50``,
     ``n=1000``).  ``engine`` selects the repetition engine
-    (:data:`repro.experiments.base.ENGINES`) for experiments that support the
-    knob; asking a scalar-only experiment for the ensemble engine is an error
-    rather than a silent fallback.
+    (:data:`repro.experiments.base.ENGINES`); every registered experiment
+    supports both engines (the cross-engine suite in
+    ``tests/core/test_ensemble.py`` enforces full coverage), and the
+    :class:`EngineNotSupportedError` path below remains only as a loud guard
+    for a future experiment that has not been migrated yet — never a silent
+    fallback.
     """
     spec = get_experiment(experiment_id)
     kwargs = dict(overrides)
@@ -72,9 +75,10 @@ def run_all(
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment (or the ids in *only*).
 
-    ``engine`` is applied where supported; experiments without the knob fall
-    back to their scalar path (running the whole suite on a mixed engine
-    matrix is the expected mode while migration is in progress).
+    ``engine`` is applied where supported — today that is the whole
+    registry; the signature inspection only spares a future not-yet-migrated
+    experiment, which then runs on its scalar path instead of aborting the
+    whole sweep.
     """
     wanted = set(only) if only is not None else None
     results: dict[str, ExperimentResult] = {}

@@ -5,7 +5,12 @@ from .churn import ChurnEvent, ChurnTrace, run_churn
 from .dht import DHT
 from .hashing import hash_key, hash_to_unit, point_sequence, splitmix64
 from .ring import ConsistentHashRing, RingPeer
-from .workload import RingAllocationResult, allocate_requests
+from .workload import (
+    RingAllocationResult,
+    RingEnsembleResult,
+    allocate_requests,
+    allocate_requests_ensemble,
+)
 
 __all__ = [
     "splitmix64",
@@ -19,6 +24,8 @@ __all__ = [
     "LookupResult",
     "RingAllocationResult",
     "allocate_requests",
+    "RingEnsembleResult",
+    "allocate_requests_ensemble",
     "DHT",
     "ChurnEvent",
     "ChurnTrace",

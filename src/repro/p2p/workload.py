@@ -22,11 +22,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.ensemble import resolve_ensemble_seeds, run_batch_ensemble
 from ..core.fast import run_batch
-from ..sampling.rngutils import make_rng
+from ..sampling.rngutils import make_rng, spawn_seed_sequences
 from .ring import ConsistentHashRing
 
-__all__ = ["RingAllocationResult", "allocate_requests"]
+__all__ = [
+    "RingAllocationResult",
+    "allocate_requests",
+    "RingEnsembleResult",
+    "allocate_requests_ensemble",
+]
 
 
 @dataclass(frozen=True)
@@ -115,4 +121,99 @@ def allocate_requests(
         m=m,
         d=d,
         capacity_aware=capacity_aware,
+    )
+
+
+@dataclass(frozen=True)
+class RingEnsembleResult:
+    """Outcome of allocating *m* requests in ``R`` lockstep replications."""
+
+    counts: np.ndarray
+    capacities: np.ndarray
+    m: int
+    d: int
+    capacity_aware: bool
+    seed_mode: str
+
+    @property
+    def loads(self) -> np.ndarray:
+        """``(R, n_peers)`` per-peer loads."""
+        return self.counts / self.capacities
+
+    @property
+    def max_loads(self) -> np.ndarray:
+        """``(R,)`` per-replication maximum loads."""
+        return self.loads.max(axis=1)
+
+    @property
+    def max_requests(self) -> np.ndarray:
+        """``(R,)`` per-replication maximum raw request counts."""
+        return self.counts.max(axis=1)
+
+
+def allocate_requests_ensemble(
+    ring: ConsistentHashRing,
+    m: int,
+    repetitions: int | None = None,
+    d: int = 2,
+    *,
+    capacity_aware: bool = False,
+    resolution: int | None = None,
+    seed=None,
+    seeds=None,
+    seed_mode: str = "spawn",
+) -> RingEnsembleResult:
+    """Allocate *m* requests onto one shared ring, ``R`` replications at once.
+
+    Parameters mirror :func:`allocate_requests` plus the ensemble seeding
+    knobs of :func:`repro.core.ensemble.simulate_ensemble`: with
+    ``seed_mode="spawn"`` (or explicit ``seeds=``) replication ``r``
+    reproduces ``allocate_requests(ring, m, d, ..., seed=child_r)``
+    bit-exactly — same point draws, same owner lookup, same tie stream —
+    while ``seed_mode="blocked"`` draws all replications' points from one
+    generator.  All replications probe the *same* ring; random rings use the
+    shared-params-per-block convention
+    (:func:`repro.runtime.executor.block_parameter_rng`).
+    """
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    repetitions, seeds = resolve_ensemble_seeds(repetitions, seeds, seed_mode)
+
+    R = repetitions
+    if capacity_aware:
+        res = resolution if resolution is not None else max(1000, 10 * ring.n_peers)
+        caps = ring.as_bin_array(res).capacities
+    else:
+        caps = np.ones(ring.n_peers, dtype=np.int64)
+
+    points = np.empty((R, m, d), dtype=np.float64)
+    tie_u = np.empty((R, m), dtype=np.float64)
+    if seed_mode == "spawn":
+        if seeds is None:
+            seeds = spawn_seed_sequences(seed, R)
+        for r, s in enumerate(seeds):
+            g = make_rng(s)
+            points[r] = g.random((m, d))
+            tie_u[r] = g.random(m)
+    else:
+        block_rng = make_rng(seed)
+        points[...] = block_rng.random((R, m, d))
+        tie_u[...] = block_rng.random((R, m))
+
+    pos = ring.positions
+    idx = np.searchsorted(pos, points, side="left")
+    idx[idx == pos.size] = 0
+    owners = ring._owners[idx].astype(np.int64)
+
+    counts = np.zeros((R, ring.n_peers), dtype=np.int64)
+    run_batch_ensemble(counts, caps, owners, tie_u, tie_break="max_capacity")
+    return RingEnsembleResult(
+        counts=counts,
+        capacities=caps,
+        m=m,
+        d=d,
+        capacity_aware=capacity_aware,
+        seed_mode=seed_mode,
     )

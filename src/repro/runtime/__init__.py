@@ -1,6 +1,7 @@
 """Experiment runtime: repetition fan-out, seed trees, progress reporting."""
 
 from .executor import (
+    block_parameter_rng,
     run_ensemble_blocks,
     run_ensemble_reduced,
     run_repetitions,
@@ -14,6 +15,7 @@ __all__ = [
     "run_ensemble_blocks",
     "run_ensemble_reduced",
     "run_tasks",
+    "block_parameter_rng",
     "SeedTree",
     "NullReporter",
     "ProgressReporter",

@@ -30,6 +30,22 @@ Neither ``workers`` nor ``block_size`` changes which child seed a repetition
 owns, and block boundaries are derived from ``block_size`` alone — never
 from ``workers`` — so ``workers`` cannot change any result, and blocked-mode
 results are deterministic in ``(seed, block_size)``.
+
+Shared parameters per block
+---------------------------
+Experiments whose scalar repetitions each draw random *parameters* (a
+capacity vector, a ball-size multiset, a hashing ring) before simulating
+use the blocked-mode corollary of the contract: the block derives **one**
+generator from its first child seed via :func:`block_parameter_rng`, draws
+the block's shared parameters from it, and hands the *same* generator to
+the lockstep engine as the block master.  Parameter randomness is then
+sampled once per block instead of once per repetition; blocks are
+independent (disjoint children of one spawn), so the estimator over
+replications stays unbiased — see :mod:`repro.core.ensemble` for the full
+argument.  Crucially the hook never re-spawns or reorders children: which
+child a repetition owns is fixed before any parameter draw happens, so
+adding or removing parameter draws inside a block cannot perturb another
+block's streams.
 """
 
 from __future__ import annotations
@@ -47,6 +63,7 @@ __all__ = [
     "run_ensemble_blocks",
     "run_ensemble_reduced",
     "run_tasks",
+    "block_parameter_rng",
 ]
 
 #: Default replications per lockstep block: wide enough to amortise the
@@ -56,6 +73,25 @@ __all__ = [
 #: default would make ``--workers`` change results at a fixed seed.  Pass an
 #: explicit smaller ``block_size`` when a pool needs more blocks to chew on.
 DEFAULT_BLOCK_SIZE = 128
+
+
+def block_parameter_rng(seeds) -> np.random.Generator:
+    """The block's parameter-and-stream master generator (see module docs).
+
+    A blocked-mode ensemble task that needs shared random parameters calls
+    this exactly once on its seed slice, draws the parameters from the
+    returned generator, and passes the same generator on as
+    ``simulate_ensemble(..., seed=rng, seed_mode="blocked")`` — mirroring how
+    the matching scalar task derives both its parameters and its simulation
+    stream from one per-repetition generator.  The generator is a function of
+    ``seeds[0]`` alone, so the executor's spawn contract (child ``i`` belongs
+    to repetition ``i``, blocks get contiguous slices) is untouched by any
+    number of parameter draws.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("a parameter rng needs a non-empty block seed slice")
+    return np.random.default_rng(seeds[0])
 
 
 def _invoke(payload):

@@ -169,3 +169,28 @@ class TestFractionTrue:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             fraction_true([])
+
+
+class TestReducerBundle:
+    def test_merges_key_by_key(self):
+        from repro.analysis import ReducerBundle, StreamingScalar
+
+        a = ReducerBundle(x=StreamingScalar().update([1.0, 2.0]),
+                          y=StreamingScalar().update([10.0]))
+        b = ReducerBundle(x=StreamingScalar().update([3.0]),
+                          y=StreamingScalar().update([20.0, 30.0]))
+        a.merge(b)
+        assert a["x"].mean == pytest.approx(2.0)
+        assert a["y"].mean == pytest.approx(20.0)
+        assert a["x"].repetitions == 3
+
+    def test_rejects_mismatched_keys_and_types(self):
+        from repro.analysis import ReducerBundle, StreamingScalar
+
+        a = ReducerBundle(x=StreamingScalar().update([1.0]))
+        with pytest.raises(ValueError, match="incompatible"):
+            a.merge(ReducerBundle(y=StreamingScalar().update([1.0])))
+        with pytest.raises(TypeError):
+            a.merge(StreamingScalar())
+        with pytest.raises(ValueError, match="at least one"):
+            ReducerBundle()

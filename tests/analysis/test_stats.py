@@ -85,3 +85,27 @@ class TestPerClassMax:
 
     def test_single_class(self):
         assert per_class_max_loads([5], [2]) == {2: 2.5}
+
+
+class TestMaxLoadLocationByClassMatrix:
+    def test_matches_per_row_scalar_version(self):
+        from repro.analysis import (
+            max_load_location_by_class,
+            max_load_location_by_class_matrix,
+        )
+
+        rng = np.random.default_rng(4)
+        caps = rng.integers(1, 6, size=12)
+        counts = rng.integers(0, 20, size=(7, 12))
+        matrix = max_load_location_by_class_matrix(counts, caps)
+        for r in range(7):
+            row = max_load_location_by_class(counts[r], caps)
+            assert set(row) == set(matrix)
+            for c, flag in row.items():
+                assert bool(matrix[c][r]) == flag, (r, c)
+
+    def test_rejects_bad_shapes(self):
+        from repro.analysis import max_load_location_by_class_matrix
+
+        with pytest.raises(ValueError, match=r"\(R, n\)"):
+            max_load_location_by_class_matrix(np.zeros(3, dtype=int), np.ones(3, dtype=int))

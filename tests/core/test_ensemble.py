@@ -9,17 +9,37 @@ same choices and tie-uniform stream —
   equals ``protocol.reference_run(..., tie_uniforms=tie_u[r])``,
   including per-ball heights instrumentation;
 * ``simulate_ensemble(bins, seeds=[s_0..s_{R-1}])`` row ``r`` equals
-  ``simulate(bins, seed=s_r)`` — counts, heights, and snapshots.
+  ``simulate(bins, seed=s_r)`` — counts, heights, and snapshots;
+* the protocol variants carry the same spawn-mode parity:
+  ``simulate_batched_ensemble`` / ``simulate_weighted_ensemble`` /
+  ``allocate_requests_ensemble`` row ``r`` equals the matching scalar driver
+  under ``seed=child_r``.
+
+On top of the bit-level sweeps, the per-experiment cross-engine matrix
+(:data:`repro.core.equivalence.EXPERIMENT_CASES`) runs **every** registered
+experiment on both engines at a pinned tiny configuration; a future
+experiment that skips migration fails here rather than only at
+``--engine ensemble`` runtime.
 
 ``scripts/check_equivalence.py`` reruns this suite with a larger draw budget.
 """
+
+import inspect
 
 import numpy as np
 import pytest
 
 from repro.bins import BinArray
 from repro.core.ensemble import SEED_MODES, run_batch_ensemble, simulate_ensemble
-from repro.core.equivalence import check_driver_parity, check_kernel_equivalence
+from repro.core.equivalence import (
+    EXPERIMENT_CASES,
+    check_batched_parity,
+    check_driver_parity,
+    check_kernel_equivalence,
+    check_experiment_equivalence,
+    check_ring_parity,
+    check_weighted_parity,
+)
 from repro.core.fast import run_batch
 from repro.sampling.rngutils import spawn_seed_sequences
 
@@ -33,6 +53,19 @@ class TestRandomisedEquivalence:
     def test_driver_parity_sweep(self):
         """simulate_ensemble row r == simulate(seed=child_r), randomised."""
         assert check_driver_parity(0xD41E) == 6
+
+    def test_batched_parity_sweep(self):
+        """simulate_batched_ensemble row r == simulate_batched(seed=child_r)."""
+        assert check_batched_parity(0xBA7C) == 6
+
+    def test_weighted_parity_sweep(self):
+        """simulate_weighted_ensemble row r == simulate_weighted(seed=child_r),
+        counts and float masses both."""
+        assert check_weighted_parity(0x3E16) == 6
+
+    def test_ring_parity_sweep(self):
+        """allocate_requests_ensemble row r == allocate_requests(seed=child_r)."""
+        assert check_ring_parity(0x21F6) == 6
 
     def test_per_replication_capacities(self):
         """The kernel also accepts (R, n) capacities: each replication then
@@ -108,6 +141,47 @@ class TestResultSurface:
         assert [s.balls_thrown for s in res.snapshots] == [1, 2]
         snap = res.snapshots[0]
         np.testing.assert_allclose(snap.gaps, snap.max_loads - snap.average_load)
+
+
+class TestExperimentEngineMatrix:
+    """Per-experiment cross-engine suite: the full registry, one id per test.
+
+    Each case runs the experiment on both engines at the pinned tiny
+    configuration in ``EXPERIMENT_CASES`` and bounds the figure deviation;
+    both runs are deterministic at fixed seeds, so these tests cannot flake.
+    """
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENT_CASES))
+    def test_cross_engine(self, experiment_id):
+        check_experiment_equivalence(experiment_id)
+
+    def test_registry_fully_migrated(self):
+        """Every registered experiment must expose the engine knob *and* own
+        a cross-engine case — a future experiment that skips migration fails
+        loudly here instead of only at ``--engine ensemble`` runtime."""
+        from repro.experiments import list_experiments
+
+        for spec in list_experiments():
+            params = inspect.signature(spec.run).parameters
+            assert "engine" in params, (
+                f"experiment {spec.experiment_id!r} has no engine parameter: "
+                f"migrate it to the ensemble engine (see ROADMAP engine matrix)"
+            )
+            assert spec.experiment_id in EXPERIMENT_CASES, (
+                f"experiment {spec.experiment_id!r} has no cross-engine case "
+                f"in repro.core.equivalence.EXPERIMENT_CASES"
+            )
+
+    def test_cases_cover_only_registered_experiments(self):
+        """No stale case ids: the matrix and the registry agree exactly."""
+        from repro.experiments import list_experiments
+
+        registered = {spec.experiment_id for spec in list_experiments()}
+        assert set(EXPERIMENT_CASES) == registered
+
+    def test_missing_case_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="no cross-engine case"):
+            check_experiment_equivalence("fig99")
 
 
 class TestValidation:

@@ -69,3 +69,52 @@ class TestSemantics:
         res = simulate_batched(bins, batch_size=64, seed=3)
         assert res.counts.sum() == bins.total_capacity
         assert res.max_load < 6.0
+
+
+class TestBatchedEnsemble:
+    """Lockstep counterpart of simulate_batched (simulate_batched_ensemble)."""
+
+    def test_spawn_parity_with_scalar(self):
+        """Replication r == simulate_batched(seed=child_r), any batch size."""
+        from repro.core import simulate_batched_ensemble
+        from repro.sampling.rngutils import spawn_seed_sequences
+
+        bins = two_class_bins(4, 4, 1, 6)
+        for batch in (1, 7, 48):
+            ens = simulate_batched_ensemble(
+                bins, repetitions=3, m=48, batch_size=batch, seed=11
+            )
+            for r, child in enumerate(spawn_seed_sequences(11, 3)):
+                sc = simulate_batched(bins, m=48, batch_size=batch, seed=child)
+                np.testing.assert_array_equal(
+                    ens.counts[r], sc.counts, err_msg=f"batch={batch} rep={r}"
+                )
+
+    def test_blocked_mode_deterministic_and_conserving(self):
+        from repro.core import simulate_batched_ensemble
+
+        bins = uniform_bins(6, 2)
+        a = simulate_batched_ensemble(
+            bins, repetitions=5, m=40, batch_size=8, seed=3, seed_mode="blocked"
+        )
+        b = simulate_batched_ensemble(
+            bins, repetitions=5, m=40, batch_size=8, seed=3, seed_mode="blocked"
+        )
+        np.testing.assert_array_equal(a.counts, b.counts)
+        assert (a.counts.sum(axis=1) == 40).all()
+        assert a.tie_break == "max_capacity"
+
+    def test_validation(self):
+        from repro.core import simulate_batched_ensemble
+
+        bins = uniform_bins(4)
+        with pytest.raises(ValueError, match="repetitions"):
+            simulate_batched_ensemble(bins)
+        with pytest.raises(ValueError, match="batch_size"):
+            simulate_batched_ensemble(bins, repetitions=2, batch_size=0)
+        with pytest.raises(ValueError, match="seed_mode"):
+            simulate_batched_ensemble(bins, repetitions=2, seed_mode="nope")
+        with pytest.raises(ValueError, match="blocked"):
+            simulate_batched_ensemble(bins, seeds=[1, 2], seed_mode="blocked")
+        with pytest.raises(ValueError, match="contradicts"):
+            simulate_batched_ensemble(bins, repetitions=3, seeds=[1, 2])

@@ -97,3 +97,50 @@ def test_weighted_invariants(sizes, seed):
     assert res.masses.sum() == pytest.approx(sum(sizes))
     assert (res.masses >= 0).all()
     assert res.counts.sum() == len(sizes)
+
+
+class TestWeightedEnsemble:
+    """Lockstep counterpart of simulate_weighted (simulate_weighted_ensemble)."""
+
+    def test_spawn_parity_with_scalar(self):
+        """Replication r == simulate_weighted(seed=child_r): counts and the
+        float masses bit for bit (identical IEEE operations)."""
+        from repro.core import simulate_weighted_ensemble
+        from repro.sampling.rngutils import spawn_seed_sequences
+
+        bins = two_class_bins(4, 4, 1, 6)
+        sizes = np.linspace(0.25, 3.0, 30)
+        ens = simulate_weighted_ensemble(bins, sizes, repetitions=4, seed=5)
+        for r, child in enumerate(spawn_seed_sequences(5, 4)):
+            sc = simulate_weighted(bins, sizes, seed=child)
+            np.testing.assert_array_equal(ens.counts[r], sc.counts)
+            np.testing.assert_array_equal(ens.masses[r], sc.masses)
+
+    def test_blocked_mode_deterministic_and_conserving(self):
+        from repro.core import simulate_weighted_ensemble
+
+        bins = two_class_bins(3, 3, 1, 4)
+        sizes = np.asarray([0.5, 1.5, 2.5, 0.25])
+        a = simulate_weighted_ensemble(
+            bins, sizes, repetitions=5, seed=9, seed_mode="blocked"
+        )
+        b = simulate_weighted_ensemble(
+            bins, sizes, repetitions=5, seed=9, seed_mode="blocked"
+        )
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_allclose(a.masses.sum(axis=1), sizes.sum())
+        assert a.average_load == pytest.approx(sizes.sum() / bins.total_capacity)
+        assert a.max_loads.shape == (5,)
+
+    def test_validation(self):
+        from repro.core import simulate_weighted_ensemble
+
+        bins = uniform_bins(4)
+        with pytest.raises(ValueError, match="positive"):
+            simulate_weighted_ensemble(bins, [1.0, -1.0], repetitions=2)
+        with pytest.raises(ValueError, match="repetitions"):
+            simulate_weighted_ensemble(bins, [1.0])
+        with pytest.raises(ValueError, match="seed_mode"):
+            simulate_weighted_ensemble(bins, [1.0], repetitions=2, seed_mode="x")
+        with pytest.raises(ValueError, match="blocked"):
+            simulate_weighted_ensemble(bins, [1.0], seeds=[1], seed_mode="blocked")

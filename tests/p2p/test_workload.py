@@ -69,3 +69,47 @@ class TestPowerOfTwoChoices:
             ring, caps_total, d=2, capacity_aware=True, resolution=1000, seed=3
         )
         assert res.max_load < 3.0
+
+
+class TestEnsembleAllocation:
+    """Lockstep counterpart of allocate_requests (allocate_requests_ensemble)."""
+
+    def test_spawn_parity_with_scalar(self, ring):
+        from repro.p2p import allocate_requests_ensemble
+        from repro.sampling.rngutils import spawn_seed_sequences
+
+        for aware in (False, True):
+            ens = allocate_requests_ensemble(
+                ring, 300, repetitions=3, d=2, capacity_aware=aware, seed=17
+            )
+            for r, child in enumerate(spawn_seed_sequences(17, 3)):
+                sc = allocate_requests(ring, 300, d=2, capacity_aware=aware, seed=child)
+                np.testing.assert_array_equal(
+                    ens.counts[r], sc.counts, err_msg=f"aware={aware} rep={r}"
+                )
+
+    def test_blocked_mode_deterministic_and_conserving(self, ring):
+        from repro.p2p import allocate_requests_ensemble
+
+        a = allocate_requests_ensemble(
+            ring, 200, repetitions=4, d=2, seed=23, seed_mode="blocked"
+        )
+        b = allocate_requests_ensemble(
+            ring, 200, repetitions=4, d=2, seed=23, seed_mode="blocked"
+        )
+        np.testing.assert_array_equal(a.counts, b.counts)
+        assert (a.counts.sum(axis=1) == 200).all()
+        assert a.max_requests.shape == (4,)
+        assert a.max_loads.shape == (4,)
+
+    def test_validation(self, ring):
+        from repro.p2p import allocate_requests_ensemble
+
+        with pytest.raises(ValueError, match="repetitions"):
+            allocate_requests_ensemble(ring, 10)
+        with pytest.raises(ValueError, match="m must"):
+            allocate_requests_ensemble(ring, -1, repetitions=2)
+        with pytest.raises(ValueError, match="seed_mode"):
+            allocate_requests_ensemble(ring, 10, repetitions=2, seed_mode="x")
+        with pytest.raises(ValueError, match="contradicts"):
+            allocate_requests_ensemble(ring, 10, repetitions=3, seeds=[1, 2])

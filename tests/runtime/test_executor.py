@@ -12,7 +12,12 @@ import pytest
 
 from repro.bins import uniform_bins
 from repro.core import simulate, simulate_ensemble
-from repro.runtime import run_ensemble_blocks, run_ensemble_reduced, run_repetitions
+from repro.runtime import (
+    block_parameter_rng,
+    run_ensemble_blocks,
+    run_ensemble_reduced,
+    run_repetitions,
+)
 
 
 def draw_task(seed, scale=1.0):
@@ -48,6 +53,18 @@ def bad_length_task(seeds):
 def block_fingerprint_task(seeds):
     """Block-level task recording which child seeds the block received."""
     return [identity_seed_entropy(s) for s in seeds]
+
+
+def shared_param_block_task(seeds, draws=5):
+    """Blocked-mode task using the shared-params-per-block hook: draws the
+    block's parameters from block_parameter_rng(seeds), then fingerprints
+    the child seeds it received."""
+    rng = block_parameter_rng(seeds)
+    params = rng.random(draws).tolist()
+    return {
+        "params": params,
+        "fingerprints": [identity_seed_entropy(s) for s in seeds],
+    }
 
 
 class _SumReducer:
@@ -176,6 +193,53 @@ class TestEnsembleSeedContract:
         payloads = [(draw_task, s, {}) for s in range(3)]
         with pytest.raises(ValueError, match="weights"):
             run_tasks(payloads, weights=[1, 1])
+
+
+class TestBlockParameterHook:
+    """Seed-order regression for the shared-params-per-block convention:
+    drawing shared parameters inside a block (random caps, ball sizes,
+    rings) must not perturb the documented SeedSequence.spawn contract."""
+
+    def test_rng_derives_from_first_child_only(self):
+        """The parameter generator is a pure function of seeds[0]."""
+        from repro.sampling.rngutils import spawn_seed_sequences
+
+        children = spawn_seed_sequences(123, 5)
+        hooked = block_parameter_rng(children).random(4)
+        direct = np.random.default_rng(children[0]).random(4)
+        np.testing.assert_array_equal(hooked, direct)
+        # The remaining children of the slice are irrelevant to the draw.
+        partial = block_parameter_rng(children[:1]).random(4)
+        np.testing.assert_array_equal(hooked, partial)
+
+    def test_param_draws_do_not_perturb_seed_contract(self):
+        """A block that consumes parameter draws still receives exactly
+        children[i0:i1]: concatenated fingerprints equal the scalar path's,
+        for every block size."""
+        scalar = run_repetitions(identity_seed_entropy, 10, seed=77)
+        for block_size in (1, 3, 4, 10):
+            blocks = run_ensemble_blocks(
+                shared_param_block_task, 10, seed=77, block_size=block_size
+            )
+            flat = [fp for b in blocks for fp in b["fingerprints"]]
+            assert flat == scalar, f"block_size={block_size}"
+
+    def test_param_draws_deterministic_in_seed_and_block_size(self):
+        """Shared parameter draws are fixed by (seed, block_size) alone —
+        the pool size can never change which parameters a block sees."""
+        serial = run_ensemble_blocks(
+            shared_param_block_task, 9, seed=5, block_size=3, workers=1
+        )
+        pooled = run_ensemble_blocks(
+            shared_param_block_task, 9, seed=5, block_size=3, workers=3
+        )
+        assert [b["params"] for b in serial] == [b["params"] for b in pooled]
+        # Distinct blocks own distinct first children, hence distinct params.
+        assert serial[0]["params"] != serial[1]["params"]
+
+    def test_rejects_empty_slice(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            block_parameter_rng([])
 
 
 class TestPool:

@@ -82,12 +82,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig02" in out
 
-    def test_run_ensemble_engine_unsupported_experiment(self):
-        with pytest.raises(SystemExit, match="only supports the scalar engine"):
-            main([
-                "run", "fig06", "--scale", "0.0003", "--seed", "5",
-                "--engine", "ensemble", "--no-plot",
-            ])
+    def test_run_ensemble_engine_fully_migrated(self, capsys):
+        """The engine matrix is full: formerly scalar-only figures now run
+        under --engine ensemble instead of raising."""
+        code = main([
+            "run", "fig06", "--scale", "0.0003", "--seed", "5",
+            "--engine", "ensemble", "--no-plot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out
 
     def test_tune(self, capsys):
         code = main([

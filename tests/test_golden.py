@@ -11,8 +11,21 @@ import numpy as np
 
 from repro.bins import BinArray, two_class_bins, uniform_bins
 from repro.bins.generators import binomial_random_bins
-from repro.core import simulate, simulate_ensemble
+from repro.core import (
+    simulate,
+    simulate_batched_ensemble,
+    simulate_ensemble,
+    simulate_weighted_ensemble,
+)
+from repro.experiments import run_experiment
 from repro.sampling import AliasSampler
+
+
+def ensemble_series(experiment_id, **kwargs):
+    """One ensemble-engine experiment run at the goldens' shared seed."""
+    return run_experiment(
+        experiment_id, seed=20260612, engine="ensemble", **kwargs
+    ).series
 
 
 class TestGoldenEngine:
@@ -117,6 +130,69 @@ class TestGoldenEngine:
         ])
         np.testing.assert_array_equal(res.counts, pinned)
 
+    def test_batched_ensemble_counts_pinned(self):
+        """Exact spawn-mode stale-view ensemble output.
+
+        Regenerate: simulate_batched_ensemble(uniform_bins(8, 1),
+        repetitions=3, batch_size=4, seed=12345).counts.tolist()
+        """
+        res = simulate_batched_ensemble(
+            uniform_bins(8, 1), repetitions=3, batch_size=4, seed=12345
+        )
+        pinned = np.array([
+            [1, 2, 2, 0, 1, 1, 1, 0],
+            [2, 3, 0, 0, 0, 1, 2, 0],
+            [2, 1, 1, 0, 1, 1, 1, 1],
+        ])
+        np.testing.assert_array_equal(res.counts, pinned)
+        assert (res.counts.sum(axis=1) == 8).all()
+
+    def test_weighted_ensemble_state_pinned(self):
+        """Exact spawn-mode weighted ensemble output (counts and masses).
+
+        Regenerate: bins = two_class_bins(3, 3, 1, 4);
+        sizes = np.round(np.linspace(0.5, 2.0, 10), 3);
+        res = simulate_weighted_ensemble(bins, sizes, repetitions=2, seed=777);
+        res.counts.tolist(); res.masses.tolist()
+        """
+        bins = two_class_bins(3, 3, 1, 4)
+        sizes = np.round(np.linspace(0.5, 2.0, 10), 3)
+        res = simulate_weighted_ensemble(bins, sizes, repetitions=2, seed=777)
+        np.testing.assert_array_equal(
+            res.counts, [[0, 0, 1, 0, 3, 6], [0, 0, 0, 4, 2, 4]]
+        )
+        np.testing.assert_allclose(
+            res.masses,
+            [[0.0, 0.0, 1.667, 0.0, 3.333, 7.5],
+             [0.0, 0.0, 0.0, 5.834, 1.333, 5.333]],
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            res.masses.sum(axis=1), float(sizes.sum()), rtol=1e-12
+        )
+
+    def test_ring_ensemble_counts_pinned(self):
+        """Exact spawn-mode ring-allocation ensemble output.
+
+        Regenerate: ring = ConsistentHashRing.random(6,
+        seed=np.random.default_rng(2026));
+        allocate_requests_ensemble(ring, 30, repetitions=2, d=2,
+        capacity_aware=True, seed=555).counts.tolist()  (and .capacities)
+        """
+        from repro.p2p import allocate_requests_ensemble
+        from repro.p2p.ring import ConsistentHashRing
+
+        ring = ConsistentHashRing.random(6, seed=np.random.default_rng(2026))
+        res = allocate_requests_ensemble(
+            ring, 30, repetitions=2, d=2, capacity_aware=True, seed=555
+        )
+        np.testing.assert_array_equal(
+            res.capacities, [115, 70, 220, 354, 203, 38]
+        )
+        np.testing.assert_array_equal(
+            res.counts, [[2, 2, 7, 12, 7, 0], [3, 2, 6, 11, 7, 1]]
+        )
+
     def test_forced_sequence_with_capacity_tiebreak(self):
         """Caps 2 and 4, both empty: load-after 1/2 vs 1/4 -> bin 1; then
         1/2 vs 2/4 ties -> capacity rule sends it to bin 1 again; etc.
@@ -134,3 +210,120 @@ class TestGoldenEngine:
         # ball 5: 2/2 vs 4/4 -> tie -> bin1 (1,4)
         # ball 6: 2/2 vs 5/4 -> bin0 (2,4)
         assert counts == [2, 4]
+
+
+class TestGoldenEnsembleFigures:
+    """Ensemble-engine goldens for every figure migrated after fig01/02–05/16.
+
+    Blocked-mode ensemble results are deterministic in (seed, block_size);
+    every pin below uses the experiments' shared default seed 20260612 and
+    the executor's default block partitioning, so any drift in the lockstep
+    kernels, the blocked seeding, or the per-experiment reducers moves these
+    exact numbers.  Regenerate any pin with the snippet in its docstring
+    (the `ensemble_series` helper at the top of this module) and say so in
+    the commit message.
+    """
+
+    def test_fig06_fig07_pinned(self):
+        """Regenerate: ensemble_series("fig06", repetitions=5, n=100,
+        step_pct=50)["max_load"].tolist() — and the same call for "fig07"
+        / "pct_small_has_max"."""
+        fig06 = ensemble_series("fig06", repetitions=5, n=100, step_pct=50)
+        np.testing.assert_allclose(
+            fig06["max_load"], [2.6, 1.24, 1.1800000000000002], rtol=1e-12
+        )
+        fig07 = ensemble_series("fig07", repetitions=5, n=100, step_pct=50)
+        np.testing.assert_allclose(
+            fig07["pct_small_has_max"], [100.0, 0.0, 0.0], rtol=1e-12
+        )
+
+    def test_fig08_fig09_pinned(self):
+        """Regenerate: ensemble_series("fig08", repetitions=8, n=200,
+        mean_cap_grid=(1.0, 4.0))["max_load"].tolist() — and
+        ensemble_series("fig09", repetitions=8, n=200,
+        mean_cap_grid=(1.0, 6.0))."""
+        fig08 = ensemble_series("fig08", repetitions=8, n=200, mean_cap_grid=(1.0, 4.0))
+        np.testing.assert_allclose(
+            fig08["max_load"], [2.625, 1.4625000000000001], rtol=1e-12
+        )
+        fig09 = ensemble_series("fig09", repetitions=8, n=200, mean_cap_grid=(1.0, 6.0))
+        np.testing.assert_allclose(fig09["max_in_size_1"], [100.0, 0.0], rtol=1e-12)
+        np.testing.assert_allclose(fig09["max_in_size_6"], [0.0, 87.5], rtol=1e-12)
+
+    def test_fig10_fig12_pinned(self):
+        """Regenerate: ensemble_series("fig10", repetitions=4)
+        ["32x2-bins"][:3].tolist() — and ensemble_series("fig12",
+        repetitions=3)["10000x8-bins"][:2].tolist()."""
+        fig10 = ensemble_series("fig10", repetitions=4)
+        np.testing.assert_allclose(
+            fig10["32x2-bins"][:3], [1.5, 1.5, 1.5], rtol=1e-12
+        )
+        fig12 = ensemble_series("fig12", repetitions=3)
+        np.testing.assert_allclose(
+            fig12["10000x8-bins"][:2], [1.3333333333333333, 1.2916666666666667],
+            rtol=1e-12,
+        )
+
+    def test_fig14_fig15_pinned(self):
+        """Regenerate: ensemble_series("fig14", repetitions=4, max_bins=62)
+        ["lin a=4"].tolist() — and the same call for "fig15" / "exp b=1.4"."""
+        fig14 = ensemble_series("fig14", repetitions=4, max_bins=62)
+        np.testing.assert_allclose(
+            fig14["lin a=4"],
+            [1.0, 1.2916666666666665, 1.2, 1.1690476190476191],
+            rtol=1e-12,
+        )
+        fig15 = ensemble_series("fig15", repetitions=4, max_bins=62)
+        np.testing.assert_allclose(
+            fig15["exp b=1.4"],
+            [1.125, 1.5416666666666667, 1.4166666666666665, 1.4083333333333332],
+            rtol=1e-12,
+        )
+
+    def test_fig17_fig18_pinned(self):
+        """Regenerate: ensemble_series("fig18", repetitions=20,
+        capacities=(3,), t_grid=(1.0, 2.0))["capacities 1 and 3"].tolist()
+        — and the same call for "fig17" / "optimal_exponent"."""
+        fig18 = ensemble_series(
+            "fig18", repetitions=20, capacities=(3,), t_grid=(1.0, 2.0)
+        )
+        np.testing.assert_allclose(fig18["capacities 1 and 3"], [1.9, 1.75], rtol=1e-12)
+        fig17 = ensemble_series(
+            "fig17", repetitions=20, capacities=(3,), t_grid=(1.0, 2.0)
+        )
+        np.testing.assert_allclose(fig17["optimal_exponent"], [2.0], rtol=1e-12)
+
+    def test_ablations_pinned(self):
+        """Regenerate: ensemble_series("abl_tiebreak", repetitions=5, n=100,
+        fractions=(30, 70)) — likewise "abl_probability" (large_caps=(2, 8)),
+        "abl_d" (d_values=(1, 2)), "abl_staleness" (batch_sizes=(1, 100))."""
+        tie = ensemble_series("abl_tiebreak", repetitions=5, n=100, fractions=(30, 70))
+        np.testing.assert_allclose(tie["max_capacity"], [2.0, 2.1], rtol=1e-12)
+        np.testing.assert_allclose(tie["uniform"], [2.2, 2.1], rtol=1e-12)
+        prob = ensemble_series("abl_probability", repetitions=5, n=100, large_caps=(2, 8))
+        np.testing.assert_allclose(prob["proportional"], [2.1, 2.2], rtol=1e-12)
+        np.testing.assert_allclose(prob["uniform"], [2.8, 3.0], rtol=1e-12)
+        abl_d = ensemble_series("abl_d", repetitions=5, n=100, d_values=(1, 2))
+        np.testing.assert_allclose(abl_d["measured"], [3.6, 1.45], rtol=1e-12)
+        stale = ensemble_series("abl_staleness", repetitions=5, n=100, batch_sizes=(1, 100))
+        np.testing.assert_allclose(stale["max_load"], [2.8, 4.0], rtol=1e-12)
+
+    def test_related_work_pinned(self):
+        """Regenerate: ensemble_series("rw_ring", repetitions=8, n_peers=20,
+        requests_per_peer=5, d_values=(1, 2)) — and
+        ensemble_series("abl_weighted", repetitions=8, n=20,
+        sigmas=(0.0, 1.0))["max_over_avg_load"].tolist()."""
+        ring = ensemble_series(
+            "rw_ring", repetitions=8, n_peers=20, requests_per_peer=5, d_values=(1, 2)
+        )
+        np.testing.assert_allclose(
+            ring["plain peers (max/avg requests)"], [4.05, 2.1], rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            ring["capacity-aware (max/avg load)"],
+            [2.0441857738095237, 1.311281943459766], rtol=1e-12,
+        )
+        weighted = ensemble_series("abl_weighted", repetitions=8, n=20, sigmas=(0.0, 1.0))
+        np.testing.assert_allclose(
+            weighted["max_over_avg_load"], [1.25, 1.887137329354299], rtol=1e-12
+        )

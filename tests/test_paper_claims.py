@@ -4,6 +4,11 @@ Each test runs the real simulator at laptop scale with fixed seeds and
 checks the corresponding analytical statement.  Sizes are chosen so the
 w.h.p. events have overwhelming probability at the tested n; a failure
 indicates a genuine regression rather than statistical noise.
+
+The figure-level claims are checked on **both** repetition engines with the
+same tolerances: the ensemble runs use explicit per-replication seeds, so
+the spawn-mode stream contract makes them exercise the lockstep code path
+end to end while drawing the exact seeds the scalar runs use.
 """
 
 import math
@@ -16,34 +21,59 @@ from repro.core import (
     coupled_domination_run,
     empirical_max_load_domination,
     simulate,
+    simulate_ensemble,
     standard_greedy,
 )
 from repro.core.heights import split_heights_by_big_contact
 from repro.sampling import PowerProbability, ThresholdProbability
 from repro.theory import observation2_bound, theorem3_bound
 
+ENGINES = ("scalar", "ensemble")
+
+
+def engine_max_loads(bins, n_runs, engine, *, d=2, m=None,
+                     probabilities="proportional") -> np.ndarray:
+    """Per-repetition max loads over seeds 0..n_runs-1 on either engine.
+
+    The ensemble path hands the same integer seeds to one lockstep call
+    (``seeds=``), so both engines sample identical runs — the claim checks
+    below therefore apply the exact same tolerances to both.
+    """
+    seeds = list(range(n_runs))
+    if engine == "ensemble":
+        res = simulate_ensemble(
+            bins, seeds=seeds, m=m, d=d, probabilities=probabilities
+        )
+        return np.asarray(res.max_loads)
+    return np.asarray([
+        simulate(bins, m=m, d=d, probabilities=probabilities, seed=s).max_load
+        for s in seeds
+    ])
+
 
 class TestTheorem3:
     """Max load <= lnln(n)/ln(d) + O(1) for m = C, proportional probs."""
 
-    @pytest.mark.parametrize("seed", range(5))
-    def test_two_class_system(self, seed):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_two_class_system(self, engine):
         bins = two_class_bins(2500, 2500, 1, 10)
-        res = simulate(bins, seed=seed)
-        assert res.max_load <= theorem3_bound(bins.n, 2, constant=2.0)
+        loads = engine_max_loads(bins, 5, engine)
+        assert (loads <= theorem3_bound(bins.n, 2, constant=2.0)).all()
 
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("d", [2, 3, 4])
-    def test_d_dependence(self, d):
+    def test_d_dependence(self, d, engine):
         """Larger d lowers the bound and the simulated load follows."""
         bins = two_class_bins(2000, 2000, 1, 4)
-        loads = [simulate(bins, d=d, seed=s).max_load for s in range(3)]
+        loads = engine_max_loads(bins, 3, engine, d=d)
         assert np.mean(loads) <= theorem3_bound(bins.n, d, constant=2.0)
 
-    def test_max_load_does_not_grow_with_capacity(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_max_load_does_not_grow_with_capacity(self, engine):
         """The paper's core message: heterogeneity does not hurt — the
         all-big system is at least as balanced as the unit system."""
-        unit = np.mean([simulate(uniform_bins(2000, 1), seed=s).max_load for s in range(5)])
-        big = np.mean([simulate(uniform_bins(2000, 10), seed=s).max_load for s in range(5)])
+        unit = np.mean(engine_max_loads(uniform_bins(2000, 1), 5, engine))
+        big = np.mean(engine_max_loads(uniform_bins(2000, 10), 5, engine))
         assert big <= unit
 
 
@@ -91,25 +121,23 @@ class TestObservation1:
 class TestObservation2:
     """Uniform capacity c: max load ~ (m/n + O(lnln n))/c."""
 
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("c", [2, 4, 8])
-    def test_prediction_matches(self, c):
+    def test_prediction_matches(self, c, engine):
         n = 4000
-        loads = [simulate(uniform_bins(n, c), seed=s).max_load for s in range(4)]
-        measured = float(np.mean(loads))
+        measured = float(np.mean(engine_max_loads(uniform_bins(n, c), 4, engine)))
         predicted = observation2_bound(c * n, n, c)
         assert measured == pytest.approx(predicted, abs=0.45)
 
-    def test_heavily_loaded_gap_invariance(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_heavily_loaded_gap_invariance(self, engine):
         """Figures 2-5's invariance: the gap (max - m/C) is independent of
         the ball multiplier."""
         bins = uniform_bins(32, 2)
         gaps = {}
         for mult in (1, 10, 100):
-            runs = [
-                simulate(bins, m=mult * bins.total_capacity, seed=s).gap
-                for s in range(30)
-            ]
-            gaps[mult] = float(np.mean(runs))
+            loads = engine_max_loads(bins, 30, engine, m=mult * bins.total_capacity)
+            gaps[mult] = float(np.mean(loads)) - float(mult)
         assert gaps[10] == pytest.approx(gaps[1], abs=0.4)
         assert gaps[100] == pytest.approx(gaps[1], abs=0.4)
 
@@ -117,15 +145,21 @@ class TestObservation2:
 class TestTheorem5:
     """Routing only to the q-capacity bins yields constant max load."""
 
-    def test_threshold_distribution_constant_load(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_threshold_distribution_constant_load(self, engine):
         n = 1000
         q = 8  # ~ lnln-scale at this n
         bins = two_class_bins(n // 2, n // 2, 1, q)
-        res = simulate(bins, probabilities=ThresholdProbability(q), seed=0)
+        if engine == "ensemble":
+            ens = simulate_ensemble(bins, seeds=[0], probabilities=ThresholdProbability(q))
+            max_load, counts = float(ens.max_loads[0]), ens.counts[0]
+        else:
+            res = simulate(bins, probabilities=ThresholdProbability(q), seed=0)
+            max_load, counts = res.max_load, res.counts
         # k = 1, alpha = 1/2 -> bound k/alpha + O(1) ~ 2 + small
-        assert res.max_load <= 2.0 + 1.0
+        assert max_load <= 2.0 + 1.0
         # the ignored bins receive nothing
-        assert res.counts[: n // 2].sum() == 0
+        assert counts[: n // 2].sum() == 0
 
     def test_threshold_beats_proportional_on_extreme_mixes(self):
         """With many tiny bins and few capable ones, ignoring the tiny bins
@@ -144,17 +178,16 @@ class TestTheorem5:
 class TestSection45:
     """The optimal exponent exceeds 1 for mixed arrays."""
 
-    def test_exponent_two_beats_exponent_one(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_exponent_two_beats_exponent_one(self, engine):
         """At capacities 1 and 3 the paper reports t* ~ 2.1; t=2 should
         beat t=1 on mean max load."""
         bins = two_class_bins(50, 50, 1, 3)
         t1 = np.mean(
-            [simulate(bins, probabilities=PowerProbability(1.0), seed=s).max_load
-             for s in range(300)]
+            engine_max_loads(bins, 300, engine, probabilities=PowerProbability(1.0))
         )
         t2 = np.mean(
-            [simulate(bins, probabilities=PowerProbability(2.0), seed=s).max_load
-             for s in range(300)]
+            engine_max_loads(bins, 300, engine, probabilities=PowerProbability(2.0))
         )
         assert t2 < t1
 
