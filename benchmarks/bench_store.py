@@ -1,0 +1,70 @@
+"""Result-store put/get latency.
+
+Not a paper figure — this tracks the overhead of the content-addressed
+store (:mod:`repro.io.store`) that makes repeated runs cache hits.  Two
+entry shapes bracket the registry:
+
+* a fig02-sized result (32-point grid, 4 series) — the smallest entries
+  the sweep front end shuffles around;
+* a fig01-sized result (10,000-point grid, 5 series, NaN padding) — the
+  largest profile entries.
+
+The put path includes the atomic tmp-file + rename dance and checkpoint
+cleanup; the get path includes full ``.npz`` decode and
+``ExperimentResult`` reconstruction.  Latencies land in the benchmark JSON
+next to the engine numbers, so a store regression is visible the same way
+an engine regression is.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import RunRequest
+from repro.experiments.base import ExperimentResult
+from repro.io.store import ResultStore
+
+SHAPES = {
+    "fig02_sized": dict(n=32, series=4, nan_pad=0),
+    "fig01_sized": dict(n=10_000, series=5, nan_pad=128),
+}
+
+
+def _make_result(experiment_id: str, n: int, series: int, nan_pad: int) -> ExperimentResult:
+    rng = np.random.default_rng(20260612)
+    data = {}
+    for j in range(series):
+        ys = rng.random(n)
+        if nan_pad:
+            ys[-nan_pad:] = np.nan  # the registry's NaN-padded class profiles
+        data[f"series-{j}"] = ys
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="store benchmark payload",
+        x_name="bin_rank",
+        x_values=np.arange(n),
+        series=data,
+        parameters={"n": n, "repetitions": 400, "seed": 20260612, "engine": "ensemble"},
+        extra={"wall_seconds": 1.234},
+    )
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+def test_store_put_latency(benchmark, tmp_path, shape):
+    store = ResultStore(tmp_path)
+    result = _make_result(shape, **SHAPES[shape])
+    request = RunRequest(shape, seed=20260612, overrides={"repetitions": 400})
+    key = request.cache_key(version=1)
+    benchmark(lambda: store.put(key, result, request=request))
+    assert store.contains(key)
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+def test_store_get_latency(benchmark, tmp_path, shape):
+    store = ResultStore(tmp_path)
+    result = _make_result(shape, **SHAPES[shape])
+    request = RunRequest(shape, seed=20260612, overrides={"repetitions": 400})
+    key = request.cache_key(version=1)
+    store.put(key, result, request=request)
+    stored = benchmark(lambda: store.get(key))
+    for name, ys in result.series.items():
+        assert stored.result.series[name].tobytes() == ys.tobytes()

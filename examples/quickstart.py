@@ -51,6 +51,26 @@ def main() -> None:
         status = "yes" if report.applies else "no"
         print(f"  {report.theorem:12s} {status}")
 
+    # Repeated figure runs are cache hits through the result store: the
+    # same request (experiment, scale, seed, engine, overrides) maps to the
+    # same content address, so the second run does zero simulation work.
+    # The CLI front ends are `repro run fig02 --store` and
+    # `repro sweep fig02,fig06 --seeds 1,2 --engines scalar,ensemble --store`
+    # (the store location is the --store DIR / $REPRO_STORE knob, default
+    # ./.repro-store; a killed sweep resumes from block checkpoints).
+    import tempfile
+
+    from repro.experiments import run_experiment
+    from repro.io import ResultStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        run_experiment("fig02", seed=2026, repetitions=8, store=store)
+        run_experiment("fig02", seed=2026, repetitions=8, store=store)  # hit
+        stats = store.stats()
+        print(f"\nresult store: {stats.entries} entry, "
+              f"{stats.hits} hit / {stats.misses} miss")
+
 
 if __name__ == "__main__":
     main()

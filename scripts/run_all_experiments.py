@@ -1,6 +1,15 @@
-"""Run all registered experiments at moderate scale; save CSV/JSON + summary."""
-import json, sys, time
-from repro.experiments import list_experiments, run_experiment
+"""Run all registered experiments at moderate scale; save CSV/JSON + summary.
+
+Each run is a declarative RunRequest executed through the result store when
+``REPRO_STORE`` is set (re-running the script then only recomputes what the
+overrides changed; an interrupted invocation resumes ensemble runs from
+their block checkpoints).
+"""
+import json
+import os
+import time
+
+from repro.experiments import RunRequest, execute_request, list_experiments
 
 overrides = {
     "fig01": dict(repetitions=30),
@@ -19,22 +28,28 @@ overrides = {
     "fig14": dict(repetitions=8, max_bins=1000),
     "fig15": dict(repetitions=8, max_bins=1000, ball_budget=1_500_000),
     "fig16": dict(repetitions=4, n=4000, rounds=100),
-    "fig17": dict(repetitions=500, t_grid=tuple(round(1.0+0.1*i,3) for i in range(21))),
+    "fig17": dict(repetitions=500, t_grid=tuple(round(1.0 + 0.1 * i, 3) for i in range(21))),
     "fig18": dict(repetitions=500),
 }
+store = os.environ.get("REPRO_STORE") or None
 summaries = {}
 for spec in list_experiments():
     fid = spec.experiment_id
+    request = RunRequest(fid, seed=20260612, overrides=overrides.get(fid, {}))
     t0 = time.time()
-    res = run_experiment(fid, seed=20260612, out_dir="results", **overrides.get(fid, {}))
+    outcome = execute_request(request, out_dir="results", store=store)
     dt = time.time() - t0
+    res = outcome.result
     summaries[fid] = {
         "wall_seconds": round(dt, 1),
+        "cache_hit": outcome.cache_hit,
+        "cache_key": outcome.key,
         "extra": {k: v for k, v in res.extra.items()},
-        "series_summary": {name: dict(zip(("min","max","first","last"), vals))
-                            for name, *vals in [(r[0], *r[1:]) for r in res.summary_rows()]},
+        "series_summary": {name: dict(zip(("min", "max", "first", "last"), vals))
+                           for name, *vals in [(r[0], *r[1:]) for r in res.summary_rows()]},
         "parameters": res.parameters,
     }
-    print(f"{fid} done in {dt:.1f}s", flush=True)
-json.dump(summaries, open("results/summaries.json","w"), indent=1, default=str)
+    status = "cache hit" if outcome.cache_hit else "computed"
+    print(f"{fid} {status} in {dt:.1f}s", flush=True)
+json.dump(summaries, open("results/summaries.json", "w"), indent=1, default=str)
 print("ALL DONE")

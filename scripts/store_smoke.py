@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Store round-trip smoke for CI: second fig01 run must be a fast cache hit.
+
+Runs the same fig01 request twice against a throwaway store and asserts
+
+* the first run computes (miss) and the second is a cache hit,
+* the hit does zero simulation work and is >= 10x faster than the compute,
+* the two results are bit-identical (series and x-grid byte-for-byte).
+
+Exercised by ``scripts/ci.sh`` / ``make check``.
+"""
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import RunRequest, execute_request
+from repro.io.store import ResultStore
+
+REQUEST = RunRequest(
+    "fig01",
+    seed=20260612,
+    engine="ensemble",
+    overrides={"repetitions": 24, "n": 2000, "capacities": (1, 2, 8)},
+)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-store-smoke-") as tmp:
+        store = ResultStore(tmp)
+        t0 = time.perf_counter()
+        first = execute_request(REQUEST, store=store)
+        t_miss = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        second = execute_request(REQUEST, store=store)
+        t_hit = time.perf_counter() - t0
+        assert not first.cache_hit and second.cache_hit, (
+            f"expected miss-then-hit, got {first.cache_hit}/{second.cache_hit}"
+        )
+        a, b = first.result, second.result
+        assert a.x_values.tobytes() == b.x_values.tobytes()
+        for name in a.series:
+            assert a.series[name].tobytes() == b.series[name].tobytes(), name
+        speedup = t_miss / max(t_hit, 1e-9)
+        print(
+            f"store smoke: miss {t_miss * 1e3:.1f} ms, hit {t_hit * 1e3:.1f} ms "
+            f"({speedup:.0f}x), round trip bit-identical"
+        )
+        assert speedup >= 10.0, (
+            f"cache hit only {speedup:.1f}x faster than the compute (floor 10x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,6 +160,27 @@ class StreamingProfile:
         self.repetitions += other.repetitions
         return self
 
+    def __eq__(self, other) -> bool:
+        """Bit-exact state equality (moments compared byte-for-byte).
+
+        Reducers are checkpointed mid-run by the resume pipeline
+        (:func:`repro.runtime.executor.run_ensemble_reduced`); equality is
+        deliberately exact, not approximate, because a resumed run promises
+        *bit-identical* final results.  Pickling round-trips the state
+        exactly, so ``loads(dumps(r)) == r`` always holds.
+        """
+        if not isinstance(other, StreamingProfile):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.sort == other.sort
+            and self.repetitions == other.repetitions
+            and self._sum.tobytes() == other._sum.tobytes()
+            and self._sumsq.tobytes() == other._sumsq.tobytes()
+        )
+
+    __hash__ = None  # mutable reducer
+
     def profile(self) -> MeanProfile:
         """Finalise into a :class:`MeanProfile` (needs >= 1 replication)."""
         if self.repetitions == 0:
@@ -206,6 +227,22 @@ class StreamingScalar:
         self._max = max(self._max, other._max)
         self.repetitions += other.repetitions
         return self
+
+    def __eq__(self, other) -> bool:
+        """Bit-exact state equality (see :meth:`StreamingProfile.__eq__`).
+
+        Compared at the byte level so NaN-valued moments (a reducer fed NaN
+        samples) still satisfy ``loads(dumps(r)) == r``.
+        """
+        if not isinstance(other, StreamingScalar):
+            return NotImplemented
+        if self.repetitions != other.repetitions:
+            return False
+        mine = np.array([self._sum, self._sumsq, self._min, self._max])
+        theirs = np.array([other._sum, other._sumsq, other._min, other._max])
+        return mine.tobytes() == theirs.tobytes()
+
+    __hash__ = None  # mutable reducer
 
     @property
     def mean(self) -> float:
@@ -268,6 +305,14 @@ class ReducerBundle:
         for key, reducer in self.reducers.items():
             reducer.merge(other.reducers[key])
         return self
+
+    def __eq__(self, other) -> bool:
+        """Bit-exact state equality, key by key."""
+        if not isinstance(other, ReducerBundle):
+            return NotImplemented
+        return self.reducers == other.reducers
+
+    __hash__ = None  # mutable reducer
 
 
 def fraction_true(flags) -> float:

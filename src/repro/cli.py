@@ -4,10 +4,19 @@ Commands
 --------
 ``repro list``
     Show every registered figure experiment.
-``repro run <id> [--scale S] [--seed N] [--workers W] [--engine E] [--out DIR] [--no-plot]``
+``repro run <id> [--scale S] [--seed N] [--workers W] [--engine E] [--block-size B]
+[--store [DIR]] [--out DIR] [--no-plot]``
     Run an experiment; print the ASCII rendition and save CSV/JSON.
-    ``--engine ensemble`` selects the lockstep replication engine where the
-    experiment supports it.
+    ``--engine ensemble`` selects the lockstep replication engine.
+    ``--store`` routes the run through the content-addressed result store
+    (``DIR``, else ``$REPRO_STORE``, else ``./.repro-store``): a repeated
+    request is a cache hit doing zero simulation work, and an interrupted
+    ensemble run resumes from its block checkpoints.
+``repro sweep <ids|all> [--scales S1,S2] [--seeds N1,N2] [--engines E1,E2] ...``
+    Run a grid of run requests (ids × scales × seeds × engines) through the
+    store and print a hit/miss/resume summary table.  Killing a sweep loses
+    nothing: completed cells are cache hits on the rerun and the
+    interrupted cell resumes from its last completed block slab.
 ``repro describe <spec>``
     Parse a bin-array spec (``"1x500,10x500"`` = 500 bins of capacity 1 and
     500 of capacity 10), report its structure and which theorems apply.
@@ -58,20 +67,29 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     from .experiments.base import EngineNotSupportedError
+    from .experiments.runner import as_run_request, execute_request
 
     progress = ProgressReporter() if args.progress else None
+    request = as_run_request(
+        args.experiment,
+        scale=args.scale,
+        seed=args.seed,
+        engine=args.engine,
+        workers=args.workers,
+        block_size=args.block_size,
+    )
     try:
-        result = run_experiment(
-            args.experiment,
-            scale=args.scale,
-            seed=args.seed,
-            workers=args.workers,
-            progress=progress,
-            out_dir=args.out,
-            engine=args.engine,
+        outcome = execute_request(
+            request, progress=progress, out_dir=args.out, store=args.store
         )
     except EngineNotSupportedError as exc:
         raise SystemExit(str(exc)) from None
+    result = outcome.result
+    if args.store is not None:
+        status = "hit" if outcome.cache_hit else (
+            "miss (resumed from checkpoints)" if outcome.resumed else "miss"
+        )
+        print(f"store: cache {status} [{outcome.key[:12]}]")
     if not args.no_plot:
         print(result.render())
     else:
@@ -110,12 +128,107 @@ def _cmd_report(args) -> int:
         out_dir=args.out,
         only=args.only.split(",") if args.only else None,
         engine=args.engine,
+        store=args.store,
     )
     report = results_to_report(results, title=args.title)
     path = Path(args.out or ".") / "REPORT.md"
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(report)
     print(f"wrote {path} covering {len(results)} experiment(s)")
+    return 0
+
+
+def _parse_csl(text, convert, what):
+    """Parse a comma-separated option list with a clear error."""
+    items = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            items.append(convert(part))
+        except ValueError:
+            raise SystemExit(f"bad {what} value: {part!r}") from None
+    if not items:
+        raise SystemExit(f"empty {what} list")
+    return items
+
+
+def _cmd_sweep(args) -> int:
+    from itertools import product
+    from pathlib import Path
+
+    from .experiments.base import ENGINES, EngineNotSupportedError, get_experiment
+    from .experiments.request import RunRequest
+    from .experiments.runner import execute_request
+    from .io.asciiplot import ascii_table
+    from .io.store import resolve_store
+
+    if args.experiments == "all":
+        ids = [spec.experiment_id for spec in list_experiments()]
+    else:
+        ids = _parse_csl(args.experiments, str, "experiment id")
+    scales = _parse_csl(args.scales, float, "scale") if args.scales else [None]
+    seeds = _parse_csl(args.seeds, int, "seed") if args.seeds else [None]
+    engines = _parse_csl(args.engines, str, "engine") if args.engines else [None]
+    for engine in engines:
+        if engine is not None and engine not in ENGINES:
+            raise SystemExit(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    overrides = {}
+    if args.repetitions is not None:
+        overrides["repetitions"] = args.repetitions
+    store = resolve_store(args.store if args.store is not None else True)
+    progress = ProgressReporter() if args.progress else None
+
+    rows = []
+    for eid, scale, seed, engine in product(ids, scales, seeds, engines):
+        request = RunRequest(
+            experiment_id=eid,
+            scale=scale,
+            seed=seed,
+            engine=engine,
+            workers=args.workers,
+            block_size=args.block_size,
+            overrides=overrides,
+        )
+        spec_version = get_experiment(eid).version
+        out_dir = None
+        if args.out is not None:
+            # One subdirectory per grid cell: flat <id>.csv naming would let
+            # cells differing only in seed/scale/engine overwrite each other.
+            cell = request.cache_key(version=spec_version)[:12]
+            out_dir = Path(args.out) / f"{eid}-{cell}"
+        try:
+            outcome = execute_request(
+                request, progress=progress, out_dir=out_dir, store=store
+            )
+        except EngineNotSupportedError as exc:
+            raise SystemExit(str(exc)) from None
+        status = "hit" if outcome.cache_hit else (
+            "resumed" if outcome.resumed else "miss"
+        )
+        rows.append([
+            eid,
+            "-" if scale is None else f"{scale:g}",
+            "-" if seed is None else seed,
+            engine or "scalar",
+            status,
+            outcome.wall_seconds,
+            outcome.key[:12],
+        ])
+    print(ascii_table(
+        ["experiment", "scale", "seed", "engine", "status", "wall_s", "key"],
+        rows,
+        float_format="{:.3f}",
+    ))
+    stats = store.stats()
+    hits = sum(1 for r in rows if r[4] == "hit")
+    print(
+        f"\n{len(rows)} run(s): {hits} cache hit(s), {len(rows) - hits} "
+        f"computed; store {stats.root} holds {stats.entries} entr"
+        f"{'y' if stats.entries == 1 else 'ies'} "
+        f"({stats.total_bytes / 1024:.1f} KiB)"
+    )
     return 0
 
 
@@ -197,9 +310,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel worker processes (default 1)")
     p_run.add_argument("--engine", choices=["scalar", "ensemble"], default=None,
                        help="repetition engine: scalar loop or lockstep ensemble")
+    p_run.add_argument("--block-size", type=int, default=None,
+                       help="replications per lockstep block (ensemble engine)")
+    p_run.add_argument("--store", nargs="?", const=True, default=None, metavar="DIR",
+                       help="cache through the result store at DIR "
+                            "(default: $REPRO_STORE or ./.repro-store)")
     p_run.add_argument("--out", default=None, help="directory for CSV/JSON results")
     p_run.add_argument("--no-plot", action="store_true", help="skip the ASCII plot")
     p_run.add_argument("--progress", action="store_true", help="print progress to stderr")
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a grid of requests through the result store (resumable)",
+    )
+    p_sweep.add_argument("experiments",
+                         help="comma-separated experiment ids, or 'all'")
+    p_sweep.add_argument("--scales", default=None,
+                         help="comma-separated repetition scales")
+    p_sweep.add_argument("--seeds", default=None, help="comma-separated seeds")
+    p_sweep.add_argument("--engines", default=None,
+                         help="comma-separated engines (scalar,ensemble)")
+    p_sweep.add_argument("--repetitions", type=int, default=None,
+                         help="repetition-count override for every cell")
+    p_sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    p_sweep.add_argument("--block-size", type=int, default=None,
+                         help="replications per lockstep block (ensemble engine)")
+    p_sweep.add_argument("--store", nargs="?", const=True, default=None, metavar="DIR",
+                         help="result store location (default: $REPRO_STORE or "
+                              "./.repro-store); the sweep always uses a store")
+    p_sweep.add_argument("--out", default=None,
+                         help="also save CSV/JSON per run, one "
+                              "<id>-<key> subdirectory per grid cell")
+    p_sweep.add_argument("--progress", action="store_true", help="print progress")
 
     p_desc = sub.add_parser("describe", help="analyse a bin-array spec against the theorems")
     p_desc.add_argument("spec", help="bin spec like '1x500,10x500'")
@@ -217,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--workers", type=int, default=1, help="worker processes")
     p_report.add_argument("--engine", choices=["scalar", "ensemble"], default=None,
                           help="repetition engine where supported (see ROADMAP engine matrix)")
+    p_report.add_argument("--store", nargs="?", const=True, default=None, metavar="DIR",
+                          help="cache runs through the result store at DIR "
+                               "(default: $REPRO_STORE or ./.repro-store)")
     p_report.add_argument("--out", default="results", help="output directory")
     p_report.add_argument("--only", default=None, help="comma-separated experiment ids")
     p_report.add_argument("--title", default="Balls into non-uniform bins — experiment report")
@@ -243,6 +388,7 @@ def main(argv=None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "describe": _cmd_describe,
         "simulate": _cmd_simulate,
         "tune": _cmd_tune,

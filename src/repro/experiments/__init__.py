@@ -8,15 +8,18 @@ from .base import (
     register,
     scaled_reps,
 )
-from .runner import run_all, run_experiment
+from .request import RunRequest
+from .runner import execute_request, run_all, run_experiment
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "RunRequest",
     "register",
     "get_experiment",
     "list_experiments",
     "scaled_reps",
     "run_experiment",
+    "execute_request",
     "run_all",
 ]

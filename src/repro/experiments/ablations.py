@@ -31,7 +31,8 @@ PAPER_REPS = 10_000
 
 
 def _mean_over_reps(scalar_task, ensemble_task, reps, seed, workers, progress,
-                    kwargs, engine) -> float:
+                    kwargs, engine, block_size=None, checkpoint=None,
+                    label=None) -> float:
     """Mean of a per-repetition scalar on either engine.
 
     Every ablation point reduces to one mean; the ensemble path runs the
@@ -42,11 +43,12 @@ def _mean_over_reps(scalar_task, ensemble_task, reps, seed, workers, progress,
         reducer = run_ensemble_reduced(
             ensemble_task, reps, seed=seed, workers=workers,
             kwargs=kwargs, progress=progress,
+            block_size=block_size, checkpoint=checkpoint, label=label,
         )
         return float(reducer.mean)
     outs = run_repetitions(
         scalar_task, reps, seed=seed, workers=workers,
-        kwargs=kwargs, progress=progress,
+        kwargs=kwargs, progress=progress, label=label,
     )
     return float(np.mean(outs))
 
@@ -83,6 +85,8 @@ def run_abl_tiebreak(
     fractions=(10, 30, 50, 70, 90),
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Mean max load for each tie-break policy over the class-mix sweep."""
     engine = resolve_engine(engine)
@@ -101,7 +105,7 @@ def run_abl_tiebreak(
                     "small_cap": small_cap, "large_cap": large_cap,
                     "tie_break": policy,
                 },
-                engine,
+                engine, block_size, checkpoint, "abl_tiebreak",
             ))
         series[policy] = np.asarray(curve)
     return ExperimentResult(
@@ -147,6 +151,8 @@ def run_abl_probability(
     large_fraction: float = 0.1,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Mean max load, proportional vs uniform, as the skew grows."""
     engine = resolve_engine(engine)
@@ -164,7 +170,7 @@ def run_abl_probability(
                 progress,
                 {"n": n, "n_large": n_large, "large_cap": int(cap),
                  "probabilities": model},
-                engine,
+                engine, block_size, checkpoint, "abl_probability",
             ))
         series[model] = np.asarray(curve)
     return ExperimentResult(
@@ -208,6 +214,8 @@ def run_abl_d(
     d_values=(1, 2, 3, 4, 6, 8),
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Mean max load per d, with the Theorem-3 leading term for reference."""
     engine = resolve_engine(engine)
@@ -217,7 +225,7 @@ def run_abl_d(
     for d, s in zip(d_values, seeds):
         measured.append(_mean_over_reps(
             _d_task, _d_block, reps, s, workers, progress,
-            {"n": n, "d": int(d)}, engine,
+            {"n": n, "d": int(d)}, engine, block_size, checkpoint, "abl_d",
         ))
     theory = [
         float("nan") if d < 2 else 1.0 + loglog_over_logd(n, int(d))
@@ -264,6 +272,8 @@ def run_abl_staleness(
     batch_sizes=(1, 4, 16, 64, 256, 1000),
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Mean max load as the freshness of the load view degrades."""
     engine = resolve_engine(engine)
@@ -273,7 +283,8 @@ def run_abl_staleness(
     for b, s in zip(batch_sizes, seeds):
         curve.append(_mean_over_reps(
             _staleness_task, _staleness_block, reps, s, workers, progress,
-            {"n": n, "batch_size": int(b)}, engine,
+            {"n": n, "batch_size": int(b)}, engine, block_size, checkpoint,
+            "abl_staleness",
         ))
     return ExperimentResult(
         experiment_id="abl_staleness",

@@ -26,10 +26,12 @@ import numpy as np
 from ..io.asciiplot import ascii_plot, ascii_table
 from ..io.csvio import write_series_csv
 from ..io.jsonio import dump_json
+from .request import RunRequest
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "RunRequest",
     "register",
     "get_experiment",
     "list_experiments",
@@ -97,7 +99,13 @@ class ExperimentResult:
         self.series = clean
 
     def save(self, directory) -> tuple[Path, Path]:
-        """Persist as ``<id>.csv`` (series) + ``<id>.json`` (provenance)."""
+        """Persist as ``<id>.csv`` (series) + ``<id>.json`` (provenance).
+
+        Both writes are atomic (tmp file + ``os.replace`` via
+        :mod:`repro.io.atomicio`, the same helper the result store uses), so
+        concurrent sweep workers targeting one output directory cannot leave
+        torn artifacts.
+        """
         directory = Path(directory)
         csv_path = write_series_csv(
             directory / f"{self.experiment_id}.csv", self.x_name, self.x_values, self.series
@@ -159,20 +167,87 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """Registry entry: metadata plus the run callable."""
+    """Registry entry: metadata plus the run callable.
+
+    ``version`` feeds :meth:`repro.experiments.request.RunRequest.cache_key`
+    — bump it in :func:`register` whenever the experiment's semantics change
+    (the same events that move golden tests), so stale store entries can
+    never be mistaken for the new behaviour.  ``engines`` declares which
+    repetition engines the experiment supports; the full registry supports
+    both (enforced by the cross-engine suite), and a future not-yet-migrated
+    experiment registering ``engines=("scalar",)`` gets the documented
+    :class:`EngineNotSupportedError` instead of a silent fallback.
+    """
 
     experiment_id: str
     title: str
     figure: str
     description: str
     run: Callable[..., ExperimentResult]
+    version: int = 1
+    engines: tuple = ENGINES
+
+    def request_kwargs(self, request: RunRequest) -> dict:
+        """Translate a :class:`RunRequest` into ``run()`` keyword arguments.
+
+        Raises :class:`EngineNotSupportedError` when the request targets an
+        engine this experiment does not declare — the only remaining guard
+        for a future unmigrated experiment, replacing the retired
+        ``inspect.signature`` sniffing.
+        """
+        if request.experiment_id != self.experiment_id:
+            raise ValueError(
+                f"request for {request.experiment_id!r} handed to spec "
+                f"{self.experiment_id!r}"
+            )
+        kwargs = request.overrides_dict()
+        if request.scale is not None:
+            kwargs["scale"] = request.scale
+        if request.seed is not None:
+            kwargs["seed"] = request.seed
+        if request.engine is not None:
+            engine = resolve_engine(request.engine)
+            if engine not in self.engines:
+                raise EngineNotSupportedError(
+                    f"experiment {self.experiment_id!r} only supports engines "
+                    f"{self.engines}; engine={engine!r} is not available for it"
+                )
+            kwargs["engine"] = engine
+        if request.block_size is not None:
+            kwargs["block_size"] = request.block_size
+        kwargs["workers"] = request.workers
+        return kwargs
+
+    def execute(
+        self, request: RunRequest, *, progress=None, checkpoint=None
+    ) -> ExperimentResult:
+        """Run this experiment as described by *request*.
+
+        ``checkpoint`` (a :class:`repro.io.store.Checkpointer`, usually
+        handed out by the runner from the result store) lets the ensemble
+        executor persist merged-so-far reducer state at block boundaries so
+        an interrupted run resumes instead of recomputing.
+        """
+        return self.run(progress=progress, checkpoint=checkpoint, **self.request_kwargs(request))
 
 
 _REGISTRY: dict[str, ExperimentSpec] = {}
 
 
-def register(experiment_id: str, title: str, figure: str, description: str):
-    """Decorator registering a ``run``-style function under *experiment_id*."""
+def register(
+    experiment_id: str,
+    title: str,
+    figure: str,
+    description: str,
+    *,
+    version: int = 1,
+    engines: tuple = ENGINES,
+):
+    """Decorator registering a ``run``-style function under *experiment_id*.
+
+    ``version`` is the cache-key bump field (see :class:`ExperimentSpec`);
+    ``engines`` declares the supported repetition engines.
+    """
 
     def wrap(func: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
         if experiment_id in _REGISTRY:
@@ -183,6 +258,8 @@ def register(experiment_id: str, title: str, figure: str, description: str):
             figure=figure,
             description=description,
             run=func,
+            version=version,
+            engines=tuple(engines),
         )
         return func
 

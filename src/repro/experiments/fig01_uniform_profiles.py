@@ -46,17 +46,19 @@ def _ensemble_block(seeds, *, n: int, capacity: int, d: int) -> StreamingProfile
     return StreamingProfile(n).update(res.loads)
 
 
-def _mean_sorted_profile(reps, seed, workers, progress, engine, kwargs):
+def _mean_sorted_profile(reps, seed, workers, progress, engine, kwargs,
+                         block_size=None, checkpoint=None):
     """Mean sorted load profile over *reps* repetitions on either engine."""
     if engine == "ensemble":
         reducer = run_ensemble_reduced(
             _ensemble_block, reps, seed=seed, workers=workers,
             kwargs=kwargs, progress=progress,
+            block_size=block_size, checkpoint=checkpoint, label="fig01",
         )
         return reducer.profile().mean
     loads = run_repetitions(
         _one_run, reps, seed=seed, workers=workers,
-        kwargs=kwargs, progress=progress,
+        kwargs=kwargs, progress=progress, label="fig01",
     )
     matrix = np.vstack(loads)
     return (-np.sort(-matrix, axis=1)).mean(axis=0)
@@ -79,6 +81,8 @@ def run(
     d: int = PAPER_D,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Run the Figure 1 experiment; see module docstring for the setting."""
     engine = resolve_engine(engine)
@@ -94,6 +98,8 @@ def run(
             progress,
             engine,
             {"n": n, "capacity": int(c), "d": d},
+            block_size,
+            checkpoint,
         )
         series[f"{c}-bins"] = mean_profile
         extra_max[f"c={c}"] = float(mean_profile[0])

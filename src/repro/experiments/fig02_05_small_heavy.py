@@ -54,7 +54,8 @@ def _ensemble_block(
 
 
 def _run_figure(figure_id: str, multiplier: int, scale, seed, workers, progress,
-                n, capacities, d, repetitions, engine) -> ExperimentResult:
+                n, capacities, d, repetitions, engine, block_size,
+                checkpoint) -> ExperimentResult:
     engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     series: dict[str, np.ndarray] = {}
@@ -66,12 +67,13 @@ def _run_figure(figure_id: str, multiplier: int, scale, seed, workers, progress,
             reducer = run_ensemble_reduced(
                 _ensemble_block, reps, seed=class_seed, workers=workers,
                 kwargs=kwargs, progress=progress,
+                block_size=block_size, checkpoint=checkpoint, label=figure_id,
             )
             mean_profile = reducer.profile().mean
         else:
             loads = run_repetitions(
                 _one_run, reps, seed=class_seed, workers=workers,
-                kwargs=kwargs, progress=progress,
+                kwargs=kwargs, progress=progress, label=figure_id,
             )
             matrix = np.vstack(loads)
             mean_profile = (-np.sort(-matrix, axis=1)).mean(axis=0)
@@ -112,10 +114,12 @@ def _make_runner(figure_id: str, multiplier: int):
         d: int = PAPER_D,
         repetitions: int | None = None,
         engine: str = "scalar",
+        block_size: int | None = None,
+        checkpoint=None,
     ) -> ExperimentResult:
         return _run_figure(
             figure_id, multiplier, scale, seed, workers, progress, n, capacities, d,
-            repetitions, engine,
+            repetitions, engine, block_size, checkpoint,
         )
 
     run.__doc__ = (

@@ -59,7 +59,8 @@ def _ensemble_block(seeds, *, n: int, n_large: int, small_cap: int, large_cap: i
 
 
 def _sweep(scale, seed, workers, progress, n, small_cap, large_cap, d,
-           step_pct, repetitions, paper_reps, engine):
+           step_pct, repetitions, paper_reps, engine, block_size, checkpoint,
+           label):
     engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(paper_reps, scale)
     percentages = np.arange(0, 100 + step_pct, step_pct)
@@ -80,13 +81,14 @@ def _sweep(scale, seed, workers, progress, n, small_cap, large_cap, d,
             bundle = run_ensemble_reduced(
                 _ensemble_block, reps, seed=seeds[i], workers=workers,
                 kwargs=kwargs, progress=progress,
+                block_size=block_size, checkpoint=checkpoint, label=label,
             )
             mean_max[i] = bundle["max_load"].mean
             small_mean = bundle["small_has_max"].mean
         else:
             outs = run_repetitions(
                 _one_run, reps, seed=seeds[i], workers=workers,
-                kwargs=kwargs, progress=progress,
+                kwargs=kwargs, progress=progress, label=label,
             )
             maxima = np.asarray([o[0] for o in outs])
             flags = np.asarray([o[1] for o in outs], dtype=bool)
@@ -117,11 +119,14 @@ def run_fig06(
     step_pct: int = PAPER_STEP_PCT,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 6: mean maximum load over the large-bin-fraction sweep."""
     pct, mean_max, _, reps, engine = _sweep(
         scale, seed, workers, progress, n, small_cap, large_cap, d,
-        step_pct, repetitions, PAPER_REPS_FIG6, engine,
+        step_pct, repetitions, PAPER_REPS_FIG6, engine, block_size, checkpoint,
+        "fig06",
     )
     return ExperimentResult(
         experiment_id="fig06",
@@ -161,11 +166,14 @@ def run_fig07(
     step_pct: int = PAPER_STEP_PCT,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 7: fraction of runs whose maximum sits in a small bin."""
     pct, _, frac_small, reps, engine = _sweep(
         scale, seed, workers, progress, n, small_cap, large_cap, d,
-        step_pct, repetitions, PAPER_REPS_FIG7, engine,
+        step_pct, repetitions, PAPER_REPS_FIG7, engine, block_size, checkpoint,
+        "fig07",
     )
     return ExperimentResult(
         experiment_id="fig07",

@@ -23,10 +23,10 @@ from ..bins.generators import binomial_random_bins
 from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
 from ..runtime.executor import (
-    DEFAULT_BLOCK_SIZE,
     block_parameter_rng,
     run_ensemble_reduced,
     run_repetitions,
+    shared_param_block_size,
 )
 from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
@@ -72,7 +72,8 @@ def _ensemble_block(seeds, *, n: int, mean_cap: float, d: int):
     return ReducerBundle(**reducers)
 
 
-def _sweep(scale, seed, workers, progress, n, d, grid, repetitions, engine):
+def _sweep(scale, seed, workers, progress, n, d, grid, repetitions, engine,
+           block_size, checkpoint, label):
     engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     seeds = np.random.SeedSequence(seed).spawn(len(grid))
@@ -82,13 +83,15 @@ def _sweep(scale, seed, workers, progress, n, d, grid, repetitions, engine):
     for i, c in enumerate(grid):
         kwargs = {"n": n, "mean_cap": float(c), "d": d}
         if engine == "ensemble":
-            # Small blocks so the capacity distribution is averaged over at
-            # least ~8 independent draws (each block shares one capacity
-            # vector drawn from the block's parameter generator).
+            # Small blocks (unless the request pins its own width) so the
+            # capacity distribution is averaged over at least ~8 independent
+            # draws (each block shares one capacity vector drawn from the
+            # block's parameter generator).
             bundle = run_ensemble_reduced(
                 _ensemble_block, reps, seed=seeds[i], workers=workers,
                 kwargs=kwargs, progress=progress,
-                block_size=min(DEFAULT_BLOCK_SIZE, max(1, reps // 8)),
+                block_size=shared_param_block_size(reps, block_size),
+                checkpoint=checkpoint, label=label,
             )
             mean_max[i] = bundle["max_load"].mean
             mean_total[i] = bundle["total_capacity"].mean
@@ -102,6 +105,7 @@ def _sweep(scale, seed, workers, progress, n, d, grid, repetitions, engine):
                 workers=workers,
                 kwargs=kwargs,
                 progress=progress,
+                label=label,
             )
             mean_max[i] = np.mean([o[0] for o in outs])
             mean_total[i] = np.mean([o[1] for o in outs])
@@ -127,10 +131,13 @@ def run_fig08(
     mean_cap_grid=PAPER_MEAN_CAP_GRID,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 8: mean maximum load as total capacity grows."""
     totals, mean_max, _, reps, engine = _sweep(
-        scale, seed, workers, progress, n, d, mean_cap_grid, repetitions, engine
+        scale, seed, workers, progress, n, d, mean_cap_grid, repetitions, engine,
+        block_size, checkpoint, "fig08",
     )
     return ExperimentResult(
         experiment_id="fig08",
@@ -167,10 +174,13 @@ def run_fig09(
     mean_cap_grid=PAPER_MEAN_CAP_GRID,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 9: location of the maximally loaded bin, per size class."""
     totals, _, class_fracs, reps, engine = _sweep(
-        scale, seed, workers, progress, n, d, mean_cap_grid, repetitions, engine
+        scale, seed, workers, progress, n, d, mean_cap_grid, repetitions, engine,
+        block_size, checkpoint, "fig09",
     )
     series = {
         f"max_in_size_{x}": 100.0 * fr for x, fr in class_fracs.items()

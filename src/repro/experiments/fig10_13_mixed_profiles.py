@@ -59,7 +59,8 @@ def _ensemble_block(seeds, *, n: int, n_large: int, small_cap: int, large_cap: i
 
 
 def _profiles(scale, seed, workers, progress, n, small_cap, large_cap, d,
-              large_counts, restrict, repetitions, engine):
+              large_counts, restrict, repetitions, engine, block_size,
+              checkpoint, label):
     """Mean sorted profiles per ratio; ``restrict`` in {None, 'small', 'large'}."""
     engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
@@ -80,12 +81,13 @@ def _profiles(scale, seed, workers, progress, n, small_cap, large_cap, d,
             reducer = run_ensemble_reduced(
                 _ensemble_block, reps, seed=seeds[i], workers=workers,
                 kwargs={**kwargs, "restrict": restrict}, progress=progress,
+                block_size=block_size, checkpoint=checkpoint, label=label,
             )
             profile = reducer.profile().mean
         else:
             outs = run_repetitions(
                 _one_run, reps, seed=seeds[i], workers=workers,
-                kwargs=kwargs, progress=progress,
+                kwargs=kwargs, progress=progress, label=label,
             )
             matrix = _restrict_columns(np.vstack(outs), restrict, n, n_large)
             profile = (-np.sort(-matrix, axis=1)).mean(axis=0)
@@ -105,10 +107,13 @@ def _make_runner(figure_id, title, n, small_cap, large_cap, large_counts, restri
         d: int = PAPER_D,
         repetitions: int | None = None,
         engine: str = "scalar",
+        block_size: int | None = None,
+        checkpoint=None,
     ) -> ExperimentResult:
         series, reps, engine = _profiles(
             scale, seed, workers, progress, n, small_cap, large_cap, d,
-            large_counts, restrict, repetitions, engine,
+            large_counts, restrict, repetitions, engine, block_size,
+            checkpoint, figure_id,
         )
         return ExperimentResult(
             experiment_id=figure_id,

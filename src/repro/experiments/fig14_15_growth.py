@@ -61,7 +61,7 @@ def _ensemble_state_block(seeds, *, capacities, d: int) -> StreamingScalar:
 
 
 def _sweep_model(model: GrowthModel, max_bins, reps, seed, workers, progress, d,
-                 ball_budget, engine):
+                 ball_budget, engine, block_size, checkpoint, label):
     xs: list[int] = []
     ys: list[float] = []
     states = list(model.states(max_bins))
@@ -77,19 +77,21 @@ def _sweep_model(model: GrowthModel, max_bins, reps, seed, workers, progress, d,
             reducer = run_ensemble_reduced(
                 _ensemble_state_block, reps, seed=seeds[i], workers=workers,
                 kwargs=kwargs, progress=progress,
+                block_size=block_size, checkpoint=checkpoint, label=label,
             )
             ys.append(reducer.mean)
         else:
             outs = run_repetitions(
                 _one_state_run, reps, seed=seeds[i], workers=workers,
-                kwargs=kwargs, progress=progress,
+                kwargs=kwargs, progress=progress, label=label,
             )
             ys.append(float(np.mean(outs)))
     return np.asarray(xs), np.asarray(ys)
 
 
 def _run_growth(figure_id, title, models, scale, seed, workers, progress,
-                max_bins, d, repetitions, ball_budget, engine):
+                max_bins, d, repetitions, ball_budget, engine, block_size,
+                checkpoint):
     engine = resolve_engine(engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
     master = np.random.SeedSequence(seed).spawn(len(models))
@@ -98,7 +100,8 @@ def _run_growth(figure_id, title, models, scale, seed, workers, progress,
     truncated: dict[str, int] = {}
     for (name, model), s in zip(models, master):
         xs, ys = _sweep_model(model, max_bins, reps, s, workers, progress, d,
-                              ball_budget, engine)
+                              ball_budget, engine, block_size, checkpoint,
+                              figure_id)
         if x_ref is None:
             x_ref = xs
         elif not np.array_equal(x_ref, xs):
@@ -141,6 +144,8 @@ def run_fig14(
     repetitions: int | None = None,
     ball_budget: int | None = DEFAULT_BALL_BUDGET,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 14: max load vs system size under linear generation growth."""
     models = [("base (all capacities = 2)", BaselineGrowthModel())]
@@ -148,7 +153,7 @@ def run_fig14(
     return _run_growth(
         "fig14", "Linear growth between generations", models,
         scale, seed, workers, progress, max_bins, d, repetitions, ball_budget,
-        engine,
+        engine, block_size, checkpoint,
     )
 
 
@@ -170,6 +175,8 @@ def run_fig15(
     repetitions: int | None = None,
     ball_budget: int | None = DEFAULT_BALL_BUDGET,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 15: max load vs system size under exponential generation growth."""
     models = [("base (all capacities = 2)", BaselineGrowthModel())]
@@ -177,5 +184,5 @@ def run_fig15(
     return _run_growth(
         "fig15", "Exponential growth between generations", models,
         scale, seed, workers, progress, max_bins, d, repetitions, ball_budget,
-        engine,
+        engine, block_size, checkpoint,
     )

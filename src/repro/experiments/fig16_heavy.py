@@ -20,10 +20,10 @@ from ..bins.generators import binomial_random_bins
 from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
 from ..runtime.executor import (
-    DEFAULT_BLOCK_SIZE,
     block_parameter_rng,
     run_ensemble_reduced,
     run_repetitions,
+    shared_param_block_size,
 )
 from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
@@ -107,6 +107,8 @@ def run(
     d: int = PAPER_D,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 16: deviation of max from average as balls accumulate."""
     engine = resolve_engine(engine)
@@ -118,20 +120,22 @@ def run(
     for mult, s in zip(cap_multipliers, seeds):
         kwargs = {"n": n, "cap_multiplier": int(mult), "rounds": rounds, "d": d}
         if engine == "ensemble":
-            # Small blocks so the capacity distribution is averaged over at
-            # least ~8 independent draws (each block shares one capacity
-            # vector); the default 128-wide blocks would collapse all of the
-            # capacity randomness into a single realisation at paper reps.
+            # Small blocks (unless the request pins its own width) so the
+            # capacity distribution is averaged over at least ~8 independent
+            # draws (each block shares one capacity vector); the default
+            # 128-wide blocks would collapse all of the capacity randomness
+            # into a single realisation at paper reps.
             reducer = run_ensemble_reduced(
                 _ensemble_block, reps, seed=s, workers=workers,
                 kwargs=kwargs, progress=progress,
-                block_size=min(DEFAULT_BLOCK_SIZE, max(1, reps // 8)),
+                block_size=shared_param_block_size(reps, block_size),
+                checkpoint=checkpoint, label="fig16",
             )
             curve = reducer.profile().mean
         else:
             outs = run_repetitions(
                 _one_run, reps, seed=s, workers=workers,
-                kwargs=kwargs, progress=progress,
+                kwargs=kwargs, progress=progress, label="fig16",
             )
             curve = np.vstack(outs).mean(axis=0)
         name = f"CAP = {mult}*n"

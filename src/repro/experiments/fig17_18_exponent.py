@@ -55,17 +55,19 @@ def _ensemble_block(seeds, *, x: int, t: float, n: int, d: int) -> StreamingScal
     return StreamingScalar().update(res.max_loads)
 
 
-def _mean_max_load(x, t, reps, seed, workers, progress, n, d, engine) -> float:
+def _mean_max_load(x, t, reps, seed, workers, progress, n, d, engine,
+                   block_size, checkpoint, label) -> float:
     kwargs = {"x": int(x), "t": float(t), "n": n, "d": d}
     if engine == "ensemble":
         reducer = run_ensemble_reduced(
             _ensemble_block, reps, seed=seed, workers=workers,
             kwargs=kwargs, progress=progress,
+            block_size=block_size, checkpoint=checkpoint, label=label,
         )
         return float(reducer.mean)
     outs = run_repetitions(
         _one_run, reps, seed=seed, workers=workers,
-        kwargs=kwargs, progress=progress,
+        kwargs=kwargs, progress=progress, label=label,
     )
     return float(np.mean(outs))
 
@@ -88,6 +90,8 @@ def run_fig18(
     t_grid=DEFAULT_T_GRID_FIG18,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 18: mean max load vs exponent t for each big-bin capacity."""
     engine = resolve_engine(engine)
@@ -100,7 +104,8 @@ def run_fig18(
         t_seeds = s.spawn(len(t_values))
         curve = np.asarray(
             [
-                _mean_max_load(x, t, reps, ts, workers, progress, n, d, engine)
+                _mean_max_load(x, t, reps, ts, workers, progress, n, d, engine,
+                               block_size, checkpoint, "fig18")
                 for t, ts in zip(t_values, t_seeds)
             ]
         )
@@ -143,6 +148,8 @@ def run_fig17(
     t_grid=DEFAULT_T_GRID_FIG17,
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Figure 17: the argmin-over-t exponent for each big-bin capacity x."""
     engine = resolve_engine(engine)
@@ -155,7 +162,8 @@ def run_fig17(
         t_seeds = s.spawn(len(t_values))
         curve = np.asarray(
             [
-                _mean_max_load(x, t, reps, ts, workers, progress, n, d, engine)
+                _mean_max_load(x, t, reps, ts, workers, progress, n, d, engine,
+                               block_size, checkpoint, "fig17")
                 for t, ts in zip(t_values, t_seeds)
             ]
         )

@@ -21,10 +21,10 @@ from ..core.weighted import simulate_weighted, simulate_weighted_ensemble
 from ..p2p.ring import ConsistentHashRing
 from ..p2p.workload import allocate_requests, allocate_requests_ensemble
 from ..runtime.executor import (
-    DEFAULT_BLOCK_SIZE,
     block_parameter_rng,
     run_ensemble_reduced,
     run_repetitions,
+    shared_param_block_size,
 )
 from .base import ExperimentResult, register, resolve_engine, scaled_reps
 
@@ -77,6 +77,8 @@ def run_rw_ring(
     d_values=(1, 2, 3),
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Max request concentration on a ring as the probe count grows."""
     engine = resolve_engine(engine)
@@ -94,18 +96,20 @@ def run_rw_ring(
             kwargs = {"n_peers": n_peers, "m": m, "d": int(d),
                       "capacity_aware": aware}
             if engine == "ensemble":
-                # Small blocks: each block shares one random ring, so the
-                # ring randomness needs several independent draws.
+                # Small blocks (unless the request pins its own width): each
+                # block shares one random ring, so the ring randomness needs
+                # several independent draws.
                 reducer = run_ensemble_reduced(
                     _ring_block, reps, seed=ds, workers=workers,
                     kwargs=kwargs, progress=progress,
-                    block_size=min(DEFAULT_BLOCK_SIZE, max(1, reps // 8)),
+                    block_size=shared_param_block_size(reps, block_size),
+                    checkpoint=checkpoint, label="rw_ring",
                 )
                 curve.append(float(reducer.mean))
             else:
                 outs = run_repetitions(
                     _ring_task, reps, seed=ds, workers=workers,
-                    kwargs=kwargs, progress=progress,
+                    kwargs=kwargs, progress=progress, label="rw_ring",
                 )
                 curve.append(float(np.mean(outs)))
         series[name] = np.asarray(curve)
@@ -165,6 +169,8 @@ def run_abl_weighted(
     sigmas=(0.0, 0.25, 0.5, 1.0, 1.5),
     repetitions: int | None = None,
     engine: str = "scalar",
+    block_size: int | None = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Normalised max load as ball-size variability grows."""
     engine = resolve_engine(engine)
@@ -174,18 +180,20 @@ def run_abl_weighted(
     for sigma, s in zip(sigmas, seeds):
         kwargs = {"n": n, "sigma": float(sigma)}
         if engine == "ensemble":
-            # Small blocks: each block shares one ball-size multiset, so the
-            # size randomness needs several independent draws.
+            # Small blocks (unless the request pins its own width): each
+            # block shares one ball-size multiset, so the size randomness
+            # needs several independent draws.
             reducer = run_ensemble_reduced(
                 _weighted_block, reps, seed=s, workers=workers,
                 kwargs=kwargs, progress=progress,
-                block_size=min(DEFAULT_BLOCK_SIZE, max(1, reps // 8)),
+                block_size=shared_param_block_size(reps, block_size),
+                checkpoint=checkpoint, label="abl_weighted",
             )
             curve.append(float(reducer.mean))
         else:
             outs = run_repetitions(
                 _weighted_task, reps, seed=s, workers=workers,
-                kwargs=kwargs, progress=progress,
+                kwargs=kwargs, progress=progress, label="abl_weighted",
             )
             curve.append(float(np.mean(outs)))
     cvs = [float(np.sqrt(np.exp(s * s) - 1.0)) if s > 0 else 0.0 for s in sigmas]

@@ -1,9 +1,19 @@
-"""Result persistence (CSV/JSON) and terminal plotting."""
+"""Result persistence (CSV/JSON), the content-addressed result store, and
+terminal plotting."""
 
 from .asciiplot import ascii_plot, ascii_table
+from .atomicio import atomic_write
 from .csvio import read_series_csv, write_series_csv
 from .jsonio import dump_json, load_json, to_jsonable
 from .markdown import result_to_markdown, results_to_report
+from .store import (
+    Checkpointer,
+    ResultStore,
+    StoredResult,
+    StoreStats,
+    default_store_root,
+    resolve_store,
+)
 
 __all__ = [
     "write_series_csv",
@@ -11,8 +21,15 @@ __all__ = [
     "dump_json",
     "load_json",
     "to_jsonable",
+    "atomic_write",
     "ascii_plot",
     "ascii_table",
     "result_to_markdown",
     "results_to_report",
+    "ResultStore",
+    "StoredResult",
+    "StoreStats",
+    "Checkpointer",
+    "default_store_root",
+    "resolve_store",
 ]

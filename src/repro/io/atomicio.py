@@ -1,0 +1,37 @@
+"""Atomic file writes (tmp file + ``os.replace``).
+
+Every artifact the project persists — result CSV/JSON, store entries,
+resume checkpoints — goes through :func:`atomic_write`, so a reader (or a
+concurrent sweep worker) can never observe a torn file: the payload is
+written to a process-unique ``*.tmp-<pid>`` sibling and renamed into place
+only once the write completed.  ``os.replace`` is atomic on POSIX and
+Windows for same-directory renames.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["atomic_write"]
+
+
+@contextmanager
+def atomic_write(path, mode: str = "w", **open_kwargs):
+    """Context manager yielding a file handle whose content appears at
+    *path* atomically on successful exit.
+
+    The parent directory is created if missing.  On an exception inside the
+    block the temporary file is removed and *path* is left untouched (its
+    previous content, if any, survives).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, mode, **open_kwargs) as fh:
+            yield fh
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

@@ -13,6 +13,8 @@ from pathlib import Path
 
 import numpy as np
 
+from .atomicio import atomic_write
+
 __all__ = ["write_series_csv", "read_series_csv"]
 
 
@@ -20,7 +22,9 @@ def write_series_csv(path, x_name: str, x_values, series: dict) -> Path:
     """Write columns ``x_name, *series.keys()`` to *path*.
 
     All series must have the same length as ``x_values``.  Values are
-    written with full float repr (lossless round-trip).
+    written with full float repr (lossless round-trip).  The write is
+    atomic (tmp file + rename), so concurrent sweep workers can never leave
+    a torn CSV behind.
     """
     x = np.asarray(x_values)
     if x.ndim != 1:
@@ -34,8 +38,7 @@ def write_series_csv(path, x_name: str, x_values, series: dict) -> Path:
             )
         cols[name] = arr
     p = Path(path)
-    p.parent.mkdir(parents=True, exist_ok=True)
-    with p.open("w", newline="") as fh:
+    with atomic_write(p, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow([x_name, *cols.keys()])
         for i in range(x.size):

@@ -12,6 +12,8 @@ from pathlib import Path
 
 import numpy as np
 
+from .atomicio import atomic_write
+
 __all__ = ["dump_json", "load_json", "to_jsonable"]
 
 
@@ -38,10 +40,13 @@ def to_jsonable(obj):
 
 
 def dump_json(path, payload) -> Path:
-    """Write *payload* (via :func:`to_jsonable`) to *path*, pretty-printed."""
+    """Write *payload* (via :func:`to_jsonable`) to *path*, pretty-printed.
+
+    The write is atomic (tmp file + rename): readers and concurrent sweep
+    workers never observe a torn document.
+    """
     p = Path(path)
-    p.parent.mkdir(parents=True, exist_ok=True)
-    with p.open("w") as fh:
+    with atomic_write(p, "w") as fh:
         json.dump(to_jsonable(payload), fh, indent=2, sort_keys=True)
         fh.write("\n")
     return p

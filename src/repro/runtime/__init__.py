@@ -1,11 +1,13 @@
 """Experiment runtime: repetition fan-out, seed trees, progress reporting."""
 
 from .executor import (
+    TaskError,
     block_parameter_rng,
     run_ensemble_blocks,
     run_ensemble_reduced,
     run_repetitions,
     run_tasks,
+    shared_param_block_size,
 )
 from .progress import NullReporter, ProgressReporter, make_reporter
 from .seeding import SeedTree
@@ -16,6 +18,8 @@ __all__ = [
     "run_ensemble_reduced",
     "run_tasks",
     "block_parameter_rng",
+    "shared_param_block_size",
+    "TaskError",
     "SeedTree",
     "NullReporter",
     "ProgressReporter",

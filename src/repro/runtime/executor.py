@@ -51,6 +51,7 @@ block's streams.
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -64,7 +65,29 @@ __all__ = [
     "run_ensemble_reduced",
     "run_tasks",
     "block_parameter_rng",
+    "shared_param_block_size",
+    "TaskError",
 ]
+
+
+class TaskError(RuntimeError):
+    """A repetition task failed inside the worker pool.
+
+    Raised by :func:`run_tasks` in place of the bare pickling traceback
+    ``multiprocessing.Pool.imap`` would otherwise surface; the message names
+    the failing task (experiment label and block bounds where the caller
+    provided them) and carries the worker-side traceback text.
+    """
+
+
+class _TaskFailure:
+    """Picklable capture of a worker-side exception (internal sentinel)."""
+
+    __slots__ = ("message", "traceback")
+
+    def __init__(self, message: str, tb: str):
+        self.message = message
+        self.traceback = tb
 
 #: Default replications per lockstep block: wide enough to amortise the
 #: per-ball vectorisation, small enough to bound the ``(R, n)`` working set.
@@ -94,9 +117,35 @@ def block_parameter_rng(seeds) -> np.random.Generator:
     return np.random.default_rng(seeds[0])
 
 
+def shared_param_block_size(
+    repetitions: int, block_size: int | None = None, *, min_blocks: int = 8
+) -> int:
+    """Block width for shared-params-per-block experiments.
+
+    Those runners (fig08/09, fig16, ``rw_ring``, ``abl_weighted``) draw one
+    random parameter set per block, so the parameter randomness is averaged
+    over the number of blocks: keep at least ``min_blocks`` of them instead
+    of taking the width-optimised :data:`DEFAULT_BLOCK_SIZE`.  An explicit
+    ``block_size`` (e.g. pinned by a RunRequest) always wins.
+    """
+    if block_size is not None:
+        return block_size
+    return min(DEFAULT_BLOCK_SIZE, max(1, repetitions // min_blocks))
+
+
 def _invoke(payload):
     task, seed, kwargs = payload
     return task(seed, **kwargs)
+
+
+def _invoke_captured(payload):
+    """Pool-side wrapper: capture task exceptions instead of letting the
+    pool machinery re-raise them bare in the parent (satisfying callers who
+    need the failing task identified — see :class:`TaskError`)."""
+    try:
+        return _invoke(payload)
+    except Exception as exc:  # noqa: BLE001 — re-raised with context parent-side
+        return _TaskFailure(repr(exc), traceback.format_exc())
 
 
 def _resolve_blocks(repetitions: int, block_size: int | None) -> list[tuple[int, int]]:
@@ -122,6 +171,7 @@ def run_repetitions(
     chunksize: int = 1,
     ensemble: bool = False,
     block_size: int | None = None,
+    label: str | None = None,
 ) -> list:
     """Run *task* once per repetition; return results in repetition order.
 
@@ -149,7 +199,14 @@ def run_repetitions(
     if not ensemble:
         seeds = spawn_seed_sequences(seed, repetitions)
         payloads = [(task, s, kwargs) for s in seeds]
-        return run_tasks(payloads, workers=workers, progress=progress, chunksize=chunksize)
+        prefix = f"{label} " if label else ""
+        return run_tasks(
+            payloads,
+            workers=workers,
+            progress=progress,
+            chunksize=chunksize,
+            describe=lambda i: f"{prefix}repetition {i}",
+        )
 
     block_results = run_ensemble_blocks(
         task,
@@ -160,6 +217,7 @@ def run_repetitions(
         kwargs=kwargs,
         progress=progress,
         chunksize=chunksize,
+        label=label,
     )
     bounds = _resolve_blocks(repetitions, block_size)
     results: list = []
@@ -184,6 +242,7 @@ def run_ensemble_blocks(
     kwargs: dict | None = None,
     progress=None,
     chunksize: int = 1,
+    label: str | None = None,
 ) -> list:
     """Run a block-level ensemble task over contiguous repetition blocks.
 
@@ -209,7 +268,38 @@ def run_ensemble_blocks(
         chunksize=chunksize,
         weights=[stop - start for start, stop in bounds],
         total=repetitions,
+        describe=_block_describer(label, bounds),
     )
+
+
+def _block_describer(label: str | None, bounds: Sequence[tuple[int, int]]):
+    """Error-message namer for block payloads: experiment label + bounds."""
+
+    def describe(i: int) -> str:
+        start, stop = bounds[i]
+        prefix = f"{label} " if label else ""
+        return f"{prefix}ensemble block [{start}, {stop})"
+
+    return describe
+
+
+def _checkpoint_fingerprint(task, repetitions, block_size, seed, kwargs) -> str:
+    """Identity of one reduced ensemble run, for checkpoint validity.
+
+    A checkpoint written under a different task, repetition count, block
+    layout, seed, or kwargs must never be resumed from; the fingerprint is a
+    cheap repr-based guard (checkpoints are already namespaced per cache
+    key, so a mismatch only happens when experiment internals changed
+    without a ``version`` bump — in which case the run silently starts
+    fresh rather than resuming unsoundly).
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        seed_repr = f"ss:{seed.entropy!r}:{tuple(seed.spawn_key)!r}"
+    else:
+        seed_repr = repr(seed)
+    kw_repr = sorted((k, repr(v)) for k, v in (kwargs or {}).items())
+    task_name = getattr(task, "__qualname__", repr(task))
+    return repr((task_name, int(repetitions), block_size, seed_repr, kw_repr))
 
 
 def run_ensemble_reduced(
@@ -222,23 +312,72 @@ def run_ensemble_reduced(
     kwargs: dict | None = None,
     progress=None,
     chunksize: int = 1,
+    label: str | None = None,
+    checkpoint=None,
 ):
     """Run a reducer-returning ensemble task and merge the block reducers.
 
     ``task`` must return an object with a ``merge(other)`` method (e.g. a
     :class:`repro.analysis.aggregate.StreamingProfile`); the merged reducer
     over all blocks is returned.  Requires ``repetitions >= 1``.
+
+    Resume hook
+    -----------
+    ``checkpoint`` is a slot provider (duck-typed; in practice a
+    :class:`repro.io.store.Checkpointer`): each ``run_ensemble_reduced``
+    call claims the next slot via ``checkpoint.slot()`` — call order inside
+    an experiment is deterministic, so slot numbering is stable across
+    retries — and after every completed block the merged-so-far reducer is
+    persisted with ``slot.save(reducer, blocks_done, fingerprint)``.  On the
+    next attempt ``slot.load(fingerprint)`` hands back that state and only
+    the remaining blocks run.  Soundness rests on the seed contract (module
+    docstring): block boundaries and each block's child seeds are functions
+    of ``(seed, repetitions, block_size)`` alone, so the skipped blocks'
+    contribution is exactly what the checkpoint recorded, and blocks are
+    merged left-to-right either way — the resumed result is bit-identical
+    to an uninterrupted run.  A literal ``seed=None`` run is not
+    reproducible and therefore never checkpointed.
     """
     if repetitions < 1:
         raise ValueError(f"need at least one repetition, got {repetitions}")
-    blocks = run_ensemble_blocks(
-        task, repetitions, seed=seed, workers=workers, block_size=block_size,
-        kwargs=kwargs, progress=progress, chunksize=chunksize,
+    kwargs = kwargs or {}
+    bounds = _resolve_blocks(repetitions, block_size)
+    slot = None
+    fingerprint = None
+    merged = None
+    start_block = 0
+    if checkpoint is not None and seed is not None:
+        slot = checkpoint.slot()
+        fingerprint = _checkpoint_fingerprint(task, repetitions, block_size, seed, kwargs)
+        state = slot.load(fingerprint)
+        if state is not None:
+            merged, start_block = state
+            start_block = min(int(start_block), len(bounds))
+    children = spawn_seed_sequences(seed, repetitions)
+    pending = bounds[start_block:]
+    payloads = [(task, children[i0:i1], kwargs) for i0, i1 in pending]
+
+    holder = {"reducer": merged}
+
+    def _absorb(i: int, block_reducer) -> None:
+        if holder["reducer"] is None:
+            holder["reducer"] = block_reducer
+        else:
+            holder["reducer"].merge(block_reducer)
+        if slot is not None:
+            slot.save(holder["reducer"], start_block + i + 1, fingerprint)
+
+    run_tasks(
+        payloads,
+        workers=workers,
+        progress=progress,
+        chunksize=chunksize,
+        weights=[i1 - i0 for i0, i1 in pending],
+        total=sum(i1 - i0 for i0, i1 in pending),
+        describe=_block_describer(label, pending),
+        on_result=_absorb,
     )
-    reducer = blocks[0]
-    for other in blocks[1:]:
-        reducer.merge(other)
-    return reducer
+    return holder["reducer"]
 
 
 def run_tasks(
@@ -249,33 +388,64 @@ def run_tasks(
     chunksize: int = 1,
     weights: Sequence[int] | None = None,
     total: int | None = None,
+    describe: Callable[[int], str] | None = None,
+    on_result: Callable[[int, object], None] | None = None,
 ) -> list:
     """Execute ``(task, seed, kwargs)`` payloads, serially or in a pool.
 
     ``weights``/``total`` let a caller whose payloads cover several
     repetitions each (ensemble blocks) report progress in repetitions
     rather than payloads.
+
+    ``describe(i)`` names payload ``i`` for error messages (experiment id
+    plus block bounds); when a pool worker raises, the run fails fast with a
+    :class:`TaskError` carrying that name and the worker traceback instead
+    of the pool's bare pickling/traceback noise.  ``on_result(i, result)``
+    is invoked in payload order as each result arrives (parent-side), which
+    is what lets :func:`run_ensemble_reduced` merge and checkpoint blocks
+    incrementally instead of after the fact.
     """
     if weights is not None and len(weights) != len(payloads):
         raise ValueError(
             f"weights has {len(weights)} entries for {len(payloads)} payloads"
         )
+
+    def _name(i: int) -> str:
+        if describe is not None:
+            return describe(i)
+        return f"task {i + 1}/{len(payloads)}"
+
     reporter = make_reporter(progress)
     reporter.start(total if total is not None else len(payloads), label="repetitions")
     steps = weights if weights is not None else [1] * len(payloads)
     results: list = []
     if workers == 1 or len(payloads) <= 1:
-        for p, step in zip(payloads, steps):
+        for i, (p, step) in enumerate(zip(payloads, steps)):
             results.append(_invoke(p))
+            if on_result is not None:
+                on_result(i, results[-1])
             reporter.advance(step)
     else:
         pool_size = workers if workers is not None else multiprocessing.cpu_count()
         pool_size = min(pool_size, max(len(payloads), 1))
         with multiprocessing.Pool(pool_size) as pool:
-            for res, step in zip(
-                pool.imap(_invoke, payloads, chunksize=max(chunksize, 1)), steps
-            ):
+            iterator = pool.imap(_invoke_captured, payloads, chunksize=max(chunksize, 1))
+            for i, step in enumerate(steps):
+                try:
+                    res = next(iterator)
+                except Exception as exc:  # pool plumbing (e.g. unpicklable result)
+                    raise TaskError(
+                        f"{_name(i)}: worker pool failed before returning a "
+                        f"result: {exc!r}"
+                    ) from exc
+                if isinstance(res, _TaskFailure):
+                    raise TaskError(
+                        f"{_name(i)} failed in a pool worker: {res.message}\n"
+                        f"--- worker traceback ---\n{res.traceback}"
+                    ) from None
                 results.append(res)
+                if on_result is not None:
+                    on_result(i, res)
                 reporter.advance(step)
     reporter.finish()
     return results

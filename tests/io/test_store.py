@@ -1,0 +1,184 @@
+"""Tests for the content-addressed result store and its checkpoints."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import StreamingProfile, StreamingScalar
+from repro.experiments import RunRequest
+from repro.experiments.base import ExperimentResult
+from repro.io.jsonio import to_jsonable
+from repro.io.store import (
+    STORE_ENV_VAR,
+    ResultStore,
+    default_store_root,
+    resolve_store,
+)
+
+
+def make_result(experiment_id="figx", n=40, nan_tail=7):
+    """A result shaped like the registry's: NaN-padded series, mixed extra."""
+    rng = np.random.default_rng(99)
+    padded = rng.random(n)
+    padded[-nan_tail:] = np.nan
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="store test",
+        x_name="bin_rank",
+        x_values=np.arange(n),
+        series={"full": rng.random(n), "padded": padded},
+        parameters={"n": n, "seed": 1, "engine": "ensemble", "caps": [1, 2, 8]},
+        extra={"wall_seconds": 0.5, "per_class": {"c=1": 2.25}},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestResultStore:
+    def test_get_miss_counts(self, store):
+        assert store.get("0" * 64) is None
+        assert store.stats().misses == 1
+        assert store.stats().entries == 0
+
+    def test_put_get_round_trip_bit_identical(self, store):
+        result = make_result()
+        request = RunRequest("figx", seed=1, engine="ensemble")
+        key = request.cache_key(version=1)
+        store.put(key, result, request=request)
+        stored = store.get(key)
+        assert stored is not None and store.stats().hits == 1
+        back = stored.result
+        assert back.x_values.tobytes() == result.x_values.tobytes()
+        assert back.x_values.dtype == result.x_values.dtype
+        assert list(back.series) == list(result.series)
+        for name in result.series:
+            # byte-for-byte, NaN padding included
+            assert back.series[name].tobytes() == result.series[name].tobytes()
+        assert to_jsonable(back.parameters) == to_jsonable(result.parameters)
+        assert to_jsonable(back.extra) == to_jsonable(result.extra)
+        assert back.experiment_id == "figx" and back.title == result.title
+
+    def test_entry_records_request_and_provenance(self, store):
+        request = RunRequest("figx", seed=1, overrides={"repetitions": 3})
+        key = request.cache_key(version=1)
+        store.put(key, make_result(), request=request)
+        stored = store.get(key)
+        assert RunRequest.from_payload(stored.request) == request
+        assert stored.provenance["numpy"] == np.__version__
+        assert "python" in stored.provenance
+
+    def test_contains_and_evict(self, store):
+        key = "a" * 64
+        assert not store.contains(key)
+        store.put(key, make_result())
+        assert store.contains(key)
+        assert store.evict(key)
+        assert not store.contains(key)
+        assert not store.evict(key)
+
+    def test_keys_and_stats(self, store):
+        assert store.keys() == []
+        store.put("b" * 64, make_result())
+        store.put("a" * 64, make_result())
+        assert store.keys() == ["a" * 64, "b" * 64]
+        stats = store.stats()
+        assert stats.entries == 2 and stats.total_bytes > 0
+
+    def test_put_is_atomic_no_tmp_left_behind(self, store):
+        key = "c" * 64
+        store.put(key, make_result())
+        leftovers = [p for p in store.root.rglob("*") if ".tmp-" in p.name]
+        assert leftovers == []
+
+    def test_put_overwrites(self, store):
+        key = "d" * 64
+        store.put(key, make_result(n=10, nan_tail=2))
+        store.put(key, make_result(n=20, nan_tail=2))
+        assert store.get(key).result.x_values.size == 20
+        assert store.stats().entries == 1
+
+    def test_corrupt_entry_fails_loudly(self, store):
+        """Atomic writes mean a torn entry cannot happen in normal
+        operation; an actually-corrupt file is a disk problem and must not
+        be silently recomputed over."""
+        key = "e" * 64
+        path = store.result_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz")
+        with pytest.raises(Exception):
+            store.get(key)
+
+
+class TestCheckpoints:
+    def test_slot_save_load_round_trip(self, store):
+        ck = store.checkpointer("k" * 64)
+        slot = ck.slot()
+        reducer = StreamingScalar().update([1.0, 2.0, 3.0])
+        slot.save(reducer, 2, "fp")
+        loaded, blocks_done = slot.load("fp")
+        assert blocks_done == 2
+        assert loaded == reducer  # bit-exact reducer equality
+
+    def test_fingerprint_mismatch_ignored(self, store):
+        ck = store.checkpointer("k" * 64)
+        slot = ck.slot()
+        slot.save(StreamingScalar().update([1.0]), 1, "fp-old")
+        assert slot.load("fp-new") is None
+
+    def test_torn_checkpoint_ignored(self, store):
+        ck = store.checkpointer("k" * 64)
+        slot = ck.slot()
+        slot.path.parent.mkdir(parents=True, exist_ok=True)
+        slot.path.write_bytes(b"\x80garbage")
+        assert slot.load("fp") is None
+
+    def test_slots_autonumber_in_call_order(self, store):
+        ck = store.checkpointer("k" * 64)
+        assert ck.slot().path.name == "slot0000.pkl"
+        assert ck.slot().path.name == "slot0001.pkl"
+        again = store.checkpointer("k" * 64)
+        assert again.slot().path.name == "slot0000.pkl"
+
+    def test_put_clears_checkpoints(self, store):
+        key = "k" * 64
+        ck = store.checkpointer(key)
+        ck.slot().save(StreamingProfile(3).update(np.ones((2, 3))), 1, "fp")
+        assert store.has_checkpoints(key)
+        store.put(key, make_result())
+        assert not store.has_checkpoints(key)
+
+    def test_reducers_pickle_bit_exactly(self):
+        profile = StreamingProfile(5).update(np.random.default_rng(1).random((4, 5)))
+        assert pickle.loads(pickle.dumps(profile)) == profile
+        scalar = StreamingScalar().update([1.5, 2.5])
+        assert pickle.loads(pickle.dumps(scalar)) == scalar
+
+    def test_nan_state_reducers_still_round_trip_equal(self):
+        """Equality is byte-level, so NaN moments (NaN-padded series fed to
+        a reducer) do not break the ``loads(dumps(r)) == r`` invariant."""
+        scalar = StreamingScalar().update([1.0, np.nan])
+        assert pickle.loads(pickle.dumps(scalar)) == scalar
+        profile = StreamingProfile(2).update(np.array([[1.0, np.nan]]))
+        assert pickle.loads(pickle.dumps(profile)) == profile
+
+
+class TestStoreKnob:
+    def test_default_root_uses_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "envstore"))
+        assert default_store_root() == tmp_path / "envstore"
+
+    def test_default_root_fallback(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert str(default_store_root()) == ".repro-store"
+
+    def test_resolve_store_forms(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "envstore"))
+        assert resolve_store(None) is None
+        store = ResultStore(tmp_path)
+        assert resolve_store(store) is store
+        assert resolve_store(True).root == tmp_path / "envstore"
+        assert resolve_store(tmp_path / "explicit").root == tmp_path / "explicit"

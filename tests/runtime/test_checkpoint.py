@@ -1,0 +1,169 @@
+"""Executor resume (checkpoint hook) and fail-fast pool error tests.
+
+The resume contract: ``run_ensemble_reduced`` persists the merged-so-far
+reducer after every completed block; a rerun of the same call skips the
+checkpointed blocks and produces a reducer **bit-identical** to an
+uninterrupted run — sound because block boundaries and each block's child
+seeds are functions of ``(seed, repetitions, block_size)`` alone, and
+blocks merge left-to-right on both paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import StreamingScalar
+from repro.io.store import ResultStore
+from repro.runtime import run_ensemble_reduced, run_repetitions
+from repro.runtime.executor import TaskError
+
+#: Serial-path call counter (workers=1 runs tasks in-process).
+CALLS = {"blocks": 0}
+
+#: Out-of-band kill switch: fail any block whose first repetition index is
+#: >= this value.  A module global rather than a task kwarg so the
+#: interrupted attempt and the resume attempt are *the same call* (same
+#: checkpoint fingerprint), exactly like a real mid-run kill; forked pool
+#: workers inherit it.
+FAIL = {"from": None}
+
+
+def scalar_block(seeds, *, fail_from=None):
+    """Top-level (picklable) reducer task; fails on the block whose first
+    repetition index (= the first child's spawn key, per the executor seed
+    contract) is >= ``fail_from`` (kwarg) or ``FAIL['from']`` (global)."""
+    CALLS["blocks"] += 1
+    first_rep = seeds[0].spawn_key[-1]
+    threshold = fail_from if fail_from is not None else FAIL["from"]
+    if threshold is not None and first_rep >= threshold:
+        raise RuntimeError(f"injected kill at repetition {first_rep}")
+    values = [float(np.random.default_rng(s).random()) for s in seeds]
+    return StreamingScalar().update(values)
+
+
+def failing_task(seed):
+    raise ValueError("scalar task boom")
+
+
+def unpicklable_task(seed):
+    return lambda: None  # lambdas cannot travel back through the pool
+
+
+@pytest.fixture
+def checkpoints(tmp_path):
+    """A fresh checkpointer factory over one persistent directory."""
+    store = ResultStore(tmp_path / "store")
+
+    def make():
+        return store.checkpointer("k" * 64)
+
+    make.store = store
+    return make
+
+
+REPS, BLOCK = 20, 3  # 7 blocks: [0,3) ... [18,20)
+
+
+class TestResume:
+    def run(self, checkpoint, workers=1):
+        return run_ensemble_reduced(
+            scalar_block, REPS, seed=42, workers=workers, block_size=BLOCK,
+            checkpoint=checkpoint, label="unit",
+        )
+
+    def kill_at(self, checkpoints, rep, workers=1, exc=RuntimeError, match="injected kill"):
+        FAIL["from"] = rep
+        try:
+            with pytest.raises(exc, match=match):
+                self.run(checkpoints(), workers=workers)
+        finally:
+            FAIL["from"] = None
+
+    def test_interrupted_run_resumes_bit_identically(self, checkpoints):
+        reference = run_ensemble_reduced(
+            scalar_block, REPS, seed=42, block_size=BLOCK,
+        )
+        self.kill_at(checkpoints, 9)
+        assert checkpoints.store.has_checkpoints("k" * 64)
+        CALLS["blocks"] = 0
+        resumed = self.run(checkpoints())
+        # blocks [0,3) [3,6) [6,9) were checkpointed; only 4 of 7 re-run
+        assert CALLS["blocks"] == 4
+        assert resumed == reference
+        agg_a, agg_b = resumed.aggregate(), reference.aggregate()
+        assert (agg_a.mean, agg_a.std, agg_a.minimum, agg_a.maximum) == (
+            agg_b.mean, agg_b.std, agg_b.minimum, agg_b.maximum
+        )
+
+    def test_completed_run_replays_from_checkpoint_without_work(self, checkpoints):
+        first = self.run(checkpoints())
+        CALLS["blocks"] = 0
+        second = self.run(checkpoints())
+        assert CALLS["blocks"] == 0  # fully checkpointed: nothing recomputed
+        assert second == first
+
+    def test_pool_interrupt_then_pool_resume(self, checkpoints):
+        reference = run_ensemble_reduced(
+            scalar_block, REPS, seed=42, block_size=BLOCK,
+        )
+        self.kill_at(
+            checkpoints, 9, workers=2, exc=TaskError,
+            match=r"unit ensemble block \[9, 12\)",
+        )
+        resumed = self.run(checkpoints(), workers=2)
+        assert resumed == reference
+
+    def test_changed_kwargs_invalidate_checkpoint(self, checkpoints):
+        self.kill_at(checkpoints, 9)
+        # different kwargs -> different fingerprint -> fresh start
+        CALLS["blocks"] = 0
+        fresh = run_ensemble_reduced(
+            scalar_block, REPS, seed=42, block_size=BLOCK,
+            kwargs={"fail_from": 10**9}, checkpoint=checkpoints(),
+        )
+        assert CALLS["blocks"] == 7
+        assert fresh == run_ensemble_reduced(
+            scalar_block, REPS, seed=42, block_size=BLOCK,
+        )
+
+    def test_changed_block_size_invalidates_checkpoint(self, checkpoints):
+        self.kill_at(checkpoints, 9)
+        CALLS["blocks"] = 0
+        run_ensemble_reduced(
+            scalar_block, REPS, seed=42, block_size=4,
+            checkpoint=checkpoints(),
+        )
+        assert CALLS["blocks"] == 5  # ceil(20/4): all blocks, none resumed
+
+    def test_seed_none_never_checkpoints(self, checkpoints):
+        run_ensemble_reduced(
+            scalar_block, REPS, seed=None, block_size=BLOCK,
+            checkpoint=checkpoints(),
+        )
+        assert not checkpoints.store.has_checkpoints("k" * 64)
+
+    def test_without_checkpoint_matches_with_checkpoint(self, checkpoints):
+        plain = run_ensemble_reduced(scalar_block, REPS, seed=42, block_size=BLOCK)
+        assert self.run(checkpoints()) == plain
+
+
+class TestFailFast:
+    def test_pool_scalar_failure_names_repetition(self):
+        with pytest.raises(TaskError, match="lab repetition") as err:
+            run_repetitions(failing_task, 4, seed=0, workers=2, label="lab")
+        assert "scalar task boom" in str(err.value)
+        assert "worker traceback" in str(err.value)
+
+    def test_pool_block_failure_names_block_bounds(self):
+        with pytest.raises(TaskError, match=r"exp ensemble block \[\d+, \d+\)"):
+            run_ensemble_reduced(
+                scalar_block, REPS, seed=1, workers=2, block_size=BLOCK,
+                kwargs={"fail_from": 0}, label="exp",
+            )
+
+    def test_pool_unpicklable_result_wrapped(self):
+        with pytest.raises(TaskError, match="worker pool failed"):
+            run_repetitions(unpicklable_task, 4, seed=0, workers=2)
+
+    def test_serial_failure_propagates_natively(self):
+        with pytest.raises(ValueError, match="scalar task boom"):
+            run_repetitions(failing_task, 3, seed=0, workers=1)

@@ -1,0 +1,193 @@
+"""End-to-end run-pipeline tests: RunRequest → store → resumable sweep.
+
+These enforce the pipeline's two acceptance criteria:
+
+* running the same request twice through a store does **zero simulation
+  work** the second time and returns a bit-identical result;
+* killing a sweep mid-run and re-running it resumes from block checkpoints
+  and produces results bit-identical to an uninterrupted run at the same
+  seed.
+"""
+
+import numpy as np
+import pytest
+
+import repro.experiments.fig02_05_small_heavy as fig02mod
+from repro.cli import main
+from repro.experiments import RunRequest, execute_request, run_experiment
+from repro.experiments.base import get_experiment
+from repro.io.store import ResultStore
+
+
+def assert_bit_identical(a, b):
+    assert a.x_values.tobytes() == b.x_values.tobytes()
+    assert list(a.series) == list(b.series)
+    for name in a.series:
+        assert a.series[name].tobytes() == b.series[name].tobytes(), name
+
+
+@pytest.fixture
+def no_simulation(monkeypatch):
+    """Arm after the first run: any further simulation work fails the test."""
+
+    def arm():
+        def boom(*args, **kwargs):
+            raise AssertionError("simulation ran on what must be a cache hit")
+
+        monkeypatch.setattr(fig02mod, "simulate", boom)
+        monkeypatch.setattr(fig02mod, "simulate_ensemble", boom)
+
+    return arm
+
+
+class TestCacheHitOrCompute:
+    @pytest.mark.parametrize("engine", ["scalar", "ensemble"])
+    def test_second_run_is_pure_lookup(self, tmp_path, no_simulation, engine):
+        store = ResultStore(tmp_path)
+        first = run_experiment(
+            "fig02", seed=5, repetitions=6, engine=engine, store=store
+        )
+        no_simulation()
+        second = run_experiment(
+            "fig02", seed=5, repetitions=6, engine=engine, store=store
+        )
+        assert store.hits == 1
+        assert_bit_identical(first, second)
+        assert second.extra["wall_seconds"] == first.extra["wall_seconds"]
+        assert second.parameters == first.parameters
+
+    def test_different_request_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment("fig02", seed=5, repetitions=6, store=store)
+        run_experiment("fig02", seed=6, repetitions=6, store=store)
+        assert store.stats().entries == 2 and store.hits == 0
+
+    def test_outcome_reports_key_and_status(self, tmp_path):
+        store = ResultStore(tmp_path)
+        request = RunRequest("fig02", seed=5, overrides={"repetitions": 6})
+        miss = execute_request(request, store=store)
+        hit = execute_request(request, store=store)
+        assert not miss.cache_hit and hit.cache_hit
+        assert miss.key == hit.key == request.cache_key(
+            version=get_experiment("fig02").version
+        )
+
+    def test_store_true_uses_env_knob(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env"))
+        run_experiment("fig02", seed=5, repetitions=6, store=True)
+        assert ResultStore(tmp_path / "env").stats().entries == 1
+
+    def test_request_and_kwargs_conflict_rejected(self):
+        request = RunRequest("fig02", seed=5, overrides={"repetitions": 3})
+        with pytest.raises(ValueError, match="not both"):
+            run_experiment(request, seed=6)
+        with pytest.raises(ValueError, match="not both"):
+            run_experiment(request, workers=8)
+
+    def test_run_all_rejects_unknown_engine(self):
+        from repro.experiments import run_all
+
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_all(engine="ensembel", only=["fig02"])
+
+
+class TestCliStore:
+    def test_run_store_hit_on_second_invocation(self, tmp_path, capsys, no_simulation):
+        argv = ["run", "fig02", "--seed", "5", "--scale", "0.0003",
+                "--no-plot", "--store", str(tmp_path)]
+        assert main(argv) == 0
+        assert "cache miss" in capsys.readouterr().out
+        no_simulation()
+        assert main(argv) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_sweep_grid_hits_on_rerun(self, tmp_path, capsys, no_simulation):
+        argv = ["sweep", "fig02", "--seeds", "5,6", "--engines",
+                "scalar,ensemble", "--repetitions", "4",
+                "--store", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("miss") == 4 and "0 cache hit(s)" in out
+        no_simulation()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("hit") >= 4 and "4 cache hit(s)" in out
+
+    def test_sweep_out_keeps_one_artifact_per_cell(self, tmp_path):
+        out = tmp_path / "artifacts"
+        assert main(["sweep", "fig02", "--seeds", "5,6", "--repetitions", "4",
+                     "--store", str(tmp_path / "store"), "--out", str(out)]) == 0
+        cells = sorted(p.name for p in out.iterdir())
+        assert len(cells) == 2  # one <id>-<key> directory per grid cell
+        for cell in cells:
+            assert cell.startswith("fig02-")
+            assert (out / cell / "fig02.csv").is_file()
+            assert (out / cell / "fig02.json").is_file()
+
+    def test_sweep_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit, match="unknown engine"):
+            main(["sweep", "fig02", "--engines", "warp"])
+
+    def test_sweep_rejects_bad_scale(self):
+        with pytest.raises(SystemExit, match="bad scale"):
+            main(["sweep", "fig02", "--scales", "fast"])
+
+
+class TestSweepResume:
+    def test_killed_sweep_resumes_bit_identically(self, tmp_path, monkeypatch, capsys):
+        """The acceptance scenario: a sweep dies mid-ensemble-run; rerunning
+        it resumes from the block checkpoints (not from scratch) and the
+        final stored result equals an uninterrupted run bit-for-bit."""
+        argv = ["sweep", "fig02", "--seeds", "7", "--engines", "ensemble",
+                "--repetitions", "12", "--block-size", "2",
+                "--store", str(tmp_path / "killed")]
+
+        # Uninterrupted reference in a separate store.
+        reference = run_experiment(
+            "fig02", seed=7, repetitions=12, engine="ensemble", block_size=2,
+            store=ResultStore(tmp_path / "reference"),
+        )
+
+        real = fig02mod.simulate_ensemble
+        calls = {"n": 0}
+
+        def dying(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 7:  # 24 blocks total: die in the second sub-run
+                raise RuntimeError("sweep killed")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(fig02mod, "simulate_ensemble", dying)
+        with pytest.raises(RuntimeError, match="sweep killed"):
+            main(argv)
+        capsys.readouterr()
+
+        store = ResultStore(tmp_path / "killed")
+        request = RunRequest(
+            "fig02", seed=7, engine="ensemble", block_size=2,
+            overrides={"repetitions": 12},
+        )
+        key = request.cache_key(version=get_experiment("fig02").version)
+        assert store.has_checkpoints(key)
+
+        # Rerun: must resume (recompute only the unfinished blocks).
+        counting = {"n": 0}
+
+        def counted(*args, **kwargs):
+            counting["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(fig02mod, "simulate_ensemble", counted)
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert counting["n"] == 24 - 7  # checkpointed blocks were skipped
+
+        resumed = store.get(key).result
+        assert_bit_identical(resumed, reference)
+        assert not store.has_checkpoints(key)  # cleared after completion
+
+        # And a third invocation is a pure cache hit.
+        monkeypatch.setattr(fig02mod, "simulate_ensemble", real)
+        assert main(argv) == 0
+        assert "hit" in capsys.readouterr().out
