@@ -10,6 +10,7 @@ test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
 
 # Routine pipeline: tier-1 + quick ensemble benchmarks (5x/3x floors) +
+# adaptive-precision smoke (<=50% budget floor + store round trip) +
 # reduced-budget cross-engine equivalence sweep.
 check:
 	bash scripts/ci.sh

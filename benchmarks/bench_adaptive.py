@@ -1,0 +1,136 @@
+"""Adaptive-precision acceptance floors on the easy fig02 configuration.
+
+Not a paper figure — this pins the tentpole win of the adaptive-precision
+layer (:mod:`repro.analysis.precision`): at a relative CI half-width
+target of 2% (95% confidence), the easy fig02 configuration must
+
+* stop at **<= 50%** of the fixed repetition budget (measured ~35%),
+* agree with the fixed-budget estimate within a pinned tolerance at every
+  monitored series (the two runs share the replication prefix, so the
+  difference is far inside one half-width),
+* round-trip the result store: the early-stopped result is cached under
+  its precision-aware key and a repeated request is a bit-identical hit
+  with the resume checkpoints cleared.
+
+A min-of-rounds wall-clock comparison rides along so the replication
+saving is visible as time, not just counts.  ``REPRO_BENCH_QUICK=1``
+trims the timing rounds (the floor assertions always run).
+"""
+
+import os
+import time
+
+from conftest import BENCH_SEED
+
+from repro.analysis.precision import PrecisionTarget
+from repro.experiments import RunRequest, execute_request, run_experiment
+from repro.io.store import ResultStore
+
+#: Fixed repetition budget per capacity class (4 classes -> 4096 total).
+BUDGET = 1024
+
+#: The acceptance target: 2% relative half-width at 95% confidence.
+TARGET = PrecisionTarget(rel=0.02, confidence=0.95)
+
+#: Replications-used ceiling relative to the budget (the acceptance floor).
+USED_FRACTION_CEILING = 0.5
+
+#: Per-series agreement tolerance vs the fixed-budget estimate (measured
+#: max |diff| ~0.012 on the rank-0 means; 0.05 leaves seed headroom).
+AGREEMENT_TOL = 0.05
+
+TIMING_ROUNDS = 2 if os.environ.get("REPRO_BENCH_QUICK") else 5
+
+
+def _adaptive():
+    return run_experiment(
+        "fig02", engine="ensemble", seed=BENCH_SEED, repetitions=BUDGET,
+        precision=TARGET,
+    )
+
+
+def _fixed(block_size):
+    # Same block layout as the adaptive run, so the replication prefixes
+    # (and hence the estimates) are directly comparable.
+    return run_experiment(
+        "fig02", engine="ensemble", seed=BENCH_SEED, repetitions=BUDGET,
+        block_size=block_size, precision=None,
+    )
+
+
+def _adaptive_block_size(result):
+    """The width the adaptive default picked (pure function of the run)."""
+    from repro.analysis.precision import AdaptiveRecorder
+
+    recorder = AdaptiveRecorder(TARGET, engine="ensemble")
+    return recorder.block_size(result.parameters["repetitions"], None)
+
+
+def test_adaptive_stops_at_half_budget_floor():
+    """Acceptance floor: rel=2%/conf=95% uses <= 50% of the fixed budget
+    on fig02 and matches the fixed-budget estimate within tolerance."""
+    adaptive = _adaptive()
+    info = adaptive.extra["adaptive"]
+    used, budget = info["replications_used"], info["replication_budget"]
+    fraction = used / budget
+    print(f"\nfig02 adaptive rel=2%: used {used} of {budget} replications "
+          f"({fraction:.1%}); per-class "
+          f"{[r['replications'] for r in info['runs'].values()]}")
+    assert info["early_stopped"]
+    assert fraction <= USED_FRACTION_CEILING, (
+        f"adaptive run used {fraction:.1%} of the budget "
+        f"(floor: <= {USED_FRACTION_CEILING:.0%})"
+    )
+    for label, run in info["runs"].items():
+        series = run["series"]["rank0"]
+        assert run["stopped_early"], label
+        assert series["halfwidth"] <= series["tolerance"], label
+
+    fixed = _fixed(_adaptive_block_size(adaptive))
+    for name in fixed.series:
+        diff = abs(float(adaptive.series[name][0]) - float(fixed.series[name][0]))
+        print(f"  {name}: rank0 adaptive vs fixed |diff| = {diff:.4f}")
+        assert diff <= AGREEMENT_TOL, (
+            f"{name}: adaptive estimate drifted {diff:.4f} from the "
+            f"fixed-budget estimate (tolerance {AGREEMENT_TOL})"
+        )
+
+
+def test_adaptive_is_measurably_faster_than_fixed_budget():
+    """The replication saving shows up as wall-clock (min-of-rounds)."""
+    block_size = _adaptive_block_size(_adaptive())  # warm-up + width
+    fixed_t = adaptive_t = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        _fixed(block_size)
+        fixed_t = min(fixed_t, time.perf_counter() - start)
+        start = time.perf_counter()
+        _adaptive()
+        adaptive_t = min(adaptive_t, time.perf_counter() - start)
+    speedup = fixed_t / adaptive_t
+    print(f"\nfig02 fixed {fixed_t * 1e3:.1f} ms vs adaptive "
+          f"{adaptive_t * 1e3:.1f} ms ({speedup:.2f}x)")
+    assert speedup >= 1.2, (
+        f"adaptive run not faster than the fixed budget: {speedup:.2f}x "
+        f"(floor 1.2x at ~35% of the replications)"
+    )
+
+
+def test_early_stopped_result_round_trips_the_store(tmp_path):
+    """Early-stop x store: hit-on-repeat, bit-identical, checkpoints gone."""
+    store = ResultStore(tmp_path / "store")
+    request = RunRequest(
+        "fig02", seed=BENCH_SEED, engine="ensemble",
+        overrides={"repetitions": BUDGET}, precision=TARGET,
+    )
+    first = execute_request(request, store=store)
+    second = execute_request(request, store=store)
+    assert not first.cache_hit and second.cache_hit
+    a, b = first.result, second.result
+    assert a.x_values.tobytes() == b.x_values.tobytes()
+    for name in a.series:
+        assert a.series[name].tobytes() == b.series[name].tobytes(), name
+    assert (b.extra["adaptive"]["replications_used"]
+            == a.extra["adaptive"]["replications_used"])
+    assert a.extra["adaptive"]["early_stopped"]
+    assert not store.has_checkpoints(first.key)

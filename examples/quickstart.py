@@ -71,6 +71,22 @@ def main() -> None:
         print(f"\nresult store: {stats.entries} entry, "
               f"{stats.hits} hit / {stats.misses} miss")
 
+    # Adaptive precision: make the repetition count a *maximum* instead of
+    # a fixed burn.  With a precision target the ensemble run stops at the
+    # first block boundary where every monitored series' batch-means CI
+    # half-width meets the target — the CLI spelling is
+    # `repro run fig02 --engine ensemble --precision rel=0.05,conf=0.95`.
+    from repro.analysis import PrecisionTarget
+
+    result = run_experiment(
+        "fig02", seed=2026, engine="ensemble", repetitions=1024,
+        precision=PrecisionTarget.parse("rel=0.05,conf=0.95"),
+    )
+    adaptive = result.extra["adaptive"]
+    print(f"adaptive run: used {adaptive['replications_used']} of "
+          f"{adaptive['replication_budget']} budgeted replications "
+          f"(early stop: {adaptive['early_stopped']})")
+
 
 if __name__ == "__main__":
     main()

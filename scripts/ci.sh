@@ -5,9 +5,12 @@
 #   1. the tier-1 test suite (ROADMAP's verify command);
 #   2. the quick-mode benchmarks for the ensemble engine, which include the
 #      5x (fig02) and 3x (fig18) speedup acceptance floors at R = 64;
-#   3. the result-store round-trip smoke (second fig01 run must be a
+#   3. the adaptive-precision smoke (quick-mode bench_adaptive.py): the
+#      rel=2% fig02 run must early-stop at <= 50% of the fixed budget,
+#      match the fixed-budget estimate, and round-trip the store;
+#   4. the result-store round-trip smoke (second fig01 run must be a
 #      bit-identical cache hit, >= 10x faster than the compute);
-#   4. a reduced-budget cross-engine equivalence sweep — kernel three-way
+#   5. a reduced-budget cross-engine equivalence sweep — kernel three-way
 #      bit-exactness, the four driver parity sweeps, and the full
 #      per-experiment engine matrix.
 #
@@ -25,6 +28,9 @@ python -m pytest -x -q
 
 echo "== quick benchmarks (ensemble engine floors) =="
 REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_ensemble.py -q
+
+echo "== adaptive-precision smoke (early-stop floors + store round trip) =="
+REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_adaptive.py -q
 
 echo "== result-store round-trip smoke =="
 python scripts/store_smoke.py

@@ -19,6 +19,14 @@ from .distribution import (
 )
 from .convergence import AdaptiveEstimate, run_until_ci
 from .optimize import ExponentSearchResult, exponent_sweep, optimal_exponent
+from .precision import (
+    AdaptiveRecorder,
+    PrecisionError,
+    PrecisionTarget,
+    SequentialMonitor,
+    default_block_statistics,
+    student_t_quantile,
+)
 from .plateau import Plateau, find_plateaus, longest_plateau
 from .stats import (
     LoadStats,
@@ -57,6 +65,12 @@ __all__ = [
     "optimal_exponent",
     "AdaptiveEstimate",
     "run_until_ci",
+    "PrecisionTarget",
+    "PrecisionError",
+    "SequentialMonitor",
+    "AdaptiveRecorder",
+    "default_block_statistics",
+    "student_t_quantile",
     "LoadHistogram",
     "load_histogram",
     "class_profiles",

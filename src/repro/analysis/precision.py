@@ -1,0 +1,537 @@
+"""Adaptive precision: CI-driven sequential stopping over ensemble blocks.
+
+Every experiment used to burn a fixed repetition budget whether the
+estimator converged after 200 replications or needed 20,000.  This module
+supplies the statistical layer that lets a run stop as soon as its
+estimates are *tight enough*:
+
+* :class:`PrecisionTarget` — the declarative goal (per-series relative
+  and/or absolute confidence-interval half-width at a confidence level,
+  plus replication bounds), parseable from the CLI's
+  ``--precision rel=0.01,conf=0.95`` syntax and canonicalizable into a
+  :meth:`repro.experiments.request.RunRequest.cache_key`;
+* :class:`SequentialMonitor` — the stopping rule.  It consumes the
+  per-block reducers the ensemble pipeline already produces
+  (:class:`~repro.analysis.aggregate.StreamingProfile` /
+  :class:`~repro.analysis.aggregate.StreamingScalar` /
+  :class:`~repro.analysis.aggregate.ReducerBundle`) and answers
+  continue/stop after every completed block — the ``until=`` hook of
+  :func:`repro.runtime.executor.run_ensemble_reduced`;
+* :class:`AdaptiveRecorder` — per-experiment bookkeeping: one fresh
+  monitor per ``run_ensemble_reduced`` call, summarized into
+  ``result.extra["adaptive"]`` provenance.
+
+Batch-means argument
+--------------------
+The monitor never looks at individual replications: its samples are the
+**block aggregates** (one scalar per block per monitored series).  Under
+the executor's shared-params-per-block convention blocks are i.i.d. —
+each block owns a disjoint slice of one ``SeedSequence.spawn`` and any
+shared random parameters are drawn per block — even when replications
+*within* a block are correlated through those shared parameters.  The
+batch-means sample mean is therefore an unbiased estimator with an
+honest variance estimate, and the Student-``t`` interval over ``k`` block
+means is valid where a per-replication normal interval would be
+anticonservative.  The ``min_blocks`` floor (default 8) keeps the
+``t``-interval out of the tiny-``k`` regime and damps the sequential
+"peeking" bias of testing after every block; the statistical validity
+test in ``tests/analysis/test_precision.py`` pins the achieved coverage.
+
+Determinism
+-----------
+A stopping decision is a pure function of the observed block-aggregate
+prefix, so serial and pool execution stop at the same block, and a
+killed run that resumes from a checkpointed ``(reducer, monitor)`` pair
+reaches the same stopping block bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "PrecisionTarget",
+    "PrecisionError",
+    "SequentialMonitor",
+    "AdaptiveRecorder",
+    "default_block_statistics",
+    "student_t_quantile",
+]
+
+
+class PrecisionError(ValueError):
+    """An invalid precision target (bad parse, bad field values)."""
+
+
+# -- Student-t critical values (pure numpy/math; no scipy dependency) -----
+
+_BETACF_MAX_ITER = 300
+_BETACF_EPS = 3e-16
+_BETACF_FPMIN = 1e-300
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function (Lentz)."""
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _BETACF_FPMIN:
+        d = _BETACF_FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _BETACF_MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _BETACF_FPMIN:
+            d = _BETACF_FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _BETACF_FPMIN:
+            c = _BETACF_FPMIN
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _BETACF_FPMIN:
+            d = _BETACF_FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _BETACF_FPMIN:
+            c = _BETACF_FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _BETACF_EPS:
+            break
+    return h
+
+
+def _betainc(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function ``I_x(a, b)``."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_bt = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log1p(-x)
+    )
+    bt = math.exp(ln_bt)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return bt * _betacf(a, b, x) / a
+    return 1.0 - bt * _betacf(b, a, 1.0 - x) / b
+
+
+@lru_cache(maxsize=1024)
+def student_t_quantile(confidence: float, df: int) -> float:
+    """Two-sided Student-``t`` critical value: ``P(|T_df| <= t) = confidence``.
+
+    Computed by bisecting the exact ``t`` CDF (incomplete-beta form), so
+    the result is deterministic and accurate to ~1e-12 without a scipy
+    dependency; values are cached per ``(confidence, df)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise PrecisionError(f"confidence must be in (0, 1), got {confidence}")
+    if df < 1:
+        raise PrecisionError(f"degrees of freedom must be >= 1, got {df}")
+    p = 0.5 * (1.0 + confidence)  # one-sided CDF level of the two-sided value
+
+    def cdf(t: float) -> float:
+        return 1.0 - 0.5 * _betainc(df / 2.0, 0.5, df / (df + t * t))
+
+    lo, hi = 0.0, 2.0
+    while cdf(hi) < p:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - unreachable for valid inputs
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+# -- the declarative target -----------------------------------------------
+
+#: ``parse`` key aliases → dataclass field names.
+_PARSE_KEYS = {
+    "rel": "rel",
+    "abs": "absolute",
+    "absolute": "absolute",
+    "conf": "confidence",
+    "confidence": "confidence",
+    "min_reps": "min_reps",
+    "max_reps": "max_reps",
+    "min_blocks": "min_blocks",
+}
+
+_INT_FIELDS = {"min_reps", "max_reps", "min_blocks"}
+
+
+@dataclass(frozen=True)
+class PrecisionTarget:
+    """Per-series CI half-width goal for an adaptive run.
+
+    A monitored series is *converged* once its batch-means half-width at
+    ``confidence`` drops to ``max(absolute, rel * |mean|)`` (whichever of
+    the two targets is provided; with both, meeting either suffices).  A
+    run stops at the first block boundary where **every** monitored
+    series is converged, subject to ``min_reps`` / ``min_blocks`` floors,
+    or unconditionally once ``max_reps`` replications ran (the executor's
+    ``repetitions`` budget is always a second, outer cap).
+    """
+
+    rel: float | None = None
+    absolute: float | None = None
+    confidence: float = 0.95
+    min_reps: int = 0
+    max_reps: int | None = None
+    min_blocks: int = 8
+
+    def __post_init__(self):
+        if self.rel is None and self.absolute is None:
+            raise PrecisionError(
+                "a precision target needs at least one of rel= / abs="
+            )
+        for name in ("rel", "absolute"):
+            value = getattr(self, name)
+            if value is not None and not value > 0:
+                raise PrecisionError(f"{name} must be positive, got {value}")
+        if not 0.0 < self.confidence < 1.0:
+            raise PrecisionError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.min_blocks < 2:
+            raise PrecisionError(
+                f"min_blocks must be >= 2 (the batch-means variance needs at "
+                f"least two block aggregates), got {self.min_blocks}"
+            )
+        if self.min_reps < 0:
+            raise PrecisionError(f"min_reps must be >= 0, got {self.min_reps}")
+        if self.max_reps is not None and self.max_reps < max(self.min_reps, 1):
+            raise PrecisionError(
+                f"max_reps={self.max_reps} is below min_reps={self.min_reps}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "PrecisionTarget":
+        """Parse the CLI syntax: ``"rel=0.01,conf=0.95[,abs=...,...]"``.
+
+        Keys: ``rel``, ``abs``, ``conf``/``confidence``, ``min_reps``,
+        ``max_reps``, ``min_blocks``.
+        """
+        fields: dict = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in _PARSE_KEYS:
+                known = ",".join(sorted(set(_PARSE_KEYS)))
+                raise PrecisionError(
+                    f"bad precision item {part!r}; expected key=value with "
+                    f"keys in {{{known}}}"
+                )
+            field = _PARSE_KEYS[key]
+            try:
+                fields[field] = (
+                    int(value) if field in _INT_FIELDS else float(value)
+                )
+            except ValueError:
+                raise PrecisionError(
+                    f"bad precision value for {key}: {value!r}"
+                ) from None
+        if not fields:
+            raise PrecisionError("empty precision spec")
+        return cls(**fields)
+
+    # -- persistence / canonical form ----------------------------------
+
+    def to_payload(self) -> dict:
+        """Canonical JSON-encodable form (feeds the request cache key)."""
+        return {
+            "rel": None if self.rel is None else float(self.rel),
+            "abs": None if self.absolute is None else float(self.absolute),
+            "conf": float(self.confidence),
+            "min_reps": int(self.min_reps),
+            "max_reps": None if self.max_reps is None else int(self.max_reps),
+            "min_blocks": int(self.min_blocks),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PrecisionTarget":
+        """Inverse of :meth:`to_payload` (unknown keys rejected)."""
+        unknown = set(payload) - {"rel", "abs", "conf", "min_reps",
+                                  "max_reps", "min_blocks"}
+        if unknown:
+            raise PrecisionError(
+                f"unknown precision payload keys: {sorted(unknown)}"
+            )
+        kwargs: dict = {}
+        if payload.get("rel") is not None:
+            kwargs["rel"] = float(payload["rel"])
+        if payload.get("abs") is not None:
+            kwargs["absolute"] = float(payload["abs"])
+        if payload.get("conf") is not None:
+            kwargs["confidence"] = float(payload["conf"])
+        for key in _INT_FIELDS:
+            if payload.get(key) is not None:
+                kwargs[key] = int(payload[key])
+        return cls(**kwargs)
+
+    # -- semantics ------------------------------------------------------
+
+    def tolerance(self, mean: float) -> float:
+        """The half-width this target allows for a series at *mean*."""
+        candidates = []
+        if self.absolute is not None:
+            candidates.append(self.absolute)
+        if self.rel is not None:
+            candidates.append(self.rel * abs(mean))
+        return max(candidates)
+
+    def monitor(self, extract=None) -> "SequentialMonitor":
+        """A fresh :class:`SequentialMonitor` for one reduced ensemble run."""
+        return SequentialMonitor(self, extract=extract)
+
+
+# -- block-aggregate extraction ------------------------------------------
+
+def default_block_statistics(reducer) -> dict[str, float]:
+    """The per-block aggregates the monitor tracks, by reducer type.
+
+    * :class:`~repro.analysis.aggregate.StreamingScalar` → ``{"mean": …}``
+      (the block's mean of the scalar statistic);
+    * :class:`~repro.analysis.aggregate.StreamingProfile` → ``{"rank0": …}``
+      (the block-mean load at sorted rank 0 — the profile's headline
+      maximum-load position);
+    * :class:`~repro.analysis.aggregate.ReducerBundle` → the union over
+      members, names prefixed ``"<key>.<name>"``.
+    """
+    from .aggregate import ReducerBundle, StreamingProfile, StreamingScalar
+
+    if isinstance(reducer, StreamingScalar):
+        return {"mean": float(reducer.mean)}
+    if isinstance(reducer, StreamingProfile):
+        return {"rank0": float(reducer.profile().mean[0])}
+    if isinstance(reducer, ReducerBundle):
+        out: dict[str, float] = {}
+        for key, sub in reducer.reducers.items():
+            for name, value in default_block_statistics(sub).items():
+                out[f"{key}.{name}"] = value
+        return out
+    raise TypeError(
+        f"no default block statistic for reducer type {type(reducer)!r}; "
+        f"pass an explicit extract= callable"
+    )
+
+
+# -- the stopping rule ----------------------------------------------------
+
+class SequentialMonitor:
+    """Continue/stop decisions over a stream of block reducers.
+
+    The executor (:func:`repro.runtime.executor.run_ensemble_reduced`)
+    calls :meth:`observe` with each completed block's reducer; the monitor
+    extracts the block aggregates, folds them into per-series batch-means
+    moments, and returns ``True`` once every series meets the target (see
+    the module docstring for the batch-means soundness argument).
+
+    State is tiny and picklable: :meth:`state_dict` /
+    :meth:`load_state_dict` let the resume pipeline checkpoint the monitor
+    alongside the merged reducer, so a killed adaptive run stops at the
+    same block as an uninterrupted one.
+    """
+
+    def __init__(self, target: PrecisionTarget, extract=None):
+        self.target = target
+        self._extract = extract if extract is not None else default_block_statistics
+        # name -> [k, sum of block means, sum of squared block means]
+        self._series: dict[str, list[float]] = {}
+        self.reps_done = 0
+
+    # -- observation ----------------------------------------------------
+
+    def observe(self, block_reducer, reps_done: int) -> bool:
+        """Fold one block's aggregates in; return the stop decision.
+
+        ``reps_done`` is the cumulative replication count including this
+        block.  The decision is a pure function of the observed prefix.
+        """
+        stats = self._extract(block_reducer)
+        if not isinstance(stats, dict):
+            stats = {"stat": float(stats)}
+        for name, value in stats.items():
+            entry = self._series.setdefault(name, [0, 0.0, 0.0])
+            value = float(value)
+            entry[0] += 1
+            entry[1] += value
+            entry[2] += value * value
+        self.reps_done = int(reps_done)
+        return self.should_stop()
+
+    # -- decision -------------------------------------------------------
+
+    def _halfwidth(self, k: int, total: float, sumsq: float) -> float:
+        """Batch-means t-interval half-width over *k* block aggregates."""
+        if k < 2:
+            return float("inf")
+        mean = total / k
+        var = max((sumsq - k * mean * mean) / (k - 1), 0.0)
+        crit = student_t_quantile(self.target.confidence, k - 1)
+        return crit * math.sqrt(var / k)
+
+    def should_stop(self) -> bool:
+        """Current decision (no side effects; safe to re-query on resume).
+
+        A series whose block aggregates are NaN never converges — the run
+        then simply spends its full budget.
+        """
+        target = self.target
+        if target.max_reps is not None and self.reps_done >= target.max_reps:
+            return True
+        if not self._series or self.reps_done < target.min_reps:
+            return False
+        for k, total, sumsq in self._series.values():
+            if k < target.min_blocks:
+                return False
+            hw = self._halfwidth(k, total, sumsq)
+            if not hw <= target.tolerance(total / k):
+                return False
+        return True
+
+    # -- reporting ------------------------------------------------------
+
+    def series_report(self) -> dict[str, dict]:
+        """Achieved mean / half-width / tolerance per monitored series."""
+        out: dict[str, dict] = {}
+        for name, (k, total, sumsq) in self._series.items():
+            mean = total / k
+            hw = self._halfwidth(int(k), total, sumsq)
+            tol = self.target.tolerance(mean)
+            out[name] = {
+                "mean": float(mean),
+                "halfwidth": float(hw),
+                "tolerance": float(tol),
+                "blocks": int(k),
+                "converged": bool(k >= self.target.min_blocks and hw <= tol),
+            }
+        return out
+
+    def summary(self) -> dict:
+        """Provenance for one reduced run (replications used + CI state)."""
+        series = self.series_report()
+        return {
+            "replications": int(self.reps_done),
+            "converged": bool(series) and all(
+                s["converged"] for s in series.values()
+            ),
+            "series": series,
+        }
+
+    # -- resume state ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Picklable state for block checkpoints (exact float moments)."""
+        return {
+            "series": {k: list(v) for k, v in self._series.items()},
+            "reps_done": int(self.reps_done),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (resume path)."""
+        self._series = {k: list(v) for k, v in state["series"].items()}
+        self.reps_done = int(state["reps_done"])
+
+    def fingerprint(self) -> str:
+        """Identity for the executor's checkpoint fingerprint: a resumed
+        run must carry the same target and extraction rule."""
+        extract = getattr(self._extract, "__qualname__", repr(self._extract))
+        return f"SequentialMonitor({sorted(self.target.to_payload().items())}, {extract})"
+
+
+# -- per-experiment bookkeeping ------------------------------------------
+
+class AdaptiveRecorder:
+    """One experiment's adaptive-run bookkeeping.
+
+    Experiments run several reduced ensemble sub-runs (one per capacity
+    class / grid point); each gets a fresh monitor via :meth:`monitor`,
+    and :meth:`annotate` folds every monitor's summary into
+    ``result.extra["adaptive"]`` so replications-used and achieved
+    half-widths travel with the result (and through the store).
+
+    With ``target=None`` the recorder is inert: :meth:`monitor` returns
+    ``None`` (no ``until`` hook) and :meth:`annotate` is a no-op — the
+    fixed-budget path is untouched.
+    """
+
+    def __init__(self, target: PrecisionTarget | None, *, engine: str | None = None):
+        if target is not None and engine is not None and engine != "ensemble":
+            raise ValueError(
+                "adaptive precision rides the ensemble block stream; "
+                f"engine={engine!r} cannot honor a precision target "
+                "(run with engine='ensemble')"
+            )
+        self.target = target
+        self.monitors: dict[str, SequentialMonitor] = {}
+
+    def monitor(self, label: str, extract=None) -> SequentialMonitor | None:
+        """A fresh monitor registered under *label* (None when inert)."""
+        if self.target is None:
+            return None
+        if label in self.monitors:
+            raise ValueError(f"duplicate adaptive sub-run label {label!r}")
+        mon = self.target.monitor(extract=extract)
+        self.monitors[label] = mon
+        return mon
+
+    def block_size(self, repetitions: int, block_size: int | None) -> int | None:
+        """Effective lockstep block width for an adaptive sub-run.
+
+        An explicit ``block_size`` (e.g. pinned by a RunRequest) always
+        wins, and fixed-budget runs keep the executor default untouched.
+        For an adaptive run with no pinned width, the default
+        :data:`~repro.runtime.executor.DEFAULT_BLOCK_SIZE` is shrunk so the
+        budget spans at least ``4 * min_blocks`` block aggregates —
+        otherwise the monitor could never accumulate ``min_blocks`` batch
+        means before the budget ran out and ``--precision`` would silently
+        degenerate to a fixed-budget run.  The width is a pure function of
+        ``(repetitions, target)``, so results and checkpoints stay
+        deterministic.
+        """
+        if block_size is not None or self.target is None:
+            return block_size
+        from ..runtime.executor import shared_param_block_size
+
+        return shared_param_block_size(
+            repetitions, None, min_blocks=4 * self.target.min_blocks
+        )
+
+    def annotate(self, extra: dict, *, budget_per_run: int) -> dict:
+        """Write the ``"adaptive"`` provenance block into *extra*."""
+        if self.target is None:
+            return extra
+        runs: dict[str, dict] = {}
+        used = 0
+        for label, mon in self.monitors.items():
+            summary = mon.summary()
+            summary["budget"] = int(budget_per_run)
+            summary["stopped_early"] = summary["replications"] < budget_per_run
+            runs[label] = summary
+            used += summary["replications"]
+        budget = int(budget_per_run) * len(self.monitors)
+        extra["adaptive"] = {
+            "target": self.target.to_payload(),
+            "replication_budget": budget,
+            "replications_used": int(used),
+            "early_stopped": used < budget,
+            "runs": runs,
+        }
+        return extra

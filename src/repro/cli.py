@@ -5,18 +5,25 @@ Commands
 ``repro list``
     Show every registered figure experiment.
 ``repro run <id> [--scale S] [--seed N] [--workers W] [--engine E] [--block-size B]
-[--store [DIR]] [--out DIR] [--no-plot]``
+[--precision SPEC] [--store [DIR]] [--out DIR] [--no-plot]``
     Run an experiment; print the ASCII rendition and save CSV/JSON.
     ``--engine ensemble`` selects the lockstep replication engine.
+    ``--precision rel=0.01,conf=0.95`` makes the repetition budget a
+    maximum: an adaptive experiment stops at the first block boundary
+    where every monitored series' batch-means CI half-width meets the
+    target (requires ``--engine ensemble``).
     ``--store`` routes the run through the content-addressed result store
     (``DIR``, else ``$REPRO_STORE``, else ``./.repro-store``): a repeated
     request is a cache hit doing zero simulation work, and an interrupted
     ensemble run resumes from its block checkpoints.
 ``repro sweep <ids|all> [--scales S1,S2] [--seeds N1,N2] [--engines E1,E2] ...``
     Run a grid of run requests (ids × scales × seeds × engines) through the
-    store and print a hit/miss/resume summary table.  Killing a sweep loses
-    nothing: completed cells are cache hits on the rerun and the
-    interrupted cell resumes from its last completed block slab.
+    store and print a hit/miss/resume summary table (with an
+    early-stopped-at-R column under ``--precision``).  Killing a sweep
+    loses nothing: completed cells are cache hits on the rerun and the
+    interrupted cell resumes from its last completed block slab.  A grid
+    cell whose run raises is reported as ``error`` in the table and the
+    sweep exits nonzero after finishing the remaining cells.
 ``repro describe <spec>``
     Parse a bin-array spec (``"1x500,10x500"`` = 500 bins of capacity 1 and
     500 of capacity 10), report its structure and which theorems apply.
@@ -58,6 +65,24 @@ def parse_bin_spec(spec: str):
         raise SystemExit(f"bad bin spec: {exc}") from None
 
 
+def _parse_precision(text):
+    """Parse a ``--precision`` spec with a user-facing error."""
+    if text is None:
+        return None
+    from .analysis.precision import PrecisionError, PrecisionTarget
+
+    try:
+        return PrecisionTarget.parse(text)
+    except PrecisionError as exc:
+        raise SystemExit(f"bad --precision: {exc}") from None
+
+
+def _adaptive_summary(result):
+    """The ``extra['adaptive']`` provenance block, if the run carried one."""
+    info = result.extra.get("adaptive")
+    return info if isinstance(info, dict) else None
+
+
 def _cmd_list(_args) -> int:
     for spec in list_experiments():
         print(f"{spec.experiment_id:8s} {spec.figure:10s} {spec.title}")
@@ -66,7 +91,7 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from .experiments.base import EngineNotSupportedError
+    from .experiments.base import EngineNotSupportedError, PrecisionNotSupportedError
     from .experiments.runner import as_run_request, execute_request
 
     progress = ProgressReporter() if args.progress else None
@@ -77,12 +102,13 @@ def _cmd_run(args) -> int:
         engine=args.engine,
         workers=args.workers,
         block_size=args.block_size,
+        precision=_parse_precision(args.precision),
     )
     try:
         outcome = execute_request(
             request, progress=progress, out_dir=args.out, store=args.store
         )
-    except EngineNotSupportedError as exc:
+    except (EngineNotSupportedError, PrecisionNotSupportedError) as exc:
         raise SystemExit(str(exc)) from None
     result = outcome.result
     if args.store is not None:
@@ -90,6 +116,16 @@ def _cmd_run(args) -> int:
             "miss (resumed from checkpoints)" if outcome.resumed else "miss"
         )
         print(f"store: cache {status} [{outcome.key[:12]}]")
+    adaptive = _adaptive_summary(result)
+    if adaptive is not None:
+        used = adaptive["replications_used"]
+        budget = adaptive["replication_budget"]
+        if adaptive["early_stopped"]:
+            print(f"adaptive: early-stopped at R={used} of {budget} budgeted "
+                  f"replications")
+        else:
+            print(f"adaptive: spent the full budget (R={used}) without "
+                  f"meeting every target")
     if not args.no_plot:
         print(result.render())
     else:
@@ -158,7 +194,12 @@ def _cmd_sweep(args) -> int:
     from itertools import product
     from pathlib import Path
 
-    from .experiments.base import ENGINES, EngineNotSupportedError, get_experiment
+    from .experiments.base import (
+        ENGINES,
+        EngineNotSupportedError,
+        PrecisionNotSupportedError,
+        get_experiment,
+    )
     from .experiments.request import RunRequest
     from .experiments.runner import execute_request
     from .io.asciiplot import ascii_table
@@ -174,6 +215,7 @@ def _cmd_sweep(args) -> int:
     for engine in engines:
         if engine is not None and engine not in ENGINES:
             raise SystemExit(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    precision = _parse_precision(args.precision)
     overrides = {}
     if args.repetitions is not None:
         overrides["repetitions"] = args.repetitions
@@ -181,6 +223,7 @@ def _cmd_sweep(args) -> int:
     progress = ProgressReporter() if args.progress else None
 
     rows = []
+    failures = []
     for eid, scale, seed, engine in product(ids, scales, seeds, engines):
         request = RunRequest(
             experiment_id=eid,
@@ -190,6 +233,7 @@ def _cmd_sweep(args) -> int:
             workers=args.workers,
             block_size=args.block_size,
             overrides=overrides,
+            precision=precision,
         )
         spec_version = get_experiment(eid).version
         out_dir = None
@@ -198,26 +242,46 @@ def _cmd_sweep(args) -> int:
             # cells differing only in seed/scale/engine overwrite each other.
             cell = request.cache_key(version=spec_version)[:12]
             out_dir = Path(args.out) / f"{eid}-{cell}"
-        try:
-            outcome = execute_request(
-                request, progress=progress, out_dir=out_dir, store=store
-            )
-        except EngineNotSupportedError as exc:
-            raise SystemExit(str(exc)) from None
-        status = "hit" if outcome.cache_hit else (
-            "resumed" if outcome.resumed else "miss"
-        )
-        rows.append([
+        cell_row = [
             eid,
             "-" if scale is None else f"{scale:g}",
             "-" if seed is None else seed,
             engine or "scalar",
+        ]
+        try:
+            outcome = execute_request(
+                request, progress=progress, out_dir=out_dir, store=store
+            )
+        except (EngineNotSupportedError, PrecisionNotSupportedError) as exc:
+            # A request the registry can never satisfy is a usage error:
+            # abort the whole sweep with the message, like before.
+            raise SystemExit(str(exc)) from None
+        except Exception as exc:  # noqa: BLE001 — reported per cell below
+            # One bad grid cell must not take down the rest of the sweep,
+            # but it must not hide behind a zero exit either.
+            failures.append((cell_row[:4], exc))
+            rows.append([*cell_row, "error", 0.0, "-", "-"])
+            continue
+        status = "hit" if outcome.cache_hit else (
+            "resumed" if outcome.resumed else "miss"
+        )
+        adaptive = _adaptive_summary(outcome.result)
+        if adaptive is None:
+            stopped = "-"
+        elif adaptive["early_stopped"]:
+            stopped = f"early@R={adaptive['replications_used']}"
+        else:
+            stopped = f"full@R={adaptive['replications_used']}"
+        rows.append([
+            *cell_row,
             status,
             outcome.wall_seconds,
+            stopped,
             outcome.key[:12],
         ])
     print(ascii_table(
-        ["experiment", "scale", "seed", "engine", "status", "wall_s", "key"],
+        ["experiment", "scale", "seed", "engine", "status", "wall_s",
+         "stopped", "key"],
         rows,
         float_format="{:.3f}",
     ))
@@ -229,6 +293,12 @@ def _cmd_sweep(args) -> int:
         f"{'y' if stats.entries == 1 else 'ies'} "
         f"({stats.total_bytes / 1024:.1f} KiB)"
     )
+    if failures:
+        print(f"\n{len(failures)} grid cell(s) FAILED:", file=sys.stderr)
+        for cell, exc in failures:
+            name = "/".join(str(c) for c in cell)
+            print(f"  {name}: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -312,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repetition engine: scalar loop or lockstep ensemble")
     p_run.add_argument("--block-size", type=int, default=None,
                        help="replications per lockstep block (ensemble engine)")
+    p_run.add_argument("--precision", default=None, metavar="SPEC",
+                       help="adaptive early-stop target, e.g. "
+                            "'rel=0.01,conf=0.95' (requires --engine ensemble; "
+                            "keys: rel, abs, conf, min_reps, max_reps, "
+                            "min_blocks)")
     p_run.add_argument("--store", nargs="?", const=True, default=None, metavar="DIR",
                        help="cache through the result store at DIR "
                             "(default: $REPRO_STORE or ./.repro-store)")
@@ -335,6 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--workers", type=int, default=1, help="worker processes")
     p_sweep.add_argument("--block-size", type=int, default=None,
                          help="replications per lockstep block (ensemble engine)")
+    p_sweep.add_argument("--precision", default=None, metavar="SPEC",
+                         help="adaptive early-stop target applied to every "
+                              "cell, e.g. 'rel=0.01,conf=0.95' (requires "
+                              "--engines ensemble)")
     p_sweep.add_argument("--store", nargs="?", const=True, default=None, metavar="DIR",
                          help="result store location (default: $REPRO_STORE or "
                               "./.repro-store); the sweep always uses a store")

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.aggregate import StreamingScalar
+from ..analysis.precision import AdaptiveRecorder
 from ..bins.generators import two_class_bins, uniform_bins
 from ..core.ensemble import simulate_ensemble
 from ..core.rounds import simulate_batched, simulate_batched_ensemble
@@ -32,7 +33,7 @@ PAPER_REPS = 10_000
 
 def _mean_over_reps(scalar_task, ensemble_task, reps, seed, workers, progress,
                     kwargs, engine, block_size=None, checkpoint=None,
-                    label=None) -> float:
+                    label=None, until=None) -> float:
     """Mean of a per-repetition scalar on either engine.
 
     Every ablation point reduces to one mean; the ensemble path runs the
@@ -44,6 +45,7 @@ def _mean_over_reps(scalar_task, ensemble_task, reps, seed, workers, progress,
             ensemble_task, reps, seed=seed, workers=workers,
             kwargs=kwargs, progress=progress,
             block_size=block_size, checkpoint=checkpoint, label=label,
+            until=until,
         )
         return float(reducer.mean)
     outs = run_repetitions(
@@ -72,6 +74,7 @@ def _tiebreak_block(seeds, *, n, n_large, small_cap, large_cap, tie_break):
     "Ablation: tie-break policy across the class mix",
     "Ablation (step 3 of Algorithm 1)",
     "caps 1 and 2, n=1000; mean max load per tie-break policy vs % large bins",
+    adaptive=True,
 )
 def run_abl_tiebreak(
     scale: float = 0.01,
@@ -87,10 +90,13 @@ def run_abl_tiebreak(
     engine: str = "scalar",
     block_size: int | None = None,
     checkpoint=None,
+    precision=None,
 ) -> ExperimentResult:
     """Mean max load for each tie-break policy over the class-mix sweep."""
     engine = resolve_engine(engine)
+    recorder = AdaptiveRecorder(precision, engine=engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    block_size = recorder.block_size(reps, block_size)
     policies = ("max_capacity", "uniform", "min_capacity")
     seeds = np.random.SeedSequence(seed).spawn(len(policies))
     series = {}
@@ -106,8 +112,11 @@ def run_abl_tiebreak(
                     "tie_break": policy,
                 },
                 engine, block_size, checkpoint, "abl_tiebreak",
+                recorder.monitor(f"{policy}/pct={pct}"),
             ))
         series[policy] = np.asarray(curve)
+    extra = {"expected_shape": "max_capacity at or below the alternatives everywhere"}
+    recorder.annotate(extra, budget_per_run=reps)
     return ExperimentResult(
         experiment_id="abl_tiebreak",
         title="Tie-break policy ablation (caps 1 and 2)",
@@ -116,7 +125,7 @@ def run_abl_tiebreak(
         series=series,
         parameters={"n": n, "small_cap": small_cap, "large_cap": large_cap,
                     "repetitions": reps, "seed": seed, "engine": engine},
-        extra={"expected_shape": "max_capacity at or below the alternatives everywhere"},
+        extra=extra,
     )
 
 
@@ -139,6 +148,7 @@ def _probability_block(seeds, *, n, n_large, large_cap, probabilities):
     "Ablation: proportional vs uniform selection",
     "Ablation (Section 1's probability fork)",
     "10% large bins of growing capacity; mean max load per selection model",
+    adaptive=True,
 )
 def run_abl_probability(
     scale: float = 0.01,
@@ -153,10 +163,13 @@ def run_abl_probability(
     engine: str = "scalar",
     block_size: int | None = None,
     checkpoint=None,
+    precision=None,
 ) -> ExperimentResult:
     """Mean max load, proportional vs uniform, as the skew grows."""
     engine = resolve_engine(engine)
+    recorder = AdaptiveRecorder(precision, engine=engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    block_size = recorder.block_size(reps, block_size)
     models = ("proportional", "uniform")
     seeds = np.random.SeedSequence(seed).spawn(len(models))
     n_large = int(round(n * large_fraction))
@@ -171,8 +184,11 @@ def run_abl_probability(
                 {"n": n, "n_large": n_large, "large_cap": int(cap),
                  "probabilities": model},
                 engine, block_size, checkpoint, "abl_probability",
+                recorder.monitor(f"{model}/cap={cap}"),
             ))
         series[model] = np.asarray(curve)
+    extra = {"expected_shape": "proportional at or below uniform, gap widening with skew"}
+    recorder.annotate(extra, budget_per_run=reps)
     return ExperimentResult(
         experiment_id="abl_probability",
         title="Selection-probability ablation (10% large bins)",
@@ -181,7 +197,7 @@ def run_abl_probability(
         series=series,
         parameters={"n": n, "large_fraction": large_fraction,
                     "repetitions": reps, "seed": seed, "engine": engine},
-        extra={"expected_shape": "proportional at or below uniform, gap widening with skew"},
+        extra=extra,
     )
 
 
@@ -203,6 +219,7 @@ def _d_block(seeds, *, n, d):
     "Ablation: number of choices d",
     "Ablation (Theorem 3's ln d)",
     "caps 1 and 8, n=2000; mean max load vs d, against lnln(n)/ln(d)",
+    adaptive=True,
 )
 def run_abl_d(
     scale: float = 0.01,
@@ -216,21 +233,27 @@ def run_abl_d(
     engine: str = "scalar",
     block_size: int | None = None,
     checkpoint=None,
+    precision=None,
 ) -> ExperimentResult:
     """Mean max load per d, with the Theorem-3 leading term for reference."""
     engine = resolve_engine(engine)
+    recorder = AdaptiveRecorder(precision, engine=engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    block_size = recorder.block_size(reps, block_size)
     seeds = np.random.SeedSequence(seed).spawn(len(d_values))
     measured = []
     for d, s in zip(d_values, seeds):
         measured.append(_mean_over_reps(
             _d_task, _d_block, reps, s, workers, progress,
             {"n": n, "d": int(d)}, engine, block_size, checkpoint, "abl_d",
+            recorder.monitor(f"d={d}"),
         ))
     theory = [
         float("nan") if d < 2 else 1.0 + loglog_over_logd(n, int(d))
         for d in d_values
     ]
+    extra = {"expected_shape": "steep d=1->2 drop, then diminishing returns tracking 1/ln d"}
+    recorder.annotate(extra, budget_per_run=reps)
     return ExperimentResult(
         experiment_id="abl_d",
         title="Choices ablation: max load vs d",
@@ -238,7 +261,7 @@ def run_abl_d(
         x_values=np.asarray(d_values, dtype=np.float64),
         series={"measured": np.asarray(measured), "1 + lnln(n)/ln(d)": np.asarray(theory)},
         parameters={"n": n, "repetitions": reps, "seed": seed, "engine": engine},
-        extra={"expected_shape": "steep d=1->2 drop, then diminishing returns tracking 1/ln d"},
+        extra=extra,
     )
 
 
@@ -261,6 +284,7 @@ def _staleness_block(seeds, *, n, batch_size):
     "Ablation: batched arrivals with stale loads",
     "Ablation (extension: stale views)",
     "n=1000 unit bins, m=n; mean max load vs batch size",
+    adaptive=True,
 )
 def run_abl_staleness(
     scale: float = 0.01,
@@ -274,18 +298,23 @@ def run_abl_staleness(
     engine: str = "scalar",
     block_size: int | None = None,
     checkpoint=None,
+    precision=None,
 ) -> ExperimentResult:
     """Mean max load as the freshness of the load view degrades."""
     engine = resolve_engine(engine)
+    recorder = AdaptiveRecorder(precision, engine=engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    block_size = recorder.block_size(reps, block_size)
     seeds = np.random.SeedSequence(seed).spawn(len(batch_sizes))
     curve = []
     for b, s in zip(batch_sizes, seeds):
         curve.append(_mean_over_reps(
             _staleness_task, _staleness_block, reps, s, workers, progress,
             {"n": n, "batch_size": int(b)}, engine, block_size, checkpoint,
-            "abl_staleness",
+            "abl_staleness", recorder.monitor(f"batch={b}"),
         ))
+    extra = {"expected_shape": "non-decreasing in batch size; batch=m stays below one-choice"}
+    recorder.annotate(extra, budget_per_run=reps)
     return ExperimentResult(
         experiment_id="abl_staleness",
         title="Staleness ablation: max load vs batch size",
@@ -293,5 +322,5 @@ def run_abl_staleness(
         x_values=np.asarray(batch_sizes, dtype=np.float64),
         series={"max_load": np.asarray(curve)},
         parameters={"n": n, "repetitions": reps, "seed": seed, "engine": engine},
-        extra={"expected_shape": "non-decreasing in batch size; batch=m stays below one-choice"},
+        extra=extra,
     )

@@ -38,12 +38,23 @@ __all__ = [
     "scaled_reps",
     "ENGINES",
     "EngineNotSupportedError",
+    "PrecisionNotSupportedError",
     "resolve_engine",
 ]
 
 
 class EngineNotSupportedError(ValueError):
     """An experiment was asked for an engine it has not been migrated to."""
+
+
+class PrecisionNotSupportedError(ValueError):
+    """A precision target was requested where it cannot be honored.
+
+    Raised declaratively by :meth:`ExperimentSpec.request_kwargs` — either
+    the experiment has not opted into adaptive precision
+    (``register(..., adaptive=True)``), or the request targets the scalar
+    engine, which has no block stream for the monitor to ride.
+    """
 
 #: Execution engines an experiment can run its repetitions on:
 #: ``"scalar"`` — one sequential run per repetition (the reference path);
@@ -177,6 +188,11 @@ class ExperimentSpec:
     both (enforced by the cross-engine suite), and a future not-yet-migrated
     experiment registering ``engines=("scalar",)`` gets the documented
     :class:`EngineNotSupportedError` instead of a silent fallback.
+    ``adaptive`` declares that the runner honors a ``precision=`` target
+    (CI-driven early stopping over its ensemble block stream); requests
+    carrying a target for a non-adaptive experiment raise the documented
+    :class:`PrecisionNotSupportedError` instead of silently running the
+    full budget.
     """
 
     experiment_id: str
@@ -186,6 +202,7 @@ class ExperimentSpec:
     run: Callable[..., ExperimentResult]
     version: int = 1
     engines: tuple = ENGINES
+    adaptive: bool = False
 
     def request_kwargs(self, request: RunRequest) -> dict:
         """Translate a :class:`RunRequest` into ``run()`` keyword arguments.
@@ -215,6 +232,20 @@ class ExperimentSpec:
             kwargs["engine"] = engine
         if request.block_size is not None:
             kwargs["block_size"] = request.block_size
+        if request.precision is not None:
+            if not self.adaptive:
+                raise PrecisionNotSupportedError(
+                    f"experiment {self.experiment_id!r} does not support "
+                    f"adaptive precision targets (its runner was registered "
+                    f"without adaptive=True)"
+                )
+            if request.effective_engine() != "ensemble":
+                raise PrecisionNotSupportedError(
+                    "adaptive precision rides the ensemble block stream; "
+                    f"request engine='ensemble' for {self.experiment_id!r} "
+                    f"(got {request.effective_engine()!r})"
+                )
+            kwargs["precision"] = request.precision_target()
         kwargs["workers"] = request.workers
         return kwargs
 
@@ -227,8 +258,23 @@ class ExperimentSpec:
         handed out by the runner from the result store) lets the ensemble
         executor persist merged-so-far reducer state at block boundaries so
         an interrupted run resumes instead of recomputing.
+
+        Adaptive provenance: a run executed under a precision target must
+        report replications-used and achieved half-widths in
+        ``result.extra["adaptive"]`` (the runner's
+        :class:`~repro.analysis.precision.AdaptiveRecorder` writes it); a
+        runner that accepted the target but reported nothing is a bug and
+        fails loudly here rather than impersonating a fixed-budget result.
         """
-        return self.run(progress=progress, checkpoint=checkpoint, **self.request_kwargs(request))
+        result = self.run(
+            progress=progress, checkpoint=checkpoint, **self.request_kwargs(request)
+        )
+        if request.precision is not None and "adaptive" not in result.extra:
+            raise RuntimeError(
+                f"experiment {self.experiment_id!r} accepted a precision "
+                f"target but reported no adaptive provenance in result.extra"
+            )
+        return result
 
 
 _REGISTRY: dict[str, ExperimentSpec] = {}
@@ -242,11 +288,13 @@ def register(
     *,
     version: int = 1,
     engines: tuple = ENGINES,
+    adaptive: bool = False,
 ):
     """Decorator registering a ``run``-style function under *experiment_id*.
 
     ``version`` is the cache-key bump field (see :class:`ExperimentSpec`);
-    ``engines`` declares the supported repetition engines.
+    ``engines`` declares the supported repetition engines; ``adaptive``
+    declares that the runner honors a ``precision=`` early-stop target.
     """
 
     def wrap(func: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
@@ -260,6 +308,7 @@ def register(
             run=func,
             version=version,
             engines=tuple(engines),
+            adaptive=adaptive,
         )
         return func
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.aggregate import StreamingProfile
+from ..analysis.precision import AdaptiveRecorder
 from ..bins.generators import uniform_bins
 from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
@@ -47,13 +48,14 @@ def _ensemble_block(seeds, *, n: int, capacity: int, d: int) -> StreamingProfile
 
 
 def _mean_sorted_profile(reps, seed, workers, progress, engine, kwargs,
-                         block_size=None, checkpoint=None):
+                         block_size=None, checkpoint=None, until=None):
     """Mean sorted load profile over *reps* repetitions on either engine."""
     if engine == "ensemble":
         reducer = run_ensemble_reduced(
             _ensemble_block, reps, seed=seed, workers=workers,
             kwargs=kwargs, progress=progress,
             block_size=block_size, checkpoint=checkpoint, label="fig01",
+            until=until,
         )
         return reducer.profile().mean
     loads = run_repetitions(
@@ -69,6 +71,7 @@ def _mean_sorted_profile(reps, seed, workers, progress, engine, kwargs,
     "Uniform bins: sorted load profile per capacity",
     "Figure 1",
     "n=10,000 uniform bins, d=2, c in {1,2,3,4,8}, m=C; mean sorted load profile",
+    adaptive=True,
 )
 def run(
     scale: float = 0.01,
@@ -83,10 +86,13 @@ def run(
     engine: str = "scalar",
     block_size: int | None = None,
     checkpoint=None,
+    precision=None,
 ) -> ExperimentResult:
     """Run the Figure 1 experiment; see module docstring for the setting."""
     engine = resolve_engine(engine)
+    recorder = AdaptiveRecorder(precision, engine=engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    block_size = recorder.block_size(reps, block_size)
     series: dict[str, np.ndarray] = {}
     extra_max: dict[str, float] = {}
     extra_pred: dict[str, float] = {}
@@ -100,6 +106,7 @@ def run(
             {"n": n, "capacity": int(c), "d": d},
             block_size,
             checkpoint,
+            recorder.monitor(f"c={c}"),
         )
         series[f"{c}-bins"] = mean_profile
         extra_max[f"c={c}"] = float(mean_profile[0])
@@ -108,6 +115,12 @@ def run(
             # c >= 2 follows Section 4.1's "close to 1 + lnln(n)/c".
             loglog_over_logd(n, d) + 1.0 if c == 1 else observation2_bound(c * n, n, c)
         )
+    extra = {
+        "mean_max_load": extra_max,
+        "prediction_obs2": extra_pred,
+        "observation2_note": "prediction is 1 + lnln(n)/c for c>=2; lnln(n)/ln(d)+1 for c=1",
+    }
+    recorder.annotate(extra, budget_per_run=reps)
     return ExperimentResult(
         experiment_id="fig01",
         title="Uniform bins: mean sorted load profile",
@@ -122,9 +135,5 @@ def run(
             "seed": seed,
             "engine": engine,
         },
-        extra={
-            "mean_max_load": extra_max,
-            "prediction_obs2": extra_pred,
-            "observation2_note": "prediction is 1 + lnln(n)/c for c>=2; lnln(n)/ln(d)+1 for c=1",
-        },
+        extra=extra,
     )

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.aggregate import StreamingProfile
+from ..analysis.precision import AdaptiveRecorder
 from ..bins.generators import uniform_bins
 from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
@@ -55,9 +56,11 @@ def _ensemble_block(
 
 def _run_figure(figure_id: str, multiplier: int, scale, seed, workers, progress,
                 n, capacities, d, repetitions, engine, block_size,
-                checkpoint) -> ExperimentResult:
+                checkpoint, precision) -> ExperimentResult:
     engine = resolve_engine(engine)
+    recorder = AdaptiveRecorder(precision, engine=engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale)
+    block_size = recorder.block_size(reps, block_size)
     series: dict[str, np.ndarray] = {}
     gaps: dict[str, float] = {}
     for j, c in enumerate(capacities):
@@ -68,6 +71,7 @@ def _run_figure(figure_id: str, multiplier: int, scale, seed, workers, progress,
                 _ensemble_block, reps, seed=class_seed, workers=workers,
                 kwargs=kwargs, progress=progress,
                 block_size=block_size, checkpoint=checkpoint, label=figure_id,
+                until=recorder.monitor(f"c={c}"),
             )
             mean_profile = reducer.profile().mean
         else:
@@ -79,6 +83,12 @@ def _run_figure(figure_id: str, multiplier: int, scale, seed, workers, progress,
             mean_profile = (-np.sort(-matrix, axis=1)).mean(axis=0)
         series[f"{c}-bins"] = mean_profile
         gaps[f"c={c}"] = float(mean_profile[0] - multiplier)
+    extra = {
+        "average_load": float(multiplier),
+        "gap_above_average": gaps,
+        "invariance_note": "gap should match the other fig02-05 multipliers",
+    }
+    recorder.annotate(extra, budget_per_run=reps)
     return ExperimentResult(
         experiment_id=figure_id,
         title=f"32 uniform bins, m = {multiplier}*C: mean sorted load profile",
@@ -94,11 +104,7 @@ def _run_figure(figure_id: str, multiplier: int, scale, seed, workers, progress,
             "seed": seed,
             "engine": engine,
         },
-        extra={
-            "average_load": float(multiplier),
-            "gap_above_average": gaps,
-            "invariance_note": "gap should match the other fig02-05 multipliers",
-        },
+        extra=extra,
     )
 
 
@@ -116,10 +122,11 @@ def _make_runner(figure_id: str, multiplier: int):
         engine: str = "scalar",
         block_size: int | None = None,
         checkpoint=None,
+        precision=None,
     ) -> ExperimentResult:
         return _run_figure(
             figure_id, multiplier, scale, seed, workers, progress, n, capacities, d,
-            repetitions, engine, block_size, checkpoint,
+            repetitions, engine, block_size, checkpoint, precision,
         )
 
     run.__doc__ = (
@@ -131,19 +138,23 @@ def _make_runner(figure_id: str, multiplier: int):
 run_fig02 = register(
     "fig02", "32 uniform bins, m=C", "Figure 2",
     "n=32 uniform bins, c in {1..4}, m=C; mean sorted load profile",
+    adaptive=True,
 )(_make_runner("fig02", 1))
 
 run_fig03 = register(
     "fig03", "32 uniform bins, m=10C", "Figure 3",
     "n=32 uniform bins, c in {1..4}, m=10*C; mean sorted load profile",
+    adaptive=True,
 )(_make_runner("fig03", 10))
 
 run_fig04 = register(
     "fig04", "32 uniform bins, m=100C", "Figure 4",
     "n=32 uniform bins, c in {1..4}, m=100*C; mean sorted load profile",
+    adaptive=True,
 )(_make_runner("fig04", 100))
 
 run_fig05 = register(
     "fig05", "32 uniform bins, m=1000C", "Figure 5",
     "n=32 uniform bins, c in {1..4}, m=1000*C; mean sorted load profile",
+    adaptive=True,
 )(_make_runner("fig05", 1000))

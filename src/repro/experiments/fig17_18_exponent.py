@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.aggregate import StreamingScalar
+from ..analysis.precision import AdaptiveRecorder
 from ..bins.generators import two_class_bins
 from ..core.ensemble import simulate_ensemble
 from ..core.simulation import simulate
@@ -56,13 +57,14 @@ def _ensemble_block(seeds, *, x: int, t: float, n: int, d: int) -> StreamingScal
 
 
 def _mean_max_load(x, t, reps, seed, workers, progress, n, d, engine,
-                   block_size, checkpoint, label) -> float:
+                   block_size, checkpoint, label, until=None) -> float:
     kwargs = {"x": int(x), "t": float(t), "n": n, "d": d}
     if engine == "ensemble":
         reducer = run_ensemble_reduced(
             _ensemble_block, reps, seed=seed, workers=workers,
             kwargs=kwargs, progress=progress,
             block_size=block_size, checkpoint=checkpoint, label=label,
+            until=until,
         )
         return float(reducer.mean)
     outs = run_repetitions(
@@ -77,6 +79,7 @@ def _mean_max_load(x, t, reps, seed, workers, progress, n, d, engine,
     "Max load as a function of the probability exponent",
     "Figure 18",
     "n=100, half cap-1 half cap-x (x=2..6), p ~ c^t; mean max load vs t",
+    adaptive=True,
 )
 def run_fig18(
     scale: float = 0.0002,
@@ -92,10 +95,13 @@ def run_fig18(
     engine: str = "scalar",
     block_size: int | None = None,
     checkpoint=None,
+    precision=None,
 ) -> ExperimentResult:
     """Figure 18: mean max load vs exponent t for each big-bin capacity."""
     engine = resolve_engine(engine)
+    recorder = AdaptiveRecorder(precision, engine=engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale, minimum=20)
+    block_size = recorder.block_size(reps, block_size)
     t_values = np.asarray(t_grid, dtype=np.float64)
     seeds = np.random.SeedSequence(seed).spawn(len(capacities))
     series: dict[str, np.ndarray] = {}
@@ -105,13 +111,19 @@ def run_fig18(
         curve = np.asarray(
             [
                 _mean_max_load(x, t, reps, ts, workers, progress, n, d, engine,
-                               block_size, checkpoint, "fig18")
+                               block_size, checkpoint, "fig18",
+                               recorder.monitor(f"x={x},t={t:g}"))
                 for t, ts in zip(t_values, t_seeds)
             ]
         )
         name = f"capacities 1 and {x}"
         series[name] = curve
         minima[name] = float(t_values[int(np.argmin(curve))])
+    extra = {
+        "argmin_exponent": minima,
+        "expected_shape": "convex-ish curves with minima strictly above t=1",
+    }
+    recorder.annotate(extra, budget_per_run=reps)
     return ExperimentResult(
         experiment_id="fig18",
         title="Max load for different exponents and capacities",
@@ -123,10 +135,7 @@ def run_fig18(
             "t_grid": [float(t) for t in t_values], "repetitions": reps, "seed": seed,
             "engine": engine,
         },
-        extra={
-            "argmin_exponent": minima,
-            "expected_shape": "convex-ish curves with minima strictly above t=1",
-        },
+        extra=extra,
     )
 
 
@@ -135,6 +144,7 @@ def run_fig18(
     "Optimal probability exponent per big-bin capacity",
     "Figure 17",
     "n=100, half cap-1 half cap-x (x=2..14), p ~ c^t; exponent minimising mean max load",
+    adaptive=True,
 )
 def run_fig17(
     scale: float = 0.0002,
@@ -150,10 +160,13 @@ def run_fig17(
     engine: str = "scalar",
     block_size: int | None = None,
     checkpoint=None,
+    precision=None,
 ) -> ExperimentResult:
     """Figure 17: the argmin-over-t exponent for each big-bin capacity x."""
     engine = resolve_engine(engine)
+    recorder = AdaptiveRecorder(precision, engine=engine)
     reps = repetitions if repetitions is not None else scaled_reps(PAPER_REPS, scale, minimum=20)
+    block_size = recorder.block_size(reps, block_size)
     t_values = np.asarray(t_grid, dtype=np.float64)
     seeds = np.random.SeedSequence(seed).spawn(len(capacities))
     optimal = np.empty(len(capacities))
@@ -163,12 +176,18 @@ def run_fig17(
         curve = np.asarray(
             [
                 _mean_max_load(x, t, reps, ts, workers, progress, n, d, engine,
-                               block_size, checkpoint, "fig17")
+                               block_size, checkpoint, "fig17",
+                               recorder.monitor(f"x={x},t={t:g}"))
                 for t, ts in zip(t_values, t_seeds)
             ]
         )
         optimal[i] = t_values[int(np.argmin(curve))]
         curves[f"x={x}"] = [float(v) for v in curve]
+    extra = {
+        "curves": curves,
+        "expected_shape": "optimal exponent clearly above 1 (e.g. ~2.1 at x=3)",
+    }
+    recorder.annotate(extra, budget_per_run=reps)
     return ExperimentResult(
         experiment_id="fig17",
         title="Optimal exponent for different capacities",
@@ -180,8 +199,5 @@ def run_fig17(
             "t_grid": [float(t) for t in t_values], "repetitions": reps, "seed": seed,
             "engine": engine,
         },
-        extra={
-            "curves": curves,
-            "expected_shape": "optimal exponent clearly above 1 (e.g. ~2.1 at x=3)",
-        },
+        extra=extra,
     )

@@ -32,6 +32,13 @@ change the numbers:
 (:mod:`repro.runtime.executor`) guarantees pool size never changes any
 result, so runs that differ only in parallelism share a cache entry.
 
+``precision`` (an adaptive early-stop target,
+:class:`repro.analysis.precision.PrecisionTarget`) **is** part of the key
+whenever set: the target decides where the block stream stops, so two
+runs differing only in precision generally hold different numbers.  The
+field is canonicalized (sorted payload pairs) and joins the key payload
+only when present, so every pre-adaptive cache entry keeps its address.
+
 ``None`` fields mean "use the experiment's own default".  Requests are
 canonical *descriptions*, not semantic equalities: an explicit
 ``seed=20260612`` and the unset default produce different keys even when
@@ -46,7 +53,9 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-__all__ = ["RunRequest", "canonical_overrides", "OverrideError"]
+from ..analysis.precision import PrecisionTarget
+
+__all__ = ["RunRequest", "canonical_overrides", "canonical_precision", "OverrideError"]
 
 #: Engine the registry defaults to when a request leaves ``engine`` unset.
 DEFAULT_ENGINE = "scalar"
@@ -94,6 +103,23 @@ def canonical_overrides(overrides) -> tuple:
     return tuple(out)
 
 
+def canonical_precision(value) -> tuple:
+    """Canonicalize a precision target into sorted payload pairs.
+
+    Accepts a :class:`~repro.analysis.precision.PrecisionTarget`, its
+    payload dict, or an iterable of pairs; validation happens by round-
+    tripping through the target class, so an unrepresentable target can
+    never reach a cache key.
+    """
+    if isinstance(value, PrecisionTarget):
+        target = value
+    elif isinstance(value, dict):
+        target = PrecisionTarget.from_payload(value)
+    else:
+        target = PrecisionTarget.from_payload(dict(value))
+    return tuple(sorted(target.to_payload().items()))
+
+
 @dataclass(frozen=True)
 class RunRequest:
     """Frozen description of one experiment run (see module docstring)."""
@@ -105,6 +131,7 @@ class RunRequest:
     workers: int | None = 1
     block_size: int | None = None
     overrides: tuple = field(default=())
+    precision: tuple | None = None
 
     def __post_init__(self):
         # Accept dicts / iterables of pairs and normalise them; the frozen
@@ -116,6 +143,8 @@ class RunRequest:
             object.__setattr__(self, "seed", int(self.seed))
         if self.block_size is not None:
             object.__setattr__(self, "block_size", int(self.block_size))
+        if self.precision is not None:
+            object.__setattr__(self, "precision", canonical_precision(self.precision))
 
     # -- derived views ---------------------------------------------------
 
@@ -131,12 +160,18 @@ class RunRequest:
         """A copy of this request targeting a different engine."""
         return replace(self, engine=engine)
 
+    def precision_target(self) -> PrecisionTarget | None:
+        """The adaptive early-stop target this request asks for (or None)."""
+        if self.precision is None:
+            return None
+        return PrecisionTarget.from_payload(dict(self.precision))
+
     # -- cache key -------------------------------------------------------
 
     def key_payload(self, *, version: int) -> dict:
         """The canonical (JSON-encodable) payload the cache key hashes."""
         engine = self.effective_engine()
-        return {
+        payload = {
             "experiment_id": self.experiment_id,
             "version": int(version),
             "scale": self.scale,
@@ -146,6 +181,10 @@ class RunRequest:
             "block_size": self.block_size if engine == "ensemble" else None,
             "overrides": {k: v for k, v in self.overrides},
         }
+        if self.precision is not None:
+            # Joined only when set, so pre-adaptive entries keep their keys.
+            payload["precision"] = {k: v for k, v in self.precision}
+        return payload
 
     def cache_key(self, *, version: int) -> str:
         """Stable content address: sha256 over the canonical JSON payload."""
@@ -169,6 +208,7 @@ class RunRequest:
             "workers": self.workers,
             "block_size": self.block_size,
             "overrides": {k: v for k, v in self.overrides},
+            "precision": None if self.precision is None else dict(self.precision),
         }
 
     @classmethod
@@ -182,4 +222,5 @@ class RunRequest:
             workers=payload.get("workers", 1),
             block_size=payload.get("block_size"),
             overrides=payload.get("overrides") or (),
+            precision=payload.get("precision"),
         )

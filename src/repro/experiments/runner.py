@@ -64,13 +64,14 @@ def as_run_request(
     workers=_UNSET,
     block_size=None,
     overrides=None,
+    precision=None,
 ) -> RunRequest:
     """Build the canonical request for *experiment* (id string or an
     already-built :class:`RunRequest`, which is returned unchanged provided
     no conflicting fields are given)."""
     if isinstance(experiment, RunRequest):
         if overrides or workers is not _UNSET or any(
-            v is not None for v in (scale, seed, engine, block_size)
+            v is not None for v in (scale, seed, engine, block_size, precision)
         ):
             raise ValueError(
                 "pass run parameters either inside the RunRequest or as "
@@ -85,6 +86,7 @@ def as_run_request(
         workers=1 if workers is _UNSET else workers,
         block_size=block_size,
         overrides=overrides or (),
+        precision=precision,
     )
 
 
@@ -150,6 +152,7 @@ def run_experiment(
     engine: str | None = None,
     block_size: int | None = None,
     store=None,
+    precision=None,
     **overrides,
 ) -> ExperimentResult:
     """Run one experiment by id (or :class:`RunRequest`) and optionally save
@@ -164,7 +167,11 @@ def run_experiment(
     :class:`~repro.experiments.base.EngineNotSupportedError` from the spec
     itself — never a silent fallback.  ``store`` (``ResultStore`` | path |
     ``True`` for the ``REPRO_STORE`` knob) makes the call
-    cache-hit-or-compute with resume checkpoints.
+    cache-hit-or-compute with resume checkpoints.  ``precision`` (a
+    :class:`~repro.analysis.precision.PrecisionTarget` or its payload)
+    turns the repetition budget into a maximum: an adaptive experiment
+    under ``engine="ensemble"`` stops as soon as the target CI half-widths
+    are met, reporting replications-used in ``result.extra["adaptive"]``.
     """
     request = as_run_request(
         experiment,
@@ -174,6 +181,7 @@ def run_experiment(
         workers=workers,
         block_size=block_size,
         overrides=overrides,
+        precision=precision,
     )
     return execute_request(
         request, progress=progress, out_dir=out_dir, store=store

@@ -120,7 +120,12 @@ class CheckpointSlot:
         self.path = Path(path)
 
     def load(self, fingerprint: str):
-        """Return ``(reducer, blocks_done)`` or ``None`` (absent/mismatch)."""
+        """Return ``(reducer, blocks_done, monitor)`` or ``None``.
+
+        ``monitor`` is the early-stop monitor state saved alongside the
+        reducer for adaptive runs (``None`` for fixed-budget runs and for
+        checkpoints written before the adaptive-precision layer existed).
+        """
         try:
             blob = self.path.read_bytes()
         except FileNotFoundError:
@@ -131,15 +136,21 @@ class CheckpointSlot:
             return None
         if not isinstance(payload, dict) or payload.get("fingerprint") != fingerprint:
             return None
-        return payload["reducer"], payload["blocks_done"]
+        return payload["reducer"], payload["blocks_done"], payload.get("monitor")
 
-    def save(self, reducer, blocks_done: int, fingerprint: str) -> None:
-        """Atomically persist the merged-so-far state after a block slab."""
+    def save(self, reducer, blocks_done: int, fingerprint: str, monitor=None) -> None:
+        """Atomically persist the merged-so-far state after a block slab.
+
+        ``monitor`` (optional, picklable) carries the sequential-stopping
+        monitor's state for adaptive runs, so a resumed run replays the
+        same continue/stop decisions instead of re-observing lost blocks.
+        """
         blob = pickle.dumps(
             {
                 "fingerprint": fingerprint,
                 "blocks_done": int(blocks_done),
                 "reducer": reducer,
+                "monitor": monitor,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )

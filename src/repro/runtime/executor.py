@@ -283,15 +283,15 @@ def _block_describer(label: str | None, bounds: Sequence[tuple[int, int]]):
     return describe
 
 
-def _checkpoint_fingerprint(task, repetitions, block_size, seed, kwargs) -> str:
+def _checkpoint_fingerprint(task, repetitions, block_size, seed, kwargs, until=None) -> str:
     """Identity of one reduced ensemble run, for checkpoint validity.
 
     A checkpoint written under a different task, repetition count, block
-    layout, seed, or kwargs must never be resumed from; the fingerprint is a
-    cheap repr-based guard (checkpoints are already namespaced per cache
-    key, so a mismatch only happens when experiment internals changed
-    without a ``version`` bump — in which case the run silently starts
-    fresh rather than resuming unsoundly).
+    layout, seed, kwargs, or early-stop rule must never be resumed from;
+    the fingerprint is a cheap repr-based guard (checkpoints are already
+    namespaced per cache key, so a mismatch only happens when experiment
+    internals changed without a ``version`` bump — in which case the run
+    silently starts fresh rather than resuming unsoundly).
     """
     if isinstance(seed, np.random.SeedSequence):
         seed_repr = f"ss:{seed.entropy!r}:{tuple(seed.spawn_key)!r}"
@@ -299,7 +299,38 @@ def _checkpoint_fingerprint(task, repetitions, block_size, seed, kwargs) -> str:
         seed_repr = repr(seed)
     kw_repr = sorted((k, repr(v)) for k, v in (kwargs or {}).items())
     task_name = getattr(task, "__qualname__", repr(task))
-    return repr((task_name, int(repetitions), block_size, seed_repr, kw_repr))
+    if until is None:
+        # Keep the pre-adaptive 5-tuple form so fixed-budget checkpoints
+        # written before the early-stop hook existed still resume.
+        return repr((task_name, int(repetitions), block_size, seed_repr, kw_repr))
+    describe = getattr(until, "fingerprint", None)
+    until_repr = describe() if callable(describe) else repr(until)
+    return repr((task_name, int(repetitions), block_size, seed_repr, kw_repr, until_repr))
+
+
+def _iter_block_seeds(seed, bounds):
+    """Lazily yield each block's child-seed slice (executor seed contract).
+
+    Children are constructed directly from the parent's
+    ``(entropy, spawn_key)`` — exactly what ``SeedSequence.spawn`` slices
+    would contain, block ``[i0, i1)`` getting children ``i0..i1-1`` — so an
+    early-stopped adaptive run never pays for spawning children of blocks
+    it does not reach, and a caller-supplied ``SeedSequence`` parent is not
+    mutated (its ``n_children_spawned`` offset is still honored, matching
+    :func:`repro.sampling.rngutils.spawn_seed_sequences` semantics).
+    """
+    parent = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    base = parent.n_children_spawned
+    spawn_key = tuple(parent.spawn_key)
+    for i0, i1 in bounds:
+        yield [
+            type(parent)(
+                entropy=parent.entropy,
+                spawn_key=spawn_key + (base + j,),
+                pool_size=parent.pool_size,
+            )
+            for j in range(i0, i1)
+        ]
 
 
 def run_ensemble_reduced(
@@ -314,6 +345,7 @@ def run_ensemble_reduced(
     chunksize: int = 1,
     label: str | None = None,
     checkpoint=None,
+    until=None,
 ):
     """Run a reducer-returning ensemble task and merge the block reducers.
 
@@ -337,6 +369,25 @@ def run_ensemble_reduced(
     merged left-to-right either way — the resumed result is bit-identical
     to an uninterrupted run.  A literal ``seed=None`` run is not
     reproducible and therefore never checkpointed.
+
+    Early-stop hook
+    ---------------
+    ``until`` (duck-typed; in practice a
+    :class:`repro.analysis.precision.SequentialMonitor`) turns
+    ``repetitions`` from a fixed budget into a *maximum*: after every
+    completed block the merged-so-far pipeline calls
+    ``until.observe(block_reducer, reps_done)`` and stops consuming blocks
+    as soon as it returns ``True``.  Blocks are then generated lazily —
+    child seeds for unreached blocks are never spawned — and the pool path
+    dispatches bounded look-ahead waves (one pool-width at a time), so at
+    most one wave of extra blocks is ever computed past the stopping
+    point (and never merged).  The stop decision is a pure function of the
+    observed block prefix, so serial and pool runs stop at the same block
+    and yield bit-identical reducers.  With a ``checkpoint``, the
+    monitor's state is persisted next to the merged reducer
+    (``until.state_dict()`` / ``until.load_state_dict(...)``) and the
+    monitor identity joins the fingerprint (``until.fingerprint()``), so a
+    killed adaptive run resumes to the same stopping block bit-identically.
     """
     if repetitions < 1:
         raise ValueError(f"need at least one repetition, got {repetitions}")
@@ -348,36 +399,132 @@ def run_ensemble_reduced(
     start_block = 0
     if checkpoint is not None and seed is not None:
         slot = checkpoint.slot()
-        fingerprint = _checkpoint_fingerprint(task, repetitions, block_size, seed, kwargs)
+        fingerprint = _checkpoint_fingerprint(
+            task, repetitions, block_size, seed, kwargs, until
+        )
         state = slot.load(fingerprint)
         if state is not None:
-            merged, start_block = state
+            merged, start_block, monitor_state = state
             start_block = min(int(start_block), len(bounds))
-    children = spawn_seed_sequences(seed, repetitions)
+            if until is not None and monitor_state is not None:
+                until.load_state_dict(monitor_state)
     pending = bounds[start_block:]
-    payloads = [(task, children[i0:i1], kwargs) for i0, i1 in pending]
 
     holder = {"reducer": merged}
 
-    def _absorb(i: int, block_reducer) -> None:
+    def _absorb(i: int, block_reducer) -> bool:
+        """Merge pending block *i*; observe + checkpoint; report stop."""
         if holder["reducer"] is None:
             holder["reducer"] = block_reducer
         else:
             holder["reducer"].merge(block_reducer)
+        stop = False
+        if until is not None:
+            # pending[i] ends at global repetition index i1 == reps done.
+            stop = bool(until.observe(block_reducer, pending[i][1]))
         if slot is not None:
-            slot.save(holder["reducer"], start_block + i + 1, fingerprint)
+            slot.save(
+                holder["reducer"],
+                start_block + i + 1,
+                fingerprint,
+                monitor=None if until is None else until.state_dict(),
+            )
+        return stop
 
-    run_tasks(
-        payloads,
+    if until is None:
+        children = spawn_seed_sequences(seed, repetitions)
+        payloads = [(task, children[i0:i1], kwargs) for i0, i1 in pending]
+        run_tasks(
+            payloads,
+            workers=workers,
+            progress=progress,
+            chunksize=chunksize,
+            weights=[i1 - i0 for i0, i1 in pending],
+            total=sum(i1 - i0 for i0, i1 in pending),
+            describe=_block_describer(label, pending),
+            on_result=_absorb,
+        )
+        return holder["reducer"]
+
+    # Adaptive path: a resumed run whose restored monitor is already
+    # satisfied stopped at an earlier block — return without running more.
+    if not pending or until.should_stop():
+        return holder["reducer"]
+    _run_adaptive_blocks(
+        task,
+        pending,
+        seed=seed,
         workers=workers,
+        kwargs=kwargs,
         progress=progress,
         chunksize=chunksize,
-        weights=[i1 - i0 for i0, i1 in pending],
-        total=sum(i1 - i0 for i0, i1 in pending),
-        describe=_block_describer(label, pending),
-        on_result=_absorb,
+        label=label,
+        absorb=_absorb,
     )
     return holder["reducer"]
+
+
+def _run_adaptive_blocks(
+    task,
+    pending: Sequence[tuple[int, int]],
+    *,
+    seed,
+    workers,
+    kwargs,
+    progress,
+    chunksize,
+    label,
+    absorb,
+):
+    """Consume pending blocks in order until *absorb* reports a stop.
+
+    Serial execution is fully lazy (one block at a time); pool execution
+    submits bounded waves of one pool-width so the stop signal is honored
+    within at most one wave of look-ahead (wasted blocks are computed but
+    never merged — results stay bit-identical to the serial path).
+    """
+    reporter = make_reporter(progress)
+    reporter.start(sum(i1 - i0 for i0, i1 in pending), label="repetitions")
+    describe = _block_describer(label, pending)
+    seed_iter = _iter_block_seeds(seed, pending)
+    if workers == 1 or len(pending) <= 1:
+        for i, ((i0, i1), seeds) in enumerate(zip(pending, seed_iter)):
+            stop = absorb(i, task(seeds, **kwargs))
+            reporter.advance(i1 - i0)
+            if stop:
+                break
+    else:
+        pool_size = workers if workers is not None else multiprocessing.cpu_count()
+        pool_size = min(pool_size, len(pending))
+        stopped = False
+        with multiprocessing.Pool(pool_size) as pool:
+            idx = 0
+            while idx < len(pending) and not stopped:
+                wave = pending[idx:idx + pool_size]
+                payloads = [(task, next(seed_iter), kwargs) for _ in wave]
+                iterator = pool.imap(
+                    _invoke_captured, payloads, chunksize=max(chunksize, 1)
+                )
+                for j, (i0, i1) in enumerate(wave):
+                    try:
+                        res = next(iterator)
+                    except Exception as exc:  # pool plumbing failure
+                        raise TaskError(
+                            f"{describe(idx + j)}: worker pool failed before "
+                            f"returning a result: {exc!r}"
+                        ) from exc
+                    if isinstance(res, _TaskFailure):
+                        raise TaskError(
+                            f"{describe(idx + j)} failed in a pool worker: "
+                            f"{res.message}\n--- worker traceback ---\n"
+                            f"{res.traceback}"
+                        ) from None
+                    stopped = absorb(idx + j, res)
+                    reporter.advance(i1 - i0)
+                    if stopped:
+                        break
+                idx += len(wave)
+    reporter.finish()
 
 
 def run_tasks(

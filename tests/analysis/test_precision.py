@@ -1,0 +1,283 @@
+"""Tests for the adaptive-precision layer (targets, monitor, statistics).
+
+The centrepiece is the statistical validity check: over 200 seeded trials
+on a known-distribution toy experiment, the *sequential* CI at the
+stopping time must achieve close-to-nominal coverage — a monitor that
+"peeks" naively (tiny batch counts, normal quantiles on correlated
+samples) fails the pinned binomial tolerance.
+"""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import ReducerBundle, StreamingProfile, StreamingScalar
+from repro.analysis.precision import (
+    AdaptiveRecorder,
+    PrecisionError,
+    PrecisionTarget,
+    SequentialMonitor,
+    default_block_statistics,
+    student_t_quantile,
+)
+
+
+class TestStudentTQuantile:
+    def test_matches_scipy(self):
+        stats = pytest.importorskip("scipy.stats")
+        for conf in (0.5, 0.9, 0.95, 0.99, 0.999):
+            for df in (1, 2, 3, 7, 30, 100, 500):
+                assert student_t_quantile(conf, df) == pytest.approx(
+                    float(stats.t.ppf(0.5 * (1 + conf), df)), abs=1e-9
+                )
+
+    def test_limits_to_normal_quantile(self):
+        # t_inf(95%) -> 1.959964...
+        assert student_t_quantile(0.95, 10_000) == pytest.approx(1.96, abs=1e-2)
+
+    def test_monotone_in_confidence(self):
+        qs = [student_t_quantile(c, 9) for c in (0.8, 0.9, 0.95, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PrecisionError):
+            student_t_quantile(1.0, 5)
+        with pytest.raises(PrecisionError):
+            student_t_quantile(0.95, 0)
+
+
+class TestPrecisionTarget:
+    def test_parse_full_spec(self):
+        t = PrecisionTarget.parse(
+            "rel=0.01,abs=0.5,conf=0.9,min_reps=10,max_reps=100,min_blocks=4"
+        )
+        assert t == PrecisionTarget(
+            rel=0.01, absolute=0.5, confidence=0.9,
+            min_reps=10, max_reps=100, min_blocks=4,
+        )
+
+    def test_parse_minimal(self):
+        assert PrecisionTarget.parse("rel=0.02") == PrecisionTarget(rel=0.02)
+
+    @pytest.mark.parametrize("bad", [
+        "", "rel", "rel=x", "frobnicate=1", "rel=-0.1", "abs=0",
+        "rel=0.1,conf=1.5", "rel=0.1,min_blocks=1",
+        "rel=0.1,min_reps=50,max_reps=10",
+    ])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(PrecisionError):
+            PrecisionTarget.parse(bad)
+
+    def test_needs_at_least_one_target(self):
+        with pytest.raises(PrecisionError, match="at least one"):
+            PrecisionTarget()
+
+    def test_payload_round_trip(self):
+        t = PrecisionTarget.parse("rel=0.01,conf=0.99,min_blocks=16")
+        assert PrecisionTarget.from_payload(t.to_payload()) == t
+
+    def test_from_payload_rejects_unknown_keys(self):
+        with pytest.raises(PrecisionError, match="unknown"):
+            PrecisionTarget.from_payload({"rel": 0.1, "typo": 1})
+
+    def test_tolerance_takes_the_laxer_of_rel_and_abs(self):
+        t = PrecisionTarget(rel=0.1, absolute=0.5)
+        assert t.tolerance(100.0) == pytest.approx(10.0)  # rel dominates
+        assert t.tolerance(1.0) == pytest.approx(0.5)     # abs dominates
+
+
+class TestDefaultBlockStatistics:
+    def test_scalar_reducer(self):
+        r = StreamingScalar().update([1.0, 3.0])
+        assert default_block_statistics(r) == {"mean": 2.0}
+
+    def test_profile_reducer_tracks_rank0(self):
+        r = StreamingProfile(3).update(np.array([[1.0, 5.0, 2.0], [2.0, 1.0, 7.0]]))
+        # sorted rows: [5,2,1] and [7,2,1] -> rank0 mean = 6
+        assert default_block_statistics(r) == {"rank0": 6.0}
+
+    def test_bundle_flattens_with_prefix(self):
+        bundle = ReducerBundle(
+            gap=StreamingScalar().update([4.0]),
+            prof=StreamingProfile(2).update(np.array([[1.0, 2.0]])),
+        )
+        assert default_block_statistics(bundle) == {"gap.mean": 4.0, "prof.rank0": 2.0}
+
+    def test_unknown_reducer_rejected(self):
+        with pytest.raises(TypeError, match="extract"):
+            default_block_statistics(object())
+
+
+def feed_blocks(monitor, block_means, reps_per_block=10):
+    """Drive a monitor with synthetic scalar block aggregates (the rep
+    count continues across calls, like a resumed block stream)."""
+    stopped_at = None
+    for i, mean in enumerate(block_means):
+        block = StreamingScalar().update([mean] * reps_per_block)
+        if monitor.observe(block, monitor.reps_done + reps_per_block):
+            stopped_at = i + 1
+            break
+    return stopped_at
+
+
+class TestSequentialMonitor:
+    def test_needs_min_blocks_before_stopping(self):
+        mon = PrecisionTarget(absolute=1e9, min_blocks=5).monitor()
+        assert feed_blocks(mon, [1.0] * 4) is None
+        assert feed_blocks(mon, [1.0]) == 1  # fifth block satisfies
+
+    def test_min_reps_floor(self):
+        mon = PrecisionTarget(absolute=1e9, min_blocks=2, min_reps=100).monitor()
+        assert feed_blocks(mon, [1.0] * 9) is None  # 90 reps < floor
+        assert feed_blocks(mon, [1.0]) == 1
+
+    def test_max_reps_cap_stops_unconverged(self):
+        mon = PrecisionTarget(absolute=1e-12, max_reps=30).monitor()
+        # wildly varying block means never converge, but the cap fires
+        assert feed_blocks(mon, [0.0, 100.0, -50.0, 80.0]) == 3
+
+    def test_tight_target_keeps_running(self):
+        mon = PrecisionTarget(absolute=0.01, min_blocks=4).monitor()
+        rng = np.random.default_rng(0)
+        assert feed_blocks(mon, rng.normal(0, 10.0, 50)) is None
+
+    def test_nan_series_never_converges(self):
+        mon = PrecisionTarget(absolute=1e9, min_blocks=2).monitor()
+        assert feed_blocks(mon, [float("nan")] * 20) is None
+
+    def test_stop_is_pure_function_of_prefix(self):
+        means = list(np.random.default_rng(3).normal(5.0, 0.1, 40))
+        stops = []
+        for _ in range(2):
+            mon = PrecisionTarget(rel=0.05).monitor()
+            stops.append(feed_blocks(mon, means))
+        assert stops[0] == stops[1] is not None
+
+    def test_state_dict_round_trip_is_exact(self):
+        mon = PrecisionTarget(rel=0.02).monitor()
+        feed_blocks(mon, list(np.random.default_rng(1).normal(2.0, 0.5, 6)))
+        clone = PrecisionTarget(rel=0.02).monitor()
+        clone.load_state_dict(pickle.loads(pickle.dumps(mon.state_dict())))
+        assert clone.state_dict() == mon.state_dict()
+        assert clone.should_stop() == mon.should_stop()
+        assert clone.series_report() == mon.series_report()
+
+    def test_fingerprint_distinguishes_targets(self):
+        a = PrecisionTarget(rel=0.02).monitor()
+        b = PrecisionTarget(rel=0.01).monitor()
+        c = PrecisionTarget(rel=0.02).monitor()
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == c.fingerprint()
+
+    def test_summary_reports_halfwidth_and_convergence(self):
+        mon = PrecisionTarget(absolute=10.0, min_blocks=2).monitor()
+        feed_blocks(mon, [1.0, 2.0])
+        s = mon.summary()
+        assert s["replications"] == 20 and s["converged"]
+        series = s["series"]["mean"]
+        assert series["blocks"] == 2
+        # t(95%, df=1) * sd/sqrt(2): sd of {1,2} is 0.7071...
+        expected = student_t_quantile(0.95, 1) * math.sqrt(0.5 / 2)
+        assert series["halfwidth"] == pytest.approx(expected)
+
+
+class TestAdaptiveRecorder:
+    def test_inert_without_target(self):
+        rec = AdaptiveRecorder(None, engine="scalar")
+        assert rec.monitor("a") is None
+        extra = {}
+        rec.annotate(extra, budget_per_run=100)
+        assert extra == {}
+        assert rec.block_size(1000, None) is None
+
+    def test_rejects_scalar_engine(self):
+        with pytest.raises(ValueError, match="ensemble"):
+            AdaptiveRecorder(PrecisionTarget(rel=0.1), engine="scalar")
+
+    def test_duplicate_labels_rejected(self):
+        rec = AdaptiveRecorder(PrecisionTarget(rel=0.1), engine="ensemble")
+        rec.monitor("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            rec.monitor("a")
+
+    def test_annotate_totals_and_early_stop_flag(self):
+        rec = AdaptiveRecorder(PrecisionTarget(absolute=1e9, min_blocks=2),
+                               engine="ensemble")
+        feed_blocks(rec.monitor("x"), [1.0, 1.0])          # stops at 20 reps
+        feed_blocks(rec.monitor("y"), [1.0] * 10)          # stops at 20 reps
+        extra = {}
+        rec.annotate(extra, budget_per_run=100)
+        info = extra["adaptive"]
+        assert info["replication_budget"] == 200
+        assert info["replications_used"] == 40
+        assert info["early_stopped"]
+        assert info["runs"]["x"]["stopped_early"]
+
+    def test_adaptive_block_size_default(self):
+        rec = AdaptiveRecorder(PrecisionTarget(rel=0.1, min_blocks=8),
+                               engine="ensemble")
+        assert rec.block_size(1024, None) == 32    # 1024 // (4*8)
+        assert rec.block_size(10_000, None) == 128  # capped at the default
+        assert rec.block_size(10, None) == 1        # floor
+        assert rec.block_size(1024, 64) == 64       # explicit width wins
+
+
+class TestSequentialCoverage:
+    """Statistical validity: the sequential CI keeps near-nominal coverage.
+
+    200 seeded trials draw i.i.d. normal blocks (a toy experiment whose
+    true mean is known) and run the monitor to its stopping time.  The
+    fraction of trials whose final batch-means CI covers the true mean
+    must sit within a binomial 3-sigma band of the nominal 95% —
+    3 * sqrt(0.95 * 0.05 / 200) ~ 0.046, so the pinned floor is 0.90.  A
+    naive "peek every block with a normal quantile and no batch floor"
+    rule measurably undershoots this band; the batch-means t-interval
+    with the min_blocks floor does not (measured 0.955 at these seeds).
+    """
+
+    TRIALS = 200
+    MU, SIGMA, R = 3.0, 1.0, 16
+
+    def run_trial(self, seed, target, max_blocks=400):
+        rng = np.random.default_rng(seed)
+        monitor = target.monitor()
+        merged = StreamingScalar()
+        for b in range(max_blocks):
+            block = StreamingScalar().update(rng.normal(self.MU, self.SIGMA, self.R))
+            merged.merge(block)
+            if monitor.observe(block, (b + 1) * self.R):
+                break
+        report = monitor.series_report()["mean"]
+        covered = abs(report["mean"] - self.MU) <= report["halfwidth"]
+        return covered, monitor.reps_done
+
+    def test_sequential_ci_coverage_within_binomial_tolerance(self):
+        target = PrecisionTarget(absolute=0.1, confidence=0.95, min_blocks=8)
+        outcomes = [self.run_trial(seed, target) for seed in range(self.TRIALS)]
+        coverage = float(np.mean([c for c, _ in outcomes]))
+        mean_reps = float(np.mean([r for _, r in outcomes]))
+        # Every trial must actually have stopped early (else the test
+        # exercises the budget, not the stopping rule).
+        assert mean_reps < 0.25 * 400 * self.R
+        assert 0.90 <= coverage <= 1.0, (
+            f"sequential CI coverage {coverage:.3f} outside the pinned "
+            f"binomial band [0.90, 1.0] at nominal 0.95"
+        )
+
+    def test_estimates_agree_with_truth_at_tolerance_scale(self):
+        target = PrecisionTarget(absolute=0.1, confidence=0.95, min_blocks=8)
+        errors = []
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            monitor = target.monitor()
+            for b in range(400):
+                block = StreamingScalar().update(
+                    rng.normal(self.MU, self.SIGMA, self.R)
+                )
+                if monitor.observe(block, (b + 1) * self.R):
+                    break
+            errors.append(abs(monitor.series_report()["mean"]["mean"] - self.MU))
+        # RMS error is of the order of the requested half-width, not above.
+        assert float(np.sqrt(np.mean(np.square(errors)))) < 0.1

@@ -1,0 +1,163 @@
+"""Property-based reducer tests: partition invariance of streaming merges.
+
+The resume pipeline and the adaptive monitor both rest on one algebraic
+property: folding replication blocks through the streaming reducers is
+*exactly* the same reduction regardless of how the replications are
+partitioned into blocks.  These tests drive that property with seeded
+hypothesis generators — any random partition (including empty blocks and
+NaN-padded rows) merged through :class:`StreamingProfile` /
+:class:`StreamingScalar` / :class:`ReducerBundle` must be **bit-identical**
+to the one-shot reduction.
+
+Exactness caveat, by construction: real replication data is counts
+(integers) or normalised loads with bounded dyadic denominators, whose
+float64 sums are exact under any association.  The generators therefore
+produce integer-valued and eighth-valued samples — the regime the
+pipeline actually operates in and the one where bit-identity is a
+theorem, not luck.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.aggregate import (
+    ReducerBundle,
+    StreamingProfile,
+    StreamingScalar,
+)
+
+MAX_REPS = 60
+MAX_N = 12
+
+
+def _partition(rng, rows):
+    """A random ordered partition of ``range(rows)`` with empty parts."""
+    n_cuts = int(rng.integers(0, 6))
+    cuts = sorted(int(c) for c in rng.integers(0, rows + 1, size=n_cuts))
+    bounds = [0, *cuts, rows]
+    return list(zip(bounds[:-1], bounds[1:]))  # may contain empty [i, i)
+
+
+def _load_matrix(rng, rows, n):
+    """Integer-valued loads with optional NaN padding (exact in float64)."""
+    matrix = rng.integers(0, 50, size=(rows, n)).astype(np.float64)
+    if n > 1 and rng.random() < 0.5:
+        # NaN-pad a column tail, the shape padded per-class series have.
+        pad = int(rng.integers(1, n))
+        matrix[:, n - pad:] = np.nan
+    return matrix
+
+
+def _scalar_values(rng, rows):
+    """Eighth-valued scalars (dyadic: exact sums under any association)."""
+    return rng.integers(-400, 400, size=rows).astype(np.float64) / 8.0
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_profile_partition_invariance(seed):
+    rng = np.random.default_rng(seed)
+    rows = int(rng.integers(1, MAX_REPS))
+    n = int(rng.integers(1, MAX_N))
+    sort = bool(rng.integers(0, 2))
+    matrix = _load_matrix(rng, rows, n)
+
+    one_shot = StreamingProfile(n, sort=sort).update(matrix)
+    merged = StreamingProfile(n, sort=sort)
+    for i0, i1 in _partition(rng, rows):
+        merged.merge(StreamingProfile(n, sort=sort).update(matrix[i0:i1]))
+
+    assert merged == one_shot  # bit-exact (__eq__ compares moment bytes)
+    a, b = merged.profile(), one_shot.profile()
+    assert a.mean.tobytes() == b.mean.tobytes()
+    assert a.std.tobytes() == b.std.tobytes()
+    assert a.repetitions == b.repetitions == rows
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_scalar_partition_invariance(seed):
+    rng = np.random.default_rng(seed)
+    rows = int(rng.integers(1, MAX_REPS))
+    values = _scalar_values(rng, rows)
+
+    one_shot = StreamingScalar().update(values)
+    merged = StreamingScalar()
+    for i0, i1 in _partition(rng, rows):
+        merged.merge(StreamingScalar().update(values[i0:i1]))
+
+    assert merged == one_shot
+    a, b = merged.aggregate(), one_shot.aggregate()
+    assert (a.mean, a.std, a.minimum, a.maximum, a.repetitions) == (
+        b.mean, b.std, b.minimum, b.maximum, b.repetitions
+    )
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_bundle_partition_invariance(seed):
+    """Bundles merge key-by-key: the partition property lifts member-wise."""
+    rng = np.random.default_rng(seed)
+    rows = int(rng.integers(1, MAX_REPS))
+    n = int(rng.integers(1, MAX_N))
+    matrix = _load_matrix(rng, rows, n)
+    values = _scalar_values(rng, rows)
+
+    def bundle(i0, i1):
+        return ReducerBundle(
+            profile=StreamingProfile(n).update(matrix[i0:i1]),
+            gap=StreamingScalar().update(values[i0:i1]),
+        )
+
+    one_shot = bundle(0, rows)
+    parts = _partition(rng, rows)
+    merged = bundle(*parts[0])
+    for i0, i1 in parts[1:]:
+        merged.merge(bundle(i0, i1))
+
+    assert merged == one_shot
+    assert merged["profile"] == one_shot["profile"]
+    assert merged["gap"] == one_shot["gap"]
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_row_by_row_equals_one_shot(seed):
+    """The finest partition (one update per replication) is the same too."""
+    rng = np.random.default_rng(seed)
+    rows = int(rng.integers(1, 20))
+    n = int(rng.integers(1, MAX_N))
+    matrix = _load_matrix(rng, rows, n)
+
+    one_shot = StreamingProfile(n).update(matrix)
+    fine = StreamingProfile(n)
+    for row in matrix:
+        fine.update(row)  # 1-D rows are promoted to (1, n) blocks
+    assert fine == one_shot
+
+
+def test_empty_block_updates_are_identity():
+    reducer = StreamingProfile(3).update(np.arange(6.0).reshape(2, 3))
+    before = (reducer.repetitions, reducer._sum.tobytes(), reducer._sumsq.tobytes())
+    reducer.update(np.empty((0, 3)))
+    reducer.merge(StreamingProfile(3))  # never-updated reducer
+    after = (reducer.repetitions, reducer._sum.tobytes(), reducer._sumsq.tobytes())
+    assert before == after
+
+    scalar = StreamingScalar().update([1.5])
+    scalar.update([])
+    scalar.merge(StreamingScalar())
+    assert scalar.repetitions == 1 and scalar.mean == 1.5
+
+
+def test_all_empty_reduction_has_no_profile():
+    merged = StreamingProfile(4)
+    merged.merge(StreamingProfile(4))
+    assert merged.repetitions == 0
+    try:
+        merged.profile()
+    except ValueError:
+        pass
+    else:  # pragma: no cover - the guard must fire
+        raise AssertionError("profile() on an empty reduction must raise")

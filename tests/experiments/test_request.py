@@ -110,6 +110,81 @@ class TestCacheKey:
         assert key(ens_a) != key(ens_b)
 
 
+class TestPrecisionField:
+    def base(self, **precision):
+        return RunRequest(
+            "fig02", seed=1, engine="ensemble",
+            precision=precision or {"rel": 0.02},
+        )
+
+    def test_precision_participates_in_key(self):
+        plain = RunRequest("fig02", seed=1, engine="ensemble")
+        assert key(self.base()) != key(plain)
+        assert key(self.base(rel=0.02)) != key(self.base(rel=0.01))
+        assert key(self.base(rel=0.02)) != key(
+            self.base(rel=0.02, min_blocks=16)
+        )
+
+    def test_absent_precision_keeps_pre_adaptive_keys(self):
+        """The key payload gains the ``precision`` member only when set, so
+        every store entry written before the adaptive layer keeps its
+        address — the pinned digest above is the same proof."""
+        assert "precision" not in RunRequest("fig02", seed=1).key_payload(version=1)
+
+    def test_canonical_forms_agree(self):
+        from repro.analysis.precision import PrecisionTarget
+
+        target = PrecisionTarget(rel=0.02)
+        via_target = RunRequest("fig02", engine="ensemble", precision=target)
+        via_dict = RunRequest(
+            "fig02", engine="ensemble", precision={"rel": 0.02}
+        )
+        via_pairs = RunRequest(
+            "fig02", engine="ensemble", precision=via_target.precision
+        )
+        assert via_target == via_dict == via_pairs
+        assert key(via_target) == key(via_dict) == key(via_pairs)
+        assert via_target.precision_target() == target
+
+    def test_payload_round_trip_with_precision(self):
+        req = self.base(rel=0.01, conf=0.9)
+        back = RunRequest.from_payload(req.to_payload())
+        assert back == req and key(back) == key(req)
+
+    def test_invalid_precision_rejected_at_request_time(self):
+        from repro.analysis.precision import PrecisionError
+
+        with pytest.raises(PrecisionError):
+            RunRequest("fig02", precision={"rel": -1.0})
+        with pytest.raises(PrecisionError):
+            RunRequest("fig02", precision={"bogus": 1})
+
+    def test_request_kwargs_passes_target_to_adaptive_spec(self):
+        from repro.analysis.precision import PrecisionTarget
+
+        spec = get_experiment("fig02")
+        assert spec.adaptive
+        kwargs = spec.request_kwargs(self.base(rel=0.02))
+        assert kwargs["precision"] == PrecisionTarget(rel=0.02)
+
+    def test_non_adaptive_spec_rejects_precision(self):
+        from repro.experiments.base import PrecisionNotSupportedError
+
+        spec = get_experiment("fig06")
+        assert not spec.adaptive
+        with pytest.raises(PrecisionNotSupportedError, match="fig06"):
+            spec.request_kwargs(
+                RunRequest("fig06", engine="ensemble", precision={"rel": 0.1})
+            )
+
+    def test_scalar_engine_rejects_precision(self):
+        from repro.experiments.base import PrecisionNotSupportedError
+
+        spec = get_experiment("fig02")
+        with pytest.raises(PrecisionNotSupportedError, match="ensemble"):
+            spec.request_kwargs(RunRequest("fig02", precision={"rel": 0.1}))
+
+
 class TestSpecIntegration:
     def test_every_spec_declares_both_engines(self):
         spec = get_experiment("fig02")

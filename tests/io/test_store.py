@@ -119,9 +119,17 @@ class TestCheckpoints:
         slot = ck.slot()
         reducer = StreamingScalar().update([1.0, 2.0, 3.0])
         slot.save(reducer, 2, "fp")
-        loaded, blocks_done = slot.load("fp")
+        loaded, blocks_done, monitor = slot.load("fp")
         assert blocks_done == 2
         assert loaded == reducer  # bit-exact reducer equality
+        assert monitor is None  # fixed-budget runs carry no monitor state
+
+    def test_slot_round_trips_monitor_state(self, store):
+        slot = store.checkpointer("k" * 64).slot()
+        state = {"series": {"mean": [3, 1.5, 0.75]}, "reps_done": 9}
+        slot.save(StreamingScalar().update([1.0]), 3, "fp", monitor=state)
+        _, _, monitor = slot.load("fp")
+        assert monitor == state
 
     def test_fingerprint_mismatch_ignored(self, store):
         ck = store.checkpointer("k" * 64)

@@ -12,9 +12,11 @@ import numpy as np
 import pytest
 
 from repro.analysis.aggregate import StreamingScalar
+from repro.analysis.precision import PrecisionTarget
 from repro.io.store import ResultStore
 from repro.runtime import run_ensemble_reduced, run_repetitions
-from repro.runtime.executor import TaskError
+from repro.runtime.executor import TaskError, _iter_block_seeds
+from repro.sampling.rngutils import spawn_seed_sequences
 
 #: Serial-path call counter (workers=1 runs tasks in-process).
 CALLS = {"blocks": 0}
@@ -144,6 +146,156 @@ class TestResume:
     def test_without_checkpoint_matches_with_checkpoint(self, checkpoints):
         plain = run_ensemble_reduced(scalar_block, REPS, seed=42, block_size=BLOCK)
         assert self.run(checkpoints()) == plain
+
+
+#: Adaptive target for the early-stop × resume tests: on the uniform(0,1)
+#: toy statistic it converges well inside the 60-repetition budget.
+ADAPTIVE_TARGET = PrecisionTarget(absolute=0.1, confidence=0.9, min_blocks=4)
+
+
+class TestFingerprintCompat:
+    def test_fixed_budget_fingerprint_keeps_legacy_5_tuple_form(self):
+        """A fixed-budget run's fingerprint must stay in the pre-adaptive
+        5-tuple form, so checkpoints written before the early-stop hook
+        existed still resume after an upgrade."""
+        from repro.runtime.executor import _checkpoint_fingerprint
+
+        fp = _checkpoint_fingerprint(scalar_block, REPS, BLOCK, 42, {})
+        assert fp == repr((
+            "scalar_block", REPS, BLOCK, "42", [],
+        ))
+        adaptive = _checkpoint_fingerprint(
+            scalar_block, REPS, BLOCK, 42, {}, ADAPTIVE_TARGET.monitor()
+        )
+        assert adaptive != fp and "SequentialMonitor" in adaptive
+
+
+class TestLazyBlockSeeds:
+    """The adaptive path's lazy seed iterator honors the spawn contract."""
+
+    BOUNDS = [(0, 3), (3, 6), (6, 8)]
+
+    def assert_streams_equal(self, lazy, eager):
+        for a, b in zip(lazy, eager):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_matches_eager_spawn_for_int_seed(self):
+        lazy = [s for blk in _iter_block_seeds(7, self.BOUNDS) for s in blk]
+        self.assert_streams_equal(lazy, spawn_seed_sequences(7, 8))
+
+    def test_honors_prior_spawn_offset_without_mutating_parent(self):
+        parent = np.random.SeedSequence(99)
+        parent.spawn(5)
+        reference_parent = np.random.SeedSequence(99)
+        reference_parent.spawn(5)
+        lazy = [s for blk in _iter_block_seeds(parent, self.BOUNDS) for s in blk]
+        self.assert_streams_equal(lazy, reference_parent.spawn(8))
+        assert parent.n_children_spawned == 5  # untouched by laziness
+
+
+class TestAdaptiveResume:
+    """Early stop × resume: a killed adaptive run reaches the same stopping
+    block and a bit-identical reducer as an uninterrupted run."""
+
+    BUDGET = 60  # 20 blocks of BLOCK=3
+
+    def run(self, checkpoint=None, workers=1):
+        monitor = ADAPTIVE_TARGET.monitor()
+        reducer = run_ensemble_reduced(
+            scalar_block, self.BUDGET, seed=42, workers=workers,
+            block_size=BLOCK, checkpoint=checkpoint, until=monitor,
+            label="unit",
+        )
+        return reducer, monitor
+
+    def test_stops_early_and_serial_equals_pool(self):
+        serial, monitor = self.run()
+        assert BLOCK * ADAPTIVE_TARGET.min_blocks <= serial.repetitions < self.BUDGET
+        assert monitor.should_stop()
+        pooled, _ = self.run(workers=2)
+        assert pooled == serial  # same stopping block, bit-identical state
+
+    def test_killed_adaptive_run_resumes_to_same_stop(self, checkpoints):
+        reference, ref_monitor = self.run()
+        stop_rep = reference.repetitions
+        # Kill two blocks before the stopping block (mid-flight).
+        FAIL["from"] = stop_rep - 2 * BLOCK
+        try:
+            with pytest.raises(RuntimeError, match="injected kill"):
+                self.run(checkpoints())
+        finally:
+            FAIL["from"] = None
+        assert checkpoints.store.has_checkpoints("k" * 64)
+        CALLS["blocks"] = 0
+        resumed, monitor = self.run(checkpoints())
+        # Only the blocks past the kill point ran again — the monitor state
+        # was restored, not re-observed.
+        assert CALLS["blocks"] == 2
+        assert resumed == reference
+        assert resumed.repetitions == stop_rep
+        assert monitor.summary() == ref_monitor.summary()
+
+    def test_converged_checkpoint_replays_without_work(self, checkpoints):
+        first, _ = self.run(checkpoints())
+        CALLS["blocks"] = 0
+        again, monitor = self.run(checkpoints())
+        assert CALLS["blocks"] == 0  # restored monitor already satisfied
+        assert again == first
+        assert monitor.should_stop()
+
+    def test_pool_kill_then_pool_resume(self, checkpoints):
+        reference, _ = self.run()
+        FAIL["from"] = reference.repetitions - 2 * BLOCK
+        try:
+            with pytest.raises(TaskError, match="unit ensemble block"):
+                self.run(checkpoints(), workers=2)
+        finally:
+            FAIL["from"] = None
+        resumed, _ = self.run(checkpoints(), workers=2)
+        assert resumed == reference
+
+    def test_different_target_invalidates_checkpoint(self, checkpoints):
+        """A checkpoint written under one precision target must not seed a
+        run with another (the monitor joins the fingerprint)."""
+        reference, _ = self.run()
+        FAIL["from"] = reference.repetitions - 2 * BLOCK
+        try:
+            with pytest.raises(RuntimeError, match="injected kill"):
+                self.run(checkpoints())
+        finally:
+            FAIL["from"] = None
+        CALLS["blocks"] = 0
+        other = PrecisionTarget(absolute=0.2, confidence=0.9, min_blocks=4)
+        reducer = run_ensemble_reduced(
+            scalar_block, self.BUDGET, seed=42, block_size=BLOCK,
+            checkpoint=checkpoints(), until=other.monitor(), label="unit",
+        )
+        # Fresh start: the first checkpointed block would otherwise be
+        # skipped, so re-running it proves the fingerprint mismatched.
+        fresh = run_ensemble_reduced(
+            scalar_block, self.BUDGET, seed=42, block_size=BLOCK,
+            until=other.monitor(),
+        )
+        assert reducer == fresh
+
+    def test_fixed_budget_checkpoint_not_resumed_by_adaptive_run(self, checkpoints):
+        self.kill_fixed_budget_at(checkpoints, 9)
+        CALLS["blocks"] = 0
+        adaptive, _ = self.run(checkpoints())
+        # No block skipped: the adaptive fingerprint differs from the
+        # fixed-budget one, so all blocks up to the stop point re-ran.
+        assert CALLS["blocks"] == adaptive.repetitions // BLOCK
+
+    def kill_fixed_budget_at(self, checkpoints, rep):
+        FAIL["from"] = rep
+        try:
+            with pytest.raises(RuntimeError, match="injected kill"):
+                run_ensemble_reduced(
+                    scalar_block, self.BUDGET, seed=42, block_size=BLOCK,
+                    checkpoint=checkpoints(), label="unit",
+                )
+        finally:
+            FAIL["from"] = None
 
 
 class TestFailFast:

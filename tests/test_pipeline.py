@@ -158,9 +158,12 @@ class TestSweepResume:
             return real(*args, **kwargs)
 
         monkeypatch.setattr(fig02mod, "simulate_ensemble", dying)
-        with pytest.raises(RuntimeError, match="sweep killed"):
-            main(argv)
-        capsys.readouterr()
+        # The sweep survives the dying cell (reports it, exits nonzero)
+        # instead of crashing with a traceback; its checkpoints remain.
+        assert main(argv) == 1
+        out = capsys.readouterr()
+        assert "error" in out.out
+        assert "sweep killed" in out.err
 
         store = ResultStore(tmp_path / "killed")
         request = RunRequest(
@@ -191,3 +194,140 @@ class TestSweepResume:
         monkeypatch.setattr(fig02mod, "simulate_ensemble", real)
         assert main(argv) == 0
         assert "hit" in capsys.readouterr().out
+
+
+class TestSweepFailureExit:
+    def test_failed_cell_reports_error_and_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Regression: a raising grid cell must not hide behind a zero exit
+        — the sweep finishes the other cells, marks the bad one ``error``
+        in the table, and returns 1."""
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("cell exploded")
+
+        monkeypatch.setattr(fig02mod, "simulate", boom)
+        code = main(["sweep", "fig01,fig02", "--seeds", "5",
+                     "--repetitions", "4", "--store", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr()
+        rows = [line for line in out.out.splitlines() if "fig" in line]
+        assert any("fig01" in r and "miss" in r for r in rows)
+        assert any("fig02" in r and "error" in r for r in rows)
+        assert "cell exploded" in out.err and "FAILED" in out.err
+        # The healthy cell still landed in the store.
+        store = ResultStore(tmp_path)
+        assert store.stats().entries == 1
+
+    def test_all_green_sweep_still_exits_zero(self, tmp_path, capsys):
+        assert main(["sweep", "fig02", "--seeds", "5", "--repetitions", "4",
+                     "--store", str(tmp_path)]) == 0
+
+
+PRECISION = "rel=0.05,conf=0.9,min_blocks=4"
+
+
+def adaptive_request(seed=9, budget=256):
+    return RunRequest(
+        "fig02", seed=seed, engine="ensemble",
+        overrides={"repetitions": budget},
+        precision={"rel": 0.05, "conf": 0.9, "min_blocks": 4},
+    )
+
+
+class TestAdaptivePipeline:
+    def test_adaptive_run_stops_early_and_round_trips_store(
+        self, tmp_path, no_simulation
+    ):
+        store = ResultStore(tmp_path)
+        request = adaptive_request()
+        first = execute_request(request, store=store).result
+        info = first.extra["adaptive"]
+        assert info["early_stopped"]
+        assert info["replications_used"] < info["replication_budget"]
+        # Second run: pure lookup, adaptive provenance included.
+        no_simulation()
+        outcome = execute_request(request, store=store)
+        assert outcome.cache_hit
+        assert_bit_identical(first, outcome.result)
+        back = outcome.result.extra["adaptive"]
+        assert back["replications_used"] == info["replications_used"]
+        assert back["runs"].keys() == info["runs"].keys()
+        assert not store.has_checkpoints(outcome.key)
+
+    def test_killed_adaptive_run_resumes_to_same_stop(self, tmp_path, monkeypatch):
+        """The adaptive acceptance scenario: kill an early-stopping run
+        mid-stream; the rerun resumes from the checkpointed (reducer,
+        monitor) state, stops at the same block, and the stored result is
+        bit-identical to an uninterrupted adaptive run."""
+        request = adaptive_request()
+        reference = execute_request(
+            request, store=ResultStore(tmp_path / "ref")
+        ).result
+
+        real = fig02mod.simulate_ensemble
+        calls = {"n": 0}
+
+        def dying(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 5:
+                raise RuntimeError("adaptive run killed")
+            return real(*args, **kwargs)
+
+        store = ResultStore(tmp_path / "killed")
+        monkeypatch.setattr(fig02mod, "simulate_ensemble", dying)
+        with pytest.raises(RuntimeError, match="adaptive run killed"):
+            execute_request(request, store=store)
+        key = request.cache_key(version=get_experiment("fig02").version)
+        assert store.has_checkpoints(key)
+
+        monkeypatch.setattr(fig02mod, "simulate_ensemble", real)
+        resumed = execute_request(request, store=store)
+        assert not resumed.cache_hit and resumed.resumed
+        assert_bit_identical(resumed.result, reference)
+        assert (resumed.result.extra["adaptive"]["replications_used"]
+                == reference.extra["adaptive"]["replications_used"])
+
+    def test_cli_run_reports_early_stop(self, tmp_path, capsys):
+        assert main(["run", "fig02", "--seed", "9", "--engine", "ensemble",
+                     "--scale", "0.05", "--precision", PRECISION,
+                     "--no-plot", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "early-stopped at R=" in out
+
+    def test_cli_sweep_shows_stopped_column(self, tmp_path, capsys):
+        assert main(["sweep", "fig02", "--seeds", "9", "--engines", "ensemble",
+                     "--repetitions", "256", "--precision", PRECISION,
+                     "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stopped" in out and "early@R=" in out
+
+    def test_cli_rejects_bad_precision(self):
+        with pytest.raises(SystemExit, match="bad --precision"):
+            main(["run", "fig02", "--precision", "frobnicate=1"])
+
+    def test_cli_rejects_precision_on_scalar_engine(self, tmp_path):
+        with pytest.raises(SystemExit, match="ensemble"):
+            main(["run", "fig02", "--seed", "9", "--precision", PRECISION,
+                  "--no-plot", "--store", str(tmp_path)])
+
+    def test_precision_on_non_adaptive_experiment_rejected(self):
+        from repro.experiments.base import PrecisionNotSupportedError
+
+        request = RunRequest(
+            "fig06", seed=1, engine="ensemble",
+            precision={"rel": 0.05},
+        )
+        with pytest.raises(PrecisionNotSupportedError, match="fig06"):
+            execute_request(request)
+
+    @pytest.mark.parametrize("overrides", [{"repetitions": 4}])
+    def test_run_experiment_kwarg_precision(self, tmp_path, overrides):
+        from repro.analysis.precision import PrecisionTarget
+
+        result = run_experiment(
+            "fig02", seed=9, engine="ensemble", store=ResultStore(tmp_path),
+            precision=PrecisionTarget(rel=0.5, min_blocks=2), **overrides,
+        )
+        assert "adaptive" in result.extra
