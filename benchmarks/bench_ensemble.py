@@ -1,32 +1,48 @@
-"""Scalar loop vs lockstep ensemble on migrated experiment configurations.
+"""Scalar loop vs lockstep ensemble vs wavefront kernels.
 
-Not a paper figure — this tracks the tentpole speedup of the lockstep
-ensemble engine (:mod:`repro.core.ensemble`) over the scalar repetition
-loop, across replication widths ``R``:
+Not a paper figure — this tracks the engine-level speedups:
 
 * the exact fig02 setting (32 uniform bins, capacities 1–4, m = C, d = 2),
   the PR-1 flagship configuration, acceptance floor **5x** at ``R = 64``;
 * the fig18 exponent-sweep setting (100 two-class bins, power-``t``
-  selection), representative of the experiments migrated when the engine
-  matrix was completed, acceptance floor **3x** at ``R = 64``.
+  selection), representative of the migrated matrix, floor **3x** at
+  ``R = 64``;
+* the **fig01-scaled large-n** setting (n = 10,000 uniform bins, d = 2,
+  m = n — the paper's Figure 1 scale) for the conflict-free wavefront
+  kernels (:mod:`repro.core.wavefront`): kernel-level floors over the
+  per-ball ensemble kernel at R = 16/64 and over the scalar
+  ``fast.run_batch`` loop, plus a driver-level sanity ratio.
 
-The scalar and ensemble rows for each ``R`` land side by side in the
-benchmark JSON, so the ratio is a first-class perf-regression signal.
+Wavefront floors are pinned well below the measured ratios because the CI
+hardware's throughput fluctuates; the measured values (see ROADMAP
+"Wavefront kernels") are the regression signal, the floors the alarm.
+
+Every floor test also records its timings and ratios; the session writes
+them to ``BENCH_ensemble.json`` at the repo root (see ``conftest.py``) so
+PR-over-PR perf changes are diffable.
 
 ``REPRO_BENCH_QUICK=1`` trims the ``R`` sweep (see ``conftest.py``).
 """
 
 import time
 
+import numpy as np
 import pytest
-from conftest import BENCH_SEED, ENSEMBLE_BENCH_RS
+from conftest import BENCH_SEED, ENSEMBLE_BENCH_RS, record_bench
 
+from repro.core.ensemble import run_batch_ensemble
+from repro.core.fast import run_batch
+from repro.core.wavefront import WavefrontWorkspace, run_batch_wavefront
 from repro.experiments import run_experiment
 
 #: fig18 at one capacity/exponent pair — a post-matrix-migration workload
 #: (power-probability sampling + two-class array) unlike fig02's uniform
 #: capacity classes.
 FIG18_KWARGS = dict(capacities=(3,), t_grid=(1.0, 2.0))
+
+#: The wavefront large-n configuration: fig01 scaled to the paper's
+#: n = 10,000 (uniform capacities, d = 2, m = n).
+WAVEFRONT_N = 10_000
 
 
 @pytest.mark.parametrize("engine", ["scalar", "ensemble"])
@@ -73,6 +89,10 @@ def _assert_speedup_floor(experiment_id, floor, rounds=7, **kwargs):
     speedup = scalar / ensemble
     print(f"\n{experiment_id} R=64: scalar {scalar * 1e3:.2f} ms, "
           f"ensemble {ensemble * 1e3:.2f} ms, speedup {speedup:.2f}x")
+    record_bench(experiment_id, 64, "scalar", "n/a", scalar)
+    record_bench(experiment_id, 64, "ensemble", "auto", ensemble)
+    record_bench(experiment_id, 64, "ensemble_over_scalar", "n/a", None,
+                 ratio=speedup, floor=floor)
     assert speedup >= floor, (
         f"lockstep ensemble regressed: {speedup:.2f}x < {floor}x at R=64 on "
         f"{experiment_id} (scalar {scalar * 1e3:.2f} ms vs ensemble "
@@ -90,3 +110,119 @@ def test_lockstep_speedup_fig18_at_r64():
     """Acceptance floor for the completed engine matrix: >= 3x over the
     scalar loop at R = 64 on the fig18 configuration (measured ~5x)."""
     _assert_speedup_floor("fig18", 3.0, **FIG18_KWARGS)
+
+
+# --------------------------------------------------------------------------
+# Wavefront kernel floors (fig01 scaled to n = 10,000)
+# --------------------------------------------------------------------------
+
+def _wavefront_inputs(R, seed=BENCH_SEED):
+    rng = np.random.default_rng(seed)
+    n = WAVEFRONT_N
+    choices = rng.integers(0, n, size=(R, n, 2))
+    tie_u = rng.random((R, n))
+    caps = np.ones(n, dtype=np.int64)
+    return caps, choices, tie_u
+
+
+def _best(f, rounds):
+    elapsed = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        f()
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return elapsed
+
+
+def _assert_wavefront_floor(R, floor, rounds=5):
+    caps, choices, tie_u = _wavefront_inputs(R)
+    n = WAVEFRONT_N
+    ws = WavefrontWorkspace()
+    run_batch_wavefront(  # warm up (and exercise correctness incidentally)
+        np.zeros((R, n), dtype=np.int64), caps, choices, tie_u, workspace=ws
+    )
+    per_ball = _best(
+        lambda: run_batch_ensemble(
+            np.zeros((R, n), dtype=np.int64), caps, choices, tie_u
+        ),
+        rounds,
+    )
+    wavefront = _best(
+        lambda: run_batch_wavefront(
+            np.zeros((R, n), dtype=np.int64), caps, choices, tie_u, workspace=ws
+        ),
+        rounds,
+    )
+    speedup = per_ball / wavefront
+    print(f"\nwavefront fig01-scaled n={n} R={R}: per-ball {per_ball * 1e3:.2f} ms, "
+          f"wavefront {wavefront * 1e3:.2f} ms, speedup {speedup:.2f}x")
+    record_bench("fig01_large", R, "ensemble", "off", per_ball)
+    record_bench("fig01_large", R, "ensemble", "on", wavefront)
+    record_bench("fig01_large", R, "wavefront_over_per_ball", "n/a", None,
+                 ratio=speedup, floor=floor)
+    assert speedup >= floor, (
+        f"wavefront kernel regressed: {speedup:.2f}x < {floor}x at R={R} on "
+        f"the fig01-scaled configuration (per-ball {per_ball * 1e3:.2f} ms vs "
+        f"wavefront {wavefront * 1e3:.2f} ms)"
+    )
+
+
+def test_wavefront_floor_r16():
+    """Wavefront floor at R = 16 — the lockstep width the small-block
+    conventions (shared-params, adaptive precision) actually run — >= 2.5x
+    over the per-ball ensemble kernel (measured ~3.6–4.1x)."""
+    _assert_wavefront_floor(16, 2.5)
+
+
+def test_wavefront_floor_r64():
+    """Wavefront floor at R = 64: >= 1.4x over the per-ball ensemble kernel
+    (measured ~1.7–1.9x; the per-ball kernel is already ~40% memory-bound
+    at this width, so the remaining call-overhead win is bounded — see
+    ROADMAP "Wavefront kernels")."""
+    _assert_wavefront_floor(64, 1.4)
+
+
+def test_wavefront_scalar_floor():
+    """Scalar-engine floor on the same configuration: the R = 1 wavefront
+    path is >= 1.3x over the pure-Python ``fast.run_batch`` loop (measured
+    ~1.5–1.9x)."""
+    floor = 1.3
+    caps, choices, tie_u = _wavefront_inputs(1)
+    n = WAVEFRONT_N
+    caps_list = caps.tolist()
+    ws = WavefrontWorkspace()
+    run_batch_wavefront(
+        np.zeros((1, n), dtype=np.int64), caps, choices, tie_u, workspace=ws
+    )
+    fast = _best(
+        lambda: run_batch([0] * n, caps_list, choices[0], tie_u[0]), 5
+    )
+    wavefront = _best(
+        lambda: run_batch_wavefront(
+            np.zeros((1, n), dtype=np.int64), caps, choices, tie_u, workspace=ws
+        ),
+        5,
+    )
+    speedup = fast / wavefront
+    print(f"\nwavefront scalar n={n}: fast.run_batch {fast * 1e3:.2f} ms, "
+          f"wavefront {wavefront * 1e3:.2f} ms, speedup {speedup:.2f}x")
+    record_bench("fig01_large", 1, "scalar", "off", fast)
+    record_bench("fig01_large", 1, "scalar", "on", wavefront)
+    record_bench("fig01_large", 1, "wavefront_over_fast", "n/a", None,
+                 ratio=speedup, floor=floor)
+    assert speedup >= floor, (
+        f"scalar wavefront regressed: {speedup:.2f}x < {floor}x "
+        f"(fast {fast * 1e3:.2f} ms vs wavefront {wavefront * 1e3:.2f} ms)"
+    )
+
+
+def test_wavefront_results_match_per_ball():
+    """The benched configuration is also correctness-checked here, so a
+    floor run can never be satisfied by a kernel that drifted."""
+    caps, choices, tie_u = _wavefront_inputs(8, seed=BENCH_SEED + 1)
+    n = WAVEFRONT_N
+    base = np.zeros((8, n), dtype=np.int64)
+    run_batch_ensemble(base, caps, choices, tie_u)
+    wf = np.zeros((8, n), dtype=np.int64)
+    run_batch_wavefront(wf, caps, choices, tie_u)
+    np.testing.assert_array_equal(base, wf)

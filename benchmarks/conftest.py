@@ -25,6 +25,62 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 #: Master seed for all benchmark runs.
 BENCH_SEED = 20260612
 
+#: Timing rows / speedup entries registered by the floor tests via
+#: :func:`record_bench`; flushed to ``BENCH_ensemble.json`` at the repo
+#: root when the session ends (see ``pytest_sessionfinish``) so perf is
+#: diffable PR over PR.
+_BENCH_ROWS: list = []
+_BENCH_SPEEDUPS: list = []
+
+
+def record_bench(config, R, engine, wavefront, seconds, *, ratio=None, floor=None):
+    """Register one benchmark measurement for ``BENCH_ensemble.json``.
+
+    With *seconds* set, records a timing row (*engine* is ``scalar`` /
+    ``ensemble``, *wavefront* the dispatch mode in force).  With *ratio*
+    and *floor* set instead, records a speedup entry (*engine* names the
+    ratio kind, e.g. ``wavefront_over_per_ball``).
+    """
+    if seconds is not None:
+        _BENCH_ROWS.append({
+            "config": str(config), "R": int(R), "engine": str(engine),
+            "wavefront": str(wavefront), "seconds": float(seconds),
+        })
+    if ratio is not None:
+        _BENCH_SPEEDUPS.append({
+            "config": str(config), "R": int(R), "kind": str(engine),
+            "ratio": float(ratio), "floor": float(floor),
+        })
+
+
+#: Ratio kinds every complete floor run produces; a session missing any of
+#: them (single-test selection, a failed floor) must not overwrite the
+#: committed perf-trajectory document with a partial one.
+_EXPECTED_SPEEDUP_KINDS = {
+    "ensemble_over_scalar",
+    "wavefront_over_per_ball",
+    "wavefront_over_fast",
+}
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not (_BENCH_ROWS or _BENCH_SPEEDUPS):
+        return
+    kinds = {s["kind"] for s in _BENCH_SPEEDUPS}
+    if exitstatus != 0 or not _EXPECTED_SPEEDUP_KINDS <= kinds:
+        print("\nbenchmark records NOT written (partial or failed session)")
+        return
+    from repro.io.benchjson import write_bench_json
+
+    path = Path(__file__).resolve().parents[1] / "BENCH_ensemble.json"
+    write_bench_json(
+        path,
+        quick=bool(os.environ.get("REPRO_BENCH_QUICK")),
+        rows=_BENCH_ROWS,
+        speedups=_BENCH_SPEEDUPS,
+    )
+    print(f"\nbenchmark records written to {path}")
+
 #: Replication widths for the ensemble-vs-scalar engine bench
 #: (``bench_ensemble.py``).  ``REPRO_BENCH_QUICK=1`` trims the sweep to the
 #: regression-sensitive widths so a quick run still lands the scalar/ensemble

@@ -4,11 +4,15 @@
 Runs, from :mod:`repro.core.equivalence`:
 
 * the randomised three-way kernel sweep (ensemble vs fast vs reference);
+* the randomised wavefront kernel sweep (conflict-free wave commits vs
+  the per-ball ensemble kernel, bit-exact incl. heights) and the
+  wavefront driver on/off identity sweep;
 * the spawn-mode driver parity sweeps (plain, stale-view batched, weighted
   balls, ring allocation — each lockstep driver vs its scalar counterpart);
 * the per-experiment cross-engine matrix (every registered experiment on
   both engines, optionally at a ``--rep-factor`` multiple of the pinned
-  repetition counts).
+  repetition counts), each entry also run with the wavefront forced on
+  and off under a bit-identity requirement.
 
 Exit code 0 means every replication of every draw was bit-identical across
 engines and every experiment's figures agreed within its pinned tolerance.
@@ -39,8 +43,11 @@ from repro.core.equivalence import (
     check_batched_parity,
     check_driver_parity,
     check_experiment_equivalence,
+    check_experiment_wavefront_identity,
     check_kernel_equivalence,
     check_ring_parity,
+    check_wavefront_driver_identity,
+    check_wavefront_kernel_equivalence,
     check_weighted_parity,
 )
 
@@ -69,6 +76,14 @@ def main(argv=None) -> int:
         kernel = check_kernel_equivalence(args.seed, budget)
         print(f"kernel equivalence: {kernel} draws OK "
               f"(ensemble == fast == reference, counts + heights)")
+        wavefront = check_wavefront_kernel_equivalence(args.seed ^ 0xAFE1, budget)
+        print(f"wavefront kernel:   {wavefront} draws OK "
+              f"(run_batch_wavefront == run_batch_ensemble, counts + heights)")
+        wf_driver = check_wavefront_driver_identity(
+            args.seed ^ 0x0FF0, trials=args.driver_trials
+        )
+        print(f"wavefront drivers:  {wf_driver} trials OK "
+              f"(forced on == forced off, both engines, snapshots + heights)")
         driver = check_driver_parity(args.seed ^ 0xD41E, trials=args.driver_trials)
         print(f"driver parity:      {driver} trials OK "
               f"(simulate_ensemble row r == simulate(seed=child_r))")
@@ -87,8 +102,10 @@ def main(argv=None) -> int:
                     experiment_id, rep_factor=args.rep_factor
                 )
                 tol = EXPERIMENT_CASES[experiment_id].tol
+                engines = check_experiment_wavefront_identity(experiment_id)
                 print(f"experiment matrix:  {experiment_id:16s} OK "
-                      f"(worst series deviation {worst:.4f} <= tol {tol})")
+                      f"(worst series deviation {worst:.4f} <= tol {tol}; "
+                      f"wavefront on==off on {engines} engines)")
     except AssertionError as exc:
         print(f"EQUIVALENCE FAILURE: {exc}", file=sys.stderr)
         return 1

@@ -3,16 +3,20 @@
 #
 # Runs, in order:
 #   1. the tier-1 test suite (ROADMAP's verify command);
-#   2. the quick-mode benchmarks for the ensemble engine, which include the
-#      5x (fig02) and 3x (fig18) speedup acceptance floors at R = 64;
+#   2. the quick-mode benchmarks for the ensemble engine: the 5x (fig02)
+#      and 3x (fig18) engine floors at R = 64, plus the wavefront-kernel
+#      floors on the fig01-scaled n=10^4 configuration (R=16/R=64 over the
+#      per-ball ensemble kernel, R=1 over fast.run_batch); the run emits
+#      BENCH_ensemble.json at the repo root, validated right after;
 #   3. the adaptive-precision smoke (quick-mode bench_adaptive.py): the
 #      rel=2% fig02 run must early-stop at <= 50% of the fixed budget,
 #      match the fixed-budget estimate, and round-trip the store;
 #   4. the result-store round-trip smoke (second fig01 run must be a
 #      bit-identical cache hit, >= 10x faster than the compute);
 #   5. a reduced-budget cross-engine equivalence sweep — kernel three-way
-#      bit-exactness, the four driver parity sweeps, and the full
-#      per-experiment engine matrix.
+#      bit-exactness, the wavefront kernel/driver bit-identity sweeps, the
+#      four driver parity sweeps, and the full per-experiment engine
+#      matrix with the wavefront forced on and off per experiment.
 #
 # The reduced budgets keep the whole pipeline at ~1 minute so the
 # equivalence sweep is exercised routinely instead of only by hand; run
@@ -26,8 +30,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== quick benchmarks (ensemble engine floors) =="
+echo "== quick benchmarks (ensemble engine + wavefront kernel floors) =="
 REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_ensemble.py -q
+
+echo "== benchmark records schema check =="
+python -c "
+from repro.io.benchjson import load_bench_json
+payload = load_bench_json('BENCH_ensemble.json')
+print(f'BENCH_ensemble.json OK: {len(payload[\"rows\"])} rows, '
+      f'{len(payload[\"speedups\"])} speedups')
+"
 
 echo "== adaptive-precision smoke (early-stop floors + store round trip) =="
 REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_adaptive.py -q

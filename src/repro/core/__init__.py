@@ -36,6 +36,13 @@ from .migration import (
 from .protocol import TIE_BREAKS, allocate_ball, select_bin
 from .rounds import simulate_batched, simulate_batched_ensemble
 from .simulation import SimulationResult, Snapshot, simulate
+from .wavefront import (
+    WAVEFRONT_MODES,
+    WavefrontStats,
+    WavefrontWorkspace,
+    run_batch_wavefront,
+    use_wavefront,
+)
 from .weighted import (
     WeightedEnsembleResult,
     WeightedResult,
@@ -51,6 +58,11 @@ __all__ = [
     "run_batch_ensemble",
     "EnsembleResult",
     "EnsembleSnapshot",
+    "run_batch_wavefront",
+    "use_wavefront",
+    "WavefrontStats",
+    "WavefrontWorkspace",
+    "WAVEFRONT_MODES",
     "select_bin",
     "allocate_ball",
     "TIE_BREAKS",

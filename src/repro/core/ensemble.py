@@ -35,6 +35,18 @@ The same engine/contract pair exists for the protocol variants:
 :func:`repro.core.weighted.simulate_weighted_ensemble` (weighted balls) and
 :func:`repro.p2p.workload.allocate_requests_ensemble` (ring allocation).
 
+Wavefront dispatch
+------------------
+When the expected conflict rate is low enough (many effective bins per
+lockstep lane), :func:`simulate_ensemble` hands whole chunks to the
+conflict-free wavefront kernels of :mod:`repro.core.wavefront` instead of
+the per-ball loops below — committing independent balls in vectorised
+waves, *bit-identically* (the kernels consume the same pre-drawn choices
+and tie uniforms, so dispatch can never change a number; the equivalence
+suite forces both paths and compares exactly).  The decision keys on
+``n_eff / (R * d * d)`` with a realised-free-fraction runtime fallback;
+``REPRO_WAVEFRONT`` / :func:`repro.core.wavefront.forced` override it.
+
 Shared parameters per block
 ---------------------------
 Lockstep replication requires every replication of a block to play against
@@ -76,8 +88,18 @@ import numpy as np
 from ..bins.arrays import BinArray
 from ..sampling.distributions import probability_model
 from ..sampling.rngutils import make_rng, spawn_seed_sequences
-from .fast import _MODES
 from .simulation import DEFAULT_CHUNK_SIZE, _normalise_snapshot_points
+from .wavefront import (
+    RUNTIME_MIN_FREE_FRACTION,
+    WavefrontStats,
+    WavefrontWorkspace,
+    d2_tie_pref,
+    effective_bins,
+    get_mode,
+    run_batch_wavefront,
+    use_wavefront,
+    validate_lockstep_batch,
+)
 
 __all__ = [
     "run_batch_ensemble",
@@ -130,7 +152,7 @@ def resolve_ensemble_seeds(repetitions, seeds, seed_mode):
 _KERNEL_TARGET = 1 << 20
 
 
-def _ensemble_d2(flat, idx2, cap_cross, cap_own, tie_pref_b, heights):
+def _ensemble_d2(flat, idx2, cap_cross, cap_own, tie_pref_b, heights, rbase=None):
     """d=2 lockstep loop over ``(k, 2, R)``-packed per-ball slices.
 
     ``idx2[j]`` stacks both candidates' flattened count indices as a
@@ -150,7 +172,8 @@ def _ensemble_d2(flat, idx2, cap_cross, cap_own, tie_pref_b, heights):
     # Plain fancy indexing and ufuncs-with-out are the cheapest numpy entry
     # points at ensemble widths (no python-level np.take/np.choose wrappers);
     # `pick_b` is intp so the winner can be selected by integer indexing.
-    rbase = np.arange(R)
+    if rbase is None:
+        rbase = np.arange(R)
     l2 = np.empty((2, R), dtype=np.int64)
     pick_b = np.empty(R, dtype=np.intp)
     record = heights is not None
@@ -169,7 +192,7 @@ def _ensemble_d2(flat, idx2, cap_cross, cap_own, tie_pref_b, heights):
             heights[:, j] = flat[chosen] / cap_own[j][pick_b, rbase]
 
 
-def _ensemble_d2_uniform(flat, idx2, tie_pref_b, capacity, heights):
+def _ensemble_d2_uniform(flat, idx2, tie_pref_b, capacity, heights, rbase=None):
     """d=2 lockstep loop specialised to equal capacities (Figures 1–5).
 
     With ``c_a == c_b == c`` the exact comparison
@@ -179,7 +202,8 @@ def _ensemble_d2_uniform(flat, idx2, tie_pref_b, capacity, heights):
     """
     k = idx2.shape[0]
     R = idx2.shape[2]
-    rbase = np.arange(R)
+    if rbase is None:
+        rbase = np.arange(R)
     thresh = np.empty(R, dtype=np.int64)
     pick_b = np.empty(R, dtype=np.intp)
     record = heights is not None
@@ -195,14 +219,14 @@ def _ensemble_d2_uniform(flat, idx2, tie_pref_b, capacity, heights):
             heights[:, j] = flat[chosen] / capacity
 
 
-def _ensemble_general(flat, counts_idx, dens, tie_u, mode, heights):
+def _ensemble_general(flat, counts_idx, dens, tie_u, mode, heights, rbase=None):
     """General-d lockstep loop.
 
     ``counts_idx`` is ``(R, k, d)`` flattened count indices, ``dens`` the
     matching ``(R, k, d)`` capacities, ``tie_u`` the ``(R, k)`` tie uniforms.
     """
     R, k, d = counts_idx.shape
-    rows_r = np.arange(R)
+    rows_r = np.arange(R) if rbase is None else rbase
     record = heights is not None
     for j in range(k):
         idx_row = counts_idx[:, j, :]  # (R, d)
@@ -248,6 +272,7 @@ def run_batch_ensemble(
     *,
     tie_break: str = "max_capacity",
     heights: np.ndarray | None = None,
+    workspace: WavefrontWorkspace | None = None,
 ) -> np.ndarray:
     """Allocate one batch of balls across all replications, in lockstep.
 
@@ -270,47 +295,28 @@ def run_batch_ensemble(
     heights:
         Optional ``(R, k)`` float64 array; filled with every ball's height
         (post-allocation load of the receiving bin) when given.
+    workspace:
+        Optional :class:`~repro.core.wavefront.WavefrontWorkspace` reused
+        across calls of one drive, so the row index/offset temporaries are
+        allocated once per run instead of once per kernel call.
 
     Returns ``counts``.  Each replication is bit-identical to
     :func:`repro.core.fast.run_batch` on the matching slices.
     """
-    try:
-        mode = _MODES[tie_break]
-    except KeyError:
-        raise ValueError(
-            f"unknown tie_break {tie_break!r}; expected one of {tuple(_MODES)}"
-        ) from None
-    counts = np.asarray(counts)
-    if counts.ndim != 2:
-        raise ValueError(f"counts must have shape (R, n), got {counts.shape}")
-    if not counts.flags.c_contiguous:
-        # A silent ascontiguousarray copy would break the in-place mutation
-        # contract for callers that discard the return value.
-        raise ValueError("counts must be C-contiguous (it is mutated in place)")
-    if choices.ndim != 3:
-        raise ValueError(f"choices must have shape (R, k, d), got {choices.shape}")
+    mode, counts, caps, tie_uniforms = validate_lockstep_batch(
+        counts, capacities, choices, tie_uniforms, tie_break, heights
+    )
     R, n = counts.shape
-    if choices.shape[0] != R:
-        raise ValueError(
-            f"choices first axis {choices.shape[0]} != {R} replications"
-        )
     _, k, d = choices.shape
-    if d < 1:
-        raise ValueError("choices must have at least one candidate per ball")
-    tie_uniforms = np.asarray(tie_uniforms)
-    if tie_uniforms.shape != (R, k):
-        raise ValueError(
-            f"tie_uniforms must have shape ({R}, {k}), got {tie_uniforms.shape}"
-        )
-    if heights is not None and heights.shape != (R, k):
-        raise ValueError(
-            f"heights must have shape ({R}, {k}), got {heights.shape}"
-        )
     if k == 0:
         return counts
 
-    caps = np.asarray(capacities, dtype=np.int64)
-    offsets = (np.arange(R, dtype=np.int64) * n)[:, None]
+    if workspace is not None:
+        offsets = workspace.row_offsets(R, n)
+        rbase = workspace.rbase(R)
+    else:
+        offsets = (np.arange(R, dtype=np.int64) * n)[:, None]
+        rbase = None
     flat = counts.reshape(-1)
 
     if d == 2:
@@ -326,7 +332,9 @@ def run_batch_ensemble(
             tie_pref_b = np.ascontiguousarray(
                 (tie_uniforms >= 0.5).T.astype(np.int64)
             )
-            _ensemble_d2_uniform(flat, idx2, tie_pref_b, int(caps[0]), heights)
+            _ensemble_d2_uniform(
+                flat, idx2, tie_pref_b, int(caps[0]), heights, rbase
+            )
             return counts
         if caps.ndim == 1:
             cap_a = caps[cha]
@@ -335,13 +343,7 @@ def run_batch_ensemble(
             caps_flat = caps.reshape(-1)
             cap_a = caps_flat[cha + offsets]
             cap_b = caps_flat[chb + offsets]
-        u = tie_uniforms
-        if mode == 0:
-            tie_pref_b = (cap_b > cap_a) | ((cap_b == cap_a) & (u >= 0.5))
-        elif mode == 2:
-            tie_pref_b = (cap_b < cap_a) | ((cap_b == cap_a) & (u >= 0.5))
-        else:
-            tie_pref_b = u >= 0.5
+        tie_pref_b = d2_tie_pref(mode, cap_a, cap_b, tie_uniforms)
         # Pack to (k, 2, R) so each per-ball slice is one contiguous block
         # covering both candidates; double the cross factors so the integer
         # tie bias (see _ensemble_d2) cannot collide with a genuine strict
@@ -360,7 +362,7 @@ def run_batch_ensemble(
             cap_own[:, 1] = cap_b.T
         _ensemble_d2(
             flat, idx2, cap_cross, cap_own,
-            np.ascontiguousarray(tie_pref_b.T.astype(np.int64)), heights,
+            np.ascontiguousarray(tie_pref_b.T.astype(np.int64)), heights, rbase,
         )
         return counts
 
@@ -369,7 +371,7 @@ def run_batch_ensemble(
         dens = caps[choices]
     else:
         dens = caps.reshape(-1)[counts_idx]
-    _ensemble_general(flat, counts_idx, dens, tie_uniforms, mode, heights)
+    _ensemble_general(flat, counts_idx, dens, tie_uniforms, mode, heights, rbase)
     return counts
 
 
@@ -405,16 +407,23 @@ class EnsembleResult:
     seed_mode: str
     snapshots: list[EnsembleSnapshot] = field(default_factory=list)
     heights: np.ndarray | None = None
+    _loads: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _max_loads: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def loads(self) -> np.ndarray:
-        """``(R, n)`` per-bin loads ``m_i / c_i``."""
-        return self.counts / self.bins.capacities
+        """``(R, n)`` per-bin loads ``m_i / c_i`` (computed once, cached —
+        repeated access returns the same array object)."""
+        if self._loads is None:
+            self._loads = self.counts / self.bins.capacities
+        return self._loads
 
     @property
     def max_loads(self) -> np.ndarray:
-        """``(R,)`` per-replication maximum loads."""
-        return self.loads.max(axis=1)
+        """``(R,)`` per-replication maximum loads (cached like ``loads``)."""
+        if self._max_loads is None:
+            self._max_loads = self.loads.max(axis=1)
+        return self._max_loads
 
     @property
     def average_load(self) -> float:
@@ -500,12 +509,14 @@ def simulate_ensemble(
 
     snap_points = _normalise_snapshot_points(snapshot_at, m)
     snapshots: list[EnsembleSnapshot] = []
+    loads_buf = np.empty((R, n), dtype=np.float64) if snap_points else None
 
     def take_snapshot(balls_thrown: int) -> None:
+        np.divide(counts, caps_arr, out=loads_buf)
         snapshots.append(
             EnsembleSnapshot(
                 balls_thrown=balls_thrown,
-                max_loads=(counts / caps_arr).max(axis=1),
+                max_loads=loads_buf.max(axis=1),
                 average_load=balls_thrown / total_capacity,
             )
         )
@@ -515,6 +526,19 @@ def simulate_ensemble(
     while pending and pending[0] == 0:
         take_snapshot(0)
         pending.pop(0)
+
+    # Wavefront dispatch: enter the conflict-free kernels when the expected
+    # first-wave fraction is high enough (auto mode keys on the collision-
+    # equivalent bin count of the selection distribution), and fall back to
+    # the per-ball kernels for the rest of the run if the realised fraction
+    # disappoints.  Either path consumes the identical pre-drawn randomness,
+    # so the dispatch decision can never change the results.
+    workspace = WavefrontWorkspace()
+    wf_stats = WavefrontStats()
+    wf_auto = get_mode() == "auto"
+    p = getattr(sampler, "probabilities", None)
+    n_eff = effective_bins(p) if p is not None else float(n)
+    use_wf = use_wavefront(n_eff, R, d)
 
     kernel_block = max(1, _KERNEL_TARGET // max(R, 1))
     while thrown < m:
@@ -529,20 +553,37 @@ def simulate_ensemble(
         else:
             choices = sampler.sample((R, batch, d), block_rng)
             tie_u = block_rng.random((R, batch))
-        # Sub-batch the kernel (not the sampling!) so temporaries stay
-        # bounded; RNG consumption is untouched by this split.
-        for lo in range(0, batch, kernel_block):
-            hi = min(batch, lo + kernel_block)
-            run_batch_ensemble(
+        chunk_heights = None if heights is None else heights[:, thrown : thrown + batch]
+        if use_wf:
+            run_batch_wavefront(
                 counts,
                 caps_arr,
-                choices[:, lo:hi],
-                tie_u[:, lo:hi],
+                choices,
+                tie_u,
                 tie_break=tie_break,
-                heights=None
-                if heights is None
-                else heights[:, thrown + lo : thrown + hi],
+                heights=chunk_heights,
+                n_eff=n_eff,
+                workspace=workspace,
+                stats=wf_stats,
             )
+            if wf_auto and wf_stats.free_fraction < RUNTIME_MIN_FREE_FRACTION:
+                use_wf = False
+        else:
+            # Sub-batch the kernel (not the sampling!) so temporaries stay
+            # bounded; RNG consumption is untouched by this split.
+            for lo in range(0, batch, kernel_block):
+                hi = min(batch, lo + kernel_block)
+                run_batch_ensemble(
+                    counts,
+                    caps_arr,
+                    choices[:, lo:hi],
+                    tie_u[:, lo:hi],
+                    tie_break=tie_break,
+                    heights=None
+                    if chunk_heights is None
+                    else chunk_heights[:, lo:hi],
+                    workspace=workspace,
+                )
         thrown += batch
         while pending and pending[0] == thrown:
             take_snapshot(thrown)

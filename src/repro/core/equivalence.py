@@ -40,11 +40,14 @@ from .fast import run_batch
 from .protocol import TIE_BREAKS, reference_run
 from .rounds import simulate_batched, simulate_batched_ensemble
 from .simulation import simulate
+from .wavefront import forced, run_batch_wavefront
 from .weighted import simulate_weighted, simulate_weighted_ensemble
 
 __all__ = [
     "SweepBudget",
     "check_kernel_equivalence",
+    "check_wavefront_kernel_equivalence",
+    "check_wavefront_driver_identity",
     "check_driver_parity",
     "check_batched_parity",
     "check_weighted_parity",
@@ -52,6 +55,7 @@ __all__ = [
     "ExperimentCase",
     "EXPERIMENT_CASES",
     "check_experiment_equivalence",
+    "check_experiment_wavefront_identity",
 ]
 
 
@@ -127,6 +131,117 @@ def check_kernel_equivalence(master_seed: int, budget: SweepBudget = SweepBudget
                 err_msg=f"{label} rep={r} heights vs reference",
             )
     return budget.draws
+
+
+def check_wavefront_kernel_equivalence(
+    master_seed: int, budget: SweepBudget = SweepBudget()
+) -> int:
+    """Randomised bit-exactness sweep of the wavefront kernel.
+
+    For each draw, :func:`~repro.core.wavefront.run_batch_wavefront` must
+    reproduce :func:`~repro.core.ensemble.run_batch_ensemble` exactly —
+    counts and heights, every replication — under a rotation of tie-break
+    modes, capacity profiles (shared and per-replication), and tile widths
+    including the degenerate ``1`` and the whole-batch width, so the tile
+    boundaries, the deferred waves, and the tail-tile padding are all
+    exercised.  Returns the number of draws checked.
+    """
+    rng = np.random.default_rng(master_seed)
+    for trial in range(budget.draws):
+        n = int(rng.integers(2, budget.max_n + 1))
+        m = int(rng.integers(0, budget.max_m + 1))
+        d = int(rng.integers(1, budget.max_d + 1))
+        R = int(rng.integers(1, budget.max_r + 1))
+        if trial % 4 == 3:
+            caps = rng.integers(1, 9, size=(R, n)).astype(np.int64)
+        else:
+            caps = _random_capacities(rng, n)
+        tie_break = TIE_BREAKS[trial % len(TIE_BREAKS)]
+        choices = rng.integers(0, n, size=(R, m, d))
+        tie_u = rng.random((R, m))
+
+        base = np.zeros((R, n), dtype=np.int64)
+        base_h = np.empty((R, m), dtype=np.float64)
+        run_batch_ensemble(
+            base, caps, choices, tie_u, tie_break=tie_break, heights=base_h
+        )
+        tiles = (None, 1, int(rng.integers(2, 8)), max(1, m))
+        tile = tiles[trial % len(tiles)]
+        wf = np.zeros((R, n), dtype=np.int64)
+        wf_h = np.empty((R, m), dtype=np.float64)
+        run_batch_wavefront(
+            wf, caps, choices, tie_u, tie_break=tie_break, heights=wf_h,
+            tile=tile,
+        )
+        label = f"trial={trial} n={n} m={m} d={d} R={R} tie={tie_break} tile={tile}"
+        assert np.array_equal(base, wf), f"{label}: counts"
+        np.testing.assert_array_equal(wf_h, base_h, err_msg=f"{label}: heights")
+    return budget.draws
+
+
+def check_wavefront_driver_identity(master_seed: int, trials: int = 6) -> int:
+    """Driver-level wavefront on/off bit-identity sweep.
+
+    Each trial runs :func:`~repro.core.ensemble.simulate_ensemble` (both
+    seed modes) and :func:`~repro.core.simulation.simulate` under
+    ``forced("on")`` and ``forced("off")`` on the same configuration —
+    cycling all three tie-break modes — and asserts identical counts,
+    heights, and snapshots.  This is the guarantee the adaptive dispatch
+    relies on: the kernels consume identical pre-drawn randomness, so the
+    dispatch decision can never leak into the numbers.
+    """
+    rng = np.random.default_rng(master_seed)
+    for trial in range(trials):
+        n = int(rng.integers(2, 16))
+        m = int(rng.integers(1, 250))
+        d = int(rng.integers(1, 4))
+        R = int(rng.integers(1, 5))
+        bins = BinArray(_random_capacities(rng, n))
+        tie_break = TIE_BREAKS[trial % len(TIE_BREAKS)]
+        seed_mode = ("spawn", "blocked")[trial % 2]
+        master = int(rng.integers(0, 2**31))
+        snap = sorted({0, m // 3, m})
+        label = f"trial={trial} n={n} m={m} d={d} R={R} tie={tie_break} {seed_mode}"
+
+        results = []
+        for mode in ("on", "off"):
+            with forced(mode):
+                results.append(
+                    simulate_ensemble(
+                        bins, repetitions=R, m=m, d=d, seed=master,
+                        tie_break=tie_break, seed_mode=seed_mode,
+                        track_heights=True, snapshot_at=snap,
+                    )
+                )
+        on, off = results
+        assert np.array_equal(on.counts, off.counts), f"{label}: ensemble counts"
+        np.testing.assert_array_equal(
+            on.heights, off.heights, err_msg=f"{label}: ensemble heights"
+        )
+        assert len(on.snapshots) == len(off.snapshots), label
+        for a, b in zip(on.snapshots, off.snapshots):
+            np.testing.assert_array_equal(
+                a.max_loads, b.max_loads, err_msg=f"{label}: snapshot"
+            )
+
+        scalars = []
+        for mode in ("on", "off"):
+            with forced(mode):
+                scalars.append(
+                    simulate(
+                        bins, m=m, d=d, seed=master, tie_break=tie_break,
+                        track_heights=True, snapshot_at=snap,
+                    )
+                )
+        s_on, s_off = scalars
+        assert np.array_equal(s_on.counts, s_off.counts), f"{label}: scalar counts"
+        np.testing.assert_array_equal(
+            s_on.heights, s_off.heights, err_msg=f"{label}: scalar heights"
+        )
+        assert [s.max_load for s in s_on.snapshots] == [
+            s.max_load for s in s_off.snapshots
+        ], f"{label}: scalar snapshots"
+    return trials
 
 
 def check_driver_parity(master_seed: int, trials: int = 6, repetitions: int = 4) -> int:
@@ -272,12 +387,17 @@ class ExperimentCase:
     tolerances must absorb the few-draw parameter variance at every factor.
     ``x_rtol`` loosens the x-grid comparison for figures whose x axis is
     itself a random quantity (fig08/09's realised total capacity).
+    ``wavefront_kwargs``, when set, replaces ``kwargs`` for the wavefront
+    on/off identity check only — used to shrink workloads (fig05's
+    ``m = 1000 C``) that are pathological with the wavefront *forced* on
+    at a tiny ``n`` (the auto dispatch would never enter them).
     """
 
     kwargs: dict = field(default_factory=dict)
     tol: float = 0.5
     x_rtol: float = 0.0
     seed: int = 20260612
+    wavefront_kwargs: dict | None = None
 
 
 #: Pinned tiny configurations for the per-experiment cross-engine matrix.
@@ -289,7 +409,10 @@ EXPERIMENT_CASES: dict[str, ExperimentCase] = {
     "fig02": ExperimentCase({"repetitions": 4}, tol=1.0),
     "fig03": ExperimentCase({"repetitions": 4}, tol=1.2),
     "fig04": ExperimentCase({"repetitions": 4}, tol=1.2),
-    "fig05": ExperimentCase({"repetitions": 3}, tol=1.2),
+    "fig05": ExperimentCase(
+        {"repetitions": 3}, tol=1.2,
+        wavefront_kwargs={"repetitions": 2, "capacities": (1,)},
+    ),
     "fig06": ExperimentCase({"repetitions": 6, "n": 100, "step_pct": 50}, tol=0.8),
     "fig07": ExperimentCase({"repetitions": 6, "n": 100, "step_pct": 50}, tol=60.0),
     "fig08": ExperimentCase(
@@ -398,3 +521,52 @@ def check_experiment_equivalence(
         )
         worst = max(worst, diff)
     return worst
+
+
+def check_experiment_wavefront_identity(experiment_id: str) -> int:
+    """Run one experiment with the wavefront forced on and forced off, on
+    both engines, and require *bit-identical* figures.
+
+    Unlike the cross-engine comparison (bounded deviation between
+    independent streams), this is an exact check: the wavefront kernels
+    consume the same pre-drawn randomness as the per-ball loops, so every
+    series must match to the last bit no matter which path the dispatch
+    picks.  Uses the pinned :data:`EXPERIMENT_CASES` configuration;
+    returns the number of engines checked.
+    """
+    from ..experiments import run_experiment
+
+    try:
+        case = EXPERIMENT_CASES[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"experiment {experiment_id!r} has no cross-engine case: add it to "
+            f"EXPERIMENT_CASES (and an ensemble path to the experiment) — "
+            f"every registered experiment must support both engines"
+        ) from None
+    kwargs = case.wavefront_kwargs if case.wavefront_kwargs is not None else case.kwargs
+    checked = 0
+    for engine in ("scalar", "ensemble"):
+        results = []
+        for mode in ("on", "off"):
+            with forced(mode):
+                results.append(
+                    run_experiment(
+                        experiment_id, seed=case.seed, engine=engine,
+                        **kwargs,
+                    )
+                )
+        on, off = results
+        label = f"{experiment_id} [{engine}] wavefront on vs off"
+        np.testing.assert_array_equal(
+            on.x_values, off.x_values, err_msg=f"{label}: x grid"
+        )
+        assert set(on.series) == set(off.series), f"{label}: series names"
+        for name in on.series:
+            a, b = on.series[name], off.series[name]
+            both_nan = np.isnan(a) & np.isnan(b)
+            assert np.array_equal(a[~both_nan], b[~both_nan]), (
+                f"{label}: series {name!r} is not bit-identical"
+            )
+        checked += 1
+    return checked

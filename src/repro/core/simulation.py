@@ -21,6 +21,15 @@ from ..bins.arrays import BinArray
 from ..sampling.distributions import probability_model
 from ..sampling.rngutils import make_rng
 from .fast import run_batch
+from .wavefront import (
+    RUNTIME_MIN_FREE_FRACTION,
+    WavefrontStats,
+    WavefrontWorkspace,
+    effective_bins,
+    get_mode,
+    run_batch_wavefront,
+    use_wavefront,
+)
 
 __all__ = ["Snapshot", "SimulationResult", "simulate"]
 
@@ -201,8 +210,6 @@ def simulate(
     rng = make_rng(seed)
 
     caps_list = bins.capacities.tolist()
-    counts: list[int] = [0] * bins.n
-    heights: list[float] | None = [] if track_heights else None
     all_choices: list[np.ndarray] | None = [] if keep_choices else None
 
     snap_points = _normalise_snapshot_points(snapshot_at, m)
@@ -210,8 +217,30 @@ def simulate(
     total_capacity = bins.total_capacity
     caps_arr = bins.capacities
 
+    # Wavefront dispatch for the scalar engine: a single run is the R = 1
+    # ensemble, so the conflict-free kernels replace the Python per-ball
+    # loop whenever the expected first-wave fraction is high enough.  Both
+    # paths consume the identical pre-drawn randomness, so the decision
+    # (and the mid-run fallback below) can never change the results.
+    p = getattr(sampler, "probabilities", None)
+    n_eff = effective_bins(p) if p is not None else float(bins.n)
+    wf_auto = get_mode() == "auto"
+    use_wf = use_wavefront(n_eff, 1, d)
+    wf_stats = WavefrontStats()
+    workspace = WavefrontWorkspace()
+    if use_wf:
+        counts_arr: np.ndarray | None = np.zeros((1, bins.n), dtype=np.int64)
+        counts: list[int] | None = None
+        heights_arr = np.empty((1, m), dtype=np.float64) if track_heights else None
+        heights: list[float] | None = None
+    else:
+        counts_arr = None
+        counts = [0] * bins.n
+        heights_arr = None
+        heights = [] if track_heights else None
+
     def take_snapshot(balls_thrown: int) -> None:
-        arr = np.asarray(counts, dtype=np.int64)
+        arr = counts_arr[0] if counts_arr is not None else np.asarray(counts, dtype=np.int64)
         loads = arr / caps_arr
         snapshots.append(
             Snapshot(
@@ -232,7 +261,30 @@ def simulate(
         batch = min(chunk_size, upper - thrown)
         choices = sampler.sample((batch, d), rng)
         tie_u = rng.random(batch)
-        run_batch(counts, caps_list, choices, tie_u, tie_break=tie_break, heights=heights)
+        if counts_arr is not None:
+            run_batch_wavefront(
+                counts_arr,
+                caps_arr,
+                choices[None, :, :],
+                tie_u[None, :],
+                tie_break=tie_break,
+                heights=None
+                if heights_arr is None
+                else heights_arr[:, thrown : thrown + batch],
+                n_eff=n_eff,
+                workspace=workspace,
+                stats=wf_stats,
+            )
+            if wf_auto and wf_stats.free_fraction < RUNTIME_MIN_FREE_FRACTION:
+                # The realised conflict rate defeats the wavefront: hand the
+                # rest of the run to the per-ball loop, bit-identically.
+                counts = counts_arr[0].tolist()
+                counts_arr = None
+                if heights_arr is not None:
+                    heights = heights_arr[0, : thrown + batch].tolist()
+                    heights_arr = None
+        else:
+            run_batch(counts, caps_list, choices, tie_u, tie_break=tie_break, heights=heights)
         if all_choices is not None:
             all_choices.append(choices)
         thrown += batch
@@ -240,14 +292,21 @@ def simulate(
             take_snapshot(thrown)
             pending.pop(0)
 
+    if counts_arr is not None:
+        final_counts = counts_arr[0]
+        final_heights = heights_arr[0] if heights_arr is not None else None
+    else:
+        final_counts = np.asarray(counts, dtype=np.int64)
+        final_heights = np.asarray(heights) if heights is not None else None
+
     return SimulationResult(
         bins=bins,
-        counts=np.asarray(counts, dtype=np.int64),
+        counts=final_counts,
         m=m,
         d=d,
         probability=model.name,
         tie_break=tie_break,
         snapshots=snapshots,
-        heights=np.asarray(heights) if heights is not None else None,
+        heights=final_heights,
         choices=np.concatenate(all_choices) if all_choices else (np.empty((0, d), dtype=np.int64) if keep_choices else None),
     )

@@ -3,6 +3,12 @@ terminal plotting."""
 
 from .asciiplot import ascii_plot, ascii_table
 from .atomicio import atomic_write
+from .benchjson import (
+    BENCH_SCHEMA,
+    load_bench_json,
+    validate_bench_payload,
+    write_bench_json,
+)
 from .csvio import read_series_csv, write_series_csv
 from .jsonio import dump_json, load_json, to_jsonable
 from .markdown import result_to_markdown, results_to_report
@@ -32,4 +38,8 @@ __all__ = [
     "Checkpointer",
     "default_store_root",
     "resolve_store",
+    "BENCH_SCHEMA",
+    "validate_bench_payload",
+    "write_bench_json",
+    "load_bench_json",
 ]

@@ -1,0 +1,112 @@
+"""Machine-readable benchmark records (``BENCH_ensemble.json``).
+
+The quick-mode benchmark run in ``scripts/ci.sh`` emits one JSON document
+at the repository root so PR-over-PR perf regressions become diffable:
+every floor test contributes timing *rows* (config, R, engine, wavefront
+mode, seconds) and *speedup* entries (the measured ratio next to its
+pinned floor).  The schema is versioned and validated both by the unit
+tests (``tests/io/test_benchjson.py``) and by ``scripts/ci.sh`` right
+after the file is produced.
+
+The document intentionally keeps raw seconds: absolute numbers drift with
+the machine, but the committed ratios and the row structure make "which
+kernel regressed" a one-line diff instead of an archaeology session.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .atomicio import atomic_write
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "validate_bench_payload",
+    "write_bench_json",
+    "load_bench_json",
+]
+
+#: Schema identifier; bump when the document layout changes.
+BENCH_SCHEMA = "repro.bench_ensemble/1"
+
+_ROW_KEYS = {"config": str, "R": int, "engine": str, "wavefront": str,
+             "seconds": float}
+_SPEEDUP_KEYS = {"config": str, "R": int, "kind": str, "ratio": float,
+                 "floor": float}
+
+
+def _check_fields(entry: dict, spec: dict, where: str) -> None:
+    if not isinstance(entry, dict):
+        raise ValueError(f"{where}: expected an object, got {type(entry).__name__}")
+    missing = set(spec) - set(entry)
+    if missing:
+        raise ValueError(f"{where}: missing fields {sorted(missing)}")
+    extra = set(entry) - set(spec)
+    if extra:
+        raise ValueError(f"{where}: unknown fields {sorted(extra)}")
+    for key, typ in spec.items():
+        value = entry[key]
+        if typ is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{where}.{key}: expected a number, got {value!r}")
+        elif not isinstance(value, typ):
+            raise ValueError(
+                f"{where}.{key}: expected {typ.__name__}, got {value!r}"
+            )
+
+
+def validate_bench_payload(payload: Any) -> dict:
+    """Validate a benchmark document against :data:`BENCH_SCHEMA`.
+
+    Returns the payload unchanged; raises ``ValueError`` with the offending
+    path on any structural problem.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be an object, got {type(payload).__name__}")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: expected {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("quick"), bool):
+        raise ValueError("quick: expected a boolean")
+    rows = payload.get("rows")
+    speedups = payload.get("speedups")
+    if not isinstance(rows, list) or not isinstance(speedups, list):
+        raise ValueError("rows and speedups must be lists")
+    for i, row in enumerate(rows):
+        _check_fields(row, _ROW_KEYS, f"rows[{i}]")
+        if row["wavefront"] not in ("auto", "on", "off", "n/a"):
+            raise ValueError(f"rows[{i}].wavefront: {row['wavefront']!r}")
+        if row["seconds"] <= 0:
+            raise ValueError(f"rows[{i}].seconds: must be positive")
+    for i, s in enumerate(speedups):
+        _check_fields(s, _SPEEDUP_KEYS, f"speedups[{i}]")
+        if s["ratio"] <= 0 or s["floor"] <= 0:
+            raise ValueError(f"speedups[{i}]: ratio and floor must be positive")
+    unknown = set(payload) - {"schema", "quick", "rows", "speedups"}
+    if unknown:
+        raise ValueError(f"unknown top-level fields {sorted(unknown)}")
+    return payload
+
+
+def write_bench_json(path, *, quick: bool, rows, speedups) -> dict:
+    """Validate and atomically write a benchmark document; returns it."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "quick": bool(quick),
+        "rows": list(rows),
+        "speedups": list(speedups),
+    }
+    validate_bench_payload(payload)
+    with atomic_write(path) as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_bench_json(path) -> dict:
+    """Load and validate a benchmark document."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return validate_bench_payload(payload)

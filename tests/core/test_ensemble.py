@@ -37,6 +37,7 @@ from repro.core.equivalence import (
     check_driver_parity,
     check_kernel_equivalence,
     check_experiment_equivalence,
+    check_experiment_wavefront_identity,
     check_ring_parity,
     check_weighted_parity,
 )
@@ -135,6 +136,15 @@ class TestResultSurface:
         assert res.average_load == pytest.approx(2.0)
         np.testing.assert_allclose(res.gaps, res.max_loads - 2.0)
 
+    def test_load_properties_are_cached(self):
+        """Repeated property access returns the same array object instead of
+        materialising a fresh (R, n) float matrix every time."""
+        bins = BinArray([2, 2, 4])
+        res = simulate_ensemble(bins, repetitions=3, m=16, seed=1)
+        assert res.loads is res.loads
+        assert res.max_loads is res.max_loads
+        np.testing.assert_allclose(res.max_loads, res.loads.max(axis=1))
+
     def test_snapshot_gaps(self):
         bins = BinArray([1, 1])
         res = simulate_ensemble(bins, repetitions=2, m=2, seed=5, snapshot_at=[1, 2])
@@ -182,6 +192,48 @@ class TestExperimentEngineMatrix:
     def test_missing_case_raises_with_guidance(self):
         with pytest.raises(KeyError, match="no cross-engine case"):
             check_experiment_equivalence("fig99")
+
+
+class TestWavefrontExperimentIdentity:
+    """Wavefront forced on vs forced off over the full experiment registry.
+
+    The wavefront kernels consume the identical pre-drawn randomness as
+    the per-ball loops, so — unlike the tolerance-bounded cross-engine
+    matrix above — every series must agree *bit for bit* on both engines,
+    for every registered experiment.  A future experiment whose runner
+    somehow leaks the dispatch decision into its numbers fails here.
+    """
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENT_CASES))
+    def test_forced_on_equals_forced_off(self, experiment_id):
+        assert check_experiment_wavefront_identity(experiment_id) == 2
+
+
+class TestKernelSubBatching:
+    """Bit-identity of ``simulate_ensemble`` across ``_KERNEL_TARGET``-driven
+    ``kernel_block`` values that do not divide the chunk, including
+    ``track_heights`` slice alignment at the sub-batch boundaries."""
+
+    @pytest.mark.parametrize("target", [1, 3, 7, 50])
+    def test_kernel_block_boundaries(self, target, monkeypatch):
+        import repro.core.ensemble as ens
+        import repro.core.wavefront as wf
+
+        bins = BinArray([1, 2, 3, 4, 2, 1, 5])
+        kwargs = dict(repetitions=3, m=83, d=2, seed=99, seed_mode="blocked",
+                      track_heights=True, snapshot_at=[0, 40, 83])
+        # Force the per-ball path so the sub-batch loop actually runs, and
+        # compare degenerate kernel_block values against the default.
+        monkeypatch.setattr(wf, "_mode_override", "off")
+        reference = simulate_ensemble(bins, **kwargs)
+        monkeypatch.setattr(ens, "_KERNEL_TARGET", target)
+        split = simulate_ensemble(bins, **kwargs)
+        np.testing.assert_array_equal(split.counts, reference.counts)
+        np.testing.assert_array_equal(split.heights, reference.heights)
+        assert len(split.snapshots) == len(reference.snapshots)
+        for a, b in zip(split.snapshots, reference.snapshots):
+            assert a.balls_thrown == b.balls_thrown
+            np.testing.assert_array_equal(a.max_loads, b.max_loads)
 
 
 class TestValidation:

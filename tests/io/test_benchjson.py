@@ -1,0 +1,90 @@
+"""Schema tests for the machine-readable benchmark records."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.io.benchjson import (
+    BENCH_SCHEMA,
+    load_bench_json,
+    validate_bench_payload,
+    write_bench_json,
+)
+
+ROW = {"config": "fig01_large", "R": 64, "engine": "ensemble",
+       "wavefront": "on", "seconds": 0.0123}
+SPEEDUP = {"config": "fig01_large", "R": 64, "kind": "wavefront_over_per_ball",
+           "ratio": 1.9, "floor": 1.4}
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        path = tmp_path / "BENCH_ensemble.json"
+        payload = write_bench_json(path, quick=True, rows=[ROW], speedups=[SPEEDUP])
+        assert payload["schema"] == BENCH_SCHEMA
+        loaded = load_bench_json(path)
+        assert loaded == payload
+        # the document is plain JSON, newline-terminated
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["rows"] == [ROW]
+
+    def test_empty_lists_are_valid(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_bench_json(path, quick=False, rows=[], speedups=[])
+        assert load_bench_json(path)["rows"] == []
+
+
+class TestValidation:
+    def test_schema_mismatch(self):
+        with pytest.raises(ValueError, match="schema mismatch"):
+            validate_bench_payload({"schema": "nope", "quick": True,
+                                    "rows": [], "speedups": []})
+
+    def test_missing_row_field(self):
+        bad = dict(ROW)
+        del bad["seconds"]
+        with pytest.raises(ValueError, match=r"rows\[0\]: missing"):
+            validate_bench_payload({"schema": BENCH_SCHEMA, "quick": True,
+                                    "rows": [bad], "speedups": []})
+
+    def test_unknown_row_field(self):
+        bad = dict(ROW, extra=1)
+        with pytest.raises(ValueError, match=r"rows\[0\]: unknown"):
+            validate_bench_payload({"schema": BENCH_SCHEMA, "quick": True,
+                                    "rows": [bad], "speedups": []})
+
+    def test_bad_types_and_values(self):
+        for mutation, pattern in [
+            (dict(ROW, R="64"), r"rows\[0\]\.R"),
+            (dict(ROW, seconds=-1.0), r"rows\[0\]\.seconds"),
+            (dict(ROW, wavefront="sometimes"), r"rows\[0\]\.wavefront"),
+        ]:
+            with pytest.raises(ValueError, match=pattern):
+                validate_bench_payload({"schema": BENCH_SCHEMA, "quick": True,
+                                        "rows": [mutation], "speedups": []})
+        with pytest.raises(ValueError, match=r"speedups\[0\]"):
+            validate_bench_payload({"schema": BENCH_SCHEMA, "quick": True,
+                                    "rows": [], "speedups": [dict(SPEEDUP, floor=0)]})
+
+    def test_quick_must_be_bool(self):
+        with pytest.raises(ValueError, match="quick"):
+            validate_bench_payload({"schema": BENCH_SCHEMA, "quick": "yes",
+                                    "rows": [], "speedups": []})
+
+
+class TestRepoArtifact:
+    """Validate the committed ``BENCH_ensemble.json`` when present.
+
+    ``make check`` regenerates the file via the quick-mode benchmark run;
+    this test keeps whatever is checked in (or left by a previous bench
+    run) structurally honest."""
+
+    def test_repo_root_file_is_valid(self):
+        path = Path(__file__).resolve().parents[2] / "BENCH_ensemble.json"
+        if not path.exists():
+            pytest.skip("no BENCH_ensemble.json at the repo root (run make check)")
+        payload = load_bench_json(path)
+        kinds = {s["kind"] for s in payload["speedups"]}
+        assert {"wavefront_over_per_ball", "wavefront_over_fast"} <= kinds
