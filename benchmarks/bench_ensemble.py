@@ -1,4 +1,4 @@
-"""Scalar loop vs lockstep ensemble vs wavefront kernels.
+"""Scalar loop vs lockstep ensemble vs wavefront vs compiled kernels.
 
 Not a paper figure — this tracks the engine-level speedups:
 
@@ -11,7 +11,11 @@ Not a paper figure — this tracks the engine-level speedups:
   m = n — the paper's Figure 1 scale) for the conflict-free wavefront
   kernels (:mod:`repro.core.wavefront`): kernel-level floors over the
   per-ball ensemble kernel at R = 16/64 and over the scalar
-  ``fast.run_batch`` loop, plus a driver-level sanity ratio.
+  ``fast.run_batch`` loop, plus a driver-level sanity ratio;
+* the same configuration for the **compiled backend**
+  (:mod:`repro.core.compiled`): floors over the wavefront kernel at
+  R = 16/64, measured only where numba is installed (the interpreter
+  fallback is correctness-equivalent but has no floor to pin).
 
 Wavefront floors are pinned well below the measured ratios because the CI
 hardware's throughput fluctuates; the measured values (see ROADMAP
@@ -30,6 +34,7 @@ import numpy as np
 import pytest
 from conftest import BENCH_SEED, ENSEMBLE_BENCH_RS, record_bench
 
+from repro.core.compiled import HAVE_NUMBA, run_batch_compiled, warmup
 from repro.core.ensemble import run_batch_ensemble
 from repro.core.fast import run_batch
 from repro.core.wavefront import WavefrontWorkspace, run_batch_wavefront
@@ -226,3 +231,81 @@ def test_wavefront_results_match_per_ball():
     wf = np.zeros((8, n), dtype=np.int64)
     run_batch_wavefront(wf, caps, choices, tie_u)
     np.testing.assert_array_equal(base, wf)
+
+
+# --------------------------------------------------------------------------
+# Compiled backend floors (same fig01-scaled configuration)
+# --------------------------------------------------------------------------
+
+def _assert_compiled_floor(R, floor, rounds=5):
+    """Compiled kernel vs the NumPy wavefront kernel on the fig01-scaled
+    batch.  ``warmup()`` keeps jit compilation (disk-cached, but the
+    first-shape load still costs) out of the timed section."""
+    caps, choices, tie_u = _wavefront_inputs(R)
+    n = WAVEFRONT_N
+    ws = WavefrontWorkspace()
+    warmup()
+    run_batch_wavefront(  # warm both competitors at the benched shape
+        np.zeros((R, n), dtype=np.int64), caps, choices, tie_u, workspace=ws
+    )
+    run_batch_compiled(
+        np.zeros((R, n), dtype=np.int64), caps, choices, tie_u
+    )
+    wavefront = _best(
+        lambda: run_batch_wavefront(
+            np.zeros((R, n), dtype=np.int64), caps, choices, tie_u, workspace=ws
+        ),
+        rounds,
+    )
+    compiled = _best(
+        lambda: run_batch_compiled(
+            np.zeros((R, n), dtype=np.int64), caps, choices, tie_u
+        ),
+        rounds,
+    )
+    speedup = wavefront / compiled
+    print(f"\ncompiled fig01-scaled n={n} R={R}: wavefront {wavefront * 1e3:.2f} ms, "
+          f"compiled {compiled * 1e3:.2f} ms, speedup {speedup:.2f}x")
+    record_bench("fig01_large", R, "compiled", "n/a", compiled)
+    record_bench("fig01_large", R, "compiled_over_wavefront", "n/a", None,
+                 ratio=speedup, floor=floor)
+    assert speedup >= floor, (
+        f"compiled kernel regressed: {speedup:.2f}x < {floor}x at R={R} on "
+        f"the fig01-scaled configuration (wavefront {wavefront * 1e3:.2f} ms "
+        f"vs compiled {compiled * 1e3:.2f} ms)"
+    )
+
+
+_NO_NUMBA_REASON = (
+    "numba not installed: the compiled tier runs its interpreter fallback, "
+    "which has no floor to pin (correctness is covered in tests/core)"
+)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason=_NO_NUMBA_REASON)
+def test_compiled_floor_r16():
+    """Compiled floor at R = 16 (the adaptive-run lockstep width): >= 3x
+    over the NumPy wavefront kernel (target 5-10x; the floor leaves CI
+    headroom and trips only on a real regression)."""
+    _assert_compiled_floor(16, 3.0)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason=_NO_NUMBA_REASON)
+def test_compiled_floor_r64():
+    """Compiled floor at R = 64: >= 3x over the NumPy wavefront kernel —
+    the compiled loop is not memory-bound the way the per-ball kernel is,
+    so the win persists at width."""
+    _assert_compiled_floor(64, 3.0)
+
+
+def test_compiled_results_match_per_ball():
+    """Correctness companion for the compiled floors, run with or without
+    numba (the fallback executes the same kernel source): the benched
+    configuration must stay bit-identical to the per-ball kernel."""
+    caps, choices, tie_u = _wavefront_inputs(8, seed=BENCH_SEED + 1)
+    n = WAVEFRONT_N
+    base = np.zeros((8, n), dtype=np.int64)
+    run_batch_ensemble(base, caps, choices, tie_u)
+    comp = np.zeros((8, n), dtype=np.int64)
+    run_batch_compiled(comp, caps, choices, tie_u)
+    np.testing.assert_array_equal(base, comp)

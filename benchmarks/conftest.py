@@ -19,6 +19,8 @@ except ModuleNotFoundError:  # pragma: no cover
 import numpy as np
 import pytest
 
+from repro.core.compiled import HAVE_NUMBA
+
 #: Global multiplier on the per-bench repetition counts (env override).
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
@@ -55,12 +57,16 @@ def record_bench(config, R, engine, wavefront, seconds, *, ratio=None, floor=Non
 
 #: Ratio kinds every complete floor run produces; a session missing any of
 #: them (single-test selection, a failed floor) must not overwrite the
-#: committed perf-trajectory document with a partial one.
+#: committed perf-trajectory document with a partial one.  The compiled
+#: kind is expected only where numba is installed — its floor tests skip
+#: cleanly otherwise, and a skip must not block the write.
 _EXPECTED_SPEEDUP_KINDS = {
     "ensemble_over_scalar",
     "wavefront_over_per_ball",
     "wavefront_over_fast",
 }
+if HAVE_NUMBA:  # pragma: no cover - only where numba is installed
+    _EXPECTED_SPEEDUP_KINDS.add("compiled_over_wavefront")
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -87,6 +87,20 @@ def main() -> None:
           f"{adaptive['replication_budget']} budgeted replications "
           f"(early stop: {adaptive['early_stopped']})")
 
+    # Kernel backends: dispatch order is compiled > wavefront > per-ball,
+    # and no choice ever changes a number (the tiers are bit-identical).
+    # REPRO_BACKEND=auto (default) uses the numba-jitted compiled tier
+    # exactly when numba is installed (`pip install -e ".[compiled]"`);
+    # REPRO_BACKEND=numpy/compiled — or forced_backend(...) — pins a tier.
+    from repro.core import HAVE_NUMBA, forced_backend
+
+    with forced_backend("numpy"):
+        ref = simulate(bins, seed=2026)
+    with forced_backend("compiled"):  # jitted with numba, else interpreter
+        comp = simulate(bins, seed=2026)
+    assert (ref.counts == comp.counts).all(), "backends must be bit-identical"
+    print(f"\nbackends agree bit-for-bit (numba available: {HAVE_NUMBA})")
+
 
 if __name__ == "__main__":
     main()

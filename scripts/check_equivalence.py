@@ -7,12 +7,19 @@ Runs, from :mod:`repro.core.equivalence`:
 * the randomised wavefront kernel sweep (conflict-free wave commits vs
   the per-ball ensemble kernel, bit-exact incl. heights) and the
   wavefront driver on/off identity sweep;
+* the randomised compiled-backend kernel sweep (jitted — or, without
+  numba, interpreter-fallback — loops vs the per-ball ensemble kernel)
+  and the backend compiled/numpy driver identity sweep;
 * the spawn-mode driver parity sweeps (plain, stale-view batched, weighted
   balls, ring allocation — each lockstep driver vs its scalar counterpart);
 * the per-experiment cross-engine matrix (every registered experiment on
   both engines, optionally at a ``--rep-factor`` multiple of the pinned
   repetition counts), each entry also run with the wavefront forced on
-  and off under a bit-identity requirement.
+  and off, and with the backend forced to compiled and to numpy, under a
+  bit-identity requirement.
+
+``--backend MODE`` pins ``REPRO_BACKEND`` for the whole run, so CI can
+repeat the sweep once per available backend (see ``scripts/ci.sh``).
 
 Exit code 0 means every replication of every draw was bit-identical across
 engines and every experiment's figures agreed within its pinned tolerance.
@@ -37,11 +44,15 @@ try:
 except ModuleNotFoundError:
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.core.compiled import BACKEND_MODES, HAVE_NUMBA, set_backend
 from repro.core.equivalence import (
     EXPERIMENT_CASES,
     SweepBudget,
+    check_backend_driver_identity,
     check_batched_parity,
+    check_compiled_kernel_equivalence,
     check_driver_parity,
+    check_experiment_backend_identity,
     check_experiment_equivalence,
     check_experiment_wavefront_identity,
     check_kernel_equivalence,
@@ -68,10 +79,19 @@ def main(argv=None) -> int:
                              "of the cross-engine matrix (default 1)")
     parser.add_argument("--skip-experiments", action="store_true",
                         help="skip the per-experiment cross-engine matrix")
+    parser.add_argument("--backend", choices=BACKEND_MODES, default=None,
+                        help="pin REPRO_BACKEND for the whole run (default: "
+                             "leave the ambient dispatch in force)")
     args = parser.parse_args(argv)
 
     budget = SweepBudget(draws=args.draws, max_m=args.max_m, max_r=args.max_r)
     started = time.perf_counter()
+    if args.backend:
+        # The script owns its process, so a plain process-wide override is
+        # enough — identity checks still force both sides as they need to.
+        set_backend(args.backend)
+        jit = "numba" if HAVE_NUMBA else "interpreter fallback"
+        print(f"backend pinned:     {args.backend} ({jit})")
     try:
         kernel = check_kernel_equivalence(args.seed, budget)
         print(f"kernel equivalence: {kernel} draws OK "
@@ -79,11 +99,19 @@ def main(argv=None) -> int:
         wavefront = check_wavefront_kernel_equivalence(args.seed ^ 0xAFE1, budget)
         print(f"wavefront kernel:   {wavefront} draws OK "
               f"(run_batch_wavefront == run_batch_ensemble, counts + heights)")
+        compiled = check_compiled_kernel_equivalence(args.seed ^ 0xC0DE, budget)
+        print(f"compiled kernel:    {compiled} draws OK "
+              f"(run_batch_compiled == run_batch_ensemble, counts + heights)")
         wf_driver = check_wavefront_driver_identity(
             args.seed ^ 0x0FF0, trials=args.driver_trials
         )
         print(f"wavefront drivers:  {wf_driver} trials OK "
               f"(forced on == forced off, both engines, snapshots + heights)")
+        be_driver = check_backend_driver_identity(
+            args.seed ^ 0xBACC, trials=args.driver_trials
+        )
+        print(f"backend drivers:    {be_driver} trials OK "
+              f"(compiled == numpy, both engines, snapshots + heights)")
         driver = check_driver_parity(args.seed ^ 0xD41E, trials=args.driver_trials)
         print(f"driver parity:      {driver} trials OK "
               f"(simulate_ensemble row r == simulate(seed=child_r))")
@@ -103,9 +131,11 @@ def main(argv=None) -> int:
                 )
                 tol = EXPERIMENT_CASES[experiment_id].tol
                 engines = check_experiment_wavefront_identity(experiment_id)
+                backends = check_experiment_backend_identity(experiment_id)
                 print(f"experiment matrix:  {experiment_id:16s} OK "
                       f"(worst series deviation {worst:.4f} <= tol {tol}; "
-                      f"wavefront on==off on {engines} engines)")
+                      f"wavefront on==off on {engines} engines; "
+                      f"compiled==numpy on {backends} engines)")
     except AssertionError as exc:
         print(f"EQUIVALENCE FAILURE: {exc}", file=sys.stderr)
         return 1

@@ -13,15 +13,21 @@
 #      match the fixed-budget estimate, and round-trip the store;
 #   4. the result-store round-trip smoke (second fig01 run must be a
 #      bit-identical cache hit, >= 10x faster than the compute);
-#   5. a reduced-budget cross-engine equivalence sweep — kernel three-way
-#      bit-exactness, the wavefront kernel/driver bit-identity sweeps, the
-#      four driver parity sweeps, and the full per-experiment engine
-#      matrix with the wavefront forced on and off per experiment.
+#   5. a reduced-budget cross-engine equivalence sweep, run once per
+#      *available* backend (numpy always; compiled additionally when numba
+#      is importable — without numba the numpy pass already executes the
+#      compiled tier's interpreter fallback in its backend checks) —
+#      kernel three-way bit-exactness, the wavefront and compiled kernel /
+#      driver bit-identity sweeps, the four driver parity sweeps, and the
+#      full per-experiment engine matrix with the wavefront forced on/off
+#      and the backend forced compiled/numpy per experiment.
 #
 # The reduced budgets keep the whole pipeline at ~1 minute so the
 # equivalence sweep is exercised routinely instead of only by hand; run
 # scripts/check_equivalence.py directly (default or larger --draws /
-# --rep-factor) for the full-budget sweep.
+# --rep-factor) for the full-budget sweep.  Numba compilation is
+# disk-cached (njit(cache=True)), so where numba exists the compiled pass
+# pays the jit cost once per machine, not once per run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,7 +53,14 @@ REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_adaptive.py -q
 echo "== result-store round-trip smoke =="
 python scripts/store_smoke.py
 
-echo "== reduced-budget cross-engine equivalence sweep =="
-python scripts/check_equivalence.py --draws 60 --driver-trials 8
+BACKENDS="numpy"
+if python -c "import numba" 2>/dev/null; then
+    BACKENDS="numpy compiled"
+fi
+for backend in $BACKENDS; do
+    echo "== reduced-budget cross-engine equivalence sweep [backend=$backend] =="
+    python scripts/check_equivalence.py --draws 60 --driver-trials 8 \
+        --backend "$backend"
+done
 
 echo "ci.sh: all checks passed"

@@ -6,6 +6,15 @@ from .baselines import (
     one_choice,
     standard_greedy,
 )
+from .compiled import (
+    BACKEND_MODES,
+    HAVE_NUMBA,
+    forced_backend,
+    get_backend,
+    run_batch_compiled,
+    set_backend,
+    use_compiled,
+)
 from .dynamics import DynamicsResult, simulate_insert_delete
 from .ensemble import (
     EnsembleResult,
@@ -63,6 +72,13 @@ __all__ = [
     "WavefrontStats",
     "WavefrontWorkspace",
     "WAVEFRONT_MODES",
+    "run_batch_compiled",
+    "use_compiled",
+    "get_backend",
+    "set_backend",
+    "forced_backend",
+    "BACKEND_MODES",
+    "HAVE_NUMBA",
     "select_bin",
     "allocate_ball",
     "TIE_BREAKS",

@@ -1,0 +1,393 @@
+"""Compiled kernel backend: the third engine tier, below the NumPy kernels.
+
+PR 5 measured the ceiling of NumPy-call-granularity execution: at ``R = 64``
+the per-ball lockstep kernel is ~40% memory-bound and the Python dispatch
+loop costs ~0.2 µs per ball, so neither wider vectorisation nor deeper
+wavefront tiling buys much more (ROADMAP "Wavefront kernels").  The
+remaining headroom lives *below* NumPy: one compiled loop over the pre-drawn
+``(R, k, d)`` choice batch touches each count exactly once, with no
+per-ball Python frames and no temporary arrays at all.  This module
+provides that tier — Numba-jitted when :mod:`numba` is importable, the same
+functions as plain Python otherwise — for the per-ball reference kernel and
+the three lockstep specialisations the wavefront kernels cover:
+
+* **d=2 uniform** — equal capacities, the pure count comparison;
+* **d=2 general** — heterogeneous capacities, shared ``(n,)`` or
+  per-replication ``(R, n)`` matrices, exact integer cross-multiplication;
+* **general d** — the tournament/tie-set reduction of
+  :func:`repro.core.fast.run_batch`'s general loop.
+
+Why there is no compiled *wavefront*: the wavefront decomposition exists to
+amortise per-ball **call overhead** across conflict-free tiles.  A compiled
+loop has no per-ball call overhead, so the conflict-free tiling degenerates
+to the plain sequential commit order — which is exactly what the kernels
+below execute.  They therefore realise the same decision sequence as both
+the per-ball kernels and the wavefront kernels, and are held to the same
+bit-identity bar (:func:`repro.core.equivalence.check_compiled_kernel_equivalence`,
+:func:`repro.core.equivalence.check_experiment_backend_identity`).
+
+Graceful fallback
+-----------------
+When Numba is absent the module stays fully importable and the kernels run
+as ordinary Python functions — identical arithmetic, interpreter speed.
+``"auto"`` dispatch (see below) only selects the compiled tier when Numba
+is actually present, so a Numba-less installation never slows down; the
+tests still force ``"compiled"`` at tiny scale to pin the fallback kernels
+to the same bit-identity contract the jitted ones must meet.  Compilation
+is cached on disk (``numba.njit(cache=True)``), so the one-time jit cost is
+paid once per machine, not once per process — which is how ``make check``
+keeps compiled warmup out of its timed sections.
+
+Dispatch knob
+-------------
+``REPRO_BACKEND`` (environment) or :func:`set_backend` /
+:func:`forced_backend` select ``"auto"`` (default: compiled iff Numba is
+available), ``"numpy"`` (always the NumPy tier: wavefront/per-ball
+dispatch as before this tier existed) or ``"compiled"`` (always these
+kernels, jitted or not).  The drivers resolve the backend *before* the
+wavefront heuristic — dispatch order is compiled > wavefront > per-ball —
+and the equivalence suite runs every experiment under
+``forced_backend("compiled")`` and ``forced_backend("numpy")`` on both
+engines and asserts bit-identity, mirroring the ``REPRO_WAVEFRONT``
+pattern of :mod:`repro.core.wavefront`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from .fast import _MODES
+from .wavefront import validate_lockstep_batch
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    HAVE_NUMBA = True
+
+    def _jit(func):
+        """Disk-cached nopython jit; ``fastmath`` stays off — the contract
+        is bit-identity, and reassociation would break the exact integer
+        cross-multiplications' float height divisions."""
+        return _numba.njit(cache=True, fastmath=False)(func)
+
+except ImportError:  # pragma: no cover - the only path on numba-less CI
+    HAVE_NUMBA = False
+
+    def _jit(func):
+        """Numba absent: run the kernel bodies as plain Python (identical
+        arithmetic — the fallback the equivalence suite pins)."""
+        return func
+
+
+__all__ = [
+    "HAVE_NUMBA",
+    "BACKEND_MODES",
+    "BACKEND_ENV_VAR",
+    "get_backend",
+    "set_backend",
+    "forced_backend",
+    "use_compiled",
+    "warmup",
+    "run_batch_compiled",
+]
+
+#: Recognised backend modes.
+BACKEND_MODES = ("auto", "numpy", "compiled")
+
+#: Environment knob, mirroring ``REPRO_WAVEFRONT``.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_backend_override: str | None = None
+
+
+def get_backend() -> str:
+    """Current backend mode: the :func:`set_backend` override if set, else
+    ``$REPRO_BACKEND``, else ``"auto"``."""
+    if _backend_override is not None:
+        return _backend_override
+    mode = os.environ.get(BACKEND_ENV_VAR, "auto")
+    return mode if mode in BACKEND_MODES else "auto"
+
+
+def set_backend(mode: str | None) -> None:
+    """Set (or with ``None`` clear) the process-wide backend override."""
+    global _backend_override
+    if mode is not None and mode not in BACKEND_MODES:
+        raise ValueError(
+            f"unknown backend {mode!r}; expected one of {BACKEND_MODES}"
+        )
+    _backend_override = mode
+
+
+@contextmanager
+def forced_backend(mode: str):
+    """Pin the backend for a block (used by the equivalence suite to run
+    identical workloads on the compiled and the NumPy tier)."""
+    previous = _backend_override
+    set_backend(mode)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def use_compiled(mode: str | None = None) -> bool:
+    """Backend dispatch predicate for the engine drivers.
+
+    ``"compiled"`` forces these kernels (jitted when Numba is present,
+    plain Python otherwise — correctness never depends on the jit);
+    ``"numpy"`` forces the NumPy tier; ``"auto"`` selects the compiled
+    tier exactly when Numba is importable.  No size heuristic is needed:
+    with compilation disk-cached, the compiled loop wins from the first
+    chunk at every scale the engines run.
+    """
+    mode = get_backend() if mode is None else mode
+    if mode == "compiled":
+        return True
+    if mode == "numpy":
+        return False
+    return HAVE_NUMBA
+
+
+# --------------------------------------------------------------------------
+# Kernels.  Plain loops in numba-compatible form; ``_jit`` is the identity
+# without numba.  All arithmetic mirrors repro.core.fast exactly: int64
+# loads, exact cross-multiplication, tie coin ``tie_u < 0.5``, heights as
+# the int64/int64 -> float64 division of the post-commit count — the same
+# IEEE operations the NumPy kernels perform, hence bit-identical.
+# --------------------------------------------------------------------------
+
+
+def _kernel_d2_uniform(counts, cha, chb, tie_u, heights, record, capacity):
+    """d=2, equal capacities: the pure count comparison (fig01–05 shape).
+
+    Every tie-break mode degenerates to the fair coin when the candidate
+    capacities are equal, so the mode does not enter.
+    """
+    R, k = cha.shape
+    for r in range(R):
+        row = counts[r]
+        for j in range(k):
+            a = cha[r, j]
+            b = chb[r, j]
+            na = row[a]
+            nb = row[b]
+            if nb < na:
+                chosen = b
+            elif na < nb:
+                chosen = a
+            else:
+                chosen = a if tie_u[r, j] < 0.5 else b
+            row[chosen] += 1
+            if record:
+                heights[r, j] = row[chosen] / capacity
+    return counts
+
+
+def _kernel_d2_general(counts, caps2, cha, chb, tie_u, mode, heights, record):
+    """d=2, heterogeneous capacities (shared ``(1, n)`` or per-replication
+    ``(R, n)`` rows), mirroring ``fast._run_batch_d2`` branch for branch."""
+    R, k = cha.shape
+    crows = caps2.shape[0]
+    for r in range(R):
+        row = counts[r]
+        crow = caps2[r % crows]
+        for j in range(k):
+            a = cha[r, j]
+            b = chb[r, j]
+            if a == b:
+                chosen = a
+            else:
+                ca = crow[a]
+                cb = crow[b]
+                la = (row[a] + 1) * cb
+                lb = (row[b] + 1) * ca
+                if la < lb:
+                    chosen = a
+                elif lb < la:
+                    chosen = b
+                elif mode == 0:  # prefer larger capacity
+                    if ca > cb:
+                        chosen = a
+                    elif cb > ca:
+                        chosen = b
+                    else:
+                        chosen = a if tie_u[r, j] < 0.5 else b
+                elif mode == 2:  # prefer smaller capacity (ablation)
+                    if ca < cb:
+                        chosen = a
+                    elif cb < ca:
+                        chosen = b
+                    else:
+                        chosen = a if tie_u[r, j] < 0.5 else b
+                else:  # uniform among the tied pair
+                    chosen = a if tie_u[r, j] < 0.5 else b
+            row[chosen] += 1
+            if record:
+                heights[r, j] = row[chosen] / crow[chosen]
+    return counts
+
+
+def _kernel_general(counts, caps2, choices, tie_u, mode, heights, record):
+    """General ``d`` (and ``d = 1``): the tournament + first-occurrence tie
+    set of ``fast._run_batch_general``, on a fixed-size scratch array."""
+    R = counts.shape[0]
+    k = choices.shape[1]
+    d = choices.shape[2]
+    crows = caps2.shape[0]
+    best = np.empty(d, np.int64)
+    for r in range(R):
+        row = counts[r]
+        crow = caps2[r % crows]
+        for j in range(k):
+            first = choices[r, j, 0]
+            best[0] = first
+            nb = 1
+            best_num = row[first] + 1
+            best_den = crow[first]
+            for i in range(1, d):
+                c = choices[r, j, i]
+                num = row[c] + 1
+                den = crow[c]
+                lhs = num * best_den
+                rhs = best_num * den
+                if lhs < rhs:
+                    best[0] = c
+                    nb = 1
+                    best_num = num
+                    best_den = den
+                elif lhs == rhs:
+                    dup = False
+                    for t in range(nb):
+                        if best[t] == c:
+                            dup = True
+                            break
+                    if not dup:
+                        best[nb] = c
+                        nb += 1
+            if nb > 1:
+                if mode == 0:
+                    cbest = crow[best[0]]
+                    for t in range(1, nb):
+                        if crow[best[t]] > cbest:
+                            cbest = crow[best[t]]
+                    w = 0
+                    for t in range(nb):
+                        if crow[best[t]] == cbest:
+                            best[w] = best[t]
+                            w += 1
+                    nb = w
+                elif mode == 2:
+                    cbest = crow[best[0]]
+                    for t in range(1, nb):
+                        if crow[best[t]] < cbest:
+                            cbest = crow[best[t]]
+                    w = 0
+                    for t in range(nb):
+                        if crow[best[t]] == cbest:
+                            best[w] = best[t]
+                            w += 1
+                    nb = w
+            if nb == 1:
+                chosen = best[0]
+            else:
+                chosen = best[int(tie_u[r, j] * nb)]
+            row[chosen] += 1
+            if record:
+                heights[r, j] = row[chosen] / crow[chosen]
+    return counts
+
+
+_kernel_d2_uniform = _jit(_kernel_d2_uniform)
+_kernel_d2_general = _jit(_kernel_d2_general)
+_kernel_general = _jit(_kernel_general)
+
+#: Height placeholder handed to the kernels when no recording was asked
+#: for; keeps every call signature identical so numba compiles each kernel
+#: once per dtype layout instead of once per record flag.
+_NO_HEIGHTS = np.empty((0, 0), dtype=np.float64)
+
+
+def warmup(d_values=(1, 2, 3)) -> bool:
+    """Force-compile (or cache-load) every kernel at toy scale.
+
+    Benchmarks and CI call this outside their timed sections so the jit
+    cost (first machine: ~seconds; cached: ~milliseconds) never pollutes a
+    floor measurement.  Returns :data:`HAVE_NUMBA` — without numba this is
+    a cheap no-op pass through the Python fallbacks.
+    """
+    for d in d_values:
+        for caps in (np.ones(4, dtype=np.int64), np.arange(1, 5, dtype=np.int64)):
+            counts = np.zeros((2, 4), dtype=np.int64)
+            choices = np.tile(np.arange(d, dtype=np.int64) % 4, (2, 3, 1))
+            tie_u = np.full((2, 3), 0.25)
+            heights = np.empty((2, 3), dtype=np.float64)
+            run_batch_compiled(counts, caps, choices, tie_u, heights=heights)
+            run_batch_compiled(counts, caps, choices, tie_u)
+    return HAVE_NUMBA
+
+
+def run_batch_compiled(
+    counts: np.ndarray,
+    capacities,
+    choices: np.ndarray,
+    tie_uniforms: np.ndarray,
+    *,
+    tie_break: str = "max_capacity",
+    heights: np.ndarray | None = None,
+    workspace=None,
+) -> np.ndarray:
+    """Allocate one batch of balls with the compiled tier.
+
+    Drop-in replacement for
+    :func:`repro.core.ensemble.run_batch_ensemble` /
+    :func:`repro.core.wavefront.run_batch_wavefront` — same parameters,
+    same validation (shared via
+    :func:`repro.core.wavefront.validate_lockstep_batch`), ``counts`` is
+    the ``(R, n)`` int64 state mutated in place — dispatching to one of
+    the three compiled specialisations (d=2 uniform, d=2 general incl.
+    ``(R, n)`` capacity matrices, general d).  Bit-identical to the NumPy
+    kernels for every replication, heights included; *workspace* is
+    accepted for driver-call symmetry and ignored (the compiled loops
+    need no temporaries).
+    """
+    del workspace
+    mode, counts, caps, tie_uniforms = validate_lockstep_batch(
+        counts, capacities, choices, tie_uniforms, tie_break, heights
+    )
+    R, n = counts.shape
+    _, k, d = choices.shape
+    if k == 0:
+        return counts
+    if choices.dtype != np.int64:
+        choices = choices.astype(np.int64)
+    if tie_uniforms.dtype != np.float64:
+        tie_uniforms = tie_uniforms.astype(np.float64)
+    caps2 = caps if caps.ndim == 2 else caps[None, :]
+    record = heights is not None
+    h = heights if record else _NO_HEIGHTS
+    if d == 2:
+        cha = np.ascontiguousarray(choices[:, :, 0])
+        chb = np.ascontiguousarray(choices[:, :, 1])
+        if caps.ndim == 1 and bool((caps == caps[0]).all()):
+            _kernel_d2_uniform(
+                counts, cha, chb, tie_uniforms, h, record, int(caps[0])
+            )
+        else:
+            _kernel_d2_general(
+                counts, caps2, cha, chb, tie_uniforms, np.int64(mode), h, record
+            )
+        return counts
+    _kernel_general(
+        counts, caps2, choices, tie_uniforms, np.int64(mode), h, record
+    )
+    return counts
+
+
+# _MODES is imported for documentation symmetry with the sibling kernels
+# (validate_lockstep_batch resolves tie modes through it); keep the name
+# referenced so linters see the contract.
+assert set(_MODES) == {"max_capacity", "uniform", "min_capacity"}

@@ -35,15 +35,21 @@ The same engine/contract pair exists for the protocol variants:
 :func:`repro.core.weighted.simulate_weighted_ensemble` (weighted balls) and
 :func:`repro.p2p.workload.allocate_requests_ensemble` (ring allocation).
 
-Wavefront dispatch
-------------------
-When the expected conflict rate is low enough (many effective bins per
-lockstep lane), :func:`simulate_ensemble` hands whole chunks to the
-conflict-free wavefront kernels of :mod:`repro.core.wavefront` instead of
-the per-ball loops below — committing independent balls in vectorised
-waves, *bit-identically* (the kernels consume the same pre-drawn choices
-and tie uniforms, so dispatch can never change a number; the equivalence
-suite forces both paths and compares exactly).  The decision keys on
+Backend and wavefront dispatch
+------------------------------
+Three kernel tiers implement the identical decision sequence, and
+:func:`simulate_ensemble` picks among them in priority order **compiled >
+wavefront > per-ball**.  When the compiled backend is in force
+(``REPRO_BACKEND`` / :func:`repro.core.compiled.forced_backend`; ``auto``
+selects it exactly when Numba is available) whole chunks go to
+:func:`repro.core.compiled.run_batch_compiled`.  Otherwise, when the
+expected conflict rate is low enough (many effective bins per lockstep
+lane), chunks go to the conflict-free wavefront kernels of
+:mod:`repro.core.wavefront` instead of the per-ball loops below —
+committing independent balls in vectorised waves.  All tiers are
+*bit-identical* (every kernel consumes the same pre-drawn choices and tie
+uniforms, so dispatch can never change a number; the equivalence suite
+forces each path and compares exactly).  The wavefront decision keys on
 ``n_eff / (R * d * d)`` with a realised-free-fraction runtime fallback;
 ``REPRO_WAVEFRONT`` / :func:`repro.core.wavefront.forced` override it.
 
@@ -88,6 +94,7 @@ import numpy as np
 from ..bins.arrays import BinArray
 from ..sampling.distributions import probability_model
 from ..sampling.rngutils import make_rng, spawn_seed_sequences
+from .compiled import run_batch_compiled, use_compiled
 from .simulation import DEFAULT_CHUNK_SIZE, _normalise_snapshot_points
 from .wavefront import (
     RUNTIME_MIN_FREE_FRACTION,
@@ -527,18 +534,21 @@ def simulate_ensemble(
         take_snapshot(0)
         pending.pop(0)
 
-    # Wavefront dispatch: enter the conflict-free kernels when the expected
-    # first-wave fraction is high enough (auto mode keys on the collision-
-    # equivalent bin count of the selection distribution), and fall back to
-    # the per-ball kernels for the rest of the run if the realised fraction
-    # disappoints.  Either path consumes the identical pre-drawn randomness,
-    # so the dispatch decision can never change the results.
+    # Backend + wavefront dispatch, in priority order compiled > wavefront
+    # > per-ball: the compiled tier (REPRO_BACKEND) takes whole chunks when
+    # in force; otherwise the conflict-free wavefront kernels enter when
+    # the expected first-wave fraction is high enough (auto mode keys on
+    # the collision-equivalent bin count of the selection distribution),
+    # with a fall back to the per-ball kernels for the rest of the run if
+    # the realised fraction disappoints.  Every path consumes the identical
+    # pre-drawn randomness, so no dispatch decision can change the results.
     workspace = WavefrontWorkspace()
     wf_stats = WavefrontStats()
     wf_auto = get_mode() == "auto"
     p = getattr(sampler, "probabilities", None)
     n_eff = effective_bins(p) if p is not None else float(n)
-    use_wf = use_wavefront(n_eff, R, d)
+    use_comp = use_compiled()
+    use_wf = False if use_comp else use_wavefront(n_eff, R, d)
 
     kernel_block = max(1, _KERNEL_TARGET // max(R, 1))
     while thrown < m:
@@ -554,7 +564,16 @@ def simulate_ensemble(
             choices = sampler.sample((R, batch, d), block_rng)
             tie_u = block_rng.random((R, batch))
         chunk_heights = None if heights is None else heights[:, thrown : thrown + batch]
-        if use_wf:
+        if use_comp:
+            run_batch_compiled(
+                counts,
+                caps_arr,
+                choices,
+                tie_u,
+                tie_break=tie_break,
+                heights=chunk_heights,
+            )
+        elif use_wf:
             run_batch_wavefront(
                 counts,
                 caps_arr,

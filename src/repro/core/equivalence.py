@@ -1,13 +1,16 @@
 """Randomised cross-engine equivalence checking.
 
-Three implementations of the paper's protocol coexist —
+Several implementations of the paper's protocol coexist —
 :func:`repro.core.protocol.reference_run` (readable),
-:func:`repro.core.fast.run_batch` (optimised scalar) and
-:func:`repro.core.ensemble.run_batch_ensemble` (lockstep ensemble) — under
-one contract: given the same candidate matrix and the same position-aligned
-tie-uniform stream, all three produce the same counts, ball for ball.  The
-protocol variants (stale-view batches, weighted balls, ring allocation)
-carry the same contract between their scalar and lockstep drivers.
+:func:`repro.core.fast.run_batch` (optimised scalar),
+:func:`repro.core.ensemble.run_batch_ensemble` (lockstep ensemble),
+:func:`repro.core.wavefront.run_batch_wavefront` (vectorised conflict-free
+waves) and :func:`repro.core.compiled.run_batch_compiled` (Numba tier with
+interpreter fallback) — under one contract: given the same candidate matrix
+and the same position-aligned tie-uniform stream, all of them produce the
+same counts, ball for ball.  The protocol variants (stale-view batches,
+weighted balls, ring allocation) carry the same contract between their
+scalar and lockstep drivers.
 
 This module has two layers:
 
@@ -35,6 +38,7 @@ import numpy as np
 
 from ..bins.arrays import BinArray
 from ..sampling.rngutils import spawn_seed_sequences
+from .compiled import forced_backend, run_batch_compiled
 from .ensemble import run_batch_ensemble, simulate_ensemble
 from .fast import run_batch
 from .protocol import TIE_BREAKS, reference_run
@@ -47,7 +51,9 @@ __all__ = [
     "SweepBudget",
     "check_kernel_equivalence",
     "check_wavefront_kernel_equivalence",
+    "check_compiled_kernel_equivalence",
     "check_wavefront_driver_identity",
+    "check_backend_driver_identity",
     "check_driver_parity",
     "check_batched_parity",
     "check_weighted_parity",
@@ -56,6 +62,7 @@ __all__ = [
     "EXPERIMENT_CASES",
     "check_experiment_equivalence",
     "check_experiment_wavefront_identity",
+    "check_experiment_backend_identity",
 ]
 
 
@@ -179,6 +186,50 @@ def check_wavefront_kernel_equivalence(
     return budget.draws
 
 
+def check_compiled_kernel_equivalence(
+    master_seed: int, budget: SweepBudget = SweepBudget()
+) -> int:
+    """Randomised bit-exactness sweep of the compiled-backend kernels.
+
+    For each draw, :func:`~repro.core.compiled.run_batch_compiled` must
+    reproduce :func:`~repro.core.ensemble.run_batch_ensemble` exactly —
+    counts and heights, every replication — under a rotation of tie-break
+    modes and capacity profiles (shared and per-replication), so all three
+    compiled specialisations (``d = 2`` uniform, ``d = 2`` general,
+    general ``d``) are exercised.  Without Numba the sweep runs the same
+    kernel source through the interpreter, so the fallback path carries the
+    identical guarantee.  Returns the number of draws checked.
+    """
+    rng = np.random.default_rng(master_seed)
+    for trial in range(budget.draws):
+        n = int(rng.integers(2, budget.max_n + 1))
+        m = int(rng.integers(0, budget.max_m + 1))
+        d = int(rng.integers(1, budget.max_d + 1))
+        R = int(rng.integers(1, budget.max_r + 1))
+        if trial % 4 == 3:
+            caps = rng.integers(1, 9, size=(R, n)).astype(np.int64)
+        else:
+            caps = _random_capacities(rng, n)
+        tie_break = TIE_BREAKS[trial % len(TIE_BREAKS)]
+        choices = rng.integers(0, n, size=(R, m, d))
+        tie_u = rng.random((R, m))
+
+        base = np.zeros((R, n), dtype=np.int64)
+        base_h = np.empty((R, m), dtype=np.float64)
+        run_batch_ensemble(
+            base, caps, choices, tie_u, tie_break=tie_break, heights=base_h
+        )
+        comp = np.zeros((R, n), dtype=np.int64)
+        comp_h = np.empty((R, m), dtype=np.float64)
+        run_batch_compiled(
+            comp, caps, choices, tie_u, tie_break=tie_break, heights=comp_h
+        )
+        label = f"trial={trial} n={n} m={m} d={d} R={R} tie={tie_break}"
+        assert np.array_equal(base, comp), f"{label}: counts"
+        np.testing.assert_array_equal(comp_h, base_h, err_msg=f"{label}: heights")
+    return budget.draws
+
+
 def check_wavefront_driver_identity(master_seed: int, trials: int = 6) -> int:
     """Driver-level wavefront on/off bit-identity sweep.
 
@@ -240,6 +291,72 @@ def check_wavefront_driver_identity(master_seed: int, trials: int = 6) -> int:
         )
         assert [s.max_load for s in s_on.snapshots] == [
             s.max_load for s in s_off.snapshots
+        ], f"{label}: scalar snapshots"
+    return trials
+
+
+def check_backend_driver_identity(master_seed: int, trials: int = 6) -> int:
+    """Driver-level compiled/NumPy backend bit-identity sweep.
+
+    Each trial runs :func:`~repro.core.ensemble.simulate_ensemble` (both
+    seed modes) and :func:`~repro.core.simulation.simulate` under
+    ``forced_backend("compiled")`` and ``forced_backend("numpy")`` on the
+    same configuration — cycling all three tie-break modes — and asserts
+    identical counts, heights, and snapshots.  Like the wavefront check,
+    this is the guarantee the ``REPRO_BACKEND`` dispatch relies on: every
+    tier consumes identical pre-drawn randomness, so backend selection can
+    never leak into the numbers.
+    """
+    rng = np.random.default_rng(master_seed)
+    for trial in range(trials):
+        n = int(rng.integers(2, 16))
+        m = int(rng.integers(1, 250))
+        d = int(rng.integers(1, 4))
+        R = int(rng.integers(1, 5))
+        bins = BinArray(_random_capacities(rng, n))
+        tie_break = TIE_BREAKS[trial % len(TIE_BREAKS)]
+        seed_mode = ("spawn", "blocked")[trial % 2]
+        master = int(rng.integers(0, 2**31))
+        snap = sorted({0, m // 3, m})
+        label = f"trial={trial} n={n} m={m} d={d} R={R} tie={tie_break} {seed_mode}"
+
+        results = []
+        for backend in ("compiled", "numpy"):
+            with forced_backend(backend):
+                results.append(
+                    simulate_ensemble(
+                        bins, repetitions=R, m=m, d=d, seed=master,
+                        tie_break=tie_break, seed_mode=seed_mode,
+                        track_heights=True, snapshot_at=snap,
+                    )
+                )
+        comp, base = results
+        assert np.array_equal(comp.counts, base.counts), f"{label}: ensemble counts"
+        np.testing.assert_array_equal(
+            comp.heights, base.heights, err_msg=f"{label}: ensemble heights"
+        )
+        assert len(comp.snapshots) == len(base.snapshots), label
+        for a, b in zip(comp.snapshots, base.snapshots):
+            np.testing.assert_array_equal(
+                a.max_loads, b.max_loads, err_msg=f"{label}: snapshot"
+            )
+
+        scalars = []
+        for backend in ("compiled", "numpy"):
+            with forced_backend(backend):
+                scalars.append(
+                    simulate(
+                        bins, m=m, d=d, seed=master, tie_break=tie_break,
+                        track_heights=True, snapshot_at=snap,
+                    )
+                )
+        s_comp, s_base = scalars
+        assert np.array_equal(s_comp.counts, s_base.counts), f"{label}: scalar counts"
+        np.testing.assert_array_equal(
+            s_comp.heights, s_base.heights, err_msg=f"{label}: scalar heights"
+        )
+        assert [s.max_load for s in s_comp.snapshots] == [
+            s.max_load for s in s_base.snapshots
         ], f"{label}: scalar snapshots"
     return trials
 
@@ -564,6 +681,58 @@ def check_experiment_wavefront_identity(experiment_id: str) -> int:
         assert set(on.series) == set(off.series), f"{label}: series names"
         for name in on.series:
             a, b = on.series[name], off.series[name]
+            both_nan = np.isnan(a) & np.isnan(b)
+            assert np.array_equal(a[~both_nan], b[~both_nan]), (
+                f"{label}: series {name!r} is not bit-identical"
+            )
+        checked += 1
+    return checked
+
+
+def check_experiment_backend_identity(experiment_id: str) -> int:
+    """Run one experiment under the compiled backend and the NumPy backend,
+    on both engines, and require *bit-identical* figures.
+
+    Exact by the same argument as the wavefront check: the compiled kernels
+    consume the same pre-drawn randomness as every other tier, so the
+    ``REPRO_BACKEND`` choice must never change a series value.  Without
+    Numba the compiled tier runs its interpreter fallback, so the check
+    remains meaningful (same source, different executor).  Uses the pinned
+    :data:`EXPERIMENT_CASES` configuration — the trimmed
+    ``wavefront_kwargs`` scale when present, since the interpreter fallback
+    shares the wavefront's aversion to oversized forced workloads.
+    Returns the number of engines checked.
+    """
+    from ..experiments import run_experiment
+
+    try:
+        case = EXPERIMENT_CASES[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"experiment {experiment_id!r} has no cross-engine case: add it to "
+            f"EXPERIMENT_CASES (and an ensemble path to the experiment) — "
+            f"every registered experiment must support both engines"
+        ) from None
+    kwargs = case.wavefront_kwargs if case.wavefront_kwargs is not None else case.kwargs
+    checked = 0
+    for engine in ("scalar", "ensemble"):
+        results = []
+        for backend in ("compiled", "numpy"):
+            with forced_backend(backend):
+                results.append(
+                    run_experiment(
+                        experiment_id, seed=case.seed, engine=engine,
+                        **kwargs,
+                    )
+                )
+        comp, base = results
+        label = f"{experiment_id} [{engine}] backend compiled vs numpy"
+        np.testing.assert_array_equal(
+            comp.x_values, base.x_values, err_msg=f"{label}: x grid"
+        )
+        assert set(comp.series) == set(base.series), f"{label}: series names"
+        for name in comp.series:
+            a, b = comp.series[name], base.series[name]
             both_nan = np.isnan(a) & np.isnan(b)
             assert np.array_equal(a[~both_nan], b[~both_nan]), (
                 f"{label}: series {name!r} is not bit-identical"

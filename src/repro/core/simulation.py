@@ -20,6 +20,7 @@ import numpy as np
 from ..bins.arrays import BinArray
 from ..sampling.distributions import probability_model
 from ..sampling.rngutils import make_rng
+from .compiled import run_batch_compiled, use_compiled
 from .fast import run_batch
 from .wavefront import (
     RUNTIME_MIN_FREE_FRACTION,
@@ -217,18 +218,21 @@ def simulate(
     total_capacity = bins.total_capacity
     caps_arr = bins.capacities
 
-    # Wavefront dispatch for the scalar engine: a single run is the R = 1
-    # ensemble, so the conflict-free kernels replace the Python per-ball
-    # loop whenever the expected first-wave fraction is high enough.  Both
-    # paths consume the identical pre-drawn randomness, so the decision
-    # (and the mid-run fallback below) can never change the results.
+    # Backend + wavefront dispatch for the scalar engine: a single run is
+    # the R = 1 ensemble.  Dispatch order is compiled > wavefront >
+    # per-ball: the compiled tier (REPRO_BACKEND) takes whole chunks when
+    # in force, else the conflict-free wavefront kernels replace the Python
+    # per-ball loop whenever the expected first-wave fraction is high
+    # enough.  All paths consume the identical pre-drawn randomness, so no
+    # decision (nor the mid-run fallback below) can change the results.
     p = getattr(sampler, "probabilities", None)
     n_eff = effective_bins(p) if p is not None else float(bins.n)
     wf_auto = get_mode() == "auto"
-    use_wf = use_wavefront(n_eff, 1, d)
+    use_comp = use_compiled()
+    use_wf = False if use_comp else use_wavefront(n_eff, 1, d)
     wf_stats = WavefrontStats()
     workspace = WavefrontWorkspace()
-    if use_wf:
+    if use_comp or use_wf:
         counts_arr: np.ndarray | None = np.zeros((1, bins.n), dtype=np.int64)
         counts: list[int] | None = None
         heights_arr = np.empty((1, m), dtype=np.float64) if track_heights else None
@@ -261,7 +265,18 @@ def simulate(
         batch = min(chunk_size, upper - thrown)
         choices = sampler.sample((batch, d), rng)
         tie_u = rng.random(batch)
-        if counts_arr is not None:
+        if counts_arr is not None and use_comp:
+            run_batch_compiled(
+                counts_arr,
+                caps_arr,
+                choices[None, :, :],
+                tie_u[None, :],
+                tie_break=tie_break,
+                heights=None
+                if heights_arr is None
+                else heights_arr[:, thrown : thrown + batch],
+            )
+        elif counts_arr is not None:
             run_batch_wavefront(
                 counts_arr,
                 caps_arr,

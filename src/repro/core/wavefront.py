@@ -69,6 +69,13 @@ select ``"auto"`` (default: drivers dispatch on the heuristic plus a
 realised-free-fraction runtime guard), ``"on"`` (always) or ``"off"``
 (never).  The equivalence suite runs every experiment under
 ``forced("on")`` and ``forced("off")`` and asserts bit-identity.
+
+These kernels are the top of the *NumPy* tier only: when the compiled
+backend (:mod:`repro.core.compiled`, ``REPRO_BACKEND``) is in force the
+drivers bypass the wavefront dispatch entirely — a compiled loop has no
+per-ball call overhead to amortise, so the conflict-free tiling
+degenerates to the plain sequential commit order there.  Dispatch order
+is compiled > wavefront > per-ball, every tier bit-identical.
 """
 
 from __future__ import annotations

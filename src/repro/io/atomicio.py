@@ -3,18 +3,29 @@
 Every artifact the project persists — result CSV/JSON, store entries,
 resume checkpoints — goes through :func:`atomic_write`, so a reader (or a
 concurrent sweep worker) can never observe a torn file: the payload is
-written to a process-unique ``*.tmp-<pid>`` sibling and renamed into place
-only once the write completed.  ``os.replace`` is atomic on POSIX and
-Windows for same-directory renames.
+written to a call-unique ``*.tmp-<pid>-<seq>`` sibling, flushed and fsynced,
+and renamed into place only once the write completed.  ``os.replace`` is
+atomic on POSIX and Windows for same-directory renames.
+
+The temp suffix is unique per *call*, not just per process: two threads (or
+a re-entrant writer) targeting the same path each get their own sibling, so
+neither can truncate the other's half-written payload or unlink a file the
+other just published.  Last replace wins, both outcomes are whole files.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 from contextlib import contextmanager
 from pathlib import Path
 
 __all__ = ["atomic_write"]
+
+#: Per-process monotonic suffix: with the pid this makes every concurrently
+#: live temp name unique, across threads and across processes sharing the
+#: directory.  ``itertools.count`` increments under the GIL, so no lock.
+_tmp_counter = itertools.count()
 
 
 @contextmanager
@@ -22,16 +33,22 @@ def atomic_write(path, mode: str = "w", **open_kwargs):
     """Context manager yielding a file handle whose content appears at
     *path* atomically on successful exit.
 
-    The parent directory is created if missing.  On an exception inside the
-    block the temporary file is removed and *path* is left untouched (its
-    previous content, if any, survives).
+    The parent directory is created if missing.  The handle is flushed and
+    fsynced before the rename, so a crash straddling the replace can leave
+    the old content or the new — never an empty or truncated file.  On an
+    exception inside the block the temporary file is removed and *path* is
+    left untouched (its previous content, if any, survives).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp = path.with_name(
+        f"{path.name}.tmp-{os.getpid()}-{next(_tmp_counter)}"
+    )
     try:
         with open(tmp, mode, **open_kwargs) as fh:
             yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)

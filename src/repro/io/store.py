@@ -29,6 +29,7 @@ import json
 import os
 import pickle
 import platform
+import re
 import shutil
 import time
 from dataclasses import dataclass
@@ -158,23 +159,64 @@ class CheckpointSlot:
             fh.write(blob)
 
 
+#: Slot file names: ``slot<digits>.pkl``.  The digit run is parsed
+#: numerically everywhere — ordering never leans on the zero padding, so
+#: legacy 4-digit names and the current 8-digit ones interoperate.
+_SLOT_NAME_RE = re.compile(r"slot(\d+)\.pkl")
+
+#: Zero-padding width for newly created slot files.  Eight digits keep the
+#: names lexicographically ordered up to 10**8 slots; the old 4-digit width
+#: broke at 10,000 (``slot10000`` sorted *before* ``slot9999``), which is
+#: why discovery now parses indices instead of trusting name order.
+_SLOT_DIGITS = 8
+
+
 class Checkpointer:
     """Slot provider for one run's checkpoints (one directory per cache key).
 
     ``slot()`` hands out auto-numbered slots in call order; an experiment's
     ``run_ensemble_reduced`` call sequence is deterministic, so slot ``i``
-    always belongs to the same logical sub-run on every attempt.
+    always belongs to the same logical sub-run on every attempt — which is
+    exactly why ``_next`` starts at 0 on every instance (a resumed attempt
+    must claim the same indices in the same order).  Construction rescans
+    the directory so slot ``i`` resolves to its existing file under *any*
+    historical padding width; new files use the current width.
     """
 
     def __init__(self, directory: Path):
         self.directory = Path(directory)
         self._next = 0
+        # index -> existing path (legacy 4-digit names included), discovered
+        # by numeric parse so slot 10000 never sorts into the wrong place.
+        self._existing: dict[int, Path] = {}
+        if self.directory.is_dir():
+            for p in self.directory.glob("slot*.pkl"):
+                m = _SLOT_NAME_RE.fullmatch(p.name)
+                if m is None:
+                    continue
+                index = int(m.group(1))
+                canonical = len(m.group(1)) == _SLOT_DIGITS
+                if canonical or index not in self._existing:
+                    self._existing[index] = p
 
     def slot(self) -> CheckpointSlot:
-        """Claim the next slot (numbered in deterministic call order)."""
-        path = self.directory / f"slot{self._next:04d}.pkl"
+        """Claim the next slot (numbered in deterministic call order).
+
+        Resolves to the slot's existing file when one was discovered at
+        construction (whatever padding wrote it), else to a fresh
+        current-width name.
+        """
+        index = self._next
         self._next += 1
+        path = self._existing.get(
+            index, self.directory / f"slot{index:0{_SLOT_DIGITS}d}.pkl"
+        )
         return CheckpointSlot(path)
+
+    def slot_indices(self) -> list[int]:
+        """Indices of the slot files discovered at construction, in numeric
+        order (the order the deterministic call sequence claims them)."""
+        return sorted(self._existing)
 
     def has_state(self) -> bool:
         """Whether any checkpoint file exists for this run."""
@@ -293,13 +335,22 @@ class ResultStore:
         return sorted(p.stem for p in self._results_dir().glob("*.npz"))
 
     def stats(self) -> StoreStats:
-        """Entry count, on-disk bytes, and this instance's hit/miss tally."""
+        """Entry count, on-disk bytes, and this instance's hit/miss tally.
+
+        Safe against concurrent eviction: an entry that vanishes between
+        the directory listing and its ``stat`` is simply skipped (the
+        listing is a live snapshot, not a lock).
+        """
         entries = 0
         total = 0
         if self._results_dir().is_dir():
             for p in self._results_dir().glob("*.npz"):
+                try:
+                    size = p.stat().st_size
+                except OSError:  # evicted (or broken link) mid-iteration
+                    continue
                 entries += 1
-                total += p.stat().st_size
+                total += size
         return StoreStats(
             root=self.root,
             entries=entries,

@@ -41,6 +41,34 @@ class TestStudentTQuantile:
         qs = [student_t_quantile(c, 9) for c in (0.8, 0.9, 0.95, 0.99)]
         assert qs == sorted(qs)
 
+    def test_heavy_tail_extremes_match_scipy(self):
+        """df = 1-2 at confidence >= 0.999: the quantile explodes (t_1 at
+        0.9999 is ~6366), so the bisection's ``hi *= 2`` bracket growth and
+        the continued fraction's tail behaviour both get exercised.  Pinned
+        relatively — the absolute scale varies over four decades."""
+        stats = pytest.importorskip("scipy.stats")
+        for conf in (0.999, 0.9999, 0.99999):
+            for df in (1, 2):
+                expected = float(stats.t.ppf(0.5 * (1 + conf), df))
+                assert student_t_quantile(conf, df) == pytest.approx(
+                    expected, rel=1e-9
+                ), f"conf={conf} df={df}"
+
+    def test_heavy_tail_extremes_closed_form(self):
+        """The same extremes against the df = 1 (Cauchy) and df = 2 closed
+        forms — no scipy involved, so this asserts the pure-numpy/math
+        fallback path itself converges at heavy tails."""
+        for conf in (0.999, 0.9999, 0.99999):
+            # t_1: quantile of the Cauchy at one-sided level (1+c)/2.
+            assert student_t_quantile(conf, 1) == pytest.approx(
+                math.tan(math.pi * conf / 2.0), rel=1e-9
+            ), f"df=1 conf={conf}"
+            # t_2: t = sqrt(2) c / sqrt(1 - c^2), c the two-sided confidence.
+            assert student_t_quantile(conf, 2) == pytest.approx(
+                math.sqrt(2.0) * conf / math.sqrt((1.0 - conf) * (1.0 + conf)),
+                rel=1e-9,
+            ), f"df=2 conf={conf}"
+
     def test_invalid_inputs(self):
         with pytest.raises(PrecisionError):
             student_t_quantile(1.0, 5)

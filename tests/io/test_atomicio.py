@@ -1,0 +1,112 @@
+"""Atomic-write contract: whole files only, under overlap and crashes.
+
+Regression suite for two historical bugs: the temp name was unique per
+*process* only (two overlapping writers of one path shared the sibling —
+one truncated the other, and the loser's ``os.replace`` raised
+``FileNotFoundError``), and nothing was fsynced before the rename (a crash
+straddling the replace could publish an empty file on journalled
+filesystems).
+"""
+
+import json
+import os
+import threading
+from unittest import mock
+
+import pytest
+
+from repro.io.atomicio import atomic_write
+
+
+class TestBasics:
+    def test_roundtrip(self, tmp_path):
+        target = tmp_path / "out.json"
+        with atomic_write(target) as fh:
+            json.dump({"x": 1}, fh)
+        assert json.loads(target.read_text()) == {"x": 1}
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        with atomic_write(target) as fh:
+            fh.write("hi")
+        assert target.read_text() == "hi"
+
+    def test_exception_leaves_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as fh:
+                fh.write("partial")
+                raise RuntimeError("boom")
+        assert target.read_text() == "old"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_no_temp_residue(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as fh:
+            fh.write("payload")
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestOverlappingWriters:
+    def test_nested_writers_same_path(self, tmp_path):
+        """Two overlapping writers of one path must not share a temp file.
+
+        Pre-fix, the inner writer truncated the outer's half-written temp,
+        published it, and left the outer's ``os.replace`` raising
+        ``FileNotFoundError``.  Post-fix both complete; the outer (last
+        replace) wins, and both observable states are whole files.
+        """
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as outer:
+            outer.write("outer")
+            with atomic_write(target) as inner:
+                inner.write("inner")
+            assert target.read_text() == "inner"
+        assert target.read_text() == "outer"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_concurrent_threads_same_path(self, tmp_path):
+        """Many threads hammering one path: every published state is a
+        whole payload, no writer errors, no temp residue."""
+        target = tmp_path / "out.txt"
+        payloads = [f"payload-{i:02d}" * 50 for i in range(8)]
+        start = threading.Barrier(len(payloads))
+        errors = []
+
+        def writer(payload):
+            try:
+                start.wait()
+                for _ in range(25):
+                    with atomic_write(target) as fh:
+                        fh.write(payload)
+            except Exception as exc:  # pragma: no cover - only pre-fix
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert target.read_text() in payloads
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestDurability:
+    def test_fsync_before_replace(self, tmp_path):
+        """The payload is fsynced before the rename — the ordering that
+        makes the replace crash-safe."""
+        target = tmp_path / "out.txt"
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        with mock.patch(
+            "os.fsync", side_effect=lambda fd: (events.append("fsync"), real_fsync(fd))
+        ), mock.patch(
+            "os.replace",
+            side_effect=lambda a, b: (events.append("replace"), real_replace(a, b)),
+        ):
+            with atomic_write(target) as fh:
+                fh.write("data")
+        assert events == ["fsync", "replace"]
+        assert target.read_text() == "data"

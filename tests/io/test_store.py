@@ -88,6 +88,18 @@ class TestResultStore:
         stats = store.stats()
         assert stats.entries == 2 and stats.total_bytes > 0
 
+    def test_stats_skips_entries_evicted_mid_iteration(self, store, tmp_path):
+        """Regression: ``stats()`` called ``p.stat()`` on live glob results,
+        so an entry evicted (or any unstatable path appearing) between the
+        listing and the stat raised ``FileNotFoundError``.  A dangling
+        symlink reproduces that window deterministically."""
+        store.put("a" * 64, make_result())
+        dangling = store.result_path("b" * 64)
+        dangling.symlink_to(tmp_path / "vanished.npz")
+        stats = store.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes > 0
+
     def test_put_is_atomic_no_tmp_left_behind(self, store):
         key = "c" * 64
         store.put(key, make_result())
@@ -146,10 +158,43 @@ class TestCheckpoints:
 
     def test_slots_autonumber_in_call_order(self, store):
         ck = store.checkpointer("k" * 64)
-        assert ck.slot().path.name == "slot0000.pkl"
-        assert ck.slot().path.name == "slot0001.pkl"
+        assert ck.slot().path.name == "slot00000000.pkl"
+        assert ck.slot().path.name == "slot00000001.pkl"
         again = store.checkpointer("k" * 64)
-        assert again.slot().path.name == "slot0000.pkl"
+        assert again.slot().path.name == "slot00000000.pkl"
+
+    def test_slot_names_order_past_ten_thousand(self, store):
+        """Regression: 4-digit padding made ``slot10000`` sort *before*
+        ``slot9999``, so anything leaning on name order (directory
+        listings, lexicographic discovery) mis-ordered runs with >= 10,000
+        checkpointed sub-runs.  New names stay lexicographically aligned
+        with call order across the boundary, and discovery orders
+        numerically regardless."""
+        ck = store.checkpointer("k" * 64)
+        names = [ck.slot().path.name for _ in range(10_002)]
+        assert names == sorted(names)
+        assert names[9_999] == "slot00009999.pkl"
+        assert names[10_000] == "slot00010000.pkl"
+
+    def test_legacy_slot_names_stay_resumable(self, store):
+        """Checkpoints written with the old 4-digit padding must still be
+        found: a fresh Checkpointer maps slot i to the legacy file, loads
+        its state under the same fingerprint, and saves back in place."""
+        key = "k" * 64
+        ck = store.checkpointer(key)
+        legacy = ck.directory / "slot0001.pkl"
+        from repro.io.store import CheckpointSlot
+
+        reducer = StreamingScalar().update([4.0, 5.0])
+        CheckpointSlot(legacy).save(reducer, 7, "fp")
+
+        again = store.checkpointer(key)
+        assert again.slot_indices() == [1]
+        assert again.slot().path.name == "slot00000000.pkl"  # slot 0: fresh
+        slot1 = again.slot()
+        assert slot1.path == legacy
+        loaded, blocks_done, _ = slot1.load("fp")
+        assert blocks_done == 7 and loaded == reducer
 
     def test_put_clears_checkpoints(self, store):
         key = "k" * 64
