@@ -1,0 +1,87 @@
+"""Sweep-fabric dispatch overhead vs the in-process serial ensemble path.
+
+The fabric is a *distribution* mechanism — broker-leased blocks over a
+worker fleet, park-file resume after worker deaths — not a local speedup
+device: at CI scale its per-block costs (spec/park pickling, socket
+round trips, completion polling) are visible next to fig02's cheap
+blocks.  What this bench pins is that those costs stay *bounded*: the
+2-worker fabric must complete the same run at no worse than
+``1/FABRIC_FLOOR`` times the serial wall time (measured 0.35–0.6x serial
+on CI hardware depending on load; floor 0.2x).  A protocol or
+launcher regression that makes dispatch pathologically chatty trips the
+floor long before it would hurt a real fleet.
+
+Both timings run the identical request, and the results are asserted
+bit-identical — the fabric clause of the seed contract, measured rather
+than assumed.  Rows and the ``fabric_over_serial`` ratio land in
+``BENCH_ensemble.json`` (see ``conftest.py``); run this module in the
+same pytest invocation as ``bench_ensemble.py`` (as ``scripts/ci.sh``
+does) so the session's speedup-kind gate sees every expected ratio.
+"""
+
+import time
+
+import numpy as np
+from conftest import BENCH_SEED, record_bench
+
+from repro.experiments import run_experiment
+from repro.runtime import FabricSession
+
+#: Heavy enough that block compute is visible against dispatch overhead,
+#: big blocks so the park pickling amortizes; ~0.4 s serial on CI hardware.
+FABRIC_R = 4096
+FABRIC_BLOCK = 512
+FABRIC_WORKERS = 2
+
+#: Wall-time ratio floor: fabric must finish within 1/0.2 of serial.
+FABRIC_FLOOR = 0.2
+
+
+def _fig02():
+    return run_experiment(
+        "fig02",
+        engine="ensemble",
+        seed=BENCH_SEED,
+        repetitions=FABRIC_R,
+        block_size=FABRIC_BLOCK,
+    )
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_fabric_dispatch_overhead_floor():
+    serial, serial_result = _best_of(_fig02)
+    with FabricSession(FABRIC_WORKERS) as session:
+        with session.activate():
+            _fig02()  # warm: worker module imports, broker handshakes
+
+        def fabbed():
+            with session.activate():
+                return _fig02()
+
+        fabric, fabric_result = _best_of(fabbed)
+    ratio = serial / fabric
+    print(f"\nfig02 R={FABRIC_R} bs={FABRIC_BLOCK}: serial {serial * 1e3:.1f} ms, "
+          f"{FABRIC_WORKERS}-worker fabric {fabric * 1e3:.1f} ms, "
+          f"ratio {ratio:.2f}x (floor {FABRIC_FLOOR}x)")
+    for name in serial_result.series:
+        assert (serial_result.series[name].tobytes()
+                == fabric_result.series[name].tobytes()), name
+    assert np.array_equal(serial_result.x_values, fabric_result.x_values)
+    record_bench("fig02", FABRIC_R, "ensemble", "auto", serial)
+    record_bench("fig02", FABRIC_R, f"ensemble-fabric{FABRIC_WORKERS}",
+                 "auto", fabric)
+    record_bench("fig02", FABRIC_R, "fabric_over_serial", "auto", None,
+                 ratio=ratio, floor=FABRIC_FLOOR)
+    assert ratio >= FABRIC_FLOOR, (
+        f"fabric dispatch regressed: {ratio:.2f}x < {FABRIC_FLOOR}x of serial "
+        f"on fig02 R={FABRIC_R} over {FABRIC_WORKERS} workers"
+    )

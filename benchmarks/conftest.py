@@ -64,6 +64,7 @@ _EXPECTED_SPEEDUP_KINDS = {
     "ensemble_over_scalar",
     "wavefront_over_per_ball",
     "wavefront_over_fast",
+    "fabric_over_serial",
 }
 if HAVE_NUMBA:  # pragma: no cover - only where numba is installed
     _EXPECTED_SPEEDUP_KINDS.add("compiled_over_wavefront")

@@ -101,6 +101,26 @@ def main() -> None:
     assert (ref.counts == comp.counts).all(), "backends must be bit-identical"
     print(f"\nbackends agree bit-for-bit (numba available: {HAVE_NUMBA})")
 
+    # Distributed sweep fabric: the same run, broker-leased block by block
+    # to a fleet of worker processes — and still bit-identical, because
+    # block boundaries and child seeds depend only on (seed, repetitions,
+    # block_size), never on which worker ran what (or died trying; parked
+    # block results survive worker crashes and resume by content address).
+    # The CLI spelling is `repro sweep fig02 --fabric 4 --store DIR`.
+    from repro.runtime import FabricSession
+
+    serial = run_experiment("fig02", seed=2026, engine="ensemble",
+                            repetitions=64)
+    with FabricSession(workers=2) as fabric:
+        with fabric.activate():
+            fabbed = run_experiment("fig02", seed=2026, engine="ensemble",
+                                    repetitions=64)
+    assert all(
+        serial.series[k].tobytes() == fabbed.series[k].tobytes()
+        for k in serial.series
+    ), "fabric must be bit-identical to serial"
+    print("2-worker fabric run matches the serial run bit-for-bit")
+
 
 if __name__ == "__main__":
     main()

@@ -20,6 +20,8 @@ Runs, from :mod:`repro.core.equivalence`:
 
 ``--backend MODE`` pins ``REPRO_BACKEND`` for the whole run, so CI can
 repeat the sweep once per available backend (see ``scripts/ci.sh``).
+``--fabric N`` additionally runs every experiment over an N-worker sweep
+fabric and requires bit-identity against the local serial run.
 
 Exit code 0 means every replication of every draw was bit-identical across
 engines and every experiment's figures agreed within its pinned tolerance.
@@ -55,6 +57,7 @@ from repro.core.equivalence import (
     check_experiment_backend_identity,
     check_experiment_equivalence,
     check_experiment_wavefront_identity,
+    check_fabric_serial_identity,
     check_kernel_equivalence,
     check_ring_parity,
     check_wavefront_driver_identity,
@@ -79,6 +82,10 @@ def main(argv=None) -> int:
                              "of the cross-engine matrix (default 1)")
     parser.add_argument("--skip-experiments", action="store_true",
                         help="skip the per-experiment cross-engine matrix")
+    parser.add_argument("--fabric", type=int, default=None, metavar="N",
+                        help="also require fabric == serial bit-identity for "
+                             "every experiment, over N broker-leased workers "
+                             "(default: off; implies the experiment matrix)")
     parser.add_argument("--backend", choices=BACKEND_MODES, default=None,
                         help="pin REPRO_BACKEND for the whole run (default: "
                              "leave the ambient dispatch in force)")
@@ -124,7 +131,12 @@ def main(argv=None) -> int:
         ring = check_ring_parity(args.seed ^ 0x21F6, trials=args.driver_trials)
         print(f"ring parity:        {ring} trials OK "
               f"(allocate_requests_ensemble vs allocate_requests)")
-        if not args.skip_experiments:
+        fabric = None
+        if args.fabric:
+            from repro.runtime.fabric import FabricSession
+
+            fabric = FabricSession(args.fabric)
+        if not args.skip_experiments or fabric is not None:
             for experiment_id in sorted(EXPERIMENT_CASES):
                 worst = check_experiment_equivalence(
                     experiment_id, rep_factor=args.rep_factor
@@ -132,13 +144,20 @@ def main(argv=None) -> int:
                 tol = EXPERIMENT_CASES[experiment_id].tol
                 engines = check_experiment_wavefront_identity(experiment_id)
                 backends = check_experiment_backend_identity(experiment_id)
+                fab_note = ""
+                if fabric is not None:
+                    check_fabric_serial_identity(experiment_id, fabric=fabric)
+                    fab_note = f"; fabric=={args.fabric}-worker serial"
                 print(f"experiment matrix:  {experiment_id:16s} OK "
                       f"(worst series deviation {worst:.4f} <= tol {tol}; "
                       f"wavefront on==off on {engines} engines; "
-                      f"compiled==numpy on {backends} engines)")
+                      f"compiled==numpy on {backends} engines{fab_note})")
     except AssertionError as exc:
         print(f"EQUIVALENCE FAILURE: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if 'fabric' in locals() and fabric is not None:
+            fabric.close()
     print(f"all checks passed in {time.perf_counter() - started:.1f}s")
     return 0
 

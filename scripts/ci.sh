@@ -6,14 +6,19 @@
 #   2. the quick-mode benchmarks for the ensemble engine: the 5x (fig02)
 #      and 3x (fig18) engine floors at R = 64, plus the wavefront-kernel
 #      floors on the fig01-scaled n=10^4 configuration (R=16/R=64 over the
-#      per-ball ensemble kernel, R=1 over fast.run_batch); the run emits
+#      per-ball ensemble kernel, R=1 over fast.run_batch), plus the sweep
+#      fabric's dispatch-overhead floor (2-worker fabric within 0.2x of
+#      serial on fig02 R=4096, results bit-identical); the run emits
 #      BENCH_ensemble.json at the repo root, validated right after;
 #   3. the adaptive-precision smoke (quick-mode bench_adaptive.py): the
 #      rel=2% fig02 run must early-stop at <= 50% of the fixed budget,
 #      match the fixed-budget estimate, and round-trip the store;
 #   4. the result-store round-trip smoke (second fig01 run must be a
 #      bit-identical cache hit, >= 10x faster than the compute);
-#   5. a reduced-budget cross-engine equivalence sweep, run once per
+#   5. the sweep-fabric smoke: fig02 over 2 broker-leased workers with
+#      one SIGKILLed mid-flight — the lost lease re-queues, the survivor
+#      resumes, and the result must be bit-identical to the serial run;
+#   6. a reduced-budget cross-engine equivalence sweep, run once per
 #      *available* backend (numpy always; compiled additionally when numba
 #      is importable — without numba the numpy pass already executes the
 #      compiled tier's interpreter fallback in its backend checks) —
@@ -36,8 +41,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== quick benchmarks (ensemble engine + wavefront kernel floors) =="
-REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_ensemble.py -q
+echo "== quick benchmarks (ensemble engine + wavefront kernel + fabric floors) =="
+REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_ensemble.py \
+    benchmarks/bench_fabric.py -q
 
 echo "== benchmark records schema check =="
 python -c "
@@ -52,6 +58,9 @@ REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_adaptive.py -q
 
 echo "== result-store round-trip smoke =="
 python scripts/store_smoke.py
+
+echo "== sweep-fabric smoke (worker kill mid-flight, bit-identical) =="
+python scripts/fabric_smoke.py
 
 BACKENDS="numpy"
 if python -c "import numba" 2>/dev/null; then

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Sweep-fabric smoke: kill a worker mid-sweep, finish bit-identically.
+
+The quick-mode gate for the distributed sweep fabric (``make check``):
+
+1. run fig02 (ensemble engine) serially — the reference numbers;
+2. run the identical request over a 2-worker broker-leased fabric, and
+   SIGKILL one of the workers the moment the first block reducer is
+   parked (so the kill is genuinely mid-flight);
+3. the dead worker's lease re-queues and the surviving worker resumes
+   the remainder of the sweep;
+4. require the fabric result to be **bit-identical** to the serial run —
+   the fabric clause of the executor seed contract, exercised under a
+   worker death rather than assumed.
+
+Exit code 0 means the kill happened and every series matched byte for
+byte.  Budgeted at a few seconds; the full worker-death matrix
+(SIGSTOP lease expiry, whole-fleet kill + park-file resume, task-failure
+caps) lives in ``tests/runtime/test_fabric.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import run_experiment
+from repro.runtime import FabricSession
+
+SEED = 20260612
+#: 16 blocks of 256: enough flight time to land a mid-sweep kill, small
+#: enough to keep the smoke at a few seconds.
+REPETITIONS, BLOCK = 4096, 256
+
+
+def _run(fabric=None):
+    kwargs = dict(
+        engine="ensemble", seed=SEED, repetitions=REPETITIONS, block_size=BLOCK
+    )
+    if fabric is None:
+        return run_experiment("fig02", **kwargs)
+    with fabric.activate():
+        return run_experiment("fig02", **kwargs)
+
+
+def main() -> int:
+    started = time.perf_counter()
+    serial = _run()
+    print(f"serial reference:   fig02 R={REPETITIONS} in "
+          f"{time.perf_counter() - started:.2f}s")
+
+    session = FabricSession(workers=2, lease_ttl=3.0)
+    killed: list[int] = []
+    try:
+        victim = session.worker_pids[0]
+
+        def assassin() -> None:
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if any(session.store.root.rglob("block-*.pkl")):
+                    break
+                time.sleep(0.01)
+            try:
+                os.kill(victim, signal.SIGKILL)
+                killed.append(victim)
+            except ProcessLookupError:
+                pass
+
+        thread = threading.Thread(target=assassin)
+        thread.start()
+        t0 = time.perf_counter()
+        fabbed = _run(session)
+        thread.join()
+        print(f"fabric run:         2 workers, 1 SIGKILLed mid-flight "
+              f"(pid {killed[0] if killed else '?'}), survivor resumed, "
+              f"{time.perf_counter() - t0:.2f}s")
+    finally:
+        session.close()
+
+    if not killed:
+        print("FABRIC SMOKE FAILURE: the kill never fired (no block parked "
+              "within 15s)", file=sys.stderr)
+        return 1
+    for name in serial.series:
+        if serial.series[name].tobytes() != fabbed.series[name].tobytes():
+            print(f"FABRIC SMOKE FAILURE: series {name!r} differs between "
+                  f"serial and fabric runs", file=sys.stderr)
+            return 1
+    print(f"fabric == serial bit-identically across {len(serial.series)} "
+          f"series; total {time.perf_counter() - started:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@ Commands
     interrupted cell resumes from its last completed block slab.  A grid
     cell whose run raises is reported as ``error`` in the table and the
     sweep exits nonzero after finishing the remaining cells.
+    ``--fabric N`` leases each cell's ensemble blocks to ``N``
+    broker-managed worker processes (one fleet for the whole sweep) —
+    bit-identical to local execution by the executor seed contract, with
+    dead workers' blocks re-queued and parked block results surviving a
+    killed sweep.
 ``repro describe <spec>``
     Parse a bin-array spec (``"1x500,10x500"`` = 500 bins of capacity 1 and
     500 of capacity 10), report its structure and which theorems apply.
@@ -221,64 +226,79 @@ def _cmd_sweep(args) -> int:
         overrides["repetitions"] = args.repetitions
     store = resolve_store(args.store if args.store is not None else True)
     progress = ProgressReporter() if args.progress else None
+    fabric = None
+    if getattr(args, "fabric", None) is not None:
+        if args.fabric < 1:
+            raise SystemExit(f"--fabric needs at least 1 worker, got {args.fabric}")
+        from .runtime.fabric import FabricSession
+
+        # One fleet for the whole sweep: the store is the shared medium, so
+        # a killed sweep's parked blocks are found again on the rerun.
+        fabric = FabricSession(args.fabric, store=store)
 
     rows = []
     failures = []
-    for eid, scale, seed, engine in product(ids, scales, seeds, engines):
-        request = RunRequest(
-            experiment_id=eid,
-            scale=scale,
-            seed=seed,
-            engine=engine,
-            workers=args.workers,
-            block_size=args.block_size,
-            overrides=overrides,
-            precision=precision,
-        )
-        spec_version = get_experiment(eid).version
-        out_dir = None
-        if args.out is not None:
-            # One subdirectory per grid cell: flat <id>.csv naming would let
-            # cells differing only in seed/scale/engine overwrite each other.
-            cell = request.cache_key(version=spec_version)[:12]
-            out_dir = Path(args.out) / f"{eid}-{cell}"
-        cell_row = [
-            eid,
-            "-" if scale is None else f"{scale:g}",
-            "-" if seed is None else seed,
-            engine or "scalar",
-        ]
-        try:
-            outcome = execute_request(
-                request, progress=progress, out_dir=out_dir, store=store
+    try:
+        for eid, scale, seed, engine in product(ids, scales, seeds, engines):
+            request = RunRequest(
+                experiment_id=eid,
+                scale=scale,
+                seed=seed,
+                engine=engine,
+                workers=args.workers,
+                block_size=args.block_size,
+                overrides=overrides,
+                precision=precision,
             )
-        except (EngineNotSupportedError, PrecisionNotSupportedError) as exc:
-            # A request the registry can never satisfy is a usage error:
-            # abort the whole sweep with the message, like before.
-            raise SystemExit(str(exc)) from None
-        except Exception as exc:  # noqa: BLE001 — reported per cell below
-            # One bad grid cell must not take down the rest of the sweep,
-            # but it must not hide behind a zero exit either.
-            failures.append((cell_row[:4], exc))
-            rows.append([*cell_row, "error", 0.0, "-", "-"])
-            continue
-        status = "hit" if outcome.cache_hit else (
-            "resumed" if outcome.resumed else "miss"
-        )
-        adaptive = _adaptive_summary(outcome.result)
-        if adaptive is None:
-            stopped = "-"
-        elif adaptive["early_stopped"]:
-            stopped = f"early@R={adaptive['replications_used']}"
-        else:
-            stopped = f"full@R={adaptive['replications_used']}"
-        rows.append([
-            *cell_row,
-            status,
-            outcome.wall_seconds,
-            stopped,
-            outcome.key[:12],
-        ])
+            spec_version = get_experiment(eid).version
+            out_dir = None
+            if args.out is not None:
+                # One subdirectory per grid cell: flat <id>.csv naming would
+                # let cells differing only in seed/scale/engine overwrite
+                # each other.
+                cell = request.cache_key(version=spec_version)[:12]
+                out_dir = Path(args.out) / f"{eid}-{cell}"
+            cell_row = [
+                eid,
+                "-" if scale is None else f"{scale:g}",
+                "-" if seed is None else seed,
+                engine or "scalar",
+            ]
+            try:
+                outcome = execute_request(
+                    request, progress=progress, out_dir=out_dir, store=store,
+                    fabric=fabric,
+                )
+            except (EngineNotSupportedError, PrecisionNotSupportedError) as exc:
+                # A request the registry can never satisfy is a usage error:
+                # abort the whole sweep with the message, like before.
+                raise SystemExit(str(exc)) from None
+            except Exception as exc:  # noqa: BLE001 — reported per cell below
+                # One bad grid cell must not take down the rest of the sweep,
+                # but it must not hide behind a zero exit either.
+                failures.append((cell_row[:4], exc))
+                rows.append([*cell_row, "error", 0.0, "-", "-"])
+                continue
+            status = "hit" if outcome.cache_hit else (
+                "resumed" if outcome.resumed else "miss"
+            )
+            adaptive = _adaptive_summary(outcome.result)
+            if adaptive is None:
+                stopped = "-"
+            elif adaptive["early_stopped"]:
+                stopped = f"early@R={adaptive['replications_used']}"
+            else:
+                stopped = f"full@R={adaptive['replications_used']}"
+            rows.append([
+                *cell_row,
+                status,
+                outcome.wall_seconds,
+                stopped,
+                outcome.key[:12],
+            ])
+    finally:
+        if fabric is not None:
+            fabric.close()
     print(ascii_table(
         ["experiment", "scale", "seed", "engine", "status", "wall_s",
          "stopped", "key"],
@@ -417,6 +437,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--store", nargs="?", const=True, default=None, metavar="DIR",
                          help="result store location (default: $REPRO_STORE or "
                               "./.repro-store); the sweep always uses a store")
+    p_sweep.add_argument("--fabric", type=int, default=None, metavar="N",
+                         help="lease ensemble blocks to N broker-managed "
+                              "worker processes (bit-identical to local "
+                              "execution; killed workers re-queue)")
     p_sweep.add_argument("--out", default=None,
                          help="also save CSV/JSON per run, one "
                               "<id>-<key> subdirectory per grid cell")

@@ -63,6 +63,7 @@ __all__ = [
     "check_experiment_equivalence",
     "check_experiment_wavefront_identity",
     "check_experiment_backend_identity",
+    "check_fabric_serial_identity",
 ]
 
 
@@ -687,6 +688,63 @@ def check_experiment_wavefront_identity(experiment_id: str) -> int:
             )
         checked += 1
     return checked
+
+
+def check_fabric_serial_identity(
+    experiment_id: str, *, workers: int = 2, fabric=None
+) -> int:
+    """Run one experiment's ensemble engine locally and over the sweep
+    fabric, and require *bit-identical* figures.
+
+    Exact by the fabric clause of the seed contract: block boundaries and
+    child seeds are pure functions of ``(seed, repetitions, block_size)``,
+    workers rebuild them from the pickled spawn spec, and the driver merges
+    parked block reducers in block order through the same closure the
+    serial path uses — so worker placement, fleet size, and worker deaths
+    can never change a series value.  Uses the pinned
+    :data:`EXPERIMENT_CASES` configuration (the trimmed
+    ``wavefront_kwargs`` scale when present, to keep forced tiny workloads
+    sane).  Pass an existing activated-ready ``fabric``
+    (:class:`~repro.runtime.fabric.FabricSession`) to amortise fleet
+    startup over many experiments; otherwise a throwaway *workers*-strong
+    session is spawned and closed.  Returns the number of runs compared.
+    """
+    from ..experiments import run_experiment
+    from ..runtime.fabric import FabricSession
+
+    try:
+        case = EXPERIMENT_CASES[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"experiment {experiment_id!r} has no cross-engine case: add it to "
+            f"EXPERIMENT_CASES (and an ensemble path to the experiment) — "
+            f"every registered experiment must support both engines"
+        ) from None
+    kwargs = case.wavefront_kwargs if case.wavefront_kwargs is not None else case.kwargs
+    serial = run_experiment(
+        experiment_id, seed=case.seed, engine="ensemble", **kwargs
+    )
+    session = fabric if fabric is not None else FabricSession(workers)
+    try:
+        with session.activate():
+            fabbed = run_experiment(
+                experiment_id, seed=case.seed, engine="ensemble", **kwargs
+            )
+    finally:
+        if fabric is None:
+            session.close()
+    label = f"{experiment_id} [ensemble] fabric vs serial"
+    np.testing.assert_array_equal(
+        serial.x_values, fabbed.x_values, err_msg=f"{label}: x grid"
+    )
+    assert set(serial.series) == set(fabbed.series), f"{label}: series names"
+    for name in serial.series:
+        a, b = serial.series[name], fabbed.series[name]
+        both_nan = np.isnan(a) & np.isnan(b)
+        assert np.array_equal(a[~both_nan], b[~both_nan]), (
+            f"{label}: series {name!r} is not bit-identical"
+        )
+    return 2
 
 
 def check_experiment_backend_identity(experiment_id: str) -> int:

@@ -96,6 +96,7 @@ def execute_request(
     progress=None,
     out_dir=None,
     store=None,
+    fabric=None,
 ) -> RunOutcome:
     """Run one request through the store; the full-fidelity entry point.
 
@@ -103,6 +104,13 @@ def execute_request(
     a missing key computes with block checkpoints namespaced under the key,
     stores the result, and drops the checkpoints.  Without a store the run
     always computes (and cannot resume).
+
+    ``fabric`` (a :class:`~repro.runtime.fabric.FabricSession`) routes the
+    run's fixed-budget ensemble blocks over the session's worker fleet
+    instead of the in-process paths — bit-identical by the fabric clause of
+    the seed contract, and deliberately **not** part of the cache key, like
+    ``workers``: execution placement never changes a number.  Adaptive
+    (precision-targeted) runs ignore it and execute locally.
     """
     spec: ExperimentSpec = get_experiment(request.experiment_id)
     store = resolve_store(store)
@@ -124,7 +132,11 @@ def execute_request(
             )
     checkpoint = store.checkpointer(key) if store is not None else None
     resumed = bool(checkpoint is not None and checkpoint.has_state())
-    result = spec.execute(request, progress=progress, checkpoint=checkpoint)
+    if fabric is not None:
+        with fabric.activate():
+            result = spec.execute(request, progress=progress, checkpoint=checkpoint)
+    else:
+        result = spec.execute(request, progress=progress, checkpoint=checkpoint)
     wall = time.perf_counter() - started
     result.extra.setdefault("wall_seconds", round(wall, 3))
     if store is not None:

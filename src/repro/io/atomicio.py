@@ -49,6 +49,39 @@ def atomic_write(path, mode: str = "w", **open_kwargs):
             yield fh
             fh.flush()
             os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        _replace_into_place(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+
+
+#: Bounded attempts for the final rename when the parent directory is being
+#: removed concurrently (``Checkpointer.clear`` races a late ``slot.save``
+#: from another process — the fabric's steady state).
+_REPLACE_ATTEMPTS = 5
+
+
+def _replace_into_place(tmp: Path, path: Path) -> None:
+    """``os.replace`` that survives a concurrently vanishing parent dir.
+
+    A same-directory rename raising ``FileNotFoundError`` means the
+    directory itself disappeared between the mkdir and the replace — a
+    concurrent ``shutil.rmtree`` of the namespace (``Checkpointer.clear``
+    racing a late ``slot.save`` from another process, the fabric's steady
+    state).  Previously this escaped as a crash.  Recovery: re-create the
+    parent and retry while the temp file survived; if the rmtree swept the
+    temp file too, the concurrent *clear* won the race — the state being
+    saved was just declared obsolete by whoever cleared it, so the write is
+    dropped silently (the old pre-fix behaviour was a crash, never a
+    completed write, so no caller can be relying on it landing).  Bounded
+    so a pathological delete loop fails loudly rather than spinning.
+    """
+    for attempt in range(_REPLACE_ATTEMPTS):
+        try:
+            os.replace(tmp, path)
+            return
+        except FileNotFoundError:
+            if not tmp.exists():  # swept by the concurrent rmtree: clear wins
+                return
+            if attempt == _REPLACE_ATTEMPTS - 1:
+                raise
+            path.parent.mkdir(parents=True, exist_ok=True)

@@ -265,23 +265,35 @@ class ResultStore:
         The returned result's series and x-grid are bit-identical to what
         ``put`` received (the arrays round-trip through ``.npz`` untouched,
         NaN padding included).
+
+        An *unreadable* entry — zero-byte, truncated, or a foreign file
+        that is not a store ``.npz`` at all (a crashed pre-fsync writer, a
+        partial copy) — is treated as a miss, not an error: the bad file is
+        quarantined out of the way (renamed so it no longer matches the
+        entry glob) and the caller recomputes, instead of one torn file
+        poisoning every subsequent sweep over the store.
         """
         path = self.result_path(key)
         if not path.is_file():
             self.misses += 1
             return None
-        with np.load(path, allow_pickle=False) as npz:
-            meta = json.loads(str(npz[_META_MEMBER][()]))
-            if meta.get("format_version") != FORMAT_VERSION:
-                self.misses += 1
-                return None
-            x_values = npz[_X_MEMBER]
-            series = {
-                name[len(_SERIES_PREFIX):]: npz[name]
-                for name in npz.files
-                if name.startswith(_SERIES_PREFIX)
-            }
-        result = _result_from_meta(meta, x_values, series)
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(str(npz[_META_MEMBER][()]))
+                if meta.get("format_version") != FORMAT_VERSION:
+                    self.misses += 1
+                    return None
+                x_values = npz[_X_MEMBER]
+                series = {
+                    name[len(_SERIES_PREFIX):]: npz[name]
+                    for name in npz.files
+                    if name.startswith(_SERIES_PREFIX)
+                }
+            result = _result_from_meta(meta, x_values, series)
+        except Exception:
+            self._quarantine(path)
+            self.misses += 1
+            return None
         self.hits += 1
         return StoredResult(
             key=key,
@@ -289,6 +301,20 @@ class ResultStore:
             request=meta.get("request") or {},
             provenance=meta.get("provenance") or {},
         )
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside (best effort, race-tolerant).
+
+        The quarantine name appends ``.corrupt``, so ``keys()``/``stats()``
+        (which glob ``*.npz``) and ``contains``/``get`` no longer see it,
+        while the bytes stay on disk for post-mortem inspection.  A
+        concurrent ``put`` may have already replaced (or a concurrent
+        ``get`` already quarantined) the path — losing that race is fine.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
 
     def put(self, key: str, result, *, request=None) -> Path:
         """Persist *result* under *key* (atomic; overwrites any old entry).
@@ -358,6 +384,25 @@ class ResultStore:
             hits=self.hits,
             misses=self.misses,
         )
+
+    # -- fabric scratch ---------------------------------------------------
+
+    def fabric_dir(self, token: str) -> Path:
+        """Scratch namespace for one fabric work set (see ``runtime.fabric``).
+
+        The sweep fabric parks per-block reducer state and its work spec
+        under ``<root>/fabric/<token>/`` — *token* is a content hash of the
+        run's checkpoint fingerprint, so a restarted broker finds exactly
+        its own parked blocks and two different runs can never share state.
+        Files inside are ordinary :class:`CheckpointSlot` pickles written
+        through :func:`atomic_write`, so concurrent workers are safe by the
+        same argument as result entries.
+        """
+        return self.root / "fabric" / token
+
+    def clear_fabric(self, token: str) -> None:
+        """Drop one fabric work set's scratch state (post-merge cleanup)."""
+        shutil.rmtree(self.fabric_dir(token), ignore_errors=True)
 
     # -- resume checkpoints ----------------------------------------------
 

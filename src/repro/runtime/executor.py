@@ -50,6 +50,7 @@ block's streams.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import traceback
 from collections.abc import Callable, Sequence
@@ -65,18 +66,33 @@ __all__ = [
     "run_ensemble_reduced",
     "run_tasks",
     "block_parameter_rng",
+    "block_seed_spec",
+    "seeds_from_spec",
     "shared_param_block_size",
     "TaskError",
 ]
 
 
-class TaskError(RuntimeError):
-    """A repetition task failed inside the worker pool.
+def _active_fabric():
+    """The activated fabric session, if any (lazy import: fabric → executor
+    is the module-level direction; the reverse would cycle)."""
+    try:
+        from .fabric.launcher import current_fabric
+    except Exception:  # pragma: no cover — fabric package half-imported
+        return None
+    return current_fabric()
 
-    Raised by :func:`run_tasks` in place of the bare pickling traceback
-    ``multiprocessing.Pool.imap`` would otherwise surface; the message names
+
+class TaskError(RuntimeError):
+    """A repetition task failed, serially or inside the worker pool.
+
+    Raised by :func:`run_tasks` in place of the bare traceback the task (or
+    ``multiprocessing.Pool.imap``) would otherwise surface; the message names
     the failing task (experiment label and block bounds where the caller
-    provided them) and carries the worker-side traceback text.
+    provided them) and carries the task-side traceback text.  Serial and
+    pool failures wrap identically, so error reports do not change shape
+    with ``workers``; the original exception stays reachable as
+    ``__cause__`` on the serial path.
     """
 
 
@@ -283,21 +299,63 @@ def _block_describer(label: str | None, bounds: Sequence[tuple[int, int]]):
     return describe
 
 
+def _contains_ndarray(value) -> bool:
+    """Whether *value* is — or transitively holds — a numpy array."""
+    if isinstance(value, np.ndarray):
+        return True
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return any(_contains_ndarray(v) for v in value)
+    if isinstance(value, dict):
+        return any(_contains_ndarray(v) for v in value.values())
+    return False
+
+
+def _fingerprint_value(value) -> str:
+    """Canonical fingerprint text for one kwargs value.
+
+    Plain values keep their legacy ``repr`` form (so pre-existing
+    checkpoints of array-free runs still resume).  Arrays — bare or nested
+    in containers — are hashed over their full ``(dtype, shape, bytes)``
+    content instead: ``repr`` truncates large arrays (``...``), so two runs
+    differing only in the middle of a long capacity vector would otherwise
+    share a fingerprint and resume from each other's checkpoints unsoundly.
+    """
+    if not _contains_ndarray(value):
+        return repr(value)
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        digest = hashlib.sha256(arr.tobytes()).hexdigest()
+        return f"ndarray[{arr.dtype.str}{arr.shape}]:{digest}"
+    if isinstance(value, (list, tuple)):
+        kind = "list" if isinstance(value, list) else "tuple"
+        return f"{kind}({','.join(_fingerprint_value(v) for v in value)})"
+    if isinstance(value, (set, frozenset)):
+        inner = sorted(_fingerprint_value(v) for v in value)
+        return f"set({','.join(inner)})"
+    # dict (the only remaining container _contains_ndarray recurses into)
+    items = sorted(
+        (repr(k), _fingerprint_value(v)) for k, v in value.items()
+    )
+    return f"dict({','.join(f'{k}:{v}' for k, v in items)})"
+
+
 def _checkpoint_fingerprint(task, repetitions, block_size, seed, kwargs, until=None) -> str:
     """Identity of one reduced ensemble run, for checkpoint validity.
 
     A checkpoint written under a different task, repetition count, block
     layout, seed, kwargs, or early-stop rule must never be resumed from;
-    the fingerprint is a cheap repr-based guard (checkpoints are already
+    the fingerprint is a cheap text guard (checkpoints are already
     namespaced per cache key, so a mismatch only happens when experiment
     internals changed without a ``version`` bump — in which case the run
-    silently starts fresh rather than resuming unsoundly).
+    silently starts fresh rather than resuming unsoundly).  Values are
+    fingerprinted via :func:`_fingerprint_value`: ``repr`` for plain
+    values, full content hashes for numpy arrays.
     """
     if isinstance(seed, np.random.SeedSequence):
         seed_repr = f"ss:{seed.entropy!r}:{tuple(seed.spawn_key)!r}"
     else:
         seed_repr = repr(seed)
-    kw_repr = sorted((k, repr(v)) for k, v in (kwargs or {}).items())
+    kw_repr = sorted((k, _fingerprint_value(v)) for k, v in (kwargs or {}).items())
     task_name = getattr(task, "__qualname__", repr(task))
     if until is None:
         # Keep the pre-adaptive 5-tuple form so fixed-budget checkpoints
@@ -306,6 +364,47 @@ def _checkpoint_fingerprint(task, repetitions, block_size, seed, kwargs, until=N
     describe = getattr(until, "fingerprint", None)
     until_repr = describe() if callable(describe) else repr(until)
     return repr((task_name, int(repetitions), block_size, seed_repr, kw_repr, until_repr))
+
+
+def block_seed_spec(seed) -> dict:
+    """Picklable description of the master seed's child-spawn geometry.
+
+    The returned dict — ``{"entropy", "spawn_key", "pool_size", "base"}`` —
+    is everything :func:`seeds_from_spec` needs to rebuild any block's child
+    seeds, anywhere: the same ``(entropy, spawn_key + (base + j,))``
+    construction ``SeedSequence.spawn`` would use, honoring a
+    caller-supplied parent's ``n_children_spawned`` offset.  This is how the
+    sweep fabric ships the seed contract to worker processes as plain data
+    instead of a live ``SeedSequence``.  A ``seed=None`` parent resolves to
+    fresh OS entropy here, exactly once, so all consumers of one spec share
+    one (irreproducible but consistent) stream family.
+    """
+    parent = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return {
+        "entropy": parent.entropy,
+        "spawn_key": tuple(parent.spawn_key),
+        "pool_size": parent.pool_size,
+        "base": parent.n_children_spawned,
+    }
+
+
+def seeds_from_spec(spec: dict, i0: int, i1: int) -> list[np.random.SeedSequence]:
+    """Child seeds of repetitions ``[i0, i1)`` under a :func:`block_seed_spec`.
+
+    Bit-equivalent to slicing ``spawn_seed_sequences(seed, repetitions)``
+    at ``[i0:i1]`` — repetition ``j`` always owns child ``base + j`` of the
+    parent, regardless of which process asks.
+    """
+    spawn_key = tuple(spec["spawn_key"])
+    base = int(spec["base"])
+    return [
+        np.random.SeedSequence(
+            entropy=spec["entropy"],
+            spawn_key=spawn_key + (base + j,),
+            pool_size=int(spec["pool_size"]),
+        )
+        for j in range(i0, i1)
+    ]
 
 
 def _iter_block_seeds(seed, bounds):
@@ -319,18 +418,9 @@ def _iter_block_seeds(seed, bounds):
     mutated (its ``n_children_spawned`` offset is still honored, matching
     :func:`repro.sampling.rngutils.spawn_seed_sequences` semantics).
     """
-    parent = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
-    base = parent.n_children_spawned
-    spawn_key = tuple(parent.spawn_key)
+    spec = block_seed_spec(seed)
     for i0, i1 in bounds:
-        yield [
-            type(parent)(
-                entropy=parent.entropy,
-                spawn_key=spawn_key + (base + j,),
-                pool_size=parent.pool_size,
-            )
-            for j in range(i0, i1)
-        ]
+        yield seeds_from_spec(spec, i0, i1)
 
 
 def run_ensemble_reduced(
@@ -432,6 +522,27 @@ def run_ensemble_reduced(
         return stop
 
     if until is None:
+        fabric = _active_fabric()
+        if fabric is not None and pending:
+            # Fixed-budget blocks are leased to fabric workers; the parked
+            # block reducers come back in deterministic block order and run
+            # through the same `_absorb` closure the local paths use, so the
+            # merge (and any checkpointing) is bit-identical to a serial
+            # run regardless of worker placement or deaths.
+            for i, block_reducer in enumerate(
+                fabric.run_blocks(
+                    task,
+                    pending,
+                    seed=seed,
+                    repetitions=repetitions,
+                    block_size=block_size,
+                    kwargs=kwargs,
+                    label=label,
+                    progress=progress,
+                )
+            ):
+                _absorb(i, block_reducer)
+            return holder["reducer"]
         children = spawn_seed_sequences(seed, repetitions)
         payloads = [(task, children[i0:i1], kwargs) for i0, i1 in pending]
         run_tasks(
@@ -489,7 +600,14 @@ def _run_adaptive_blocks(
     seed_iter = _iter_block_seeds(seed, pending)
     if workers == 1 or len(pending) <= 1:
         for i, ((i0, i1), seeds) in enumerate(zip(pending, seed_iter)):
-            stop = absorb(i, task(seeds, **kwargs))
+            try:
+                block_reducer = task(seeds, **kwargs)
+            except Exception as exc:
+                raise TaskError(
+                    f"{describe(i)} failed in a serial task: {exc!r}\n"
+                    f"--- task traceback ---\n{traceback.format_exc()}"
+                ) from exc
+            stop = absorb(i, block_reducer)
             reporter.advance(i1 - i0)
             if stop:
                 break
@@ -568,9 +686,16 @@ def run_tasks(
     results: list = []
     if workers == 1 or len(payloads) <= 1:
         for i, (p, step) in enumerate(zip(payloads, steps)):
-            results.append(_invoke(p))
+            try:
+                res = _invoke(p)
+            except Exception as exc:
+                raise TaskError(
+                    f"{_name(i)} failed in a serial task: {exc!r}\n"
+                    f"--- task traceback ---\n{traceback.format_exc()}"
+                ) from exc
+            results.append(res)
             if on_result is not None:
-                on_result(i, results[-1])
+                on_result(i, res)
             reporter.advance(step)
     else:
         pool_size = workers if workers is not None else multiprocessing.cpu_count()

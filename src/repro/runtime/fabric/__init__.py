@@ -1,0 +1,28 @@
+"""Distributed sweep fabric: broker-leased ensemble blocks over workers.
+
+The RunRequest → ResultStore → resumable-blocks pipeline already behaves
+like a distributed system (content-addressed results, atomic writes,
+per-block checkpoints); this package makes it one.  A broker thread leases
+``(work-set token, block)`` items to worker *processes* over a
+line-delimited JSON socket protocol (:mod:`.protocol`), workers park each
+block's reducer in the shared :class:`~repro.io.store.ResultStore` scratch
+namespace, and the driver merges the parked reducers in deterministic
+block order — so the merged result is bit-identical to a serial
+:func:`~repro.runtime.executor.run_ensemble_reduced` run regardless of
+which worker ran which blocks or how many of them died mid-flight.
+
+Package split (modelled on a server/client/protocol/launcher layout):
+
+* :mod:`.protocol` — wire format plus the shared-medium conventions
+  (work-set tokens, park-file paths and fingerprints);
+* :mod:`.broker`   — the lease server: queue, lease expiry, heartbeats,
+  re-queue on worker death, park-file completion detection;
+* :mod:`.worker`   — the worker process (``python -m
+  repro.runtime.fabric.worker --address HOST:PORT``);
+* :mod:`.launcher` — :class:`FabricSession`: spawns broker + workers,
+  exposes the ``activate()`` context the executor dispatches through.
+"""
+
+from .launcher import FabricSession, current_fabric
+
+__all__ = ["FabricSession", "current_fabric"]

@@ -1,0 +1,376 @@
+"""The fabric's lease server.
+
+A single-threaded ``selectors`` event loop (running in a daemon thread)
+owns all connection state, the work queue, and the lease table — worker
+messages and lease-expiry ticks are serialised through it, so there are no
+locks around the scheduling decisions themselves.  Driver-side calls
+(:meth:`Broker.submit`, :meth:`Broker.finish`) touch the shared structures
+under one re-entrant lock.
+
+Lease lifecycle::
+
+    queued --request--> leased --done/park-detected--> done
+       ^                  |
+       +--expiry/death----+   (park file valid? -> done, else re-queue)
+
+Two failure ledgers are kept per block, because death and failure mean
+different things:
+
+* a *lost* lease (worker died, socket closed, heartbeats stopped) is
+  normal fabric weather — the block re-queues, up to ``max_requeues``
+  times, and the broker first checks the park file (the work may have
+  completed with only the ``done`` message lost);
+* an explicit ``failed`` message means the task itself raised — that is a
+  bug in the task, not the fabric, so it caps out at ``max_task_failures``
+  and aborts the whole work set with the worker's traceback.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+
+from ...io.store import CheckpointSlot
+from .protocol import encode, park_fingerprint, park_path, split_lines
+
+__all__ = ["Broker", "WorkSet"]
+
+#: Per-block cap on explicit task failures before the work set aborts.
+MAX_TASK_FAILURES = 3
+
+#: Per-block cap on lost-lease re-queues (worker deaths, expiries) before
+#: the work set aborts — a backstop against a block that kills every worker
+#: it touches.
+MAX_REQUEUES = 16
+
+
+class WorkSet:
+    """One submitted batch of blocks (all state owned by the broker loop).
+
+    The driver holds the object to wait on ``event`` and read ``error`` /
+    progress; everything else is broker-internal.
+    """
+
+    def __init__(self, token: str, directory, blocks):
+        self.token = token
+        self.directory = directory
+        #: i0 -> (i0, i1) for every block this submission must complete.
+        self.blocks = {int(i0): (int(i0), int(i1)) for i0, i1 in blocks}
+        self.done: set[int] = set()
+        self.failures: dict[int, int] = {}
+        self.requeues: dict[int, int] = {}
+        self.error: str | None = None
+        #: Set when every block is done or the set aborted.
+        self.event = threading.Event()
+
+    def finished(self) -> bool:
+        return self.error is not None or len(self.done) == len(self.blocks)
+
+    def done_repetitions(self) -> int:
+        """Total repetitions covered by completed blocks (progress)."""
+        return sum(self.blocks[i0][1] - self.blocks[i0][0] for i0 in self.done)
+
+
+class _Conn:
+    """Per-connection broker state."""
+
+    __slots__ = ("sock", "buffer", "worker", "leases")
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buffer = b""
+        self.worker = None  # id from hello
+        self.leases: set[tuple[str, int]] = set()
+
+
+class Broker:
+    """Lease server over localhost TCP; start with :meth:`start`.
+
+    ``lease_ttl`` bounds how long a silent worker may sit on a block before
+    it re-queues; heartbeats (sent every ``lease_ttl / 3``, as told to the
+    worker in ``welcome``) extend the deadline.  ``tick`` is the event-loop
+    poll interval and therefore the expiry-detection granularity.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        *,
+        lease_ttl: float = 10.0,
+        tick: float = 0.05,
+        max_task_failures: int = MAX_TASK_FAILURES,
+        max_requeues: int = MAX_REQUEUES,
+    ):
+        self.lease_ttl = float(lease_ttl)
+        self.tick = float(tick)
+        self.max_task_failures = int(max_task_failures)
+        self.max_requeues = int(max_requeues)
+        self._listen = socket.create_server((host, 0))
+        self._listen.setblocking(False)
+        self.address: tuple[str, int] = self._listen.getsockname()[:2]
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(self._listen, selectors.EVENT_READ, None)
+        self._lock = threading.RLock()
+        self._worksets: dict[str, WorkSet] = {}
+        self._queue: deque[tuple[str, int]] = deque()
+        #: (token, i0) -> (conn, monotonic deadline)
+        self._leases: dict[tuple[str, int], tuple[_Conn, float]] = {}
+        self._conns: list[_Conn] = []
+        self._draining = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- driver-side API --------------------------------------------------
+
+    def start(self) -> "Broker":
+        self._thread = threading.Thread(
+            target=self._serve, name="fabric-broker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def submit(self, token: str, directory, blocks) -> WorkSet:
+        """Register *blocks* of one work set and queue them for leasing."""
+        ws = WorkSet(token, directory, blocks)
+        with self._lock:
+            self._worksets[token] = ws
+            if not ws.blocks:
+                ws.event.set()
+            else:
+                self._queue.extend((token, i0) for i0 in sorted(ws.blocks))
+        return ws
+
+    def finish(self, token: str) -> None:
+        """Drop a collected (or abandoned) work set and purge its queue
+        entries; in-flight leases of the set resolve to no-ops."""
+        with self._lock:
+            self._worksets.pop(token, None)
+            self._queue = deque(item for item in self._queue if item[0] != token)
+            for key in [k for k in self._leases if k[0] == token]:
+                conn, _ = self._leases.pop(key)
+                conn.leases.discard(key)
+
+    def abort(self, token: str, reason: str) -> None:
+        """Fail a work set from outside (e.g. the launcher noticed every
+        worker process exited)."""
+        with self._lock:
+            ws = self._worksets.get(token)
+            if ws is not None and not ws.finished():
+                self._fail(ws, reason)
+
+    def drain(self) -> None:
+        """Answer every subsequent ``request`` with ``shutdown``."""
+        with self._lock:
+            self._draining = True
+
+    def worker_count(self) -> int:
+        """Connected workers that completed the hello handshake."""
+        with self._lock:
+            return sum(1 for c in self._conns if c.worker is not None)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- event loop -------------------------------------------------------
+
+    def _serve(self) -> None:
+        try:
+            while not self._stop.is_set():
+                for key, _ in self._sel.select(self.tick):
+                    if key.data is None:
+                        self._accept()
+                    else:
+                        self._service(key.data)
+                self._expire_leases()
+        finally:
+            with self._lock:
+                for conn in list(self._conns):
+                    self._drop(conn, reap_leases=False)
+            self._sel.close()
+            self._listen.close()
+
+    def _accept(self) -> None:
+        try:
+            sock, _ = self._listen.accept()
+        except OSError:
+            return
+        sock.setblocking(True)  # reads gated by select; replies are tiny
+        conn = _Conn(sock)
+        with self._lock:
+            self._conns.append(conn)
+        self._sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _service(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except OSError:
+            data = b""
+        if not data:
+            self._drop(conn)
+            return
+        conn.buffer += data
+        messages, conn.buffer = split_lines(conn.buffer)
+        for message in messages:
+            reply = self._handle(conn, message)
+            if reply is not None:
+                try:
+                    conn.sock.sendall(encode(reply))
+                except OSError:
+                    self._drop(conn)
+                    return
+
+    def _drop(self, conn: _Conn, *, reap_leases: bool = True) -> None:
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            if conn in self._conns:
+                self._conns.remove(conn)
+            if reap_leases:
+                for key in list(conn.leases):
+                    self._leases.pop(key, None)
+                    conn.leases.discard(key)
+                    self._lost(key, "worker disconnected")
+
+    # -- message handling (broker-loop thread only) -----------------------
+
+    def _handle(self, conn: _Conn, message: dict):
+        kind = message.get("type")
+        with self._lock:
+            if kind == "hello":
+                conn.worker = str(message.get("worker", "?"))
+                return {"type": "welcome", "heartbeat": self.lease_ttl / 3.0}
+            if kind == "heartbeat":
+                deadline = time.monotonic() + self.lease_ttl
+                for key in conn.leases:
+                    self._leases[key] = (conn, deadline)
+                return None  # fire-and-forget by protocol contract
+            if kind == "request":
+                return self._lease_next(conn)
+            if kind == "done":
+                self._mark_done(conn, message)
+                return {"type": "ok"}
+            if kind == "failed":
+                self._mark_failed(conn, message)
+                return {"type": "ok"}
+        return {"type": "error", "error": f"unknown message type {kind!r}"}
+
+    def _lease_next(self, conn: _Conn):
+        if self._draining:
+            return {"type": "shutdown"}
+        while self._queue:
+            token, i0 = self._queue.popleft()
+            ws = self._worksets.get(token)
+            if ws is None or ws.finished() or i0 in ws.done:
+                continue
+            key = (token, i0)
+            if key in self._leases:  # already re-leased elsewhere
+                continue
+            self._leases[key] = (conn, time.monotonic() + self.lease_ttl)
+            conn.leases.add(key)
+            i0, i1 = ws.blocks[i0]
+            return {
+                "type": "lease",
+                "token": token,
+                "dir": str(ws.directory),
+                "i0": i0,
+                "i1": i1,
+            }
+        return {"type": "idle", "delay": self.tick}
+
+    def _release(self, conn: _Conn, token: str, i0) -> tuple[WorkSet, int] | None:
+        """Drop the lease named by a done/failed message; resolve its set."""
+        if i0 is None:
+            return None
+        key = (token, int(i0))
+        lease = self._leases.pop(key, None)
+        if lease is not None:
+            lease[0].leases.discard(key)
+        conn.leases.discard(key)
+        ws = self._worksets.get(token)
+        if ws is None or ws.finished():
+            return None
+        return ws, int(i0)
+
+    def _mark_done(self, conn: _Conn, message: dict) -> None:
+        resolved = self._release(conn, str(message.get("token")), message.get("i0"))
+        if resolved is None:
+            return
+        ws, i0 = resolved
+        if i0 in ws.blocks:
+            ws.done.add(i0)
+            if ws.finished():
+                ws.event.set()
+
+    def _mark_failed(self, conn: _Conn, message: dict) -> None:
+        resolved = self._release(conn, str(message.get("token")), message.get("i0"))
+        if resolved is None:
+            return
+        ws, i0 = resolved
+        if i0 not in ws.blocks:
+            return
+        ws.failures[i0] = ws.failures.get(i0, 0) + 1
+        error = str(message.get("error", "task failed"))
+        if ws.failures[i0] >= self.max_task_failures:
+            self._fail(
+                ws,
+                f"block [{i0}, {ws.blocks[i0][1]}) failed "
+                f"{ws.failures[i0]} times; last error:\n{error}",
+            )
+        else:
+            self._queue.appendleft((ws.token, i0))
+
+    # -- lease loss -------------------------------------------------------
+
+    def _expire_leases(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            expired = [k for k, (_, dl) in self._leases.items() if dl < now]
+            for key in expired:
+                conn, _ = self._leases.pop(key)
+                conn.leases.discard(key)
+                self._lost(key, "lease expired")
+
+    def _lost(self, key: tuple[str, int], reason: str) -> None:
+        """A leased block's worker went silent or away (lock held).
+
+        The work may well have completed with only the ``done`` message
+        lost — the park file is the ground truth, so check it before
+        re-queueing (atomic writes mean it is either whole and
+        fingerprint-valid or effectively absent).
+        """
+        token, i0 = key
+        ws = self._worksets.get(token)
+        if ws is None or ws.finished() or i0 not in ws.blocks or i0 in ws.done:
+            return
+        i0, i1 = ws.blocks[i0]
+        slot = CheckpointSlot(park_path(ws.directory, i0))
+        if slot.load(park_fingerprint(token, i0, i1)) is not None:
+            ws.done.add(i0)
+            if ws.finished():
+                ws.event.set()
+            return
+        ws.requeues[i0] = ws.requeues.get(i0, 0) + 1
+        if ws.requeues[i0] > self.max_requeues:
+            self._fail(
+                ws,
+                f"block [{i0}, {i1}) was lost {ws.requeues[i0]} times "
+                f"({reason}) — giving up",
+            )
+        else:
+            self._queue.appendleft((token, i0))
+
+    def _fail(self, ws: WorkSet, reason: str) -> None:
+        ws.error = reason
+        ws.event.set()

@@ -1,0 +1,147 @@
+"""Fabric wire protocol and shared-medium conventions.
+
+Wire format
+-----------
+One JSON object per line (``\\n``-terminated, UTF-8) over a TCP stream.
+Every worker→broker message carries exactly one reply **except**
+``heartbeat``, which is fire-and-forget — the worker's heartbeat thread
+shares the socket with its request loop, and an unreplied heartbeat is
+what keeps the request/reply pairing trivial (one reply per non-heartbeat
+send, read by the one thread that sent it).
+
+Message types (worker → broker → reply):
+
+=============  =====================================  ======================
+``hello``      ``{worker}``                           ``welcome {heartbeat}``
+``request``    ``{worker}``                           ``lease {token, dir,
+                                                      i0, i1}`` | ``idle
+                                                      {delay}`` |
+                                                      ``shutdown {}``
+``done``       ``{worker, token, i0}``                ``ok {}``
+``failed``     ``{worker, token, i0, error}``         ``ok {}``
+``heartbeat``  ``{worker}``                           *(no reply)*
+=============  =====================================  ======================
+
+Shared medium
+-------------
+Work sets are content-addressed: :func:`work_token` hashes the run's full
+identity — task, repetitions, block layout, the resolved seed-spawn spec,
+and content-hashed kwargs — so a restarted driver resubmits under the
+*same* token and finds its parked blocks, while two distinct runs can
+never share state.  Inside ``store.fabric_dir(token)``:
+
+* ``spec.pkl`` — pickled ``{task, kwargs, seed_spec, label}`` (written
+  atomically once; token-determined, so attempts never disagree on it);
+* ``block-<i0>.pkl`` — one :class:`~repro.io.store.CheckpointSlot` per
+  completed block, fingerprinted by :func:`park_fingerprint` so a torn or
+  foreign file reads as "not done" rather than as a wrong result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import threading
+from pathlib import Path
+
+__all__ = [
+    "encode",
+    "split_lines",
+    "Wire",
+    "work_token",
+    "spec_path",
+    "park_path",
+    "park_fingerprint",
+]
+
+
+def encode(message: dict) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def split_lines(buffer: bytes) -> tuple[list[dict], bytes]:
+    """Decode every complete frame in *buffer*; return ``(messages, rest)``."""
+    messages = []
+    while True:
+        line, sep, buffer = buffer.partition(b"\n")
+        if not sep:
+            return messages, line
+        if line.strip():
+            messages.append(json.loads(line))
+
+
+class Wire:
+    """Client-side framing over one blocking socket.
+
+    ``send`` is lock-guarded so the heartbeat thread and the request loop
+    can share the connection; ``recv`` is only ever called from the request
+    loop (heartbeats get no reply), so reads need no lock.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._reader = sock.makefile("rb")
+        self._send_lock = threading.Lock()
+
+    def send(self, message: dict) -> None:
+        with self._send_lock:
+            self.sock.sendall(encode(message))
+
+    def recv(self) -> dict:
+        """Read the next frame; raises ``ConnectionError`` on EOF."""
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("broker closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self.sock.close()
+
+
+def work_token(task, repetitions: int, block_size, seed_spec: dict, kwargs) -> str:
+    """Content address of one fixed-budget reduced run's block work.
+
+    Mirrors the executor's checkpoint fingerprint — task identity,
+    repetitions, block layout, kwargs (arrays content-hashed via
+    :func:`~repro.runtime.executor._fingerprint_value`) — with the seed
+    resolved to its spawn spec (:func:`~repro.runtime.executor.
+    block_seed_spec`).  A ``seed=None`` run resolves to fresh OS entropy in
+    the spec, so two irreproducible runs never collide on a token.
+    """
+    from ..executor import _fingerprint_value  # module-level would cycle
+
+    task_name = getattr(task, "__qualname__", repr(task))
+    module = getattr(task, "__module__", "")
+    kw = sorted((k, _fingerprint_value(v)) for k, v in (kwargs or {}).items())
+    text = repr((
+        module,
+        task_name,
+        int(repetitions),
+        block_size,
+        ("seed-spec", seed_spec["entropy"], tuple(seed_spec["spawn_key"]),
+         int(seed_spec["base"]), int(seed_spec["pool_size"])),
+        kw,
+    ))
+    return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+def spec_path(directory) -> Path:
+    """The work set's pickled ``{task, kwargs, seed_spec, label}`` file."""
+    return Path(directory) / "spec.pkl"
+
+
+def park_path(directory, i0: int) -> Path:
+    """Where block ``[i0, ...)``'s reducer is parked (keyed by the block's
+    first repetition index — stable across resume attempts whose pending
+    suffix differs)."""
+    return Path(directory) / f"block-{i0:08d}.pkl"
+
+
+def park_fingerprint(token: str, i0: int, i1: int) -> str:
+    """Fingerprint guarding one park file (token + exact block bounds)."""
+    return f"{token}:block[{i0},{i1})"

@@ -1,0 +1,158 @@
+"""Fabric worker process: lease blocks, run them, park the reducers.
+
+Run as ``python -m repro.runtime.fabric.worker --address HOST:PORT``.  The
+worker is deliberately dumb: it holds no scheduling state, just a loop of
+
+    request → (lease | idle | shutdown)
+    lease   → load spec → rebuild the block's child seeds → run the task
+            → park the reducer atomically → done (or failed, with the
+              traceback)
+
+A heartbeat daemon thread keeps the broker's lease deadline ahead of a
+long-running block; it sends on the shared :class:`~.protocol.Wire` under
+the wire's send lock and, per the protocol contract, never reads — only
+the main loop consumes replies, so the request/reply pairing cannot skew.
+
+Crash safety needs no code here: a worker killed mid-block simply never
+parks, the lease expires, and the broker re-queues; a worker killed
+*after* the atomic park but before ``done`` is detected by the broker's
+park-file check.  A stale worker (e.g. resumed from ``SIGSTOP`` after its
+lease was re-assigned) may park a duplicate — harmless, because the block
+is a pure function of its seed slice, so the duplicate is bit-identical
+and the park write is atomic either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+import threading
+import time
+import traceback
+
+from .protocol import Wire, park_fingerprint, park_path, spec_path
+
+__all__ = ["main", "run_worker"]
+
+
+def _load_spec(directory) -> dict:
+    """Unpickle the work set's ``{task, kwargs, seed_spec, label}``."""
+    with open(spec_path(directory), "rb") as fh:
+        return pickle.load(fh)
+
+
+def _run_lease(lease: dict, spec: dict):
+    """Execute one leased block; return its reducer (exceptions propagate)."""
+    from ..executor import seeds_from_spec  # import after spec unpickling
+
+    i0, i1 = int(lease["i0"]), int(lease["i1"])
+    seeds = seeds_from_spec(spec["seed_spec"], i0, i1)
+    return spec["task"](seeds, **(spec["kwargs"] or {}))
+
+
+def _park(lease: dict, reducer) -> None:
+    from ...io.store import CheckpointSlot
+
+    i0, i1 = int(lease["i0"]), int(lease["i1"])
+    slot = CheckpointSlot(park_path(lease["dir"], i0))
+    slot.save(reducer, 1, park_fingerprint(lease["token"], i0, i1))
+
+
+def _heartbeat_loop(wire: Wire, worker_id: str, interval: float, stop) -> None:
+    while not stop.wait(interval):
+        try:
+            wire.send({"type": "heartbeat", "worker": worker_id})
+        except OSError:
+            return  # main loop will notice the dead socket and exit
+
+
+def run_worker(address: tuple[str, int], *, worker_id: str | None = None) -> int:
+    """Connect to the broker at *address* and serve leases until shutdown.
+
+    Returns the process exit code (0 = clean shutdown; 1 = lost broker).
+    """
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    try:
+        sock = socket.create_connection(address, timeout=10.0)
+    except OSError as exc:
+        print(f"fabric worker: cannot reach broker at {address}: {exc}",
+              file=sys.stderr)
+        return 1
+    sock.settimeout(None)
+    wire = Wire(sock)
+    stop_heartbeats = threading.Event()
+    try:
+        wire.send({"type": "hello", "worker": worker_id})
+        welcome = wire.recv()
+        interval = float(welcome.get("heartbeat", 2.0))
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(wire, worker_id, interval, stop_heartbeats),
+            name="fabric-heartbeat",
+            daemon=True,
+        ).start()
+        spec_cache: dict[str, dict] = {}
+        while True:
+            wire.send({"type": "request", "worker": worker_id})
+            message = wire.recv()
+            kind = message.get("type")
+            if kind == "shutdown":
+                return 0
+            if kind == "idle":
+                time.sleep(float(message.get("delay", 0.05)))
+                continue
+            if kind != "lease":
+                continue  # future message types: ignore, keep serving
+            token = message["token"]
+            try:
+                spec = spec_cache.get(token)
+                if spec is None:
+                    spec = spec_cache[token] = _load_spec(message["dir"])
+                _park(message, _run_lease(message, spec))
+            except Exception as exc:  # noqa: BLE001 — reported to the broker
+                wire.send({
+                    "type": "failed",
+                    "worker": worker_id,
+                    "token": token,
+                    "i0": message["i0"],
+                    "error": f"{exc!r}\n--- worker traceback ---\n"
+                             f"{traceback.format_exc()}",
+                })
+            else:
+                wire.send({
+                    "type": "done",
+                    "worker": worker_id,
+                    "token": token,
+                    "i0": message["i0"],
+                })
+            wire.recv()  # the ok for done/failed
+    except (ConnectionError, OSError):
+        return 1  # broker went away: nothing left to serve
+    finally:
+        stop_heartbeats.set()
+        wire.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="repro fabric worker")
+    parser.add_argument(
+        "--address", required=True, metavar="HOST:PORT",
+        help="broker address to connect to",
+    )
+    parser.add_argument(
+        "--worker-id", default=None,
+        help="identity reported to the broker (default: host-pid)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"bad --address {args.address!r}; expected HOST:PORT")
+    return run_worker((host, int(port)), worker_id=args.worker_id)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

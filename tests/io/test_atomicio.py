@@ -110,3 +110,59 @@ class TestDurability:
                 fh.write("data")
         assert events == ["fsync", "replace"]
         assert target.read_text() == "data"
+
+
+class TestVanishingParent:
+    """The final rename vs. a concurrently rmtree'd parent directory
+    (``Checkpointer.clear`` racing a late ``slot.save`` from another
+    process).  Pre-fix the ``FileNotFoundError`` escaped as a crash; now
+    the writer re-creates the parent and retries, and concedes silently
+    only when the sweep also took its temp file (the clear won the race,
+    and the state being saved was just declared obsolete anyway)."""
+
+    def test_retries_after_parent_swept_but_tmp_survives(self, tmp_path):
+        target = tmp_path / "ns" / "out.txt"
+        real_replace = os.replace
+        calls = []
+
+        def flaky_replace(src, dst):
+            calls.append((src, dst))
+            if len(calls) == 1:
+                raise FileNotFoundError(dst)  # parent vanished under us
+            return real_replace(src, dst)
+
+        with mock.patch("os.replace", side_effect=flaky_replace):
+            with atomic_write(target) as fh:
+                fh.write("survived")
+        assert len(calls) == 2
+        assert target.read_text() == "survived"
+
+    def test_swept_tmp_means_the_clear_won_silently(self, tmp_path):
+        target = tmp_path / "ns" / "out.txt"
+
+        def sweeping_replace(src, dst):
+            os.unlink(src)  # the rmtree took the temp file too
+            raise FileNotFoundError(dst)
+
+        with mock.patch("os.replace", side_effect=sweeping_replace):
+            with atomic_write(target) as fh:  # no crash: the write is dropped
+                fh.write("doomed")
+        assert not target.exists()
+        assert list((tmp_path / "ns").iterdir()) == []
+
+    def test_pathological_delete_loop_fails_loudly(self, tmp_path):
+        from repro.io.atomicio import _REPLACE_ATTEMPTS
+
+        target = tmp_path / "ns" / "out.txt"
+        calls = []
+
+        def always_missing(src, dst):
+            calls.append(dst)
+            raise FileNotFoundError(dst)
+
+        with mock.patch("os.replace", side_effect=always_missing):
+            with pytest.raises(FileNotFoundError):
+                with atomic_write(target) as fh:
+                    fh.write("never lands")
+        assert len(calls) == _REPLACE_ATTEMPTS  # bounded, not a spin
+        assert not target.exists()

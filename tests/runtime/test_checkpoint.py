@@ -46,6 +46,10 @@ def failing_task(seed):
     raise ValueError("scalar task boom")
 
 
+def failing_block(seeds):
+    raise ValueError("block task boom")
+
+
 def unpicklable_task(seed):
     return lambda: None  # lambdas cannot travel back through the pool
 
@@ -168,6 +172,46 @@ class TestFingerprintCompat:
             scalar_block, REPS, BLOCK, 42, {}, ADAPTIVE_TARGET.monitor()
         )
         assert adaptive != fp and "SequentialMonitor" in adaptive
+
+    def test_large_arrays_differing_mid_vector_get_distinct_fingerprints(self):
+        """Regression: ``repr`` truncates >1000-element arrays with ``...``,
+        so two runs differing only in the middle of a long capacity vector
+        used to share a fingerprint — and resume from each other's
+        checkpoints unsoundly.  Array kwargs must be hashed over their full
+        ``(dtype, shape, bytes)`` content."""
+        from repro.runtime.executor import _checkpoint_fingerprint
+
+        a = np.ones(5000, dtype=np.int64)
+        b = a.copy()
+        b[2500] = 7  # deep inside the repr-elided middle
+        assert repr(a) == repr(b)  # the pre-fix collision condition
+        fp_a = _checkpoint_fingerprint(scalar_block, REPS, BLOCK, 42, {"capacities": a})
+        fp_b = _checkpoint_fingerprint(scalar_block, REPS, BLOCK, 42, {"capacities": b})
+        assert fp_a != fp_b
+        # Content-addressed: an equal copy (even non-contiguous source,
+        # different dtype object) fingerprints identically.
+        assert fp_a == _checkpoint_fingerprint(
+            scalar_block, REPS, BLOCK, 42, {"capacities": a[::1].copy()}
+        )
+        # dtype and shape are part of the identity, not just the bytes.
+        assert fp_a != _checkpoint_fingerprint(
+            scalar_block, REPS, BLOCK, 42, {"capacities": a.astype(np.uint64)}
+        )
+        assert fp_a != _checkpoint_fingerprint(
+            scalar_block, REPS, BLOCK, 42, {"capacities": a.reshape(50, 100)}
+        )
+
+    def test_arrays_nested_in_containers_are_content_hashed(self):
+        from repro.runtime.executor import _checkpoint_fingerprint
+
+        a = np.ones(5000)
+        b = a.copy()
+        b[400] = 3.0
+        fp = lambda v: _checkpoint_fingerprint(scalar_block, REPS, BLOCK, 1, {"x": v})
+        assert fp((a, 2)) != fp((b, 2))
+        assert fp({"inner": [a]}) != fp({"inner": [b]})
+        # Array-free kwargs keep the legacy repr form verbatim.
+        assert "(1, 2)" in fp((1, 2))
 
 
 class TestLazyBlockSeeds:
@@ -316,6 +360,19 @@ class TestFailFast:
         with pytest.raises(TaskError, match="worker pool failed"):
             run_repetitions(unpicklable_task, 4, seed=0, workers=2)
 
-    def test_serial_failure_propagates_natively(self):
-        with pytest.raises(ValueError, match="scalar task boom"):
-            run_repetitions(failing_task, 3, seed=0, workers=1)
+    def test_serial_failure_wrapped_like_pool(self):
+        # Regression: the serial path used to let exceptions escape bare,
+        # losing the describe(i) label the pool path reports — serial and
+        # pool failures must now produce the same TaskError shape.
+        with pytest.raises(TaskError, match="lab repetition") as err:
+            run_repetitions(failing_task, 3, seed=0, workers=1, label="lab")
+        assert "scalar task boom" in str(err.value)
+        assert "task traceback" in str(err.value)
+        # The original exception stays reachable for callers that care.
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_serial_block_failure_names_block_bounds(self):
+        with pytest.raises(TaskError, match=r"exp ensemble block \[0, 2\)"):
+            run_ensemble_reduced(
+                failing_block, 4, seed=0, workers=1, block_size=2, label="exp",
+            )

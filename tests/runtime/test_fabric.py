@@ -1,0 +1,378 @@
+"""Sweep-fabric tests: protocol, bit-identity, worker death, resume.
+
+The load-bearing contract: a fixed-budget ``run_ensemble_reduced`` routed
+through a :class:`~repro.runtime.fabric.FabricSession` returns a reducer
+**bit-identical** to the serial run — regardless of fleet size, worker
+placement, mid-flight worker deaths (``SIGKILL``), hung workers
+(``SIGSTOP`` → lease expiry), or a whole-fabric kill resumed from parked
+blocks.  Tasks live at module top level so worker subprocesses (which get
+the driver's ``sys.path`` via ``PYTHONPATH``) can unpickle them.
+"""
+
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import StreamingScalar
+from repro.analysis.precision import PrecisionTarget
+from repro.io.store import CheckpointSlot, ResultStore
+from repro.runtime import (
+    FabricSession,
+    TaskError,
+    current_fabric,
+    run_ensemble_reduced,
+)
+from repro.runtime.executor import block_seed_spec
+from repro.runtime.fabric.broker import Broker
+from repro.runtime.fabric.protocol import (
+    encode,
+    park_fingerprint,
+    park_path,
+    split_lines,
+    work_token,
+)
+
+REPS, BLOCK = 24, 3  # 8 blocks
+
+
+def scalar_block(seeds):
+    """Pure block reducer: one uniform draw per repetition."""
+    values = [float(np.random.default_rng(s).random()) for s in seeds]
+    return StreamingScalar().update(values)
+
+
+def slow_block(seeds, *, delay=0.1):
+    """Same numbers as scalar_block, but slow enough to kill mid-flight."""
+    time.sleep(delay)
+    return scalar_block(seeds)
+
+
+def suicidal_block(seeds, *, arm_dir, fuse=9):
+    """SIGKILLs its own worker process on late blocks while the arm file
+    exists — the whole-fabric-kill scenario.  ``arm_dir`` is part of the
+    kwargs (so every attempt shares one work token); *arming* is
+    out-of-band file state, so the resume attempt computes instead of
+    dying.  Early blocks always complete and get parked."""
+    first_rep = seeds[0].spawn_key[-1]
+    if first_rep >= fuse and (Path(arm_dir) / "armed").exists():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return scalar_block(seeds)
+
+
+def failing_block(seeds):
+    raise ValueError("fabric task boom")
+
+
+def reference_reducer():
+    return run_ensemble_reduced(scalar_block, REPS, seed=42, block_size=BLOCK)
+
+
+def assert_same_reducer(a, b):
+    assert a == b  # bit-exact state equality (byte-compared moments)
+    agg_a, agg_b = a.aggregate(), b.aggregate()
+    assert (agg_a.mean, agg_a.std, agg_a.minimum, agg_a.maximum) == (
+        agg_b.mean, agg_b.std, agg_b.minimum, agg_b.maximum
+    )
+
+
+def wait_for_park_file(store, deadline=10.0):
+    """Spin until some worker parks a block reducer in *store* (so a kill
+    staged after this is genuinely mid-flight, not before the start)."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if any(store.root.rglob("block-*.pkl")):
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        messages = [
+            {"type": "hello", "worker": "w-1"},
+            {"type": "lease", "token": "t" * 24, "dir": "/x", "i0": 0, "i1": 3},
+        ]
+        stream = b"".join(encode(m) for m in messages) + b'{"type":"ok"'
+        decoded, rest = split_lines(stream)
+        assert decoded == messages
+        assert rest == b'{"type":"ok"'
+        more, rest = split_lines(rest + b"}\n")
+        assert more == [{"type": "ok"}] and rest == b""
+
+    def test_work_token_is_seed_and_kwargs_sensitive(self):
+        spec = block_seed_spec(42)
+        base = work_token(scalar_block, REPS, BLOCK, spec, {})
+        assert len(base) == 24
+        assert base == work_token(scalar_block, REPS, BLOCK, spec, {})
+        assert base != work_token(scalar_block, REPS, BLOCK, block_seed_spec(43), {})
+        assert base != work_token(scalar_block, REPS + 1, BLOCK, spec, {})
+        assert base != work_token(slow_block, REPS, BLOCK, spec, {})
+        big = np.ones(5000)
+        tweaked = big.copy()
+        tweaked[2500] = 7.0  # repr-invisible: both print as [1. 1. ... 1.]
+        assert work_token(scalar_block, REPS, BLOCK, spec, {"caps": big}) != (
+            work_token(scalar_block, REPS, BLOCK, spec, {"caps": tweaked})
+        )
+
+    def test_none_seed_tokens_never_collide(self):
+        a = work_token(scalar_block, REPS, BLOCK, block_seed_spec(None), {})
+        b = work_token(scalar_block, REPS, BLOCK, block_seed_spec(None), {})
+        assert a != b  # fresh OS entropy per spec: no false park sharing
+
+
+class TestBrokerUnit:
+    """Broker scheduling decisions, driven without any real workers."""
+
+    def test_park_detected_on_lost_lease(self, tmp_path):
+        broker = Broker(lease_ttl=60.0)
+        try:
+            ws = broker.submit("tok", tmp_path, [(0, 3)])
+            # park the block exactly as a worker would, then lose the lease
+            reducer = scalar_block([np.random.SeedSequence(1)])
+            CheckpointSlot(park_path(tmp_path, 0)).save(
+                reducer, 1, park_fingerprint("tok", 0, 3)
+            )
+            with broker._lock:
+                broker._lost(("tok", 0), "worker disconnected")
+            assert ws.event.is_set() and ws.error is None
+            assert ws.done == {0}
+            assert ws.done_repetitions() == 3
+        finally:
+            broker.stop()
+
+    def test_unparked_lost_lease_requeues_then_gives_up(self, tmp_path):
+        broker = Broker(lease_ttl=60.0, max_requeues=2)
+        try:
+            ws = broker.submit("tok", tmp_path, [(0, 3)])
+            with broker._lock:
+                broker._queue.clear()  # simulate the block being leased out
+            for _ in range(2):
+                with broker._lock:
+                    broker._lost(("tok", 0), "lease expired")
+                    assert not ws.event.is_set()
+                    assert ("tok", 0) in broker._queue
+                    broker._queue.clear()
+            with broker._lock:
+                broker._lost(("tok", 0), "lease expired")
+            assert ws.event.is_set()
+            assert "lost 3 times" in ws.error
+        finally:
+            broker.stop()
+
+
+class TestFabricIdentity:
+    def test_fabric_equals_serial_bit_identically(self):
+        reference = reference_reducer()
+        with FabricSession(workers=2) as session:
+            with session.activate():
+                fabbed = run_ensemble_reduced(
+                    scalar_block, REPS, seed=42, block_size=BLOCK
+                )
+        assert_same_reducer(fabbed, reference)
+
+    def test_fleet_size_never_changes_numbers(self):
+        reference = reference_reducer()
+        with FabricSession(workers=3) as session:
+            with session.activate():
+                fabbed = run_ensemble_reduced(
+                    scalar_block, REPS, seed=42, block_size=BLOCK
+                )
+        assert_same_reducer(fabbed, reference)
+
+    def test_activation_is_scoped(self):
+        assert current_fabric() is None
+        with FabricSession(workers=0, spawn_workers=False) as session:
+            with session.activate():
+                assert current_fabric() is session
+            assert current_fabric() is None
+        assert current_fabric() is None
+
+    def test_closed_session_refuses_activation(self):
+        session = FabricSession(workers=0, spawn_workers=False)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            with session.activate():
+                pass  # pragma: no cover
+
+    def test_adaptive_runs_stay_local(self):
+        # The fabric serves only fixed-budget runs; an until= run under an
+        # activated workerless session must execute locally (it would hang
+        # forever if it leased blocks to the empty fleet).
+        target = PrecisionTarget(absolute=0.2, confidence=0.9, min_blocks=4)
+        local = run_ensemble_reduced(
+            scalar_block, 60, seed=42, block_size=BLOCK, until=target.monitor()
+        )
+        with FabricSession(workers=0, spawn_workers=False) as session:
+            with session.activate():
+                fabbed = run_ensemble_reduced(
+                    scalar_block, 60, seed=42, block_size=BLOCK,
+                    until=target.monitor(),
+                )
+        assert_same_reducer(fabbed, local)
+
+    def test_worker_task_failure_raises_labelled_taskerror(self):
+        with FabricSession(workers=1, lease_ttl=5.0) as session:
+            with session.activate():
+                with pytest.raises(TaskError, match="boom fabric work set") as err:
+                    run_ensemble_reduced(
+                        failing_block, 6, seed=1, block_size=3, label="boom"
+                    )
+        text = str(err.value)
+        # the worker-side traceback travelled back over the wire, and the
+        # block gave up only after the broker's retry cap
+        assert "block [0, 3) failed 3 times" in text
+        assert "fabric task boom" in text
+
+
+class TestWorkerDeath:
+    def test_kill_half_the_workers_mid_flight(self):
+        reference = run_ensemble_reduced(slow_block, 40, seed=7, block_size=2)
+        session = FabricSession(workers=4, lease_ttl=3.0)
+        killed = []
+        try:
+            pids = list(session.worker_pids)
+            assert len(pids) == 4
+
+            def assassin():
+                wait_for_park_file(session.store)
+                for pid in pids[:2]:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                        killed.append(pid)
+                    except ProcessLookupError:  # pragma: no cover
+                        pass
+
+            thread = threading.Thread(target=assassin)
+            thread.start()
+            with session.activate():
+                fabbed = run_ensemble_reduced(slow_block, 40, seed=7, block_size=2)
+            thread.join()
+            assert killed, "assassin thread never fired"
+            assert_same_reducer(fabbed, reference)
+        finally:
+            session.close()
+
+    def test_sigstopped_worker_loses_lease_to_the_living(self):
+        # A frozen worker never closes its socket — only lease expiry can
+        # recover its block.  lease_ttl is short so the test stays fast.
+        reference = run_ensemble_reduced(slow_block, 16, seed=11, block_size=2)
+        session = FabricSession(workers=2, lease_ttl=1.5)
+        stopped = []
+        try:
+            pids = list(session.worker_pids)
+
+            def freezer():
+                wait_for_park_file(session.store)
+                try:
+                    os.kill(pids[0], signal.SIGSTOP)
+                    stopped.append(pids[0])
+                except ProcessLookupError:  # pragma: no cover
+                    pass
+
+            thread = threading.Thread(target=freezer)
+            thread.start()
+            with session.activate():
+                fabbed = run_ensemble_reduced(slow_block, 16, seed=11, block_size=2)
+            thread.join()
+            assert stopped, "freezer thread never fired"
+            assert_same_reducer(fabbed, reference)
+        finally:
+            for pid in stopped:
+                try:
+                    os.kill(pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            session.close()
+
+
+def test_whole_fabric_kill_then_resume(tmp_path):
+    """Kill every worker mid-sweep; a fresh fleet over the same store picks
+    the parked blocks up by content address and finishes bit-identically."""
+    arm_dir = tmp_path / "arm"
+    arm_dir.mkdir()
+    store = ResultStore(tmp_path / "store")
+    kwargs = {"arm_dir": str(arm_dir), "fuse": 9}
+
+    # Reference: serial, computed before arming (same kwargs -> the fabric
+    # attempts below address the same work token).
+    reference = run_ensemble_reduced(
+        suicidal_block, REPS, seed=42, block_size=BLOCK, kwargs=kwargs
+    )
+
+    # Attempt 1: armed — every worker that reaches repetition >= 9 dies,
+    # so the whole fleet is dead within a few blocks.
+    (arm_dir / "armed").touch()
+    session = FabricSession(workers=2, store=store, lease_ttl=2.0)
+    try:
+        with session.activate():
+            with pytest.raises(TaskError, match="fabric work set failed"):
+                run_ensemble_reduced(
+                    suicidal_block, REPS, seed=42, block_size=BLOCK, kwargs=kwargs
+                )
+    finally:
+        session.close()
+    parked = list((store.root / "fabric").rglob("block-*.pkl"))
+    assert parked, "the doomed fleet parked nothing before dying"
+
+    # Attempt 2: disarmed, fresh fleet, same store — the parked blocks are
+    # found under the same content-addressed token and never recomputed.
+    (arm_dir / "armed").unlink()
+    session = FabricSession(workers=2, store=store, lease_ttl=5.0)
+    try:
+        with session.activate():
+            resumed = run_ensemble_reduced(
+                suicidal_block, REPS, seed=42, block_size=BLOCK, kwargs=kwargs
+            )
+    finally:
+        session.close()
+    assert_same_reducer(resumed, reference)
+    # post-merge cleanup: the work set's scratch namespace is gone
+    assert not list((store.root / "fabric").rglob("block-*.pkl"))
+
+
+class TestCheckpointInterplay:
+    def test_fabric_run_checkpoints_and_a_local_rerun_replays(self, tmp_path):
+        store = ResultStore(tmp_path)
+        reference = reference_reducer()
+        with FabricSession(workers=2, store=store) as session:
+            with session.activate():
+                first = run_ensemble_reduced(
+                    scalar_block, REPS, seed=42, block_size=BLOCK,
+                    checkpoint=store.checkpointer("f" * 64),
+                )
+        assert_same_reducer(first, reference)
+        # the fabric run checkpointed every absorbed block, so a local
+        # rerun of the same call is a pure checkpoint replay
+        resumed = run_ensemble_reduced(
+            scalar_block, REPS, seed=42, block_size=BLOCK,
+            checkpoint=store.checkpointer("f" * 64),
+        )
+        assert_same_reducer(resumed, reference)
+
+
+class TestExperimentIdentity:
+    def test_fig02_fabric_vs_serial(self):
+        from repro.core.equivalence import check_fabric_serial_identity
+
+        assert check_fabric_serial_identity("fig02", workers=2) == 2
+
+    def test_execute_request_fabric_parameter(self, tmp_path):
+        from repro.experiments.request import RunRequest
+        from repro.experiments.runner import execute_request
+
+        request = RunRequest(
+            experiment_id="fig02", seed=2026, engine="ensemble",
+            overrides=(("repetitions", 8),),
+        )
+        plain = execute_request(request).result
+        with FabricSession(workers=2, store=ResultStore(tmp_path)) as session:
+            fabbed = execute_request(request, fabric=session).result
+        for name in plain.series:
+            a, b = plain.series[name], fabbed.series[name]
+            both_nan = np.isnan(a) & np.isnan(b)
+            assert np.array_equal(a[~both_nan], b[~both_nan]), name

@@ -132,6 +132,32 @@ class TestCliStore:
         with pytest.raises(SystemExit, match="bad scale"):
             main(["sweep", "fig02", "--scales", "fast"])
 
+    def test_sweep_fabric_matches_local_bit_identically(self, tmp_path):
+        """`--fabric N` runs the grid over broker-leased workers; the stored
+        entries must be byte-identical to a local sweep of the same grid
+        (placement is not part of the cache key, and never changes a
+        number)."""
+        local_store = ResultStore(tmp_path / "local")
+        fabric_store = ResultStore(tmp_path / "fabric")
+        grid = ["sweep", "fig02", "--seeds", "5", "--engines", "ensemble",
+                "--repetitions", "8", "--block-size", "2"]
+        assert main(grid + ["--store", str(local_store.root)]) == 0
+        assert main(grid + ["--store", str(fabric_store.root),
+                            "--fabric", "2"]) == 0
+        keys = local_store.keys()
+        assert keys == fabric_store.keys() and len(keys) == 1
+        a = local_store.get(keys[0]).result
+        b = fabric_store.get(keys[0]).result
+        for name in a.series:
+            assert a.series[name].tobytes() == b.series[name].tobytes()
+        # the fabric scratch namespace never outlives the sweep
+        assert not any((fabric_store.root / "fabric").rglob("block-*.pkl"))
+
+    def test_sweep_rejects_nonpositive_fabric(self, tmp_path):
+        with pytest.raises(SystemExit, match="fabric"):
+            main(["sweep", "fig02", "--fabric", "0",
+                  "--store", str(tmp_path)])
+
 
 class TestSweepResume:
     def test_killed_sweep_resumes_bit_identically(self, tmp_path, monkeypatch, capsys):
