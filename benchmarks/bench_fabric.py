@@ -58,6 +58,7 @@ def _best_of(fn, rounds=3):
 
 
 def test_fabric_dispatch_overhead_floor():
+    _fig02()  # explicit untimed warmup: imports, jit loads, allocator pools
     serial, serial_result = _best_of(_fig02)
     with FabricSession(FABRIC_WORKERS) as session:
         with session.activate():

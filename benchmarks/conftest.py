@@ -35,18 +35,23 @@ _BENCH_ROWS: list = []
 _BENCH_SPEEDUPS: list = []
 
 
-def record_bench(config, R, engine, wavefront, seconds, *, ratio=None, floor=None):
+def record_bench(config, R, engine, wavefront, seconds, *, ratio=None,
+                 floor=None, threads=1):
     """Register one benchmark measurement for ``BENCH_ensemble.json``.
 
     With *seconds* set, records a timing row (*engine* is ``scalar`` /
-    ``ensemble``, *wavefront* the dispatch mode in force).  With *ratio*
-    and *floor* set instead, records a speedup entry (*engine* names the
-    ratio kind, e.g. ``wavefront_over_per_ball``).
+    ``ensemble``, *wavefront* the dispatch mode in force, *threads* the
+    compiled-tier thread budget the timing ran under — 1 for every
+    serial-kernel path).  With *ratio* and *floor* set instead, records a
+    speedup entry (*engine* names the ratio kind, e.g.
+    ``wavefront_over_per_ball``).  Every row also records the machine's
+    ``cpu_count`` so parallel timings are interpretable PR over PR.
     """
     if seconds is not None:
         _BENCH_ROWS.append({
             "config": str(config), "R": int(R), "engine": str(engine),
             "wavefront": str(wavefront), "seconds": float(seconds),
+            "threads": int(threads), "cpu_count": int(os.cpu_count() or 1),
         })
     if ratio is not None:
         _BENCH_SPEEDUPS.append({
@@ -68,6 +73,8 @@ _EXPECTED_SPEEDUP_KINDS = {
 }
 if HAVE_NUMBA:  # pragma: no cover - only where numba is installed
     _EXPECTED_SPEEDUP_KINDS.add("compiled_over_wavefront")
+    if (os.cpu_count() or 1) >= 4:  # the parallel floor also needs cores
+        _EXPECTED_SPEEDUP_KINDS.add("compiled_parallel_over_serial")
 
 
 def pytest_sessionfinish(session, exitstatus):

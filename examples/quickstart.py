@@ -101,6 +101,26 @@ def main() -> None:
     assert (ref.counts == comp.counts).all(), "backends must be bit-identical"
     print(f"\nbackends agree bit-for-bit (numba available: {HAVE_NUMBA})")
 
+    # Threads: the compiled tier's prange kernels parallelise over
+    # replications only — each thread owns whole replication rows, so no
+    # thread budget can change a number either.  REPRO_THREADS=auto
+    # (default) resolves to min(cores, R) once a run clears the work-size
+    # floor; an explicit N pins the budget (1 = the serial kernels), and
+    # pool/fabric workers stay at 1 thread unless the driver forces more,
+    # so workers x threads never oversubscribes the machine.  The CLI
+    # spelling is `repro run fig01 --engine ensemble --threads 4`.
+    from repro.core import forced_threads, simulate_ensemble
+
+    with forced_backend("compiled"):
+        with forced_threads(1):
+            serial_ens = simulate_ensemble(bins, repetitions=8, seed=2026)
+        with forced_threads(4):  # prange under numba, plain range without
+            threaded = simulate_ensemble(bins, repetitions=8, seed=2026)
+    assert (serial_ens.counts == threaded.counts).all(), (
+        "thread budgets must be bit-identical"
+    )
+    print("1-thread and 4-thread compiled runs match bit-for-bit")
+
     # Distributed sweep fabric: the same run, broker-leased block by block
     # to a fleet of worker processes — and still bit-identical, because
     # block boundaries and child seeds depend only on (seed, repetitions,

@@ -20,6 +20,8 @@ Runs, from :mod:`repro.core.equivalence`:
 
 ``--backend MODE`` pins ``REPRO_BACKEND`` for the whole run, so CI can
 repeat the sweep once per available backend (see ``scripts/ci.sh``).
+``--threads`` additionally requires compiled-tier thread identity (forced
+1 vs 2 vs 7 threads, both engines) for every experiment in the matrix.
 ``--fabric N`` additionally runs every experiment over an N-worker sweep
 fabric and requires bit-identity against the local serial run.
 
@@ -60,6 +62,7 @@ from repro.core.equivalence import (
     check_fabric_serial_identity,
     check_kernel_equivalence,
     check_ring_parity,
+    check_thread_identity,
     check_wavefront_driver_identity,
     check_wavefront_kernel_equivalence,
     check_weighted_parity,
@@ -89,6 +92,10 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", choices=BACKEND_MODES, default=None,
                         help="pin REPRO_BACKEND for the whole run (default: "
                              "leave the ambient dispatch in force)")
+    parser.add_argument("--threads", action="store_true",
+                        help="also require compiled-tier thread identity "
+                             "(forced 1 vs 2 vs 7 threads, both engines) for "
+                             "every experiment in the matrix")
     args = parser.parse_args(argv)
 
     budget = SweepBudget(draws=args.draws, max_m=args.max_m, max_r=args.max_r)
@@ -144,6 +151,11 @@ def main(argv=None) -> int:
                 tol = EXPERIMENT_CASES[experiment_id].tol
                 engines = check_experiment_wavefront_identity(experiment_id)
                 backends = check_experiment_backend_identity(experiment_id)
+                thread_note = ""
+                if args.threads:
+                    comparisons = check_thread_identity(experiment_id)
+                    thread_note = (f"; threads 1==2==7 "
+                                   f"({comparisons} comparisons)")
                 fab_note = ""
                 if fabric is not None:
                     check_fabric_serial_identity(experiment_id, fabric=fabric)
@@ -151,7 +163,8 @@ def main(argv=None) -> int:
                 print(f"experiment matrix:  {experiment_id:16s} OK "
                       f"(worst series deviation {worst:.4f} <= tol {tol}; "
                       f"wavefront on==off on {engines} engines; "
-                      f"compiled==numpy on {backends} engines{fab_note})")
+                      f"compiled==numpy on {backends} engines"
+                      f"{thread_note}{fab_note})")
     except AssertionError as exc:
         print(f"EQUIVALENCE FAILURE: {exc}", file=sys.stderr)
         return 1

@@ -6,10 +6,13 @@
 #   2. the quick-mode benchmarks for the ensemble engine: the 5x (fig02)
 #      and 3x (fig18) engine floors at R = 64, plus the wavefront-kernel
 #      floors on the fig01-scaled n=10^4 configuration (R=16/R=64 over the
-#      per-ball ensemble kernel, R=1 over fast.run_batch), plus the sweep
-#      fabric's dispatch-overhead floor (2-worker fabric within 0.2x of
-#      serial on fig02 R=4096, results bit-identical); the run emits
-#      BENCH_ensemble.json at the repo root, validated right after;
+#      per-ball ensemble kernel, R=1 over fast.run_batch), the compiled
+#      floors and — with numba and >= 4 cores — the 2x compiled-parallel
+#      floor at R=256, plus the sweep fabric's dispatch-overhead floor
+#      (2-worker fabric within 0.2x of serial on fig02 R=4096, results
+#      bit-identical); the run emits BENCH_ensemble.json at the repo root
+#      (schema repro.bench_ensemble/2: rows carry threads + cpu_count),
+#      validated right after;
 #   3. the adaptive-precision smoke (quick-mode bench_adaptive.py): the
 #      rel=2% fig02 run must early-stop at <= 50% of the fixed budget,
 #      match the fixed-budget estimate, and round-trip the store;
@@ -25,7 +28,11 @@
 #      kernel three-way bit-exactness, the wavefront and compiled kernel /
 #      driver bit-identity sweeps, the four driver parity sweeps, and the
 #      full per-experiment engine matrix with the wavefront forced on/off
-#      and the backend forced compiled/numpy per experiment.
+#      and the backend forced compiled/numpy per experiment; where numba
+#      is present the compiled pass repeats once under REPRO_THREADS=4
+#      with --threads (forced 1 vs 2 vs 7 thread identity per experiment),
+#      so the prange kernels are exercised under a real thread pool
+#      routinely, not just through the numba-less prange=range fallback.
 #
 # The reduced budgets keep the whole pipeline at ~1 minute so the
 # equivalence sweep is exercised routinely instead of only by hand; run
@@ -71,5 +78,11 @@ for backend in $BACKENDS; do
     python scripts/check_equivalence.py --draws 60 --driver-trials 8 \
         --backend "$backend"
 done
+
+if python -c "import numba" 2>/dev/null; then
+    echo "== reduced equivalence sweep under REPRO_THREADS=4 (thread identity) =="
+    REPRO_THREADS=4 python scripts/check_equivalence.py --draws 20 \
+        --driver-trials 4 --backend compiled --threads
+fi
 
 echo "ci.sh: all checks passed"

@@ -9,11 +9,17 @@ from .baselines import (
 from .compiled import (
     BACKEND_MODES,
     HAVE_NUMBA,
+    THREADS_ENV_VAR,
     forced_backend,
+    forced_threads,
     get_backend,
+    get_threads,
+    resolve_threads,
     run_batch_compiled,
     set_backend,
+    set_threads,
     use_compiled,
+    worker_thread_budget,
 )
 from .dynamics import DynamicsResult, simulate_insert_delete
 from .ensemble import (
@@ -79,6 +85,12 @@ __all__ = [
     "forced_backend",
     "BACKEND_MODES",
     "HAVE_NUMBA",
+    "get_threads",
+    "set_threads",
+    "forced_threads",
+    "resolve_threads",
+    "worker_thread_budget",
+    "THREADS_ENV_VAR",
     "select_bin",
     "allocate_ball",
     "TIE_BREAKS",

@@ -50,6 +50,31 @@ and the equivalence suite runs every experiment under
 ``forced_backend("compiled")`` and ``forced_backend("numpy")`` on both
 engines and asserts bit-identity, mirroring the ``REPRO_WAVEFRONT``
 pattern of :mod:`repro.core.wavefront`.
+
+Replication-parallel execution
+------------------------------
+Every Monte-Carlo replication is an independent row of the ``(R, n)``
+counts matrix, so the compiled tier also ships ``numba.prange`` variants
+of all three specialisations that parallelise over the ``R`` axis *only*:
+each thread owns whole replication rows (counts, heights), there is zero
+cross-row communication, and the per-row arithmetic is byte-for-byte the
+serial kernels' — **no thread count can ever change a number**.  The
+serial kernels remain the numba-less same-source fallback (without numba
+``prange`` is plain ``range``, so the parallel variants run serially
+through the interpreter with identical arithmetic).
+
+``REPRO_THREADS`` (environment) or :func:`set_threads` /
+:func:`forced_threads` pick the per-process thread budget: ``"auto"``
+(default) resolves to ``min(cpu_count, R)`` with a work-size floor
+(:data:`PARALLEL_MIN_WORK`) so tiny batches stay serial; an explicit
+``N >= 1`` forces that budget at every scale (``N = 1`` pins the serial
+kernels).  The drivers (:func:`repro.core.simulation.simulate`,
+:func:`repro.core.ensemble.simulate_ensemble`) resolve the budget once
+per run alongside ``REPRO_BACKEND``.  Fleet safety: worker pools
+(:func:`repro.runtime.executor.run_tasks`) and fabric-spawned workers
+(:mod:`repro.runtime.fabric.launcher`) pin their children to
+:func:`worker_thread_budget` — ``1`` unless the parent explicitly chose a
+budget — so ``workers × threads`` never oversubscribes the cores.
 """
 
 from __future__ import annotations
@@ -64,6 +89,7 @@ from .wavefront import validate_lockstep_batch
 
 try:  # pragma: no cover - exercised only where numba is installed
     import numba as _numba
+    from numba import prange
 
     HAVE_NUMBA = True
 
@@ -73,23 +99,45 @@ try:  # pragma: no cover - exercised only where numba is installed
         cross-multiplications' float height divisions."""
         return _numba.njit(cache=True, fastmath=False)(func)
 
+    def _jit_parallel(func):
+        """Disk-cached nopython jit with ``prange`` threading over the
+        replication axis; ``fastmath`` stays off for the same bit-identity
+        reason as :func:`_jit` (rows never share state, so threading alone
+        cannot reassociate anything either)."""
+        return _numba.njit(cache=True, fastmath=False, parallel=True)(func)
+
 except ImportError:  # pragma: no cover - the only path on numba-less CI
     HAVE_NUMBA = False
+
+    #: Without numba the parallel kernel source runs serially — ``prange``
+    #: degenerates to ``range``, so both kernel families are the identical
+    #: plain-Python arithmetic and the thread knob cannot change a number.
+    prange = range
 
     def _jit(func):
         """Numba absent: run the kernel bodies as plain Python (identical
         arithmetic — the fallback the equivalence suite pins)."""
         return func
 
+    _jit_parallel = _jit
+
 
 __all__ = [
     "HAVE_NUMBA",
     "BACKEND_MODES",
     "BACKEND_ENV_VAR",
+    "THREADS_ENV_VAR",
+    "PARALLEL_MIN_WORK",
     "get_backend",
     "set_backend",
     "forced_backend",
     "use_compiled",
+    "get_threads",
+    "set_threads",
+    "forced_threads",
+    "resolve_threads",
+    "worker_thread_budget",
+    "cpu_budget",
     "warmup",
     "run_batch_compiled",
 ]
@@ -150,6 +198,135 @@ def use_compiled(mode: str | None = None) -> bool:
     if mode == "numpy":
         return False
     return HAVE_NUMBA
+
+
+# --------------------------------------------------------------------------
+# Thread budget.  Mirrors the backend knob exactly: env var, module
+# override, context manager — resolved once per run by the drivers, never
+# inside the chunk loop.
+# --------------------------------------------------------------------------
+
+#: Environment knob for the per-process thread budget, mirroring
+#: ``REPRO_BACKEND``.
+THREADS_ENV_VAR = "REPRO_THREADS"
+
+#: ``"auto"`` work-size floor, in total batch elements (``R * k``): below
+#: this the thread-pool fork/join overhead exceeds the loop itself, so
+#: tiny batches stay on the serial kernels.  Explicit budgets bypass it.
+PARALLEL_MIN_WORK = 1 << 16
+
+_threads_override: str | int | None = None
+
+
+def _parse_threads(value, source: str):
+    """Normalise a threads setting to ``"auto"`` or a positive int."""
+    if value == "auto":
+        return "auto"
+    try:
+        n = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid thread budget {value!r} from {source}; "
+            f"expected 'auto' or a positive integer"
+        ) from None
+    if n < 1:
+        raise ValueError(
+            f"invalid thread budget {value!r} from {source}; "
+            f"expected 'auto' or a positive integer"
+        )
+    return n
+
+
+def get_threads() -> str | int:
+    """Current thread budget: the :func:`set_threads` override if set, else
+    ``$REPRO_THREADS``, else ``"auto"``.  Returns ``"auto"`` or a positive
+    int; an unparseable environment value falls back to ``"auto"`` (the
+    knob degrades, it never crashes a run)."""
+    if _threads_override is not None:
+        return _threads_override
+    raw = os.environ.get(THREADS_ENV_VAR)
+    if raw is None:
+        return "auto"
+    try:
+        return _parse_threads(raw, THREADS_ENV_VAR)
+    except ValueError:
+        return "auto"
+
+
+def set_threads(value: str | int | None) -> None:
+    """Set (or with ``None`` clear) the process-wide thread-budget override.
+
+    Accepts ``"auto"`` or a positive integer (``1`` pins the serial
+    kernels at every scale).
+    """
+    global _threads_override
+    if value is not None:
+        value = _parse_threads(value, "set_threads")
+    _threads_override = value
+
+
+@contextmanager
+def forced_threads(value: str | int):
+    """Pin the thread budget for a block (used by the equivalence suite to
+    run identical workloads under 1 vs 2 vs 7 threads)."""
+    previous = _threads_override
+    set_threads(value)
+    try:
+        yield
+    finally:
+        set_threads(previous)
+
+
+def cpu_budget() -> int:
+    """Core count the ``"auto"`` budget is allowed to fill (monkeypatched
+    by tests that simulate multi-core boxes on single-core CI)."""
+    return os.cpu_count() or 1
+
+
+def resolve_threads(repetitions: int, work: int | None = None) -> int:
+    """Resolve the knob to a concrete per-run thread count.
+
+    An explicit budget is returned unchanged (clamping to the machine
+    happens at kernel-entry via ``numba.set_num_threads``; ``prange``
+    handles ``threads > R`` natively by leaving threads idle).  ``"auto"``
+    resolves to ``min(cpu_budget(), repetitions)``, except that batches
+    below :data:`PARALLEL_MIN_WORK` total elements (*work*, typically
+    ``R * k``) stay serial — the fork/join overhead would dominate.
+    """
+    setting = get_threads()
+    if setting != "auto":
+        return setting
+    if work is not None and work < PARALLEL_MIN_WORK:
+        return 1
+    return max(1, min(cpu_budget(), repetitions))
+
+
+def worker_thread_budget() -> str:
+    """Thread budget (as an env-var string) for a child worker process.
+
+    ``"1"`` under ``"auto"`` — a pool/fabric parent already parallelises
+    across workers, so letting each child auto-expand would oversubscribe
+    ``workers × cores`` — and the explicit value when the caller forced
+    one (the overridable escape hatch for few-worker/many-core fleets).
+    """
+    setting = get_threads()
+    return "1" if setting == "auto" else str(setting)
+
+
+@contextmanager
+def _thread_count(n: int):
+    """Scope numba's thread pool to *n* for one kernel call, clamped to
+    the layer's hard cap, restoring the previous setting after.  A no-op
+    without numba (``prange`` is ``range``) or for the serial path."""
+    if not HAVE_NUMBA or n <= 1:
+        yield
+        return
+    previous = _numba.get_num_threads()
+    _numba.set_num_threads(max(1, min(n, _numba.config.NUMBA_NUM_THREADS)))
+    try:
+        yield
+    finally:
+        _numba.set_num_threads(previous)
 
 
 # --------------------------------------------------------------------------
@@ -301,9 +478,161 @@ def _kernel_general(counts, caps2, choices, tie_u, mode, heights, record):
     return counts
 
 
+# --------------------------------------------------------------------------
+# Replication-parallel variants.  Byte-for-byte the serial loop bodies with
+# ``prange`` over the R axis — every thread owns whole rows of counts and
+# heights, reads only its own ``caps2`` row, and never touches another
+# row's state, so the commit sequence *within* each replication (the only
+# ordering the contract defines) is untouched and no thread count can
+# change a number.  The one structural difference: ``_kernel_general_par``
+# allocates its tie-set scratch inside the r-loop so each thread gets a
+# private copy (numba privatises prange-body allocations; the serial
+# kernel hoists it purely as an allocation saving).
+# --------------------------------------------------------------------------
+
+
+def _kernel_d2_uniform_par(counts, cha, chb, tie_u, heights, record, capacity):
+    """Parallel twin of :func:`_kernel_d2_uniform` (rows over ``prange``)."""
+    R, k = cha.shape
+    for r in prange(R):
+        row = counts[r]
+        for j in range(k):
+            a = cha[r, j]
+            b = chb[r, j]
+            na = row[a]
+            nb = row[b]
+            if nb < na:
+                chosen = b
+            elif na < nb:
+                chosen = a
+            else:
+                chosen = a if tie_u[r, j] < 0.5 else b
+            row[chosen] += 1
+            if record:
+                heights[r, j] = row[chosen] / capacity
+    return counts
+
+
+def _kernel_d2_general_par(counts, caps2, cha, chb, tie_u, mode, heights,
+                           record):
+    """Parallel twin of :func:`_kernel_d2_general` (rows over ``prange``)."""
+    R, k = cha.shape
+    crows = caps2.shape[0]
+    for r in prange(R):
+        row = counts[r]
+        crow = caps2[r % crows]
+        for j in range(k):
+            a = cha[r, j]
+            b = chb[r, j]
+            if a == b:
+                chosen = a
+            else:
+                ca = crow[a]
+                cb = crow[b]
+                la = (row[a] + 1) * cb
+                lb = (row[b] + 1) * ca
+                if la < lb:
+                    chosen = a
+                elif lb < la:
+                    chosen = b
+                elif mode == 0:  # prefer larger capacity
+                    if ca > cb:
+                        chosen = a
+                    elif cb > ca:
+                        chosen = b
+                    else:
+                        chosen = a if tie_u[r, j] < 0.5 else b
+                elif mode == 2:  # prefer smaller capacity (ablation)
+                    if ca < cb:
+                        chosen = a
+                    elif cb < ca:
+                        chosen = b
+                    else:
+                        chosen = a if tie_u[r, j] < 0.5 else b
+                else:  # uniform among the tied pair
+                    chosen = a if tie_u[r, j] < 0.5 else b
+            row[chosen] += 1
+            if record:
+                heights[r, j] = row[chosen] / crow[chosen]
+    return counts
+
+
+def _kernel_general_par(counts, caps2, choices, tie_u, mode, heights, record):
+    """Parallel twin of :func:`_kernel_general`; the tie-set scratch is
+    per-row so threads never share it."""
+    R = counts.shape[0]
+    k = choices.shape[1]
+    d = choices.shape[2]
+    crows = caps2.shape[0]
+    for r in prange(R):
+        best = np.empty(d, np.int64)
+        row = counts[r]
+        crow = caps2[r % crows]
+        for j in range(k):
+            first = choices[r, j, 0]
+            best[0] = first
+            nb = 1
+            best_num = row[first] + 1
+            best_den = crow[first]
+            for i in range(1, d):
+                c = choices[r, j, i]
+                num = row[c] + 1
+                den = crow[c]
+                lhs = num * best_den
+                rhs = best_num * den
+                if lhs < rhs:
+                    best[0] = c
+                    nb = 1
+                    best_num = num
+                    best_den = den
+                elif lhs == rhs:
+                    dup = False
+                    for t in range(nb):
+                        if best[t] == c:
+                            dup = True
+                            break
+                    if not dup:
+                        best[nb] = c
+                        nb += 1
+            if nb > 1:
+                if mode == 0:
+                    cbest = crow[best[0]]
+                    for t in range(1, nb):
+                        if crow[best[t]] > cbest:
+                            cbest = crow[best[t]]
+                    w = 0
+                    for t in range(nb):
+                        if crow[best[t]] == cbest:
+                            best[w] = best[t]
+                            w += 1
+                    nb = w
+                elif mode == 2:
+                    cbest = crow[best[0]]
+                    for t in range(1, nb):
+                        if crow[best[t]] < cbest:
+                            cbest = crow[best[t]]
+                    w = 0
+                    for t in range(nb):
+                        if crow[best[t]] == cbest:
+                            best[w] = best[t]
+                            w += 1
+                    nb = w
+            if nb == 1:
+                chosen = best[0]
+            else:
+                chosen = best[int(tie_u[r, j] * nb)]
+            row[chosen] += 1
+            if record:
+                heights[r, j] = row[chosen] / crow[chosen]
+    return counts
+
+
 _kernel_d2_uniform = _jit(_kernel_d2_uniform)
 _kernel_d2_general = _jit(_kernel_d2_general)
 _kernel_general = _jit(_kernel_general)
+_kernel_d2_uniform_par = _jit_parallel(_kernel_d2_uniform_par)
+_kernel_d2_general_par = _jit_parallel(_kernel_d2_general_par)
+_kernel_general_par = _jit_parallel(_kernel_general_par)
 
 #: Height placeholder handed to the kernels when no recording was asked
 #: for; keeps every call signature identical so numba compiles each kernel
@@ -316,17 +645,23 @@ def warmup(d_values=(1, 2, 3)) -> bool:
 
     Benchmarks and CI call this outside their timed sections so the jit
     cost (first machine: ~seconds; cached: ~milliseconds) never pollutes a
-    floor measurement.  Returns :data:`HAVE_NUMBA` — without numba this is
-    a cheap no-op pass through the Python fallbacks.
+    floor measurement.  Covers both kernel families — ``threads=2`` also
+    spins up numba's thread pool, whose first-use cost would otherwise
+    land in the first timed parallel section.  Returns :data:`HAVE_NUMBA`
+    — without numba this is a cheap no-op pass through the Python
+    fallbacks.
     """
     for d in d_values:
         for caps in (np.ones(4, dtype=np.int64), np.arange(1, 5, dtype=np.int64)):
-            counts = np.zeros((2, 4), dtype=np.int64)
-            choices = np.tile(np.arange(d, dtype=np.int64) % 4, (2, 3, 1))
-            tie_u = np.full((2, 3), 0.25)
-            heights = np.empty((2, 3), dtype=np.float64)
-            run_batch_compiled(counts, caps, choices, tie_u, heights=heights)
-            run_batch_compiled(counts, caps, choices, tie_u)
+            for threads in (1, 2):
+                counts = np.zeros((2, 4), dtype=np.int64)
+                choices = np.tile(np.arange(d, dtype=np.int64) % 4, (2, 3, 1))
+                tie_u = np.full((2, 3), 0.25)
+                heights = np.empty((2, 3), dtype=np.float64)
+                run_batch_compiled(counts, caps, choices, tie_u,
+                                   heights=heights, threads=threads)
+                run_batch_compiled(counts, caps, choices, tie_u,
+                                   threads=threads)
     return HAVE_NUMBA
 
 
@@ -339,6 +674,7 @@ def run_batch_compiled(
     tie_break: str = "max_capacity",
     heights: np.ndarray | None = None,
     workspace=None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Allocate one batch of balls with the compiled tier.
 
@@ -353,6 +689,13 @@ def run_batch_compiled(
     kernels for every replication, heights included; *workspace* is
     accepted for driver-call symmetry and ignored (the compiled loops
     need no temporaries).
+
+    *threads* picks the kernel family: ``> 1`` runs the ``prange``
+    variants under a thread budget scoped to this call, ``1`` (or
+    ``None``-resolved-to-1) the serial kernels.  ``None`` resolves the
+    ``REPRO_THREADS`` knob per batch via :func:`resolve_threads`; the
+    drivers resolve once per run and pass the result explicitly.  Either
+    family, any budget: bit-identical.
     """
     del workspace
     mode, counts, caps, tie_uniforms = validate_lockstep_batch(
@@ -366,24 +709,26 @@ def run_batch_compiled(
         choices = choices.astype(np.int64)
     if tie_uniforms.dtype != np.float64:
         tie_uniforms = tie_uniforms.astype(np.float64)
+    if threads is None:
+        threads = resolve_threads(R, R * k)
+    parallel = threads > 1
     caps2 = caps if caps.ndim == 2 else caps[None, :]
     record = heights is not None
     h = heights if record else _NO_HEIGHTS
-    if d == 2:
-        cha = np.ascontiguousarray(choices[:, :, 0])
-        chb = np.ascontiguousarray(choices[:, :, 1])
-        if caps.ndim == 1 and bool((caps == caps[0]).all()):
-            _kernel_d2_uniform(
-                counts, cha, chb, tie_uniforms, h, record, int(caps[0])
-            )
-        else:
-            _kernel_d2_general(
-                counts, caps2, cha, chb, tie_uniforms, np.int64(mode), h, record
-            )
-        return counts
-    _kernel_general(
-        counts, caps2, choices, tie_uniforms, np.int64(mode), h, record
-    )
+    with _thread_count(threads):
+        if d == 2:
+            cha = np.ascontiguousarray(choices[:, :, 0])
+            chb = np.ascontiguousarray(choices[:, :, 1])
+            if caps.ndim == 1 and bool((caps == caps[0]).all()):
+                kern = _kernel_d2_uniform_par if parallel else _kernel_d2_uniform
+                kern(counts, cha, chb, tie_uniforms, h, record, int(caps[0]))
+            else:
+                kern = _kernel_d2_general_par if parallel else _kernel_d2_general
+                kern(counts, caps2, cha, chb, tie_uniforms, np.int64(mode),
+                     h, record)
+            return counts
+        kern = _kernel_general_par if parallel else _kernel_general
+        kern(counts, caps2, choices, tie_uniforms, np.int64(mode), h, record)
     return counts
 
 

@@ -94,7 +94,7 @@ import numpy as np
 from ..bins.arrays import BinArray
 from ..sampling.distributions import probability_model
 from ..sampling.rngutils import make_rng, spawn_seed_sequences
-from .compiled import run_batch_compiled, use_compiled
+from .compiled import resolve_threads, run_batch_compiled, use_compiled
 from .simulation import DEFAULT_CHUNK_SIZE, _normalise_snapshot_points
 from .wavefront import (
     RUNTIME_MIN_FREE_FRACTION,
@@ -549,6 +549,11 @@ def simulate_ensemble(
     n_eff = effective_bins(p) if p is not None else float(n)
     use_comp = use_compiled()
     use_wf = False if use_comp else use_wavefront(n_eff, R, d)
+    # Thread budget resolved once per run, like the backend: REPRO_THREADS
+    # "auto" = min(cores, R) once the whole run clears the work-size floor
+    # (per-chunk resolution would flip kernels mid-run — harmless for the
+    # numbers, noisy for the profile).
+    comp_threads = resolve_threads(R, R * m) if use_comp else 1
 
     kernel_block = max(1, _KERNEL_TARGET // max(R, 1))
     while thrown < m:
@@ -572,6 +577,7 @@ def simulate_ensemble(
                 tie_u,
                 tie_break=tie_break,
                 heights=chunk_heights,
+                threads=comp_threads,
             )
         elif use_wf:
             run_batch_wavefront(

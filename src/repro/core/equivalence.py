@@ -38,7 +38,7 @@ import numpy as np
 
 from ..bins.arrays import BinArray
 from ..sampling.rngutils import spawn_seed_sequences
-from .compiled import forced_backend, run_batch_compiled
+from .compiled import forced_backend, forced_threads, run_batch_compiled
 from .ensemble import run_batch_ensemble, simulate_ensemble
 from .fast import run_batch
 from .protocol import TIE_BREAKS, reference_run
@@ -63,6 +63,7 @@ __all__ = [
     "check_experiment_equivalence",
     "check_experiment_wavefront_identity",
     "check_experiment_backend_identity",
+    "check_thread_identity",
     "check_fabric_serial_identity",
 ]
 
@@ -796,4 +797,72 @@ def check_experiment_backend_identity(experiment_id: str) -> int:
                 f"{label}: series {name!r} is not bit-identical"
             )
         checked += 1
+    return checked
+
+
+def check_thread_identity(
+    experiment_id: str, thread_counts=(1, 2, 7)
+) -> int:
+    """Run one experiment under forced compiled-tier thread budgets and
+    require every budget to reproduce the 1-thread figures *bit-identically*,
+    on both engines.
+
+    The threads axis of the backend matrix: the ``prange`` variants own
+    whole replication rows with zero cross-row communication, so forcing
+    1 vs 2 vs 7 threads (the default includes a budget above most test
+    ``R``, exercising idle threads) must never change a series value —
+    heights and snapshot series included, since the cases' series are
+    computed from them.  Runs under ``forced_backend("compiled")`` (the
+    only tier with a thread axis; without Numba ``prange`` is ``range``
+    and the parallel family runs serially through the interpreter, same
+    arithmetic).  Uses the pinned :data:`EXPERIMENT_CASES` configuration
+    at the trimmed ``wavefront_kwargs`` scale when present, like the
+    backend check.  Returns the number of (engine, thread-count)
+    comparisons performed.
+    """
+    from ..experiments import run_experiment
+
+    try:
+        case = EXPERIMENT_CASES[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"experiment {experiment_id!r} has no cross-engine case: add it to "
+            f"EXPERIMENT_CASES (and an ensemble path to the experiment) — "
+            f"every registered experiment must support both engines"
+        ) from None
+    kwargs = case.wavefront_kwargs if case.wavefront_kwargs is not None else case.kwargs
+    thread_counts = tuple(thread_counts)
+    if not thread_counts or thread_counts[0] != 1:
+        raise ValueError(
+            f"thread_counts must start with the serial baseline 1, "
+            f"got {thread_counts!r}"
+        )
+    checked = 0
+    with forced_backend("compiled"):
+        for engine in ("scalar", "ensemble"):
+            base = None
+            for threads in thread_counts:
+                with forced_threads(threads):
+                    result = run_experiment(
+                        experiment_id, seed=case.seed, engine=engine,
+                        **kwargs,
+                    )
+                if base is None:
+                    base = result
+                    continue
+                label = (f"{experiment_id} [{engine}] threads "
+                         f"{threads} vs 1")
+                np.testing.assert_array_equal(
+                    result.x_values, base.x_values, err_msg=f"{label}: x grid"
+                )
+                assert set(result.series) == set(base.series), (
+                    f"{label}: series names"
+                )
+                for name in result.series:
+                    a, b = result.series[name], base.series[name]
+                    both_nan = np.isnan(a) & np.isnan(b)
+                    assert np.array_equal(a[~both_nan], b[~both_nan]), (
+                        f"{label}: series {name!r} is not bit-identical"
+                    )
+                checked += 1
     return checked

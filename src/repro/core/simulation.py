@@ -20,7 +20,7 @@ import numpy as np
 from ..bins.arrays import BinArray
 from ..sampling.distributions import probability_model
 from ..sampling.rngutils import make_rng
-from .compiled import run_batch_compiled, use_compiled
+from .compiled import resolve_threads, run_batch_compiled, use_compiled
 from .fast import run_batch
 from .wavefront import (
     RUNTIME_MIN_FREE_FRACTION,
@@ -230,6 +230,10 @@ def simulate(
     wf_auto = get_mode() == "auto"
     use_comp = use_compiled()
     use_wf = False if use_comp else use_wavefront(n_eff, 1, d)
+    # A scalar run is the R = 1 ensemble: "auto" always resolves to 1
+    # thread (nothing to split over prange), but an explicit REPRO_THREADS
+    # budget is honored so the knob behaves identically on both drivers.
+    comp_threads = resolve_threads(1, m) if use_comp else 1
     wf_stats = WavefrontStats()
     workspace = WavefrontWorkspace()
     if use_comp or use_wf:
@@ -275,6 +279,7 @@ def simulate(
                 heights=None
                 if heights_arr is None
                 else heights_arr[:, thrown : thrown + batch],
+                threads=comp_threads,
             )
         elif counts_arr is not None:
             run_batch_wavefront(

@@ -52,11 +52,13 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import traceback
 from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from ..core.compiled import THREADS_ENV_VAR, set_threads, worker_thread_budget
 from ..sampling.rngutils import spawn_seed_sequences
 from .progress import make_reporter
 
@@ -162,6 +164,23 @@ def _invoke_captured(payload):
         return _invoke(payload)
     except Exception as exc:  # noqa: BLE001 — re-raised with context parent-side
         return _TaskFailure(repr(exc), traceback.format_exc())
+
+
+def _pool_initializer(thread_budget: str) -> None:
+    """Pin a pool worker's compiled-tier thread budget (oversubscription
+    guard).
+
+    The pool already parallelises across workers, so a worker whose
+    ``REPRO_THREADS`` resolves to ``"auto"`` would expand to the whole
+    machine and the fleet would run ``workers × cores`` threads.  Each
+    worker therefore starts with the parent's
+    :func:`~repro.core.compiled.worker_thread_budget` — ``"1"`` under
+    ``"auto"``, the explicit value when the caller forced one — written to
+    its environment, and any fork-inherited in-process override cleared so
+    the env value is what :func:`~repro.core.compiled.get_threads` sees.
+    """
+    set_threads(None)
+    os.environ[THREADS_ENV_VAR] = thread_budget
 
 
 def _resolve_blocks(repetitions: int, block_size: int | None) -> list[tuple[int, int]]:
@@ -615,7 +634,11 @@ def _run_adaptive_blocks(
         pool_size = workers if workers is not None else multiprocessing.cpu_count()
         pool_size = min(pool_size, len(pending))
         stopped = False
-        with multiprocessing.Pool(pool_size) as pool:
+        with multiprocessing.Pool(
+            pool_size,
+            initializer=_pool_initializer,
+            initargs=(worker_thread_budget(),),
+        ) as pool:
             idx = 0
             while idx < len(pending) and not stopped:
                 wave = pending[idx:idx + pool_size]
@@ -700,7 +723,11 @@ def run_tasks(
     else:
         pool_size = workers if workers is not None else multiprocessing.cpu_count()
         pool_size = min(pool_size, max(len(payloads), 1))
-        with multiprocessing.Pool(pool_size) as pool:
+        with multiprocessing.Pool(
+            pool_size,
+            initializer=_pool_initializer,
+            initargs=(worker_thread_budget(),),
+        ) as pool:
             iterator = pool.imap(_invoke_captured, payloads, chunksize=max(chunksize, 1))
             for i, step in enumerate(steps):
                 try:

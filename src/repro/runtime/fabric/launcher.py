@@ -34,6 +34,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from ...core.compiled import THREADS_ENV_VAR, worker_thread_budget
 from ...io.atomicio import atomic_write
 from ...io.store import CheckpointSlot, ResultStore, resolve_store
 from ..progress import make_reporter
@@ -90,9 +91,18 @@ class FabricSession:
     # -- fleet management -------------------------------------------------
 
     def spawn_workers(self, count: int) -> list[int]:
-        """Start *count* worker subprocesses; return their pids."""
+        """Start *count* worker subprocesses; return their pids.
+
+        Each worker is pinned to the driver's
+        :func:`~repro.core.compiled.worker_thread_budget` — ``1`` compiled
+        thread unless the driver explicitly forced a budget — so a fleet
+        of N workers on one machine never runs ``N × cores`` threads (the
+        same oversubscription guard the executor's pool initializer
+        applies).
+        """
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(p or os.getcwd() for p in sys.path)
+        env[THREADS_ENV_VAR] = worker_thread_budget()
         host, port = self.broker.address
         pids = []
         for _ in range(count):

@@ -15,17 +15,25 @@ when :data:`repro.core.compiled.HAVE_NUMBA` is ``False``.
 import numpy as np
 import pytest
 
+import repro.core.compiled as compiled
 from repro.bins import BinArray
 from repro.core.compiled import (
     BACKEND_ENV_VAR,
     BACKEND_MODES,
     HAVE_NUMBA,
+    PARALLEL_MIN_WORK,
+    THREADS_ENV_VAR,
     forced_backend,
+    forced_threads,
     get_backend,
+    get_threads,
+    resolve_threads,
     run_batch_compiled,
     set_backend,
+    set_threads,
     use_compiled,
     warmup,
+    worker_thread_budget,
 )
 from repro.core.ensemble import run_batch_ensemble, simulate_ensemble
 from repro.core.equivalence import (
@@ -34,10 +42,18 @@ from repro.core.equivalence import (
     check_backend_driver_identity,
     check_compiled_kernel_equivalence,
     check_experiment_backend_identity,
+    check_thread_identity,
 )
 from repro.core.fast import run_batch
 from repro.core.protocol import TIE_BREAKS
 from repro.core.simulation import simulate
+
+#: Names of the prange kernel family, for dispatch-path monkeypatching.
+_PARALLEL_KERNELS = (
+    "_kernel_d2_uniform_par",
+    "_kernel_d2_general_par",
+    "_kernel_general_par",
+)
 
 
 class TestKernelBitIdentity:
@@ -227,6 +243,152 @@ class TestBackendKnobs:
         np.testing.assert_array_equal(res.heights, ref.heights)
 
 
+class TestThreadKnobs:
+    def test_default_is_auto(self):
+        assert get_threads() == "auto"
+
+    def test_set_and_forced(self):
+        with forced_threads(2):
+            assert get_threads() == 2
+            with forced_threads("auto"):
+                assert get_threads() == "auto"
+            assert get_threads() == 2
+        assert get_threads() == "auto"
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError, match="thread budget"):
+            set_threads(0)
+        with pytest.raises(ValueError, match="thread budget"):
+            set_threads(-3)
+        with pytest.raises(ValueError, match="thread budget"):
+            set_threads("many")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV_VAR, "5")
+        assert get_threads() == 5
+        monkeypatch.setenv(THREADS_ENV_VAR, "auto")
+        assert get_threads() == "auto"
+        monkeypatch.setenv(THREADS_ENV_VAR, "garbage")
+        assert get_threads() == "auto"  # degrade, never crash a run
+        monkeypatch.setenv(THREADS_ENV_VAR, "0")
+        assert get_threads() == "auto"
+
+    def test_resolve_auto_caps_at_replications(self, monkeypatch):
+        monkeypatch.setattr(compiled, "cpu_budget", lambda: 8)
+        big = PARALLEL_MIN_WORK  # at/above the floor
+        assert resolve_threads(64, big) == 8
+        assert resolve_threads(3, big) == 3
+        assert resolve_threads(1, big) == 1
+        assert resolve_threads(64) == 8  # no work estimate: trust R
+
+    def test_resolve_explicit_bypasses_floor_and_cores(self, monkeypatch):
+        monkeypatch.setattr(compiled, "cpu_budget", lambda: 2)
+        with forced_threads(7):
+            assert resolve_threads(3, 10) == 7  # tiny work, threads > R
+        with forced_threads(1):
+            assert resolve_threads(256, PARALLEL_MIN_WORK) == 1
+
+    def test_worker_thread_budget(self):
+        assert worker_thread_budget() == "1"  # auto: children stay serial
+        with forced_threads(3):
+            assert worker_thread_budget() == "3"  # explicit: propagates
+
+
+class TestWorkSizeFloor:
+    """"auto" keeps tiny batches on the serial kernels — proven by
+    monkeypatching the parallel family to a tripwire, on a simulated
+    multi-core box (CI may have one core, which would make auto trivially
+    serial)."""
+
+    def _arm(self, monkeypatch):
+        monkeypatch.setattr(compiled, "cpu_budget", lambda: 8)
+
+        def boom(*args):  # pragma: no cover - only on regression
+            raise AssertionError("parallel kernel ran below the work floor")
+
+        for name in _PARALLEL_KERNELS:
+            monkeypatch.setattr(compiled, name, boom)
+
+    def test_resolve_floor_boundary(self, monkeypatch):
+        monkeypatch.setattr(compiled, "cpu_budget", lambda: 8)
+        assert resolve_threads(64, PARALLEL_MIN_WORK - 1) == 1
+        assert resolve_threads(64, PARALLEL_MIN_WORK) == 8
+
+    def test_small_batch_stays_serial(self, monkeypatch):
+        self._arm(monkeypatch)
+        rng = np.random.default_rng(2)
+        R, n, m = 4, 8, 50  # R * m far below PARALLEL_MIN_WORK
+        for d, caps in ((2, np.ones(n, np.int64)),
+                        (2, np.arange(1, n + 1, dtype=np.int64)),
+                        (3, np.arange(1, n + 1, dtype=np.int64))):
+            counts = np.zeros((R, n), dtype=np.int64)
+            run_batch_compiled(counts, caps, rng.integers(0, n, (R, m, d)),
+                               rng.random((R, m)))
+
+    def test_small_driver_run_stays_serial(self, monkeypatch):
+        self._arm(monkeypatch)
+        with forced_backend("compiled"):
+            simulate_ensemble(BinArray([1] * 8), repetitions=4, m=60, d=2,
+                              seed=3)
+            simulate(BinArray([1] * 8), m=60, d=2, seed=3)
+
+    def test_large_batch_goes_parallel(self, monkeypatch):
+        """Above the floor on a multi-core box, auto dispatches the prange
+        family (counted via a pass-through spy)."""
+        monkeypatch.setattr(compiled, "cpu_budget", lambda: 8)
+        calls = []
+        real = compiled._kernel_d2_uniform_par
+
+        def spy(*args):
+            calls.append(len(args))
+            return real(*args)
+
+        monkeypatch.setattr(compiled, "_kernel_d2_uniform_par", spy)
+        R = 64
+        m = PARALLEL_MIN_WORK // R  # R * m == PARALLEL_MIN_WORK exactly
+        rng = np.random.default_rng(4)
+        n = 512
+        counts = np.zeros((R, n), dtype=np.int64)
+        run_batch_compiled(counts, np.ones(n, np.int64),
+                           rng.integers(0, n, (R, m, 2)), rng.random((R, m)))
+        assert calls, "prange kernel did not run above the work floor"
+
+
+class TestThreadCountBitIdentity:
+    """Randomized thread-count property: any budget, any specialisation,
+    bit-identical counts and heights — including threads > R (idle
+    threads) and per-replication capacity matrices."""
+
+    @pytest.mark.parametrize("R", [1, 3, 64])
+    @pytest.mark.parametrize("track_heights", [False, True])
+    def test_all_specialisations(self, R, track_heights):
+        rng = np.random.default_rng(0xBEEF + R + track_heights)
+        n, m = 10, 120
+        profiles = [
+            (2, np.full(n, 3, dtype=np.int64)),              # d2 uniform
+            (2, rng.integers(1, 7, (n,)).astype(np.int64)),  # d2 general
+            (2, rng.integers(1, 7, (R, n)).astype(np.int64)),  # d2 per-rep
+            (1, rng.integers(1, 7, (n,)).astype(np.int64)),  # general d=1
+            (3, rng.integers(1, 7, (R, n)).astype(np.int64)),  # general d=3
+        ]
+        for d, caps in profiles:
+            choices = rng.integers(0, n, size=(R, m, d))
+            tie_u = rng.random((R, m))
+            base = np.zeros((R, n), dtype=np.int64)
+            bh = np.empty((R, m)) if track_heights else None
+            run_batch_compiled(base, caps, choices, tie_u, heights=bh,
+                               threads=1)
+            for threads in (2, 7):
+                counts = np.zeros((R, n), dtype=np.int64)
+                h = np.empty((R, m)) if track_heights else None
+                run_batch_compiled(counts, caps, choices, tie_u, heights=h,
+                                   threads=threads)
+                label = f"d={d} caps{caps.shape} R={R} threads={threads}"
+                np.testing.assert_array_equal(base, counts, err_msg=label)
+                if track_heights:
+                    np.testing.assert_array_equal(bh, h, err_msg=label)
+
+
 class TestBackendExperimentIdentity:
     """Backend compiled vs numpy over the full experiment registry.
 
@@ -240,3 +402,16 @@ class TestBackendExperimentIdentity:
     @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENT_CASES))
     def test_compiled_equals_numpy(self, experiment_id):
         assert check_experiment_backend_identity(experiment_id) == 2
+
+
+class TestThreadExperimentIdentity:
+    """Forced 1 vs 2 vs 7 compiled threads over the full experiment
+    registry, both engines: the threads axis of the backend matrix.  Runs
+    with or without numba (the prange family falls back to the identical
+    plain-Python source), so a future kernel whose parallel variant drifts
+    from the serial one fails here on every machine."""
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENT_CASES))
+    def test_threads_never_change_a_number(self, experiment_id):
+        # 2 engines x 2 non-baseline budgets
+        assert check_thread_identity(experiment_id) == 4

@@ -7,13 +7,16 @@ import pytest
 
 from repro.io.benchjson import (
     BENCH_SCHEMA,
+    LEGACY_BENCH_SCHEMAS,
     load_bench_json,
     validate_bench_payload,
     write_bench_json,
 )
 
 ROW = {"config": "fig01_large", "R": 64, "engine": "ensemble",
-       "wavefront": "on", "seconds": 0.0123}
+       "wavefront": "on", "seconds": 0.0123, "threads": 1, "cpu_count": 4}
+LEGACY_ROW = {"config": "fig01_large", "R": 64, "engine": "ensemble",
+              "wavefront": "on", "seconds": 0.0123}
 SPEEDUP = {"config": "fig01_large", "R": 64, "kind": "wavefront_over_per_ball",
            "ratio": 1.9, "floor": 1.4}
 
@@ -60,6 +63,9 @@ class TestValidation:
             (dict(ROW, R="64"), r"rows\[0\]\.R"),
             (dict(ROW, seconds=-1.0), r"rows\[0\]\.seconds"),
             (dict(ROW, wavefront="sometimes"), r"rows\[0\]\.wavefront"),
+            (dict(ROW, threads=0), r"rows\[0\]\.threads"),
+            (dict(ROW, threads="2"), r"rows\[0\]\.threads"),
+            (dict(ROW, cpu_count=0), r"rows\[0\]\.cpu_count"),
         ]:
             with pytest.raises(ValueError, match=pattern):
                 validate_bench_payload({"schema": BENCH_SCHEMA, "quick": True,
@@ -72,6 +78,48 @@ class TestValidation:
         with pytest.raises(ValueError, match="quick"):
             validate_bench_payload({"schema": BENCH_SCHEMA, "quick": "yes",
                                     "rows": [], "speedups": []})
+
+
+class TestLegacySchema:
+    """The /1 read path: PR-over-PR diffing must still open the previous
+    PR's committed document after the /2 bump."""
+
+    def _write_legacy(self, path):
+        payload = {"schema": LEGACY_BENCH_SCHEMAS[0], "quick": True,
+                   "rows": [dict(LEGACY_ROW)], "speedups": [SPEEDUP]}
+        path.write_text(json.dumps(payload) + "\n")
+        return payload
+
+    def test_legacy_document_loads_and_normalises(self, tmp_path):
+        path = tmp_path / "old.json"
+        self._write_legacy(path)
+        loaded = load_bench_json(path)
+        assert loaded["schema"] == LEGACY_BENCH_SCHEMAS[0]  # preserved
+        row = loaded["rows"][0]
+        assert row["threads"] == 1  # pre-/2 timings were all serial
+        assert row["cpu_count"] is None  # unrecorded, not guessed
+        assert row["seconds"] == LEGACY_ROW["seconds"]
+
+    def test_legacy_rows_must_not_carry_new_fields(self):
+        """A /1 document with /2 fields is malformed, not 'early'."""
+        with pytest.raises(ValueError, match=r"rows\[0\]: unknown"):
+            validate_bench_payload({"schema": LEGACY_BENCH_SCHEMAS[0],
+                                    "quick": True, "rows": [dict(ROW)],
+                                    "speedups": []})
+
+    def test_current_rows_must_carry_new_fields(self):
+        """A /2 document without threads/cpu_count is malformed."""
+        with pytest.raises(ValueError, match=r"rows\[0\]: missing"):
+            validate_bench_payload({"schema": BENCH_SCHEMA, "quick": True,
+                                    "rows": [dict(LEGACY_ROW)],
+                                    "speedups": []})
+
+    def test_writes_are_always_current_schema(self, tmp_path):
+        path = tmp_path / "new.json"
+        payload = write_bench_json(path, quick=True, rows=[ROW],
+                                   speedups=[SPEEDUP])
+        assert payload["schema"] == BENCH_SCHEMA
+        assert json.loads(path.read_text())["schema"] == BENCH_SCHEMA
 
 
 class TestRepoArtifact:

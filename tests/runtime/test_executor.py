@@ -7,11 +7,20 @@ slices of that same child list — so a stream-matched ensemble task must
 reproduce scalar results bit-for-bit for any ``workers`` / ``block_size``.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.bins import uniform_bins
 from repro.core import simulate, simulate_ensemble
+from repro.core.compiled import (
+    THREADS_ENV_VAR,
+    forced_backend,
+    forced_threads,
+    get_threads,
+    resolve_threads,
+)
 from repro.runtime import (
     block_parameter_rng,
     run_ensemble_blocks,
@@ -240,6 +249,57 @@ class TestBlockParameterHook:
     def test_rejects_empty_slice(self):
         with pytest.raises(ValueError, match="non-empty"):
             block_parameter_rng([])
+
+
+def thread_env_task(seed):
+    """Reports the compiled-tier thread setup a pool child sees: the env
+    var the initializer pinned, what get_threads resolves it to, and the
+    concrete budget a compiled-parallel-sized batch would get."""
+    del seed
+    return {
+        "env": os.environ.get(THREADS_ENV_VAR),
+        "setting": get_threads(),
+        "resolved": resolve_threads(64, 1 << 30),
+    }
+
+
+class TestThreadBudgetGuard:
+    """Oversubscription guard: pool children are pinned to one compiled
+    thread unless the driver explicitly forced a budget, so
+    ``workers × threads`` never exceeds the core budget."""
+
+    def test_pool_children_pinned_to_one_thread(self):
+        out = run_repetitions(thread_env_task, 4, seed=0, workers=2)
+        for child in out:
+            assert child["env"] == "1"
+            assert child["setting"] == 1
+            assert child["resolved"] == 1
+
+    def test_workers_4_compiled_parallel_stays_within_core_budget(self):
+        """workers=4 + compiled-parallel: each child resolves to exactly 1
+        thread even for a batch far beyond the work-size floor, so the
+        fleet runs workers × 1 = 4 threads, never workers × cores."""
+        workers = 4
+        with forced_backend("compiled"):
+            out = run_repetitions(thread_env_task, workers, seed=0,
+                                  workers=workers)
+        total_threads = sum(child["resolved"] for child in out)
+        assert total_threads == workers
+
+    def test_pool_children_inherit_forced_budget(self):
+        """The guard is overridable: an explicit parent budget propagates
+        (the escape hatch for few-worker fleets on many-core machines)."""
+        with forced_threads(3):
+            out = run_repetitions(thread_env_task, 2, seed=0, workers=2)
+        for child in out:
+            assert child["env"] == "3"
+            assert child["setting"] == 3
+            assert child["resolved"] == 3
+
+    def test_parent_env_untouched(self):
+        before = os.environ.get(THREADS_ENV_VAR)
+        run_repetitions(thread_env_task, 2, seed=0, workers=2)
+        assert os.environ.get(THREADS_ENV_VAR) == before
 
 
 class TestPool:

@@ -20,6 +20,7 @@ import pytest
 
 from repro.analysis.aggregate import StreamingScalar
 from repro.analysis.precision import PrecisionTarget
+from repro.core.compiled import THREADS_ENV_VAR, forced_threads
 from repro.io.store import CheckpointSlot, ResultStore
 from repro.runtime import (
     FabricSession,
@@ -89,6 +90,32 @@ def wait_for_park_file(store, deadline=10.0):
             return True
         time.sleep(0.02)
     return False
+
+
+def _proc_environ(pid):
+    """Parse /proc/<pid>/environ into a dict (Linux only)."""
+    raw = Path(f"/proc/{pid}/environ").read_bytes()
+    return dict(
+        item.split(b"=", 1) for item in raw.split(b"\0") if b"=" in item
+    )
+
+
+@pytest.mark.skipif(not Path("/proc").exists(), reason="needs Linux procfs")
+class TestWorkerThreadBudget:
+    """Oversubscription guard, fabric side: spawned workers are pinned to
+    one compiled thread via their environment unless the driver forced an
+    explicit budget (mirrors the executor pool initializer)."""
+
+    def test_spawned_workers_pinned_to_one_thread(self):
+        with FabricSession(1) as session:
+            pid = session.worker_pids[0]
+            assert _proc_environ(pid)[THREADS_ENV_VAR.encode()] == b"1"
+
+    def test_spawned_workers_inherit_forced_budget(self):
+        with forced_threads(3):
+            with FabricSession(1) as session:
+                pid = session.worker_pids[0]
+                assert _proc_environ(pid)[THREADS_ENV_VAR.encode()] == b"3"
 
 
 class TestProtocol:
