@@ -11,7 +11,8 @@ test:
 
 # Routine pipeline: tier-1 + quick ensemble benchmarks (5x/3x floors) +
 # adaptive-precision smoke (<=50% budget floor + store round trip) +
-# reduced-budget cross-engine equivalence sweep.
+# allocation-service replay bench (d=2 vs d=1 baseline -> BENCH_service.json)
+# and live-endpoint smoke + reduced-budget cross-engine equivalence sweep.
 check:
 	bash scripts/ci.sh
 

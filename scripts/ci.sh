@@ -21,7 +21,15 @@
 #   5. the sweep-fabric smoke: fig02 over 2 broker-leased workers with
 #      one SIGKILLed mid-flight — the lost lease re-queues, the survivor
 #      resumes, and the result must be bit-identical to the serial run;
-#   6. a reduced-budget cross-engine equivalence sweep, run once per
+#   6. the allocation-service replay bench (quick mode): one fixed
+#      open-loop trace at d=1 and d=2, d=2 must beat the d=1 baseline,
+#      emitting BENCH_service.json (schema repro.bench_service/1),
+#      validated right after;
+#   7. the allocation-service smoke: a tiny trace with one mid-stream
+#      churn event driven over the live TCP endpoint — the wire run's
+#      placement digest must equal the in-process reference bit for bit
+#      and the stats endpoint must answer mid-traffic;
+#   8. a reduced-budget cross-engine equivalence sweep, run once per
 #      *available* backend (numpy always; compiled additionally when numba
 #      is importable — without numba the numpy pass already executes the
 #      compiled tier's interpreter fallback in its backend checks) —
@@ -68,6 +76,22 @@ python scripts/store_smoke.py
 
 echo "== sweep-fabric smoke (worker kill mid-flight, bit-identical) =="
 python scripts/fabric_smoke.py
+
+echo "== allocation-service replay bench (d=2 vs d=1 baseline) =="
+REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_service.py -q
+
+echo "== service benchmark records schema check =="
+python -c "
+from repro.io.benchjson import load_service_bench_json
+payload = load_service_bench_json('BENCH_service.json')
+ratios = {c['d']: round(c['max_load_ratio_vs_d1'], 3)
+          for c in payload['comparisons']}
+print(f'BENCH_service.json OK: {len(payload[\"rows\"])} rows, '
+      f'max-load ratios vs d=1: {ratios}')
+"
+
+echo "== allocation-service smoke (wire digest == in-process, stats live) =="
+python scripts/service_smoke.py
 
 BACKENDS="numpy"
 if python -c "import numba" 2>/dev/null; then

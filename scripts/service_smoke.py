@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Allocation-service smoke: deterministic digest through a live endpoint.
+
+The quick-mode gate for the live allocation service (``make check``):
+
+1. replay a tiny open-loop trace (heavy-tailed popularity, one churn
+   event mid-trace) **in process** — the reference placement digest;
+2. start the asyncio TCP server on an ephemeral port and drive the
+   identical request/churn sequence **over the wire**, scraping the
+   stats endpoint mid-stream (it must answer while traffic flows) and
+   at the end;
+3. require the wire run's placement digest and per-peer loads to equal
+   the in-process reference **bit for bit** — the service determinism
+   contract, exercised across the transport rather than assumed;
+4. require a second wire run to reproduce the same digest (no hidden
+   per-connection or per-process state).
+
+Exit code 0 means every check passed.  Budgeted at ~2 seconds; the full
+service matrix (staleness bounds, churn floors, error paths) lives in
+``tests/service/``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service import (
+    AllocationService,
+    ChurnAction,
+    TraceSpec,
+    generate_trace,
+    run_server,
+)
+
+SEED = 20260612
+PEERS = [f"peer-{i}" for i in range(8)]
+SPEC = TraceSpec(
+    requests=400, users=1_000, objects=500, zipf_s=1.1, rate=1_000.0, seed=SEED
+)
+#: The single churn event (a join) fires after this many requests.
+CHURN_AFTER = 200
+
+
+def _fresh_service() -> AllocationService:
+    return AllocationService(PEERS, d=2, refresh_every=32, seed=SEED)
+
+
+def _reference(keys):
+    """In-process replay of the request/churn sequence."""
+    service = _fresh_service()
+    for i, key in enumerate(keys):
+        if i == CHURN_AFTER:
+            service.apply_churn(ChurnAction(time=0.0, kind="join"))
+        service.allocate(key)
+    stats = service.stats()
+    return stats["placement_digest"], stats["load"]["per_peer"]
+
+
+def _start_server():
+    """Run the asyncio server on a daemon thread; return (host, port)."""
+    bound = {}
+    ready = threading.Event()
+
+    def runner():
+        def announce(addr):
+            bound["addr"] = addr
+            ready.set()
+
+        try:
+            asyncio.run(run_server(_fresh_service(), port=0, ready=announce))
+        except Exception as exc:  # pragma: no cover - surfaced via timeout
+            bound["error"] = exc
+            ready.set()
+
+    threading.Thread(target=runner, daemon=True).start()
+    if not ready.wait(timeout=10.0):
+        raise RuntimeError("server did not start within 10s")
+    if "error" in bound:
+        raise RuntimeError(f"server failed to start: {bound['error']}")
+    return bound["addr"]
+
+
+def _wire_run(keys):
+    """Drive the sequence over TCP; return (digest, per-peer loads)."""
+    host, port = _start_server()
+    with socket.create_connection((host, port), timeout=10.0) as conn:
+        io = conn.makefile("rw", encoding="utf-8", newline="\n")
+
+        def call(msg):
+            io.write(json.dumps(msg) + "\n")
+            io.flush()
+            reply = json.loads(io.readline())
+            if not reply.get("ok"):
+                raise RuntimeError(f"server refused {msg!r}: {reply}")
+            return reply
+
+        if not call({"op": "ping"}).get("pong"):
+            raise RuntimeError("ping did not pong")
+        for i, key in enumerate(keys):
+            if i == CHURN_AFTER:
+                call({"op": "churn", "kind": "join"})
+            call({"op": "alloc", "key": key})
+            if i == CHURN_AFTER // 2:
+                # Mid-stream scrape: the stats endpoint must answer while
+                # traffic is in flight.
+                mid = call({"op": "stats"})["stats"]
+                assert mid["requests"] == i + 1, mid["requests"]
+        stats = call({"op": "stats"})["stats"]
+    return stats["placement_digest"], stats["load"]["per_peer"]
+
+
+def main() -> int:
+    started = time.perf_counter()
+    trace = generate_trace(SPEC)
+    keys = list(trace.keys())
+
+    ref_digest, ref_loads = _reference(keys)
+    print(f"in-process reference: digest {ref_digest[:16]}..., "
+          f"{len(ref_loads)} peers")
+
+    wire_digest, wire_loads = _wire_run(keys)
+    if (wire_digest, wire_loads) != (ref_digest, ref_loads):
+        print("SERVICE SMOKE FAILURE: wire run diverged from the in-process "
+              f"reference (digest {wire_digest[:16]}... vs "
+              f"{ref_digest[:16]}...)", file=sys.stderr)
+        return 1
+    print("wire run == in-process reference (digest and per-peer loads)")
+
+    second_digest, _ = _wire_run(keys)
+    if second_digest != ref_digest:
+        print("SERVICE SMOKE FAILURE: second wire run not reproducible",
+              file=sys.stderr)
+        return 1
+    print(f"second wire run reproduced the digest; total "
+          f"{time.perf_counter() - started:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,15 @@ Commands
 ``repro tune <spec> [--reps R] [--seed N]``
     Search the power family ``p ~ c^t`` for the exponent minimising the
     mean maximum load on the given array (Section 4.5 / future work).
+``repro replay [--requests M] [--peers N] [--d D] [--refresh-every T] ...``
+    Deterministically replay a generated open-loop trace (heavy-tailed
+    popularity, diurnal rate) against the live allocation service with
+    optional churn; print the replay report (``--json`` for machines).
+    Same seed + spec ⇒ bit-identical placement digest and final counts.
+``repro serve [--host H] [--port P] [--peers N] [--d D] ...``
+    Run the allocation service as a line-delimited-JSON TCP endpoint
+    with ``alloc`` / ``stats`` / ``churn`` / ``ping`` operations until
+    interrupted.
 """
 
 from __future__ import annotations
@@ -369,6 +378,101 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _service_from_args(args):
+    from .service import AllocationService
+
+    return AllocationService(
+        [f"peer-{i}" for i in range(args.peers)],
+        d=args.d,
+        refresh_every=args.refresh_every,
+        virtual_nodes=args.virtual_nodes,
+        seed=args.seed,
+    )
+
+
+def _cmd_replay(args) -> int:
+    import json as _json
+
+    from .service import TraceSpec, generate_churn_schedule, generate_trace
+
+    if args.peers < 1:
+        raise SystemExit(f"--peers must be positive, got {args.peers}")
+    try:
+        spec = TraceSpec(
+            requests=args.requests,
+            users=args.users,
+            objects=args.objects,
+            zipf_s=args.zipf,
+            rate=args.rate,
+            diurnal_amplitude=args.amplitude,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    trace = generate_trace(spec)
+    schedule = generate_churn_schedule(
+        args.churn_events, trace.duration, seed=args.seed
+    )
+    service = _service_from_args(args)
+    report = service.replay(trace, schedule, pace=args.pace)
+    if args.json:
+        payload = {
+            "requests": report.requests,
+            "placement_digest": report.placement_digest,
+            "trace_digest": report.trace_digest,
+            "max_load": report.max_load,
+            "mean_load": report.mean_load,
+            "max_over_mean": report.max_over_mean,
+            "joins": report.joins,
+            "leaves": report.leaves,
+            "skips": report.skips,
+            "view_refreshes": report.view_refreshes,
+            "wall_seconds": report.wall_seconds,
+            "stats": service.stats(),
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"replayed {report.requests} requests over {args.peers} starting "
+          f"peers (d={args.d}, refresh_every={args.refresh_every})")
+    print(f"trace digest     = {report.trace_digest}")
+    print(f"placement digest = {report.placement_digest}")
+    print(f"max load         = {report.max_load}")
+    print(f"mean load        = {report.mean_load:.4f}")
+    print(f"max/mean         = {report.max_over_mean:.4f}")
+    print(f"churn            = {report.joins} join(s), {report.leaves} "
+          f"leave(s), {report.skips} skip(s)")
+    print(f"view refreshes   = {report.view_refreshes}")
+    stats = service.stats()
+    print(f"placement latency p50 = {stats['latency']['p50_ms']:.4f} ms, "
+          f"p99 = {stats['latency']['p99_ms']:.4f} ms")
+    print(f"wall time        = {report.wall_seconds:.3f}s")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import run_server
+
+    if args.peers < 1:
+        raise SystemExit(f"--peers must be positive, got {args.peers}")
+    service = _service_from_args(args)
+
+    def announce(addr):
+        host, port = addr
+        print(f"allocation service on {host}:{port} "
+              f"({args.peers} peers, d={args.d}, "
+              f"refresh_every={args.refresh_every}); ops: "
+              f"alloc/stats/churn/ping, one JSON object per line",
+              flush=True)
+
+    try:
+        asyncio.run(run_server(service, args.host, args.port, ready=announce))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     bins = parse_bin_spec(args.spec)
     m = args.balls if args.balls is not None else bins.total_capacity
@@ -493,6 +597,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--n", type=int, default=1000, help="problem size for the checks")
     p_verify.add_argument("--seed", type=int, default=None, help="master seed")
 
+    def add_service_options(p):
+        p.add_argument("--peers", type=int, default=16,
+                       help="initial peer count (default 16)")
+        p.add_argument("--d", type=int, default=2, help="choices per request")
+        p.add_argument("--refresh-every", type=int, default=64, metavar="T",
+                       help="staleness bound: placements per load snapshot")
+        p.add_argument("--virtual-nodes", type=int, default=1,
+                       help="virtual positions per peer")
+        p.add_argument("--seed", type=int, default=0,
+                       help="root seed (traces, tie-breaking, churn victims)")
+
+    p_replay = sub.add_parser(
+        "replay", help="deterministically replay an open-loop trace"
+    )
+    add_service_options(p_replay)
+    p_replay.add_argument("--requests", type=int, default=10_000,
+                          help="trace length (default 10000)")
+    p_replay.add_argument("--users", type=int, default=1_000_000,
+                          help="simulated user universe")
+    p_replay.add_argument("--objects", type=int, default=100_000,
+                          help="object universe for popularity")
+    p_replay.add_argument("--zipf", type=float, default=1.1,
+                          help="Zipf popularity exponent")
+    p_replay.add_argument("--rate", type=float, default=10_000.0,
+                          help="mean arrival rate (req/s of simulated time)")
+    p_replay.add_argument("--amplitude", type=float, default=0.5,
+                          help="diurnal modulation amplitude in [0,1)")
+    p_replay.add_argument("--churn-events", type=int, default=0,
+                          help="membership changes spread over the trace")
+    p_replay.add_argument("--pace", type=float, default=0.0,
+                          help="replay speed multiple of real time (0 = flat out)")
+    p_replay.add_argument("--json", action="store_true",
+                          help="print the report as JSON")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the allocation service over TCP until interrupted"
+    )
+    add_service_options(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=7421,
+                         help="bind port (0 = ephemeral)")
+
     p_tune = sub.add_parser("tune", help="search for the optimal probability exponent")
     p_tune.add_argument("spec", help="bin spec like '1x50,3x50'")
     p_tune.add_argument("--reps", type=int, default=100, help="simulations per grid point")
@@ -522,6 +668,8 @@ def main(argv=None) -> int:
         "tune": _cmd_tune,
         "verify": _cmd_verify,
         "report": _cmd_report,
+        "replay": _cmd_replay,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -33,9 +33,13 @@ from .atomicio import atomic_write
 __all__ = [
     "BENCH_SCHEMA",
     "LEGACY_BENCH_SCHEMAS",
+    "SERVICE_BENCH_SCHEMA",
     "validate_bench_payload",
     "write_bench_json",
     "load_bench_json",
+    "validate_service_bench_payload",
+    "write_service_bench_json",
+    "load_service_bench_json",
 ]
 
 #: Schema identifier; bump when the document layout changes.
@@ -133,6 +137,92 @@ def write_bench_json(path, *, quick: bool, rows, speedups) -> dict:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return payload
+
+
+# -- allocation-service benchmark records (BENCH_service.json) ------------------
+
+#: Schema identifier for the service replay benchmark document.
+SERVICE_BENCH_SCHEMA = "repro.bench_service/1"
+
+_SERVICE_TRACE_KEYS = {"requests": int, "objects": int, "users": int,
+                       "rate": float, "seed": int, "digest": str}
+_SERVICE_ROW_KEYS = {"d": int, "refresh_every": int, "peers": int,
+                     "max_load": int, "mean_load": float,
+                     "max_over_mean": float, "p50_ms": float, "p99_ms": float,
+                     "seconds": float, "placement_digest": str}
+_SERVICE_COMPARISON_KEYS = {"d": int, "max_load_ratio_vs_d1": float}
+
+
+def validate_service_bench_payload(payload: Any) -> dict:
+    """Validate a service benchmark document against
+    :data:`SERVICE_BENCH_SCHEMA`.
+
+    The document records one fixed replayed trace, one row per ``d``
+    (latency percentiles are observability, so only positivity and
+    ``p50 <= p99`` are checked — absolute values drift with the machine),
+    and the max-load ratios against the ``d = 1`` consistent-hashing
+    baseline, which are the committed comparison.  Returns the payload
+    unchanged; raises ``ValueError`` with the offending path otherwise.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be an object, got {type(payload).__name__}")
+    if payload.get("schema") != SERVICE_BENCH_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: expected {SERVICE_BENCH_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("quick"), bool):
+        raise ValueError("quick: expected a boolean")
+    _check_fields(payload.get("trace"), _SERVICE_TRACE_KEYS, "trace")
+    rows = payload.get("rows")
+    comparisons = payload.get("comparisons")
+    if not isinstance(rows, list) or not isinstance(comparisons, list):
+        raise ValueError("rows and comparisons must be lists")
+    if not rows:
+        raise ValueError("rows: must not be empty")
+    for i, row in enumerate(rows):
+        _check_fields(row, _SERVICE_ROW_KEYS, f"rows[{i}]")
+        if row["d"] < 1:
+            raise ValueError(f"rows[{i}].d: must be >= 1")
+        if row["max_over_mean"] < 1.0 and row["max_load"] > 0:
+            raise ValueError(f"rows[{i}].max_over_mean: must be >= 1")
+        if row["seconds"] <= 0:
+            raise ValueError(f"rows[{i}].seconds: must be positive")
+        if not 0.0 <= row["p50_ms"] <= row["p99_ms"]:
+            raise ValueError(f"rows[{i}]: need 0 <= p50_ms <= p99_ms")
+    for i, c in enumerate(comparisons):
+        _check_fields(c, _SERVICE_COMPARISON_KEYS, f"comparisons[{i}]")
+        if c["max_load_ratio_vs_d1"] <= 0:
+            raise ValueError(
+                f"comparisons[{i}].max_load_ratio_vs_d1: must be positive"
+            )
+    unknown = set(payload) - {"schema", "quick", "trace", "rows", "comparisons"}
+    if unknown:
+        raise ValueError(f"unknown top-level fields {sorted(unknown)}")
+    return payload
+
+
+def write_service_bench_json(path, *, quick: bool, trace, rows, comparisons) -> dict:
+    """Validate and atomically write a service benchmark document."""
+    payload = {
+        "schema": SERVICE_BENCH_SCHEMA,
+        "quick": bool(quick),
+        "trace": dict(trace),
+        "rows": list(rows),
+        "comparisons": list(comparisons),
+    }
+    validate_service_bench_payload(payload)
+    with atomic_write(path) as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_service_bench_json(path) -> dict:
+    """Load and validate a service benchmark document."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return validate_service_bench_payload(payload)
 
 
 def load_bench_json(path) -> dict:

@@ -20,9 +20,15 @@ __all__ = ["ChurnEvent", "ChurnTrace", "run_churn"]
 
 @dataclass(frozen=True)
 class ChurnEvent:
-    """One membership change and its cost."""
+    """One membership change and its cost.
 
-    kind: str  # "join" or "leave"
+    ``kind`` is ``"join"``, ``"leave"``, or ``"skip"`` — a leave that was
+    drawn while the DHT sat at its replication floor and therefore did not
+    happen (the membership is unchanged and ``copies_moved`` is 0;
+    ``peer_id`` names the peer that would have left).
+    """
+
+    kind: str  # "join", "leave" or "skip"
     peer_id: str
     copies_moved: int
     n_peers_after: int
@@ -65,8 +71,11 @@ def run_churn(
     """Apply *events* random membership changes to *dht* (mutating it).
 
     Each event is a join of a fresh peer with probability
-    *join_probability*, otherwise a leave of a random current peer (skipped
-    when at the replication floor).
+    *join_probability*, otherwise a leave of a random current peer.  A
+    leave drawn while the DHT sits at its replication floor is **skipped**
+    — the membership stays unchanged and the event is recorded explicitly
+    with ``kind="skip"`` (it is *not* silently converted into a join, so
+    ``join_probability=0.0`` really never grows the network).
     """
     if events < 0:
         raise ValueError(f"events must be non-negative, got {events}")
@@ -76,8 +85,7 @@ def run_churn(
     trace = ChurnTrace()
     next_id = 0
     for _ in range(events):
-        do_join = rng.random() < join_probability or dht.n_peers <= dht.replication
-        if do_join:
+        if rng.random() < join_probability:
             pid = f"churn-{next_id}"
             next_id += 1
             while pid in dht.peer_ids:
@@ -87,8 +95,12 @@ def run_churn(
             kind = "join"
         else:
             pid = dht.peer_ids[int(rng.integers(0, dht.n_peers))]
-            moved = dht.leave(pid)
-            kind = "leave"
+            if dht.n_peers <= dht.replication:
+                moved = 0
+                kind = "skip"
+            else:
+                moved = dht.leave(pid)
+                kind = "leave"
         trace.events.append(
             ChurnEvent(
                 kind=kind,

@@ -66,6 +66,11 @@ class DHT:
         )
 
     @property
+    def ring(self) -> ConsistentHashRing:
+        """The current ring snapshot (rebuilt on every membership change)."""
+        return self._ring
+
+    @property
     def n_peers(self) -> int:
         """Current number of peers."""
         return len(self._peer_ids)

@@ -96,6 +96,29 @@ class ConsistentHashRing:
         """Peer responsible for a hashed *key*."""
         return self.lookup(hash_to_unit(key))
 
+    def lookup_batch(self, points) -> np.ndarray:
+        """Vectorised :meth:`lookup` over an array of *points* (any shape).
+
+        Identical to calling :meth:`lookup` per point, including the wrap
+        normalisation of out-of-range points: a point outside ``[0, 1)``
+        is reduced modulo 1 *before* the successor search.  (The historic
+        inline ``searchsorted`` + wrap-to-0 in ``p2p.workload`` skipped
+        that normalisation, so an out-of-range point — e.g. 1.2, whose
+        successor is the peer at 0.2's arc — silently wrapped to the first
+        virtual position instead; all batch call sites now share this one
+        implementation so the scalar and vectorised paths cannot diverge.)
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        out_of_range = (pts < 0.0) | (pts >= 1.0)
+        if out_of_range.any():
+            pts = np.where(out_of_range, np.mod(pts, 1.0), pts)
+            # Python's float mod (which lookup uses) maps tiny negatives to
+            # 1.0 by rounding; np.mod agrees, but the successor search
+            # still needs the index wrap below to land them on position 0.
+        idx = np.searchsorted(self._positions, pts, side="left")
+        idx = np.where(idx == self._positions.size, 0, idx)
+        return self._owners[idx]
+
     def arc_lengths(self) -> np.ndarray:
         """Total arc length owned by each peer (sums to 1).
 

@@ -103,13 +103,11 @@ def allocate_requests(
     else:
         caps = np.ones(ring.n_peers, dtype=np.int64)
 
-    # Request points are uniform on the circle; map every point to its peer.
-    # Vectorised searchsorted replicates ring.lookup for a whole matrix.
+    # Request points are uniform on the circle; map every point to its peer
+    # through the ring's own vectorised lookup (bit-identical to per-point
+    # ring.lookup, wrap normalisation included).
     points = rng.random((m, d))
-    pos = ring.positions
-    idx = np.searchsorted(pos, points, side="left")
-    idx[idx == pos.size] = 0
-    owners = ring._owners[idx]
+    owners = ring.lookup_batch(points)
 
     counts: list[int] = [0] * ring.n_peers
     tie_u = rng.random(m)
@@ -202,10 +200,7 @@ def allocate_requests_ensemble(
         points[...] = block_rng.random((R, m, d))
         tie_u[...] = block_rng.random((R, m))
 
-    pos = ring.positions
-    idx = np.searchsorted(pos, points, side="left")
-    idx[idx == pos.size] = 0
-    owners = ring._owners[idx].astype(np.int64)
+    owners = ring.lookup_batch(points).astype(np.int64)
 
     counts = np.zeros((R, ring.n_peers), dtype=np.int64)
     run_batch_ensemble(counts, caps, owners, tie_u, tie_break="max_capacity")

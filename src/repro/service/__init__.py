@@ -1,0 +1,27 @@
+"""Live allocation service: open-loop traces, stale views, asyncio front end."""
+
+from .metrics import LatencyRecorder, service_stats
+from .server import AllocationService, ReplayReport, run_server
+from .traces import (
+    ChurnAction,
+    Trace,
+    TraceSpec,
+    generate_churn_schedule,
+    generate_trace,
+)
+from .views import DChoicePlacer, StaleLoadView
+
+__all__ = [
+    "TraceSpec",
+    "Trace",
+    "generate_trace",
+    "ChurnAction",
+    "generate_churn_schedule",
+    "StaleLoadView",
+    "DChoicePlacer",
+    "LatencyRecorder",
+    "service_stats",
+    "AllocationService",
+    "ReplayReport",
+    "run_server",
+]

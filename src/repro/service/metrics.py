@@ -1,0 +1,100 @@
+"""Service-side observability: latency percentiles and load stats.
+
+The stats surface is a plain dict (JSON-ready) in the `/metrics` spirit:
+request counters, placement-latency percentiles, the balls-into-bins load
+summary (max load, mean load, max/mean — the quantity the paper bounds),
+a per-peer load histogram, staleness telemetry, and churn counters.
+
+Latencies are wall-clock and therefore *excluded* from the determinism
+contract (the placement digest covers decisions only); under the virtual
+clock of deterministic replay they are recorded as zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LatencyRecorder", "service_stats"]
+
+
+class LatencyRecorder:
+    """Bounded reservoir of latency samples with exact small-n percentiles.
+
+    Keeps the first ``capacity`` samples and then overwrites in a
+    deterministic ring — cheap, dependency-free, and good enough for p50
+    and p99 over a service run (the tail of a stationary latency process
+    is represented as long as the reservoir spans many refresh periods).
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buf = np.zeros(capacity, dtype=np.float64)
+        self._capacity = capacity
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (seconds)."""
+        self._buf[self._count % self._capacity] = seconds
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total samples recorded (may exceed the reservoir capacity)."""
+        return self._count
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile over retained samples (0 when empty)."""
+        n = min(self._count, self._capacity)
+        if n == 0:
+            return 0.0
+        return float(np.percentile(self._buf[:n], q))
+
+
+def service_stats(
+    *,
+    requests: int,
+    loads: dict[str, int],
+    latency: LatencyRecorder,
+    staleness_age: int,
+    refresh_every: int,
+    view_refreshes: int,
+    joins: int,
+    leaves: int,
+    skips: int,
+    d: int,
+    placement_digest: str,
+) -> dict:
+    """Assemble the `/metrics`-style stats dict from live service state."""
+    values = np.asarray(list(loads.values()), dtype=np.float64)
+    if values.size and values.sum() > 0:
+        max_load = float(values.max())
+        mean_load = float(values.mean())
+        imbalance = max_load / mean_load
+    else:
+        max_load = 0.0
+        mean_load = 0.0
+        imbalance = 0.0
+    return {
+        "requests": requests,
+        "peers": len(loads),
+        "d": d,
+        "latency": {
+            "samples": latency.count,
+            "p50_ms": latency.percentile(50.0) * 1e3,
+            "p99_ms": latency.percentile(99.0) * 1e3,
+        },
+        "load": {
+            "max": max_load,
+            "mean": mean_load,
+            "max_over_mean": imbalance,
+            "per_peer": {pid: int(c) for pid, c in sorted(loads.items())},
+        },
+        "staleness": {
+            "age": staleness_age,
+            "refresh_every": refresh_every,
+            "refreshes": view_refreshes,
+        },
+        "churn": {"joins": joins, "leaves": leaves, "skips": skips},
+        "placement_digest": placement_digest,
+    }

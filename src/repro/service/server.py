@@ -1,0 +1,344 @@
+"""The live allocation service: d-choice placement behind an asyncio front.
+
+:class:`AllocationService` is the synchronous core — membership via a
+:class:`~repro.p2p.dht.DHT`, placement via :class:`~.views.DChoicePlacer`
+over a :class:`~.views.StaleLoadView`, stats via :mod:`~.metrics` — and is
+deliberately event-loop-free so deterministic replay and tests need no
+asyncio at all.  :func:`run_server` wraps it in a line-delimited-JSON TCP
+endpoint (the fabric's wire idiom) with ``alloc`` / ``stats`` / ``churn``
+/ ``ping`` operations; ``stats`` is the `/metrics`-style scrape.
+
+Determinism contract (see ROADMAP conventions): given the same seed, the
+same trace, and the same churn schedule, :meth:`AllocationService.replay`
+produces a bit-identical placement sequence — pinned by the running
+sha256 ``placement_digest`` — and identical final per-peer counts,
+regardless of replay pacing or how many times the stats endpoint is
+scraped.  Wall-clock latencies are observability only and are excluded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..p2p.dht import DHT
+from ..sampling.rngutils import make_rng, spawn_seed_sequences
+from .metrics import LatencyRecorder, service_stats
+from .traces import ChurnAction, Trace
+from .views import DChoicePlacer, StaleLoadView
+
+__all__ = ["AllocationService", "ReplayReport", "run_server"]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one deterministic trace replay."""
+
+    requests: int
+    placement_digest: str
+    trace_digest: str
+    final_loads: dict[str, int]
+    max_load: int
+    mean_load: float
+    joins: int
+    leaves: int
+    skips: int
+    view_refreshes: int
+    wall_seconds: float
+    placements: tuple[str, ...] = field(default=(), repr=False)
+
+    @property
+    def max_over_mean(self) -> float:
+        """The paper's imbalance measure over the final counts."""
+        return self.max_load / self.mean_load if self.mean_load > 0 else 0.0
+
+
+class AllocationService:
+    """Capacity-aware d-choice allocator with bounded-staleness views.
+
+    Parameters
+    ----------
+    peers:
+        Initial peer ids.
+    d:
+        Choices per request (``1`` = plain consistent hashing baseline).
+    refresh_every:
+        Staleness bound ``T``: placements served per load snapshot.
+    replication, virtual_nodes:
+        Forwarded to the underlying :class:`~repro.p2p.dht.DHT`.
+    resolution:
+        Arc-quantisation resolution for capacities.
+    seed:
+        Root seed; tie-breaking and churn-victim streams are spawned from
+        it, so the whole decision sequence is a function of (seed, trace,
+        churn schedule).
+    """
+
+    def __init__(
+        self,
+        peers,
+        *,
+        d: int = 2,
+        refresh_every: int = 64,
+        replication: int = 1,
+        virtual_nodes: int = 1,
+        resolution: int = 1000,
+        seed=0,
+    ):
+        self.d = d
+        self.refresh_every = refresh_every
+        self.resolution = resolution
+        self._dht = DHT(peers, replication=replication, virtual_nodes=virtual_nodes)
+        tie_seed, churn_seed = spawn_seed_sequences(seed, 2)
+        self._tie_rng = make_rng(tie_seed)
+        self._churn_rng = make_rng(churn_seed)
+        self._loads: dict[str, int] = {pid: 0 for pid in self._dht.peer_ids}
+        self._view = StaleLoadView(lambda: self._loads, refresh_every)
+        self._placer = DChoicePlacer(self._dht.ring, d=d, resolution=resolution)
+        self._latency = LatencyRecorder()
+        self._digest = hashlib.sha256()
+        self.requests = 0
+        self.joins = 0
+        self.leaves = 0
+        self.skips = 0
+        self._join_counter = 0
+
+    # -- placement -------------------------------------------------------------
+
+    @property
+    def peer_ids(self) -> tuple[str, ...]:
+        """Current membership."""
+        return self._dht.peer_ids
+
+    def allocate(self, key) -> str:
+        """Place one request; returns the chosen peer id.
+
+        Decisions read the stale view; the live counter advances
+        immediately (so the *next* snapshot sees it), exactly the
+        ``simulate_batched`` regime with ``batch_size = refresh_every``.
+        """
+        t0 = time.perf_counter()
+        tie_u = float(self._tie_rng.random())
+        pid = self._placer.place(key, self._view, tie_u)
+        self._loads[pid] += 1
+        self._view.tick()
+        self._digest.update(pid.encode("utf-8"))
+        self._digest.update(b"\n")
+        self.requests += 1
+        self._latency.record(time.perf_counter() - t0)
+        return pid
+
+    def placement_digest(self) -> str:
+        """Running sha256 over the chosen-peer sequence so far."""
+        return self._digest.hexdigest()
+
+    # -- churn -----------------------------------------------------------------
+
+    def apply_churn(self, action: ChurnAction) -> dict:
+        """Resolve one membership change; returns the resolved event.
+
+        Joins mint a fresh ``churn-N`` peer starting at load 0.  Leaves
+        evict a uniformly drawn victim (from the churn stream) unless an
+        explicit ``peer_id`` was scheduled; a leave that would drop the
+        membership below the replication floor is recorded as a ``skip``
+        and changes nothing — the same explicit semantics as
+        :func:`repro.p2p.churn.run_churn`.  Any membership change rebuilds
+        the placer and forces a view refresh (the ring changed, so serving
+        decisions against the old snapshot would mix topologies).
+        """
+        if action.kind == "join":
+            pid = self._next_join_id()
+            moved = self._dht.join(pid)
+            self._loads[pid] = 0
+            self.joins += 1
+            resolved = {"kind": "join", "peer_id": pid, "copies_moved": moved}
+        else:
+            if action.peer_id is not None:
+                if action.peer_id not in self._dht.peer_ids:
+                    raise KeyError(f"peer {action.peer_id!r} not present")
+                pid = action.peer_id
+            else:
+                idx = int(self._churn_rng.integers(0, self._dht.n_peers))
+                pid = self._dht.peer_ids[idx]
+            if self._dht.n_peers <= self._dht.replication:
+                self.skips += 1
+                return {"kind": "skip", "peer_id": pid, "copies_moved": 0}
+            moved = self._dht.leave(pid)
+            self._loads.pop(pid, None)
+            self.leaves += 1
+            resolved = {"kind": "leave", "peer_id": pid, "copies_moved": moved}
+        self._placer = DChoicePlacer(
+            self._dht.ring, d=self.d, resolution=self.resolution
+        )
+        self._view.refresh()
+        return resolved
+
+    def _next_join_id(self) -> str:
+        while True:
+            pid = f"churn-{self._join_counter}"
+            self._join_counter += 1
+            if pid not in self._dht.peer_ids:
+                return pid
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The `/metrics`-style stats dict (JSON-ready)."""
+        return service_stats(
+            requests=self.requests,
+            loads=self._loads,
+            latency=self._latency,
+            staleness_age=self._view.age,
+            refresh_every=self.refresh_every,
+            view_refreshes=self._view.refreshes,
+            joins=self.joins,
+            leaves=self.leaves,
+            skips=self.skips,
+            d=self.d,
+            placement_digest=self.placement_digest(),
+        )
+
+    # -- deterministic replay --------------------------------------------------
+
+    def replay(
+        self,
+        trace: Trace,
+        churn_schedule=(),
+        *,
+        pace: float = 0.0,
+        keep_placements: bool = False,
+    ) -> ReplayReport:
+        """Replay *trace* against the service, interleaving churn by time.
+
+        A churn action fires before the first request whose arrival time
+        is ``>=`` its own; actions past the last arrival fire at the end.
+        ``pace`` throttles wall-clock replay to ``pace`` times real time
+        (``0`` = as fast as possible, the virtual-clock deterministic
+        mode).  The placement sequence and final counts are invariant to
+        ``pace`` — only the latency telemetry differs.
+        """
+        if pace < 0:
+            raise ValueError(f"pace must be non-negative, got {pace}")
+        schedule = sorted(churn_schedule, key=lambda a: a.time)
+        placements: list[str] = [] if keep_placements else None
+        t_start = time.perf_counter()
+        c = 0
+        keys = trace.keys()
+        for j in range(trace.count):
+            t_arrival = float(trace.times[j])
+            while c < len(schedule) and schedule[c].time <= t_arrival:
+                self.apply_churn(schedule[c])
+                c += 1
+            if pace > 0:
+                lag = t_arrival / pace - (time.perf_counter() - t_start)
+                if lag > 0:
+                    time.sleep(lag)
+            pid = self.allocate(next(keys))
+            if placements is not None:
+                placements.append(pid)
+        while c < len(schedule):
+            self.apply_churn(schedule[c])
+            c += 1
+        wall = time.perf_counter() - t_start
+
+        loads = dict(self._loads)
+        values = list(loads.values())
+        mean = sum(values) / len(values) if values else 0.0
+        return ReplayReport(
+            requests=trace.count,
+            placement_digest=self.placement_digest(),
+            trace_digest=trace.digest(),
+            final_loads=loads,
+            max_load=max(values) if values else 0,
+            mean_load=mean,
+            joins=self.joins,
+            leaves=self.leaves,
+            skips=self.skips,
+            view_refreshes=self._view.refreshes,
+            wall_seconds=wall,
+            placements=tuple(placements) if placements is not None else (),
+        )
+
+
+# -- asyncio front end ----------------------------------------------------------
+
+
+def _encode(obj: dict) -> bytes:
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def _handle_request(service: AllocationService, msg: dict) -> dict:
+    op = msg.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    if op == "alloc":
+        key = msg.get("key")
+        if key is None:
+            return {"ok": False, "error": "alloc requires a 'key'"}
+        peer = service.allocate(key)
+        return {"ok": True, "peer": peer}
+    if op == "churn":
+        kind = msg.get("kind")
+        if kind not in ("join", "leave"):
+            return {"ok": False, "error": "churn requires kind 'join' or 'leave'"}
+        try:
+            action = ChurnAction(time=0.0, kind=kind, peer_id=msg.get("peer_id"))
+            resolved = service.apply_churn(action)
+        except (KeyError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, **resolved}
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def _serve_connection(service: AllocationService, reader, writer) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                msg = json.loads(line)
+            except json.JSONDecodeError as exc:
+                writer.write(_encode({"ok": False, "error": f"bad json: {exc}"}))
+                await writer.drain()
+                continue
+            writer.write(_encode(_handle_request(service, msg)))
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_server(
+    service: AllocationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready=None,
+):
+    """Serve *service* over line-delimited JSON TCP until cancelled.
+
+    ``port = 0`` binds an ephemeral port; the bound ``(host, port)`` is
+    published through the optional *ready* callback (used by the smoke
+    test and the CLI banner).  All operations run on the event loop
+    thread, so the synchronous core needs no locking.
+    """
+    server = await asyncio.start_server(
+        lambda r, w: _serve_connection(service, r, w), host, port
+    )
+    bound = server.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(bound)
+    async with server:
+        await server.serve_forever()

@@ -1,0 +1,129 @@
+"""Bounded-staleness load views and the capacity-aware placer.
+
+The live service cannot afford perfectly fresh load information on every
+request — exactly the regime :mod:`repro.core.rounds` models.  A
+:class:`StaleLoadView` freezes the per-peer load counters and serves that
+snapshot to every placement decision until ``refresh_every`` requests have
+gone by (or churn forces a refresh); the placer therefore behaves like
+``simulate_batched`` with ``batch_size = refresh_every``, and
+``refresh_every = 1`` recovers the fully-sequential greedy protocol.
+
+:class:`DChoicePlacer` is the paper's capacity-aware Algorithm 1 lifted
+onto a ring snapshot: each key hashes to ``d`` independent ring points
+(Byers et al.'s d-point scheme), their anti-clockwise owners are the
+candidate peers, and the winner minimises ``(load + 1) / capacity`` over
+the *stale* counts using the same exact integer cross-multiplication,
+first-occurrence tie dedup, max-capacity tie filter, and position-aligned
+uniform tie pick as the core kernels — so a replay against a static ring
+with ``refresh_every = 1`` is bit-comparable to the theory path.
+Capacities are the ring arcs quantised through
+:meth:`~repro.p2p.ring.ConsistentHashRing.as_bin_array`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..p2p.hashing import point_sequence
+from ..p2p.ring import ConsistentHashRing
+
+__all__ = ["StaleLoadView", "DChoicePlacer"]
+
+
+class StaleLoadView:
+    """A frozen snapshot of per-peer loads, refreshed every T requests.
+
+    Parameters
+    ----------
+    source:
+        Zero-argument callable returning the *live* ``{peer_id: load}``
+        mapping.  The view copies it on refresh; decisions in between see
+        the copy.
+    refresh_every:
+        Number of placements served by one snapshot (the staleness bound
+        ``T``).  Must be ``>= 1``.
+    """
+
+    def __init__(self, source, refresh_every: int = 1):
+        if refresh_every < 1:
+            raise ValueError(f"refresh_every must be >= 1, got {refresh_every}")
+        self._source = source
+        self.refresh_every = refresh_every
+        self._snapshot: dict[str, int] = dict(source())
+        self.age = 0
+        self.refreshes = 0
+
+    def load_of(self, peer_id: str) -> int:
+        """Snapshot load of *peer_id* (0 for peers unseen at snapshot time,
+        e.g. freshly joined ones — the natural optimistic prior)."""
+        return self._snapshot.get(peer_id, 0)
+
+    def tick(self) -> None:
+        """Account one served placement; refresh when the bound is hit."""
+        self.age += 1
+        if self.age >= self.refresh_every:
+            self.refresh()
+
+    def refresh(self) -> None:
+        """Re-snapshot the live loads immediately (also used on churn)."""
+        self._snapshot = dict(self._source())
+        self.age = 0
+        self.refreshes += 1
+
+
+class DChoicePlacer:
+    """Capacity-aware d-choice placement over one ring snapshot.
+
+    The placer is immutable per ring; the service rebuilds it whenever
+    churn changes the membership.  Peer identity is by ``peer_id`` string,
+    so load counters survive ring rebuilds (ring indices do not).
+    """
+
+    def __init__(self, ring: ConsistentHashRing, d: int = 2, resolution: int = 1000):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.ring = ring
+        self.d = d
+        self.resolution = max(resolution, ring.n_peers)
+        caps = ring.as_bin_array(self.resolution).capacities
+        self._caps = {
+            ring.peers[i].peer_id: int(caps[i]) for i in range(ring.n_peers)
+        }
+
+    def capacity_of(self, peer_id: str) -> int:
+        """Quantised arc capacity of *peer_id* in this snapshot."""
+        return self._caps[peer_id]
+
+    def candidates(self, key) -> list[str]:
+        """The ``d`` candidate peer ids of *key* (duplicates possible)."""
+        points = np.asarray(point_sequence(key, self.d))
+        owners = self.ring.lookup_batch(points)
+        return [self.ring.peers[int(i)].peer_id for i in owners]
+
+    def place(self, key, view: StaleLoadView, tie_u: float) -> str:
+        """Pick the winning peer for *key* against the stale *view*.
+
+        ``tie_u`` is one uniform draw from the caller's tie stream; it is
+        consumed positionally whether or not a tie occurs, mirroring the
+        core kernels so the decision stream is reproducible independent of
+        how often ties happen.
+        """
+        cands = self.candidates(key)
+        best = [cands[0]]
+        best_num = view.load_of(cands[0]) + 1
+        best_den = self._caps[cands[0]]
+        for pid in cands[1:]:
+            num = view.load_of(pid) + 1
+            den = self._caps[pid]
+            lhs = num * best_den
+            rhs = best_num * den
+            if lhs < rhs:
+                best = [pid]
+                best_num = num
+                best_den = den
+            elif lhs == rhs and pid not in best:
+                best.append(pid)
+        if len(best) > 1:
+            cmax = max(self._caps[p] for p in best)
+            best = [p for p in best if self._caps[p] == cmax]
+        return best[0] if len(best) == 1 else best[int(tie_u * len(best))]

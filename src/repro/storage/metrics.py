@@ -30,6 +30,7 @@ class PlacementReport:
     stored_mass: np.ndarray
     objects_per_disk: np.ndarray
     total_capacity: float
+    bandwidths: np.ndarray
 
     @property
     def max_fill(self) -> float:
@@ -54,9 +55,21 @@ class PlacementReport:
 
     @property
     def read_imbalance(self) -> float:
-        """Max read load over the bandwidth-weighted ideal share."""
-        total = self.read_load.sum()
-        return float(self.read_load.max() * self.read_load.size / total) if total > 0 else 0.0
+        """Max read load over the bandwidth-weighted ideal share.
+
+        Disk ``i``'s fair share of the total read traffic is
+        ``bandwidth_i / Σ bandwidth``; at that share every disk's traffic
+        per unit bandwidth equals ``Σ popularity / Σ bandwidth``, which is
+        the denominator here.  A fast disk legitimately carrying
+        proportionally more raw traffic therefore scores 1.0, not
+        imbalance.
+        """
+        traffic = self.read_load * self.bandwidths
+        total = traffic.sum()
+        if total <= 0:
+            return 0.0
+        ideal = total / self.bandwidths.sum()
+        return float(self.read_load.max() / ideal)
 
 
 def evaluate_placement(
@@ -92,4 +105,5 @@ def evaluate_placement(
         stored_mass=mass,
         objects_per_disk=counts.astype(np.int64),
         total_capacity=float(caps.sum()),
+        bandwidths=bws,
     )

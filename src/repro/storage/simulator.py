@@ -132,6 +132,7 @@ def expansion_study(
         stored_mass=plan.new_counts.astype(np.float64),
         objects_per_disk=plan.new_counts,
         total_capacity=float(grown.total_capacity),
+        bandwidths=grown.bandwidths(),
     )
 
     fresh_assignment = strategy.place(objects, grown, seed=seeds[1])

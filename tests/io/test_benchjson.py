@@ -136,3 +136,80 @@ class TestRepoArtifact:
         payload = load_bench_json(path)
         kinds = {s["kind"] for s in payload["speedups"]}
         assert {"wavefront_over_per_ball", "wavefront_over_fast"} <= kinds
+
+
+SERVICE_TRACE = {"requests": 4000, "objects": 10000, "users": 100000,
+                 "rate": 2000.0, "seed": 1, "digest": "ab" * 32}
+SERVICE_ROW = {"d": 2, "refresh_every": 64, "peers": 16, "max_load": 700,
+               "mean_load": 250.0, "max_over_mean": 2.8, "p50_ms": 0.01,
+               "p99_ms": 0.04, "seconds": 0.05, "placement_digest": "cd" * 32}
+SERVICE_COMPARISON = {"d": 2, "max_load_ratio_vs_d1": 0.51}
+
+
+class TestServiceBenchSchema:
+    def _write(self, tmp_path, **overrides):
+        from repro.io.benchjson import write_service_bench_json
+
+        kw = dict(quick=True, trace=SERVICE_TRACE, rows=[SERVICE_ROW],
+                  comparisons=[SERVICE_COMPARISON])
+        kw.update(overrides)
+        return write_service_bench_json(tmp_path / "BENCH_service.json", **kw)
+
+    def test_round_trip(self, tmp_path):
+        from repro.io.benchjson import (
+            SERVICE_BENCH_SCHEMA,
+            load_service_bench_json,
+        )
+
+        payload = self._write(tmp_path)
+        assert payload["schema"] == SERVICE_BENCH_SCHEMA
+        loaded = load_service_bench_json(tmp_path / "BENCH_service.json")
+        assert loaded == payload
+        assert (tmp_path / "BENCH_service.json").read_text().endswith("\n")
+
+    def test_rejects_empty_rows(self, tmp_path):
+        with pytest.raises(ValueError, match="rows: must not be empty"):
+            self._write(tmp_path, rows=[])
+
+    def test_rejects_missing_trace_field(self, tmp_path):
+        trace = dict(SERVICE_TRACE)
+        del trace["digest"]
+        with pytest.raises(ValueError, match="trace: missing"):
+            self._write(tmp_path, trace=trace)
+
+    def test_rejects_unknown_row_field(self, tmp_path):
+        row = dict(SERVICE_ROW, surprise=1)
+        with pytest.raises(ValueError, match="unknown fields"):
+            self._write(tmp_path, rows=[row])
+
+    def test_rejects_inverted_percentiles(self, tmp_path):
+        row = dict(SERVICE_ROW, p50_ms=1.0, p99_ms=0.5)
+        with pytest.raises(ValueError, match="p50_ms <= p99_ms"):
+            self._write(tmp_path, rows=[row])
+
+    def test_rejects_sub_one_imbalance(self, tmp_path):
+        row = dict(SERVICE_ROW, max_over_mean=0.5)
+        with pytest.raises(ValueError, match="max_over_mean"):
+            self._write(tmp_path, rows=[row])
+
+    def test_rejects_nonpositive_ratio(self, tmp_path):
+        cmp_ = dict(SERVICE_COMPARISON, max_load_ratio_vs_d1=0.0)
+        with pytest.raises(ValueError, match="must be positive"):
+            self._write(tmp_path, comparisons=[cmp_])
+
+    def test_rejects_wrong_schema(self):
+        from repro.io.benchjson import validate_service_bench_payload
+
+        with pytest.raises(ValueError, match="schema mismatch"):
+            validate_service_bench_payload({"schema": "repro.bench_ensemble/2"})
+
+    def test_repo_root_service_file_is_valid(self):
+        from repro.io.benchjson import load_service_bench_json
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_service.json"
+        if not path.exists():
+            pytest.skip("no BENCH_service.json at the repo root (run make check)")
+        payload = load_service_bench_json(path)
+        assert any(r["d"] == 1 for r in payload["rows"])
+        assert all(c["max_load_ratio_vs_d1"] < 1.0
+                   for c in payload["comparisons"])

@@ -49,8 +49,41 @@ class TestTrace:
     def test_replication_floor_respected(self):
         dht = make_dht(peers=3, keys=50, replication=2)
         trace = run_churn(dht, 15, join_probability=0.0, seed=4)
-        # leaves are forced into joins at the floor, so peers never drop
+        # leaves drawn at the floor are skipped, so peers never drop
         # below replication
+        assert all(e.n_peers_after >= 2 for e in trace.events)
+
+
+class TestReplicationFloor:
+    """A leave drawn at the floor is an explicit no-op skip, never a join."""
+
+    def test_floor_leave_is_skip_not_forced_join(self):
+        # Start exactly at the floor with join_probability=0: the pre-fix
+        # code silently converted every drawn leave into a join here, so
+        # the network grew despite p_join = 0.
+        dht = make_dht(peers=2, keys=30, replication=2)
+        trace = run_churn(dht, 10, join_probability=0.0, seed=7)
+        assert [e.kind for e in trace.events] == ["skip"] * 10
+        assert dht.n_peers == 2
+        assert dht.peer_ids == ("p0", "p1")
+
+    def test_skip_event_shape(self):
+        dht = make_dht(peers=2, keys=30, replication=2)
+        trace = run_churn(dht, 5, join_probability=0.0, seed=8)
+        for event in trace.events:
+            assert event.copies_moved == 0
+            assert event.n_peers_after == 2
+            assert event.peer_id in ("p0", "p1")  # the would-be leaver
+            assert event.skew_after >= 1.0
+        assert trace.total_moved == 0
+
+    def test_mixed_run_can_skip_then_recover(self):
+        # At the floor, joins still happen with their own probability and
+        # lift the network off the floor; subsequent leaves are real again.
+        dht = make_dht(peers=2, keys=30, replication=2)
+        trace = run_churn(dht, 60, join_probability=0.5, seed=9)
+        kinds = {e.kind for e in trace.events}
+        assert kinds == {"join", "leave", "skip"}
         assert all(e.n_peers_after >= 2 for e in trace.events)
 
     def test_statistics(self):

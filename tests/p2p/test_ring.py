@@ -119,3 +119,49 @@ class TestAsBinArray:
         caps = ring.as_bin_array(resolution=10_000).capacities
         corr = np.corrcoef(arcs, caps)[0, 1]
         assert corr > 0.999
+
+
+class TestLookupBatch:
+    """The vectorised lookup is bit-identical to per-point lookup."""
+
+    def test_randomized_identity_with_lookup(self):
+        rng = np.random.default_rng(11)
+        for seed, vnodes in [(0, 1), (1, 1), (2, 4)]:
+            ring = ConsistentHashRing.random(37, virtual_nodes=vnodes, seed=seed)
+            pts = rng.random(2000)
+            batch = ring.lookup_batch(pts)
+            serial = np.array([ring.lookup(float(p)) for p in pts])
+            np.testing.assert_array_equal(batch, serial)
+
+    def test_boundary_points_identity(self):
+        ring = ConsistentHashRing.random(25, seed=5)
+        pos = ring.positions
+        pts = np.concatenate([
+            pos,                                   # exactly at a position
+            np.nextafter(pos, 1.0),                # just past a position
+            [0.0, np.nextafter(1.0, 0.0)],         # interval ends
+            [pos[-1] + (1.0 - pos[-1]) / 2],       # past the last position
+        ])
+        batch = ring.lookup_batch(pts)
+        serial = np.array([ring.lookup(float(p)) for p in pts])
+        np.testing.assert_array_equal(batch, serial)
+
+    def test_out_of_range_points_wrap_like_lookup(self):
+        # The pre-fix inline vectorisation in p2p.workload wrapped every
+        # out-of-range point to the first virtual position instead of
+        # reducing modulo 1 the way ring.lookup does.
+        ring = ConsistentHashRing.random(25, seed=5)
+        pts = np.array([1.0, 1.2, 2.7, -0.3, -1e-20, -2.0])
+        batch = ring.lookup_batch(pts)
+        serial = np.array([ring.lookup(float(p)) for p in pts])
+        np.testing.assert_array_equal(batch, serial)
+
+    def test_preserves_shape(self):
+        ring = ConsistentHashRing.random(10, seed=1)
+        out = ring.lookup_batch(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+    def test_single_peer_ring_always_peer_zero(self):
+        ring = ConsistentHashRing(["solo"])
+        pts = np.linspace(0.0, 0.999, 17)
+        assert (ring.lookup_batch(pts) == 0).all()

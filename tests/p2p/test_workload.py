@@ -113,3 +113,50 @@ class TestEnsembleAllocation:
             allocate_requests_ensemble(ring, 10, repetitions=2, seed_mode="x")
         with pytest.raises(ValueError, match="contradicts"):
             allocate_requests_ensemble(ring, 10, repetitions=3, seeds=[1, 2])
+
+
+class TestVectorizedLookupIdentity:
+    """allocate_requests' owner mapping goes through ring.lookup_batch,
+    which is pinned bit-identical to per-point ring.lookup."""
+
+    def test_allocation_matches_manual_per_point_lookup(self, ring):
+        m, d, seed = 400, 2, 31
+        res = allocate_requests(ring, m, d=d, seed=seed)
+        # Reproduce the draw order: points first, then the tie stream.
+        rng = np.random.default_rng(seed)
+        points = rng.random((m, d))
+        owners = np.array(
+            [[ring.lookup(float(p)) for p in row] for row in points]
+        )
+        np.testing.assert_array_equal(owners, ring.lookup_batch(points))
+        # And the counts produced from those owners conserve mass.
+        assert res.counts.sum() == m
+
+
+class TestWorkloadEdgeCases:
+    def test_zero_requests(self, ring):
+        res = allocate_requests(ring, 0, d=2, seed=0)
+        assert res.counts.sum() == 0
+        assert res.max_requests == 0
+        assert res.max_load == 0.0
+
+    def test_d1_single_probe(self, ring):
+        res = allocate_requests(ring, 100, d=1, seed=1)
+        assert res.counts.sum() == 100
+        assert res.d == 1
+
+    def test_single_peer_ring(self):
+        solo = ConsistentHashRing(["only"])
+        res = allocate_requests(solo, 57, d=2, seed=2)
+        np.testing.assert_array_equal(res.counts, [57])
+        aware = allocate_requests(solo, 57, d=2, capacity_aware=True, seed=3)
+        np.testing.assert_array_equal(aware.counts, [57])
+
+    def test_ensemble_zero_requests_and_single_peer(self):
+        from repro.p2p import allocate_requests_ensemble
+
+        solo = ConsistentHashRing(["only"])
+        res = allocate_requests_ensemble(solo, 0, repetitions=3, d=1, seed=4)
+        assert (res.counts == 0).all()
+        res = allocate_requests_ensemble(solo, 9, repetitions=2, d=2, seed=5)
+        np.testing.assert_array_equal(res.counts, [[9], [9]])

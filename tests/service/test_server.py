@@ -1,0 +1,271 @@
+"""Tests for the allocation service core and the asyncio front end."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    AllocationService,
+    ChurnAction,
+    TraceSpec,
+    generate_churn_schedule,
+    generate_trace,
+    run_server,
+)
+
+PEERS = [f"peer-{i}" for i in range(8)]
+TRACE = generate_trace(
+    TraceSpec(requests=3000, users=2000, objects=800, rate=500.0, seed=21)
+)
+SCHEDULE = generate_churn_schedule(6, TRACE.duration, seed=13)
+
+
+def fresh_service(**kw):
+    defaults = dict(d=2, refresh_every=32, seed=0)
+    defaults.update(kw)
+    return AllocationService(PEERS, **defaults)
+
+
+class TestAllocate:
+    def test_counts_and_digest_advance(self):
+        svc = fresh_service()
+        before = svc.placement_digest()
+        pid = svc.allocate("obj-1")
+        assert pid in svc.peer_ids
+        assert svc.requests == 1
+        assert svc.placement_digest() != before
+
+    def test_loads_sum_to_requests_without_churn(self):
+        svc = fresh_service()
+        for i in range(200):
+            svc.allocate(f"obj-{i}")
+        assert sum(svc.stats()["load"]["per_peer"].values()) == 200
+
+
+class TestDeterministicReplay:
+    def test_bit_identical_across_runs(self):
+        a = fresh_service().replay(TRACE, SCHEDULE, keep_placements=True)
+        b = fresh_service().replay(TRACE, SCHEDULE, keep_placements=True)
+        assert a.placement_digest == b.placement_digest
+        assert a.placements == b.placements
+        assert a.final_loads == b.final_loads
+        assert a.trace_digest == TRACE.digest()
+
+    def test_pace_does_not_change_decisions(self):
+        fast = fresh_service().replay(TRACE, SCHEDULE)
+        # Pace far above real time: finishes quickly but exercises the
+        # throttled code path.
+        paced = fresh_service().replay(TRACE, SCHEDULE, pace=1e6)
+        assert paced.placement_digest == fast.placement_digest
+        assert paced.final_loads == fast.final_loads
+
+    def test_seed_changes_decisions(self):
+        a = fresh_service(seed=0).replay(TRACE, SCHEDULE)
+        b = fresh_service(seed=1).replay(TRACE, SCHEDULE)
+        # Different tie/churn streams: the decision sequence must differ.
+        assert a.placement_digest != b.placement_digest
+
+    def test_staleness_bound_matters(self):
+        fresh = fresh_service(refresh_every=1).replay(TRACE)
+        stale = fresh_service(refresh_every=TRACE.count).replay(TRACE)
+        assert fresh.placement_digest != stale.placement_digest
+        # A fully stale view degenerates towards one-choice behaviour, so
+        # the fresh view cannot be worse on this pinned trace.
+        assert fresh.max_over_mean <= stale.max_over_mean
+
+    def test_d2_beats_d1_on_pinned_trace(self):
+        one = fresh_service(d=1).replay(TRACE)
+        two = fresh_service(d=2).replay(TRACE)
+        assert two.max_over_mean < one.max_over_mean
+
+    def test_trailing_churn_applies(self):
+        late = (ChurnAction(time=TRACE.duration + 100.0, kind="join"),)
+        rep = fresh_service().replay(TRACE, late)
+        assert rep.joins == 1
+
+    def test_empty_trace_replay(self):
+        rep = fresh_service().replay(
+            generate_trace(TraceSpec(requests=0)), ()
+        )
+        assert rep.requests == 0
+        assert rep.max_load == 0
+        assert rep.placements == ()
+
+    def test_rejects_negative_pace(self):
+        with pytest.raises(ValueError, match="pace"):
+            fresh_service().replay(TRACE, pace=-1.0)
+
+
+class TestChurn:
+    def test_join_starts_at_zero_load(self):
+        svc = fresh_service()
+        resolved = svc.apply_churn(ChurnAction(time=0.0, kind="join"))
+        assert resolved["kind"] == "join"
+        pid = resolved["peer_id"]
+        assert pid in svc.peer_ids
+        assert svc.stats()["load"]["per_peer"][pid] == 0
+
+    def test_leave_drops_peer_and_counts(self):
+        svc = fresh_service()
+        for i in range(50):
+            svc.allocate(f"obj-{i}")
+        victim = svc.peer_ids[0]
+        resolved = svc.apply_churn(
+            ChurnAction(time=0.0, kind="leave", peer_id=victim)
+        )
+        assert resolved == {
+            "kind": "leave",
+            "peer_id": victim,
+            "copies_moved": resolved["copies_moved"],
+        }
+        assert victim not in svc.peer_ids
+        assert victim not in svc.stats()["load"]["per_peer"]
+
+    def test_leave_at_floor_is_skip(self):
+        svc = AllocationService(["a", "b"], replication=2, d=2, seed=0)
+        resolved = svc.apply_churn(ChurnAction(time=0.0, kind="leave"))
+        assert resolved["kind"] == "skip"
+        assert resolved["copies_moved"] == 0
+        assert set(svc.peer_ids) == {"a", "b"}
+        assert svc.skips == 1
+
+    def test_leave_unknown_peer_raises(self):
+        with pytest.raises(KeyError):
+            fresh_service().apply_churn(
+                ChurnAction(time=0.0, kind="leave", peer_id="ghost")
+            )
+
+    def test_churn_forces_view_refresh(self):
+        svc = fresh_service(refresh_every=1000)
+        for i in range(10):
+            svc.allocate(f"obj-{i}")
+        assert svc.stats()["staleness"]["age"] == 10
+        svc.apply_churn(ChurnAction(time=0.0, kind="join"))
+        assert svc.stats()["staleness"]["age"] == 0
+
+
+class TestStats:
+    def test_shape(self):
+        svc = fresh_service()
+        for i in range(100):
+            svc.allocate(f"obj-{i}")
+        stats = svc.stats()
+        assert stats["requests"] == 100
+        assert stats["peers"] == len(PEERS)
+        assert stats["d"] == 2
+        assert stats["latency"]["samples"] == 100
+        assert stats["latency"]["p99_ms"] >= stats["latency"]["p50_ms"] >= 0.0
+        assert stats["load"]["max"] >= stats["load"]["mean"] > 0
+        assert stats["load"]["max_over_mean"] >= 1.0
+        assert len(stats["load"]["per_peer"]) == len(PEERS)
+        assert stats["staleness"]["refresh_every"] == 32
+        assert stats["churn"] == {"joins": 0, "leaves": 0, "skips": 0}
+        assert stats["placement_digest"] == svc.placement_digest()
+
+    def test_json_serialisable(self):
+        svc = fresh_service()
+        svc.allocate("obj-0")
+        json.dumps(svc.stats())
+
+    def test_empty_service(self):
+        stats = fresh_service().stats()
+        assert stats["requests"] == 0
+        assert stats["load"]["max_over_mean"] == 0.0
+        assert stats["latency"]["p50_ms"] == 0.0
+
+
+class TestAsyncServer:
+    def _roundtrip(self, messages):
+        """Start a server, send each message, return the decoded replies."""
+
+        async def run():
+            svc = fresh_service()
+            bound = {}
+            server_task = asyncio.ensure_future(
+                run_server(svc, port=0, ready=lambda addr: bound.update(addr=addr))
+            )
+            try:
+                for _ in range(100):
+                    if bound:
+                        break
+                    await asyncio.sleep(0.01)
+                assert bound, "server never published its address"
+                host, port = bound["addr"]
+                reader, writer = await asyncio.open_connection(host, port)
+                replies = []
+                for msg in messages:
+                    writer.write((json.dumps(msg) + "\n").encode())
+                    await writer.drain()
+                    replies.append(json.loads(await reader.readline()))
+                writer.close()
+                await writer.wait_closed()
+                return replies
+            finally:
+                server_task.cancel()
+                try:
+                    await server_task
+                except asyncio.CancelledError:
+                    pass
+
+        return asyncio.run(run())
+
+    def test_ping_alloc_stats_churn(self):
+        replies = self._roundtrip(
+            [
+                {"op": "ping"},
+                {"op": "alloc", "key": "obj-1"},
+                {"op": "churn", "kind": "join"},
+                {"op": "stats"},
+            ]
+        )
+        ping, alloc, churn, stats = replies
+        assert ping == {"ok": True, "pong": True}
+        assert alloc["ok"] and alloc["peer"] in PEERS
+        assert churn["ok"] and churn["kind"] == "join"
+        assert stats["ok"]
+        assert stats["stats"]["requests"] == 1
+        assert stats["stats"]["churn"]["joins"] == 1
+
+    def test_error_paths(self):
+        replies = self._roundtrip(
+            [
+                {"op": "alloc"},
+                {"op": "churn", "kind": "explode"},
+                {"op": "churn", "kind": "leave", "peer_id": "ghost"},
+                {"op": "warp"},
+            ]
+        )
+        assert all(not r["ok"] for r in replies)
+        assert "key" in replies[0]["error"]
+        assert "join" in replies[1]["error"]
+        assert "ghost" in replies[2]["error"]
+        assert "unknown op" in replies[3]["error"]
+
+    def test_malformed_json_reports_error(self):
+        async def run():
+            svc = fresh_service()
+            bound = {}
+            task = asyncio.ensure_future(
+                run_server(svc, port=0, ready=lambda a: bound.update(addr=a))
+            )
+            try:
+                while not bound:
+                    await asyncio.sleep(0.01)
+                reader, writer = await asyncio.open_connection(*bound["addr"])
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return reply
+            finally:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+
+        reply = asyncio.run(run())
+        assert not reply["ok"]
+        assert "bad json" in reply["error"]

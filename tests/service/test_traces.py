@@ -1,0 +1,151 @@
+"""Tests for open-loop trace and churn-schedule generation."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    ChurnAction,
+    TraceSpec,
+    generate_churn_schedule,
+    generate_trace,
+)
+
+
+class TestTraceSpecValidation:
+    def test_rejects_negative_requests(self):
+        with pytest.raises(ValueError, match="requests"):
+            TraceSpec(requests=-1)
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError, match="users"):
+            TraceSpec(requests=1, users=0)
+
+    def test_rejects_zero_objects(self):
+        with pytest.raises(ValueError, match="objects"):
+            TraceSpec(requests=1, objects=0)
+
+    def test_rejects_nonpositive_zipf(self):
+        with pytest.raises(ValueError, match="zipf_s"):
+            TraceSpec(requests=1, zipf_s=0.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            TraceSpec(requests=1, rate=0.0)
+
+    def test_rejects_amplitude_of_one(self):
+        with pytest.raises(ValueError, match="diurnal_amplitude"):
+            TraceSpec(requests=1, diurnal_amplitude=1.0)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError, match="diurnal_period"):
+            TraceSpec(requests=1, diurnal_period=0.0)
+
+
+class TestGenerateTrace:
+    SPEC = TraceSpec(requests=5000, users=1000, objects=500, rate=1000.0, seed=11)
+
+    def test_shapes_and_ranges(self):
+        tr = generate_trace(self.SPEC)
+        assert tr.count == 5000
+        assert tr.times.shape == tr.objects.shape == tr.users.shape == (5000,)
+        assert np.all(np.diff(tr.times) >= 0)
+        assert tr.times[0] > 0
+        assert 0 <= tr.objects.min() and tr.objects.max() < 500
+        assert 0 <= tr.users.min() and tr.users.max() < 1000
+
+    def test_bit_identical_per_spec(self):
+        a = generate_trace(self.SPEC)
+        b = generate_trace(self.SPEC)
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_array_equal(a.objects, b.objects)
+        np.testing.assert_array_equal(a.users, b.users)
+        assert a.digest() == b.digest()
+
+    def test_seed_changes_trace(self):
+        other = generate_trace(
+            TraceSpec(requests=5000, users=1000, objects=500, rate=1000.0, seed=12)
+        )
+        assert other.digest() != generate_trace(self.SPEC).digest()
+
+    def test_empty_trace(self):
+        tr = generate_trace(TraceSpec(requests=0))
+        assert tr.count == 0
+        assert tr.duration == 0.0
+        assert list(tr.keys()) == []
+        assert tr.digest() == generate_trace(TraceSpec(requests=0)).digest()
+
+    def test_mean_rate_without_modulation(self):
+        spec = TraceSpec(
+            requests=20_000, rate=1000.0, diurnal_amplitude=0.0, seed=3
+        )
+        tr = generate_trace(spec)
+        observed = tr.count / tr.duration
+        assert observed == pytest.approx(1000.0, rel=0.05)
+
+    def test_diurnal_modulation_shifts_density(self):
+        # One full period; the rising half-sine [0, period/2] must carry
+        # more arrivals than the falling half when the amplitude is high.
+        spec = TraceSpec(
+            requests=20_000,
+            rate=1000.0,
+            diurnal_amplitude=0.9,
+            diurnal_period=20.0,
+            seed=5,
+        )
+        tr = generate_trace(spec)
+        half = tr.times[tr.times < 20.0]
+        peak = np.sum((half >= 0.0) & (half < 10.0))
+        trough = np.sum((half >= 10.0) & (half < 20.0))
+        assert peak > 1.5 * trough
+
+    def test_zipf_popularity_is_heavy_tailed(self):
+        spec = TraceSpec(requests=20_000, objects=1000, zipf_s=1.2, seed=9)
+        counts = np.bincount(generate_trace(spec).objects, minlength=1000)
+        # The hottest object gets far more than the uniform share.
+        assert counts.max() > 10 * (20_000 / 1000)
+
+    def test_uniform_popularity_when_zipf_none(self):
+        spec = TraceSpec(requests=20_000, objects=10, zipf_s=None, seed=9)
+        counts = np.bincount(generate_trace(spec).objects, minlength=10)
+        assert counts.max() < 1.2 * (20_000 / 10)
+
+    def test_keys_are_object_addressed(self):
+        tr = generate_trace(TraceSpec(requests=10, objects=5, seed=0))
+        keys = list(tr.keys())
+        assert keys == [f"obj-{int(o)}" for o in tr.objects]
+
+
+class TestChurnSchedule:
+    def test_sorted_within_duration(self):
+        sched = generate_churn_schedule(50, 100.0, seed=2)
+        times = [a.time for a in sched]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 100.0 for t in times)
+
+    def test_join_probability_extremes(self):
+        all_joins = generate_churn_schedule(20, 10.0, join_probability=1.0, seed=0)
+        all_leaves = generate_churn_schedule(20, 10.0, join_probability=0.0, seed=0)
+        assert {a.kind for a in all_joins} == {"join"}
+        assert {a.kind for a in all_leaves} == {"leave"}
+
+    def test_deterministic_per_seed(self):
+        a = generate_churn_schedule(20, 10.0, seed=4)
+        b = generate_churn_schedule(20, 10.0, seed=4)
+        assert a == b
+
+    def test_empty_schedule(self):
+        assert generate_churn_schedule(0, 10.0, seed=0) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="events"):
+            generate_churn_schedule(-1, 10.0)
+        with pytest.raises(ValueError, match="duration"):
+            generate_churn_schedule(1, -1.0)
+        with pytest.raises(ValueError, match="join_probability"):
+            generate_churn_schedule(1, 1.0, join_probability=1.5)
+
+    def test_action_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ChurnAction(time=0.0, kind="explode")
+        with pytest.raises(ValueError, match="time"):
+            ChurnAction(time=-1.0, kind="join")

@@ -1,0 +1,122 @@
+"""Tests for bounded-staleness views and the capacity-aware placer."""
+
+import numpy as np
+import pytest
+
+from repro.p2p import ConsistentHashRing
+from repro.p2p.hashing import point_sequence
+from repro.service import DChoicePlacer, StaleLoadView
+
+
+class TestStaleLoadView:
+    def test_snapshot_is_frozen_until_refresh(self):
+        live = {"a": 0, "b": 0}
+        view = StaleLoadView(lambda: live, refresh_every=3)
+        live["a"] = 7
+        assert view.load_of("a") == 0  # decision sees the frozen copy
+        view.tick()
+        view.tick()
+        assert view.load_of("a") == 0
+        view.tick()  # third tick hits the bound
+        assert view.load_of("a") == 7
+        assert view.refreshes == 1
+        assert view.age == 0
+
+    def test_refresh_every_one_is_always_fresh(self):
+        live = {"a": 0}
+        view = StaleLoadView(lambda: live, refresh_every=1)
+        live["a"] = 5
+        view.tick()
+        assert view.load_of("a") == 5
+
+    def test_unseen_peer_reads_zero(self):
+        view = StaleLoadView(lambda: {"a": 3}, refresh_every=10)
+        assert view.load_of("joined-later") == 0
+
+    def test_forced_refresh_resets_age(self):
+        live = {"a": 0}
+        view = StaleLoadView(lambda: live, refresh_every=10)
+        view.tick()
+        view.tick()
+        assert view.age == 2
+        live["a"] = 1
+        view.refresh()
+        assert view.age == 0
+        assert view.load_of("a") == 1
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError, match="refresh_every"):
+            StaleLoadView(lambda: {}, refresh_every=0)
+
+
+class TestDChoicePlacer:
+    def _ring(self):
+        return ConsistentHashRing([f"peer-{i}" for i in range(6)])
+
+    def test_candidates_match_point_sequence(self):
+        ring = self._ring()
+        placer = DChoicePlacer(ring, d=3)
+        for key in ("obj-1", "obj-42", b"raw", 123):
+            expected = [
+                ring.peers[ring.lookup(p)].peer_id
+                for p in point_sequence(key, 3)
+            ]
+            assert placer.candidates(key) == expected
+
+    def test_prefers_less_loaded_candidate(self):
+        ring = self._ring()
+        placer = DChoicePlacer(ring, d=2)
+        key = "obj-7"
+        a, b = placer.candidates(key)
+        if a == b:
+            pytest.skip("both probes landed on one peer for this key")
+        # Load peer `a` heavily relative to its capacity; `b` must win.
+        loads = {a: 100 * placer.capacity_of(a), b: 0}
+        view = StaleLoadView(lambda: loads, refresh_every=1)
+        assert placer.place(key, view, tie_u=0.0) == b
+
+    def test_capacity_awareness_not_raw_load(self):
+        # Same raw load: the peer with more capacity has the smaller
+        # (load+1)/capacity ratio and must win even though loads are equal.
+        ring = self._ring()
+        placer = DChoicePlacer(ring, d=2, resolution=10_000)
+        key = next(
+            k
+            for k in (f"obj-{i}" for i in range(200))
+            if len(set(placer.candidates(k))) == 2
+            and placer.capacity_of(placer.candidates(k)[0])
+            != placer.capacity_of(placer.candidates(k)[1])
+        )
+        a, b = placer.candidates(key)
+        big = a if placer.capacity_of(a) > placer.capacity_of(b) else b
+        loads = {a: 10, b: 10}
+        view = StaleLoadView(lambda: loads, refresh_every=1)
+        assert placer.place(key, view, tie_u=0.0) == big
+
+    def test_d1_ignores_loads(self):
+        ring = self._ring()
+        placer = DChoicePlacer(ring, d=1)
+        key = "obj-3"
+        only = placer.candidates(key)[0]
+        loads = {only: 10_000}
+        view = StaleLoadView(lambda: loads, refresh_every=1)
+        assert placer.place(key, view, tie_u=0.5) == only
+
+    def test_tie_pick_is_positionally_aligned(self):
+        # A duplicated candidate (both probes on one peer) is a singleton
+        # after dedup: tie_u must not matter.
+        ring = ConsistentHashRing(["solo"])
+        placer = DChoicePlacer(ring, d=4, resolution=1000)
+        view = StaleLoadView(lambda: {"solo": 5}, refresh_every=1)
+        assert placer.place("k", view, 0.0) == placer.place("k", view, 0.999)
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValueError, match="d must be"):
+            DChoicePlacer(self._ring(), d=0)
+
+    def test_resolution_floor_allows_many_peers(self):
+        ring = ConsistentHashRing([f"p-{i}" for i in range(50)])
+        placer = DChoicePlacer(ring, d=2, resolution=10)
+        assert placer.resolution == 50
+        caps = [placer.capacity_of(p.peer_id) for p in ring.peers]
+        assert min(caps) >= 1

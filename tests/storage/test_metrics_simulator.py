@@ -58,6 +58,93 @@ class TestEvaluatePlacement:
         assert report.fill_imbalance == pytest.approx(1.0)
 
 
+class TestReadImbalanceBandwidthWeighting:
+    """read_imbalance divides by the bandwidth-weighted ideal share.
+
+    The pre-fix code divided the max read load by the *uniform* ideal
+    (``Σ read_load / n``), so on heterogeneous clusters a fast disk
+    legitimately carrying proportionally more traffic was reported as
+    imbalance.
+    """
+
+    def _cluster(self):
+        from repro.storage import Disk
+
+        return Cluster([Disk(1, bandwidth=1.0), Disk(1, bandwidth=4.0)])
+
+    def test_fast_disk_carrying_all_traffic(self):
+        from repro.storage import ObjectSet
+
+        # All popularity on the 4x-bandwidth disk: its read load is
+        # 1/4 = 0.25 against a fair share of 1/(1+4) = 0.2, so the true
+        # imbalance is 1.25.  The pre-fix uniform-ideal formula reported
+        # 0.25 * 2 / 0.25 = 2.0.
+        objs = ObjectSet(sizes=[1.0, 1.0], popularity=[0.0, 1.0])
+        report = evaluate_placement([0, 1], objs, self._cluster())
+        assert report.read_imbalance == pytest.approx(1.25)
+
+    def test_bandwidth_proportional_traffic_is_perfect(self):
+        from repro.storage import ObjectSet
+
+        objs = ObjectSet(sizes=[1.0, 1.0], popularity=[0.2, 0.8])
+        report = evaluate_placement([0, 1], objs, self._cluster())
+        assert report.read_imbalance == pytest.approx(1.0)
+
+    def test_slow_disk_overloaded_scores_higher_than_uniform_ideal(self):
+        from repro.storage import ObjectSet
+
+        # Half the traffic on the slow disk: read loads [0.5, 0.125],
+        # fair per-bandwidth rate 0.2, so 0.5/0.2 = 2.5 (the uniform
+        # ideal under-reported this as 1.6).
+        objs = ObjectSet(sizes=[1.0, 1.0], popularity=[0.5, 0.5])
+        report = evaluate_placement([0, 1], objs, self._cluster())
+        assert report.read_imbalance == pytest.approx(2.5)
+
+    def test_homogeneous_cluster_unchanged(self):
+        # On equal bandwidths the bandwidth-weighted ideal equals the
+        # uniform one, so homogeneous numbers are identical pre/post fix.
+        cluster = Cluster.homogeneous(4, 1)
+        objs = unit_objects(8, zipf_s=1.0, rng=3)
+        report = evaluate_placement([0, 0, 0, 1, 1, 2, 2, 3], objs, cluster)
+        uniform_ideal = report.read_load.max() * 4 / report.read_load.sum()
+        assert report.read_imbalance == pytest.approx(uniform_ideal)
+
+
+class TestMetricsEdgeCases:
+    def test_single_disk_cluster(self):
+        cluster = Cluster.homogeneous(1, 4)
+        objs = unit_objects(3, rng=0)
+        report = evaluate_placement([0, 0, 0], objs, cluster)
+        assert report.read_imbalance == pytest.approx(1.0)
+        assert report.fill_imbalance == pytest.approx(1.0)
+        assert report.max_fill == pytest.approx(0.75)
+
+    def test_zero_read_traffic_reports_zero(self):
+        import numpy as np
+
+        from repro.storage import PlacementReport
+
+        report = PlacementReport(
+            fill=np.zeros(2),
+            read_load=np.zeros(2),
+            stored_mass=np.zeros(2),
+            objects_per_disk=np.zeros(2, dtype=np.int64),
+            total_capacity=2.0,
+            bandwidths=np.asarray([1.0, 4.0]),
+        )
+        assert report.read_imbalance == 0.0
+        assert report.fill_imbalance == 0.0
+
+    def test_empty_assignment_rejected_with_shape_error(self):
+        # An ObjectSet is never empty, so the only "empty assignment" a
+        # caller can produce is a shape mismatch — which must raise, not
+        # silently report zeros.
+        cluster = Cluster.homogeneous(2)
+        objs = unit_objects(1, rng=0)
+        with pytest.raises(ValueError, match="shape"):
+            evaluate_placement([], objs, cluster)
+
+
 class TestCompareStrategies:
     def test_reports_all_strategies(self):
         cluster = Cluster.homogeneous(10, 2)

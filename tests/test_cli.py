@@ -127,3 +127,53 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestReplayCommand:
+    ARGS = [
+        "replay", "--requests", "500", "--peers", "6", "--rate", "500",
+        "--objects", "200", "--users", "1000", "--seed", "5",
+    ]
+
+    def test_replay_prints_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "placement digest" in out
+        assert "max/mean" in out
+        assert "p99" in out
+
+    def test_replay_json_is_deterministic(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main([*self.ARGS, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["placement_digest"] == second["placement_digest"]
+        assert first["stats"]["load"]["per_peer"] == second["stats"]["load"]["per_peer"]
+        assert first["requests"] == 500
+
+    def test_replay_with_churn(self, capsys):
+        assert main([*self.ARGS, "--churn-events", "3", "--json"]) == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["joins"] + report["leaves"] + report["skips"] == 3
+
+    def test_replay_rejects_bad_peers(self):
+        with pytest.raises(SystemExit, match="--peers"):
+            main(["replay", "--peers", "0"])
+
+    def test_replay_rejects_bad_spec(self):
+        with pytest.raises(SystemExit, match="rate"):
+            main(["replay", "--rate", "-1"])
+
+    def test_serve_parser_accepts_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--peers", "4", "--refresh-every", "8"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.refresh_every == 8
