@@ -12,7 +12,9 @@ test:
 # Routine pipeline: tier-1 + quick ensemble benchmarks (5x/3x floors) +
 # adaptive-precision smoke (<=50% budget floor + store round trip) +
 # allocation-service replay bench (d=2 vs d=1 baseline -> BENCH_service.json)
-# and live-endpoint smoke + reduced-budget cross-engine equivalence sweep.
+# and live-endpoint smoke (incl. fault-injected retry pass) + crash-recovery
+# smoke (SIGKILL -> WAL restart, bit-identical) + reduced-budget
+# cross-engine equivalence sweep.
 check:
 	bash scripts/ci.sh
 

@@ -27,9 +27,17 @@
 #      validated right after;
 #   7. the allocation-service smoke: a tiny trace with one mid-stream
 #      churn event driven over the live TCP endpoint — the wire run's
-#      placement digest must equal the in-process reference bit for bit
-#      and the stats endpoint must answer mid-traffic;
-#   8. a reduced-budget cross-engine equivalence sweep, run once per
+#      placement digest must equal the in-process reference bit for bit,
+#      the stats endpoint must answer mid-traffic, and a fault-injected
+#      pass (dropped connections + delayed reply) driven by the retrying
+#      client must reproduce the same digest with a reproducible retry
+#      transcript;
+#   8. the crash-recovery smoke: a WAL-backed `repro serve` subprocess
+#      SIGKILLed mid-trace, restarted from its write-ahead log, with the
+#      client retrying through the outage — the final placement digest
+#      and per-peer counts must be bit-identical to the uninterrupted
+#      in-process replay (and to an offline `AllocationService.recover`);
+#   9. a reduced-budget cross-engine equivalence sweep, run once per
 #      *available* backend (numpy always; compiled additionally when numba
 #      is importable — without numba the numpy pass already executes the
 #      compiled tier's interpreter fallback in its backend checks) —
@@ -92,6 +100,9 @@ print(f'BENCH_service.json OK: {len(payload[\"rows\"])} rows, '
 
 echo "== allocation-service smoke (wire digest == in-process, stats live) =="
 python scripts/service_smoke.py
+
+echo "== crash-recovery smoke (SIGKILL mid-trace -> WAL restart, bit-identical) =="
+python scripts/recovery_smoke.py
 
 BACKENDS="numpy"
 if python -c "import numba" 2>/dev/null; then

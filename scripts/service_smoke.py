@@ -13,11 +13,17 @@ The quick-mode gate for the live allocation service (``make check``):
    the in-process reference **bit for bit** — the service determinism
    contract, exercised across the transport rather than assumed;
 4. require a second wire run to reproduce the same digest (no hidden
-   per-connection or per-process state).
+   per-connection or per-process state);
+5. re-drive the same sequence through a server injected with a seeded
+   fault plan (dropped connections before and after the reply, a delayed
+   response) using the retrying client — the digest must *still* equal
+   the reference (retries never double-place), and a second faulted run
+   must reproduce the same retry transcript.
 
 Exit code 0 means every check passed.  Budgeted at ~2 seconds; the full
 service matrix (staleness bounds, churn floors, error paths) lives in
-``tests/service/``.
+``tests/service/``, and the crash/restart path in
+``scripts/recovery_smoke.py``.
 """
 
 from __future__ import annotations
@@ -38,6 +44,9 @@ except ModuleNotFoundError:
 from repro.service import (
     AllocationService,
     ChurnAction,
+    FaultController,
+    FaultPlan,
+    RetryingClient,
     TraceSpec,
     generate_trace,
     run_server,
@@ -67,7 +76,7 @@ def _reference(keys):
     return stats["placement_digest"], stats["load"]["per_peer"]
 
 
-def _start_server():
+def _start_server(faults=None):
     """Run the asyncio server on a daemon thread; return (host, port)."""
     bound = {}
     ready = threading.Event()
@@ -78,7 +87,8 @@ def _start_server():
             ready.set()
 
         try:
-            asyncio.run(run_server(_fresh_service(), port=0, ready=announce))
+            asyncio.run(run_server(
+                _fresh_service(), port=0, ready=announce, faults=faults))
         except Exception as exc:  # pragma: no cover - surfaced via timeout
             bound["error"] = exc
             ready.set()
@@ -120,6 +130,33 @@ def _wire_run(keys):
     return stats["placement_digest"], stats["load"]["per_peer"]
 
 
+#: Faults keyed on the wire-request arrival counter (ping is request 0).
+FAULT_PLAN = FaultPlan(
+    drop_before=(30,), drop_after=(120,), delays=((60, 0.05),)
+)
+
+
+def _faulted_wire_run(keys):
+    """Drive the sequence through a fault-injected server via the
+    retrying client; return (digest, loads, retries, fault counts)."""
+    controller = FaultController(FAULT_PLAN)
+    host, port = _start_server(faults=controller)
+    with RetryingClient(
+        (host, port), client_id="smoke", timeout=2.0, max_attempts=20,
+        backoff_base=0.01, backoff_cap=0.05, jitter_seed=SEED,
+    ) as client:
+        if not client.ping():
+            raise RuntimeError("ping did not pong")
+        for i, key in enumerate(keys):
+            if i == CHURN_AFTER:
+                client.churn("join")
+            client.alloc(key)
+        stats = client.stats()
+        retries = client.retries
+    return (stats["placement_digest"], stats["load"]["per_peer"],
+            retries, dict(controller.counts))
+
+
 def main() -> int:
     started = time.perf_counter()
     trace = generate_trace(SPEC)
@@ -142,7 +179,28 @@ def main() -> int:
         print("SERVICE SMOKE FAILURE: second wire run not reproducible",
               file=sys.stderr)
         return 1
-    print(f"second wire run reproduced the digest; total "
+    print("second wire run reproduced the digest")
+
+    f_digest, f_loads, retries, counts = _faulted_wire_run(keys)
+    if (f_digest, f_loads) != (ref_digest, ref_loads):
+        print("SERVICE SMOKE FAILURE: faulted run diverged from the "
+              f"reference (digest {f_digest[:16]}... vs {ref_digest[:16]}...)",
+              file=sys.stderr)
+        return 1
+    if retries < 2:
+        print(f"SERVICE SMOKE FAILURE: fault plan injected no retries "
+              f"(retries={retries}, counts={counts})", file=sys.stderr)
+        return 1
+    print(f"faulted run == reference through {retries} retries "
+          f"(faults triggered: {counts})")
+
+    again = _faulted_wire_run(keys)
+    if again != (f_digest, f_loads, retries, counts):
+        print("SERVICE SMOKE FAILURE: faulted run not seed-reproducible "
+              f"({again[2]} retries vs {retries}, counts {again[3]} vs "
+              f"{counts})", file=sys.stderr)
+        return 1
+    print(f"faulted run transcript reproduced; total "
           f"{time.perf_counter() - started:.2f}s")
     return 0
 

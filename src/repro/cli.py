@@ -443,8 +443,11 @@ def _cmd_replay(args) -> int:
           f"leave(s), {report.skips} skip(s)")
     print(f"view refreshes   = {report.view_refreshes}")
     stats = service.stats()
-    print(f"placement latency p50 = {stats['latency']['p50_ms']:.4f} ms, "
-          f"p99 = {stats['latency']['p99_ms']:.4f} ms")
+    p50, p99 = stats["latency"]["p50_ms"], stats["latency"]["p99_ms"]
+    if p50 is None:
+        print("placement latency: no samples")
+    else:
+        print(f"placement latency p50 = {p50:.4f} ms, p99 = {p99:.4f} ms")
     print(f"wall time        = {report.wall_seconds:.3f}s")
     return 0
 
@@ -452,24 +455,86 @@ def _cmd_replay(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from .service import run_server
+    from .service import AllocationService, FaultPlan, WalError, WriteAheadLog, run_server
 
     if args.peers < 1:
         raise SystemExit(f"--peers must be positive, got {args.peers}")
-    service = _service_from_args(args)
+
+    faults = None
+    if args.fault_plan:
+        try:
+            faults = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            raise SystemExit(f"bad --fault-plan: {exc}") from None
+
+    recovered = 0
+    if args.wal:
+        wal = WriteAheadLog(args.wal, sync_every=args.wal_sync_every)
+        try:
+            if wal.scan().records:
+                # Restart: the log's meta record wins over --peers/--d/...
+                service = AllocationService.recover(
+                    wal, sync_every=args.wal_sync_every)
+                recovered = service.recovered_records
+            else:
+                service = AllocationService(
+                    [f"peer-{i}" for i in range(args.peers)],
+                    d=args.d,
+                    refresh_every=args.refresh_every,
+                    virtual_nodes=args.virtual_nodes,
+                    seed=args.seed,
+                    wal=wal,
+                )
+        except WalError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        service = _service_from_args(args)
 
     def announce(addr):
         host, port = addr
+        extras = ""
+        if args.wal:
+            extras = (f", wal={args.wal}"
+                      + (f" ({recovered} record(s) recovered, digest "
+                         f"{service.placement_digest()[:16]}...)" if recovered else ""))
         print(f"allocation service on {host}:{port} "
-              f"({args.peers} peers, d={args.d}, "
-              f"refresh_every={args.refresh_every}); ops: "
+              f"({len(service.peer_ids)} peers, d={service.d}, "
+              f"refresh_every={service.refresh_every}{extras}); ops: "
               f"alloc/stats/churn/ping, one JSON object per line",
               flush=True)
 
     try:
-        asyncio.run(run_server(service, args.host, args.port, ready=announce))
+        asyncio.run(run_server(
+            service, args.host, args.port, ready=announce, faults=faults))
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        service.close_wal()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    import json as _json
+
+    from .service import AllocationService, WalError
+
+    try:
+        service = AllocationService.recover(args.wal)
+    except (WalError, OSError) as exc:
+        raise SystemExit(str(exc)) from None
+    service.close_wal()  # offline inspection only: never append
+    stats = service.stats()
+    if args.json:
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"recovered {service.recovered_records} record(s) from {args.wal}")
+    print(f"requests         = {stats['requests']}")
+    print(f"placement digest = {stats['placement_digest']}")
+    print(f"churn            = {service.joins} join(s), {service.leaves} "
+          f"leave(s), {service.skips} skip(s)")
+    print(f"peers ({stats['peers']}):")
+    for pid, count in stats["load"]["per_peer"].items():
+        print(f"  {pid:<12} {count}")
     return 0
 
 
@@ -638,6 +703,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     p_serve.add_argument("--port", type=int, default=7421,
                          help="bind port (0 = ephemeral)")
+    p_serve.add_argument("--wal", default=None, metavar="PATH",
+                         help="write-ahead log for crash-safe serving; an "
+                              "existing log restarts the service from it "
+                              "(service options then come from the log)")
+    p_serve.add_argument("--wal-sync-every", type=int, default=1, metavar="N",
+                         help="fsync once per N appends (1 = every record "
+                              "durable before its reply)")
+    p_serve.add_argument("--fault-plan", default=None, metavar="JSON|PATH",
+                         help="inject a deterministic fault plan "
+                              "(service.faults.FaultPlan JSON, inline or a "
+                              "file) into the server loop")
+
+    p_recover = sub.add_parser(
+        "recover", help="rebuild service state from a write-ahead log and print it"
+    )
+    p_recover.add_argument("wal", help="path to the write-ahead log")
+    p_recover.add_argument("--json", action="store_true",
+                           help="print the recovered stats as JSON")
 
     p_tune = sub.add_parser("tune", help="search for the optimal probability exponent")
     p_tune.add_argument("spec", help="bin spec like '1x50,3x50'")
@@ -670,6 +753,7 @@ def main(argv=None) -> int:
         "report": _cmd_report,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
+        "recover": _cmd_recover,
     }
     return handlers[args.command](args)
 

@@ -113,6 +113,11 @@ class FabricSession:
                     "repro.runtime.fabric.worker",
                     "--address",
                     f"{host}:{port}",
+                    # Let workers probe for a dead broker instead of
+                    # blocking on recv forever (the broker thread lives
+                    # in this driver process).
+                    "--broker-pid",
+                    str(os.getpid()),
                 ],
                 env=env,
             )

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import select
 import socket
 import threading
 from pathlib import Path
@@ -82,25 +83,45 @@ class Wire:
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
-        self._reader = sock.makefile("rb")
+        self._buf = bytearray()
         self._send_lock = threading.Lock()
 
     def send(self, message: dict) -> None:
         with self._send_lock:
             self.sock.sendall(encode(message))
 
-    def recv(self) -> dict:
-        """Read the next frame; raises ``ConnectionError`` on EOF."""
-        line = self._reader.readline()
-        if not line:
-            raise ConnectionError("broker closed the connection")
-        return json.loads(line)
+    def recv(self, timeout: float | None = None) -> dict:
+        """Read the next frame; raises ``ConnectionError`` on EOF.
+
+        *timeout* (seconds) bounds the wait for **more bytes to arrive**
+        and raises ``TimeoutError`` when it elapses; ``None`` blocks
+        forever (the pre-PR-10 behaviour).  The wait uses ``select`` on
+        the shared socket rather than ``settimeout`` — a socket-level
+        timeout is global and would also fire inside the heartbeat
+        thread's concurrent ``sendall``.  Framing is buffered internally,
+        so a timeout mid-frame loses nothing: the partial line stays in
+        the buffer for the next call.
+        """
+        while True:
+            i = self._buf.find(b"\n")
+            if i >= 0:
+                line = bytes(self._buf[:i])
+                del self._buf[:i + 1]
+                if not line.strip():
+                    continue
+                return json.loads(line)
+            if timeout is not None:
+                readable, _, _ = select.select([self.sock], [], [], timeout)
+                if not readable:
+                    raise TimeoutError(
+                        f"no broker frame within {timeout:g}s")
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("broker closed the connection")
+            self._buf.extend(chunk)
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self.sock.close()
+        self.sock.close()
 
 
 def work_token(task, repetitions: int, block_size, seed_spec: dict, kwargs) -> str:

@@ -20,6 +20,14 @@ park-file check.  A stale worker (e.g. resumed from ``SIGSTOP`` after its
 lease was re-assigned) may park a duplicate — harmless, because the block
 is a pure function of its seed slice, so the duplicate is bit-identical
 and the park write is atomic either way.
+
+The reverse direction — the *broker* dying under a live worker — is
+handled by :func:`_recv_patiently`: every reply wait polls in short ticks
+and, between ticks, probes the broker pid (``--broker-pid``, passed by the
+launcher) with signal 0; a dead broker or an exhausted deadline raises
+``ConnectionError`` and the worker exits 1 instead of blocking on ``recv``
+forever (a SIGKILLed broker leaves the TCP connection half-open with no
+RST, so without the probe the old blocking read could hang indefinitely).
 """
 
 from __future__ import annotations
@@ -69,7 +77,54 @@ def _heartbeat_loop(wire: Wire, worker_id: str, interval: float, stop) -> None:
             return  # main loop will notice the dead socket and exit
 
 
-def run_worker(address: tuple[str, int], *, worker_id: str | None = None) -> int:
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def _recv_patiently(
+    wire: Wire,
+    *,
+    broker_pid: int | None,
+    tick: float,
+    deadline: float,
+) -> dict:
+    """One broker reply, or ``ConnectionError`` once the broker is gone.
+
+    Waits in *tick*-second slices; after each empty slice, probes the
+    broker pid (when known) and gives up outright once *deadline* seconds
+    have passed with no reply — a broker that is alive but unresponsive
+    for that long (wedged, or SIGSTOPped with the worker's lease long
+    re-assigned) is as gone as a dead one.
+    """
+    waited = 0.0
+    while True:
+        try:
+            return wire.recv(timeout=tick)
+        except TimeoutError:
+            waited += tick
+            if broker_pid is not None and not _pid_alive(broker_pid):
+                raise ConnectionError(
+                    f"broker process {broker_pid} died") from None
+            if waited >= deadline:
+                raise ConnectionError(
+                    f"no broker reply in {waited:.1f}s "
+                    f"(deadline {deadline:g}s)") from None
+
+
+def run_worker(
+    address: tuple[str, int],
+    *,
+    worker_id: str | None = None,
+    broker_pid: int | None = None,
+    recv_tick: float = 1.0,
+    recv_deadline: float = 30.0,
+) -> int:
     """Connect to the broker at *address* and serve leases until shutdown.
 
     Returns the process exit code (0 = clean shutdown; 1 = lost broker).
@@ -82,12 +137,17 @@ def run_worker(address: tuple[str, int], *, worker_id: str | None = None) -> int
         print(f"fabric worker: cannot reach broker at {address}: {exc}",
               file=sys.stderr)
         return 1
-    sock.settimeout(None)
+    sock.settimeout(None)  # reply waits are bounded by _recv_patiently, not the socket
     wire = Wire(sock)
     stop_heartbeats = threading.Event()
+
+    def recv() -> dict:
+        return _recv_patiently(
+            wire, broker_pid=broker_pid, tick=recv_tick, deadline=recv_deadline)
+
     try:
         wire.send({"type": "hello", "worker": worker_id})
-        welcome = wire.recv()
+        welcome = recv()
         interval = float(welcome.get("heartbeat", 2.0))
         threading.Thread(
             target=_heartbeat_loop,
@@ -98,7 +158,7 @@ def run_worker(address: tuple[str, int], *, worker_id: str | None = None) -> int
         spec_cache: dict[str, dict] = {}
         while True:
             wire.send({"type": "request", "worker": worker_id})
-            message = wire.recv()
+            message = recv()
             kind = message.get("type")
             if kind == "shutdown":
                 return 0
@@ -129,8 +189,10 @@ def run_worker(address: tuple[str, int], *, worker_id: str | None = None) -> int
                     "token": token,
                     "i0": message["i0"],
                 })
-            wire.recv()  # the ok for done/failed
-    except (ConnectionError, OSError):
+            recv()  # the ok for done/failed
+    except (ConnectionError, OSError) as exc:
+        print(f"fabric worker {worker_id}: broker lost ({exc}); exiting",
+              file=sys.stderr)
         return 1  # broker went away: nothing left to serve
     finally:
         stop_heartbeats.set()
@@ -147,11 +209,31 @@ def main(argv=None) -> int:
         "--worker-id", default=None,
         help="identity reported to the broker (default: host-pid)",
     )
+    parser.add_argument(
+        "--broker-pid", type=int, default=None,
+        help="broker process id; probed between recv ticks so a dead "
+             "broker is detected even when its socket never resets",
+    )
+    parser.add_argument(
+        "--recv-tick", type=float, default=1.0,
+        help="seconds per reply-wait slice between liveness probes",
+    )
+    parser.add_argument(
+        "--recv-deadline", type=float, default=30.0,
+        help="give up after this many reply-less seconds even if the "
+             "broker pid still exists",
+    )
     args = parser.parse_args(argv)
     host, _, port = args.address.rpartition(":")
     if not host or not port.isdigit():
         parser.error(f"bad --address {args.address!r}; expected HOST:PORT")
-    return run_worker((host, int(port)), worker_id=args.worker_id)
+    return run_worker(
+        (host, int(port)),
+        worker_id=args.worker_id,
+        broker_pid=args.broker_pid,
+        recv_tick=args.recv_tick,
+        recv_deadline=args.recv_deadline,
+    )
 
 
 if __name__ == "__main__":

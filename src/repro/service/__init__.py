@@ -1,7 +1,16 @@
-"""Live allocation service: open-loop traces, stale views, asyncio front end."""
+"""Live allocation service: open-loop traces, stale views, asyncio front end,
+crash-safe write-ahead logging, retrying client, and fault injection."""
 
+from .client import ClientError, RetryingClient
+from .faults import FaultController, FaultDecision, FaultPlan
 from .metrics import LatencyRecorder, service_stats
-from .server import AllocationService, ReplayReport, run_server
+from .server import (
+    AllocationService,
+    ReplayReport,
+    ServiceError,
+    StaleSequenceError,
+    run_server,
+)
 from .traces import (
     ChurnAction,
     Trace,
@@ -10,6 +19,7 @@ from .traces import (
     generate_trace,
 )
 from .views import DChoicePlacer, StaleLoadView
+from .wal import WalError, WalScan, WriteAheadLog
 
 __all__ = [
     "TraceSpec",
@@ -23,5 +33,15 @@ __all__ = [
     "service_stats",
     "AllocationService",
     "ReplayReport",
+    "ServiceError",
+    "StaleSequenceError",
     "run_server",
+    "WriteAheadLog",
+    "WalScan",
+    "WalError",
+    "RetryingClient",
+    "ClientError",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultController",
 ]

@@ -1,0 +1,164 @@
+"""Retrying line-JSON client for the allocation service.
+
+:class:`RetryingClient` survives the failure modes the fault harness
+injects (dropped connections, lost replies, delayed replies, a server
+that dies and restarts from its WAL) without ever double-placing:
+
+* every mutating request (``alloc``, ``churn``) carries this client's id
+  and a monotonically increasing sequence number, which the server dedups
+  from its WAL-rebuilt table — a retry after a lost reply gets the cached
+  reply back (flagged ``dup``) instead of a second placement;
+* each attempt is bounded by a per-request socket timeout;
+* failed attempts back off exponentially with a cap and *deterministically
+  seeded* jitter, so a faulted smoke run produces the same retry schedule
+  every time.
+
+The client is intentionally synchronous and single-connection: the
+service's determinism contract is defined over a serial request
+transcript, and a blocking client keeps the transcript obvious.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from ..sampling.rngutils import make_rng
+
+__all__ = ["RetryingClient", "ClientError"]
+
+
+class ClientError(Exception):
+    """All retry attempts for one request were exhausted."""
+
+
+class RetryingClient:
+    """Blocking client with timeouts, capped backoff, and idempotent ops.
+
+    ``address`` is ``(host, port)``.  ``client_id`` names this client in
+    the server's dedup table; two concurrent clients must use distinct
+    ids.  ``jitter_seed`` seeds the backoff jitter stream (same seed, same
+    retry schedule).  ``sleep`` is injectable for tests.
+    """
+
+    def __init__(self, address, *, client_id: str, timeout: float = 2.0,
+                 max_attempts: int = 8, backoff_base: float = 0.05,
+                 backoff_cap: float = 1.0, jitter_seed=0, sleep=None):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.address = (str(address[0]), int(address[1]))
+        self.client_id = str(client_id)
+        self.timeout = float(timeout)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._jitter_rng = make_rng(jitter_seed)
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._sock = None
+        self._io = None
+        self._seq = 0
+        self.retries = 0
+        self.reconnects = 0
+        self.dup_replies = 0
+
+    # -- connection management -------------------------------------------
+
+    def _connect(self):
+        self._disconnect()
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        self._sock = sock
+        self._io = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def _disconnect(self):
+        for closer in (self._io, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._io = None
+        self._sock = None
+
+    def close(self):
+        self._disconnect()
+
+    def __enter__(self) -> "RetryingClient":
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- request plumbing ------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        # min(cap, base * 2^attempt), jittered into [0.5x, 1.5x) so herds
+        # of clients spread out — but from a seeded stream, so a given
+        # client's schedule is reproducible.
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        return base * (0.5 + float(self._jitter_rng.random()))
+
+    def _attempt(self, request: dict) -> dict:
+        if self._io is None:
+            self._connect()
+        self._io.write(json.dumps(request) + "\n")
+        self._io.flush()
+        line = self._io.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def _call(self, request: dict) -> dict:
+        """Send one request, retrying through timeouts/drops/restarts."""
+        failures = []
+        for attempt in range(self.max_attempts):
+            if attempt:
+                self.retries += 1
+                self._sleep(self._backoff(attempt - 1))
+            try:
+                reply = self._attempt(request)
+            except (ConnectionError, TimeoutError, OSError, json.JSONDecodeError) as exc:
+                failures.append(f"attempt {attempt + 1}: {exc!r}")
+                self._disconnect()
+                self.reconnects += 1
+                continue
+            if reply.get("dup"):
+                self.dup_replies += 1
+            return reply
+        raise ClientError(
+            f"{request.get('op', '?')} to {self.address[0]}:{self.address[1]} "
+            f"failed after {self.max_attempts} attempt(s): "
+            + "; ".join(failures[-3:])
+        )
+
+    def _checked(self, reply: dict) -> dict:
+        if not reply.get("ok"):
+            raise ClientError(f"server error: {reply.get('error', reply)!r}")
+        return reply
+
+    # -- operations ------------------------------------------------------
+
+    def alloc(self, key: str) -> str:
+        """Idempotently place ``key``; returns the chosen peer id."""
+        self._seq += 1
+        reply = self._checked(self._call({
+            "op": "alloc", "key": key,
+            "client": self.client_id, "seq": self._seq,
+        }))
+        return reply["peer"]
+
+    def churn(self, kind: str, peer_id=None) -> dict:
+        """Idempotently apply one churn event; returns the resolved event."""
+        self._seq += 1
+        request = {"op": "churn", "kind": kind,
+                   "client": self.client_id, "seq": self._seq}
+        if peer_id is not None:
+            request["peer_id"] = peer_id
+        reply = self._checked(self._call(request))
+        return {k: reply[k] for k in ("kind", "peer_id", "copies_moved")}
+
+    def stats(self) -> dict:
+        return self._checked(self._call({"op": "stats"}))["stats"]
+
+    def ping(self) -> bool:
+        return bool(self._checked(self._call({"op": "ping"})).get("pong"))

@@ -1,0 +1,227 @@
+"""Deterministic fault injection for the allocation service.
+
+A :class:`FaultPlan` is a *seeded, declarative* schedule of failures keyed
+on the server's wire-request arrival counter (every decoded request frame,
+across all connections, in arrival order).  The server asks its
+:class:`FaultController` for a :class:`FaultDecision` per request and acts
+on it — drop the connection before or after applying the request, delay
+the reply, SIGKILL itself, or apply a churn storm first.  Because the plan
+is data (JSON-serialisable) and the injection point is a deterministic
+counter, every failure mode is a reproducible test, not a flake: the same
+plan against the same client transcript yields the same faulted
+transcript, byte for byte.
+
+Fault kinds:
+
+``drop_before``
+    Close the connection after decoding the request but *before* applying
+    it.  The client sees a dead connection and retries; nothing was
+    placed, so the retry is the first application.
+``drop_after``
+    Apply the request (placement logged to the WAL, state mutated), then
+    close the connection without replying — the lost-reply case.  The
+    client's retry carries the same sequence id and is answered from the
+    server's dedup table, so nothing is double-placed.
+``delays``
+    Sleep before handling, to exercise client timeouts.
+``kill_at``
+    Flush the WAL and ``SIGKILL`` the *server process* when the counter
+    reaches this value (the request itself is never applied).  Only
+    meaningful for subprocess servers — in-process test servers would kill
+    the test runner.
+``storms``
+    Apply a burst of alternating join/leave churn events before handling
+    the request.  Storm churn goes through the normal churn path, so it is
+    WAL-logged and survives recovery like any other membership change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..sampling.rngutils import make_rng
+
+__all__ = ["FaultPlan", "FaultDecision", "FaultController"]
+
+
+def _index_tuple(values, what: str) -> tuple[int, ...]:
+    out = []
+    for v in values:
+        i = int(v)
+        if i < 0:
+            raise ValueError(f"{what} index must be >= 0, got {v!r}")
+        out.append(i)
+    return tuple(sorted(set(out)))
+
+
+def _pair_tuple(values, what: str) -> tuple[tuple[int, float], ...]:
+    out = {}
+    for pair in values:
+        i, x = pair
+        i = int(i)
+        x = float(x)
+        if i < 0 or x < 0:
+            raise ValueError(f"{what} entry must be non-negative, got {pair!r}")
+        out[i] = x
+    return tuple(sorted(out.items()))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible failure schedule, keyed on wire-request indices."""
+
+    drop_before: tuple[int, ...] = ()
+    drop_after: tuple[int, ...] = ()
+    delays: tuple[tuple[int, float], ...] = ()   #: (index, seconds)
+    kill_at: int | None = None
+    storms: tuple[tuple[int, int], ...] = ()     #: (index, churn events)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "drop_before", _index_tuple(self.drop_before, "drop_before"))
+        object.__setattr__(
+            self, "drop_after", _index_tuple(self.drop_after, "drop_after"))
+        object.__setattr__(self, "delays", _pair_tuple(self.delays, "delays"))
+        object.__setattr__(
+            self, "storms",
+            tuple((i, int(n)) for i, n in _pair_tuple(self.storms, "storms")))
+        if self.kill_at is not None:
+            kill = int(self.kill_at)
+            if kill < 0:
+                raise ValueError(f"kill_at must be >= 0, got {self.kill_at!r}")
+            object.__setattr__(self, "kill_at", kill)
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "drop_before": list(self.drop_before),
+            "drop_after": list(self.drop_after),
+            "delays": [list(p) for p in self.delays],
+            "kill_at": self.kill_at,
+            "storms": [list(p) for p in self.storms],
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, data) -> "FaultPlan":
+        if isinstance(data, (str, bytes)):
+            data = json.loads(data)
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {type(data).__name__}")
+        known = {"drop_before", "drop_after", "delays", "kill_at", "storms"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown fault plan field(s): {', '.join(unknown)}")
+        return cls(
+            drop_before=data.get("drop_before", ()),
+            drop_after=data.get("drop_after", ()),
+            delays=data.get("delays", ()),
+            kill_at=data.get("kill_at"),
+            storms=data.get("storms", ()),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """CLI form: inline JSON (``{...}``) or a path to a JSON file."""
+        text = text.strip()
+        if not text.startswith("{"):
+            try:
+                text = Path(text).read_text(encoding="utf-8")
+            except OSError as exc:
+                raise ValueError(f"cannot read fault plan file: {exc}") from exc
+        try:
+            return cls.from_json(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+
+    # -- generation ------------------------------------------------------
+
+    @classmethod
+    def generate(cls, *, seed, requests: int,
+                 drop_before_rate: float = 0.0,
+                 drop_after_rate: float = 0.0,
+                 delay_rate: float = 0.0,
+                 delay_seconds: float = 0.02,
+                 storm_count: int = 0,
+                 storm_size: int = 4,
+                 kill_at: int | None = None) -> "FaultPlan":
+        """Draw a plan from a seed — same seed and arguments, same plan."""
+        rng = make_rng(seed)
+        u = rng.random((3, requests))
+        storms = ()
+        if storm_count:
+            positions = np.unique(rng.integers(0, requests, size=storm_count))
+            storms = tuple((int(i), int(storm_size)) for i in positions)
+        return cls(
+            drop_before=tuple(int(i) for i in np.flatnonzero(u[0] < drop_before_rate)),
+            drop_after=tuple(int(i) for i in np.flatnonzero(u[1] < drop_after_rate)),
+            delays=tuple((int(i), float(delay_seconds))
+                         for i in np.flatnonzero(u[2] < delay_rate)),
+            kill_at=kill_at,
+            storms=storms,
+        )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What to do to the request at wire index ``index``."""
+
+    index: int
+    drop_before: bool = False
+    drop_after: bool = False
+    delay: float = 0.0
+    kill: bool = False
+    storm: int = 0
+
+    @property
+    def any(self) -> bool:
+        return (self.drop_before or self.drop_after or self.kill
+                or self.delay > 0.0 or self.storm > 0)
+
+
+class FaultController:
+    """Stateful side of a plan: one shared wire-request counter.
+
+    The counter spans connections — request index ``i`` is the ``i``-th
+    request frame the server decoded since the controller was created,
+    whichever connection carried it.  ``counts`` tallies triggered faults
+    for assertions and smoke-report lines.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._drop_before = frozenset(plan.drop_before)
+        self._drop_after = frozenset(plan.drop_after)
+        self._delays = dict(plan.delays)
+        self._storms = dict(plan.storms)
+        self.requests_seen = 0
+        self.counts = {
+            "drop_before": 0, "drop_after": 0, "delay": 0, "kill": 0, "storm": 0,
+        }
+
+    def next_decision(self) -> FaultDecision:
+        i = self.requests_seen
+        self.requests_seen += 1
+        decision = FaultDecision(
+            index=i,
+            drop_before=i in self._drop_before,
+            drop_after=i in self._drop_after,
+            delay=self._delays.get(i, 0.0),
+            kill=self.plan.kill_at == i,
+            storm=self._storms.get(i, 0),
+        )
+        if decision.drop_before:
+            self.counts["drop_before"] += 1
+        if decision.drop_after:
+            self.counts["drop_after"] += 1
+        if decision.delay > 0.0:
+            self.counts["delay"] += 1
+        if decision.kill:
+            self.counts["kill"] += 1
+        if decision.storm:
+            self.counts["storm"] += 1
+        return decision

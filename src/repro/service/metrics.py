@@ -43,11 +43,17 @@ class LatencyRecorder:
         """Total samples recorded (may exceed the reservoir capacity)."""
         return self._count
 
-    def percentile(self, q: float) -> float:
-        """The *q*-th percentile over retained samples (0 when empty)."""
+    def percentile(self, q: float) -> float | None:
+        """The *q*-th percentile over retained samples.
+
+        ``None`` when no samples have been recorded — an idle server has
+        no latency distribution, and reporting a fake ``0.0`` would make
+        an idle endpoint look like an infinitely fast one on a dashboard
+        (the stats surface serialises it as JSON ``null``).
+        """
         n = min(self._count, self._capacity)
         if n == 0:
-            return 0.0
+            return None
         return float(np.percentile(self._buf[:n], q))
 
 
@@ -64,6 +70,9 @@ def service_stats(
     skips: int,
     d: int,
     placement_digest: str,
+    errors: dict[str, int] | None = None,
+    dedup_hits: int = 0,
+    wal: dict | None = None,
 ) -> dict:
     """Assemble the `/metrics`-style stats dict from live service state."""
     values = np.asarray(list(loads.values()), dtype=np.float64)
@@ -75,14 +84,16 @@ def service_stats(
         max_load = 0.0
         mean_load = 0.0
         imbalance = 0.0
+    p50 = latency.percentile(50.0)
+    p99 = latency.percentile(99.0)
     return {
         "requests": requests,
         "peers": len(loads),
         "d": d,
         "latency": {
             "samples": latency.count,
-            "p50_ms": latency.percentile(50.0) * 1e3,
-            "p99_ms": latency.percentile(99.0) * 1e3,
+            "p50_ms": None if p50 is None else p50 * 1e3,
+            "p99_ms": None if p99 is None else p99 * 1e3,
         },
         "load": {
             "max": max_load,
@@ -96,5 +107,9 @@ def service_stats(
             "refreshes": view_refreshes,
         },
         "churn": {"joins": joins, "leaves": leaves, "skips": skips},
+        "errors": dict(errors) if errors else
+            {"oversized": 0, "bad_json": 0, "handler": 0, "stale_seq": 0},
+        "dedup_hits": int(dedup_hits),
+        "wal": wal,
         "placement_digest": placement_digest,
     }

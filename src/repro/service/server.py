@@ -14,6 +14,17 @@ produces a bit-identical placement sequence — pinned by the running
 sha256 ``placement_digest`` — and identical final per-peer counts,
 regardless of replay pacing or how many times the stats endpoint is
 scraped.  Wall-clock latencies are observability only and are excluded.
+
+Crash-recovery clause: with a :class:`~.wal.WriteAheadLog` attached, every
+placement and resolved churn event is logged *before* the state mutates,
+and :meth:`AllocationService.recover` rebuilds the exact service — per-peer
+counters, ring/placer, both RNG stream positions, the placement digest,
+and the per-client dedup table — by replaying the log through this same
+code path (divergence is a :class:`~.wal.WalError`, not silent drift).
+Mutating requests may carry a ``(client, seq)`` pair; the service answers
+a replayed ``seq`` from its dedup table without consuming any RNG, so a
+client retry after a lost reply never double-places and never shifts the
+tie stream.
 """
 
 from __future__ import annotations
@@ -21,16 +32,42 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import os
+import signal
 import time
 from dataclasses import dataclass, field
 
 from ..p2p.dht import DHT
 from ..sampling.rngutils import make_rng, spawn_seed_sequences
+from .faults import FaultController, FaultPlan
 from .metrics import LatencyRecorder, service_stats
 from .traces import ChurnAction, Trace
 from .views import DChoicePlacer, StaleLoadView
+from .wal import WalError, WriteAheadLog
 
-__all__ = ["AllocationService", "ReplayReport", "run_server"]
+__all__ = [
+    "AllocationService",
+    "ReplayReport",
+    "ServiceError",
+    "StaleSequenceError",
+    "run_server",
+]
+
+#: Format tag of the WAL meta record; bump on incompatible record changes.
+WAL_FORMAT = "repro.service.wal/1"
+
+#: Default bound on one request line at the server (bytes, sans newline).
+MAX_LINE_BYTES = 65536
+
+
+class ServiceError(Exception):
+    """A request the service cannot serve (reported, not fatal)."""
+
+
+class StaleSequenceError(ServiceError):
+    """A (client, seq) pair below the client's last applied sequence —
+    the cached reply for it is gone, so the request cannot be answered
+    idempotently."""
 
 
 @dataclass(frozen=True)
@@ -75,6 +112,12 @@ class AllocationService:
         Root seed; tie-breaking and churn-victim streams are spawned from
         it, so the whole decision sequence is a function of (seed, trace,
         churn schedule).
+    wal:
+        Optional write-ahead log (a :class:`~.wal.WriteAheadLog` or a
+        path) to make the service crash-safe.  The log must be fresh or
+        empty — restarting over an existing log goes through
+        :meth:`recover` instead, which rebuilds state from it.  Requires
+        an integer ``seed`` (recovery re-derives the RNG streams from it).
     """
 
     def __init__(
@@ -87,11 +130,15 @@ class AllocationService:
         virtual_nodes: int = 1,
         resolution: int = 1000,
         seed=0,
+        wal=None,
     ):
         self.d = d
         self.refresh_every = refresh_every
         self.resolution = resolution
         self._dht = DHT(peers, replication=replication, virtual_nodes=virtual_nodes)
+        if wal is not None:
+            seed = self._require_int_seed(seed)
+        self.seed = seed
         tie_seed, churn_seed = spawn_seed_sequences(seed, 2)
         self._tie_rng = make_rng(tie_seed)
         self._churn_rng = make_rng(churn_seed)
@@ -104,7 +151,170 @@ class AllocationService:
         self.joins = 0
         self.leaves = 0
         self.skips = 0
+        self.dedup_hits = 0
+        self.recovered_records = 0
+        self.errors = {"oversized": 0, "bad_json": 0, "handler": 0, "stale_seq": 0}
         self._join_counter = 0
+        self._dedup: dict[str, tuple[int, dict]] = {}
+        self._initial_peers = [str(p) for p in peers]
+        self._wal: WriteAheadLog | None = None
+        if wal is not None:
+            self._attach_fresh_wal(wal)
+
+    # -- write-ahead log -------------------------------------------------------
+
+    @staticmethod
+    def _require_int_seed(seed) -> int:
+        try:
+            out = int(seed)
+        except (TypeError, ValueError):
+            out = None
+        if out is None or out != seed:
+            raise WalError(
+                f"a WAL-backed service needs an integer seed (got {seed!r}) — "
+                "recovery re-derives the RNG streams from it"
+            )
+        return out
+
+    def _meta_record(self) -> dict:
+        return {
+            "t": "meta",
+            "format": WAL_FORMAT,
+            "peers": self._initial_peers,
+            "d": self.d,
+            "refresh_every": self.refresh_every,
+            "replication": self._dht.replication,
+            "virtual_nodes": self._dht.virtual_nodes,
+            "resolution": self.resolution,
+            "seed": self.seed,
+        }
+
+    def _attach_fresh_wal(self, wal) -> None:
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        scan = wal.scan()
+        if scan.records:
+            raise WalError(
+                f"{wal.path} already holds {len(scan.records)} record(s); "
+                "use AllocationService.recover() to restart from it"
+            )
+        if not scan.clean:
+            wal.repair(scan)
+        self._wal = wal
+        wal.append(self._meta_record())
+        wal.flush()
+
+    def _wal_append(self, record: dict) -> None:
+        if self._wal is not None:
+            self._wal.append(record)
+
+    def flush_wal(self) -> None:
+        """Force the WAL's group commit (no-op without a WAL)."""
+        if self._wal is not None:
+            self._wal.flush()
+
+    def close_wal(self) -> None:
+        """Flush and detach the WAL; the service keeps serving unlogged."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    @classmethod
+    def recover(cls, wal, *, sync_every: int | None = None) -> "AllocationService":
+        """Rebuild a service bit-identically from its write-ahead log.
+
+        Scans the log, quarantines any torn tail (truncate-and-continue),
+        reconstructs the service from the meta record, and replays every
+        logged placement and churn event through the normal
+        :meth:`allocate` / :meth:`apply_churn` paths — advancing the RNG
+        streams, counters, digest, and dedup table exactly as the original
+        process did.  Each replayed decision is checked against the logged
+        outcome; a mismatch means the log and this build disagree and
+        raises :class:`~.wal.WalError` rather than serving drifted state.
+        The repaired log is then re-attached for appending.
+        """
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal, sync_every=sync_every or 1)
+        elif sync_every is not None:
+            wal.sync_every = int(sync_every)
+        scan = wal.scan()
+        if not scan.records:
+            raise WalError(f"{wal.path}: empty write-ahead log, nothing to recover")
+        meta = scan.records[0]
+        if meta.get("t") != "meta" or meta.get("format") != WAL_FORMAT:
+            raise WalError(
+                f"{wal.path}: first record is not a {WAL_FORMAT} meta record"
+            )
+        scan = wal.repair(scan)
+        service = cls(
+            meta["peers"],
+            d=meta["d"],
+            refresh_every=meta["refresh_every"],
+            replication=meta["replication"],
+            virtual_nodes=meta["virtual_nodes"],
+            resolution=meta["resolution"],
+            seed=meta["seed"],
+        )
+        service._replay_wal_records(scan.records[1:])
+        service.recovered_records = len(scan.records) - 1
+        service._wal = wal
+        return service
+
+    def _replay_wal_records(self, records) -> None:
+        """Re-run logged events through the live code paths (WAL detached)."""
+        assert self._wal is None
+        for i, rec in enumerate(records, start=1):
+            kind = rec.get("t")
+            if kind == "alloc":
+                pid = self.allocate(rec["k"], client=rec.get("c"), seq=rec.get("s"))
+                if pid != rec.get("p"):
+                    raise WalError(
+                        f"record {i}: replayed placement {pid!r} != logged "
+                        f"{rec.get('p')!r} — the log does not match this "
+                        "build's decision pipeline"
+                    )
+            elif kind == "churn":
+                action = ChurnAction(time=0.0, kind=rec["kind"], peer_id=rec.get("sched"))
+                resolved = self.apply_churn(
+                    action, client=rec.get("c"), seq=rec.get("s")
+                )
+                if (resolved["kind"], resolved["peer_id"]) != (rec.get("res"), rec.get("peer")):
+                    raise WalError(
+                        f"record {i}: replayed churn "
+                        f"{(resolved['kind'], resolved['peer_id'])!r} != logged "
+                        f"{(rec.get('res'), rec.get('peer'))!r}"
+                    )
+            else:
+                raise WalError(f"record {i}: unknown record type {kind!r}")
+
+    # -- idempotency -----------------------------------------------------------
+
+    def _dedup_lookup(self, client, seq):
+        """The cached reply for an already-applied (client, seq), if any.
+
+        Runs *before* any RNG consumption so a duplicate request leaves
+        the tie/churn streams untouched.  A sequence id below the client's
+        last applied one raises :class:`StaleSequenceError` — its cached
+        reply is gone (only the latest is kept), so idempotency cannot be
+        honoured.
+        """
+        if client is None or seq is None:
+            return None
+        entry = self._dedup.get(str(client))
+        seq = int(seq)
+        if entry is None or seq > entry[0]:
+            return None
+        if seq == entry[0]:
+            self.dedup_hits += 1
+            return entry[1]
+        raise StaleSequenceError(
+            f"client {client!r} seq {seq} is below the last applied seq "
+            f"{entry[0]} (out-of-order or reused sequence id)"
+        )
+
+    def _remember(self, client, seq, payload: dict) -> None:
+        if client is not None and seq is not None:
+            self._dedup[str(client)] = (int(seq), payload)
 
     # -- placement -------------------------------------------------------------
 
@@ -113,22 +323,39 @@ class AllocationService:
         """Current membership."""
         return self._dht.peer_ids
 
-    def allocate(self, key) -> str:
+    def allocate(self, key, *, client=None, seq=None) -> str:
         """Place one request; returns the chosen peer id.
 
         Decisions read the stale view; the live counter advances
         immediately (so the *next* snapshot sees it), exactly the
         ``simulate_batched`` regime with ``batch_size = refresh_every``.
+        With a ``(client, seq)`` pair the placement is idempotent: a
+        duplicate sequence id returns the originally chosen peer without
+        placing again (or consuming the tie stream), and the decision is
+        WAL-logged before any state mutates.
         """
+        cached = self._dedup_lookup(client, seq)
+        if cached is not None:
+            return cached["peer"]
+        if self._dht.n_peers < 1:
+            raise ServiceError("no peers available to place on")
         t0 = time.perf_counter()
         tie_u = float(self._tie_rng.random())
         pid = self._placer.place(key, self._view, tie_u)
+        self._wal_append({
+            "t": "alloc",
+            "c": None if client is None else str(client),
+            "s": None if seq is None else int(seq),
+            "k": key,
+            "p": pid,
+        })
         self._loads[pid] += 1
         self._view.tick()
         self._digest.update(pid.encode("utf-8"))
         self._digest.update(b"\n")
         self.requests += 1
         self._latency.record(time.perf_counter() - t0)
+        self._remember(client, seq, {"peer": pid})
         return pid
 
     def placement_digest(self) -> str:
@@ -137,7 +364,7 @@ class AllocationService:
 
     # -- churn -----------------------------------------------------------------
 
-    def apply_churn(self, action: ChurnAction) -> dict:
+    def apply_churn(self, action: ChurnAction, *, client=None, seq=None) -> dict:
         """Resolve one membership change; returns the resolved event.
 
         Joins mint a fresh ``churn-N`` peer starting at load 0.  Leaves
@@ -145,16 +372,21 @@ class AllocationService:
         explicit ``peer_id`` was scheduled; a leave that would drop the
         membership below the replication floor is recorded as a ``skip``
         and changes nothing — the same explicit semantics as
-        :func:`repro.p2p.churn.run_churn`.  Any membership change rebuilds
-        the placer and forces a view refresh (the ring changed, so serving
-        decisions against the old snapshot would mix topologies).
+        :func:`repro.p2p.churn.run_churn` (note the victim draw *is*
+        consumed before the floor check, so the churn stream position is a
+        function of the event sequence alone).  Any membership change
+        rebuilds the placer and forces a view refresh (the ring changed,
+        so serving decisions against the old snapshot would mix
+        topologies).  The fully resolved event is WAL-logged before any
+        mutation, and a ``(client, seq)`` duplicate returns the original
+        resolution without re-drawing.
         """
+        cached = self._dedup_lookup(client, seq)
+        if cached is not None:
+            return dict(cached)
         if action.kind == "join":
             pid = self._next_join_id()
-            moved = self._dht.join(pid)
-            self._loads[pid] = 0
-            self.joins += 1
-            resolved = {"kind": "join", "peer_id": pid, "copies_moved": moved}
+            outcome = "join"
         else:
             if action.peer_id is not None:
                 if action.peer_id not in self._dht.peer_ids:
@@ -164,17 +396,39 @@ class AllocationService:
                 idx = int(self._churn_rng.integers(0, self._dht.n_peers))
                 pid = self._dht.peer_ids[idx]
             if self._dht.n_peers <= self._dht.replication:
-                self.skips += 1
-                return {"kind": "skip", "peer_id": pid, "copies_moved": 0}
+                outcome = "skip"
+            else:
+                outcome = "leave"
+        self._wal_append({
+            "t": "churn",
+            "c": None if client is None else str(client),
+            "s": None if seq is None else int(seq),
+            "kind": action.kind,
+            "sched": action.peer_id,
+            "peer": pid,
+            "res": outcome,
+        })
+        if outcome == "join":
+            moved = self._dht.join(pid)
+            self._loads[pid] = 0
+            self.joins += 1
+            resolved = {"kind": "join", "peer_id": pid, "copies_moved": moved}
+        elif outcome == "leave":
             moved = self._dht.leave(pid)
             self._loads.pop(pid, None)
             self.leaves += 1
             resolved = {"kind": "leave", "peer_id": pid, "copies_moved": moved}
+        else:
+            self.skips += 1
+            resolved = {"kind": "skip", "peer_id": pid, "copies_moved": 0}
+            self._remember(client, seq, resolved)
+            return dict(resolved)
         self._placer = DChoicePlacer(
             self._dht.ring, d=self.d, resolution=self.resolution
         )
         self._view.refresh()
-        return resolved
+        self._remember(client, seq, resolved)
+        return dict(resolved)
 
     def _next_join_id(self) -> str:
         while True:
@@ -187,6 +441,15 @@ class AllocationService:
 
     def stats(self) -> dict:
         """The `/metrics`-style stats dict (JSON-ready)."""
+        wal_info = None
+        if self._wal is not None:
+            wal_info = {
+                "path": str(self._wal.path),
+                "sync_every": self._wal.sync_every,
+                "appended": self._wal.appended,
+                "fsyncs": self._wal.fsyncs,
+                "recovered": self.recovered_records,
+            }
         return service_stats(
             requests=self.requests,
             loads=self._loads,
@@ -199,6 +462,9 @@ class AllocationService:
             skips=self.skips,
             d=self.d,
             placement_digest=self.placement_digest(),
+            errors=self.errors,
+            dedup_hits=self.dedup_hits,
+            wal=wal_info,
         )
 
     # -- deterministic replay --------------------------------------------------
@@ -270,47 +536,165 @@ def _encode(obj: dict) -> bytes:
     return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
 
 
+class _LineStream:
+    """Bounded line framing over a StreamReader.
+
+    asyncio's own ``readline`` raises once a line exceeds the stream
+    limit, which would kill the connection on the first oversized request.
+    This reader instead *consumes and discards* the oversized line in
+    O(limit) memory and reports it, so the server can answer a structured
+    error and keep serving the connection.
+
+    ``readline()`` returns ``(line, overflowed)``: a complete line within
+    the bound as ``(bytes, False)``, an oversized line as ``(b"",
+    True)`` once its terminating newline (or EOF) arrives, and EOF as
+    ``(None, False)``.
+    """
+
+    _CHUNK = 65536
+
+    def __init__(self, reader, limit: int):
+        self._reader = reader
+        self._limit = int(limit)
+        self._buf = bytearray()
+        self._eof = False
+
+    async def readline(self):
+        discarding = False
+        while True:
+            i = self._buf.find(b"\n")
+            if i >= 0:
+                line = bytes(self._buf[:i])
+                del self._buf[:i + 1]
+                if discarding or len(line) > self._limit:
+                    return b"", True
+                return line, False
+            if len(self._buf) > self._limit:
+                # No newline yet and already over the bound: drop what we
+                # have and keep draining until the line ends.
+                discarding = True
+                self._buf.clear()
+            if self._eof:
+                if discarding or not self._buf:
+                    return None, False
+                line = bytes(self._buf)
+                self._buf.clear()
+                return line, False
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                self._eof = True
+                continue
+            self._buf.extend(chunk)
+
+
 def _handle_request(service: AllocationService, msg: dict) -> dict:
     op = msg.get("op")
     if op == "ping":
         return {"ok": True, "pong": True}
     if op == "stats":
         return {"ok": True, "stats": service.stats()}
+    client, seq = msg.get("client"), msg.get("seq")
+    if (client is None) != (seq is None):
+        return {"ok": False,
+                "error": "idempotent requests need both 'client' and 'seq'"}
+    if seq is not None and (not isinstance(seq, int) or isinstance(seq, bool)):
+        return {"ok": False, "error": "'seq' must be an integer"}
     if op == "alloc":
         key = msg.get("key")
         if key is None:
             return {"ok": False, "error": "alloc requires a 'key'"}
-        peer = service.allocate(key)
-        return {"ok": True, "peer": peer}
+        before = service.requests
+        try:
+            peer = service.allocate(key, client=client, seq=seq)
+        except StaleSequenceError as exc:
+            service.errors["stale_seq"] += 1
+            return {"ok": False, "error": str(exc)}
+        reply = {"ok": True, "peer": peer}
+        if seq is not None:
+            reply["seq"] = seq
+            reply["dup"] = service.requests == before
+        return reply
     if op == "churn":
         kind = msg.get("kind")
         if kind not in ("join", "leave"):
             return {"ok": False, "error": "churn requires kind 'join' or 'leave'"}
+        before = service.dedup_hits
         try:
             action = ChurnAction(time=0.0, kind=kind, peer_id=msg.get("peer_id"))
-            resolved = service.apply_churn(action)
+            resolved = service.apply_churn(action, client=client, seq=seq)
+        except StaleSequenceError as exc:
+            service.errors["stale_seq"] += 1
+            return {"ok": False, "error": str(exc)}
         except (KeyError, ValueError) as exc:
             return {"ok": False, "error": str(exc)}
-        return {"ok": True, **resolved}
+        reply = {"ok": True, **resolved}
+        if seq is not None:
+            reply["seq"] = seq
+            reply["dup"] = service.dedup_hits > before
+        return reply
     return {"ok": False, "error": f"unknown op {op!r}"}
 
 
-async def _serve_connection(service: AllocationService, reader, writer) -> None:
+async def _serve_connection(
+    service: AllocationService,
+    reader,
+    writer,
+    *,
+    faults: FaultController | None = None,
+    max_line_bytes: int = MAX_LINE_BYTES,
+) -> None:
+    stream = _LineStream(reader, max_line_bytes)
     try:
         while True:
-            line = await reader.readline()
-            if not line:
+            line, overflowed = await stream.readline()
+            if line is None:
                 break
-            line = line.strip()
-            if not line:
+            if overflowed:
+                service.errors["oversized"] += 1
+                writer.write(_encode({
+                    "ok": False,
+                    "error": f"request line exceeds {max_line_bytes} bytes",
+                }))
+                await writer.drain()
+                continue
+            if not line.strip():
                 continue
             try:
                 msg = json.loads(line)
             except json.JSONDecodeError as exc:
+                service.errors["bad_json"] += 1
                 writer.write(_encode({"ok": False, "error": f"bad json: {exc}"}))
                 await writer.drain()
                 continue
-            writer.write(_encode(_handle_request(service, msg)))
+            if not isinstance(msg, dict):
+                service.errors["bad_json"] += 1
+                writer.write(_encode({
+                    "ok": False, "error": "request must be a JSON object",
+                }))
+                await writer.drain()
+                continue
+            decision = faults.next_decision() if faults is not None else None
+            if decision is not None and decision.any:
+                for j in range(decision.storm):
+                    service.apply_churn(ChurnAction(
+                        time=0.0, kind="join" if j % 2 == 0 else "leave"))
+                if decision.delay > 0.0:
+                    await asyncio.sleep(decision.delay)
+                if decision.kill:
+                    # Durable state first, then die like a real crash —
+                    # no cleanup, no replies, connections torn mid-flight.
+                    service.flush_wal()
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if decision.drop_before:
+                    return
+            try:
+                reply = _handle_request(service, msg)
+            except Exception as exc:  # noqa: BLE001 — one request never kills the connection
+                service.errors["handler"] += 1
+                reply = {"ok": False, "error": f"internal error: {exc!r}"}
+            if decision is not None and decision.drop_after:
+                return
+            writer.write(_encode(reply))
             await writer.drain()
     finally:
         writer.close()
@@ -326,16 +710,29 @@ async def run_server(
     port: int = 0,
     *,
     ready=None,
+    faults=None,
+    max_line_bytes: int = MAX_LINE_BYTES,
 ):
     """Serve *service* over line-delimited JSON TCP until cancelled.
 
     ``port = 0`` binds an ephemeral port; the bound ``(host, port)`` is
     published through the optional *ready* callback (used by the smoke
     test and the CLI banner).  All operations run on the event loop
-    thread, so the synchronous core needs no locking.
+    thread, so the synchronous core needs no locking.  ``faults`` is an
+    optional :class:`~.faults.FaultPlan` (or a live
+    :class:`~.faults.FaultController`, when the caller wants to read the
+    trigger counts afterwards) injected per decoded request.
     """
+    controller = None
+    if faults is not None:
+        controller = (faults if isinstance(faults, FaultController)
+                      else FaultController(FaultPlan.from_json(faults)
+                                           if not isinstance(faults, FaultPlan)
+                                           else faults))
     server = await asyncio.start_server(
-        lambda r, w: _serve_connection(service, r, w), host, port
+        lambda r, w: _serve_connection(
+            service, r, w, faults=controller, max_line_bytes=max_line_bytes),
+        host, port,
     )
     bound = server.sockets[0].getsockname()[:2]
     if ready is not None:

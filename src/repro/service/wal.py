@@ -1,0 +1,245 @@
+"""Append-only, CRC-framed write-ahead log for the allocation service.
+
+The WAL is the service's durability contract: every placement and every
+resolved churn event is framed, checksummed, and appended *before* the
+state change is applied (and, with ``sync_every = 1``, fsynced before the
+reply leaves the process), so :meth:`repro.service.AllocationService.recover`
+can rebuild the exact in-memory state — per-peer counters, the ring and
+placer, the tie/churn RNG stream positions, the running sha256 placement
+digest, and the per-client dedup table — by replaying the log through the
+same decision pipeline that wrote it.
+
+Frame format (after a file-level magic header)::
+
+    <u32 payload-length> <u32 crc32(payload)> <payload: compact JSON>
+
+A crash can tear the tail of the file mid-frame; :meth:`WriteAheadLog.scan`
+stops at the first frame that fails its length/CRC/JSON checks and reports
+how many bytes were good, and :meth:`WriteAheadLog.repair` quarantines the
+unreadable suffix into a ``.corrupt-<offset>`` sidecar (the same
+rename-out-of-the-way discipline as ``ResultStore.get``) and truncates the
+log so appends continue from the last good frame.  A file that does not
+start with the magic header is *foreign* and is never truncated — that is
+a :class:`WalError`, not a repair.
+
+Durability is fsync-batched: ``sync_every = 1`` (the server default) makes
+every record durable before its reply; larger values group-commit for
+throughput at the cost of the last ``sync_every - 1`` acknowledged records
+after a power loss (a process SIGKILL loses nothing either way — the bytes
+are already in the page cache).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["WriteAheadLog", "WalScan", "WalError", "WAL_MAGIC"]
+
+#: File-level magic: identifies (and versions) a repro WAL.
+WAL_MAGIC = b"REPROWAL\x01\n"
+
+#: Per-frame header: payload byte length, crc32 over the payload.
+_FRAME_HEADER = struct.Struct("<II")
+
+#: Sanity bound on a frame's declared payload length — a larger value can
+#: only come from corruption (records are small JSON objects), and trusting
+#: it would make the scan walk off the end of the file.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class WalError(Exception):
+    """A write-ahead log that cannot be used (foreign file, bad meta,
+    replay divergence, nothing to recover)."""
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Outcome of one read pass over a WAL file."""
+
+    records: tuple[dict, ...]
+    good_bytes: int   #: offset of the first unreadable byte (= size when clean)
+    total_bytes: int  #: file size at scan time
+
+    @property
+    def torn_bytes(self) -> int:
+        """Bytes past the last whole frame (0 for a clean log)."""
+        return self.total_bytes - self.good_bytes
+
+    @property
+    def clean(self) -> bool:
+        """Whether every byte belongs to a valid frame."""
+        return self.good_bytes == self.total_bytes
+
+
+def _scan_frames(blob: bytes) -> tuple[list[dict], int]:
+    """Decode whole valid frames from the front; return ``(records, good)``.
+
+    Stops at the first frame whose header is short, whose length field is
+    implausible, whose payload is short or fails its CRC, or whose payload
+    is not a JSON object — everything from there on is unreadable (framing
+    is lost once one frame is bad).
+    """
+    records: list[dict] = []
+    offset = len(WAL_MAGIC)
+    end = len(blob)
+    while offset < end:
+        header = blob[offset:offset + _FRAME_HEADER.size]
+        if len(header) < _FRAME_HEADER.size:
+            break
+        length, crc = _FRAME_HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            break
+        start = offset + _FRAME_HEADER.size
+        payload = blob[start:start + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            break
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = start + length
+    return records, offset
+
+
+class WriteAheadLog:
+    """One append-only log file (see the module docstring for the format).
+
+    Construction touches nothing on disk; the file is created (with its
+    magic header) on the first :meth:`append`.  ``sync_every`` is the
+    group-commit knob: fsync once per that many appends (:meth:`flush`
+    forces one).  ``appended`` / ``fsyncs`` are this instance's telemetry
+    counters (they do not include records already on disk).
+    """
+
+    def __init__(self, path, *, sync_every: int = 1):
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1, got {sync_every}")
+        self.path = Path(path)
+        self.sync_every = int(sync_every)
+        self._fh = None
+        self._unsynced = 0
+        self.appended = 0
+        self.fsyncs = 0
+
+    # -- reading ---------------------------------------------------------
+
+    def scan(self) -> WalScan:
+        """Read every whole frame; report the torn/corrupt suffix, if any.
+
+        A missing or empty file scans as an empty, clean log.  A file that
+        does not begin with the WAL magic raises :class:`WalError` — it is
+        not ours to interpret (or to repair).
+        """
+        if self._fh is not None:
+            self._fh.flush()  # make our own unsynced appends visible
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return WalScan((), 0, 0)
+        if not blob:
+            return WalScan((), 0, 0)
+        if not blob.startswith(WAL_MAGIC):
+            if WAL_MAGIC.startswith(blob):
+                # Crash during creation: a prefix of the magic alone.
+                return WalScan((), 0, len(blob))
+            raise WalError(
+                f"{self.path} is not a repro write-ahead log (bad magic)"
+            )
+        records, good = _scan_frames(blob)
+        return WalScan(tuple(records), good, len(blob))
+
+    def repair(self, scan: WalScan | None = None) -> WalScan:
+        """Quarantine any unreadable suffix and truncate to the good prefix.
+
+        The torn bytes move to a ``<name>.corrupt-<offset>`` sidecar next
+        to the log (kept for post-mortem inspection, named by offset so
+        repeated crashes never overwrite each other), exactly the
+        quarantine discipline of ``ResultStore.get``.  Returns the clean
+        scan.  Must be called before this instance starts appending.
+        """
+        if self._fh is not None:
+            raise WalError("repair() must run before the log is opened for append")
+        if scan is None:
+            scan = self.scan()
+        if scan.clean:
+            return scan
+        blob = self.path.read_bytes()
+        sidecar = self.path.with_name(
+            f"{self.path.name}.corrupt-{scan.good_bytes}"
+        )
+        sidecar.write_bytes(blob[scan.good_bytes:])
+        with open(self.path, "r+b") as fh:
+            fh.truncate(scan.good_bytes)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return WalScan(scan.records, scan.good_bytes, scan.good_bytes)
+
+    # -- appending -------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._fh is not None:
+            return
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.is_file() and self.path.stat().st_size > 0:
+            with open(self.path, "rb") as fh:
+                if fh.read(len(WAL_MAGIC)) != WAL_MAGIC:
+                    raise WalError(
+                        f"{self.path} is not a repro write-ahead log (bad magic)"
+                    )
+        self._fh = open(self.path, "ab")
+        if self._fh.tell() == 0:
+            self._fh.write(WAL_MAGIC)
+
+    def append(self, record: dict) -> None:
+        """Frame, checksum, and append one record (fsync per the batch
+        policy)."""
+        payload = json.dumps(
+            record, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        if len(payload) > MAX_FRAME_BYTES:
+            raise WalError(
+                f"record of {len(payload)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte frame bound"
+            )
+        self._ensure_open()
+        self._fh.write(_FRAME_HEADER.pack(len(payload), zlib.crc32(payload)))
+        self._fh.write(payload)
+        self.appended += 1
+        self._unsynced += 1
+        if self._unsynced >= self.sync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Force the group commit: flush and fsync any unsynced appends."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if self._unsynced:
+            os.fsync(self._fh.fileno())
+            self.fsyncs += 1
+            self._unsynced = 0
+
+    def close(self) -> None:
+        """Flush and release the file handle (the log can be reopened)."""
+        if self._fh is None:
+            return
+        try:
+            self.flush()
+        finally:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -11,6 +11,9 @@ the driver's ``sys.path`` via ``PYTHONPATH``) can unpickle them.
 
 import os
 import signal
+import socket
+import subprocess
+import sys
 import threading
 import time
 from pathlib import Path
@@ -31,12 +34,14 @@ from repro.runtime import (
 from repro.runtime.executor import block_seed_spec
 from repro.runtime.fabric.broker import Broker
 from repro.runtime.fabric.protocol import (
+    Wire,
     encode,
     park_fingerprint,
     park_path,
     split_lines,
     work_token,
 )
+from repro.runtime.fabric.worker import _pid_alive, _recv_patiently
 
 REPS, BLOCK = 24, 3  # 8 blocks
 
@@ -150,6 +155,52 @@ class TestProtocol:
         a = work_token(scalar_block, REPS, BLOCK, block_seed_spec(None), {})
         b = work_token(scalar_block, REPS, BLOCK, block_seed_spec(None), {})
         assert a != b  # fresh OS entropy per spec: no false park sharing
+
+    def test_wire_recv_timeout_loses_no_bytes(self):
+        a, b = socket.socketpair()
+        try:
+            wire = Wire(a)
+            with pytest.raises(TimeoutError, match="no broker frame"):
+                wire.recv(timeout=0.05)
+            # A frame split across sends survives a timeout mid-frame:
+            # the partial line stays buffered, nothing is dropped.
+            b.sendall(b'{"type":"ok"')
+            with pytest.raises(TimeoutError):
+                wire.recv(timeout=0.05)
+            b.sendall(b'}\n{"type":"idle"}\n')
+            assert wire.recv(timeout=1.0) == {"type": "ok"}
+            assert wire.recv(timeout=1.0) == {"type": "idle"}
+            b.close()
+            with pytest.raises(ConnectionError, match="closed"):
+                wire.recv(timeout=1.0)
+        finally:
+            a.close()
+
+    def test_recv_patiently_detects_a_dead_broker_pid(self):
+        # A pid that existed and is now gone: the probe, not the socket,
+        # must get the worker out (a vanished broker host sends no RST).
+        ghost = subprocess.Popen([sys.executable, "-c", "pass"])
+        ghost.wait()
+        assert not _pid_alive(ghost.pid)
+        assert _pid_alive(os.getpid())
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ConnectionError, match="died"):
+                _recv_patiently(
+                    Wire(a), broker_pid=ghost.pid, tick=0.02, deadline=60.0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_patiently_deadline_fires_on_live_silent_broker(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ConnectionError, match="no broker reply"):
+                _recv_patiently(
+                    Wire(a), broker_pid=os.getpid(), tick=0.02, deadline=0.1)
+        finally:
+            a.close()
+            b.close()
 
 
 class TestBrokerUnit:
@@ -315,6 +366,88 @@ class TestWorkerDeath:
                 except ProcessLookupError:
                     pass
             session.close()
+
+
+#: Runs a broker in a disposable process so tests can kill it under a live
+#: worker.  Prints the address, then a second line once a worker connects.
+_BROKER_HOST_SCRIPT = """\
+import time
+from repro.runtime.fabric.broker import Broker
+
+broker = Broker(lease_ttl=30.0).start()
+host, port = broker.address
+print(f"{host}:{port}", flush=True)
+while broker.worker_count() == 0:
+    time.sleep(0.02)
+print("worker-connected", flush=True)
+time.sleep(600)
+"""
+
+
+class TestBrokerDeath:
+    """The reverse of TestWorkerDeath: the broker dies under a live worker.
+
+    Before PR 10 a worker waiting for a reply sat in a blocking ``recv``
+    with no timeout — a broker host that vanished without closing the TCP
+    connection (machine crash, SIGSTOP, network partition) left the worker
+    hung forever.  These tests put the broker in its own subprocess and
+    assert the worker gets itself out in both flavours of broker death.
+    """
+
+    def _spawn_broker_and_worker(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p or os.getcwd() for p in sys.path)
+        broker = subprocess.Popen(
+            [sys.executable, "-c", _BROKER_HOST_SCRIPT],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        address = broker.stdout.readline().strip()
+        assert ":" in address, f"broker host failed to start: {address!r}"
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.runtime.fabric.worker",
+                "--address", address,
+                "--broker-pid", str(broker.pid),
+                "--recv-tick", "0.1",
+                "--recv-deadline", "2",
+            ],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        # The worker's hello has been answered: the kill below lands on a
+        # genuinely live request loop, not on a connect in progress.
+        assert broker.stdout.readline().strip() == "worker-connected"
+        return broker, worker
+
+    def _reap(self, *procs):
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
+
+    def test_worker_exits_when_broker_is_sigkilled(self):
+        broker, worker = self._spawn_broker_and_worker()
+        try:
+            os.kill(broker.pid, signal.SIGKILL)
+            assert worker.wait(timeout=10) == 1
+            assert "broker lost" in worker.stderr.read()
+        finally:
+            self._reap(worker, broker)
+
+    def test_worker_gives_up_on_a_sigstopped_broker(self):
+        # The hard case: the broker pid stays alive and its socket stays
+        # open, so neither EOF nor the pid probe fires — only the recv
+        # deadline can get the worker out.
+        broker, worker = self._spawn_broker_and_worker()
+        try:
+            os.kill(broker.pid, signal.SIGSTOP)
+            assert worker.wait(timeout=15) == 1
+            assert "no broker reply" in worker.stderr.read()
+        finally:
+            try:
+                os.kill(broker.pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+            self._reap(worker, broker)
 
 
 def test_whole_fabric_kill_then_resume(tmp_path):

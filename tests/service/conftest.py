@@ -1,0 +1,78 @@
+"""Shared fixtures for the service tests: a stoppable threaded server."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import run_server
+
+
+class ServerThread:
+    """`run_server` on a daemon thread with a clean cancel-based stop.
+
+    Unlike the smoke scripts' fire-and-forget daemon threads, tests start
+    many servers per session, so each one must release its socket: stop()
+    cancels the serve task on its own loop and joins the thread.
+    """
+
+    def __init__(self, service, **server_kw):
+        self.service = service
+        self._started = threading.Event()
+        self._error = None
+        self.address = None
+        self._loop = None
+        self._task = None
+
+        def runner():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            def announce(addr):
+                self.address = addr
+                self._started.set()
+
+            async def serve():
+                self._task = asyncio.current_task()
+                await run_server(service, port=0, ready=announce, **server_kw)
+
+            try:
+                loop.run_until_complete(serve())
+            except asyncio.CancelledError:
+                pass
+            except Exception as exc:  # pragma: no cover - surfaced via start()
+                self._error = exc
+                self._started.set()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=runner, daemon=True)
+        self._thread.start()
+
+    def start(self):
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("server did not start within 10s")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error!r}")
+        return self.address
+
+    def stop(self):
+        if self._loop is not None and self._task is not None:
+            self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def server_thread():
+    """Factory: start a threaded server for a service, stop it at teardown."""
+    servers = []
+
+    def start(service, **server_kw):
+        server = ServerThread(service, **server_kw)
+        servers.append(server)
+        return server.start()
+
+    yield start
+    for server in servers:
+        server.stop()

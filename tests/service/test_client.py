@@ -1,0 +1,125 @@
+"""Tests for the retrying client: timeouts, backoff, idempotent retries."""
+
+import socket
+
+import pytest
+
+from repro.service import (
+    AllocationService,
+    ClientError,
+    FaultController,
+    FaultPlan,
+    RetryingClient,
+)
+
+PEERS = [f"peer-{i}" for i in range(8)]
+
+
+def fresh_service(**kw):
+    defaults = dict(d=2, refresh_every=16, seed=3)
+    defaults.update(kw)
+    return AllocationService(PEERS, **defaults)
+
+
+def dead_port() -> int:
+    """A port nothing is listening on (bound then immediately released)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestHappyPath:
+    def test_ops_round_trip(self, server_thread):
+        svc = fresh_service()
+        addr = server_thread(svc)
+        with RetryingClient(addr, client_id="t", jitter_seed=0) as client:
+            assert client.ping()
+            peer = client.alloc("obj-1")
+            assert peer in PEERS
+            resolved = client.churn("join")
+            assert resolved["kind"] == "join"
+            stats = client.stats()
+            assert stats["requests"] == 1
+            assert client.retries == 0
+
+    def test_matches_direct_service_calls(self, server_thread):
+        svc = fresh_service()
+        addr = server_thread(svc)
+        ref = fresh_service()
+        with RetryingClient(addr, client_id="t", jitter_seed=0) as client:
+            for i in range(60):
+                assert client.alloc(f"obj-{i}") == ref.allocate(f"obj-{i}")
+        assert svc.placement_digest() == ref.placement_digest()
+
+
+class TestRetries:
+    def test_retries_through_drops_without_double_placing(self, server_thread):
+        plan = FaultPlan(drop_before=(2,), drop_after=(5,))
+        controller = FaultController(plan)
+        svc = fresh_service()
+        addr = server_thread(svc, faults=controller)
+        ref = fresh_service()
+        with RetryingClient(
+            addr, client_id="t", timeout=2.0, max_attempts=10,
+            backoff_base=0.01, backoff_cap=0.02, jitter_seed=1,
+        ) as client:
+            for i in range(20):
+                assert client.alloc(f"obj-{i}") == ref.allocate(f"obj-{i}")
+            assert client.retries == 2
+            assert client.reconnects == 2
+            # The drop_after request was applied before the connection
+            # died, so its retry was served from the dedup table.
+            assert client.dup_replies == 1
+        assert svc.placement_digest() == ref.placement_digest()
+        assert svc.requests == 20
+        assert controller.counts["drop_before"] == 1
+        assert controller.counts["drop_after"] == 1
+
+    def test_gives_up_after_max_attempts(self):
+        sleeps = []
+        client = RetryingClient(
+            ("127.0.0.1", dead_port()), client_id="t", timeout=0.2,
+            max_attempts=3, jitter_seed=0, sleep=sleeps.append,
+        )
+        with pytest.raises(ClientError, match="after 3 attempt"):
+            client.ping()
+        assert len(sleeps) == 2  # a backoff before each retry, none before the first
+
+    def test_server_error_reply_is_not_retried(self, server_thread):
+        addr = server_thread(fresh_service())
+        with RetryingClient(addr, client_id="t", jitter_seed=0) as client:
+            with pytest.raises(ClientError, match="server error"):
+                client.churn("leave", peer_id="ghost")
+            assert client.retries == 0
+
+
+class TestBackoff:
+    def _sleep_schedule(self, seed, attempts=5):
+        sleeps = []
+        client = RetryingClient(
+            ("127.0.0.1", dead_port()), client_id="t", timeout=0.05,
+            max_attempts=attempts, backoff_base=0.05, backoff_cap=0.4,
+            jitter_seed=seed, sleep=sleeps.append,
+        )
+        with pytest.raises(ClientError):
+            client.ping()
+        return sleeps
+
+    def test_jitter_is_seed_deterministic(self):
+        assert self._sleep_schedule(seed=7) == self._sleep_schedule(seed=7)
+        assert self._sleep_schedule(seed=7) != self._sleep_schedule(seed=8)
+
+    def test_backoff_grows_and_caps(self):
+        sleeps = self._sleep_schedule(seed=0, attempts=8)
+        # Jitter is in [0.5x, 1.5x): every delay stays inside the jittered
+        # envelope of min(cap, base * 2^k).
+        base, cap = 0.05, 0.4
+        for k, delay in enumerate(sleeps):
+            envelope = min(cap, base * 2 ** k)
+            assert 0.5 * envelope <= delay < 1.5 * envelope
+        # The cap actually binds by the end of the schedule.
+        assert sleeps[-1] < 1.5 * cap
+
+    def test_rejects_bad_max_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryingClient(("127.0.0.1", 1), client_id="t", max_attempts=0)

@@ -1,0 +1,137 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    AllocationService,
+    FaultController,
+    FaultDecision,
+    FaultPlan,
+    RetryingClient,
+)
+
+PEERS = [f"peer-{i}" for i in range(8)]
+
+
+def fresh_service(**kw):
+    defaults = dict(d=2, refresh_every=16, seed=9)
+    defaults.update(kw)
+    return AllocationService(PEERS, **defaults)
+
+
+class TestFaultPlan:
+    def test_generate_is_seed_deterministic(self):
+        kw = dict(requests=200, drop_before_rate=0.05, drop_after_rate=0.05,
+                  delay_rate=0.02, storm_count=2, kill_at=150)
+        assert FaultPlan.generate(seed=4, **kw) == FaultPlan.generate(seed=4, **kw)
+        assert FaultPlan.generate(seed=4, **kw) != FaultPlan.generate(seed=5, **kw)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(drop_before=(3, 1), drop_after=(7,),
+                         delays=((2, 0.5),), kill_at=9, storms=((4, 6),))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        # Indices normalise to sorted unique tuples.
+        assert plan.drop_before == (1, 3)
+
+    def test_parse_inline_json_and_file(self, tmp_path):
+        text = '{"drop_after": [5], "kill_at": 9}'
+        inline = FaultPlan.parse(text)
+        assert inline.drop_after == (5,) and inline.kill_at == 9
+        path = tmp_path / "plan.json"
+        path.write_text(text)
+        assert FaultPlan.parse(str(path)) == inline
+
+    def test_parse_rejects_garbage(self, tmp_path):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.parse("{nope")
+        with pytest.raises(ValueError, match="cannot read"):
+            FaultPlan.parse(str(tmp_path / "missing.json"))
+        with pytest.raises(ValueError, match="unknown fault plan field"):
+            FaultPlan.from_json('{"explode_at": 3}')
+        with pytest.raises(ValueError, match="drop_before"):
+            FaultPlan(drop_before=(-1,))
+        with pytest.raises(ValueError, match="kill_at"):
+            FaultPlan(kill_at=-2)
+
+
+class TestFaultController:
+    def test_decisions_follow_the_plan(self):
+        plan = FaultPlan(drop_before=(1,), drop_after=(2,),
+                         delays=((3, 0.25),), kill_at=4, storms=((5, 2),))
+        controller = FaultController(plan)
+        decisions = [controller.next_decision() for _ in range(6)]
+        assert decisions[0] == FaultDecision(index=0)
+        assert not decisions[0].any
+        assert decisions[1].drop_before and decisions[1].any
+        assert decisions[2].drop_after
+        assert decisions[3].delay == 0.25
+        assert decisions[4].kill
+        assert decisions[5].storm == 2
+        assert controller.counts == {
+            "drop_before": 1, "drop_after": 1, "delay": 1, "kill": 1, "storm": 1,
+        }
+        assert controller.requests_seen == 6
+
+
+class TestInjectedServer:
+    def _drive(self, plan, requests=30):
+        """One faulted wire run; returns (digest, retries, counts)."""
+        controller = FaultController(plan)
+        svc = fresh_service()
+        addr = self._server_thread(svc, faults=controller)
+        with RetryingClient(
+            addr, client_id="t", timeout=2.0, max_attempts=20,
+            backoff_base=0.01, backoff_cap=0.02, jitter_seed=5,
+        ) as client:
+            for i in range(requests):
+                client.alloc(f"obj-{i}")
+            stats = client.stats()
+            retries = client.retries
+        return stats["placement_digest"], retries, dict(controller.counts)
+
+    @pytest.fixture(autouse=True)
+    def _bind_server_thread(self, server_thread):
+        self._server_thread = server_thread
+
+    def test_drops_and_delays_leave_digest_unchanged(self):
+        plan = FaultPlan(drop_before=(4,), drop_after=(11,), delays=((7, 0.03),))
+        digest, retries, counts = self._drive(plan)
+        ref = fresh_service()
+        for i in range(30):
+            ref.allocate(f"obj-{i}")
+        assert digest == ref.placement_digest()
+        assert retries == 2
+        assert counts["drop_before"] == 1 and counts["drop_after"] == 1
+        assert counts["delay"] == 1
+
+    def test_same_plan_same_transcript(self):
+        plan = FaultPlan.generate(
+            seed=11, requests=40, drop_before_rate=0.08, drop_after_rate=0.08)
+        assert self._drive(plan) == self._drive(plan)
+
+    def test_churn_storm_applies_and_is_deterministic(self):
+        plan = FaultPlan(storms=((5, 4),))
+        runs = []
+        for _ in range(2):
+            controller = FaultController(plan)
+            svc = fresh_service()
+            addr = self._server_thread(svc, faults=controller)
+            with RetryingClient(addr, client_id="t", jitter_seed=0) as client:
+                for i in range(12):
+                    client.alloc(f"obj-{i}")
+                stats = client.stats()
+            assert controller.counts["storm"] == 1
+            runs.append((stats["placement_digest"], stats["churn"],
+                         stats["load"]["per_peer"]))
+        digest, churn, _ = runs[0]
+        assert churn == {"joins": 2, "leaves": 2, "skips": 0}
+        assert runs[0] == runs[1]
+
+    def test_kill_decision_reported_not_tested_in_process(self):
+        # kill_at actually SIGKILLs the hosting process, so in-process
+        # tests only assert the decision; scripts/recovery_smoke.py kills
+        # a real subprocess server.
+        controller = FaultController(FaultPlan(kill_at=0))
+        assert controller.next_decision().kill

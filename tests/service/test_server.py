@@ -172,18 +172,38 @@ class TestStats:
         stats = fresh_service().stats()
         assert stats["requests"] == 0
         assert stats["load"]["max_over_mean"] == 0.0
-        assert stats["latency"]["p50_ms"] == 0.0
+        # An idle server has no latency distribution — None (JSON null),
+        # not a fake 0 ms.
+        assert stats["latency"]["p50_ms"] is None
+        assert stats["latency"]["p99_ms"] is None
+        assert stats["latency"]["samples"] == 0
+        json.dumps(stats)  # null must serialise
+
+    def test_error_and_dedup_counters_present(self):
+        stats = fresh_service().stats()
+        assert stats["errors"] == {
+            "oversized": 0, "bad_json": 0, "handler": 0, "stale_seq": 0,
+        }
+        assert stats["dedup_hits"] == 0
+        assert stats["wal"] is None
 
 
 class TestAsyncServer:
-    def _roundtrip(self, messages):
-        """Start a server, send each message, return the decoded replies."""
+    def _roundtrip(self, messages, svc=None, **server_kw):
+        """Start a server, send each message, return the decoded replies.
+
+        A message may be raw ``bytes`` (sent verbatim, newline included)
+        instead of a dict — used to exercise the framing error paths.
+        Pass ``svc`` to inspect service state after the exchange.
+        """
 
         async def run():
-            svc = fresh_service()
+            service = fresh_service() if svc is None else svc
             bound = {}
             server_task = asyncio.ensure_future(
-                run_server(svc, port=0, ready=lambda addr: bound.update(addr=addr))
+                run_server(service, port=0,
+                           ready=lambda addr: bound.update(addr=addr),
+                           **server_kw)
             )
             try:
                 for _ in range(100):
@@ -195,7 +215,10 @@ class TestAsyncServer:
                 reader, writer = await asyncio.open_connection(host, port)
                 replies = []
                 for msg in messages:
-                    writer.write((json.dumps(msg) + "\n").encode())
+                    if isinstance(msg, (bytes, bytearray)):
+                        writer.write(bytes(msg))
+                    else:
+                        writer.write((json.dumps(msg) + "\n").encode())
                     await writer.drain()
                     replies.append(json.loads(await reader.readline()))
                 writer.close()
@@ -269,3 +292,128 @@ class TestAsyncServer:
         reply = asyncio.run(run())
         assert not reply["ok"]
         assert "bad json" in reply["error"]
+
+
+class TestGracefulDegradation:
+    """The connection must survive every malformed or failing request.
+
+    These pin the PR-10 fixes: pre-fix, an oversized line tripped
+    asyncio's 64 KiB readline limit and any ``_handle_request`` exception
+    propagated — both killed the connection with no reply, so each of
+    these tests would hang or fail on the old ``_serve_connection``.
+    """
+
+    _roundtrip = TestAsyncServer._roundtrip
+
+    def test_oversized_line_gets_error_and_connection_survives(self):
+        svc = fresh_service()
+        big = b'{"op": "alloc", "key": "' + b"x" * 200_000 + b'"}\n'
+        replies = self._roundtrip([big, {"op": "ping"}], svc=svc)
+        assert not replies[0]["ok"]
+        assert "exceeds" in replies[0]["error"]
+        # The follow-up request on the same connection still works.
+        assert replies[1] == {"ok": True, "pong": True}
+        assert svc.errors["oversized"] == 1
+        assert svc.requests == 0  # the oversized alloc never ran
+
+    def test_oversized_bound_is_configurable(self):
+        svc = fresh_service()
+        line = b'{"op": "ping", "pad": "' + b"y" * 300 + b'"}\n'
+        replies = self._roundtrip(
+            [line, {"op": "ping"}], svc=svc, max_line_bytes=256)
+        assert not replies[0]["ok"] and "256" in replies[0]["error"]
+        assert replies[1]["ok"]
+
+    def test_handler_exception_gets_error_and_connection_survives(self):
+        svc = fresh_service()
+
+        def explode(key, view, tie_u):
+            raise RuntimeError("placer blew up")
+
+        svc._placer.place = explode
+        replies = self._roundtrip(
+            [{"op": "alloc", "key": "obj-1"}, {"op": "ping"}], svc=svc)
+        assert not replies[0]["ok"]
+        assert "internal error" in replies[0]["error"]
+        assert "placer blew up" in replies[0]["error"]
+        assert replies[1] == {"ok": True, "pong": True}
+        assert svc.errors["handler"] == 1
+
+    def test_non_object_json_reports_error(self):
+        replies = self._roundtrip([b"[1, 2, 3]\n", {"op": "ping"}])
+        assert not replies[0]["ok"]
+        assert "JSON object" in replies[0]["error"]
+        assert replies[1]["ok"]
+
+    def test_bad_json_counts_in_stats(self):
+        svc = fresh_service()
+        self._roundtrip([b"not json\n", b"[]\n"], svc=svc)
+        assert svc.errors["bad_json"] == 2
+        assert svc.stats()["errors"]["bad_json"] == 2
+
+
+class TestIdempotentRequests:
+    _roundtrip = TestAsyncServer._roundtrip
+
+    def test_duplicate_seq_replays_reply_without_replacing(self):
+        svc = fresh_service()
+        replies = self._roundtrip(
+            [
+                {"op": "alloc", "key": "obj-1", "client": "c", "seq": 1},
+                {"op": "alloc", "key": "obj-1", "client": "c", "seq": 1},
+                {"op": "alloc", "key": "obj-2", "client": "c", "seq": 2},
+            ],
+            svc=svc,
+        )
+        first, dup, nxt = replies
+        assert first["ok"] and first["dup"] is False
+        assert dup["ok"] and dup["dup"] is True
+        assert dup["peer"] == first["peer"]
+        assert nxt["ok"] and nxt["dup"] is False
+        # The duplicate placed nothing and consumed no tie draw.
+        assert svc.requests == 2
+        assert svc.dedup_hits == 1
+        ref = fresh_service()
+        ref.allocate("obj-1")
+        ref.allocate("obj-2")
+        assert svc.placement_digest() == ref.placement_digest()
+
+    def test_stale_seq_is_structured_error(self):
+        svc = fresh_service()
+        replies = self._roundtrip(
+            [
+                {"op": "alloc", "key": "obj-1", "client": "c", "seq": 5},
+                {"op": "alloc", "key": "obj-1", "client": "c", "seq": 3},
+                {"op": "ping"},
+            ],
+            svc=svc,
+        )
+        assert replies[0]["ok"]
+        assert not replies[1]["ok"]
+        assert "below the last applied" in replies[1]["error"]
+        assert replies[2]["ok"]
+        assert svc.errors["stale_seq"] == 1
+
+    def test_duplicate_churn_seq_replays_resolution(self):
+        svc = fresh_service()
+        replies = self._roundtrip(
+            [
+                {"op": "churn", "kind": "join", "client": "c", "seq": 1},
+                {"op": "churn", "kind": "join", "client": "c", "seq": 1},
+            ],
+            svc=svc,
+        )
+        assert replies[0]["ok"] and replies[0]["dup"] is False
+        assert replies[1]["ok"] and replies[1]["dup"] is True
+        assert replies[1]["peer_id"] == replies[0]["peer_id"]
+        assert svc.joins == 1
+
+    def test_client_without_seq_rejected(self):
+        replies = self._roundtrip(
+            [
+                {"op": "alloc", "key": "k", "client": "c"},
+                {"op": "alloc", "key": "k", "client": "c", "seq": "seven"},
+            ]
+        )
+        assert not replies[0]["ok"] and "both" in replies[0]["error"]
+        assert not replies[1]["ok"] and "integer" in replies[1]["error"]

@@ -1,0 +1,189 @@
+"""Tests for the CRC-framed write-ahead log: framing, torn tails, repair."""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.service.wal import (
+    MAX_FRAME_BYTES,
+    WAL_MAGIC,
+    WalError,
+    WalScan,
+    WriteAheadLog,
+)
+
+RECORDS = [
+    {"t": "meta", "format": "x", "seed": 1},
+    {"t": "alloc", "k": "obj-1", "p": "peer-3"},
+    {"t": "churn", "kind": "leave", "peer": "peer-0", "res": "leave"},
+]
+
+
+def write_log(path, records=RECORDS, **kw):
+    with WriteAheadLog(path, **kw) as wal:
+        for rec in records:
+            wal.append(rec)
+    return path
+
+
+class TestRoundTrip:
+    def test_append_scan_round_trip(self, tmp_path):
+        path = write_log(tmp_path / "a.wal")
+        scan = WriteAheadLog(path).scan()
+        assert list(scan.records) == RECORDS
+        assert scan.clean
+        assert scan.torn_bytes == 0
+
+    def test_reopen_and_continue(self, tmp_path):
+        path = write_log(tmp_path / "a.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append({"t": "alloc", "k": "obj-9", "p": "peer-1"})
+        scan = WriteAheadLog(path).scan()
+        assert len(scan.records) == len(RECORDS) + 1
+        assert scan.records[-1]["k"] == "obj-9"
+
+    def test_scan_sees_own_unflushed_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "a.wal", sync_every=100)
+        wal.append({"x": 1})
+        assert [dict(r) for r in wal.scan().records] == [{"x": 1}]
+        wal.close()
+
+    def test_missing_and_empty_files_scan_clean(self, tmp_path):
+        assert WriteAheadLog(tmp_path / "nope.wal").scan() == WalScan((), 0, 0)
+        (tmp_path / "empty.wal").write_bytes(b"")
+        assert WriteAheadLog(tmp_path / "empty.wal").scan() == WalScan((), 0, 0)
+
+
+class TestDurabilityBatching:
+    def test_sync_every_one_fsyncs_per_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "a.wal", sync_every=1)
+        for rec in RECORDS:
+            wal.append(rec)
+        assert wal.fsyncs == 3
+        wal.close()
+        assert wal.fsyncs == 3  # nothing left to sync
+
+    def test_group_commit_batches_fsyncs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "a.wal", sync_every=4)
+        for i in range(10):
+            wal.append({"i": i})
+        assert wal.fsyncs == 2  # after records 4 and 8
+        wal.flush()
+        assert wal.fsyncs == 3
+        wal.flush()  # idempotent: nothing unsynced
+        assert wal.fsyncs == 3
+        wal.close()
+
+    def test_rejects_bad_sync_every(self, tmp_path):
+        with pytest.raises(ValueError, match="sync_every"):
+            WriteAheadLog(tmp_path / "a.wal", sync_every=0)
+
+
+class TestTornTail:
+    @pytest.mark.parametrize("cut", [1, 3, 5, 9, 14])
+    def test_truncation_mid_frame_keeps_good_prefix(self, tmp_path, cut):
+        path = write_log(tmp_path / "a.wal")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-cut])
+        scan = WriteAheadLog(path).scan()
+        assert not scan.clean
+        # The last frame is torn; everything before it survives.
+        assert list(scan.records) == RECORDS[:-1]
+        assert scan.torn_bytes > 0
+
+    def test_repair_quarantines_and_continues(self, tmp_path):
+        path = write_log(tmp_path / "a.wal")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])
+        wal = WriteAheadLog(path)
+        scan = wal.repair()
+        assert scan.clean
+        assert list(scan.records) == RECORDS[:-1]
+        sidecars = list(tmp_path.glob("a.wal.corrupt-*"))
+        assert len(sidecars) == 1
+        # The sidecar holds exactly the bytes that were cut out.
+        assert sidecars[0].read_bytes() == blob[scan.good_bytes:-5]
+        # Appending continues from the good prefix.
+        wal.append({"t": "alloc", "k": "obj-2", "p": "peer-5"})
+        wal.close()
+        healed = WriteAheadLog(path).scan()
+        assert healed.clean
+        assert list(healed.records) == RECORDS[:-1] + [
+            {"t": "alloc", "k": "obj-2", "p": "peer-5"}]
+
+    def test_repair_of_clean_log_is_noop(self, tmp_path):
+        path = write_log(tmp_path / "a.wal")
+        scan = WriteAheadLog(path).repair()
+        assert scan.clean
+        assert not list(tmp_path.glob("*.corrupt-*"))
+
+    def test_partial_magic_counts_as_torn(self, tmp_path):
+        path = tmp_path / "a.wal"
+        path.write_bytes(WAL_MAGIC[:4])
+        wal = WriteAheadLog(path)
+        scan = wal.scan()
+        assert scan.records == () and not scan.clean
+        assert wal.repair(scan).clean
+        assert path.read_bytes() == b""
+
+    def test_repair_refused_while_open(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "a.wal")
+        wal.append({"x": 1})
+        with pytest.raises(WalError, match="before the log is opened"):
+            wal.repair()
+        wal.close()
+
+
+class TestCorruption:
+    def test_crc_flip_quarantines_suffix(self, tmp_path):
+        path = write_log(tmp_path / "a.wal")
+        blob = bytearray(path.read_bytes())
+        # Flip one payload byte inside the *second* frame.
+        first_len = struct.unpack_from("<I", blob, len(WAL_MAGIC))[0]
+        second_payload = len(WAL_MAGIC) + 8 + first_len + 8
+        blob[second_payload] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        scan = WriteAheadLog(path).scan()
+        assert list(scan.records) == RECORDS[:1]
+        assert not scan.clean
+        repaired = WriteAheadLog(path).repair(scan)
+        assert repaired.clean
+        assert list(repaired.records) == RECORDS[:1]
+
+    def test_absurd_length_field_is_corruption(self, tmp_path):
+        path = tmp_path / "a.wal"
+        payload = json.dumps({"x": 1}).encode()
+        path.write_bytes(
+            WAL_MAGIC
+            + struct.pack("<II", MAX_FRAME_BYTES + 1, zlib.crc32(payload))
+            + payload)
+        scan = WriteAheadLog(path).scan()
+        assert scan.records == () and not scan.clean
+
+    def test_valid_frame_with_non_object_payload_is_corruption(self, tmp_path):
+        path = tmp_path / "a.wal"
+        payload = b"[1,2,3]"
+        path.write_bytes(
+            WAL_MAGIC + struct.pack("<II", len(payload), zlib.crc32(payload))
+            + payload)
+        scan = WriteAheadLog(path).scan()
+        assert scan.records == () and not scan.clean
+
+    def test_foreign_file_is_never_touched(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("precious user data, definitely not a WAL\n")
+        before = path.read_bytes()
+        wal = WriteAheadLog(path)
+        with pytest.raises(WalError, match="bad magic"):
+            wal.scan()
+        with pytest.raises(WalError, match="bad magic"):
+            wal.append({"x": 1})
+        assert path.read_bytes() == before
+
+    def test_oversized_record_rejected_at_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "a.wal")
+        with pytest.raises(WalError, match="frame bound"):
+            wal.append({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+        wal.close()

@@ -177,3 +177,52 @@ class TestReplayCommand:
         assert args.command == "serve"
         assert args.port == 0
         assert args.refresh_every == 8
+
+    def test_serve_parser_accepts_wal_and_fault_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--wal", "/tmp/svc.wal", "--wal-sync-every", "8",
+            "--fault-plan", '{"kill_at": 10}',
+        ])
+        assert args.wal == "/tmp/svc.wal"
+        assert args.wal_sync_every == 8
+        assert args.fault_plan == '{"kill_at": 10}'
+
+
+class TestRecoverCommand:
+    def _write_wal(self, tmp_path):
+        from repro.service import AllocationService, ChurnAction
+
+        path = tmp_path / "svc.wal"
+        svc = AllocationService(
+            [f"peer-{i}" for i in range(4)], d=2, refresh_every=8,
+            seed=11, wal=path)
+        for i in range(6):
+            svc.allocate(f"obj-{i}")
+        svc.apply_churn(ChurnAction(time=0.0, kind="join"))
+        digest = svc.placement_digest()
+        svc.close_wal()
+        return path, digest
+
+    def test_recover_prints_report(self, tmp_path, capsys):
+        path, digest = self._write_wal(tmp_path)
+        assert main(["recover", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 7 record(s)" in out
+        assert digest in out
+        assert "1 join(s)" in out
+
+    def test_recover_json_matches_live_digest(self, tmp_path, capsys):
+        import json
+
+        path, digest = self._write_wal(tmp_path)
+        assert main(["recover", str(path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["placement_digest"] == digest
+        assert stats["requests"] == 6
+        assert stats["churn"]["joins"] == 1
+
+    def test_recover_missing_log_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing to recover"):
+            main(["recover", str(tmp_path / "nope.wal")])
